@@ -1,0 +1,119 @@
+(* pldc: the PLD compiler driver (§6's automated tool flow) as a CLI.
+
+     pldc list                         benchmarks available
+     pldc floorplan                    device pages (Tab. 1 / Fig. 8)
+     pldc source optical               dump an application's C-like source
+     pldc compile optical -O1          compile and report
+     pldc run optical -O1              compile, deploy, link, run, check *)
+
+open Cmdliner
+module B = Pld_core.Build
+module R = Pld_core.Runner
+open Pld_rosetta
+
+let fp = Pld_fabric.Floorplan.u50 ()
+let hw = Pld_ir.Graph.Hw { page_hint = None }
+
+let level_conv =
+  let parse = function
+    | "-O0" | "O0" | "0" -> Ok B.O0
+    | "-O1" | "O1" | "1" -> Ok B.O1
+    | "-O3" | "O3" | "3" -> Ok B.O3
+    | "vitis" -> Ok B.Vitis
+    | s -> Error (`Msg (Printf.sprintf "unknown level %S (use O0, O1, O3 or vitis)" s))
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (B.level_name l))
+
+let bench_conv =
+  let parse s =
+    match Suite.find s with
+    | b -> Ok b
+    | exception Not_found ->
+        Error (`Msg (Printf.sprintf "unknown benchmark %S (have: %s)" s (String.concat ", " Suite.names)))
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt b.Suite.name)
+
+let bench_arg = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
+
+let level_arg =
+  Arg.(value & opt level_conv B.O1 & info [ "O"; "level" ] ~docv:"LEVEL" ~doc:"Optimization level: O0, O1, O3 or vitis.")
+
+let workers_arg =
+  Arg.(value & opt int 22 & info [ "j"; "workers" ] ~doc:"Compile-cluster workers for -O1 builds.")
+
+let list_cmd =
+  let doc = "List the bundled Rosetta applications." in
+  let run () =
+    List.iter
+      (fun b ->
+        let g = b.Suite.graph hw in
+        Printf.printf "%-10s %-20s %d operators, %d channels\n" b.Suite.name b.Suite.paper_name
+          (List.length g.Pld_ir.Graph.instances)
+          (List.length g.Pld_ir.Graph.channels))
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let floorplan_cmd =
+  let doc = "Print the device floorplan and page inventory." in
+  let run () =
+    List.iter
+      (fun (ty, (cap : Pld_netlist.Netlist.res), n) ->
+        Printf.printf "Type-%d: %d x { %d LUT, %d FF, %d BRAM18, %d DSP }\n" ty n
+          cap.Pld_netlist.Netlist.luts cap.Pld_netlist.Netlist.ffs cap.Pld_netlist.Netlist.brams
+          cap.Pld_netlist.Netlist.dsps)
+      (Pld_fabric.Floorplan.type_summary fp);
+    print_newline ();
+    print_string (Pld_fabric.Floorplan.render fp)
+  in
+  Cmd.v (Cmd.info "floorplan" ~doc) Term.(const run $ const ())
+
+let source_cmd =
+  let doc = "Dump the application's generated C-like source." in
+  let run b =
+    let g = b.Suite.graph hw in
+    print_endline (Pld_ir.Graph.source g);
+    List.iter
+      (fun (i : Pld_ir.Graph.instance) ->
+        print_newline ();
+        print_endline (Pld_ir.Op.source i.op))
+      g.Pld_ir.Graph.instances
+  in
+  Cmd.v (Cmd.info "source" ~doc) Term.(const run $ bench_arg)
+
+let compile_cmd =
+  let doc = "Compile an application at the given level and report phases/areas." in
+  let run b level workers =
+    let app = B.compile ~workers fp (b.Suite.graph hw) ~level in
+    print_endline (Pld_core.Report.compile_summary app);
+    List.iter (fun (inst, page) -> Printf.printf "  %-16s -> page %d\n" inst page) app.B.assignment;
+    (match app.B.monolithic with
+    | Some m -> print_endline (Pld_pnr.Pnr.report m.Pld_core.Flow.pnr3)
+    | None -> ());
+    print_endline (Pld_core.Loader.describe_artifacts app)
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ bench_arg $ level_arg $ workers_arg)
+
+let run_cmd =
+  let doc = "Compile, deploy to the card, link, execute a frame, and validate." in
+  let run b level workers =
+    let app = B.compile ~workers fp (b.Suite.graph hw) ~level in
+    let card = Pld_platform.Card.create () in
+    let load_s = Pld_core.Loader.deploy card app in
+    let inputs = b.Suite.workload () in
+    let r = R.run app ~inputs in
+    Printf.printf "%s %s: load+link %.4fs, %.0f MHz, %.4f ms/frame (bottleneck %s)\n" b.Suite.name
+      (B.level_name level) load_s r.R.perf.R.fmax_mhz r.R.perf.R.ms_per_input r.R.perf.R.bottleneck;
+    List.iteri
+      (fun k (inst, line) -> if k < 5 then Printf.printf "  [softcore %s] %s\n" inst line)
+      r.R.printed;
+    let ok = b.Suite.check ~inputs r.R.outputs in
+    Printf.printf "output check vs independent reference: %b\n" ok;
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ bench_arg $ level_arg $ workers_arg)
+
+let () =
+  let doc = "PLD: partition, link and load applications on programmable logic devices (simulated)" in
+  let info = Cmd.info "pldc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/incremental_dev.ml: Graph List Op Option Pld_core Pld_fabric Pld_ir Pld_rosetta Printf Spam_filter Unix

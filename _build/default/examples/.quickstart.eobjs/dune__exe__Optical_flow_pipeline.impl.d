@@ -1,0 +1,1 @@
+examples/optical_flow_pipeline.ml: Array Dsl List Optical_flow Pld_core Pld_fabric Pld_ir Pld_rosetta Printf

@@ -1,0 +1,1 @@
+examples/optical_flow_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dtype Expr Graph List Op Pld_core Pld_fabric Pld_ir Pld_kpn Pld_platform Printf String Value

@@ -1,0 +1,1 @@
+examples/softcore_migration.ml: Array Dtype Expr Int32 Interp List Op Pld_hls Pld_ir Pld_riscv Printf Queue String Value

@@ -1,0 +1,1 @@
+examples/softcore_migration.mli:

@@ -1,0 +1,50 @@
+(* The paper's flagship workload (Fig. 2): the Lucas-Kanade optical
+   flow pipeline, compiled with every flow PLD offers from the same
+   source, with per-flow performance and compile-time numbers.
+
+     dune exec examples/optical_flow_pipeline.exe *)
+
+open Pld_rosetta
+module B = Pld_core.Build
+module R = Pld_core.Runner
+
+let () =
+  let fp = Pld_fabric.Floorplan.u50 () in
+  let g = Optical_flow.graph () in
+  print_endline "== dataflow graph (top.cpp equivalent) ==";
+  print_endline (Pld_ir.Graph.source g);
+  print_endline "\n== flow_calc operator (Fig. 2(d) equivalent) ==";
+  (match Pld_ir.Graph.find_instance g "flow_calc" with
+  | Some i -> print_endline (Pld_ir.Op.source i.Pld_ir.Graph.op)
+  | None -> ());
+  let inputs = Optical_flow.workload () in
+  let cache = B.create_cache () in
+  Printf.printf "\n%-8s %-10s %-10s %-12s %-14s %s\n" "flow" "compile(s)" "Fmax" "ms/frame" "check" "bottleneck";
+  List.iter
+    (fun level ->
+      let app = B.compile ~cache fp g ~level in
+      let compile_s =
+        match level with
+        | B.O0 | B.O1 -> app.B.report.B.parallel_seconds
+        | B.O3 | B.Vitis -> app.B.report.B.serial_seconds
+      in
+      let r = R.run app ~inputs in
+      Printf.printf "%-8s %-10.2f %-10s %-12.4f %-14b %s\n%!" (B.level_name level) compile_s
+        (Printf.sprintf "%.0fMHz" r.R.perf.R.fmax_mhz)
+        r.R.perf.R.ms_per_input
+        (Optical_flow.check ~inputs r.R.outputs)
+        r.R.perf.R.bottleneck)
+    [ B.Vitis; B.O3; B.O1; B.O0 ];
+  (* Show a corner of the flow field. *)
+  let app = B.compile ~cache fp g ~level:B.O3 in
+  let r = R.run app ~inputs in
+  let out = Array.of_list (List.assoc "flow_out" r.R.outputs) in
+  print_endline "\nflow field sample (u component, rows 4-7, cols 4-9):";
+  for row = 4 to 7 do
+    for col = 4 to 9 do
+      let i = (row * Optical_flow.width) + col in
+      Printf.printf "%7.2f" (Dsl.fx_of_word out.(2 * i))
+    done;
+    print_newline ()
+  done;
+  print_endline "(the frame pair is a one-pixel right shift: u should sit near -1 in the interior)"

@@ -1,0 +1,1 @@
+lib/apfixed/ap_fixed.ml: Ap_int Bits Float Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/apfixed/ap_fixed.mli: Ap_int Bits Format

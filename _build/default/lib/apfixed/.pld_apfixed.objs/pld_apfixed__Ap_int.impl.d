@@ -1,0 +1,1 @@
+lib/apfixed/ap_int.ml: Bits Float Format Int64

@@ -1,0 +1,1 @@
+lib/apfixed/ap_int.mli: Bits Format

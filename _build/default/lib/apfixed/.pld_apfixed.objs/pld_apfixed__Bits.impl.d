@@ -1,0 +1,1 @@
+lib/apfixed/bits.ml: Array Bytes Char Format Int64 Pld_util Printf String

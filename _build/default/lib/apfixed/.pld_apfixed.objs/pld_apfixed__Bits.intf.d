@@ -1,0 +1,1 @@
+lib/apfixed/bits.mli: Format Pld_util

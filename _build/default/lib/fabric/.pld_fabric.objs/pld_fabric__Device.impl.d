@@ -1,0 +1,1 @@
+lib/fabric/device.ml: Array Buffer Pld_netlist

@@ -1,0 +1,1 @@
+lib/fabric/device.mli: Pld_netlist

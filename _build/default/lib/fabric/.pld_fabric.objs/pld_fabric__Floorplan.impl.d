@@ -1,0 +1,1 @@
+lib/fabric/floorplan.ml: Buffer Char Device List Pld_netlist

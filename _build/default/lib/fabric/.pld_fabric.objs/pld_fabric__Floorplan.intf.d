@@ -1,0 +1,1 @@
+lib/fabric/floorplan.mli: Device Pld_netlist

@@ -1,0 +1,1 @@
+lib/fabric/rrg.ml: Array Device Floorplan List Printf

@@ -1,0 +1,1 @@
+lib/fabric/rrg.mli: Device Floorplan

@@ -1,0 +1,110 @@
+module N = Pld_netlist.Netlist
+
+type rect = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+type page = {
+  page_id : int;
+  ptype : int;
+  rect : rect;
+  capacity : N.res;
+  slr : int;
+  noc_leaf : int * int;
+}
+
+type t = {
+  device : Device.t;
+  pages : page list;
+  l1_region : rect;
+  noc_region : rect;
+  shell_region : rect;
+}
+
+let rect_tiles r =
+  let out = ref [] in
+  for x = r.x0 to r.x1 do
+    for y = r.y0 to r.y1 do
+      out := (x, y) :: !out
+    done
+  done;
+  List.rev !out
+
+let rect_capacity device r =
+  List.fold_left
+    (fun acc (x, y) -> N.res_add acc (Device.tile_capacity (Device.kind_at device x y)))
+    N.res_zero (rect_tiles r)
+
+let u50 () =
+  let device = Device.u50_model () in
+  let band i = (2 + (i * 4), 2 + (i * 4) + 3) in
+  let mk_page page_id ptype rect =
+    let capacity = rect_capacity device rect in
+    let slr = Device.slr_of_row device ((rect.y0 + rect.y1) / 2) in
+    (* The leaf interface sits on the page edge facing the linking
+       network column block (cols 27-34) — on the nearest CLB column,
+       since port logic needs LUTs/FFs. *)
+    let mid_y = (rect.y0 + rect.y1) / 2 in
+    let rec clb_col x =
+      if x < rect.x0 then rect.x0
+      else if Device.kind_at device x mid_y = Device.Clb then x
+      else clb_col (x - 1)
+    in
+    let noc_leaf = (clb_col rect.x1, mid_y) in
+    { page_id; ptype; rect; capacity; slr; noc_leaf }
+  in
+  let group_pages first_id ptype x0 x1 =
+    List.init 7 (fun i ->
+        let y0, y1 = band i in
+        mk_page (first_id + i) ptype { x0; y0; x1; y1 })
+  in
+  let pages =
+    group_pages 1 1 0 9 @ group_pages 8 2 10 17 @ group_pages 15 3 18 26
+    @ [ mk_page 22 4 { x0 = 27; y0 = 2; x1 = 34; y1 = 4 } ]
+  in
+  {
+    device;
+    pages;
+    l1_region = { x0 = 0; y0 = 2; x1 = 34; y1 = 29 };
+    noc_region = { x0 = 27; y0 = 5; x1 = 34; y1 = 29 };
+    shell_region = { x0 = 35; y0 = 0; x1 = 39; y1 = 29 };
+  }
+
+let find_page t id =
+  match List.find_opt (fun p -> p.page_id = id) t.pages with
+  | Some p -> p
+  | None -> raise Not_found
+
+let page_of_tile t x y =
+  List.find_opt (fun p -> x >= p.rect.x0 && x <= p.rect.x1 && y >= p.rect.y0 && y <= p.rect.y1) t.pages
+
+let type_summary t =
+  let types = List.sort_uniq compare (List.map (fun p -> p.ptype) t.pages) in
+  List.map
+    (fun ty ->
+      let members = List.filter (fun p -> p.ptype = ty) t.pages in
+      match members with
+      | [] -> assert false
+      | p :: _ -> (ty, p.capacity, List.length members))
+    types
+
+let render t =
+  let d = t.device in
+  let buf = Buffer.create 2048 in
+  for y = d.Device.rows - 1 downto 0 do
+    for x = 0 to d.Device.cols - 1 do
+      let c =
+        match page_of_tile t x y with
+        | Some p -> Char.chr (Char.code 'a' + ((p.page_id - 1) mod 26))
+        | None -> begin
+            match Device.kind_at d x y with
+            | Device.Shell -> 'S'
+            | Device.Noc -> 'N'
+            | Device.Hbm -> 'H'
+            | Device.Clb | Device.Bram | Device.Dsp -> '.'
+          end
+      in
+      Buffer.add_char buf c
+    done;
+    if y = d.Device.slr_boundary_row then Buffer.add_string buf "  <- SLR boundary";
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/hls/hls_compile.ml: Array Float List Op Pld_ir Pld_netlist Printf Sched String Synth Unix

@@ -1,0 +1,1 @@
+lib/hls/hls_compile.mli: Op Pld_ir Pld_netlist Sched

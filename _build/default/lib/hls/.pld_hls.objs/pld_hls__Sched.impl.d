@@ -1,0 +1,1 @@
+lib/hls/sched.ml: Expr Hashtbl List Op Option Pld_ir

@@ -1,0 +1,1 @@
+lib/hls/sched.mli: Expr Op Pld_ir

@@ -1,0 +1,1 @@
+lib/hls/synth.ml: Array Dtype Expr Hashtbl List Op Option Pld_apfixed Pld_ir Pld_netlist Printf String Validate Value

@@ -1,0 +1,1 @@
+lib/hls/synth.mli: Dtype Expr Hashtbl Op Pld_ir Pld_netlist

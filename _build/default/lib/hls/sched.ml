@@ -1,0 +1,130 @@
+open Pld_ir
+
+type loop_report = {
+  label : string;
+  trip : int;
+  ii : int;
+  depth : int;
+  pipelined : bool;
+  cycles : int;
+}
+
+type perf = {
+  cycles_per_firing : int;
+  bottleneck_ii : int;
+  max_expr_depth : int;
+  loops : loop_report list;
+}
+
+let rec expr_levels (e : Expr.t) =
+  match e with
+  | Const _ | Var _ -> 0
+  | Idx (_, i) -> 1 + expr_levels i (* BRAM read: one registered level *)
+  | Bin (op, a, b) ->
+      let w = match op with Mul -> 3 | Div | Rem -> 8 | _ -> 1 in
+      w + max (expr_levels a) (expr_levels b)
+  | Un (_, a) -> 1 + expr_levels a
+  | Cast (_, a) | Bitcast (_, a) -> expr_levels a
+  | Select (c, a, b) -> 1 + max (expr_levels c) (max (expr_levels a) (expr_levels b))
+
+(* Logic levels that fit in one 300 MHz cycle with chaining. *)
+let levels_per_cycle = 3
+
+let cycles_of_levels l = max 1 ((l + levels_per_cycle - 1) / levels_per_cycle)
+
+(* Stream-port accesses per single execution of [stmts] (max across
+   branches, multiplied through loop trip counts). *)
+let port_accesses stmts =
+  let tbl = Hashtbl.create 8 in
+  let merge_max a b =
+    let out = Hashtbl.create 8 in
+    let put k v = Hashtbl.replace out k (max v (Option.value ~default:0 (Hashtbl.find_opt out k))) in
+    Hashtbl.iter put a;
+    Hashtbl.iter put b;
+    out
+  in
+  let bump t p n = Hashtbl.replace t p (n + Option.value ~default:0 (Hashtbl.find_opt t p)) in
+  let rec go t (s : Op.stmt) =
+    match s with
+    | Read (_, p) -> bump t p 1
+    | Write (p, _) -> bump t p 1
+    | Assign _ | Printf _ -> ()
+    | For { lo; hi; body; _ } ->
+        let inner = Hashtbl.create 4 in
+        List.iter (go inner) body;
+        Hashtbl.iter (fun p n -> bump t p (n * max 0 (hi - lo))) inner
+    | If (_, a, b) ->
+        let ta = Hashtbl.create 4 and tb = Hashtbl.create 4 in
+        List.iter (go ta) a;
+        List.iter (go tb) b;
+        Hashtbl.iter (fun p n -> bump t p n) (merge_max ta tb)
+  in
+  List.iter (go tbl) stmts;
+  ignore bump;
+  tbl
+
+let rec body_latency stmts = List.fold_left (fun acc s -> acc + stmt_latency s) 0 stmts
+
+and stmt_latency (s : Op.stmt) =
+  match s with
+  | Assign (_, e) -> cycles_of_levels (expr_levels e)
+  | Read _ | Write _ -> 1
+  | Printf _ -> 0
+  | If (c, a, b) -> cycles_of_levels (expr_levels c) + max (body_latency a) (body_latency b)
+  | For { lo; hi; body; _ } -> (max 0 (hi - lo) * body_latency body) + 2
+
+let rec max_depth_expr stmts =
+  List.fold_left
+    (fun acc (s : Op.stmt) ->
+      match s with
+      | Assign (_, e) | Write (_, e) -> max acc (expr_levels e)
+      | Read _ | Printf _ -> acc
+      | If (c, a, b) -> max acc (max (expr_levels c) (max (max_depth_expr a) (max_depth_expr b)))
+      | For { body; _ } -> max acc (max_depth_expr body))
+    0 stmts
+
+let analyze (op : Op.t) =
+  let loops = ref [] in
+  let rec go label (s : Op.stmt) =
+    match s with
+    | Op.For { var; lo; hi; body; pipeline } ->
+        let trip = max 0 (hi - lo) in
+        let label = if label = "" then var else label ^ "." ^ var in
+        if pipeline then begin
+          (* II is bounded by the busiest stream port: one word/cycle. *)
+          let acc = port_accesses body in
+          let port_ii = Hashtbl.fold (fun _ n m -> max n m) acc 1 in
+          (* Inner loops are expanded into the pipeline: their full
+             latency joins the iteration's schedule length. *)
+          let depth = max 1 (body_latency body) in
+          let ii = max 1 port_ii in
+          let cycles = max 1 ((max 0 (trip - 1) * ii) + depth + 1) in
+          loops := { label; trip; ii; depth; pipelined = true; cycles } :: !loops;
+          cycles
+        end
+        else begin
+          let inner = List.fold_left (fun acc s -> acc + go label s) 0 body in
+          let cycles = (trip * max 1 inner) + 2 in
+          loops := { label; trip; ii = max 1 inner; depth = inner; pipelined = false; cycles } :: !loops;
+          cycles
+        end
+    | Op.If (c, a, b) ->
+        cycles_of_levels (expr_levels c)
+        + max
+            (List.fold_left (fun acc s -> acc + go (label ^ ".t") s) 0 a)
+            (List.fold_left (fun acc s -> acc + go (label ^ ".f") s) 0 b)
+    | Op.Assign (_, e) -> cycles_of_levels (expr_levels e)
+    | Op.Read _ | Op.Write _ -> 1
+    | Op.Printf _ -> 0
+  in
+  let cycles = List.fold_left (fun acc s -> acc + go "" s) 0 op.body in
+  let loops = List.rev !loops in
+  let bottleneck_ii =
+    List.fold_left (fun acc l -> if l.pipelined then max acc l.ii else acc) 1 loops
+  in
+  {
+    cycles_per_firing = max 1 cycles;
+    bottleneck_ii;
+    max_expr_depth = max_depth_expr op.body;
+    loops;
+  }

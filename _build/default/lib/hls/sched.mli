@@ -1,0 +1,32 @@
+(** HLS scheduling model: derives initiation interval, pipeline depth
+    and cycles-per-firing for an operator body.
+
+    The model follows Vitis_HLS behaviour on the operator discipline's
+    subset: a [pipeline]d loop achieves II bounded below by its stream-
+    port access serialization (a port moves one word per cycle), and
+    any loop nested inside a pipelined loop is fully expanded into the
+    schedule. *)
+
+open Pld_ir
+
+type loop_report = {
+  label : string;  (** loop variable, dotted for nesting *)
+  trip : int;
+  ii : int;
+  depth : int;  (** pipeline depth in cycles *)
+  pipelined : bool;
+  cycles : int;  (** total cycles for the loop *)
+}
+
+type perf = {
+  cycles_per_firing : int;  (** one execution of the whole body *)
+  bottleneck_ii : int;  (** max II over pipelined loops (1 if none) *)
+  max_expr_depth : int;  (** combinational levels before registering *)
+  loops : loop_report list;
+}
+
+val expr_levels : Expr.t -> int
+(** Combinational depth in logic levels (mul counts 3, div its width,
+    add 1, wiring 0). *)
+
+val analyze : Op.t -> perf

@@ -1,0 +1,351 @@
+open Pld_ir
+module N = Pld_netlist.Netlist
+
+let rec width_of_expr (op : Op.t) env (e : Expr.t) =
+  let w x = width_of_expr op env x in
+  match e with
+  | Const v -> Dtype.width (Value.dtype v)
+  | Var v -> begin
+      match Hashtbl.find_opt env v with
+      | Some dt -> Dtype.width dt
+      | None -> 32 (* loop variables *)
+    end
+  | Idx (a, _) -> begin
+      match Hashtbl.find_opt env a with Some dt -> Dtype.width dt | None -> 32
+    end
+  | Bin ((Add | Sub), x, y) -> min Pld_apfixed.Bits.max_width (1 + max (w x) (w y))
+  | Bin (Mul, x, y) -> min Pld_apfixed.Bits.max_width (w x + w y)
+  | Bin ((Div | Rem), x, y) ->
+      ignore (w y);
+      min Pld_apfixed.Bits.max_width (w x + 8)
+  | Bin ((And | Or | Xor | Shl | Shr), x, y) ->
+      ignore (w y);
+      w x
+  | Bin ((Eq | Ne | Lt | Le | Gt | Ge | LAnd | LOr), _, _) -> 1
+  | Un (Neg, x) -> 1 + w x
+  | Un (BNot, x) -> w x
+  | Un (LNot, _) -> 1
+  | Cast (dt, _) | Bitcast (dt, _) -> Dtype.width dt
+  | Select (_, x, y) -> max (w x) (w y)
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Macros wider than a tile can hold must be decomposed into chained
+   slice-sized subcells, or placement could never legalize them. The
+   chain mirrors how a wide adder/divider spans several CLB columns. *)
+let max_part = { N.luts = 40; ffs = 80; brams = 1; dsps = 2 }
+
+let split_oversized (nl : N.t) =
+  let parts_needed (r : N.res) =
+    let f v m = if m = 0 then 1 else ceil_div v m in
+    max 1
+      (max
+         (max (f r.N.luts max_part.N.luts) (f r.N.ffs max_part.N.ffs))
+         (max (f r.N.brams max_part.N.brams) (f r.N.dsps max_part.N.dsps)))
+  in
+  if Array.for_all (fun (c : N.cell) -> parts_needed c.res = 1) nl.N.cells then nl
+  else begin
+    let b = N.Builder.create nl.N.nl_name in
+    let head = Array.make (Array.length nl.N.cells) 0 in
+    let tail = Array.make (Array.length nl.N.cells) 0 in
+    Array.iter
+      (fun (c : N.cell) ->
+        let n = parts_needed c.res in
+        if n = 1 then begin
+          let id = N.Builder.add_cell b ~name:c.cname ~kind:c.kind ~res:c.res ~delay_ns:c.delay_ns in
+          head.(c.cid) <- id;
+          tail.(c.cid) <- id
+        end
+        else begin
+          let share i v = (v / n) + if i < v mod n then 1 else 0 in
+          let ids =
+            List.init n (fun i ->
+                let res =
+                  {
+                    N.luts = share i c.res.N.luts;
+                    ffs = share i c.res.N.ffs;
+                    brams = share i c.res.N.brams;
+                    dsps = share i c.res.N.dsps;
+                  }
+                in
+                N.Builder.add_cell b
+                  ~name:(Printf.sprintf "%s.p%d" c.cname i)
+                  ~kind:c.kind ~res ~delay_ns:c.delay_ns)
+          in
+          let rec link = function
+            | a :: (bnext :: _ as rest) ->
+                ignore (N.Builder.add_net b ~name:(Printf.sprintf "%s.chain%d" c.cname a) ~driver:a ~sinks:[ bnext ]);
+                link rest
+            | [ _ ] | [] -> ()
+          in
+          link ids;
+          head.(c.cid) <- List.hd ids;
+          tail.(c.cid) <- List.nth ids (n - 1)
+        end)
+      nl.N.cells;
+    Array.iter
+      (fun (n : N.net) ->
+        ignore
+          (N.Builder.add_net b ~name:n.nname ~driver:tail.(n.driver)
+             ~sinks:(List.map (fun s -> head.(s)) n.sinks)))
+      nl.N.nets;
+    N.Builder.finish b
+  end
+
+let synthesize (op : Op.t) =
+  (match Validate.check_operator op with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Printf.sprintf "Synth.synthesize %s: %s" op.name
+           (String.concat "; " (List.map Validate.error_to_string errs))));
+  let b = N.Builder.create op.name in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s_%d" prefix !n
+  in
+  let env : (string, Dtype.t) Hashtbl.t = Hashtbl.create 16 in
+  (* Storage cells for locals. *)
+  let storage : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      match d with
+      | Op.Scalar { name; dtype; _ } ->
+          Hashtbl.replace env name dtype;
+          let w = Dtype.width dtype in
+          let cid =
+            N.Builder.add_cell b ~name ~kind:N.Reg
+              ~res:{ N.res_zero with ffs = w; luts = ceil_div w 8 }
+              ~delay_ns:0.5
+          in
+          Hashtbl.replace storage name cid
+      | Op.Array { name; dtype; length; _ } ->
+          Hashtbl.replace env name dtype;
+          let w = Dtype.width dtype in
+          let bits = length * w in
+          let res =
+            if bits <= 2048 then { N.res_zero with luts = ceil_div bits 32 + 8 }
+            else { N.res_zero with brams = ceil_div bits 18432 }
+          in
+          let cid = N.Builder.add_cell b ~name ~kind:N.Mem ~res ~delay_ns:1.8 in
+          Hashtbl.replace storage name cid)
+    op.locals;
+  (* Stream port cells. *)
+  let in_ports : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let out_ports : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let port_res = { N.res_zero with luts = 24; ffs = 40 } in
+  List.iter
+    (fun (p : Op.port) ->
+      let cid =
+        N.Builder.add_cell b ~name:("port_" ^ p.port_name) ~kind:(N.Stream_in p.port_name)
+          ~res:port_res ~delay_ns:0.8
+      in
+      Hashtbl.replace in_ports p.port_name cid)
+    op.inputs;
+  List.iter
+    (fun (p : Op.port) ->
+      let cid =
+        N.Builder.add_cell b ~name:("port_" ^ p.port_name) ~kind:(N.Stream_out p.port_name)
+          ~res:port_res ~delay_ns:0.8
+      in
+      Hashtbl.replace out_ports p.port_name cid)
+    op.outputs;
+  let fsm =
+    N.Builder.add_cell b ~name:"fsm" ~kind:N.Control
+      ~res:{ N.res_zero with luts = 8 + (2 * Op.stmt_count op); ffs = 6 + Op.stmt_count op }
+      ~delay_ns:0.9
+  in
+  let connect ?(label = "n") driver sinks =
+    match sinks with
+    | [] -> ()
+    | _ -> ignore (N.Builder.add_net b ~name:(fresh label) ~driver ~sinks)
+  in
+  (* Loop variables map to their counter cell while in scope. *)
+  let loop_cells : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  (* Common subexpression elimination: structurally identical
+     expressions under the same loop bindings reuse one datapath cell,
+     the way HLS binding does. *)
+  let cse : (Expr.t * (string * int) list, int option) Hashtbl.t = Hashtbl.create 64 in
+  let cse_key e =
+    ( e,
+      List.filter_map
+        (fun name -> Option.map (fun cell -> (name, cell)) (Hashtbl.find_opt loop_cells name))
+        (Expr.vars e) )
+  in
+  (* Outside pipelined loops the schedule time-multiplexes arithmetic
+     onto a small pool of bound functional units. *)
+  let in_pipeline = ref false in
+  let pools : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let alloc_cell ~prefix ~kind ~res ~delay ~shareable ~limit =
+    if !in_pipeline || not shareable then
+      N.Builder.add_cell b ~name:(fresh prefix) ~kind ~res ~delay_ns:delay
+    else begin
+      let key = Printf.sprintf "%s:%s:%d" prefix (N.kind_name kind) res.N.luts in
+      let pool =
+        match Hashtbl.find_opt pools key with
+        | Some p -> p
+        | None ->
+            let p = ref [] in
+            Hashtbl.replace pools key p;
+            p
+      in
+      if List.length !pool < limit then begin
+        let cid = N.Builder.add_cell b ~name:(fresh (prefix ^ "_shared")) ~kind ~res ~delay_ns:delay in
+        pool := !pool @ [ cid ];
+        cid
+      end
+      else begin
+        match !pool with
+        | first :: rest ->
+            pool := rest @ [ first ];
+            first
+        | [] -> assert false
+      end
+    end
+  in
+  (* Synthesize an expression; returns the driving cell (None for pure
+     constants) — nets are created from operand drivers into each new
+     cell. *)
+  let rec expr_cell (e : Expr.t) : int option =
+    let key = cse_key e in
+    match Hashtbl.find_opt cse key with
+    | Some cell -> cell
+    | None ->
+        let cell = expr_cell_fresh e in
+        Hashtbl.replace cse key cell;
+        cell
+
+  and expr_cell_fresh (e : Expr.t) : int option =
+    let w = width_of_expr op env e in
+    match e with
+    | Const _ -> None
+    | Var v -> begin
+        match Hashtbl.find_opt loop_cells v with
+        | Some c -> Some c
+        | None -> Some (Hashtbl.find storage v)
+      end
+    | Idx (a, i) ->
+        let mem = Hashtbl.find storage a in
+        Option.iter (fun d -> connect ~label:"addr" d [ mem ]) (expr_cell i);
+        Some mem
+    | Bin (bop, x, y) -> begin
+        let dx = expr_cell x and dy = expr_cell y in
+        let wx = width_of_expr op env x and wy = width_of_expr op env y in
+        (* Multiplication by a power-of-two constant is a shift. *)
+        let pow2_const e =
+          match e with
+          | Expr.Const v -> Pld_apfixed.Bits.popcount (Value.to_bits v) = 1
+          | _ -> false
+        in
+        let kind, res, delay, shareable, limit =
+          match bop with
+          | Add | Sub -> (N.Arith, N.res_luts w, 0.9 +. (0.012 *. float_of_int w), true, 4)
+          | Mul ->
+              if pow2_const x || pow2_const y then (N.Logic, N.res_luts (ceil_div w 8), 0.3, false, 0)
+              else if max wx wy <= 8 then (N.Logic, N.res_luts (wx * wy / 2), 1.2, false, 0)
+              else
+                (* DSP capacity scales with the 16x-reduced fabric. *)
+                let d = ceil_div (max wx wy) 32 in
+                (N.Mul, { N.res_zero with dsps = d }, 2.2, true, 2)
+          | Div | Rem ->
+              (* Iterative radix-2 divider: a subtract/select row plus
+                 state, sequenced over the working width. *)
+              (N.Div, { N.res_zero with luts = 3 * w; ffs = 2 * w }, 1.8, true, 1)
+          | And | Or | Xor -> (N.Logic, N.res_luts (ceil_div w 2), 0.6, false, 0)
+          | Shl | Shr -> begin
+              match y with
+              | Const _ -> (N.Logic, N.res_luts (ceil_div w 8), 0.3, false, 0)
+              | _ -> (N.Arith, N.res_luts (w * 2), 0.9, true, 2) (* registered barrel shifter *)
+            end
+          | Eq | Ne | Lt | Le | Gt | Ge ->
+              ( N.Arith,
+                N.res_luts (ceil_div (max wx wy) 2),
+                0.8 +. (0.008 *. float_of_int (max wx wy)),
+                true,
+                4 )
+          | LAnd | LOr -> (N.Logic, N.res_luts 1, 0.4, false, 0)
+        in
+        let cid = alloc_cell ~prefix:(Expr.binop_name bop) ~kind ~res ~delay ~shareable ~limit in
+        Option.iter (fun d -> connect d [ cid ]) dx;
+        Option.iter (fun d -> connect d [ cid ]) dy;
+        Some cid
+      end
+    | Un (uop, x) ->
+        let dx = expr_cell x in
+        let res, delay =
+          match uop with
+          | Expr.Neg -> (N.res_luts w, 0.9)
+          | Expr.BNot -> (N.res_luts (ceil_div w 8), 0.3)
+          | Expr.LNot -> (N.res_luts 1, 0.3)
+        in
+        let cid = N.Builder.add_cell b ~name:(fresh "un") ~kind:N.Logic ~res ~delay_ns:delay in
+        Option.iter (fun d -> connect d [ cid ]) dx;
+        Some cid
+    | Cast (_, x) | Bitcast (_, x) -> expr_cell x (* wires *)
+    | Select (c, x, y) ->
+        let dc = expr_cell c and dx = expr_cell x and dy = expr_cell y in
+        let cid =
+          N.Builder.add_cell b ~name:(fresh "mux") ~kind:N.Logic ~res:(N.res_luts (ceil_div w 2))
+            ~delay_ns:0.7
+        in
+        List.iter (fun d -> Option.iter (fun d -> connect d [ cid ]) d) [ dc; dx; dy ];
+        Some cid
+  in
+  let store_target lv =
+    match lv with
+    | Op.LVar v -> Hashtbl.find storage v
+    | Op.LIdx (a, i) ->
+        let mem = Hashtbl.find storage a in
+        Option.iter (fun d -> connect ~label:"addr" d [ mem ]) (expr_cell i);
+        mem
+  in
+  let rec stmt (s : Op.stmt) =
+    match s with
+    | Assign (lv, e) ->
+        let tgt = store_target lv in
+        Option.iter (fun d -> if d <> tgt then connect d [ tgt ]) (expr_cell e)
+    | Read (lv, port) ->
+        let tgt = store_target lv in
+        connect ~label:"rd" (Hashtbl.find in_ports port) [ tgt ]
+    | Write (port, e) ->
+        let tgt = Hashtbl.find out_ports port in
+        (match expr_cell e with
+        | Some d -> connect ~label:"wr" d [ tgt ]
+        | None -> connect ~label:"wr" fsm [ tgt ])
+    | Printf _ -> () (* elided in hardware *)
+    | For { var; hi; body; pipeline; _ } ->
+        let counter =
+          N.Builder.add_cell b ~name:(fresh ("loop_" ^ var)) ~kind:N.Control
+            ~res:{ N.res_zero with luts = 16; ffs = 32 }
+            ~delay_ns:0.9
+        in
+        connect ~label:"loopctl" fsm [ counter ];
+        let saved = Hashtbl.find_opt loop_cells var in
+        Hashtbl.replace loop_cells var counter;
+        (* Trip-count-bounded width for the loop variable: index
+           arithmetic sizes like real HLS, not like a 32-bit int. *)
+        let bits =
+          let rec need v acc = if v <= 1 then acc else need (v / 2) (acc + 1) in
+          1 + need (max 1 (abs hi)) 1
+        in
+        let saved_dtype = Hashtbl.find_opt env var in
+        Hashtbl.replace env var (Dtype.SInt bits);
+        let saved_pipe = !in_pipeline in
+        if pipeline then in_pipeline := true;
+        List.iter stmt body;
+        in_pipeline := saved_pipe;
+        (match saved_dtype with
+        | Some dt -> Hashtbl.replace env var dt
+        | None -> Hashtbl.remove env var);
+        (match saved with
+        | Some c -> Hashtbl.replace loop_cells var c
+        | None -> Hashtbl.remove loop_cells var)
+    | If (c, a, bb) ->
+        Option.iter (fun d -> connect ~label:"pred" d [ fsm ]) (expr_cell c);
+        List.iter stmt a;
+        List.iter stmt bb
+  in
+  List.iter stmt op.body;
+  split_oversized (N.Builder.finish b)

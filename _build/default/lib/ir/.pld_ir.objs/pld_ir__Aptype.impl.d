@@ -1,0 +1,1 @@
+lib/ir/aptype.ml: Dtype Expr Printf Value

@@ -1,0 +1,1 @@
+lib/ir/aptype.mli: Dtype Expr

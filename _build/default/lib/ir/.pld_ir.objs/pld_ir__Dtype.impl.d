@@ -1,0 +1,1 @@
+lib/ir/dtype.ml: Format Printf

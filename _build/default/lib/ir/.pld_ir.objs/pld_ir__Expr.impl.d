@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Dtype Format Hashtbl List Stdlib Value

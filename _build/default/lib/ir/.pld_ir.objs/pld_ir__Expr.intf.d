@@ -1,0 +1,1 @@
+lib/ir/expr.mli: Dtype Format Value

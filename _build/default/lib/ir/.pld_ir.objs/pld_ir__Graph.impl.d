@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Buffer Dtype Format List Op Option Pld_util Printf String

@@ -1,0 +1,1 @@
+lib/ir/graph.mli: Dtype Format Op

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Dtype Expr Hashtbl List Op Printf Queue Value

@@ -1,0 +1,1 @@
+lib/ir/op.ml: Dtype Expr Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/ir/op.mli: Dtype Expr Format Value

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Dtype Expr Graph Hashtbl List Op Option Printf Value

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Ap_fixed Ap_int Bits Dtype Format Pld_apfixed Printf

@@ -1,0 +1,1 @@
+lib/ir/value.mli: Bits Dtype Format Pld_apfixed

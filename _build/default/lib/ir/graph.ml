@@ -1,0 +1,98 @@
+type target = Hw of { page_hint : int option } | Riscv
+
+type channel = { chan_name : string; elem : Dtype.t; depth : int }
+
+type instance = {
+  inst_name : string;
+  op : Op.t;
+  target : target;
+  bindings : (string * string) list;
+}
+
+type t = {
+  graph_name : string;
+  channels : channel list;
+  instances : instance list;
+  inputs : string list;
+  outputs : string list;
+}
+
+let channel ?(depth = 16) ?(elem = Dtype.word) chan_name = { chan_name; elem; depth }
+
+let instance ?(target = Hw { page_hint = None }) ?name op bindings =
+  { inst_name = (match name with Some n -> n | None -> op.Op.name); op; target; bindings }
+
+let make ~name ~channels ~instances ~inputs ~outputs =
+  { graph_name = name; channels; instances; inputs; outputs }
+
+let find_channel t name = List.find_opt (fun c -> c.chan_name = name) t.channels
+let find_instance t name = List.find_opt (fun i -> i.inst_name = name) t.instances
+
+let binds_port_to inst chan port_names =
+  List.exists
+    (fun (port, ch) -> ch = chan && List.exists (fun p -> p.Op.port_name = port) port_names)
+    inst.bindings
+
+let producer t chan =
+  List.find_opt (fun i -> binds_port_to i chan i.op.Op.outputs) t.instances
+  |> Option.map (fun i -> i.inst_name)
+
+let consumer t chan =
+  List.find_opt (fun i -> binds_port_to i chan i.op.Op.inputs) t.instances
+  |> Option.map (fun i -> i.inst_name)
+
+let retarget t inst_name target =
+  {
+    t with
+    instances =
+      List.map (fun i -> if i.inst_name = inst_name then { i with target } else i) t.instances;
+  }
+
+let retarget_all t target = { t with instances = List.map (fun i -> { i with target }) t.instances }
+
+let edges t =
+  List.filter_map
+    (fun c ->
+      match (producer t c.chan_name, consumer t c.chan_name) with
+      | Some p, Some q -> Some (p, q, c.chan_name)
+      | _ -> None)
+    t.channels
+
+let topo_order t =
+  let names = List.map (fun i -> i.inst_name) t.instances in
+  let index name =
+    let rec go i = function
+      | [] -> invalid_arg "Graph.topo_order: unknown instance"
+      | n :: rest -> if n = name then i else go (i + 1) rest
+    in
+    go 0 names
+  in
+  let e = List.map (fun (p, q, _) -> (index p, index q)) (edges t) in
+  let order = Pld_util.Topo.sort ~n:(List.length names) ~edges:e in
+  List.map (fun i -> List.nth t.instances i) order
+
+let source t =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "void %s(%s) {\n" t.graph_name
+    (String.concat ", " (List.map (fun c -> Printf.sprintf "hls::stream<%s>& %s" (Dtype.to_string Dtype.word) c) (t.inputs @ t.outputs)));
+  List.iter
+    (fun c ->
+      if not (List.mem c.chan_name t.inputs || List.mem c.chan_name t.outputs) then
+        addf "  hls::stream<%s> %s; // depth=%d\n" (Dtype.to_string c.elem) c.chan_name c.depth)
+    t.channels;
+  List.iter
+    (fun i ->
+      let args = List.map snd i.bindings in
+      let pragma =
+        match i.target with
+        | Hw { page_hint = Some p } -> Printf.sprintf " // #pragma target=HW p_num=%d" p
+        | Hw { page_hint = None } -> " // #pragma target=HW"
+        | Riscv -> " // #pragma target=RISCV"
+      in
+      addf "  %s(%s);%s\n" i.op.Op.name (String.concat ", " args) pragma)
+    t.instances;
+  addf "}";
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (source t)

@@ -1,0 +1,67 @@
+(** Top-level application graphs: operators composed by stream links,
+    the [top.cpp] of Fig. 2, plus the per-operator mapping pragmas of
+    Fig. 2(a). *)
+
+type target =
+  | Hw of { page_hint : int option }  (** [#pragma target=HW p_num=k] *)
+  | Riscv  (** [#pragma target=RISCV] *)
+
+type channel = { chan_name : string; elem : Dtype.t; depth : int }
+
+type instance = {
+  inst_name : string;
+  op : Op.t;
+  target : target;
+  bindings : (string * string) list;  (** operator port name → channel name *)
+}
+
+type t = {
+  graph_name : string;
+  channels : channel list;
+  instances : instance list;
+  inputs : string list;  (** channel names fed by the host DMA *)
+  outputs : string list;  (** channel names drained by the host DMA *)
+}
+
+val channel : ?depth:int -> ?elem:Dtype.t -> string -> channel
+(** Depth defaults to 16 (the paper's hardware FIFO depth); element
+    type defaults to the 32-bit word. *)
+
+val instance : ?target:target -> ?name:string -> Op.t -> (string * string) list -> instance
+(** [instance op bindings] names the instance after the operator unless
+    [name] is given; target defaults to [Hw] with no page hint. *)
+
+val make :
+  name:string ->
+  channels:channel list ->
+  instances:instance list ->
+  inputs:string list ->
+  outputs:string list ->
+  t
+
+val find_channel : t -> string -> channel option
+val find_instance : t -> string -> instance option
+
+val producer : t -> string -> string option
+(** [producer g chan] is the instance name writing [chan], or [None]
+    for a graph input. *)
+
+val consumer : t -> string -> string option
+
+val retarget : t -> string -> target -> t
+(** Change one instance's mapping pragma — the single-line edit that
+    switches an operator between -O0 and -O1 in the paper's flow. *)
+
+val retarget_all : t -> target -> t
+
+val edges : t -> (string * string * string) list
+(** [(producer_instance, consumer_instance, channel)] internal edges. *)
+
+val topo_order : t -> instance list
+(** Instances in topological order of the dataflow (feed-forward part);
+    raises [Pld_util.Topo.Cycle] on cyclic graphs. *)
+
+val source : t -> string
+(** C-like rendering of the top-level function (Fig. 2(b)). *)
+
+val pp : Format.formatter -> t -> unit

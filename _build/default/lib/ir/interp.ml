@@ -1,0 +1,163 @@
+type io = {
+  read : string -> Value.t;
+  write : string -> Value.t -> unit;
+  printf : string -> Value.t list -> unit;
+}
+
+type counters = {
+  mutable ops : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable loop_iterations : int;
+  mutable multiplies : int;
+  mutable divides : int;
+}
+
+let fresh_counters () =
+  { ops = 0; reads = 0; writes = 0; loop_iterations = 0; multiplies = 0; divides = 0 }
+
+type slot = Cell of Value.t ref | Arr of Value.t array
+
+let run_operator ?(processor = false) ?counters (op : Op.t) io =
+  let c = match counters with Some c -> c | None -> fresh_counters () in
+  let env : (string, slot) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      match d with
+      | Op.Scalar { name; dtype; init } ->
+          let v = match init with Some v -> v | None -> Value.zero dtype in
+          Hashtbl.replace env name (Cell (ref v))
+      | Op.Array { name; dtype; length; init } ->
+          let a =
+            match init with
+            | Some vs -> Array.map (Value.cast dtype) vs
+            | None -> Array.make length (Value.zero dtype)
+          in
+          Hashtbl.replace env name (Arr a))
+    op.locals;
+  let cell name =
+    match Hashtbl.find_opt env name with
+    | Some (Cell r) -> r
+    | Some (Arr _) -> invalid_arg (op.name ^ ": " ^ name ^ " is an array")
+    | None -> invalid_arg (op.name ^ ": undeclared " ^ name)
+  in
+  let arr name =
+    match Hashtbl.find_opt env name with
+    | Some (Arr a) -> a
+    | Some (Cell _) -> invalid_arg (op.name ^ ": " ^ name ^ " is a scalar")
+    | None -> invalid_arg (op.name ^ ": undeclared " ^ name)
+  in
+  let rec eval (e : Expr.t) : Value.t =
+    c.ops <- c.ops + 1;
+    match e with
+    | Const v -> v
+    | Var v -> !(cell v)
+    | Idx (a, i) ->
+        let arr = arr a in
+        let idx = Value.to_int (eval i) in
+        if idx < 0 || idx >= Array.length arr then
+          invalid_arg (Printf.sprintf "%s: %s[%d] out of bounds (len %d)" op.name a idx (Array.length arr));
+        arr.(idx)
+    | Bin (bop, x, y) -> begin
+        let vx = eval x in
+        match bop with
+        | LAnd -> Value.of_bool (Value.to_bool vx && Value.to_bool (eval y))
+        | LOr -> Value.of_bool (Value.to_bool vx || Value.to_bool (eval y))
+        | _ -> begin
+            let vy = eval y in
+            match bop with
+            | Add -> Value.add vx vy
+            | Sub -> Value.sub vx vy
+            | Mul ->
+                c.multiplies <- c.multiplies + 1;
+                Value.mul vx vy
+            | Div ->
+                c.divides <- c.divides + 1;
+                Value.div vx vy
+            | Rem ->
+                c.divides <- c.divides + 1;
+                Value.rem vx vy
+            | And -> Value.logand vx vy
+            | Or -> Value.logor vx vy
+            | Xor -> Value.logxor vx vy
+            | Shl -> Value.shift_left vx (Value.to_int vy)
+            | Shr -> Value.shift_right vx (Value.to_int vy)
+            | Eq -> Value.of_bool (Value.equal_value vx vy)
+            | Ne -> Value.of_bool (not (Value.equal_value vx vy))
+            | Lt -> Value.of_bool (Value.compare vx vy < 0)
+            | Le -> Value.of_bool (Value.compare vx vy <= 0)
+            | Gt -> Value.of_bool (Value.compare vx vy > 0)
+            | Ge -> Value.of_bool (Value.compare vx vy >= 0)
+            | LAnd | LOr -> assert false
+          end
+      end
+    | Un (Neg, x) -> Value.neg (eval x)
+    | Un (BNot, x) -> Value.lognot (eval x)
+    | Un (LNot, x) -> Value.of_bool (not (Value.to_bool (eval x)))
+    | Cast (dt, x) -> Value.cast dt (eval x)
+    | Bitcast (dt, x) -> Value.bitcast dt (eval x)
+    | Select (cond, x, y) -> if Value.to_bool (eval cond) then eval x else eval y
+  in
+  let declared_dtype lv =
+    let of_decl name =
+      match Hashtbl.find_opt env name with
+      | Some (Cell r) -> Value.dtype !r
+      | Some (Arr a) -> if Array.length a > 0 then Value.dtype a.(0) else Dtype.word
+      | None -> invalid_arg (op.name ^ ": undeclared " ^ name)
+    in
+    match lv with Op.LVar v -> of_decl v | Op.LIdx (a, _) -> of_decl a
+  in
+  let store lv v =
+    match lv with
+    | Op.LVar name -> (cell name) := v
+    | Op.LIdx (name, i) ->
+        let a = arr name in
+        let idx = Value.to_int (eval i) in
+        if idx < 0 || idx >= Array.length a then
+          invalid_arg (Printf.sprintf "%s: %s[%d] store out of bounds" op.name name idx);
+        a.(idx) <- v
+  in
+  let rec exec (s : Op.stmt) =
+    match s with
+    | Assign (lv, e) -> store lv (Value.cast (declared_dtype lv) (eval e))
+    | Read (lv, port) ->
+        c.reads <- c.reads + 1;
+        store lv (Value.bitcast (declared_dtype lv) (io.read port))
+    | Write (port, e) ->
+        c.writes <- c.writes + 1;
+        let elem =
+          match Op.find_output op port with
+          | Some p -> p.elem
+          | None -> invalid_arg (op.name ^ ": write to unknown port " ^ port)
+        in
+        io.write port (Value.bitcast elem (eval e))
+    | Printf (msg, args) -> if processor then io.printf msg (List.map eval args)
+    | For { var; lo; hi; body; _ } ->
+        let r = ref (Value.of_int (Dtype.SInt 32) lo) in
+        let saved = Hashtbl.find_opt env var in
+        Hashtbl.replace env var (Cell r);
+        for i = lo to hi - 1 do
+          c.loop_iterations <- c.loop_iterations + 1;
+          r := Value.of_int (Dtype.SInt 32) i;
+          List.iter exec body
+        done;
+        (match saved with Some s -> Hashtbl.replace env var s | None -> Hashtbl.remove env var)
+    | If (cond, a, b) -> if Value.to_bool (eval cond) then List.iter exec a else List.iter exec b
+  in
+  List.iter exec op.body
+
+let queue_io ~inputs ~outputs =
+  let find tbl port =
+    match List.assoc_opt port tbl with
+    | Some q -> q
+    | None -> failwith ("queue_io: unknown port " ^ port)
+  in
+  {
+    read =
+      (fun port ->
+        let q = find inputs port in
+        if Queue.is_empty q then failwith ("queue_io: read from empty stream " ^ port)
+        else Queue.pop q);
+    write = (fun port v -> Queue.push v (find outputs port));
+    printf = (fun _ _ -> ());
+  }

@@ -1,0 +1,36 @@
+(** Reference interpreter for operators.
+
+    Executes one operator body against caller-supplied stream callbacks
+    — the same code runs under the Kahn-network scheduler (blocking
+    callbacks), the softcore co-simulation checker, and unit tests
+    (queue-backed callbacks). *)
+
+type io = {
+  read : string -> Value.t;  (** blocking stream read per port name *)
+  write : string -> Value.t -> unit;
+  printf : string -> Value.t list -> unit;  (** -O0 debug sink *)
+}
+
+type counters = {
+  mutable ops : int;  (** expression nodes evaluated *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable loop_iterations : int;
+  mutable multiplies : int;
+  mutable divides : int;
+}
+
+val fresh_counters : unit -> counters
+
+val run_operator : ?processor:bool -> ?counters:counters -> Op.t -> io -> unit
+(** One complete execution of the body. [processor] enables [Printf]
+    statements (the paper's [#ifdef RISCV] guard); default false.
+    Raises [Invalid_argument] on scoping errors {!Validate} would have
+    caught. *)
+
+val queue_io :
+  inputs:(string * Value.t Queue.t) list ->
+  outputs:(string * Value.t Queue.t) list ->
+  io
+(** Non-blocking test harness: reading an empty queue raises
+    [Failure]. *)

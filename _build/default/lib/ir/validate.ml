@@ -1,0 +1,180 @@
+type error = { where : string; message : string }
+
+exception Invalid of error list
+
+let error_to_string e = Printf.sprintf "%s: %s" e.where e.message
+
+type kind = Kscalar | Karray of int | Kloop
+
+let check_operator (op : Op.t) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := { where = op.name; message = m } :: !errors) fmt in
+  let scope = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      match d with
+      | Op.Scalar { name; init; dtype; _ } ->
+          if Hashtbl.mem scope name then err "duplicate local %s" name;
+          Hashtbl.replace scope name Kscalar;
+          Option.iter
+            (fun v ->
+              if not (Dtype.equal (Value.dtype v) dtype) then
+                err "initializer type of %s is %s, declared %s" name
+                  (Dtype.to_string (Value.dtype v))
+                  (Dtype.to_string dtype))
+            init
+      | Op.Array { name; length; init; _ } ->
+          if Hashtbl.mem scope name then err "duplicate local %s" name;
+          if length <= 0 then err "array %s has non-positive length %d" name length;
+          Hashtbl.replace scope name (Karray length);
+          Option.iter
+            (fun vs ->
+              if Array.length vs <> length then
+                err "array %s initializer has %d elements, declared %d" name (Array.length vs) length)
+            init)
+    op.locals;
+  let input_names = List.map (fun p -> p.Op.port_name) op.inputs in
+  let output_names = List.map (fun p -> p.Op.port_name) op.outputs in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem scope p then err "port %s shadows a local" p;
+      if List.mem p output_names && List.mem p input_names then err "port %s is both input and output" p)
+    (input_names @ output_names);
+  let rec check_expr e =
+    match e with
+    | Expr.Const _ -> ()
+    | Expr.Var v -> begin
+        match Hashtbl.find_opt scope v with
+        | Some Kscalar | Some Kloop -> ()
+        | Some (Karray _) -> err "array %s used without index" v
+        | None -> err "undeclared variable %s" v
+      end
+    | Expr.Idx (a, i) -> begin
+        check_expr i;
+        match Hashtbl.find_opt scope a with
+        | Some (Karray len) -> begin
+            match i with
+            | Expr.Const v ->
+                let idx = Value.to_int v in
+                if idx < 0 || idx >= len then err "constant index %d out of bounds for %s[%d]" idx a len
+            | _ -> ()
+          end
+        | Some _ -> err "%s indexed but is not an array" a
+        | None -> err "undeclared array %s" a
+      end
+    | Expr.Bin ((Expr.And | Expr.Or | Expr.Xor | Expr.Rem), x, y) ->
+        check_expr x;
+        check_expr y
+    | Expr.Bin (_, x, y) ->
+        check_expr x;
+        check_expr y
+    | Expr.Un (_, x) | Expr.Cast (_, x) | Expr.Bitcast (_, x) -> check_expr x
+    | Expr.Select (c, x, y) ->
+        check_expr c;
+        check_expr x;
+        check_expr y
+  in
+  let check_lvalue lv =
+    match lv with
+    | Op.LVar v -> begin
+        match Hashtbl.find_opt scope v with
+        | Some Kscalar -> ()
+        | Some Kloop -> err "loop variable %s assigned" v
+        | Some (Karray _) -> err "array %s assigned without index" v
+        | None -> err "assignment to undeclared %s" v
+      end
+    | Op.LIdx (a, i) -> begin
+        check_expr i;
+        match Hashtbl.find_opt scope a with
+        | Some (Karray len) -> begin
+            match i with
+            | Expr.Const v ->
+                let idx = Value.to_int v in
+                if idx < 0 || idx >= len then err "constant index %d out of bounds for %s[%d]" idx a len
+            | _ -> ()
+          end
+        | Some _ -> err "%s indexed-assigned but is not an array" a
+        | None -> err "assignment to undeclared array %s" a
+      end
+  in
+  let rec check_stmt s =
+    match s with
+    | Op.Assign (lv, e) ->
+        check_lvalue lv;
+        check_expr e
+    | Op.Read (lv, port) ->
+        check_lvalue lv;
+        if not (List.mem port input_names) then err "read from %s which is not an input port" port
+    | Op.Write (port, e) ->
+        check_expr e;
+        if not (List.mem port output_names) then err "write to %s which is not an output port" port
+    | Op.Printf (_, args) -> List.iter check_expr args
+    | Op.For { var; lo; hi; body; _ } ->
+        if hi < lo then err "loop %s has empty/negative range [%d,%d)" var lo hi;
+        let shadowed = Hashtbl.find_opt scope var in
+        Hashtbl.replace scope var Kloop;
+        List.iter check_stmt body;
+        (match shadowed with Some k -> Hashtbl.replace scope var k | None -> Hashtbl.remove scope var)
+    | Op.If (c, a, b) ->
+        check_expr c;
+        List.iter check_stmt a;
+        List.iter check_stmt b
+  in
+  List.iter check_stmt op.body;
+  List.rev !errors
+
+let check_graph (g : Graph.t) =
+  let errors = ref [] in
+  let err where fmt = Printf.ksprintf (fun m -> errors := { where; message = m } :: !errors) fmt in
+  (* Unique names. *)
+  let dup l = List.filter (fun x -> List.length (List.filter (( = ) x) l) > 1) l in
+  List.iter (fun c -> err g.graph_name "duplicate channel %s" c) (List.sort_uniq compare (dup (List.map (fun c -> c.Graph.chan_name) g.channels)));
+  List.iter (fun i -> err g.graph_name "duplicate instance %s" i) (List.sort_uniq compare (dup (List.map (fun i -> i.Graph.inst_name) g.instances)));
+  (* Graph input/output channels must exist. *)
+  List.iter
+    (fun cn -> if Graph.find_channel g cn = None then err g.graph_name "external channel %s not declared" cn)
+    (g.inputs @ g.outputs);
+  (* Count producers/consumers per channel. *)
+  let producers = Hashtbl.create 16 and consumers = Hashtbl.create 16 in
+  let bump tbl c = Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)) in
+  List.iter (fun c -> bump producers c) g.inputs;
+  List.iter (fun c -> bump consumers c) g.outputs;
+  List.iter
+    (fun (i : Graph.instance) ->
+      let op = i.op in
+      (* Every port bound exactly once. *)
+      List.iter
+        (fun (p : Op.port) ->
+          match List.filter (fun (pn, _) -> pn = p.port_name) i.bindings with
+          | [] -> err i.inst_name "port %s not bound" p.port_name
+          | [ (_, chan) ] -> begin
+              match Graph.find_channel g chan with
+              | None -> err i.inst_name "port %s bound to unknown channel %s" p.port_name chan
+              | Some c ->
+                  if not (Dtype.equal c.elem p.elem) then
+                    err i.inst_name "port %s has type %s but channel %s carries %s" p.port_name
+                      (Dtype.to_string p.elem) chan (Dtype.to_string c.elem);
+                  if List.exists (fun q -> q.Op.port_name = p.port_name) op.inputs then bump consumers chan
+                  else bump producers chan
+            end
+          | _ -> err i.inst_name "port %s bound more than once" p.port_name)
+        (op.inputs @ op.outputs);
+      List.iter
+        (fun (pn, _) ->
+          if
+            not
+              (List.exists (fun (p : Op.port) -> p.port_name = pn) (op.inputs @ op.outputs))
+          then err i.inst_name "binding names unknown port %s" pn)
+        i.bindings;
+      List.iter (fun e -> errors := e :: !errors) (check_operator op))
+    g.instances;
+  List.iter
+    (fun (c : Graph.channel) ->
+      let p = Option.value ~default:0 (Hashtbl.find_opt producers c.chan_name) in
+      let q = Option.value ~default:0 (Hashtbl.find_opt consumers c.chan_name) in
+      if p <> 1 then err g.graph_name "channel %s has %d producers (want 1)" c.chan_name p;
+      if q <> 1 then err g.graph_name "channel %s has %d consumers (want 1)" c.chan_name q)
+    g.channels;
+  List.rev !errors
+
+let check_graph_exn g = match check_graph g with [] -> () | errs -> raise (Invalid errs)

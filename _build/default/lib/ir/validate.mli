@@ -1,0 +1,20 @@
+(** Static checks enforcing the operator discipline (§3.4) and graph
+    well-formedness before any flow runs. *)
+
+type error = { where : string; message : string }
+
+val check_operator : Op.t -> error list
+(** Scoping, port direction, array/scalar usage, static bounds, loop
+    variable immutability, integer-only bitwise operations. *)
+
+val check_graph : Graph.t -> error list
+(** Unique names, bindings resolve, dtype agreement across links, every
+    channel has exactly one producer and one consumer, every port is
+    bound, plus {!check_operator} on each distinct operator. *)
+
+val error_to_string : error -> string
+
+exception Invalid of error list
+
+val check_graph_exn : Graph.t -> unit
+(** Raises {!Invalid} if {!check_graph} reports anything. *)

@@ -1,0 +1,110 @@
+open Pld_apfixed
+
+type t = { dtype : Dtype.t; fx : Ap_fixed.t }
+
+let dtype t = t.dtype
+
+let fx_params = function
+  | Dtype.Bool -> (false, 1, 1)
+  | Dtype.UInt w -> (false, w, w)
+  | Dtype.SInt w -> (true, w, w)
+  | Dtype.UFixed { width; int_bits } -> (false, width, int_bits)
+  | Dtype.SFixed { width; int_bits } -> (true, width, int_bits)
+
+(* Recover the canonical dtype of a full-precision intermediate. *)
+let dtype_of_fx fx =
+  let w = Ap_fixed.width fx and i = Ap_fixed.int_bits fx and s = Ap_fixed.signed fx in
+  if w = i then if s then Dtype.SInt w else Dtype.UInt w
+  else if s then Dtype.SFixed { width = w; int_bits = i }
+  else Dtype.UFixed { width = w; int_bits = i }
+
+let normalize dtype fx =
+  let signed, width, int_bits = fx_params dtype in
+  { dtype; fx = Ap_fixed.convert ~signed ~width ~int_bits fx }
+
+let of_fx fx = { dtype = dtype_of_fx fx; fx }
+
+let of_bool b =
+  { dtype = Dtype.Bool; fx = Ap_fixed.make ~signed:false ~int_bits:1 (Bits.of_int ~width:1 (if b then 1 else 0)) }
+
+let of_int dtype v =
+  let _, width, _ = fx_params dtype in
+  let wide = max 64 (width + 1) in
+  let as_fx = Ap_fixed.make ~signed:true ~int_bits:wide (Bits.of_int ~width:wide v) in
+  normalize dtype as_fx
+
+let of_float dtype x =
+  let signed, width, int_bits = fx_params dtype in
+  { dtype; fx = Ap_fixed.of_float ~signed ~width ~int_bits x }
+
+let of_bits dtype bits =
+  let signed, width, int_bits = fx_params dtype in
+  { dtype; fx = Ap_fixed.make ~signed ~int_bits (Bits.resize ~signed:false ~width bits) }
+
+let to_bits t = Ap_fixed.raw t.fx
+let to_bool t = not (Ap_fixed.is_zero t.fx)
+let to_int t = Ap_int.to_int (Ap_fixed.to_ap_int t.fx)
+let to_float t = Ap_fixed.to_float t.fx
+let cast dtype t = normalize dtype t.fx
+let bitcast dtype t = of_bits dtype (to_bits t)
+let zero dtype = of_int dtype 0
+
+let add a b = of_fx (Ap_fixed.add a.fx b.fx)
+let sub a b = of_fx (Ap_fixed.sub a.fx b.fx)
+let mul a b = of_fx (Ap_fixed.mul a.fx b.fx)
+let neg a = of_fx (Ap_fixed.neg a.fx)
+
+let require_integer name v =
+  if not (Dtype.is_integer v.dtype) then
+    invalid_arg (Printf.sprintf "Value.%s: %s is not an integer type" name (Dtype.to_string v.dtype))
+
+let to_ap_int v = Ap_int.make ~signed:(Dtype.is_signed v.dtype) (to_bits v)
+
+(* Integer/integer division truncates toward zero (C semantics);
+   anything involving fixed-point uses the full-precision quotient. *)
+let div a b =
+  if Dtype.is_integer a.dtype && Dtype.is_integer b.dtype then
+    of_fx (Ap_fixed.of_ap_int (Ap_int.div (to_ap_int a) (to_ap_int b)))
+  else of_fx (Ap_fixed.div a.fx b.fx)
+
+let rem a b =
+  require_integer "rem" a;
+  require_integer "rem" b;
+  of_fx (Ap_fixed.of_ap_int (Ap_int.rem (to_ap_int a) (to_ap_int b)))
+
+let bitwise name f a b =
+  require_integer name a;
+  require_integer name b;
+  of_fx (Ap_fixed.of_ap_int (f (to_ap_int a) (to_ap_int b)))
+
+let logand = bitwise "logand" Ap_int.logand
+let logor = bitwise "logor" Ap_int.logor
+let logxor = bitwise "logxor" Ap_int.logxor
+
+let lognot a =
+  require_integer "lognot" a;
+  of_fx (Ap_fixed.of_ap_int (Ap_int.lognot (to_ap_int a)))
+
+(* Width-preserving shifts on the raw pattern (Xilinx semantics). *)
+let shift_left t n =
+  let signed, _, int_bits = fx_params t.dtype in
+  { t with fx = Ap_fixed.make ~signed ~int_bits (Bits.shift_left (to_bits t) n) }
+
+let shift_right t n =
+  let signed, _, int_bits = fx_params t.dtype in
+  let shifted =
+    if signed then Bits.shift_right_arith (to_bits t) n else Bits.shift_right_logical (to_bits t) n
+  in
+  { t with fx = Ap_fixed.make ~signed ~int_bits shifted }
+
+let compare a b = Ap_fixed.compare a.fx b.fx
+let equal_value a b = compare a b = 0
+let equal a b = Dtype.equal a.dtype b.dtype && Bits.equal (to_bits a) (to_bits b)
+
+let to_string t =
+  match t.dtype with
+  | Dtype.Bool -> if to_bool t then "true" else "false"
+  | Dtype.UInt _ | Dtype.SInt _ -> Ap_int.to_string (to_ap_int t)
+  | Dtype.UFixed _ | Dtype.SFixed _ -> Ap_fixed.to_string t.fx
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

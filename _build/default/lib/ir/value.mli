@@ -1,0 +1,65 @@
+(** Runtime values of the operator language.
+
+    A value always carries its {!Dtype.t}; arithmetic between values
+    follows the HLS growth rules (via {!Pld_apfixed}), and assignment
+    narrows with {!cast}. *)
+
+open Pld_apfixed
+
+type t
+
+val dtype : t -> Dtype.t
+
+val of_bool : bool -> t
+val of_int : Dtype.t -> int -> t
+val of_float : Dtype.t -> float -> t
+val of_bits : Dtype.t -> Bits.t -> t
+(** Reinterpret a raw pattern under [dtype] (resizing as needed). *)
+
+val to_bool : t -> bool
+(** Nonzero test. *)
+
+val to_int : t -> int
+(** Truncating conversion (floor for fixed-point). *)
+
+val to_float : t -> float
+
+val to_bits : t -> Bits.t
+(** The raw pattern at exactly [Dtype.width (dtype v)] bits. *)
+
+val cast : Dtype.t -> t -> t
+(** Value-preserving conversion with HLS truncate/wrap semantics. *)
+
+val bitcast : Dtype.t -> t -> t
+(** Raw reinterpretation: keep the bit pattern (resized unsigned). *)
+
+val zero : Dtype.t -> t
+
+(* Arithmetic: results carry a full-precision dtype; the caller narrows
+   on assignment. *)
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+(** Integer-only; raises [Invalid_argument] on fixed operands. *)
+
+val neg : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+(** Bitwise ops are integer-only. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val compare : t -> t -> int
+val equal_value : t -> t -> bool
+(** Numeric equality (e.g. [UInt 8] 3 = [SInt 16] 3). *)
+
+val equal : t -> t -> bool
+(** Structural: same dtype and same bits. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

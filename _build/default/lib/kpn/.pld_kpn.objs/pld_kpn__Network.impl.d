@@ -1,0 +1,1 @@
+lib/kpn/network.ml: Dtype Effect List Pld_ir Queue Value

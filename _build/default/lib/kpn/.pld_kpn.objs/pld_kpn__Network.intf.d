@@ -1,0 +1,1 @@
+lib/kpn/network.mli: Dtype Pld_ir Value

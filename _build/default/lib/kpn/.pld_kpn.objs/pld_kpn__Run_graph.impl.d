@@ -1,0 +1,1 @@
+lib/kpn/run_graph.ml: Dtype Graph Hashtbl Interp List Network Pld_ir String Validate Value

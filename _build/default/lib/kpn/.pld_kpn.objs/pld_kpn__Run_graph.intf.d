@@ -1,0 +1,1 @@
+lib/kpn/run_graph.mli: Graph Interp Network Pld_ir Value

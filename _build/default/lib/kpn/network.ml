@@ -1,0 +1,134 @@
+open Pld_ir
+
+type _ Effect.t += Yield : unit Effect.t
+
+type channel = {
+  chan_name : string;
+  elem : Dtype.t;
+  capacity : int;
+  buf : Value.t Queue.t;
+  net : net;
+  mutable tokens : int;
+  mutable peak : int;
+  mutable blocks : int;
+}
+
+and net = { mutable progress : int; mutable channels : channel list }
+
+type t = { net : net; mutable procs : (string * (unit -> unit)) list }
+
+exception Deadlock of string list
+exception Out_of_fuel
+
+let create () = { net = { progress = 0; channels = [] }; procs = [] }
+
+let channel t ?(capacity = 16) ~name elem =
+  if capacity < 1 then invalid_arg "Network.channel: capacity must be >= 1";
+  let c =
+    { chan_name = name; elem; capacity; buf = Queue.create (); net = t.net; tokens = 0; peak = 0; blocks = 0 }
+  in
+  t.net.channels <- c :: t.net.channels;
+  c
+
+let enqueue c v =
+  Queue.push v c.buf;
+  c.tokens <- c.tokens + 1;
+  c.peak <- max c.peak (Queue.length c.buf);
+  c.net.progress <- c.net.progress + 1
+
+let read c =
+  while Queue.is_empty c.buf do
+    c.blocks <- c.blocks + 1;
+    Effect.perform Yield
+  done;
+  let v = Queue.pop c.buf in
+  c.net.progress <- c.net.progress + 1;
+  v
+
+let write c v =
+  while Queue.length c.buf >= c.capacity do
+    c.blocks <- c.blocks + 1;
+    Effect.perform Yield
+  done;
+  enqueue c v
+
+let yield () = Effect.perform Yield
+
+let note_progress (t : t) = t.net.progress <- t.net.progress + 1
+
+let try_read c =
+  if Queue.is_empty c.buf then None
+  else begin
+    let v = Queue.pop c.buf in
+    c.net.progress <- c.net.progress + 1;
+    Some v
+  end
+let try_write c v =
+  if Queue.length c.buf >= c.capacity then false
+  else begin
+    enqueue c v;
+    true
+  end
+
+let push c v = enqueue c v
+
+let drain c =
+  let out = ref [] in
+  while not (Queue.is_empty c.buf) do
+    out := Queue.pop c.buf :: !out
+  done;
+  List.rev !out
+
+let occupancy c = Queue.length c.buf
+let channel_name c = c.chan_name
+let elem_type c = c.elem
+
+let add_process t ~name body = t.procs <- (name, body) :: t.procs
+
+type outcome = Finished | Yielded of (unit, outcome) Effect.Deep.continuation
+
+let start body () =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield -> Some (fun (k : (a, outcome) Effect.Deep.continuation) -> Yielded k)
+          | _ -> None);
+    }
+
+let run ?(fuel = 50_000_000) t =
+  let live = Queue.create () in
+  List.iter (fun (name, body) -> Queue.push (name, start body) live) (List.rev t.procs);
+  let steps = ref 0 in
+  (* A "round" visits every live process once; if no token moved during
+     a round and nothing finished, the network is deadlocked. *)
+  let rec loop () =
+    if Queue.is_empty live then ()
+    else begin
+      let round = Queue.length live in
+      let before = t.net.progress in
+      let finished = ref false in
+      for _ = 1 to round do
+        let name, resume = Queue.pop live in
+        incr steps;
+        if !steps > fuel then raise Out_of_fuel;
+        match resume () with
+        | Finished -> finished := true
+        | Yielded k -> Queue.push (name, fun () -> Effect.Deep.continue k ()) live
+      done;
+      if (not !finished) && t.net.progress = before && not (Queue.is_empty live) then
+        raise (Deadlock (List.map fst (List.of_seq (Queue.to_seq live))));
+      loop ()
+    end
+  in
+  loop ()
+
+type channel_stats = { chan : string; tokens : int; peak_occupancy : int; block_events : int }
+
+let stats t =
+  List.rev_map
+    (fun c -> { chan = c.chan_name; tokens = c.tokens; peak_occupancy = c.peak; block_events = c.blocks })
+    t.net.channels

@@ -1,0 +1,63 @@
+open Pld_ir
+
+type result = {
+  outputs : (string * Value.t list) list;
+  channel_stats : Network.channel_stats list;
+  op_counters : (string * Interp.counters) list;
+  printed : (string * string) list;
+}
+
+let run ?fuel ?(rounds = 1) ?(processor = false) (g : Graph.t) ~inputs =
+  Validate.check_graph_exn g;
+  let net = Network.create () in
+  let channels = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Graph.channel) ->
+      (* Graph outputs accumulate the full result; internal channels and
+         inputs keep their declared bounded depth (inputs are preloaded
+         with [push], which ignores capacity, mirroring host DMA that
+         streams in as space frees up). *)
+      let capacity = if List.mem c.chan_name g.outputs then max_int else c.depth in
+      Hashtbl.replace channels c.chan_name (Network.channel net ~capacity ~name:c.chan_name c.elem))
+    g.channels;
+  let chan name = Hashtbl.find channels name in
+  List.iter
+    (fun (name, values) ->
+      match Hashtbl.find_opt channels name with
+      | None -> invalid_arg ("Run_graph.run: unknown input channel " ^ name)
+      | Some c -> List.iter (Network.push c) values)
+    inputs;
+  let printed = ref [] in
+  let counters =
+    List.map
+      (fun (i : Graph.instance) ->
+        let c = Interp.fresh_counters () in
+        let io : Interp.io =
+          {
+            read = (fun port -> Network.read (chan (List.assoc port i.bindings)));
+            write = (fun port v -> Network.write (chan (List.assoc port i.bindings)) v);
+            printf =
+              (fun msg args ->
+                let text =
+                  msg ^ String.concat "" (List.map (fun v -> " " ^ Value.to_string v) args)
+                in
+                printed := (i.inst_name, text) :: !printed);
+          }
+        in
+        Network.add_process net ~name:i.inst_name (fun () ->
+            for _ = 1 to rounds do
+              Interp.run_operator ~processor ~counters:c i.op io
+            done);
+        (i.inst_name, c))
+      g.instances
+  in
+  Network.run ?fuel net;
+  let outputs = List.map (fun name -> (name, Network.drain (chan name))) g.outputs in
+  { outputs; channel_stats = Network.stats net; op_counters = counters; printed = List.rev !printed }
+
+let run_words ?fuel ?rounds g ~inputs =
+  let to_vals l = List.map (fun x -> Value.of_int Dtype.word x) l in
+  let r =
+    run ?fuel ?rounds g ~inputs:(List.map (fun (n, l) -> (n, to_vals l)) inputs)
+  in
+  List.map (fun (n, vs) -> (n, List.map Value.to_int vs)) r.outputs

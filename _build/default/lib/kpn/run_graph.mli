@@ -1,0 +1,30 @@
+(** Functional execution of a whole application graph on the KPN
+    runtime: the behavioural reference every compiled flow (-O0/-O1/
+    -O3) must match, and the source of the token/work profiles the
+    performance models consume. *)
+
+open Pld_ir
+
+type result = {
+  outputs : (string * Value.t list) list;  (** per graph-output channel *)
+  channel_stats : Network.channel_stats list;
+  op_counters : (string * Interp.counters) list;  (** per instance *)
+  printed : (string * string) list;  (** (instance, text) from -O0 printf *)
+}
+
+val run :
+  ?fuel:int ->
+  ?rounds:int ->
+  ?processor:bool ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  result
+(** [run g ~inputs] validates [g], preloads each input channel, runs
+    every operator body [rounds] times (default 1 — one frame), and
+    drains the outputs. [processor] enables [Printf] statements.
+    Raises {!Validate.Invalid}, {!Network.Deadlock} or
+    {!Network.Out_of_fuel}. *)
+
+val run_words :
+  ?fuel:int -> ?rounds:int -> Graph.t -> inputs:(string * int list) list -> (string * int list) list
+(** Convenience wrapper: 32-bit integer tokens in and out. *)

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Format Hashtbl List Printf

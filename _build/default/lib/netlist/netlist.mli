@@ -1,0 +1,68 @@
+(** Post-synthesis netlists: the interchange between HLS, place &
+    route, and the bitstream generator.
+
+    Cells are placement macros (a whole w-bit adder, a register bank, a
+    BRAM) carrying a resource vector; nets are driver→sinks hyperedges.
+    Functional behaviour lives in the IR interpreter — the netlist
+    carries structure, area and timing. *)
+
+type res = { luts : int; ffs : int; brams : int; dsps : int }
+
+val res_zero : res
+val res_add : res -> res -> res
+val res_luts : int -> res
+val res_le : res -> res -> bool
+(** Component-wise [<=]: does a demand fit a capacity? *)
+
+val pp_res : Format.formatter -> res -> unit
+
+type kind =
+  | Arith  (** adder / subtractor / comparator *)
+  | Mul  (** DSP multiplier *)
+  | Div  (** long divider macro *)
+  | Logic  (** bitwise / mux logic *)
+  | Reg  (** pipeline register bank *)
+  | Mem  (** BRAM array *)
+  | Control  (** FSM / loop counters *)
+  | Stream_in of string  (** leaf-interface input port *)
+  | Stream_out of string
+
+type cell = { cid : int; cname : string; kind : kind; res : res; delay_ns : float }
+type net = { nid : int; nname : string; driver : int; sinks : int list }
+type t = { nl_name : string; cells : cell array; nets : net array }
+
+val kind_name : kind -> string
+
+(** Imperative builder. *)
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : string -> t
+  val add_cell : t -> name:string -> kind:kind -> res:res -> delay_ns:float -> int
+  val add_net : t -> name:string -> driver:int -> sinks:int list -> int
+  val finish : t -> netlist
+  (** Validates cell references; raises [Invalid_argument] on dangling
+      ids or self-loop single-cell nets. *)
+end
+
+val total_res : t -> res
+val cell_count : t -> int
+val net_count : t -> int
+
+val ports : t -> (string * [ `In | `Out ]) list
+(** Stream ports in cell order. *)
+
+val merge : name:string -> (string * t) list -> t
+(** Combine instance netlists into one flat netlist with instance-
+    prefixed names — the -O3 monolithic elaboration. Nets are kept
+    per-instance; cross-instance links are added by the caller. *)
+
+val add_fifo_links : t -> (string * string * string * int) list -> t
+(** [add_fifo_links nl links] with [(from_inst_port, to_inst_port,
+    fifo_name, depth_words)] inserts a FIFO cell (BRAM-backed above 64
+    words) between a [Stream_out] and a [Stream_in] cell, connecting
+    them with nets — the -O3 kernel generator of Fig. 7. Port cell
+    names must match exactly. *)
+
+val stats_line : t -> string

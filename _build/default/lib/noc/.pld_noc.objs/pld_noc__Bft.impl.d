@@ -1,0 +1,1 @@
+lib/noc/bft.ml: Array Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/noc/relay.ml: List Pld_fabric Printf Traffic

@@ -1,0 +1,1 @@
+lib/noc/relay.mli: Pld_fabric Traffic

@@ -1,0 +1,1 @@
+lib/noc/traffic.ml: Bft Hashtbl Int32 List Option

@@ -1,0 +1,1 @@
+lib/noc/traffic.mli: Bft

@@ -1,0 +1,241 @@
+type flit_kind =
+  | Data of { dst_stream : int }
+  | Config of { reg : int; dst_leaf_value : int; dst_stream_value : int }
+
+type flit = { dst_leaf : int; payload : int32; kind : flit_kind; mutable age : int }
+
+(* Link registers: one flit in flight per link per cycle. *)
+type t = {
+  depth : int;  (** tree levels of switches *)
+  leaves : int;  (** 4^depth leaf slots *)
+  cur : flit option array;
+  nxt : flit option array;
+  leaf_up : int array;  (** link id: leaf -> level-1 switch *)
+  leaf_down : int array;
+  (* up_pair.(l-1).(i).(k): level-l switch i -> its parent, k in 0..1;
+     down_pair mirrors it. Level depth has no parents. *)
+  up_pair : int array array array;
+  down_pair : int array array array;
+  pending_inject : flit option array;
+  eject_buf : (int * int32) Queue.t array;
+  routes : (int * int, int * int) Hashtbl.t;
+  overflow : flit Queue.t array array;  (** per level-1.. switch spill queue *)
+  mutable cycles : int;
+  mutable in_flight : int;
+  mutable delivered : int;
+  mutable deflections : int;
+  mutable max_latency : int;
+  mutable total_latency : int;
+}
+
+let switches_at_level t l = t.leaves / (1 lsl (2 * l)) (* 4^depth / 4^l *)
+
+let create ?(leaves = 32) () =
+  let depth =
+    let rec go d = if 1 lsl (2 * d) >= leaves then d else go (d + 1) in
+    go 1
+  in
+  let leaves = 1 lsl (2 * depth) in
+  let nlinks = ref 0 in
+  let fresh () =
+    let id = !nlinks in
+    incr nlinks;
+    id
+  in
+  let leaf_up = Array.init leaves (fun _ -> fresh ()) in
+  let leaf_down = Array.init leaves (fun _ -> fresh ()) in
+  let up_pair =
+    Array.init (depth - 1) (fun l ->
+        let n = leaves / (1 lsl (2 * (l + 1))) in
+        Array.init n (fun _ -> Array.init 2 (fun _ -> fresh ())))
+  in
+  let down_pair =
+    Array.init (depth - 1) (fun l ->
+        let n = leaves / (1 lsl (2 * (l + 1))) in
+        Array.init n (fun _ -> Array.init 2 (fun _ -> fresh ())))
+  in
+  let t =
+    {
+      depth;
+      leaves;
+      cur = Array.make !nlinks None;
+      nxt = Array.make !nlinks None;
+      leaf_up;
+      leaf_down;
+      up_pair;
+      down_pair;
+      pending_inject = Array.make leaves None;
+      eject_buf = Array.init leaves (fun _ -> Queue.create ());
+      routes = Hashtbl.create 64;
+      overflow =
+        Array.init depth (fun l -> Array.init (leaves / (1 lsl (2 * (l + 1)))) (fun _ -> Queue.create ()));
+      cycles = 0;
+      in_flight = 0;
+      delivered = 0;
+      deflections = 0;
+      max_latency = 0;
+      total_latency = 0;
+    }
+  in
+  t
+
+let leaf_count t = t.leaves
+let level_count t = t.depth
+
+let configure t ~leaf ~stream ~dst_leaf ~dst_stream =
+  Hashtbl.replace t.routes (leaf, stream) (dst_leaf, dst_stream)
+
+let lookup_route t ~leaf ~stream = Hashtbl.find_opt t.routes (leaf, stream)
+
+let inject t ~leaf f =
+  if leaf < 0 || leaf >= t.leaves then invalid_arg "Bft.inject: bad leaf";
+  match t.pending_inject.(leaf) with
+  | Some _ -> false
+  | None ->
+      t.pending_inject.(leaf) <- Some f;
+      t.in_flight <- t.in_flight + 1;
+      true
+
+let inject_via_route t ~leaf ~stream payload =
+  match lookup_route t ~leaf ~stream with
+  | None -> invalid_arg (Printf.sprintf "Bft.inject_via_route: leaf %d stream %d not linked" leaf stream)
+  | Some (dst_leaf, dst_stream) ->
+      inject t ~leaf { dst_leaf; payload; kind = Data { dst_stream }; age = 0 }
+
+let eject t ~leaf =
+  let out = ref [] in
+  while not (Queue.is_empty t.eject_buf.(leaf)) do
+    out := Queue.pop t.eject_buf.(leaf) :: !out
+  done;
+  List.rev !out
+
+let deliver t (f : flit) =
+  t.delivered <- t.delivered + 1;
+  t.in_flight <- t.in_flight - 1;
+  t.total_latency <- t.total_latency + f.age;
+  if f.age > t.max_latency then t.max_latency <- f.age;
+  match f.kind with
+  | Data { dst_stream } -> Queue.push (dst_stream, f.payload) t.eject_buf.(f.dst_leaf)
+  | Config { reg; dst_leaf_value; dst_stream_value } ->
+      Hashtbl.replace t.routes (f.dst_leaf, reg) (dst_leaf_value, dst_stream_value)
+
+(* Leaves covered by switch [i] at level [l]: [i*4^l, (i+1)*4^l). *)
+let covers l i leaf =
+  let span = 1 lsl (2 * l) in
+  leaf >= i * span && leaf < (i + 1) * span
+
+let step t =
+  t.cycles <- t.cycles + 1;
+  Array.fill t.nxt 0 (Array.length t.nxt) None;
+  (* Deliver flits that arrived on leaf down-links last cycle. *)
+  for leaf = 0 to t.leaves - 1 do
+    match t.cur.(t.leaf_down.(leaf)) with
+    | Some f -> deliver t f
+    | None -> ()
+  done;
+  (* Process switches level by level; each consumes its input link
+     registers (cur) and claims output registers (nxt). *)
+  for l = 1 to t.depth do
+    let nsw = switches_at_level t l in
+    for i = 0 to nsw - 1 do
+      (* Input links. *)
+      let child_in =
+        if l = 1 then List.init 4 (fun c -> t.leaf_up.((i * 4) + c))
+        else
+          List.concat
+            (List.init 4 (fun c ->
+                 Array.to_list t.up_pair.(l - 2).((i * 4) + c)))
+      in
+      let parent_in = if l = t.depth then [] else Array.to_list t.down_pair.(l - 1).(i) in
+      let inputs =
+        List.filter_map (fun link -> Option.map (fun f -> f) t.cur.(link)) (child_in @ parent_in)
+      in
+      (* Spilled flits from previous cycles re-enter with priority. *)
+      let spill = t.overflow.(l - 1).(i) in
+      let inputs = Queue.fold (fun acc f -> f :: acc) inputs spill in
+      Queue.clear spill;
+      (* Output ports toward child c. *)
+      let down_port c =
+        if l = 1 then [ t.leaf_down.((i * 4) + c) ]
+        else Array.to_list t.down_pair.(l - 2).((i * 4) + c)
+      in
+      let up_ports = if l = t.depth then [] else Array.to_list t.up_pair.(l - 1).(i) in
+      let taken = Hashtbl.create 8 in
+      let try_claim link =
+        if Hashtbl.mem taken link || t.nxt.(link) <> None then false
+        else begin
+          Hashtbl.replace taken link ();
+          true
+        end
+      in
+      (* Oldest first. *)
+      let inputs = List.sort (fun a b -> compare b.age a.age) inputs in
+      List.iter
+        (fun f ->
+          f.age <- f.age + 1;
+          let child_of_dst =
+            let rec find c = if c >= 4 then None else if covers (l - 1) ((i * 4) + c) f.dst_leaf then Some c else find (c + 1) in
+            if covers l i f.dst_leaf then find 0 else None
+          in
+          let place link = t.nxt.(link) <- Some f in
+          let rec first_free = function
+            | [] -> None
+            | link :: rest -> if try_claim link then Some link else first_free rest
+          in
+          let preferred =
+            match child_of_dst with
+            | Some c -> first_free (down_port c)
+            | None -> first_free up_ports
+          in
+          match preferred with
+          | Some link -> place link
+          | None -> begin
+              (* Deflect: any free switch-to-switch port (never a wrong
+                 leaf port); as a last resort spill into the switch
+                 queue. *)
+              t.deflections <- t.deflections + 1;
+              let candidates =
+                up_ports
+                @ (if l = 1 then []
+                   else List.concat (List.init 4 (fun c -> down_port c)))
+              in
+              match first_free candidates with
+              | Some link -> place link
+              | None -> Queue.push f spill
+            end)
+        inputs
+    done
+  done;
+  (* Injections onto free leaf up-links. *)
+  for leaf = 0 to t.leaves - 1 do
+    match t.pending_inject.(leaf) with
+    | Some f when t.nxt.(t.leaf_up.(leaf)) = None ->
+        t.nxt.(t.leaf_up.(leaf)) <- Some f;
+        t.pending_inject.(leaf) <- None
+    | _ -> ()
+  done;
+  Array.blit t.nxt 0 t.cur 0 (Array.length t.cur)
+
+type stats = {
+  cycles : int;
+  delivered : int;
+  deflections : int;
+  max_latency : int;
+  total_latency : int;
+}
+
+let stats (t : t) =
+  {
+    cycles = t.cycles;
+    delivered = t.delivered;
+    deflections = t.deflections;
+    max_latency = t.max_latency;
+    total_latency = t.total_latency;
+  }
+
+let run_until_idle ?(max_cycles = 1_000_000) (t : t) =
+  let start = t.cycles in
+  while t.in_flight > 0 do
+    if t.cycles - start > max_cycles then failwith "Bft.run_until_idle: exceeded max cycles";
+    step t
+  done

@@ -1,0 +1,65 @@
+(** Deflection-routed Butterfly-Fat-Tree linking network (§4.3).
+
+    Single-flit packets, Hoplite-style bufferless switches: every flit
+    entering a switch leaves the same cycle on *some* port — flits that
+    lose arbitration for their preferred port are deflected. Switches
+    are 4-ary with two parent links (the BFT "fatness"); the root has
+    none. One flit per link per cycle at the 200 MHz overlay clock.
+
+    Leaves are page endpoints; leaf 0 is conventionally the DMA/host
+    interface. Each leaf's interface holds configuration registers
+    mapping its local output streams to (destination leaf, destination
+    stream); configuration packets update these registers in-band —
+    that is the "linking in seconds" mechanism. *)
+
+type flit_kind =
+  | Data of { dst_stream : int }
+  | Config of { reg : int; dst_leaf_value : int; dst_stream_value : int }
+      (** write leaf routing register [reg] at the destination leaf *)
+
+type flit = { dst_leaf : int; payload : int32; kind : flit_kind; mutable age : int }
+
+type t
+
+val create : ?leaves:int -> unit -> t
+(** [leaves] defaults to 32 (22 pages + DMA + headroom), rounded up to
+    a power of 4-ary tree capacity. *)
+
+val leaf_count : t -> int
+val level_count : t -> int
+
+val configure : t -> leaf:int -> stream:int -> dst_leaf:int -> dst_stream:int -> unit
+(** Host-side direct register write (used by tests and by the loader
+    after its config packets are delivered). *)
+
+val lookup_route : t -> leaf:int -> stream:int -> (int * int) option
+(** Current (dst_leaf, dst_stream) register value. *)
+
+val inject : t -> leaf:int -> flit -> bool
+(** Try to hand a flit to the leaf's injection port; false if the port
+    is busy this cycle (caller retries next cycle). *)
+
+val inject_via_route : t -> leaf:int -> stream:int -> int32 -> bool
+(** Data injection using the leaf's configured routing register;
+    raises [Invalid_argument] if the stream is not linked. *)
+
+val eject : t -> leaf:int -> (int * int32) list
+(** Drain (dst_stream, payload) data flits delivered to this leaf since
+    the last call. Config flits are applied internally. *)
+
+val step : t -> unit
+(** Advance one cycle. *)
+
+type stats = {
+  cycles : int;
+  delivered : int;
+  deflections : int;
+  max_latency : int;
+  total_latency : int;
+}
+
+val stats : t -> stats
+
+val run_until_idle : ?max_cycles:int -> t -> unit
+(** Step until no flits are in flight (injection queues drained by the
+    caller beforehand). Raises [Failure] past [max_cycles]. *)

@@ -1,0 +1,25 @@
+(** Dedicated-wire linking (the paper's Relay-Station alternative,
+    §7.5 / [64] / future work §9): instead of sharing the
+    packet-switched BFT, the linker compiles application-customized
+    switch pages carrying unshared point-to-point connections between
+    operators.
+
+    Performance: every link streams independently at one word per cycle
+    after a pipelined latency proportional to distance — no leaf-port
+    serialization, no deflections. Cost: dedicated wires and relay
+    stations whose area grows with distance and link count, and the
+    switch pages themselves must be re-compiled when the graph changes
+    (linking is no longer a few packets). *)
+
+type result = {
+  cycles : int;  (** to drain all links' tokens *)
+  relay_stations : int;  (** pipeline registers inserted *)
+  wire_luts : int;  (** area cost of the dedicated links *)
+  relink_seconds : float;  (** modeled switch-page recompile on re-link *)
+}
+
+val replay : Pld_fabric.Floorplan.t -> Traffic.link list -> result
+(** Leaf indices are page ids (0 = the DMA corner). Token counts give
+    the per-frame traffic; distances come from the floorplan. *)
+
+val describe : result -> string

@@ -1,0 +1,98 @@
+type link = {
+  src_leaf : int;
+  src_stream : int;
+  dst_leaf : int;
+  dst_stream : int;
+  tokens : int;
+}
+
+type result = { cycles : int; delivered : int; deflections : int; avg_latency : float }
+
+let configure_links net links =
+  List.iter
+    (fun l ->
+      Bft.configure net ~leaf:l.src_leaf ~stream:l.src_stream ~dst_leaf:l.dst_leaf
+        ~dst_stream:l.dst_stream)
+    links
+
+let replay ?(max_cycles = 10_000_000) net links =
+  configure_links net links;
+  let start = Bft.stats net in
+  let total = List.fold_left (fun acc l -> acc + l.tokens) 0 links in
+  (* Per-leaf round-robin schedule over its outgoing streams. *)
+  let by_leaf = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      if l.tokens > 0 then
+        Hashtbl.replace by_leaf l.src_leaf
+          (Option.value ~default:[] (Hashtbl.find_opt by_leaf l.src_leaf) @ [ (l, ref l.tokens) ]))
+    links;
+  let cycles = ref 0 in
+  let remaining = ref total in
+  (* Track deliveries by draining eject buffers every cycle. *)
+  let leaves = Bft.leaf_count net in
+  while !remaining > 0 do
+    if !cycles > max_cycles then failwith "Traffic.replay: exceeded max cycles";
+    incr cycles;
+    let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_leaf [] in
+    List.iter
+      (fun (leaf, streams) ->
+        (* One injection port per leaf: pick the first stream with
+           tokens left, rotating for fairness. *)
+        let rec try_streams = function
+          | [] -> ()
+          | (l, left) :: rest ->
+              if !left > 0 then begin
+                if Bft.inject_via_route net ~leaf ~stream:l.src_stream (Int32.of_int !left) then
+                  decr left
+              end
+              else try_streams rest
+        in
+        try_streams streams;
+        (* Rotate. *)
+        match streams with
+        | first :: rest -> Hashtbl.replace by_leaf leaf (rest @ [ first ])
+        | [] -> ())
+      bindings;
+    Bft.step net;
+    for leaf = 0 to leaves - 1 do
+      let got = Bft.eject net ~leaf in
+      remaining := !remaining - List.length got
+    done
+  done;
+  let fin = Bft.stats net in
+  let delivered = fin.Bft.delivered - start.Bft.delivered in
+  {
+    cycles = !cycles;
+    delivered;
+    deflections = fin.Bft.deflections - start.Bft.deflections;
+    avg_latency =
+      (if delivered = 0 then 0.0
+       else float_of_int (fin.Bft.total_latency - start.Bft.total_latency) /. float_of_int delivered);
+  }
+
+let config_cycles net links =
+  let start = (Bft.stats net).Bft.cycles in
+  let pending =
+    List.map
+      (fun l ->
+        {
+          Bft.dst_leaf = l.src_leaf;
+          payload = 0l;
+          kind = Bft.Config { reg = l.src_stream; dst_leaf_value = l.dst_leaf; dst_stream_value = l.dst_stream };
+          age = 0;
+        })
+      links
+  in
+  let rec push = function
+    | [] -> ()
+    | f :: rest ->
+        if Bft.inject net ~leaf:0 f then push rest
+        else begin
+          Bft.step net;
+          push (f :: rest)
+        end
+  in
+  push pending;
+  Bft.run_until_idle net;
+  (Bft.stats net).Bft.cycles - start

@@ -1,0 +1,35 @@
+(** Traffic replay on the linking network: the -O1 performance model's
+    bandwidth component.
+
+    Each logical stream link carries a known token count per frame
+    (measured by the functional KPN run). Every leaf has a single
+    injection port (one 32-bit flit per cycle), so operators that need
+    more bandwidth than one port serialize here — the paper's main
+    source of -O1 slowdown (§7.4). *)
+
+type link = {
+  src_leaf : int;
+  src_stream : int;
+  dst_leaf : int;
+  dst_stream : int;
+  tokens : int;  (** flits to move across this link per frame *)
+}
+
+type result = {
+  cycles : int;  (** to deliver every token *)
+  delivered : int;
+  deflections : int;
+  avg_latency : float;
+}
+
+val configure_links : Bft.t -> link list -> unit
+(** Program every source leaf's routing registers. *)
+
+val replay : ?max_cycles:int -> Bft.t -> link list -> result
+(** Configure, then inject round-robin per leaf until all tokens are
+    delivered. *)
+
+val config_cycles : Bft.t -> link list -> int
+(** Cycles to deliver the configuration packets themselves through the
+    network from the DMA leaf (leaf 0) — the paper's "link a page in a
+    few packets" cost. *)

@@ -1,0 +1,1 @@
+lib/platform/card.ml: Hashtbl List Option Pld_fabric Pld_noc Pld_pnr Pld_riscv Printf String Xclbin

@@ -1,0 +1,1 @@
+lib/platform/card.mli: Pld_fabric Pld_noc Pld_riscv Xclbin

@@ -1,0 +1,1 @@
+lib/platform/dma.ml:

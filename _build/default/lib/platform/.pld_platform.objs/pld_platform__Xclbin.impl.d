@@ -1,0 +1,1 @@
+lib/platform/xclbin.ml: List Pld_pnr Pld_riscv Printf

@@ -1,0 +1,1 @@
+lib/platform/xclbin.mli: Pld_pnr Pld_riscv

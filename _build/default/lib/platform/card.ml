@@ -1,0 +1,98 @@
+type page_state =
+  | Empty
+  | Hw of { operator : string; fmax_mhz : float; crc : string }
+  | Softcore of { elf : Pld_riscv.Elf.packed }
+
+type l1_state =
+  | Unconfigured
+  | Overlay_loaded
+  | Kernel_loaded of { operators : string list; fmax_mhz : float }
+
+type t = {
+  fp : Pld_fabric.Floorplan.t;
+  mutable l1 : l1_state;
+  pages : (int, page_state) Hashtbl.t;
+  mutable net : Pld_noc.Bft.t option;
+}
+
+exception Protocol_error of string
+
+let create () =
+  { fp = Pld_fabric.Floorplan.u50 (); l1 = Unconfigured; pages = Hashtbl.create 32; net = None }
+
+let floorplan t = t.fp
+
+let noc t =
+  match t.net with
+  | Some n -> n
+  | None -> failwith "Card.noc: overlay not loaded"
+
+let l1 t = t.l1
+let page_state t p = Option.value ~default:Empty (Hashtbl.find_opt t.pages p)
+let dma_leaf = 0
+
+(* Pages map to NoC leaves 1..22 in page-id order. *)
+let page_leaf _t page = page
+
+let pcie_bytes_per_sec = 2.0e9
+let config_latency = 0.002
+
+let load_seconds bytes = config_latency +. (float_of_int bytes /. pcie_bytes_per_sec)
+
+let reset t =
+  t.l1 <- Unconfigured;
+  Hashtbl.reset t.pages;
+  t.net <- None
+
+let load t (xb : Xclbin.t) =
+  (match xb.Xclbin.payload with
+  | Xclbin.Overlay { noc_leaves; _ } ->
+      Hashtbl.reset t.pages;
+      t.l1 <- Overlay_loaded;
+      t.net <- Some (Pld_noc.Bft.create ~leaves:noc_leaves ())
+  | Xclbin.Page_bits { page; operator; bitstream; fmax_mhz } -> begin
+      match t.l1 with
+      | Overlay_loaded ->
+          (match Pld_fabric.Floorplan.find_page t.fp page with
+          | _ -> ()
+          | exception Not_found ->
+              raise (Protocol_error (Printf.sprintf "page %d does not exist" page)));
+          Hashtbl.replace t.pages page
+            (Hw { operator; fmax_mhz; crc = bitstream.Pld_pnr.Bitgen.crc })
+      | Unconfigured -> raise (Protocol_error "page load before overlay")
+      | Kernel_loaded _ -> raise (Protocol_error "page load while a monolithic kernel is active")
+    end
+  | Xclbin.Softcore { page; elf } -> begin
+      match t.l1 with
+      | Overlay_loaded -> Hashtbl.replace t.pages page (Softcore { elf })
+      | Unconfigured -> raise (Protocol_error "softcore load before overlay")
+      | Kernel_loaded _ -> raise (Protocol_error "softcore load while a monolithic kernel is active")
+    end
+  | Xclbin.Kernel { operators; fmax_mhz; _ } ->
+      Hashtbl.reset t.pages;
+      t.net <- None;
+      t.l1 <- Kernel_loaded { operators; fmax_mhz });
+  load_seconds xb.Xclbin.size_bytes
+
+let loaded_pages t =
+  Hashtbl.fold (fun p s acc -> (p, s) :: acc) t.pages [] |> List.sort compare
+
+let describe t =
+  let l1 =
+    match t.l1 with
+    | Unconfigured -> "L1: unconfigured"
+    | Overlay_loaded -> "L1: PLD overlay"
+    | Kernel_loaded { operators; fmax_mhz } ->
+        Printf.sprintf "L1: monolithic kernel (%d ops @ %.0f MHz)" (List.length operators) fmax_mhz
+  in
+  let pages =
+    loaded_pages t
+    |> List.map (fun (p, s) ->
+           match s with
+           | Empty -> Printf.sprintf "  page %d: empty" p
+           | Hw { operator; fmax_mhz; _ } -> Printf.sprintf "  page %d: %s @ %.0f MHz" p operator fmax_mhz
+           | Softcore { elf } ->
+               Printf.sprintf "  page %d: softcore running %s" p
+                 elf.Pld_riscv.Elf.program.Pld_riscv.Codegen.op_name)
+  in
+  String.concat "\n" (l1 :: pages)

@@ -1,0 +1,50 @@
+(** The data-center card model (§2.5, Fig. 3): static PCIe shell, a
+    level-1 DFX region, and — once the PLD overlay is loaded — 22
+    level-2 page slots joined by the linking network, with the DMA
+    engine on NoC leaf 0.
+
+    The card enforces the DFX discipline: page loads require the
+    overlay; loading a monolithic kernel evicts it; partial loads touch
+    only their page. Load times follow bitstream size over PCIe. *)
+
+type page_state =
+  | Empty
+  | Hw of { operator : string; fmax_mhz : float; crc : string }
+  | Softcore of { elf : Pld_riscv.Elf.packed }
+
+type l1_state =
+  | Unconfigured
+  | Overlay_loaded
+  | Kernel_loaded of { operators : string list; fmax_mhz : float }
+
+type t
+
+val create : unit -> t
+(** A powered-on card with the vendor shell only. *)
+
+val floorplan : t -> Pld_fabric.Floorplan.t
+val noc : t -> Pld_noc.Bft.t
+(** Live only while the overlay is loaded; raises [Failure] otherwise. *)
+
+val l1 : t -> l1_state
+val page_state : t -> int -> page_state
+
+val dma_leaf : int
+(** NoC leaf index of the DMA engine (0). *)
+
+val page_leaf : t -> int -> int
+(** NoC leaf index serving a page. *)
+
+exception Protocol_error of string
+
+val load : t -> Xclbin.t -> float
+(** Load a container; returns modeled load seconds (PCIe at 2 GB/s
+    plus configuration latency). Raises {!Protocol_error} when the
+    DFX discipline is violated (e.g. a page load without overlay). *)
+
+val reset : t -> unit
+(** Clear the L1 region back to [Unconfigured]. *)
+
+val loaded_pages : t -> (int * page_state) list
+
+val describe : t -> string

@@ -1,0 +1,10 @@
+type t = { gbytes_per_sec : float; setup_us : float; word_bytes : int }
+
+let default = { gbytes_per_sec = 12.0; setup_us = 0.5; word_bytes = 4 }
+
+let transfer_seconds t ~bytes =
+  (t.setup_us *. 1e-6) +. (float_of_int bytes /. (t.gbytes_per_sec *. 1e9))
+
+let frame_seconds t ~words_in ~words_out =
+  transfer_seconds t ~bytes:(words_in * t.word_bytes)
+  +. transfer_seconds t ~bytes:(words_out * t.word_bytes)

@@ -1,0 +1,17 @@
+(** Host↔card DMA engine model (§2.5, Fig. 3): PCIe-attached streaming
+    with per-transfer setup latency and link bandwidth. The engine sits
+    on NoC leaf 0 in the PLD overlay and feeds the kernel's AXI streams
+    directly in the monolithic flows. *)
+
+type t = {
+  gbytes_per_sec : float;
+  setup_us : float;  (** descriptor setup + doorbell per transfer *)
+  word_bytes : int;
+}
+
+val default : t
+(** PCIe Gen3 x16-class: 12 GB/s, 0.5 µs setup, 4-byte stream words. *)
+
+val transfer_seconds : t -> bytes:int -> float
+val frame_seconds : t -> words_in:int -> words_out:int -> float
+(** Input and output transfers of one frame (two descriptors). *)

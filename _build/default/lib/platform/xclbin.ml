@@ -1,0 +1,51 @@
+type payload =
+  | Overlay of { pages : int list; noc_leaves : int }
+  | Page_bits of { page : int; operator : string; bitstream : Pld_pnr.Bitgen.t; fmax_mhz : float }
+  | Softcore of { page : int; elf : Pld_riscv.Elf.packed }
+  | Kernel of { bitstream : Pld_pnr.Bitgen.t; fmax_mhz : float; operators : string list }
+
+type t = { label : string; payload : payload; size_bytes : int }
+
+let overlay ~pages ~noc_leaves =
+  {
+    label = "overlay.xclbin";
+    payload = Overlay { pages; noc_leaves };
+    (* Overlay configures the NoC region plus every page's blank frame. *)
+    size_bytes = (List.length pages * 4096) + (noc_leaves * 2048);
+  }
+
+let page_bits ~page ~operator ~fmax_mhz bitstream =
+  {
+    label = Printf.sprintf "%s.p%d.xclbin" operator page;
+    payload = Page_bits { page; operator; bitstream; fmax_mhz };
+    size_bytes = Pld_pnr.Bitgen.size_bytes bitstream;
+  }
+
+let softcore ~page elf =
+  {
+    label = Printf.sprintf "%s.p%d.elf.xclbin" elf.Pld_riscv.Elf.program.Pld_riscv.Codegen.op_name page;
+    payload = Softcore { page; elf };
+    size_bytes = Pld_riscv.Elf.size_bytes elf;
+  }
+
+let kernel ~fmax_mhz ~operators bitstream =
+  {
+    label = "kernel.xclbin";
+    payload = Kernel { bitstream; fmax_mhz; operators };
+    size_bytes = Pld_pnr.Bitgen.size_bytes bitstream;
+  }
+
+let describe t =
+  match t.payload with
+  | Overlay { pages; noc_leaves } ->
+      Printf.sprintf "%s: L1 overlay, %d pages, %d NoC leaves, %d bytes" t.label (List.length pages)
+        noc_leaves t.size_bytes
+  | Page_bits { page; operator; fmax_mhz; _ } ->
+      Printf.sprintf "%s: L2 partial bitstream for %s on page %d (%.0f MHz), %d bytes" t.label
+        operator page fmax_mhz t.size_bytes
+  | Softcore { page; elf } ->
+      Printf.sprintf "%s: softcore ELF for page %d (%d bytes footprint), %d bytes" t.label page
+        elf.Pld_riscv.Elf.program.Pld_riscv.Codegen.footprint_bytes t.size_bytes
+  | Kernel { fmax_mhz; operators; _ } ->
+      Printf.sprintf "%s: monolithic kernel (%d operators, %.0f MHz), %d bytes" t.label
+        (List.length operators) fmax_mhz t.size_bytes

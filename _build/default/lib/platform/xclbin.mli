@@ -1,0 +1,22 @@
+(** Binary containers, mirroring the artifacts of Figs. 5–7:
+
+    - the L1 [overlay.xclbin] holding the linking network + support
+      infrastructure,
+    - per-page L2 partial bitstreams from the -O1 flow,
+    - softcore-page L2 bitstreams whose payload is an ELF image,
+    - the monolithic [kernel.xclbin] from the -O3 flow. *)
+
+type payload =
+  | Overlay of { pages : int list; noc_leaves : int }
+  | Page_bits of { page : int; operator : string; bitstream : Pld_pnr.Bitgen.t; fmax_mhz : float }
+  | Softcore of { page : int; elf : Pld_riscv.Elf.packed }
+  | Kernel of { bitstream : Pld_pnr.Bitgen.t; fmax_mhz : float; operators : string list }
+
+type t = { label : string; payload : payload; size_bytes : int }
+
+val overlay : pages:int list -> noc_leaves:int -> t
+val page_bits : page:int -> operator:string -> fmax_mhz:float -> Pld_pnr.Bitgen.t -> t
+val softcore : page:int -> Pld_riscv.Elf.packed -> t
+val kernel : fmax_mhz:float -> operators:string list -> Pld_pnr.Bitgen.t -> t
+
+val describe : t -> string

@@ -1,0 +1,1 @@
+lib/pld/assign.ml: Format Graph Hashtbl List Pld_fabric Pld_ir Pld_netlist Printf

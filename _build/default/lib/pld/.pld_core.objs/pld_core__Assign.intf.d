@@ -1,0 +1,1 @@
+lib/pld/assign.mli: Graph Pld_fabric Pld_ir Pld_netlist

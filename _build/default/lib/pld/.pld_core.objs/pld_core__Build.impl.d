@@ -1,0 +1,1 @@
+lib/pld/build.ml: Array Assign Float Flow Graph Hashtbl List Op Option Pld_fabric Pld_hls Pld_ir Pld_netlist Pld_util Validate

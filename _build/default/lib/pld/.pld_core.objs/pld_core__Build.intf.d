@@ -1,0 +1,1 @@
+lib/pld/build.mli: Flow Graph Pld_fabric Pld_ir

@@ -1,0 +1,1 @@
+lib/pld/flow.mli: Graph Op Pld_fabric Pld_hls Pld_ir Pld_netlist Pld_platform Pld_pnr Pld_riscv

@@ -1,0 +1,1 @@
+lib/pld/loader.ml: Build Flow List Option Pld_noc Pld_platform Runner String

@@ -1,0 +1,1 @@
+lib/pld/loader.mli: Build Pld_platform

@@ -1,0 +1,1 @@
+lib/pld/report.ml: Build Flow List Option Pld_hls Pld_ir Pld_netlist Pld_pnr Printf Runner

@@ -1,0 +1,1 @@
+lib/pld/report.mli: Build Runner

@@ -1,0 +1,1 @@
+lib/pld/runner.ml: Build Dtype Flow Graph Hashtbl Int32 Interp List Op Option Pld_fabric Pld_hls Pld_ir Pld_kpn Pld_noc Pld_platform Pld_pnr Pld_riscv Unix Value

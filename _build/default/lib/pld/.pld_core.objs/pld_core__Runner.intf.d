@@ -1,0 +1,1 @@
+lib/pld/runner.mli: Build Graph Pld_ir Pld_kpn Pld_noc Value

@@ -1,0 +1,63 @@
+open Pld_ir
+module N = Pld_netlist.Netlist
+module Fp = Pld_fabric.Floorplan
+
+exception No_fit of string
+
+(* Leaf interface plus the page's linking-network endpoint share:
+   ~500 + ~500 LUTs each at full scale (Sec 4.1), /16 for the fabric
+   model, plus slack for the address registers. *)
+let leaf_interface_res = { N.luts = 60; ffs = 100; brams = 0; dsps = 0 }
+
+let assign (fp : Fp.t) instances =
+  let free = Hashtbl.create 32 in
+  List.iter (fun (p : Fp.page) -> Hashtbl.replace free p.page_id p.capacity) fp.pages;
+  let result = ref [] in
+  let demand res = N.res_add res leaf_interface_res in
+  let take inst page_id cap =
+    Hashtbl.remove free page_id;
+    ignore cap;
+    result := (inst, page_id) :: !result
+  in
+  (* Pass 1: explicit pragma hints. *)
+  let hinted, rest =
+    List.partition (fun (_, target, _) -> match target with Graph.Hw { page_hint = Some _ } -> true | _ -> false) instances
+  in
+  List.iter
+    (fun (inst, target, res) ->
+      match target with
+      | Graph.Hw { page_hint = Some p } -> begin
+          match Hashtbl.find_opt free p with
+          | Some cap when N.res_le (demand res) cap -> take inst p cap
+          | Some _ -> raise (No_fit (Printf.sprintf "%s: pragma p_num=%d but operator does not fit that page" inst p))
+          | None -> raise (No_fit (Printf.sprintf "%s: pragma p_num=%d but page is taken or unknown" inst p))
+        end
+      | Graph.Hw { page_hint = None } | Graph.Riscv -> assert false)
+    hinted;
+  (* Pass 2: best-fit decreasing by LUT demand. Softcore targets take
+     any page (the PicoRV32 fits every type). *)
+  let rest =
+    List.sort (fun (_, _, a) (_, _, b) -> compare (demand b).N.luts (demand a).N.luts) rest
+  in
+  List.iter
+    (fun (inst, target, res) ->
+      let need = demand res in
+      let candidates =
+        Hashtbl.fold (fun p cap acc -> if N.res_le need cap then (p, cap) :: acc else acc) free []
+      in
+      let by_waste =
+        List.sort
+          (fun (_, a) (_, b) -> compare (a.N.luts - need.N.luts, a) (b.N.luts - need.N.luts, b))
+          candidates
+      in
+      match (by_waste, target) with
+      | (p, cap) :: _, _ -> take inst p cap
+      | [], Graph.Riscv ->
+          raise (No_fit (Printf.sprintf "%s: no free page left for softcore" inst))
+      | [], Graph.Hw _ ->
+          raise
+            (No_fit
+               (Printf.sprintf "%s: needs %s but no free page fits — decompose the operator" inst
+                  (Format.asprintf "%a" N.pp_res need))))
+    rest;
+  List.rev !result

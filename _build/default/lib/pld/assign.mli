@@ -1,0 +1,21 @@
+(** Operator→page assignment: PLD's virtualization of the card as
+    pages (§4.2). Explicit [p_num] pragma hints are honoured first;
+    remaining operators go best-fit-decreasing into the smallest page
+    type whose capacity covers their post-synthesis area plus the leaf
+    interface. *)
+
+open Pld_ir
+
+exception No_fit of string
+(** Operator does not fit any free page — the developer must decompose
+    it further (§3.4). *)
+
+val leaf_interface_res : Pld_netlist.Netlist.res
+(** Area charged on every page for the NoC leaf interface (~500 LUTs
+    full-scale; scaled here like the rest of the fabric). *)
+
+val assign :
+  Pld_fabric.Floorplan.t ->
+  (string * Graph.target * Pld_netlist.Netlist.res) list ->
+  (string * int) list
+(** [(instance, required area)] list → [(instance, page_id)]. *)

@@ -1,0 +1,192 @@
+open Pld_ir
+module Fp = Pld_fabric.Floorplan
+module Hls = Pld_hls.Hls_compile
+module Digest = Pld_util.Digest_lite
+
+type level = O0 | O1 | O3 | Vitis
+
+let level_name = function O0 -> "-O0" | O1 -> "-O1" | O3 -> "-O3" | Vitis -> "vitis"
+
+type compiled_operator = Hw_page of Flow.o1_operator | Soft_page of Flow.o0_operator
+
+type report = {
+  level : level;
+  per_op_seconds : (string * float) list;
+  phases : Flow.phase_times;
+  serial_seconds : float;
+  parallel_seconds : float;
+  cache_hits : int;
+  recompiled : int;
+}
+
+type app = {
+  graph : Graph.t;
+  fp : Fp.t;
+  level : level;
+  assignment : (string * int) list;
+  operators : (string * compiled_operator) list;
+  monolithic : Flow.o3_app option;
+  report : report;
+}
+
+type entry = Cached_hw of Flow.o1_operator | Cached_soft of Flow.o0_operator | Cached_mono of Flow.o3_app
+
+type cache = (string, entry) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 64
+let cache_size (c : cache) = Hashtbl.length c
+
+let makespan ~workers durations =
+  if workers < 1 then invalid_arg "Build.makespan: need at least one worker";
+  let loads = Array.make workers 0.0 in
+  let sorted = List.sort (fun a b -> compare b a) durations in
+  List.iter
+    (fun d ->
+      let best = ref 0 in
+      Array.iteri (fun i l -> if l < loads.(!best) then best := i) loads;
+      loads.(!best) <- loads.(!best) +. d)
+    sorted;
+  Array.fold_left Float.max 0.0 loads
+
+let zero_phases = { Flow.hls = 0.0; syn = 0.0; pnr = 0.0; bitgen = 0.0; overhead = 0.0 }
+
+let add_phases a b =
+  {
+    Flow.hls = a.Flow.hls +. b.Flow.hls;
+    syn = a.Flow.syn +. b.Flow.syn;
+    pnr = a.Flow.pnr +. b.Flow.pnr;
+    bitgen = a.Flow.bitgen +. b.Flow.bitgen;
+    overhead = a.Flow.overhead +. b.Flow.overhead;
+  }
+
+let op_key ~level ~seed ~page (i : Graph.instance) =
+  Digest.combine
+    [
+      Digest.of_string (Op.source i.op);
+      Digest.of_string (level_name level);
+      Digest.of_string (string_of_int seed);
+      Digest.of_string (string_of_int page);
+      Digest.of_string
+        (match i.target with
+        | Graph.Riscv -> "riscv"
+        | Graph.Hw { page_hint } -> "hw" ^ Option.fold ~none:"" ~some:string_of_int page_hint);
+    ]
+
+let compile ?cache ?(workers = 22) ?(seed = 7) (fp : Fp.t) (g : Graph.t) ~level =
+  Validate.check_graph_exn g;
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  let hits = ref 0 and misses = ref 0 in
+  match level with
+  | O3 | Vitis -> begin
+      let key =
+        Digest.combine
+          (Digest.of_string (Graph.source g)
+          :: Digest.of_string (level_name level)
+          :: Digest.of_string (string_of_int seed)
+          :: List.map (fun (i : Graph.instance) -> Digest.of_string (Op.source i.op)) g.instances)
+      in
+      let mono, seconds =
+        match Hashtbl.find_opt cache key with
+        | Some (Cached_mono m) ->
+            incr hits;
+            (m, 0.0)
+        | Some (Cached_hw _ | Cached_soft _) | None ->
+            incr misses;
+            let m = Flow.compile_o3 ~seed ~vitis_baseline:(level = Vitis) fp g in
+            Hashtbl.replace cache key (Cached_mono m);
+            (m, Flow.total_seconds m.Flow.times3)
+      in
+      let phases = if seconds = 0.0 then zero_phases else mono.Flow.times3 in
+      {
+        graph = g;
+        fp;
+        level;
+        assignment = [];
+        operators = [];
+        monolithic = Some mono;
+        report =
+          {
+            level;
+            per_op_seconds = [ (g.graph_name, seconds) ];
+            phases;
+            serial_seconds = seconds;
+            parallel_seconds = seconds;
+            cache_hits = !hits;
+            recompiled = !misses;
+          };
+      }
+    end
+  | O0 | O1 -> begin
+      let target_of (i : Graph.instance) =
+        match level with O0 -> Graph.Riscv | _ -> i.target
+      in
+      (* Page assignment needs post-HLS areas for HW operators; HLS is
+         deterministic and cheap, so run it first (its cost is also
+         counted inside the O1 per-operator compile). *)
+      let demands =
+        List.map
+          (fun (i : Graph.instance) ->
+            let res =
+              match target_of i with
+              | Graph.Riscv ->
+                  (* PicoRV32 + memory: a fixed overlay footprint
+                     (before the shared leaf interface is added). *)
+                  { Pld_netlist.Netlist.luts = 900; ffs = 1300; brams = 6; dsps = 1 }
+              | Graph.Hw _ ->
+                  Pld_netlist.Netlist.total_res (Hls.compile i.op).Hls.netlist
+            in
+            (i.inst_name, target_of i, res))
+          g.instances
+      in
+      let assignment = Assign.assign fp demands in
+      let results =
+        List.map
+          (fun (i : Graph.instance) ->
+            let page = List.assoc i.inst_name assignment in
+            let key = op_key ~level ~seed ~page i in
+            match (target_of i, Hashtbl.find_opt cache key) with
+            | Graph.Riscv, Some (Cached_soft s) ->
+                incr hits;
+                (i.inst_name, Soft_page s, 0.0, zero_phases)
+            | Graph.Hw _, Some (Cached_hw h) ->
+                incr hits;
+                (i.inst_name, Hw_page h, 0.0, h.Flow.times)
+            | Graph.Riscv, _ ->
+                incr misses;
+                let s = Flow.compile_o0_operator ~page ~inst:i.inst_name i.op in
+                Hashtbl.replace cache key (Cached_soft s);
+                ( i.inst_name,
+                  Soft_page s,
+                  s.Flow.riscv_seconds,
+                  { zero_phases with Flow.hls = s.Flow.riscv_seconds } )
+            | Graph.Hw _, _ ->
+                incr misses;
+                let h = Flow.compile_o1_operator ~seed fp ~page ~inst:i.inst_name i.op in
+                Hashtbl.replace cache key (Cached_hw h);
+                (i.inst_name, Hw_page h, Flow.total_seconds h.Flow.times, h.Flow.times))
+          g.instances
+      in
+      let per_op_seconds = List.map (fun (n, _, s, _) -> (n, s)) results in
+      let recompiled_phase =
+        List.fold_left (fun acc (_, _, s, ph) -> if s > 0.0 then add_phases acc ph else acc) zero_phases results
+      in
+      let durations = List.map (fun (_, s) -> s) per_op_seconds in
+      {
+        graph = g;
+        fp;
+        level;
+        assignment;
+        operators = List.map (fun (n, c, _, _) -> (n, c)) results;
+        monolithic = None;
+        report =
+          {
+            level;
+            per_op_seconds;
+            phases = recompiled_phase;
+            serial_seconds = List.fold_left ( +. ) 0.0 durations;
+            parallel_seconds = makespan ~workers durations;
+            cache_hits = !hits;
+            recompiled = !misses;
+          };
+      }
+    end

@@ -1,0 +1,49 @@
+(** Application-level builds: drives the per-operator flows with an
+    incremental cache (only changed operators recompile — the Makefile
+    discipline of §6) and a cluster model for parallel page compiles
+    (§7.1's Slurm setup). *)
+
+open Pld_ir
+
+type level = O0 | O1 | O3 | Vitis
+
+val level_name : level -> string
+
+type compiled_operator =
+  | Hw_page of Flow.o1_operator
+  | Soft_page of Flow.o0_operator
+
+type report = {
+  level : level;
+  per_op_seconds : (string * float) list;  (** 0 for cache hits *)
+  phases : Flow.phase_times;  (** aggregate across recompiled operators *)
+  serial_seconds : float;
+  parallel_seconds : float;  (** cluster makespan over [workers] *)
+  cache_hits : int;
+  recompiled : int;
+}
+
+type app = {
+  graph : Graph.t;
+  fp : Pld_fabric.Floorplan.t;
+  level : level;
+  assignment : (string * int) list;  (** instance → page (O0/O1 only) *)
+  operators : (string * compiled_operator) list;
+  monolithic : Flow.o3_app option;  (** O3 / Vitis only *)
+  report : report;
+}
+
+type cache
+
+val create_cache : unit -> cache
+val cache_size : cache -> int
+
+val compile :
+  ?cache:cache -> ?workers:int -> ?seed:int -> Pld_fabric.Floorplan.t -> Graph.t -> level:level -> app
+(** [level = O1] follows each instance's pragma (HW → page P&R,
+    RISCV → softcore); [O0] forces every instance onto a softcore;
+    [O3]/[Vitis] compile monolithically. [workers] (default 22) sizes
+    the compile cluster for [parallel_seconds]. *)
+
+val makespan : workers:int -> float list -> float
+(** Longest-processing-time list scheduling — the cluster model. *)

@@ -1,0 +1,62 @@
+(** The three compile flows of §6: -O0 (softcore, Fig. 5), -O1
+    (separate per-page place & route, Fig. 6), -O3 (monolithic,
+    Fig. 7), plus the undecomposed Vitis baseline.
+
+    Phase seconds combine the measured wall-clock of our own algorithms
+    with fixed per-invocation overheads modelling backend-tool startup
+    and context loading (the cost the abstract shell shrinks but never
+    removes); the two components are kept separate in {!phase_times}. *)
+
+open Pld_ir
+
+type phase_times = {
+  hls : float;
+  syn : float;
+  pnr : float;
+  bitgen : float;
+  overhead : float;  (** modeled tool fixed costs, documented in DESIGN.md *)
+}
+
+val total_seconds : phase_times -> float
+
+type o1_operator = {
+  inst : string;
+  op : Op.t;
+  page : int;
+  impl : Pld_hls.Hls_compile.impl;
+  pnr : Pld_pnr.Pnr.result;
+  xclbin : Pld_platform.Xclbin.t;
+  times : phase_times;
+}
+
+type o0_operator = {
+  inst0 : string;
+  op0 : Op.t;
+  page0 : int;
+  program : Pld_riscv.Codegen.program;
+  elf : Pld_riscv.Elf.packed;
+  xclbin0 : Pld_platform.Xclbin.t;
+  riscv_seconds : float;
+}
+
+type o3_app = {
+  graph : Graph.t;
+  impls : (string * Pld_hls.Hls_compile.impl) list;
+  merged : Pld_netlist.Netlist.t;
+  pnr3 : Pld_pnr.Pnr.result;
+  xclbin3 : Pld_platform.Xclbin.t;
+  times3 : phase_times;
+}
+
+val overlay_xclbin : Pld_fabric.Floorplan.t -> Pld_platform.Xclbin.t
+
+val compile_o1_operator :
+  ?seed:int -> Pld_fabric.Floorplan.t -> page:int -> inst:string -> Op.t -> o1_operator
+(** HLS → operator packer (leaf interface) → page-scoped P&R with the
+    abstract shell → partial xclbin. *)
+
+val compile_o0_operator : page:int -> inst:string -> Op.t -> o0_operator
+
+val compile_o3 : ?seed:int -> ?vitis_baseline:bool -> Pld_fabric.Floorplan.t -> Graph.t -> o3_app
+(** [vitis_baseline] compiles the undecomposed design (direct wires
+    instead of inter-operator FIFOs), the paper's "Vitis flow" column. *)

@@ -1,0 +1,40 @@
+module Card = Pld_platform.Card
+module Xclbin = Pld_platform.Xclbin
+
+let deploy card (app : Build.app) =
+  match app.Build.level with
+  | Build.O3 | Build.Vitis ->
+      let mono = Option.get app.Build.monolithic in
+      Card.load card mono.Flow.xclbin3
+  | Build.O0 | Build.O1 ->
+      let t = ref (Card.load card (Flow.overlay_xclbin app.Build.fp)) in
+      List.iter
+        (fun (_, compiled) ->
+          let xb =
+            match compiled with
+            | Build.Hw_page h -> h.Flow.xclbin
+            | Build.Soft_page s -> s.Flow.xclbin0
+          in
+          t := !t +. Card.load card xb)
+        app.Build.operators;
+      (* Link: program every source leaf's routing registers with
+         config packets through the network. *)
+      let links = Runner.noc_links app [] in
+      let net = Card.noc card in
+      let cycles = Pld_noc.Traffic.config_cycles net links in
+      Pld_noc.Traffic.configure_links net links;
+      t := !t +. (float_of_int cycles /. 200.0e6);
+      !t
+
+let describe_artifacts (app : Build.app) =
+  match app.Build.level with
+  | Build.O3 | Build.Vitis ->
+      Xclbin.describe (Option.get app.Build.monolithic).Flow.xclbin3
+  | Build.O0 | Build.O1 ->
+      String.concat "\n"
+        (Xclbin.describe (Flow.overlay_xclbin app.Build.fp)
+        :: List.map
+             (fun (_, c) ->
+               Xclbin.describe
+                 (match c with Build.Hw_page h -> h.Flow.xclbin | Build.Soft_page s -> s.Flow.xclbin0))
+             app.Build.operators)

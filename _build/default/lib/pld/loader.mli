@@ -1,0 +1,11 @@
+(** The loading half of "pld": push compiled containers onto the card
+    in DFX order (overlay first, then L2 pages) and link the dataflow
+    graph by sending routing-register configuration packets through
+    the network. *)
+
+val deploy : Pld_platform.Card.t -> Build.app -> float
+(** Returns modeled load+link seconds. Raises
+    [Pld_platform.Card.Protocol_error] on DFX violations. *)
+
+val describe_artifacts : Build.app -> string
+(** One line per xclbin/ELF the deploy would load. *)

@@ -1,0 +1,69 @@
+module N = Pld_netlist.Netlist
+module Hls = Pld_hls.Hls_compile
+
+let fsec v = Printf.sprintf "%.2f" v
+
+let compile_row (app : Build.app) =
+  let r = app.Build.report in
+  let p = r.Build.phases in
+  let total =
+    match app.Build.level with
+    | Build.O0 | Build.O1 -> r.Build.parallel_seconds
+    | Build.O3 | Build.Vitis -> r.Build.serial_seconds
+  in
+  [
+    Build.level_name app.Build.level;
+    fsec p.Flow.hls;
+    fsec p.Flow.syn;
+    fsec p.Flow.pnr;
+    fsec p.Flow.bitgen;
+    fsec total;
+  ]
+
+let compile_summary (app : Build.app) =
+  let r = app.Build.report in
+  Printf.sprintf
+    "%s %s: %d compiled, %d cache hits; serial %.2fs, cluster wall %.2fs (phases: hls %.2f syn %.2f p&r %.2f bit %.2f overhead %.2f)"
+    app.Build.graph.Pld_ir.Graph.graph_name (Build.level_name r.Build.level) r.Build.recompiled
+    r.Build.cache_hits r.Build.serial_seconds r.Build.parallel_seconds r.Build.phases.Flow.hls
+    r.Build.phases.Flow.syn r.Build.phases.Flow.pnr r.Build.phases.Flow.bitgen
+    r.Build.phases.Flow.overhead
+
+(* Softcore page area: the one-size-fits-all PicoRV32 + unified memory
+   configuration (Sec 7.5 notes -O0 pages reserve worst-case memory). *)
+let softcore_res = { N.luts = 900; ffs = 1300; brams = 6; dsps = 1 }
+
+let area_of (app : Build.app) =
+  match app.Build.level with
+  | Build.O3 | Build.Vitis ->
+      let mono = Option.get app.Build.monolithic in
+      (N.total_res mono.Flow.merged, 0)
+  | Build.O0 | Build.O1 ->
+      let res =
+        List.fold_left
+          (fun acc (_, c) ->
+            match c with
+            | Build.Hw_page h -> N.res_add acc (N.total_res h.Flow.pnr.Pld_pnr.Pnr.netlist)
+            | Build.Soft_page _ -> N.res_add acc softcore_res)
+          N.res_zero app.Build.operators
+      in
+      (res, List.length app.Build.operators)
+
+let area_row app =
+  let res, pages = area_of app in
+  [
+    Build.level_name app.Build.level;
+    string_of_int res.N.luts;
+    string_of_int res.N.brams;
+    string_of_int res.N.dsps;
+    (if pages = 0 then "-" else string_of_int pages);
+  ]
+
+let perf_row (r : Runner.result) =
+  let ms = r.Runner.perf.Runner.ms_per_input in
+  [
+    Printf.sprintf "%.0fMHz" r.Runner.perf.Runner.fmax_mhz;
+    (if ms >= 1000.0 then Printf.sprintf "%.0f s" (ms /. 1000.0)
+     else if ms >= 1.0 then Printf.sprintf "%.1f ms" ms
+     else Printf.sprintf "%.0f us" (ms *. 1000.0));
+  ]

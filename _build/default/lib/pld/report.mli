@@ -1,0 +1,16 @@
+(** Human-readable compile/run reporting in the shape of the paper's
+    tables. *)
+
+val compile_row : Build.app -> string list
+(** [benchmark; hls; syn; p&r; bitgen; total] seconds — one Tab. 2
+    cell group. For -O1 the total is the parallel (cluster) wall time
+    of the slowest operator; phases are summed over recompiled
+    operators. *)
+
+val compile_summary : Build.app -> string
+
+val area_row : Build.app -> string list
+(** [LUT; BRAM18; DSP; pages] — one Tab. 4 cell group. *)
+
+val perf_row : Runner.result -> string list
+(** [Fmax; ms/input] — one Tab. 3 cell group. *)

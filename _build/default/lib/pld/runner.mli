@@ -1,0 +1,47 @@
+(** Execution engines and the performance models behind Tab. 3 and
+    Figs. 10–11.
+
+    All flows share the same functional semantics (the KPN reference);
+    what differs is the timing model:
+
+    - -O3 / Vitis: each operator runs at the post-P&R Fmax with its HLS
+      schedule; the frame time is the pipeline bottleneck's cycles.
+    - -O1: compute runs at the 200 MHz overlay clock and every stream
+      crosses the linking network — the frame time is the max of the
+      compute bottleneck and the replayed NoC drain time.
+    - -O0: softcore pages execute their real RV32 binaries cycle by
+      cycle (co-simulated inside the KPN); hardware pages keep the -O1
+      model. The frame time is the slowest stage. *)
+
+open Pld_ir
+
+type perf = {
+  fmax_mhz : float;
+  frame_cycles : int;
+  ms_per_input : float;
+  bottleneck : string;
+  link_seconds : float;  (** NoC configuration (linking) time, -O0/-O1 *)
+}
+
+type result = {
+  outputs : (string * Value.t list) list;
+  perf : perf;
+  printed : (string * string) list;
+  softcore_cycles : (string * int) list;  (** per softcore instance *)
+}
+
+val noc_links : Build.app -> Pld_kpn.Network.channel_stats list -> Pld_noc.Traffic.link list
+(** One logical NoC link per graph channel (leaf = page id, DMA on
+    leaf 0); token counts come from a functional run's channel stats
+    (0 when absent). Used by the loader and the perf model. *)
+
+val run : ?fuel:int -> Build.app -> inputs:(string * Value.t list) list -> result
+(** Raises on validation failures or KPN deadlock. *)
+
+val run_host : Graph.t -> inputs:(string * Value.t list) list -> (string * Value.t list) list * float
+(** The "X86 g++" column: execute the application natively on the host
+    (the reference interpreter) and measure wall-clock seconds. *)
+
+val emulation_slowdown : float
+(** Modeled Vitis hardware-emulation slowdown over native host
+    execution (documented constant). *)

@@ -1,0 +1,1 @@
+lib/pnr/bitgen.ml: Array Bytes Char Floorplan Hashtbl List Pld_fabric Pld_netlist Pld_util Route Unix

@@ -1,0 +1,1 @@
+lib/pnr/bitgen.mli: Floorplan Pld_fabric Pld_netlist Route

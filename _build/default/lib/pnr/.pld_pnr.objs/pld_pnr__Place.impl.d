@@ -1,0 +1,1 @@
+lib/pnr/place.ml: Array Device Float Floorplan Format List Pld_fabric Pld_netlist Pld_util Printf Unix

@@ -1,0 +1,1 @@
+lib/pnr/place.mli: Device Floorplan Pld_fabric Pld_netlist

@@ -1,0 +1,1 @@
+lib/pnr/pnr.ml: Array Bitgen Floorplan Place Pld_fabric Pld_netlist Printf Route Sta Unix

@@ -1,0 +1,1 @@
+lib/pnr/pnr.mli: Bitgen Device Floorplan Place Pld_fabric Pld_netlist Route Sta

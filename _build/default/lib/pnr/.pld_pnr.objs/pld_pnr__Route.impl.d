@@ -1,0 +1,1 @@
+lib/pnr/route.ml: Array Hashtbl List Pld_fabric Pld_netlist Pld_util Rrg Unix

@@ -1,0 +1,1 @@
+lib/pnr/route.mli: Device Floorplan Pld_fabric Pld_netlist Rrg

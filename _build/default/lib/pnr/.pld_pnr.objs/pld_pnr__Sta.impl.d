@@ -1,0 +1,1 @@
+lib/pnr/sta.ml: Array Float List Pld_netlist Queue

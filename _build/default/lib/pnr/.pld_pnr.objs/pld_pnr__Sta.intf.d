@@ -1,0 +1,1 @@
+lib/pnr/sta.mli: Pld_netlist

@@ -1,0 +1,258 @@
+open Pld_fabric
+module N = Pld_netlist.Netlist
+module Rng = Pld_util.Rng
+
+type result = {
+  positions : (int * int) array;
+  wirelength : int;
+  overfill : float;
+  moves_evaluated : int;
+  seconds : float;
+}
+
+let fits_region device region nl =
+  N.res_le (N.total_res nl) (Floorplan.rect_capacity device region)
+
+(* Overfill weights: hard blocks (BRAM/DSP) are scarce, so violations
+   there cost far more than LUT spill. *)
+let w_lut = 1.0
+let w_ff = 0.4
+let w_bram = 60.0
+let w_dsp = 60.0
+
+let run ?(seed = 1) ?(effort = 1.0) ?(pins = []) ~device ~region (nl : N.t) =
+  let t_start = Unix.gettimeofday () in
+  if not (fits_region device region nl) then
+    invalid_arg
+      (Printf.sprintf "Place.run: %s does not fit region (%s needed)" nl.N.nl_name
+         (Format.asprintf "%a" N.pp_res (N.total_res nl)));
+  let rng = Rng.create seed in
+  let w = region.Floorplan.x1 - region.Floorplan.x0 + 1 in
+  let h = region.Floorplan.y1 - region.Floorplan.y0 + 1 in
+  let ntiles = w * h in
+  let tile_xy i = (region.Floorplan.x0 + (i mod w), region.Floorplan.y0 + (i / w)) in
+  let cap = Array.init ntiles (fun i ->
+      let x, y = tile_xy i in
+      Device.tile_capacity (Device.kind_at device x y))
+  in
+  let ncells = Array.length nl.N.cells in
+  let pos = Array.make ncells 0 in
+  (* Occupancy per tile, by resource. *)
+  let occ_l = Array.make ntiles 0 and occ_f = Array.make ntiles 0 in
+  let occ_b = Array.make ntiles 0 and occ_d = Array.make ntiles 0 in
+  let tile_over i =
+    let c = cap.(i) in
+    (w_lut *. float_of_int (max 0 (occ_l.(i) - c.N.luts)))
+    +. (w_ff *. float_of_int (max 0 (occ_f.(i) - c.N.ffs)))
+    +. (w_bram *. float_of_int (max 0 (occ_b.(i) - c.N.brams)))
+    +. (w_dsp *. float_of_int (max 0 (occ_d.(i) - c.N.dsps)))
+  in
+  let add_cell i cell_res sign =
+    occ_l.(i) <- occ_l.(i) + (sign * cell_res.N.luts);
+    occ_f.(i) <- occ_f.(i) + (sign * cell_res.N.ffs);
+    occ_b.(i) <- occ_b.(i) + (sign * cell_res.N.brams);
+    occ_d.(i) <- occ_d.(i) + (sign * cell_res.N.dsps)
+  in
+  (* Fixed pins: stream-port cells pinned to given tiles. *)
+  let fixed = Array.make ncells false in
+  let pin_tile name =
+    match List.assoc_opt name pins with
+    | Some (x, y) ->
+        if
+          x < region.Floorplan.x0 || x > region.Floorplan.x1 || y < region.Floorplan.y0
+          || y > region.Floorplan.y1
+        then invalid_arg (Printf.sprintf "Place.run: pin %s at (%d,%d) outside region" name x y);
+        Some (((y - region.Floorplan.y0) * w) + (x - region.Floorplan.x0))
+    | None -> None
+  in
+  (* Initial placement: pins fixed, everything else scattered near good
+     tiles for its resource class. *)
+  Array.iteri
+    (fun cid (c : N.cell) ->
+      let tile =
+        let pinned =
+          match c.kind with
+          | N.Stream_in p | N.Stream_out p -> pin_tile p
+          | _ -> None
+        in
+        match pinned with
+        | Some t ->
+            fixed.(cid) <- true;
+            t
+        | None ->
+            (* Bias hard blocks toward tiles that can host them. *)
+            let want_bram = c.res.N.brams > 0 and want_dsp = c.res.N.dsps > 0 in
+            let candidates = ref [] in
+            for i = 0 to ntiles - 1 do
+              if (want_bram && cap.(i).N.brams > 0) || (want_dsp && cap.(i).N.dsps > 0) then
+                candidates := i :: !candidates
+            done;
+            begin
+              match !candidates with
+              | [] -> Rng.int rng ntiles
+              | l -> List.nth l (Rng.int rng (List.length l))
+            end
+      in
+      pos.(cid) <- tile;
+      add_cell tile c.res 1)
+    nl.N.cells;
+  (* Net bounding boxes. *)
+  let nets = Array.map (fun (n : N.net) -> Array.of_list (n.driver :: n.sinks)) nl.N.nets in
+  let cell_nets = Array.make ncells [] in
+  Array.iteri (fun ni members -> Array.iter (fun c -> cell_nets.(c) <- ni :: cell_nets.(c)) members) nets;
+  let hpwl ni =
+    let members = nets.(ni) in
+    let x0 = ref max_int and x1 = ref min_int and y0 = ref max_int and y1 = ref min_int in
+    Array.iter
+      (fun c ->
+        let x, y = tile_xy pos.(c) in
+        if x < !x0 then x0 := x;
+        if x > !x1 then x1 := x;
+        if y < !y0 then y0 := y;
+        if y > !y1 then y1 := y)
+      members;
+    !x1 - !x0 + (!y1 - !y0)
+  in
+  let total_wl () =
+    let acc = ref 0 in
+    Array.iteri (fun ni _ -> acc := !acc + hpwl ni) nets;
+    !acc
+  in
+  let total_over () =
+    let acc = ref 0.0 in
+    for i = 0 to ntiles - 1 do
+      acc := !acc +. tile_over i
+    done;
+    !acc
+  in
+  let cong_weight = ref 1.0 in
+  let wl = ref (float_of_int (total_wl ())) in
+  let over = ref (total_over ()) in
+  let moves = ref 0 in
+  let movable = Array.to_list (Array.mapi (fun i f -> (i, f)) fixed)
+                |> List.filter (fun (_, f) -> not f) |> List.map fst |> Array.of_list in
+  let nmov = Array.length movable in
+  let attempt_move temp range =
+    if nmov = 0 then ()
+    else begin
+      incr moves;
+      let cid = movable.(Rng.int rng nmov) in
+      let cur = pos.(cid) in
+      let cx, cy = tile_xy cur in
+      (* Range-limited target tile. *)
+      let nx = max region.Floorplan.x0 (min region.Floorplan.x1 (cx + Rng.int_in rng (-range) range)) in
+      let ny = max region.Floorplan.y0 (min region.Floorplan.y1 (cy + Rng.int_in rng (-range) range)) in
+      let tgt = ((ny - region.Floorplan.y0) * w) + (nx - region.Floorplan.x0) in
+      if tgt <> cur then begin
+        let res = nl.N.cells.(cid).res in
+        (* Delta of overfill on the two affected tiles. *)
+        let before = tile_over cur +. tile_over tgt in
+        add_cell cur res (-1);
+        add_cell tgt res 1;
+        let after = tile_over cur +. tile_over tgt in
+        (* Delta of wirelength on affected nets. *)
+        let nets_touched = cell_nets.(cid) in
+        let wl_before = List.fold_left (fun acc ni -> acc + hpwl ni) 0 nets_touched in
+        pos.(cid) <- tgt;
+        let wl_after = List.fold_left (fun acc ni -> acc + hpwl ni) 0 nets_touched in
+        let delta =
+          float_of_int (wl_after - wl_before) +. (!cong_weight *. (after -. before))
+        in
+        let accept = delta < 0.0 || Rng.float rng 1.0 < exp (-.delta /. temp) in
+        if accept then begin
+          wl := !wl +. float_of_int (wl_after - wl_before);
+          over := !over +. (after -. before)
+        end
+        else begin
+          (* Revert. *)
+          add_cell tgt res (-1);
+          add_cell cur res 1;
+          pos.(cid) <- cur
+        end
+      end
+    end
+  in
+  (* Initial temperature from the cost scale. *)
+  let temp = ref (max 1.0 (!wl /. float_of_int (max 1 ncells)) *. 20.0) in
+  let range = ref (max w h) in
+  let moves_per_temp =
+    max 32 (int_of_float (effort *. 8.0 *. (float_of_int ncells ** 1.33)))
+  in
+  let temps = ref 0 in
+  while !temp > 0.01 && !temps < 90 do
+    for _ = 1 to moves_per_temp do
+      attempt_move !temp !range
+    done;
+    temp := !temp *. 0.88;
+    cong_weight := Float.min 4096.0 (!cong_weight *. 1.25);
+    range := max 1 (!range * 9 / 10);
+    incr temps
+  done;
+  (* Greedy zero-temperature cleanup. *)
+  for _ = 1 to moves_per_temp do
+    attempt_move 0.0001 2
+  done;
+  (* Deterministic legalization: evict cells from overfilled tiles to
+     the nearest tile with residual capacity, wirelength-blind. *)
+  let residual_fits i (r : N.res) =
+    let c = cap.(i) in
+    occ_l.(i) + r.N.luts <= c.N.luts
+    && occ_f.(i) + r.N.ffs <= c.N.ffs
+    && occ_b.(i) + r.N.brams <= c.N.brams
+    && occ_d.(i) + r.N.dsps <= c.N.dsps
+  in
+  let cells_at = Array.make ntiles [] in
+  Array.iteri (fun cid t -> cells_at.(t) <- cid :: cells_at.(t)) pos;
+  let passes = ref 0 in
+  while total_over () > 0.0 && !passes < 6 do
+    incr passes;
+    for t = 0 to ntiles - 1 do
+      let rec fix () =
+        if tile_over t > 0.0 then begin
+          (* Move the largest movable cell off this tile. *)
+          let movable_here =
+            List.filter (fun c -> not fixed.(c)) cells_at.(t)
+            |> List.sort (fun a b ->
+                   compare (nl.N.cells.(b).res.N.luts + nl.N.cells.(b).res.N.ffs)
+                     (nl.N.cells.(a).res.N.luts + nl.N.cells.(a).res.N.ffs))
+          in
+          match movable_here with
+          | [] -> ()
+          | cid :: _ ->
+              let res = nl.N.cells.(cid).res in
+              add_cell t res (-1);
+              let tx, ty = tile_xy t in
+              let best = ref (-1) and best_d = ref max_int in
+              for u = 0 to ntiles - 1 do
+                if u <> t && residual_fits u res then begin
+                  let ux, uy = tile_xy u in
+                  let d = abs (ux - tx) + abs (uy - ty) in
+                  if d < !best_d then begin
+                    best_d := d;
+                    best := u
+                  end
+                end
+              done;
+              if !best >= 0 then begin
+                add_cell !best res 1;
+                pos.(cid) <- !best;
+                cells_at.(t) <- List.filter (( <> ) cid) cells_at.(t);
+                cells_at.(!best) <- cid :: cells_at.(!best);
+                fix ()
+              end
+              else add_cell t res 1 (* nowhere to go; leave the overfill *)
+        end
+      in
+      fix ()
+    done
+  done;
+  wl := float_of_int (total_wl ());
+  over := total_over ();
+  let positions = Array.map tile_xy pos in
+  {
+    positions;
+    wirelength = total_wl ();
+    overfill = total_over ();
+    moves_evaluated = !moves;
+    seconds = Unix.gettimeofday () -. t_start;
+  }

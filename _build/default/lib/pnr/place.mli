@@ -1,0 +1,34 @@
+(** Simulated-annealing placer (VPR-style).
+
+    Cells are placed at tiles of the target region; tile capacities are
+    enforced through an overfill penalty whose weight ramps as the
+    temperature drops, so final placements are (near-)legal. Runtime
+    grows super-linearly with cell count — the mechanism behind the
+    paper's monolithic-vs-page compile-time gap. *)
+
+open Pld_fabric
+module N := Pld_netlist.Netlist
+
+type result = {
+  positions : (int * int) array;  (** cell id → tile (x, y) *)
+  wirelength : int;  (** total half-perimeter wirelength *)
+  overfill : float;  (** residual capacity violation (0 = legal) *)
+  moves_evaluated : int;
+  seconds : float;
+}
+
+val fits_region : Device.t -> Floorplan.rect -> N.t -> bool
+(** Aggregate capacity check: does the netlist fit the region at all? *)
+
+val run :
+  ?seed:int ->
+  ?effort:float ->
+  ?pins:(string * (int * int)) list ->
+  device:Device.t ->
+  region:Floorplan.rect ->
+  N.t ->
+  result
+(** [pins] fixes named cells (stream ports) at given tiles — the page
+    leaf-interface location, or the shell/DMA edge for monolithic
+    compiles. [effort] scales moves per temperature (default 1.0).
+    Raises [Invalid_argument] if the netlist exceeds region capacity. *)

@@ -1,0 +1,49 @@
+open Pld_fabric
+module N = Pld_netlist.Netlist
+
+type result = {
+  netlist : N.t;
+  region : Floorplan.rect;
+  placement : (int * int) array;
+  place : Place.result;
+  route : Route.result;
+  timing : Sta.result;
+  bitstream : Bitgen.t;
+  seconds : float;
+}
+
+let implement ?(seed = 1) ?(effort = 1.0) ?(clock_target_mhz = 300.0) ?(pins = []) ~device ~region nl =
+  let t0 = Unix.gettimeofday () in
+  let place = Place.run ~seed ~effort ~pins ~device ~region nl in
+  let route = Route.run ~seed ~device ~region ~placement:place.Place.positions nl in
+  let timing = Sta.analyze ~clock_target_mhz nl ~net_delay_ns:route.Route.net_delay_ns in
+  let bitstream =
+    Bitgen.generate ~region ~placement:place.Place.positions
+      ~routes:(Array.to_list route.Route.routes) nl
+  in
+  {
+    netlist = nl;
+    region;
+    placement = place.Place.positions;
+    place;
+    route;
+    timing;
+    bitstream;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let routed_ok r = r.place.Place.overfill = 0.0 && r.route.Route.overused_edges = 0
+
+let report r =
+  Printf.sprintf
+    "== P&R report: %s ==\n\
+     region: (%d,%d)-(%d,%d)\n\
+     wirelength: %d  overfill: %.1f  route overuse: %d (after %d iterations)\n\
+     critical path: %.2f ns -> Fmax %.0f MHz\n\
+     bitstream: %d bytes (crc %s)\n\
+     time: place %.2fs route %.2fs bit %.2fs (total %.2fs)"
+    r.netlist.N.nl_name r.region.Floorplan.x0 r.region.Floorplan.y0 r.region.Floorplan.x1
+    r.region.Floorplan.y1 r.place.Place.wirelength r.place.Place.overfill
+    r.route.Route.overused_edges r.route.Route.iterations r.timing.Sta.critical_path_ns
+    r.timing.Sta.fmax_mhz (Bitgen.size_bytes r.bitstream) r.bitstream.Bitgen.crc
+    r.place.Place.seconds r.route.Route.seconds r.bitstream.Bitgen.seconds r.seconds

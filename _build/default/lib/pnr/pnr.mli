@@ -1,0 +1,37 @@
+(** The implementation backend: place, route, time, and generate a
+    bitstream for a netlist targeting a device region.
+
+    Two scopes mirror the paper's flows: a page rectangle with the
+    abstract shell (the -O1 xclbin generator) or the whole L1 region
+    (the -O3 / Vitis monolithic compile). *)
+
+open Pld_fabric
+module N := Pld_netlist.Netlist
+
+type result = {
+  netlist : N.t;
+  region : Floorplan.rect;
+  placement : (int * int) array;
+  place : Place.result;
+  route : Route.result;
+  timing : Sta.result;
+  bitstream : Bitgen.t;
+  seconds : float;  (** total wall-clock (place+route+sta+bitgen) *)
+}
+
+val implement :
+  ?seed:int ->
+  ?effort:float ->
+  ?clock_target_mhz:float ->
+  ?pins:(string * (int * int)) list ->
+  device:Device.t ->
+  region:Floorplan.rect ->
+  N.t ->
+  result
+(** Raises [Invalid_argument] when the netlist cannot fit the region
+    (the caller decides whether to pick a bigger page). *)
+
+val routed_ok : result -> bool
+(** Placement legal (no overfill) and routing has no overused wires. *)
+
+val report : result -> string

@@ -1,0 +1,27 @@
+(** PathFinder negotiated-congestion router over the fabric's routing
+    resource graph. *)
+
+open Pld_fabric
+module N := Pld_netlist.Netlist
+
+type route = { net_id : int; edges : int list (** edge indices into the RRG *) }
+
+type result = {
+  rrg : Rrg.t;
+  routes : route array;
+  iterations : int;
+  overused_edges : int;  (** 0 = fully legal routing *)
+  total_wire : int;
+  seconds : float;
+  net_delay_ns : float array;  (** per net, driver→farthest sink *)
+}
+
+val run :
+  ?seed:int ->
+  ?max_iterations:int ->
+  device:Device.t ->
+  region:Floorplan.rect ->
+  placement:(int * int) array ->
+  N.t ->
+  result
+(** Routes every multi-tile net; same-tile nets cost zero wire. *)

@@ -1,0 +1,77 @@
+module N = Pld_netlist.Netlist
+
+type result = { critical_path_ns : float; fmax_mhz : float; critical_cells : string list }
+
+(* The scheduled datapath is fully registered at the 300 MHz target
+   (the HLS scheduler breaks chains every few levels and every macro
+   carries an output register), so every cell is a pipeline stage and
+   the critical path is one macro plus its incoming route. *)
+let is_sequential = function
+  | N.Reg | N.Mem | N.Control | N.Stream_in _ | N.Stream_out _ | N.Mul | N.Div | N.Arith | N.Logic
+    -> true
+
+(* Sequential cells are split into a launch vertex (their cell id, only
+   out-edges) and a capture vertex (ncells + id, only in-edges), which
+   makes the timing graph a DAG even when registers sit in feedback
+   loops. Combinational cells keep one vertex; the synthesis
+   construction guarantees the combinational subgraph is acyclic. *)
+let analyze ?(clock_target_mhz = 300.0) (nl : N.t) ~net_delay_ns =
+  let ncells = Array.length nl.N.cells in
+  let nverts = 2 * ncells in
+  let seq c = is_sequential nl.N.cells.(c).N.kind in
+  let sink_vertex c = if seq c then ncells + c else c in
+  let succs = Array.make nverts [] in
+  let indeg = Array.make nverts 0 in
+  Array.iter
+    (fun (n : N.net) ->
+      let src = n.N.driver in
+      List.iter
+        (fun s ->
+          let sv = sink_vertex s in
+          succs.(src) <- (sv, net_delay_ns.(n.N.nid)) :: succs.(src);
+          indeg.(sv) <- indeg.(sv) + 1)
+        n.N.sinks)
+    nl.N.nets;
+  let arrival = Array.make nverts 0.0 in
+  let pred = Array.make nverts (-1) in
+  let queue = Queue.create () in
+  for v = 0 to nverts - 1 do
+    if indeg.(v) = 0 then Queue.push v queue
+  done;
+  let worst = ref 0.0 and worst_vertex = ref (-1) in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if v < ncells then begin
+      let cell = nl.N.cells.(v) in
+      (* Launch vertices restart the path at clk->q; combinational
+         vertices add their logic delay to the worst input arrival. *)
+      let out = (if seq v then 0.0 else arrival.(v)) +. cell.N.delay_ns in
+      List.iter
+        (fun (sv, wire) ->
+          let at_sink = out +. wire in
+          if at_sink > arrival.(sv) then begin
+            arrival.(sv) <- at_sink;
+            pred.(sv) <- v
+          end;
+          if at_sink > !worst then begin
+            worst := at_sink;
+            worst_vertex := sv
+          end;
+          indeg.(sv) <- indeg.(sv) - 1;
+          if indeg.(sv) = 0 then Queue.push sv queue)
+        succs.(v)
+    end
+  done;
+  let critical_path_ns = Float.max 0.5 !worst in
+  let cell_of_vertex v = if v >= ncells then v - ncells else v in
+  let rec chain v acc =
+    if v < 0 then acc
+    else begin
+      let name = nl.N.cells.(cell_of_vertex v).N.cname in
+      let acc = match acc with n :: _ when n = name -> acc | _ -> name :: acc in
+      chain pred.(v) acc
+    end
+  in
+  let critical_cells = if !worst_vertex >= 0 then chain !worst_vertex [] else [] in
+  let fmax_mhz = Float.min clock_target_mhz (1000.0 /. critical_path_ns) in
+  { critical_path_ns; fmax_mhz; critical_cells }

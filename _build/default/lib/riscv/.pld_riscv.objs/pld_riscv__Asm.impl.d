@@ -1,0 +1,1 @@
+lib/riscv/asm.ml: Array Buffer Hashtbl Int32 Isa List Printf

@@ -1,0 +1,1 @@
+lib/riscv/asm.mli: Isa

@@ -1,0 +1,1 @@
+lib/riscv/codegen.ml: Aptype Array Asm Cpu Dtype Expr Hashtbl Int32 Isa List Op Option Pld_apfixed Pld_ir Printf String Validate Value

@@ -1,0 +1,1 @@
+lib/riscv/codegen.mli: Aptype Asm Expr Op Pld_ir

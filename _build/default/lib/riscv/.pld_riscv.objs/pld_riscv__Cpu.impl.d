@@ -1,0 +1,1 @@
+lib/riscv/cpu.ml: Array Bytes Char Int32 Int64 Isa Printf

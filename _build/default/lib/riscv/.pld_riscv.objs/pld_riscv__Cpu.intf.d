@@ -1,0 +1,1 @@
+lib/riscv/cpu.mli: Bytes

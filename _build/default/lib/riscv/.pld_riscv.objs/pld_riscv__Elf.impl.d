@@ -1,0 +1,1 @@
+lib/riscv/elf.ml: Codegen Marshal Pld_util String

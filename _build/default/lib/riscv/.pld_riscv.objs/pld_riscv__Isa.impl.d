@@ -1,0 +1,1 @@
+lib/riscv/isa.ml: Array Int32 Option Printf

@@ -1,0 +1,1 @@
+lib/riscv/softcore.ml: Aptype Array Asm Codegen Cpu Expr Int32 Int64 Isa List Pld_apfixed Pld_ir Printf String Value

@@ -1,0 +1,1 @@
+lib/riscv/softcore.mli: Codegen Cpu Pld_ir

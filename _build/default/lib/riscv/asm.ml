@@ -1,0 +1,97 @@
+type item =
+  | Label of string
+  | Instr of Isa.instr
+  | Bj of Isa.cond * Isa.reg * Isa.reg * string
+  | J of string
+  | Call of string
+  | Ret
+  | Li of Isa.reg * int32
+  | Word of int32
+  | Comment of string
+
+type image = { words : int32 array; symbols : (string * int) list }
+
+exception Undefined_label of string
+
+(* li expands to lui+addi unless the value fits 12 signed bits. *)
+let li_size v = if Int32.compare v (-2048l) >= 0 && Int32.compare v 2047l <= 0 then 1 else 2
+
+(* Conditional branches to labels expand to an inverted short branch
+   over a jal, so label distance is never limited to the +-4 KB B-type
+   range (compiled operator bodies easily exceed it). *)
+let item_size = function
+  | Label _ | Comment _ -> 0
+  | Instr _ | J _ | Call _ | Ret | Word _ -> 1
+  | Bj _ -> 2
+  | Li (_, v) -> li_size v
+
+let assemble items =
+  (* Pass 1: addresses. *)
+  let symbols = Hashtbl.create 16 in
+  let addr = ref 0 in
+  List.iter
+    (fun it ->
+      (match it with
+      | Label l ->
+          if Hashtbl.mem symbols l then invalid_arg ("Asm.assemble: duplicate label " ^ l);
+          Hashtbl.replace symbols l !addr
+      | _ -> ());
+      addr := !addr + (4 * item_size it))
+    items;
+  let find l = match Hashtbl.find_opt symbols l with Some a -> a | None -> raise (Undefined_label l) in
+  (* Pass 2: encode. *)
+  let words = ref [] in
+  let pc = ref 0 in
+  let emit i =
+    words := Isa.encode i :: !words;
+    pc := !pc + 4
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | Label _ | Comment _ -> ()
+      | Instr i -> emit i
+      | Bj (c, r1, r2, l) ->
+          let inverse =
+            match c with
+            | Isa.Beq -> Isa.Bne
+            | Isa.Bne -> Isa.Beq
+            | Isa.Blt -> Isa.Bge
+            | Isa.Bge -> Isa.Blt
+            | Isa.Bltu -> Isa.Bgeu
+            | Isa.Bgeu -> Isa.Bltu
+          in
+          emit (Isa.Branch (inverse, r1, r2, 8));
+          emit (Isa.Jal (Isa.zero, find l - !pc))
+      | J l -> emit (Isa.Jal (Isa.zero, find l - !pc))
+      | Call l -> emit (Isa.Jal (Isa.ra, find l - !pc))
+      | Ret -> emit (Isa.Jalr (Isa.zero, Isa.ra, 0))
+      | Word w ->
+          words := w :: !words;
+          pc := !pc + 4
+      | Li (rd, v) ->
+          if li_size v = 1 then emit (Isa.Alui (Isa.Addi, rd, Isa.zero, Int32.to_int v))
+          else begin
+            (* lui loads the upper 20 bits; addi's sign extension must
+               be compensated by rounding the upper part. *)
+            let lo = Int32.to_int (Int32.logand v 0xFFFl) in
+            let lo = if lo >= 2048 then lo - 4096 else lo in
+            let hi =
+              Int32.to_int (Int32.logand (Int32.shift_right_logical (Int32.sub v (Int32.of_int lo)) 12) 0xFFFFFl)
+            in
+            emit (Isa.Lui (rd, hi));
+            emit (Isa.Alui (Isa.Addi, rd, rd, lo))
+          end)
+    items;
+  { words = Array.of_list (List.rev !words); symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [] }
+
+let disassemble img =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i w ->
+      let addr = i * 4 in
+      List.iter (fun (l, a) -> if a = addr then Buffer.add_string buf (l ^ ":\n")) img.symbols;
+      let text = match Isa.decode w with Some i -> Isa.to_string i | None -> Printf.sprintf ".word 0x%08lx" w in
+      Buffer.add_string buf (Printf.sprintf "  %04x: %s\n" addr text))
+    img.words;
+  Buffer.contents buf

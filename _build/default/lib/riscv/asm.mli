@@ -1,0 +1,24 @@
+(** Two-pass assembler: label resolution for branches/jumps plus the
+    [li]/[la] pseudo-instructions the code generator leans on. *)
+
+type item =
+  | Label of string
+  | Instr of Isa.instr
+  | Bj of Isa.cond * Isa.reg * Isa.reg * string  (** branch to label *)
+  | J of string  (** unconditional jump to label *)
+  | Call of string  (** jal ra, label *)
+  | Ret
+  | Li of Isa.reg * int32  (** load 32-bit immediate (1-2 instructions) *)
+  | Word of int32  (** literal data word in the text stream *)
+  | Comment of string
+
+type image = {
+  words : int32 array;  (** text, base address 0 *)
+  symbols : (string * int) list;  (** label → byte address *)
+}
+
+exception Undefined_label of string
+
+val assemble : item list -> image
+
+val disassemble : image -> string

@@ -1,0 +1,271 @@
+type profile = {
+  profile_name : string;
+  c_alu : int;
+  c_mem : int;
+  c_jump : int;
+  c_taken : int;
+  c_not_taken : int;
+  c_mul : int;
+  c_div : int;
+  ecall_scale : float;
+}
+
+let picorv32 =
+  { profile_name = "picorv32"; c_alu = 3; c_mem = 5; c_jump = 5; c_taken = 5; c_not_taken = 3;
+    c_mul = 5; c_div = 40; ecall_scale = 1.0 }
+
+let pipelined =
+  { profile_name = "pipelined"; c_alu = 1; c_mem = 2; c_jump = 2; c_taken = 2; c_not_taken = 1;
+    c_mul = 2; c_div = 20; ecall_scale = 0.45 }
+
+type status = Running | Stalled | Halted | Trapped of string
+
+type t = {
+  mem : Bytes.t;
+  regs : int32 array;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable retired : int;
+  mutable status : status;
+  stream_read : int -> int32 option;
+  stream_write : int -> int32 -> bool;
+  on_ecall : t -> int;
+  profile : profile;
+}
+
+let mmio_in_base = 0x1000_0000
+let mmio_out_base = 0x1000_0100
+let mmio_halt = 0x1000_0200
+
+let create ?(mem_kb = 192) ?(profile = picorv32) ?(stream_read = fun _ -> None)
+    ?(stream_write = fun _ _ -> true) ?(on_ecall = fun _ -> 10) () =
+  {
+    mem = Bytes.make (mem_kb * 1024) '\000';
+    regs = Array.make 32 0l;
+    pc = 0;
+    cycles = 0;
+    retired = 0;
+    status = Running;
+    stream_read;
+    stream_write;
+    on_ecall;
+    profile;
+  }
+
+let read_reg t r = if r = 0 then 0l else t.regs.(r)
+let write_reg t r v = if r <> 0 then t.regs.(r) <- v
+
+let in_mem t addr = addr >= 0 && addr + 3 < Bytes.length t.mem
+
+let read_word t addr =
+  if not (in_mem t addr) then invalid_arg (Printf.sprintf "Cpu.read_word: 0x%x out of memory" addr);
+  Bytes.get_int32_le t.mem addr
+
+let write_word t addr v =
+  if not (in_mem t addr) then invalid_arg (Printf.sprintf "Cpu.write_word: 0x%x out of memory" addr);
+  Bytes.set_int32_le t.mem addr v
+
+let load_words t ~addr words = Array.iteri (fun i w -> write_word t (addr + (4 * i)) w) words
+
+
+let to_u32 v = Int32.logand v (-1l)
+let u_lt a b = Int32.unsigned_compare a b < 0
+
+let mmio_port base addr = if addr >= base && addr < base + 0x100 && addr land 7 = 0 then Some ((addr - base) / 8) else None
+
+let step t =
+  match t.status with
+  | Halted | Trapped _ -> t.status
+  | Running | Stalled -> begin
+      t.status <- Running;
+      if t.pc < 0 || t.pc + 3 >= Bytes.length t.mem then begin
+        t.status <- Trapped (Printf.sprintf "pc 0x%x out of memory" t.pc);
+        t.status
+      end
+      else begin
+        let word = Bytes.get_int32_le t.mem t.pc in
+        match Isa.decode word with
+        | None ->
+            t.status <- Trapped (Printf.sprintf "illegal instruction 0x%08lx at 0x%x" word t.pc);
+            t.status
+        | Some instr -> begin
+            let rd_ v = read_reg t v in
+            let next = ref (t.pc + 4) in
+            let p = t.profile in
+            let charge = ref p.c_alu in
+            let retire = ref true in
+            (try
+               (match instr with
+               | Isa.Lui (rd, imm) -> write_reg t rd (Int32.shift_left (Int32.of_int imm) 12)
+               | Isa.Auipc (rd, imm) ->
+                   write_reg t rd (Int32.add (Int32.of_int t.pc) (Int32.shift_left (Int32.of_int imm) 12))
+               | Isa.Jal (rd, imm) ->
+                   write_reg t rd (Int32.of_int (t.pc + 4));
+                   next := t.pc + imm;
+                   charge := p.c_jump
+               | Isa.Jalr (rd, rs1, imm) ->
+                   let target = Int32.to_int (Int32.add (rd_ rs1) (Int32.of_int imm)) land lnot 1 in
+                   write_reg t rd (Int32.of_int (t.pc + 4));
+                   next := target;
+                   charge := p.c_jump
+               | Isa.Branch (c, rs1, rs2, imm) ->
+                   let a = rd_ rs1 and b = rd_ rs2 in
+                   let taken =
+                     match c with
+                     | Isa.Beq -> Int32.equal a b
+                     | Isa.Bne -> not (Int32.equal a b)
+                     | Isa.Blt -> Int32.compare a b < 0
+                     | Isa.Bge -> Int32.compare a b >= 0
+                     | Isa.Bltu -> u_lt a b
+                     | Isa.Bgeu -> not (u_lt a b)
+                   in
+                   if taken then begin
+                     next := t.pc + imm;
+                     charge := p.c_taken
+                   end
+                   else charge := p.c_not_taken
+               | Isa.Load (w, unsigned, rd, rs1, imm) -> begin
+                   let addr = Int32.to_int (Int32.add (rd_ rs1) (Int32.of_int imm)) in
+                   charge := p.c_mem;
+                   match mmio_port mmio_in_base addr with
+                   | Some port -> begin
+                       match t.stream_read port with
+                       | Some v -> write_reg t rd v
+                       | None ->
+                           (* Blocked: stall, retry this instruction. *)
+                           t.status <- Stalled;
+                           next := t.pc;
+                           retire := false;
+                           charge := 1
+                     end
+                   | None ->
+                       if not (in_mem t addr) then failwith (Printf.sprintf "load at 0x%x" addr)
+                       else begin
+                         let v =
+                           match w with
+                           | Isa.W -> Bytes.get_int32_le t.mem addr
+                           | Isa.H ->
+                               let raw = Char.code (Bytes.get t.mem addr) lor (Char.code (Bytes.get t.mem (addr + 1)) lsl 8) in
+                               if unsigned then Int32.of_int raw
+                               else Int32.of_int (if raw >= 0x8000 then raw - 0x10000 else raw)
+                           | Isa.B ->
+                               let raw = Char.code (Bytes.get t.mem addr) in
+                               if unsigned then Int32.of_int raw
+                               else Int32.of_int (if raw >= 0x80 then raw - 0x100 else raw)
+                         in
+                         write_reg t rd v
+                       end
+                 end
+               | Isa.Store (w, rs2, rs1, imm) -> begin
+                   let addr = Int32.to_int (Int32.add (rd_ rs1) (Int32.of_int imm)) in
+                   let v = rd_ rs2 in
+                   charge := p.c_mem;
+                   if addr = mmio_halt then t.status <- Halted
+                   else
+                     match mmio_port mmio_out_base addr with
+                     | Some port ->
+                         if not (t.stream_write port v) then begin
+                           t.status <- Stalled;
+                           next := t.pc;
+                           retire := false;
+                           charge := 1
+                         end
+                     | None ->
+                         if not (in_mem t addr) then failwith (Printf.sprintf "store at 0x%x" addr)
+                         else begin
+                           match w with
+                           | Isa.W -> Bytes.set_int32_le t.mem addr v
+                           | Isa.H ->
+                               Bytes.set t.mem addr (Char.chr (Int32.to_int (Int32.logand v 0xFFl)));
+                               Bytes.set t.mem (addr + 1)
+                                 (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xFFl)))
+                           | Isa.B -> Bytes.set t.mem addr (Char.chr (Int32.to_int (Int32.logand v 0xFFl)))
+                         end
+                 end
+               | Isa.Alui (a, rd, rs1, imm) ->
+                   let x = rd_ rs1 and i32 = Int32.of_int imm in
+                   let v =
+                     match a with
+                     | Isa.Addi -> Int32.add x i32
+                     | Isa.Slti -> if Int32.compare x i32 < 0 then 1l else 0l
+                     | Isa.Sltiu -> if u_lt x i32 then 1l else 0l
+                     | Isa.Xori -> Int32.logxor x i32
+                     | Isa.Ori -> Int32.logor x i32
+                     | Isa.Andi -> Int32.logand x i32
+                     | Isa.Slli -> Int32.shift_left x (imm land 31)
+                     | Isa.Srli -> Int32.shift_right_logical x (imm land 31)
+                     | Isa.Srai -> Int32.shift_right x (imm land 31)
+                   in
+                   write_reg t rd v
+               | Isa.Alur (o, rd, rs1, rs2) ->
+                   let x = rd_ rs1 and y = rd_ rs2 in
+                   let sh = Int32.to_int (Int32.logand y 31l) in
+                   let wide f =
+                     let xi = Int64.of_int32 x and yi = Int64.of_int32 y in
+                     f xi yi
+                   in
+                   let v =
+                     match o with
+                     | Isa.Radd -> Int32.add x y
+                     | Isa.Rsub -> Int32.sub x y
+                     | Isa.Rsll -> Int32.shift_left x sh
+                     | Isa.Rslt -> if Int32.compare x y < 0 then 1l else 0l
+                     | Isa.Rsltu -> if u_lt x y then 1l else 0l
+                     | Isa.Rxor -> Int32.logxor x y
+                     | Isa.Rsrl -> Int32.shift_right_logical x sh
+                     | Isa.Rsra -> Int32.shift_right x sh
+                     | Isa.Ror -> Int32.logor x y
+                     | Isa.Rand -> Int32.logand x y
+                     | Isa.Rmul ->
+                         charge := p.c_mul;
+                         Int32.mul x y
+                     | Isa.Rmulh ->
+                         charge := p.c_mul;
+                         wide (fun a b -> Int64.to_int32 (Int64.shift_right (Int64.mul a b) 32))
+                     | Isa.Rmulhsu ->
+                         charge := p.c_mul;
+                         let yu = Int64.logand (Int64.of_int32 y) 0xFFFFFFFFL in
+                         Int64.to_int32 (Int64.shift_right (Int64.mul (Int64.of_int32 x) yu) 32)
+                     | Isa.Rmulhu ->
+                         charge := p.c_mul;
+                         let xu = Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL in
+                         let yu = Int64.logand (Int64.of_int32 y) 0xFFFFFFFFL in
+                         Int64.to_int32 (Int64.shift_right_logical (Int64.mul xu yu) 32)
+                     | Isa.Rdiv ->
+                         charge := p.c_div;
+                         if Int32.equal y 0l then -1l
+                         else if Int32.equal x Int32.min_int && Int32.equal y (-1l) then x
+                         else Int32.div x y
+                     | Isa.Rdivu ->
+                         charge := p.c_div;
+                         if Int32.equal y 0l then -1l else Int32.unsigned_div x y
+                     | Isa.Rrem ->
+                         charge := p.c_div;
+                         if Int32.equal y 0l then x
+                         else if Int32.equal x Int32.min_int && Int32.equal y (-1l) then 0l
+                         else Int32.rem x y
+                     | Isa.Rremu ->
+                         charge := p.c_div;
+                         if Int32.equal y 0l then x else Int32.unsigned_rem x y
+                   in
+                   write_reg t rd (to_u32 v)
+               | Isa.Ecall -> charge := max 1 (int_of_float (p.ecall_scale *. float_of_int (t.on_ecall t)))
+               | Isa.Ebreak -> t.status <- Halted);
+               t.cycles <- t.cycles + !charge;
+               if !retire then t.retired <- t.retired + 1;
+               t.pc <- !next
+             with Failure msg -> t.status <- Trapped msg);
+            t.status
+          end
+      end
+    end
+
+let run ?(max_cycles = max_int) t =
+  let rec go () =
+    if t.cycles >= max_cycles then t.status
+    else
+      match step t with
+      | Running -> go ()
+      | (Stalled | Halted | Trapped _) as s -> s
+  in
+  go ()

@@ -1,0 +1,76 @@
+(** Cycle-level PicoRV32-class core model.
+
+    Unified instruction/data memory, memory-mapped stream ports wired
+    to the page's leaf interface, unpipelined multi-cycle timing (CPI
+    ≈ 3-5), and an [ecall] hook the firmware ap-runtime plugs into.
+
+    MMIO map (word accesses):
+    - [0x1000_0000 + 8*i] — read stream port i (blocks while empty)
+    - [0x1000_0100 + 8*i] — write stream port i (blocks while full)
+    - [0x1000_0200]       — store halts the core *)
+
+(** Core timing profile: the overlay processor menu of the paper's
+    future work (§9). [picorv32] is the paper's prototype (unpipelined,
+    CPI 3-5); [pipelined] models a ZipCPU/VexRiscv-class in-order
+    pipeline with the same ISA and a faster ap-runtime. *)
+type profile = {
+  profile_name : string;
+  c_alu : int;
+  c_mem : int;
+  c_jump : int;
+  c_taken : int;
+  c_not_taken : int;
+  c_mul : int;
+  c_div : int;
+  ecall_scale : float;  (** multiplier on firmware-runtime cycle costs *)
+}
+
+val picorv32 : profile
+val pipelined : profile
+
+type status =
+  | Running
+  | Stalled  (** blocked on a stream port; retry after tokens move *)
+  | Halted
+  | Trapped of string  (** illegal instruction / bad access *)
+
+type t = {
+  mem : Bytes.t;
+  regs : int32 array;
+  mutable pc : int;
+  mutable cycles : int;  (** model cycles at the 200 MHz overlay clock *)
+  mutable retired : int;  (** instructions completed *)
+  mutable status : status;
+  stream_read : int -> int32 option;
+  stream_write : int -> int32 -> bool;
+  on_ecall : t -> int;  (** performs the call, returns cycles to charge *)
+  profile : profile;
+}
+
+val mmio_in_base : int
+val mmio_out_base : int
+val mmio_halt : int
+
+val create :
+  ?mem_kb:int ->
+  ?profile:profile ->
+  ?stream_read:(int -> int32 option) ->
+  ?stream_write:(int -> int32 -> bool) ->
+  ?on_ecall:(t -> int) ->
+  unit ->
+  t
+(** [mem_kb] defaults to 192 (the paper's maximum page memory);
+    [profile] to {!picorv32}. *)
+
+val load_words : t -> addr:int -> int32 array -> unit
+val read_word : t -> int -> int32
+val write_word : t -> int -> int32 -> unit
+val read_reg : t -> int -> int32
+val write_reg : t -> int -> int32 -> unit
+
+val step : t -> status
+(** Execute (or retry) one instruction. *)
+
+val run : ?max_cycles:int -> t -> status
+(** Step until halt, trap, or stall. Returns the final status
+    ([Running] only if [max_cycles] expired). *)

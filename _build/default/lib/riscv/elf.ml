@@ -1,0 +1,21 @@
+type packed = { page : int; program : Codegen.program; blob : string }
+
+let magic = "PLDELF01"
+
+let pack ~page program =
+  let body = Marshal.to_string (page, program) [] in
+  let crc = Pld_util.Digest_lite.of_string body in
+  let blob = magic ^ crc ^ body in
+  { page; program; blob }
+
+let size_bytes p = String.length p.blob
+
+let unpack blob =
+  let mlen = String.length magic in
+  if String.length blob < mlen + 16 then invalid_arg "Elf.unpack: truncated blob";
+  if String.sub blob 0 mlen <> magic then invalid_arg "Elf.unpack: bad magic";
+  let crc = String.sub blob mlen 16 in
+  let body = String.sub blob (mlen + 16) (String.length blob - mlen - 16) in
+  if Pld_util.Digest_lite.of_string body <> crc then invalid_arg "Elf.unpack: CRC mismatch";
+  let page, program = (Marshal.from_string body 0 : int * Codegen.program) in
+  { page; program; blob }

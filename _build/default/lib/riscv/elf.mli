@@ -1,0 +1,17 @@
+(** Standalone binary images for compiled operators.
+
+    The pre-linker/loader (Fig. 5) packs each compiled binary with a
+    header carrying the destination page and memory base so the driver
+    can stream it into the right softcore's memory. *)
+
+type packed = {
+  page : int;  (** destination physical page *)
+  program : Codegen.program;
+  blob : string;  (** serialized image, what would go over PCIe *)
+}
+
+val pack : page:int -> Codegen.program -> packed
+val size_bytes : packed -> int
+
+val unpack : string -> packed
+(** Raises [Invalid_argument] on a corrupt blob (bad magic or CRC). *)

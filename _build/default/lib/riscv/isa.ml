@@ -1,0 +1,254 @@
+type reg = int
+
+let zero = 0
+let ra = 1
+let sp = 2
+let t0 = 5
+let t1 = 6
+let t2 = 7
+let s0 = 8
+let s1 = 9
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a6 = 16
+let a7 = 17
+let t3 = 28
+let t4 = 29
+let t5 = 30
+let t6 = 31
+
+type cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+type width = B | H | W
+type alu = Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai
+
+type op =
+  | Radd | Rsub | Rsll | Rslt | Rsltu | Rxor | Rsrl | Rsra | Ror | Rand
+  | Rmul | Rmulh | Rmulhsu | Rmulhu | Rdiv | Rdivu | Rrem | Rremu
+
+type instr =
+  | Lui of reg * int
+  | Auipc of reg * int
+  | Jal of reg * int
+  | Jalr of reg * reg * int
+  | Branch of cond * reg * reg * int
+  | Load of width * bool * reg * reg * int
+  | Store of width * reg * reg * int
+  | Alui of alu * reg * reg * int
+  | Alur of op * reg * reg * reg
+  | Ecall
+  | Ebreak
+
+let check_reg r = if r < 0 || r > 31 then invalid_arg "Isa: bad register"
+
+let check_imm name lo hi v =
+  if v < lo || v > hi then invalid_arg (Printf.sprintf "Isa: %s immediate %d out of [%d,%d]" name v lo hi)
+
+let ( <<< ) v n = Int32.shift_left (Int32.of_int v) n
+let ( ||| ) = Int32.logor
+
+let enc_r funct7 funct3 opcode rd rs1 rs2 =
+  (funct7 <<< 25) ||| (rs2 <<< 20) ||| (rs1 <<< 15) ||| (funct3 <<< 12) ||| (rd <<< 7)
+  ||| Int32.of_int opcode
+
+let enc_i funct3 opcode rd rs1 imm =
+  check_imm "I" (-2048) 2047 imm;
+  ((imm land 0xFFF) <<< 20) ||| (rs1 <<< 15) ||| (funct3 <<< 12) ||| (rd <<< 7) ||| Int32.of_int opcode
+
+let enc_s funct3 opcode rs1 rs2 imm =
+  check_imm "S" (-2048) 2047 imm;
+  let imm = imm land 0xFFF in
+  ((imm lsr 5) <<< 25) ||| (rs2 <<< 20) ||| (rs1 <<< 15) ||| (funct3 <<< 12)
+  ||| ((imm land 0x1F) <<< 7) ||| Int32.of_int opcode
+
+let enc_b funct3 rs1 rs2 imm =
+  check_imm "B" (-4096) 4094 imm;
+  if imm land 1 <> 0 then invalid_arg "Isa: misaligned branch offset";
+  let u = imm land 0x1FFF in
+  (((u lsr 12) land 1) <<< 31)
+  ||| (((u lsr 5) land 0x3F) <<< 25)
+  ||| (rs2 <<< 20) ||| (rs1 <<< 15) ||| (funct3 <<< 12)
+  ||| (((u lsr 1) land 0xF) <<< 8)
+  ||| (((u lsr 11) land 1) <<< 7)
+  ||| 0b1100011l
+
+let enc_u opcode rd imm =
+  check_imm "U" 0 0xFFFFF imm;
+  (imm <<< 12) ||| (rd <<< 7) ||| Int32.of_int opcode
+
+let enc_j rd imm =
+  check_imm "J" (-1048576) 1048574 imm;
+  if imm land 1 <> 0 then invalid_arg "Isa: misaligned jump offset";
+  let u = imm land 0x1FFFFF in
+  (((u lsr 20) land 1) <<< 31)
+  ||| (((u lsr 1) land 0x3FF) <<< 21)
+  ||| (((u lsr 11) land 1) <<< 20)
+  ||| (((u lsr 12) land 0xFF) <<< 12)
+  ||| (rd <<< 7) ||| 0b1101111l
+
+let cond_funct3 = function Beq -> 0 | Bne -> 1 | Blt -> 4 | Bge -> 5 | Bltu -> 6 | Bgeu -> 7
+
+let alu_funct3 = function
+  | Addi -> 0 | Slti -> 2 | Sltiu -> 3 | Xori -> 4 | Ori -> 6 | Andi -> 7
+  | Slli -> 1 | Srli -> 5 | Srai -> 5
+
+let op_encoding = function
+  | Radd -> (0, 0) | Rsub -> (0x20, 0) | Rsll -> (0, 1) | Rslt -> (0, 2) | Rsltu -> (0, 3)
+  | Rxor -> (0, 4) | Rsrl -> (0, 5) | Rsra -> (0x20, 5) | Ror -> (0, 6) | Rand -> (0, 7)
+  | Rmul -> (1, 0) | Rmulh -> (1, 1) | Rmulhsu -> (1, 2) | Rmulhu -> (1, 3)
+  | Rdiv -> (1, 4) | Rdivu -> (1, 5) | Rrem -> (1, 6) | Rremu -> (1, 7)
+
+let width_funct3 unsigned = function
+  | B -> if unsigned then 4 else 0
+  | H -> if unsigned then 5 else 1
+  | W -> 2
+
+let encode instr =
+  (match instr with
+  | Lui (rd, _) | Auipc (rd, _) | Jal (rd, _) -> check_reg rd
+  | Jalr (rd, rs1, _) -> check_reg rd; check_reg rs1
+  | Branch (_, rs1, rs2, _) | Store (_, rs2, rs1, _) -> check_reg rs1; check_reg rs2
+  | Load (_, _, rd, rs1, _) | Alui (_, rd, rs1, _) -> check_reg rd; check_reg rs1
+  | Alur (_, rd, rs1, rs2) -> check_reg rd; check_reg rs1; check_reg rs2
+  | Ecall | Ebreak -> ());
+  match instr with
+  | Lui (rd, imm) -> enc_u 0b0110111 rd imm
+  | Auipc (rd, imm) -> enc_u 0b0010111 rd imm
+  | Jal (rd, imm) -> enc_j rd imm
+  | Jalr (rd, rs1, imm) -> enc_i 0 0b1100111 rd rs1 imm
+  | Branch (c, rs1, rs2, imm) -> enc_b (cond_funct3 c) rs1 rs2 imm
+  | Load (w, unsigned, rd, rs1, imm) -> enc_i (width_funct3 unsigned w) 0b0000011 rd rs1 imm
+  | Store (w, rs2, rs1, imm) -> enc_s (width_funct3 false w) 0b0100011 rs1 rs2 imm
+  | Alui (a, rd, rs1, imm) -> begin
+      match a with
+      | Slli ->
+          check_imm "shamt" 0 31 imm;
+          enc_i 1 0b0010011 rd rs1 imm
+      | Srli ->
+          check_imm "shamt" 0 31 imm;
+          enc_i 5 0b0010011 rd rs1 imm
+      | Srai ->
+          check_imm "shamt" 0 31 imm;
+          enc_i 5 0b0010011 rd rs1 (imm lor 0x400)
+      | _ -> enc_i (alu_funct3 a) 0b0010011 rd rs1 imm
+    end
+  | Alur (o, rd, rs1, rs2) ->
+      let f7, f3 = op_encoding o in
+      enc_r f7 f3 0b0110011 rd rs1 rs2
+  | Ecall -> 0x00000073l
+  | Ebreak -> 0x00100073l
+
+let bits v hi lo = Int32.to_int (Int32.logand (Int32.shift_right_logical v lo) (Int32.of_int ((1 lsl (hi - lo + 1)) - 1)))
+
+let sign_extend v w = if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w) else v
+
+let decode word =
+  let opcode = bits word 6 0 in
+  let rd = bits word 11 7 and rs1 = bits word 19 15 and rs2 = bits word 24 20 in
+  let funct3 = bits word 14 12 and funct7 = bits word 31 25 in
+  let imm_i = sign_extend (bits word 31 20) 12 in
+  let imm_s = sign_extend ((bits word 31 25 lsl 5) lor bits word 11 7) 12 in
+  let imm_b =
+    sign_extend
+      ((bits word 31 31 lsl 12) lor (bits word 7 7 lsl 11) lor (bits word 30 25 lsl 5)
+      lor (bits word 11 8 lsl 1))
+      13
+  in
+  let imm_u = bits word 31 12 in
+  let imm_j =
+    sign_extend
+      ((bits word 31 31 lsl 20) lor (bits word 19 12 lsl 12) lor (bits word 20 20 lsl 11)
+      lor (bits word 30 21 lsl 1))
+      21
+  in
+  match opcode with
+  | 0b0110111 -> Some (Lui (rd, imm_u))
+  | 0b0010111 -> Some (Auipc (rd, imm_u))
+  | 0b1101111 -> Some (Jal (rd, imm_j))
+  | 0b1100111 when funct3 = 0 -> Some (Jalr (rd, rs1, imm_i))
+  | 0b1100011 -> begin
+      let c =
+        match funct3 with
+        | 0 -> Some Beq | 1 -> Some Bne | 4 -> Some Blt | 5 -> Some Bge | 6 -> Some Bltu
+        | 7 -> Some Bgeu | _ -> None
+      in
+      Option.map (fun c -> Branch (c, rs1, rs2, imm_b)) c
+    end
+  | 0b0000011 -> begin
+      match funct3 with
+      | 0 -> Some (Load (B, false, rd, rs1, imm_i))
+      | 1 -> Some (Load (H, false, rd, rs1, imm_i))
+      | 2 -> Some (Load (W, false, rd, rs1, imm_i))
+      | 4 -> Some (Load (B, true, rd, rs1, imm_i))
+      | 5 -> Some (Load (H, true, rd, rs1, imm_i))
+      | _ -> None
+    end
+  | 0b0100011 -> begin
+      match funct3 with
+      | 0 -> Some (Store (B, rs2, rs1, imm_s))
+      | 1 -> Some (Store (H, rs2, rs1, imm_s))
+      | 2 -> Some (Store (W, rs2, rs1, imm_s))
+      | _ -> None
+    end
+  | 0b0010011 -> begin
+      match funct3 with
+      | 0 -> Some (Alui (Addi, rd, rs1, imm_i))
+      | 2 -> Some (Alui (Slti, rd, rs1, imm_i))
+      | 3 -> Some (Alui (Sltiu, rd, rs1, imm_i))
+      | 4 -> Some (Alui (Xori, rd, rs1, imm_i))
+      | 6 -> Some (Alui (Ori, rd, rs1, imm_i))
+      | 7 -> Some (Alui (Andi, rd, rs1, imm_i))
+      | 1 when funct7 = 0 -> Some (Alui (Slli, rd, rs1, rs2))
+      | 5 when funct7 = 0 -> Some (Alui (Srli, rd, rs1, rs2))
+      | 5 when funct7 = 0x20 -> Some (Alui (Srai, rd, rs1, rs2))
+      | _ -> None
+    end
+  | 0b0110011 -> begin
+      let o =
+        match (funct7, funct3) with
+        | 0, 0 -> Some Radd | 0x20, 0 -> Some Rsub | 0, 1 -> Some Rsll | 0, 2 -> Some Rslt
+        | 0, 3 -> Some Rsltu | 0, 4 -> Some Rxor | 0, 5 -> Some Rsrl | 0x20, 5 -> Some Rsra
+        | 0, 6 -> Some Ror | 0, 7 -> Some Rand
+        | 1, 0 -> Some Rmul | 1, 1 -> Some Rmulh | 1, 2 -> Some Rmulhsu | 1, 3 -> Some Rmulhu
+        | 1, 4 -> Some Rdiv | 1, 5 -> Some Rdivu | 1, 6 -> Some Rrem | 1, 7 -> Some Rremu
+        | _ -> None
+      in
+      Option.map (fun o -> Alur (o, rd, rs1, rs2)) o
+    end
+  | 0b1110011 ->
+      if word = 0x00000073l then Some Ecall else if word = 0x00100073l then Some Ebreak else None
+  | _ -> None
+
+let reg_name r =
+  let names =
+    [| "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2"; "s0"; "s1"; "a0"; "a1"; "a2"; "a3";
+       "a4"; "a5"; "a6"; "a7"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7"; "s8"; "s9"; "s10"; "s11";
+       "t3"; "t4"; "t5"; "t6" |]
+  in
+  if r >= 0 && r < 32 then names.(r) else Printf.sprintf "x%d" r
+
+let to_string = function
+  | Lui (rd, imm) -> Printf.sprintf "lui %s, 0x%x" (reg_name rd) imm
+  | Auipc (rd, imm) -> Printf.sprintf "auipc %s, 0x%x" (reg_name rd) imm
+  | Jal (rd, imm) -> Printf.sprintf "jal %s, %d" (reg_name rd) imm
+  | Jalr (rd, rs1, imm) -> Printf.sprintf "jalr %s, %d(%s)" (reg_name rd) imm (reg_name rs1)
+  | Branch (c, rs1, rs2, imm) ->
+      let n = match c with Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Bge -> "bge" | Bltu -> "bltu" | Bgeu -> "bgeu" in
+      Printf.sprintf "%s %s, %s, %d" n (reg_name rs1) (reg_name rs2) imm
+  | Load (w, u, rd, rs1, imm) ->
+      let n = match (w, u) with B, false -> "lb" | H, false -> "lh" | W, _ -> "lw" | B, true -> "lbu" | H, true -> "lhu" in
+      Printf.sprintf "%s %s, %d(%s)" n (reg_name rd) imm (reg_name rs1)
+  | Store (w, rs2, rs1, imm) ->
+      let n = match w with B -> "sb" | H -> "sh" | W -> "sw" in
+      Printf.sprintf "%s %s, %d(%s)" n (reg_name rs2) imm (reg_name rs1)
+  | Alui (a, rd, rs1, imm) ->
+      let n = match a with Addi -> "addi" | Slti -> "slti" | Sltiu -> "sltiu" | Xori -> "xori" | Ori -> "ori" | Andi -> "andi" | Slli -> "slli" | Srli -> "srli" | Srai -> "srai" in
+      Printf.sprintf "%s %s, %s, %d" n (reg_name rd) (reg_name rs1) imm
+  | Alur (o, rd, rs1, rs2) ->
+      let n = match o with Radd -> "add" | Rsub -> "sub" | Rsll -> "sll" | Rslt -> "slt" | Rsltu -> "sltu" | Rxor -> "xor" | Rsrl -> "srl" | Rsra -> "sra" | Ror -> "or" | Rand -> "and" | Rmul -> "mul" | Rmulh -> "mulh" | Rmulhsu -> "mulhsu" | Rmulhu -> "mulhu" | Rdiv -> "div" | Rdivu -> "divu" | Rrem -> "rem" | Rremu -> "remu" in
+      Printf.sprintf "%s %s, %s, %s" n (reg_name rd) (reg_name rs1) (reg_name rs2)
+  | Ecall -> "ecall"
+  | Ebreak -> "ebreak"

@@ -1,0 +1,54 @@
+(** RV32IM instruction set: constructors, binary encoding, decoding.
+
+    Registers follow the standard ABI numbering (x0=zero, x1=ra,
+    x2=sp, x5-7=t0-2, x10-17=a0-7, ...). *)
+
+type reg = int  (** 0..31 *)
+
+val zero : reg
+val ra : reg
+val sp : reg
+val t0 : reg
+val t1 : reg
+val t2 : reg
+val t3 : reg
+val t4 : reg
+val t5 : reg
+val t6 : reg
+val a0 : reg
+val a1 : reg
+val a2 : reg
+val a3 : reg
+val a4 : reg
+val a5 : reg
+val a6 : reg
+val a7 : reg
+val s0 : reg
+val s1 : reg
+
+type cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+type width = B | H | W
+type alu = Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai
+type op =
+  | Radd | Rsub | Rsll | Rslt | Rsltu | Rxor | Rsrl | Rsra | Ror | Rand
+  | Rmul | Rmulh | Rmulhsu | Rmulhu | Rdiv | Rdivu | Rrem | Rremu
+
+type instr =
+  | Lui of reg * int
+  | Auipc of reg * int
+  | Jal of reg * int  (** pc-relative byte offset *)
+  | Jalr of reg * reg * int
+  | Branch of cond * reg * reg * int
+  | Load of width * bool * reg * reg * int  (** [Load (w, unsigned, rd, rs1, imm)] *)
+  | Store of width * reg * reg * int  (** [Store (w, rs2, rs1, imm)]: mem[rs1+imm] <- rs2 *)
+  | Alui of alu * reg * reg * int
+  | Alur of op * reg * reg * reg
+  | Ecall
+  | Ebreak
+
+val encode : instr -> int32
+(** Raises [Invalid_argument] on out-of-range immediates. *)
+
+val decode : int32 -> instr option
+
+val to_string : instr -> string

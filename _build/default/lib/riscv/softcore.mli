@@ -1,0 +1,18 @@
+(** Boot a compiled operator on a PicoRV32-model softcore: loads text
+    and data into unified memory and installs the firmware ap-runtime
+    as the [ecall] handler. *)
+
+val boot :
+  ?mem_kb:int ->
+  ?profile:Cpu.profile ->
+  stream_read:(int -> int32 option) ->
+  stream_write:(int -> int32 -> bool) ->
+  ?printf:(string -> unit) ->
+  Codegen.program ->
+  Cpu.t
+(** Stream callbacks are indexed by the operator's port order (inputs
+    and outputs numbered independently from 0). *)
+
+val read_slot : Cpu.t -> addr:int -> Pld_ir.Aptype.t -> Pld_ir.Value.t
+val write_slot : Cpu.t -> addr:int -> Pld_ir.Value.t -> unit
+(** Slot codec shared with the runtime handler (exposed for tests). *)

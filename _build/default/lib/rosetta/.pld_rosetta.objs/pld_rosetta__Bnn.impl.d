@@ -1,0 +1,1 @@
+lib/rosetta/bnn.ml: Array Dsl Dtype Expr Graph Int64 List Op Pld_ir Pld_util Value

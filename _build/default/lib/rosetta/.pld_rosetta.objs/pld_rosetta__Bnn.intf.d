@@ -1,0 +1,1 @@
+lib/rosetta/bnn.mli: Graph Pld_ir Value

@@ -1,0 +1,1 @@
+lib/rosetta/digit_recog.ml: Array Dsl Expr Graph Int64 List Op Pld_ir Pld_util Printf Value

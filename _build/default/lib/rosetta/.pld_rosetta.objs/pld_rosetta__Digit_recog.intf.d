@@ -1,0 +1,1 @@
+lib/rosetta/digit_recog.mli: Graph Pld_ir Value

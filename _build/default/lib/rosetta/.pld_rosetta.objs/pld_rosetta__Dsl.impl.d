@@ -1,0 +1,1 @@
+lib/rosetta/dsl.ml: Dtype Expr Graph List Op Pld_ir Printf Value

@@ -1,0 +1,1 @@
+lib/rosetta/dsl.mli: Dtype Expr Graph Op Pld_ir Value

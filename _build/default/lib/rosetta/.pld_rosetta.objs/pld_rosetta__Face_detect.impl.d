@@ -1,0 +1,1 @@
+lib/rosetta/face_detect.ml: Array Dsl Expr Graph List Op Pld_ir Pld_util Value

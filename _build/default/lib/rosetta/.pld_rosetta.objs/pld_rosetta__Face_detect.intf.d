@@ -1,0 +1,1 @@
+lib/rosetta/face_detect.mli: Graph Pld_ir Value

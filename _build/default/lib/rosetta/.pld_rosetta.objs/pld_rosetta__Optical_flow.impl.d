@@ -1,0 +1,1 @@
+lib/rosetta/optical_flow.ml: Array Dsl Expr Float Graph List Op Pld_ir Pld_util Value

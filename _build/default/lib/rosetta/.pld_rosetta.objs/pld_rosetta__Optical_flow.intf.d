@@ -1,0 +1,1 @@
+lib/rosetta/optical_flow.mli: Graph Pld_ir Value

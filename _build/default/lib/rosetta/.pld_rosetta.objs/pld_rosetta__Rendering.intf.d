@@ -1,0 +1,1 @@
+lib/rosetta/rendering.mli: Graph Pld_ir Value

@@ -1,0 +1,1 @@
+lib/rosetta/spam_filter.ml: Array Dsl Expr Float Fun Graph List Op Pld_ir Pld_util Printf Value

@@ -1,0 +1,1 @@
+lib/rosetta/spam_filter.mli: Graph Pld_ir Value

@@ -1,0 +1,1 @@
+lib/rosetta/suite.ml: Bnn Digit_recog Face_detect Graph List Optical_flow Pld_ir Rendering Spam_filter Value

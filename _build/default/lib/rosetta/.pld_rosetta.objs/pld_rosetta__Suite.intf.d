@@ -1,0 +1,1 @@
+lib/rosetta/suite.mli: Graph Pld_ir Value

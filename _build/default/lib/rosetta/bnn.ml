@@ -1,0 +1,294 @@
+open Pld_ir
+open Dsl
+
+let i4 = Dtype.SInt 4
+let i8 = Dtype.SInt 8
+
+let image_size = 8
+let npix = image_size * image_size
+let n_images = 4
+let n_channels = 2
+let n_hidden = 8
+let n_classes = 10
+
+type weights = {
+  conv1 : int array; (* [ch][dr][dc] flattened, values in [-2,2] *)
+  conv2 : int array; (* [out_ch][in_ch][tap] flattened, 0/1 *)
+  fc1 : int array; (* [hidden] 32-bit masks *)
+  fc2 : int array; (* [class][hidden] values in [0,3] *)
+}
+
+let make_weights seed =
+  let rng = Pld_util.Rng.create (seed * 313 + 41) in
+  {
+    conv1 = Array.init (n_channels * 9) (fun _ -> Pld_util.Rng.int_in rng (-2) 2);
+    conv2 = Array.init (n_channels * n_channels * 9) (fun _ -> Pld_util.Rng.int rng 2);
+    fc1 = Array.init n_hidden (fun _ -> Int64.to_int (Int64.logand (Pld_util.Rng.bits64 rng) 0xFFFFFFFFL));
+    fc2 = Array.init (n_classes * n_hidden) (fun _ -> Pld_util.Rng.int rng 4);
+  }
+
+(* Zero-padded tap: img[(r+dr-1)*S + (c+dc-1)] or 0 at borders. *)
+let tap ?(zero = i4) arr r cc dr dc =
+  let s = image_size in
+  let dr1 = dr - 1 and dc1 = dc - 1 in
+  (* Narrow constants keep the index datapath a few bits wide. *)
+  let rr = Expr.(v r + c i4 dr1) and ccx = Expr.(v cc + c i4 dc1) in
+  let inb =
+    Expr.(rr >= c i4 0 && rr < c i8 s && ccx >= c i4 0 && ccx < c i8 s)
+  in
+  Expr.Select (inb, Expr.Idx (arr, Expr.((rr * c i8 s) + ccx)), c zero 0)
+
+let conv1_op w =
+  let taps ch =
+    List.concat_map
+      (fun dr -> List.map (fun dc -> (w.conv1.((ch * 9) + (dr * 3) + dc), dr, dc)) [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  (* Strength-reduce the tiny weights: x, -x, x<<1, -(x<<1), or drop. *)
+  let weighted wt x =
+    match wt with
+    | 0 -> None
+    | 1 -> Some x
+    | -1 -> Some (Expr.Un (Expr.Neg, x))
+    | 2 -> Some Expr.(x lsl c i32 1)
+    | -2 -> Some (Expr.Un (Expr.Neg, Expr.(x lsl c i32 1)))
+    | _ -> Some Expr.(c i4 wt * x)
+  in
+  let sum ch =
+    match
+      List.filter_map (fun (wt, dr, dc) -> weighted wt (tap ~zero:i8 "img" "r" "cc" dr dc)) (taps ch)
+    with
+    | [] -> c i32 0
+    | terms -> reduce_tree terms
+  in
+  pipe_op ~name:"bnn_conv1" ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:[ Op.array "img" i8 npix; Op.scalar "b0" i4; Op.scalar "b1" i4 ]
+    [
+      for_ ~pipeline:false "im" 0 n_images
+        [
+          for_ "i" 0 npix [ read_at "img" (v "i") "in" ];
+          for_ ~pipeline:false "r" 0 image_size
+            [
+              for_ "cc" 0 image_size
+                [
+                  assign "b0" Expr.(Select (sum 0 > c i32 0, c i4 1, c i4 0));
+                  assign "b1" Expr.(Select (sum 1 > c i32 0, c i4 1, c i4 0));
+                  write "out" Expr.(v "b0" lor (v "b1" lsl c i32 1));
+                ];
+            ];
+        ];
+    ]
+
+let conv2_op w =
+  (* XNOR-popcount across both input channels' 3x3 neighbourhoods. *)
+  let contrib out_ch =
+    reduce_tree
+      (List.map
+         (fun (in_ch, dr, dc) ->
+           let wt = w.conv2.((out_ch * n_channels * 9) + (in_ch * 9) + (dr * 3) + dc) in
+           let bit = Expr.((tap "a" "r" "cc" dr dc lsr c i32 in_ch) land c i32 1) in
+           (* xnor(bit, wt) = 1 when equal *)
+           Expr.(Select (bit = c i4 wt, c i4 1, c i4 0)))
+         (List.concat_map
+            (fun in_ch ->
+              List.concat_map (fun dr -> List.map (fun dc -> (in_ch, dr, dc)) [ 0; 1; 2 ]) [ 0; 1; 2 ])
+            [ 0; 1 ]))
+  in
+  let threshold = n_channels * 9 / 2 in
+  pipe_op ~name:"bnn_conv2" ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:[ Op.array "a" i4 npix; Op.scalar "b0" i4; Op.scalar "b1" i4 ]
+    [
+      for_ ~pipeline:false "im" 0 n_images
+        [
+          for_ "i" 0 npix [ read_at "a" (v "i") "in" ];
+          for_ ~pipeline:false "r" 0 image_size
+            [
+              for_ "cc" 0 image_size
+                [
+                  assign "b0" Expr.(Select (contrib 0 > c i32 threshold, c i4 1, c i4 0));
+                  assign "b1" Expr.(Select (contrib 1 > c i32 threshold, c i4 1, c i4 0));
+                  write "out" Expr.(v "b0" lor (v "b1" lsl c i32 1));
+                ];
+            ];
+        ];
+    ]
+
+let pool_op =
+  let s2 = image_size / 2 in
+  pipe_op ~name:"bnn_pool" ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:[ Op.array "a" i4 npix ]
+    [
+      for_ ~pipeline:false "im" 0 n_images
+        [
+          for_ "i" 0 npix [ read_at "a" (v "i") "in" ];
+          for_ ~pipeline:false "r" 0 s2
+            [
+              for_ "cc" 0 s2
+                [
+                  (* 2x2 max pool = bitwise OR of the four 2-bit cells. *)
+                  write "out"
+                    Expr.(
+                      Idx ("a", ((v "r" * c i32 2) * c i32 image_size) + (v "cc" * c i32 2))
+                      lor Idx ("a", ((v "r" * c i32 2) * c i32 image_size) + (v "cc" * c i32 2) + c i32 1)
+                      lor Idx ("a", (((v "r" * c i32 2) + c i32 1) * c i32 image_size) + (v "cc" * c i32 2))
+                      lor Idx ("a", (((v "r" * c i32 2) + c i32 1) * c i32 image_size) + (v "cc" * c i32 2) + c i32 1));
+                ];
+            ];
+        ];
+    ]
+
+let fc1_op w =
+  let masks = Array.map (Value.of_int u32) w.fc1 in
+  let pop4 = Array.init 16 (fun n -> Value.of_int i32 ((n land 1) + (n lsr 1 land 1) + (n lsr 2 land 1) + (n lsr 3 land 1))) in
+  pipe_op ~name:"bnn_fc1" ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:
+      [
+        Op.array ~init:masks "w" u32 n_hidden; Op.array ~init:pop4 "pop4" i32 16;
+        Op.scalar "x" u32; Op.scalar "t" u32; Op.scalar "y" u32; Op.scalar "acc" i32;
+        Op.scalar "h" i32;
+      ]
+    [
+      for_ ~pipeline:false "im" 0 n_images
+        [
+          assign "x" (c u32 0);
+          for_ ~pipeline:false "i" 0 (npix / 4)
+            [
+              read "t" "in";
+              assign "x" Expr.(v "x" lor ((v "t" land c u32 3) lsl (v "i" * c i32 2)));
+            ];
+          assign "h" (c i32 0);
+          for_ ~pipeline:false "j" 0 n_hidden
+            [
+              (* popcount of xnor(x, w[j]) over 32 bits *)
+              assign "y" Expr.(Un (BNot, v "x" lxor "w".%[v "j"]));
+              assign "acc" (c i32 0);
+              for_ "n" 0 8
+                [
+                  assign "acc" Expr.(v "acc" + "pop4".%[Cast (i32, v "y" land c u32 15)]);
+                  assign "y" Expr.(v "y" lsr c i32 4);
+                ];
+              if_ Expr.(v "acc" > c i32 16) [ assign "h" Expr.(v "h" lor (c i32 1 lsl v "j")) ] [];
+            ];
+          write "out" (v "h");
+        ];
+    ]
+
+let fc2_op w =
+  let weights = Array.map (Value.of_int i32) w.fc2 in
+  pipe_op ~name:"bnn_fc2" ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:
+      [
+        Op.array ~init:weights "w" i32 (n_classes * n_hidden);
+        Op.scalar "h" i32; Op.scalar "s" i32; Op.scalar "best" i32; Op.scalar "bestk" i32;
+        Op.scalar "wv" i32;
+      ]
+    [
+      for_ ~pipeline:false "im" 0 n_images
+        [
+          read "h" "in";
+          assign "best" (c i32 (-100000));
+          assign "bestk" (c i32 0);
+          for_ ~pipeline:false "k" 0 n_classes
+            [
+              assign "s" (c i32 0);
+              for_ ~pipeline:false "j" 0 n_hidden
+                [
+                  assign "wv" ("w".%[Expr.((v "k" * c i32 n_hidden) + v "j")]);
+                  if_
+                    Expr.(((v "h" lsr v "j") land c i32 1) = c i32 1)
+                    [ assign "s" Expr.(v "s" + v "wv") ]
+                    [ assign "s" Expr.(v "s" - v "wv") ];
+                ];
+              if_ Expr.(v "s" > v "best") [ assign "best" (v "s"); assign "bestk" (v "k") ] [];
+            ];
+          write "out" (v "bestk");
+        ];
+    ]
+
+let graph ?(seed = 13) ?(target = Graph.Hw { page_hint = None }) () =
+  let w = make_weights seed in
+  chain ~name:"bnn" ~input:"images_in" ~output:"class_out"
+    [
+      (conv1_op w, target); (conv2_op w, target); (pool_op, target); (fc1_op w, target);
+      (fc2_op w, target);
+    ]
+
+let workload ?(seed = 13) () =
+  let rng = Pld_util.Rng.create (seed + 99) in
+  let words =
+    List.concat (List.init n_images (fun _ -> List.init npix (fun _ -> Pld_util.Rng.int rng 16)))
+  in
+  [ ("images_in", word_values words) ]
+
+(* ---------- integer-exact reference ---------- *)
+
+let reference ?(seed = 13) inputs =
+  let w = make_weights seed in
+  let ws = Array.of_list (List.map Value.to_int (List.assoc "images_in" inputs)) in
+  let s = image_size in
+  List.init n_images (fun im ->
+      let img = Array.sub ws (im * npix) npix in
+      let at a r cc = if r < 0 || r >= s || cc < 0 || cc >= s then 0 else a.((r * s) + cc) in
+      let conv1 =
+        Array.init npix (fun i ->
+            let r = i / s and cc = i mod s in
+            let bit ch =
+              let acc = ref 0 in
+              for dr = 0 to 2 do
+                for dc = 0 to 2 do
+                  acc := !acc + (w.conv1.((ch * 9) + (dr * 3) + dc) * at img (r + dr - 1) (cc + dc - 1))
+                done
+              done;
+              if !acc > 0 then 1 else 0
+            in
+            bit 0 lor (bit 1 lsl 1))
+      in
+      let conv2 =
+        Array.init npix (fun i ->
+            let r = i / s and cc = i mod s in
+            let bit out_ch =
+              let acc = ref 0 in
+              for in_ch = 0 to 1 do
+                for dr = 0 to 2 do
+                  for dc = 0 to 2 do
+                    let b = (at conv1 (r + dr - 1) (cc + dc - 1) lsr in_ch) land 1 in
+                    let wt = w.conv2.((out_ch * n_channels * 9) + (in_ch * 9) + (dr * 3) + dc) in
+                    if b = wt then incr acc
+                  done
+                done
+              done;
+              if !acc > n_channels * 9 / 2 then 1 else 0
+            in
+            bit 0 lor (bit 1 lsl 1))
+      in
+      let s2 = s / 2 in
+      let pooled =
+        Array.init (s2 * s2) (fun i ->
+            let r = i / s2 and cc = i mod s2 in
+            at conv2 (2 * r) (2 * cc) lor at conv2 (2 * r) ((2 * cc) + 1)
+            lor at conv2 ((2 * r) + 1) (2 * cc)
+            lor at conv2 ((2 * r) + 1) ((2 * cc) + 1))
+      in
+      let x = Array.to_list pooled |> List.mapi (fun i v -> (v land 3) lsl (2 * i)) |> List.fold_left ( lor ) 0 in
+      let h = ref 0 in
+      for j = 0 to n_hidden - 1 do
+        let y = lnot (x lxor w.fc1.(j)) land 0xFFFFFFFF in
+        let rec pc v acc = if v = 0 then acc else pc (v lsr 1) (acc + (v land 1)) in
+        if pc y 0 > 16 then h := !h lor (1 lsl j)
+      done;
+      let best = ref (-100000) and bestk = ref 0 in
+      for k = 0 to n_classes - 1 do
+        let sc = ref 0 in
+        for j = 0 to n_hidden - 1 do
+          let wv = w.fc2.((k * n_hidden) + j) in
+          if (!h lsr j) land 1 = 1 then sc := !sc + wv else sc := !sc - wv
+        done;
+        if !sc > !best then begin
+          best := !sc;
+          bestk := k
+        end
+      done;
+      !bestk)
+
+let check ?seed ~inputs outputs =
+  List.map Value.to_int (List.assoc "class_out" outputs) = reference ?seed inputs

@@ -1,0 +1,137 @@
+open Pld_ir
+open Dsl
+
+let n_stages = 5
+let vectors_per_stage = 4
+let words_per_digit = 7
+let n_tests = 8
+let n_train = n_stages * vectors_per_stage
+
+let popcount4 = Array.init 16 (fun n -> Value.of_int i32 ((n land 1) + (n lsr 1 land 1) + (n lsr 2 land 1) + (n lsr 3 land 1)))
+
+let training_set seed =
+  let rng = Pld_util.Rng.create (seed * 77 + 5) in
+  Array.init n_train (fun k ->
+      let words = Array.init words_per_digit (fun _ -> Int64.to_int (Int64.logand (Pld_util.Rng.bits64 rng) 0xFFFFFFFFL)) in
+      (words, k mod 10))
+
+(* One systolic stage: compare the incoming digit against this stage's
+   slice of the training set and update the running best. *)
+let stage_op seed s =
+  let train = training_set seed in
+  let slice = Array.sub train (s * vectors_per_stage) vectors_per_stage in
+  let train_words =
+    Array.concat (Array.to_list (Array.map (fun (ws, _) -> Array.map (Value.of_int u32) ws) slice))
+  in
+  let labels = Array.map (fun (_, l) -> Value.of_int i32 l) slice in
+  pipe_op
+    ~name:(Printf.sprintf "knn_stage%d" s)
+    ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:
+      [
+        Op.array "buf" u32 words_per_digit;
+        Op.array ~init:train_words "train" u32 (vectors_per_stage * words_per_digit);
+        Op.array ~init:labels "labels" i32 vectors_per_stage;
+        Op.array ~init:popcount4 "pop4" i32 16;
+        Op.scalar "bd" i32; Op.scalar "bl" i32; Op.scalar "dist" i32; Op.scalar "x" u32;
+      ]
+    [
+      for_ ~pipeline:false "t" 0 n_tests
+        [
+          for_ ~pipeline:false "j" 0 words_per_digit [ read_at "buf" (v "j") "in" ];
+          read "bd" "in";
+          read "bl" "in";
+          for_ ~pipeline:false "k" 0 vectors_per_stage
+            [
+              assign "dist" (c i32 0);
+              for_ ~pipeline:false "w" 0 words_per_digit
+                [
+                  assign "x"
+                    Expr.("buf".%[v "w"] lxor "train".%[(v "k" * c i32 words_per_digit) + v "w"]);
+                  for_ "n" 0 8
+                    [
+                      assign "dist" Expr.(v "dist" + "pop4".%[Cast (i32, v "x" land c u32 15)]);
+                      assign "x" Expr.(v "x" lsr c i32 4);
+                    ];
+                ];
+              if_
+                Expr.(v "dist" < v "bd")
+                [ assign "bd" (v "dist"); assign "bl" ("labels".%[v "k"]) ]
+                [];
+            ];
+          for_ ~pipeline:false "j" 0 words_per_digit [ write "out" ("buf".%[v "j"]) ];
+          write "out" (v "bd");
+          write "out" (v "bl");
+        ];
+    ]
+
+(* Head: inject the initial (max distance, no label) pair. *)
+let injector =
+  pipe_op ~name:"knn_inject" ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:[ Op.scalar "x" u32 ]
+    [
+      for_ ~pipeline:false "t" 0 n_tests
+        [
+          for_ ~pipeline:false "j" 0 words_per_digit [ read "x" "in"; write "out" (v "x") ];
+          write "out" (c i32 9999);
+          write "out" (c i32 (-1));
+        ];
+    ]
+
+(* Tail: keep only the winning label. *)
+let vote =
+  pipe_op ~name:"knn_vote" ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:[ Op.scalar "x" u32; Op.scalar "bl" i32 ]
+    [
+      for_ ~pipeline:false "t" 0 n_tests
+        [
+          for_ ~pipeline:false "j" 0 (words_per_digit + 1) [ read "x" "in" ];
+          read "bl" "in";
+          write "out" (v "bl");
+        ];
+    ]
+
+let graph ?(seed = 9) ?(target = Graph.Hw { page_hint = None }) () =
+  chain ~name:"digit_recognition" ~input:"digits_in" ~output:"labels_out"
+    ((injector, target)
+    :: List.init n_stages (fun s -> (stage_op seed s, target))
+    @ [ (vote, target) ])
+
+let workload ?(seed = 9) () =
+  let train = training_set seed in
+  let rng = Pld_util.Rng.create (seed + 1000) in
+  let words =
+    List.concat
+      (List.init n_tests (fun _ ->
+           let k = Pld_util.Rng.int rng n_train in
+           let ws, _ = train.(k) in
+           (* Flip a few bits of a training vector. *)
+           List.init words_per_digit (fun j ->
+               let flips = 1 lsl Pld_util.Rng.int rng 32 in
+               (ws.(j) lxor flips) land 0xFFFFFFFF)))
+  in
+  [ ("digits_in", word_values words) ]
+
+let popcount x =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go x 0
+
+let reference ?(seed = 9) inputs =
+  let train = training_set seed in
+  let ws = Array.of_list (List.map Value.to_int (List.assoc "digits_in" inputs)) in
+  List.init n_tests (fun t ->
+      let digit = Array.sub ws (t * words_per_digit) words_per_digit in
+      let best = ref (9999, -1) in
+      Array.iter
+        (fun (tw, label) ->
+          let d = ref 0 in
+          Array.iteri (fun j w -> d := !d + popcount (w lxor digit.(j))) tw;
+          if !d < fst !best then best := (!d, label))
+        train;
+      snd !best)
+
+let check ?seed ~inputs outputs =
+  let got = List.map Value.to_int (List.assoc "labels_out" outputs) in
+  (* Labels may come back as 32-bit wrapped ints. *)
+  let got = List.map (fun x -> if x > 0x7FFFFFFF then x - 0x100000000 else x) got in
+  got = reference ?seed inputs

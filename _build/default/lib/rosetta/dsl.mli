@@ -1,0 +1,62 @@
+(** Construction helpers shared by the Rosetta benchmark graphs. *)
+
+open Pld_ir
+
+val u32 : Dtype.t
+val i32 : Dtype.t
+val fx32 : Dtype.t
+(** ap_fixed<32,17>, the optical-flow working type. *)
+
+val fx64 : Dtype.t
+(** ap_fixed<64,40>, the wide intermediate type. *)
+
+val c : Dtype.t -> int -> Expr.t
+(** Integer constant. *)
+
+val cf : Dtype.t -> float -> Expr.t
+val v : string -> Expr.t
+val idx : string -> Expr.t -> Expr.t
+val ( .%[] ) : string -> Expr.t -> Expr.t
+
+val assign : string -> Expr.t -> Op.stmt
+val set : string -> Expr.t -> Expr.t -> Op.stmt
+(** [set a i e] is [a[i] = e]. *)
+
+val read : string -> string -> Op.stmt
+(** [read x port] *)
+
+val read_at : string -> Expr.t -> string -> Op.stmt
+val write : string -> Expr.t -> Op.stmt
+(** [write port e] *)
+
+val for_ : ?pipeline:bool -> string -> int -> int -> Op.stmt list -> Op.stmt
+val if_ : Expr.t -> Op.stmt list -> Op.stmt list -> Op.stmt
+
+val pipe_op :
+  name:string ->
+  ins:string list ->
+  outs:string list ->
+  ?locals:Op.decl list ->
+  Op.stmt list ->
+  Op.t
+(** Operator with 32-bit word ports. *)
+
+val chain :
+  name:string ->
+  input:string ->
+  output:string ->
+  (Op.t * Graph.target) list ->
+  Graph.t
+(** Linear pipeline: each operator has ports "in"/"out"; channels are
+    generated between consecutive stages. *)
+
+val reduce_tree : Expr.t list -> Expr.t
+(** Balanced addition tree — keeps inferred widths logarithmic, the
+    way HLS builds reduction adders. *)
+
+val words_of_values : Value.t list -> int list
+val word_values : int list -> Value.t list
+val fx_word : float -> Value.t
+(** ap_fixed<32,17> encoded into a 32-bit stream word. *)
+
+val fx_of_word : Value.t -> float

@@ -1,0 +1,181 @@
+open Pld_ir
+open Dsl
+
+let image_size = 16
+let npix = image_size * image_size
+let window = 8
+let stride = 4
+let positions = [ 0; 4; 8 ]
+let windows = List.concat_map (fun r -> List.map (fun c' -> (r, c')) positions) positions
+let n_windows = List.length windows
+
+(* Rectangle sum on the inclusive integral image, with the border
+   corrections resolved statically per window. *)
+let rect_sum r0 c0 r1 c1 =
+  let ii r c' = Expr.Idx ("ii", Expr.int i32 ((r * image_size) + c')) in
+  let base = ii r1 c1 in
+  let sub1 = if r0 > 0 then Some (ii (r0 - 1) c1) else None in
+  let sub2 = if c0 > 0 then Some (ii r1 (c0 - 1)) else None in
+  let add = if r0 > 0 && c0 > 0 then Some (ii (r0 - 1) (c0 - 1)) else None in
+  let e = base in
+  let e = match sub1 with Some s -> Expr.(e - s) | None -> e in
+  let e = match sub2 with Some s -> Expr.(e - s) | None -> e in
+  match add with Some s -> Expr.(e + s) | None -> e
+
+let integral =
+  let outs = [ "o1"; "o2"; "o3"; "o4" ] in
+  pipe_op ~name:"integral" ~ins:[ "in" ] ~outs
+    ~locals:[ Op.array "img" i32 npix; Op.array "ii" i32 npix; Op.scalar "acc" i32 ]
+    ([ for_ "i" 0 npix [ read_at "img" (v "i") "in" ] ]
+    @ [
+        for_ ~pipeline:false "r" 0 image_size
+          [
+            assign "acc" (c i32 0);
+            for_ "cc" 0 image_size
+              [
+                assign "acc" Expr.(v "acc" + "img".%[(v "r" * c i32 image_size) + v "cc"]);
+                if_
+                  Expr.(v "r" > c i32 0)
+                  [
+                    set "ii"
+                      Expr.((v "r" * c i32 image_size) + v "cc")
+                      Expr.(v "acc" + "ii".%[((v "r" - c i32 1) * c i32 image_size) + v "cc"]);
+                  ]
+                  [ set "ii" Expr.((v "r" * c i32 image_size) + v "cc") (v "acc") ];
+              ];
+          ];
+      ]
+    @ List.map (fun o -> for_ "i" 0 npix [ write o ("ii".%[v "i"]) ]) outs)
+
+(* Strong filtering: two Haar features per window (top-bottom and
+   left-right contrast), split across two operators by image region. *)
+let strong name wins =
+  pipe_op ~name ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:[ Op.array "ii" i32 npix; Op.scalar "fa" i32; Op.scalar "fb" i32 ]
+    ([ for_ "i" 0 npix [ read_at "ii" (v "i") "in" ] ]
+    @ List.concat_map
+        (fun (r, c') ->
+          let half = window / 2 in
+          let fa_top = rect_sum r c' (r + half - 1) (c' + window - 1) in
+          let fa_bot = rect_sum (r + half) c' (r + window - 1) (c' + window - 1) in
+          let fb_left = rect_sum r c' (r + window - 1) (c' + half - 1) in
+          let fb_right = rect_sum r (c' + half) (r + window - 1) (c' + window - 1) in
+          [
+            assign "fa" Expr.(fa_top - fa_bot);
+            assign "fb" Expr.(fb_left - fb_right);
+            write "out" Expr.((c i32 2 * v "fa") + (c i32 3 * v "fb"));
+          ])
+        wins)
+
+(* Interleave the two strong streams back into window order. *)
+let collect n_a n_b =
+  pipe_op ~name:"collect" ~ins:[ "a"; "b" ] ~outs:[ "out" ]
+    ~locals:[ Op.scalar "x" i32 ]
+    [
+      for_ ~pipeline:false "i" 0 n_a [ read "x" "a"; write "out" (v "x") ];
+      for_ ~pipeline:false "i" 0 n_b [ read "x" "b"; write "out" (v "x") ];
+    ]
+
+(* Weak filtering: each operator applies one extra filter set to every
+   candidate window and folds it into the running score. *)
+let weak name feature_of_window =
+  pipe_op ~name ~ins:[ "ii_in"; "s_in" ] ~outs:[ "out" ]
+    ~locals:[ Op.array "ii" i32 npix; Op.scalar "s" i32 ]
+    ([ for_ "i" 0 npix [ read_at "ii" (v "i") "ii_in" ] ]
+    @ List.concat_map
+        (fun (r, c') ->
+          [ read "s" "s_in"; write "out" Expr.(v "s" + feature_of_window r c') ])
+        windows)
+
+(* Center-surround contrast. *)
+let feature_c r c' =
+  let q = window / 4 in
+  let inner = rect_sum (r + q) (c' + q) (r + window - q - 1) (c' + window - q - 1) in
+  let whole = rect_sum r c' (r + window - 1) (c' + window - 1) in
+  Expr.((c i32 4 * inner) - whole)
+
+(* Diagonal quadrant contrast. *)
+let feature_d r c' =
+  let half = window / 2 in
+  let q1 = rect_sum r c' (r + half - 1) (c' + half - 1) in
+  let q2 = rect_sum (r + half) (c' + half) (r + window - 1) (c' + window - 1) in
+  let q3 = rect_sum r (c' + half) (r + half - 1) (c' + window - 1) in
+  let q4 = rect_sum (r + half) c' (r + window - 1) (c' + half - 1) in
+  Expr.(q1 + q2 - q3 - q4)
+
+let split_windows = List.filteri (fun i _ -> i < 5) windows
+let rest_windows = List.filteri (fun i _ -> i >= 5) windows
+
+let graph ?(target = Graph.Hw { page_hint = None }) () =
+  let ch = Graph.channel in
+  Graph.make ~name:"face_detection"
+    ~channels:
+      [
+        ch "image_in"; ch ~depth:npix "c_ii_a"; ch ~depth:npix "c_ii_b"; ch ~depth:npix "c_ii_w1";
+        ch ~depth:npix "c_ii_w2"; ch ~depth:16 "c_sa"; ch ~depth:16 "c_sb"; ch ~depth:16 "c_s";
+        ch ~depth:16 "c_w1"; ch "faces_out";
+      ]
+    ~instances:
+      [
+        Graph.instance ~target integral
+          [ ("in", "image_in"); ("o1", "c_ii_a"); ("o2", "c_ii_b"); ("o3", "c_ii_w1"); ("o4", "c_ii_w2") ];
+        Graph.instance ~target (strong "strong_a" split_windows) [ ("in", "c_ii_a"); ("out", "c_sa") ];
+        Graph.instance ~target (strong "strong_b" rest_windows) [ ("in", "c_ii_b"); ("out", "c_sb") ];
+        Graph.instance ~target (collect 5 4) [ ("a", "c_sa"); ("b", "c_sb"); ("out", "c_s") ];
+        Graph.instance ~target (weak "weak_c" feature_c) [ ("ii_in", "c_ii_w1"); ("s_in", "c_s"); ("out", "c_w1") ];
+        Graph.instance ~target (weak "weak_d" feature_d) [ ("ii_in", "c_ii_w2"); ("s_in", "c_w1"); ("out", "faces_out") ];
+      ]
+    ~inputs:[ "image_in" ] ~outputs:[ "faces_out" ]
+
+let workload ?(seed = 21) () =
+  let rng = Pld_util.Rng.create seed in
+  (* A bright blob (face-ish) on a dark background plus noise. *)
+  let words =
+    List.init npix (fun i ->
+        let r = i / image_size and c' = i mod image_size in
+        let blob = if r >= 4 && r < 12 && c' >= 4 && c' < 12 then 150 else 40 in
+        (blob + Pld_util.Rng.int rng 30) land 0xFF)
+  in
+  [ ("image_in", word_values words) ]
+
+let reference inputs =
+  let ws = Array.of_list (List.map Value.to_int (List.assoc "image_in" inputs)) in
+  let ii = Array.make npix 0 in
+  for r = 0 to image_size - 1 do
+    let acc = ref 0 in
+    for c' = 0 to image_size - 1 do
+      acc := !acc + ws.((r * image_size) + c');
+      ii.((r * image_size) + c') <- (!acc + if r > 0 then ii.(((r - 1) * image_size) + c') else 0)
+    done
+  done;
+  let rect r0 c0 r1 c1 =
+    let at r c' = if r < 0 || c' < 0 then 0 else ii.((r * image_size) + c') in
+    at r1 c1 - at (r0 - 1) c1 - at r1 (c0 - 1) + at (r0 - 1) (c0 - 1)
+  in
+  List.map
+    (fun (r, c') ->
+      let half = window / 2 and q = window / 4 in
+      let fa = rect r c' (r + half - 1) (c' + window - 1) - rect (r + half) c' (r + window - 1) (c' + window - 1) in
+      let fb = rect r c' (r + window - 1) (c' + half - 1) - rect r (c' + half) (r + window - 1) (c' + window - 1) in
+      let fc = (4 * rect (r + q) (c' + q) (r + window - q - 1) (c' + window - q - 1)) - rect r c' (r + window - 1) (c' + window - 1) in
+      let fd =
+        rect r c' (r + half - 1) (c' + half - 1)
+        + rect (r + half) (c' + half) (r + window - 1) (c' + window - 1)
+        - rect r (c' + half) (r + half - 1) (c' + window - 1)
+        - rect (r + half) c' (r + window - 1) (c' + half - 1)
+      in
+      (2 * fa) + (3 * fb) + fc + fd)
+    windows
+
+let check ~inputs outputs =
+  let expect = reference inputs in
+  let got =
+    List.map
+      (fun v ->
+        let x = Value.to_int v in
+        if x > 0x7FFFFFFF then x - 0x100000000 else x)
+      (List.assoc "faces_out" outputs)
+  in
+  got = expect
+
+let _ = ignore stride

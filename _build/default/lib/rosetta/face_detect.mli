@@ -1,0 +1,17 @@
+(** Rosetta face detection (§7.2): integral image → strong (cascade)
+    filtering split by image region → weak filtering split by filter
+    set → merge, over a fixed grid of candidate windows. *)
+
+open Pld_ir
+
+val image_size : int
+val n_windows : int
+
+val graph : ?target:Graph.target -> unit -> Graph.t
+(** Input ["image_in"]: 256 pixel words; output ["faces_out"]: one
+    score word per window (sign bit decides face / not-face at the
+    host). *)
+
+val workload : ?seed:int -> unit -> (string * Value.t list) list
+val reference : (string * Value.t list) list -> int list
+val check : inputs:(string * Value.t list) list -> (string * Value.t list) list -> bool

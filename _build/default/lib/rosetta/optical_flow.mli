@@ -1,0 +1,23 @@
+(** Rosetta optical flow (§7.2): the Lucas–Kanade tensor pipeline of
+    Fig. 2 — unpack → grad_xy / grad_z → weight_y → tensor_y →
+    tensor_x → flow_calc — on a scaled frame, with the paper's
+    ap_fixed<32,17> working type and ap_fixed<64,40> intermediates. *)
+
+open Pld_ir
+
+val height : int
+val width : int
+
+val graph : ?target:Graph.target -> unit -> Graph.t
+(** Input channel ["frames_in"] carries 2 words per pixel (current,
+    previous); output ["flow_out"] carries 2 words per pixel (u, v) as
+    ap_fixed<32,17> bit patterns. *)
+
+val workload : ?seed:int -> unit -> (string * Value.t list) list
+
+val reference : (string * Value.t list) list -> (float * float) array
+(** Independent float model of the pipeline (same stencils), for
+    tolerance checking. *)
+
+val check : inputs:(string * Value.t list) list -> (string * Value.t list) list -> bool
+(** Output u/v within 0.1 of the float reference. *)

@@ -1,0 +1,134 @@
+open Pld_ir
+open Dsl
+
+let n_triangles = 8
+let height = 16
+let width = 16
+let half = height / 2
+let background = 255
+
+(* Project a triangle to screen space and reduce it to a bounding box
+   plus a representative depth — per-triangle 5-word descriptors,
+   duplicated to both rasterizer regions. *)
+let proj =
+  let vmin3 a b c' = Expr.(Select (a < b, Select (a < c', a, c'), Select (b < c', b, c'))) in
+  let vmax3 a b c' = Expr.(Select (a > b, Select (a > c', a, c'), Select (b > c', b, c'))) in
+  pipe_op ~name:"proj" ~ins:[ "in" ] ~outs:[ "o1"; "o2" ]
+    ~locals:
+      [
+        Op.array "t" i32 9; Op.scalar "minx" i32; Op.scalar "miny" i32; Op.scalar "maxx" i32;
+        Op.scalar "maxy" i32; Op.scalar "z" i32;
+      ]
+    [
+      for_ "i" 0 n_triangles
+        ([
+           for_ ~pipeline:false "j" 0 9 [ read_at "t" (v "j") "in" ];
+           assign "minx" (vmin3 ("t".%[c i32 0]) ("t".%[c i32 3]) ("t".%[c i32 6]));
+           assign "maxx" (vmax3 ("t".%[c i32 0]) ("t".%[c i32 3]) ("t".%[c i32 6]));
+           assign "miny" (vmin3 ("t".%[c i32 1]) ("t".%[c i32 4]) ("t".%[c i32 7]));
+           assign "maxy" (vmax3 ("t".%[c i32 1]) ("t".%[c i32 4]) ("t".%[c i32 7]));
+           assign "z"
+             Expr.(("t".%[c i32 2] + "t".%[c i32 5] + "t".%[c i32 8]) / c i32 3);
+         ]
+        @ List.concat_map
+            (fun port ->
+              [
+                write port (v "minx"); write port (v "miny"); write port (v "maxx");
+                write port (v "maxy"); write port (v "z");
+              ])
+            [ "o1"; "o2" ]);
+    ]
+
+(* Rasterize triangles into the region [row0, row0+half): bounding-box
+   fill with a z-buffer, streamed out at the end of the frame. *)
+let rast name row0 =
+  pipe_op ~name ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:
+      [
+        Op.array "zbuf" i32 (half * width);
+        Op.scalar "minx" i32; Op.scalar "miny" i32; Op.scalar "maxx" i32; Op.scalar "maxy" i32;
+        Op.scalar "z" i32; Op.scalar "row" i32;
+      ]
+    [
+      for_ "i" 0 (half * width) [ set "zbuf" (v "i") (c i32 background) ];
+      for_ ~pipeline:false "i" 0 n_triangles
+        [
+          read "minx" "in"; read "miny" "in"; read "maxx" "in"; read "maxy" "in"; read "z" "in";
+          for_ ~pipeline:false "r" 0 half
+            [
+              assign "row" Expr.(v "r" + c i32 row0);
+              for_ "cc" 0 width
+                [
+                  if_
+                    Expr.(
+                      v "row" >= v "miny" && v "row" <= v "maxy" && v "cc" >= v "minx"
+                      && v "cc" <= v "maxx"
+                      && v "z" < "zbuf".%[(v "r" * c i32 width) + v "cc"])
+                    [ set "zbuf" Expr.((v "r" * c i32 width) + v "cc") (v "z") ]
+                    [];
+                ];
+            ];
+        ];
+      for_ "i" 0 (half * width) [ write "out" ("zbuf".%[v "i"]) ];
+    ]
+
+let merge =
+  pipe_op ~name:"zmerge" ~ins:[ "top"; "bot" ] ~outs:[ "out" ]
+    ~locals:[ Op.scalar "x" i32 ]
+    [
+      for_ "i" 0 (half * width) [ read "x" "top"; write "out" (v "x") ];
+      for_ "i" 0 (half * width) [ read "x" "bot"; write "out" (v "x") ];
+    ]
+
+let graph ?(target = Graph.Hw { page_hint = None }) () =
+  let ch = Graph.channel in
+  Graph.make ~name:"rendering"
+    ~channels:
+      [
+        ch "tri_in"; ch ~depth:64 "c_top"; ch ~depth:64 "c_bot"; ch ~depth:256 "c_zt";
+        ch ~depth:256 "c_zb"; ch "frame_out";
+      ]
+    ~instances:
+      [
+        Graph.instance ~target proj [ ("in", "tri_in"); ("o1", "c_top"); ("o2", "c_bot") ];
+        Graph.instance ~target (rast "rast_top" 0) [ ("in", "c_top"); ("out", "c_zt") ];
+        Graph.instance ~target (rast "rast_bot" half) [ ("in", "c_bot"); ("out", "c_zb") ];
+        Graph.instance ~target merge [ ("top", "c_zt"); ("bot", "c_zb"); ("out", "frame_out") ];
+      ]
+    ~inputs:[ "tri_in" ] ~outputs:[ "frame_out" ]
+
+let workload ?(seed = 3) () =
+  let rng = Pld_util.Rng.create seed in
+  let words =
+    List.concat
+      (List.init n_triangles (fun _ ->
+           List.concat
+             (List.init 3 (fun _ ->
+                  [ Pld_util.Rng.int rng width; Pld_util.Rng.int rng height; Pld_util.Rng.int rng 200 ]))))
+  in
+  [ ("tri_in", word_values words) ]
+
+let reference inputs =
+  let ws = Array.of_list (List.map Value.to_int (List.assoc "tri_in" inputs)) in
+  let frame = Array.make (height * width) background in
+  for t = 0 to n_triangles - 1 do
+    let g i = ws.((9 * t) + i) in
+    let xs = [ g 0; g 3; g 6 ] and ys = [ g 1; g 4; g 7 ] in
+    let minx = List.fold_left min max_int xs and maxx = List.fold_left max 0 xs in
+    let miny = List.fold_left min max_int ys and maxy = List.fold_left max 0 ys in
+    let z = (g 2 + g 5 + g 8) / 3 in
+    for r = miny to maxy do
+      for cc = minx to maxx do
+        if r >= 0 && r < height && cc >= 0 && cc < width then begin
+          let i = (r * width) + cc in
+          if z < frame.(i) then frame.(i) <- z
+        end
+      done
+    done
+  done;
+  frame
+
+let check ~inputs outputs =
+  let expect = reference inputs in
+  let got = List.map Value.to_int (List.assoc "frame_out" outputs) in
+  List.length got = Array.length expect && List.for_all2 ( = ) got (Array.to_list expect)

@@ -1,0 +1,118 @@
+open Pld_ir
+open Dsl
+
+let n_features = 64
+let n_lanes = 4
+let lane_width = n_features / n_lanes
+let n_samples = 16
+
+let weights seed =
+  let rng = Pld_util.Rng.create (seed * 131 + 7) in
+  Array.init n_features (fun _ -> Pld_util.Rng.float rng 2.0 -. 1.0)
+
+let bias = -0.25
+
+(* Scatter each sample's features across the dot-product lanes. *)
+let scatter =
+  let outs = List.init n_lanes (fun j -> Printf.sprintf "o%d" j) in
+  pipe_op ~name:"scatter" ~ins:[ "in" ] ~outs ~locals:[ Op.scalar "x" u32 ]
+    [
+      for_ ~pipeline:false "s" 0 n_samples
+        (List.concat_map
+           (fun j ->
+             [ for_ "i" 0 lane_width [ read "x" "in"; write (Printf.sprintf "o%d" j) (v "x") ] ])
+           (List.init n_lanes Fun.id));
+    ]
+
+let dot_lane seed j =
+  let w = weights seed in
+  let lane_weights =
+    Array.init lane_width (fun i -> Value.of_float fx32 w.((j * lane_width) + i))
+  in
+  pipe_op
+    ~name:(Printf.sprintf "dot%d" j)
+    ~ins:[ "in" ] ~outs:[ "out" ]
+    ~locals:
+      [
+        Op.array ~init:lane_weights "w" fx32 lane_width;
+        Op.scalar "x" fx32; Op.scalar "acc" fx32;
+      ]
+    [
+      for_ ~pipeline:false "s" 0 n_samples
+        [
+          assign "acc" (cf fx32 0.0);
+          for_ "i" 0 lane_width
+            [ read "x" "in"; assign "acc" Expr.(v "acc" + (v "x" * "w".%[v "i"])) ];
+          write "out" (v "acc");
+        ];
+    ]
+
+(* Sum the partial products, add the bias, apply a piecewise-linear
+   sigmoid and threshold at 0.5. *)
+let reduce =
+  let ins = List.init n_lanes (fun j -> Printf.sprintf "i%d" j) in
+  pipe_op ~name:"reduce_sigmoid" ~ins ~outs:[ "out" ]
+    ~locals:[ Op.scalar "acc" fx32; Op.scalar "p" fx32; Op.scalar "sgm" fx32 ]
+    [
+      for_ ~pipeline:false "s" 0 n_samples
+        ([ assign "acc" (cf fx32 bias) ]
+        @ List.concat_map
+            (fun j -> [ read "p" (Printf.sprintf "i%d" j); assign "acc" Expr.(v "acc" + v "p") ])
+            (List.init n_lanes Fun.id)
+        @ [
+            (* sigmoid(x) ~ clamp(0.5 + 0.15 x, 0, 1) *)
+            assign "sgm" Expr.(cf fx32 0.5 + (v "acc" * cf fx32 0.15));
+            if_ Expr.(v "sgm" < cf fx32 0.0) [ assign "sgm" (cf fx32 0.0) ] [];
+            if_ Expr.(v "sgm" > cf fx32 1.0) [ assign "sgm" (cf fx32 1.0) ] [];
+            write "out" Expr.(Select (v "sgm" > cf fx32 0.5, c u32 1, c u32 0));
+          ]);
+    ]
+
+let graph ?(seed = 5) ?(target = Graph.Hw { page_hint = None }) () =
+  let ch = Graph.channel in
+  let lane_chans = List.init n_lanes (fun j -> Printf.sprintf "c_in%d" j) in
+  let part_chans = List.init n_lanes (fun j -> Printf.sprintf "c_dot%d" j) in
+  Graph.make ~name:"spam_filter"
+    ~channels:
+      (ch "samples_in" :: ch "verdict_out"
+      :: List.map (fun n -> ch ~depth:(2 * lane_width) n) lane_chans
+      @ List.map (fun n -> ch ~depth:n_samples n) part_chans)
+    ~instances:
+      (Graph.instance ~target scatter
+         (("in", "samples_in") :: List.mapi (fun j ch -> (Printf.sprintf "o%d" j, ch)) lane_chans)
+      :: Graph.instance ~target reduce
+           (List.mapi (fun j ch -> (Printf.sprintf "i%d" j, ch)) part_chans
+           @ [ ("out", "verdict_out") ])
+      :: List.init n_lanes (fun j ->
+             Graph.instance ~target (dot_lane seed j)
+               [ ("in", List.nth lane_chans j); ("out", List.nth part_chans j) ]))
+    ~inputs:[ "samples_in" ] ~outputs:[ "verdict_out" ]
+
+let workload ?(seed = 5) () =
+  let rng = Pld_util.Rng.create (seed + 17) in
+  let words =
+    List.concat
+      (List.init n_samples (fun _ ->
+           List.init n_features (fun _ ->
+               Value.to_int (fx_word (Pld_util.Rng.float rng 2.0 -. 1.0)))))
+  in
+  [ ("samples_in", word_values words) ]
+
+let reference ?(seed = 5) inputs =
+  let w = weights seed in
+  let ws = Array.of_list (List.map (fun v -> fx_of_word v) (List.assoc "samples_in" inputs)) in
+  List.init n_samples (fun s ->
+      let acc = ref bias in
+      for i = 0 to n_features - 1 do
+        acc := !acc +. (ws.((s * n_features) + i) *. w.(i))
+      done;
+      let sgm = Float.max 0.0 (Float.min 1.0 (0.5 +. (0.15 *. !acc))) in
+      (sgm, if sgm > 0.5 then 1 else 0))
+
+let check ?seed ~inputs outputs =
+  let expect = reference ?seed inputs in
+  let got = List.map Value.to_int (List.assoc "verdict_out" outputs) in
+  List.length got = n_samples
+  && List.for_all2
+       (fun (score, verdict) g -> Float.abs (score -. 0.5) < 0.02 || g = verdict)
+       expect got

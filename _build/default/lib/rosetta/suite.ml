@@ -1,0 +1,58 @@
+open Pld_ir
+
+type bench = {
+  name : string;
+  paper_name : string;
+  graph : Graph.target -> Graph.t;
+  workload : unit -> (string * Value.t list) list;
+  check : inputs:(string * Value.t list) list -> (string * Value.t list) list -> bool;
+}
+
+let all =
+  [
+    {
+      name = "rendering";
+      paper_name = "3D Rendering";
+      graph = (fun target -> Rendering.graph ~target ());
+      workload = (fun () -> Rendering.workload ());
+      check = (fun ~inputs outputs -> Rendering.check ~inputs outputs);
+    };
+    {
+      name = "digit";
+      paper_name = "Digit Recognition";
+      graph = (fun target -> Digit_recog.graph ~target ());
+      workload = (fun () -> Digit_recog.workload ());
+      check = (fun ~inputs outputs -> Digit_recog.check ~inputs outputs);
+    };
+    {
+      name = "spam";
+      paper_name = "Spam Filter";
+      graph = (fun target -> Spam_filter.graph ~target ());
+      workload = (fun () -> Spam_filter.workload ());
+      check = (fun ~inputs outputs -> Spam_filter.check ~inputs outputs);
+    };
+    {
+      name = "optical";
+      paper_name = "Optical Flow";
+      graph = (fun target -> Optical_flow.graph ~target ());
+      workload = (fun () -> Optical_flow.workload ());
+      check = (fun ~inputs outputs -> Optical_flow.check ~inputs outputs);
+    };
+    {
+      name = "face";
+      paper_name = "Face Detection";
+      graph = (fun target -> Face_detect.graph ~target ());
+      workload = (fun () -> Face_detect.workload ());
+      check = (fun ~inputs outputs -> Face_detect.check ~inputs outputs);
+    };
+    {
+      name = "bnn";
+      paper_name = "Binary NN";
+      graph = (fun target -> Bnn.graph ~target ());
+      workload = (fun () -> Bnn.workload ());
+      check = (fun ~inputs outputs -> Bnn.check ~inputs outputs);
+    };
+  ]
+
+let find name = List.find (fun b -> b.name = name) all
+let names = List.map (fun b -> b.name) all

@@ -1,0 +1,18 @@
+(** Uniform access to all six Rosetta benchmarks for the test and
+    benchmark harnesses. *)
+
+open Pld_ir
+
+type bench = {
+  name : string;
+  paper_name : string;  (** row label used in the paper's tables *)
+  graph : Graph.target -> Graph.t;
+  workload : unit -> (string * Value.t list) list;
+  check : inputs:(string * Value.t list) list -> (string * Value.t list) list -> bool;
+}
+
+val all : bench list
+val find : string -> bench
+(** Raises [Not_found]. *)
+
+val names : string list

@@ -1,0 +1,1 @@
+lib/util/digest_lite.ml: Char Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/util/digest_lite.mli: Format

@@ -1,0 +1,1 @@
+lib/util/topo.ml: Array Int List Set

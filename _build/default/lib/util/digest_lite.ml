@@ -1,0 +1,17 @@
+type t = string
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let hash64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let of_string s = Printf.sprintf "%016Lx" (hash64 s)
+let combine ts = of_string (String.concat "|" ts)
+let pp fmt t = Format.pp_print_string fmt t

@@ -1,0 +1,11 @@
+(** Content hashing for the incremental build cache.
+
+    FNV-1a over bytes, folded to a hex string. Not cryptographic; it only
+    needs to detect source changes between compiles, the same role as the
+    timestamp/hash checks in a Makefile-driven flow. *)
+
+type t = string (** 16 hex characters *)
+
+val of_string : string -> t
+val combine : t list -> t
+val pp : Format.formatter -> t -> unit

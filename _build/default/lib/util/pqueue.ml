@@ -1,0 +1,62 @@
+type 'a t = { mutable keys : float array; mutable vals : 'a option array; mutable n : int }
+
+let create () = { keys = Array.make 16 0.0; vals = Array.make 16 None; n = 0 }
+
+let grow t =
+  let cap = Array.length t.keys in
+  if t.n >= cap then begin
+    let keys = Array.make (2 * cap) 0.0 and vals = Array.make (2 * cap) None in
+    Array.blit t.keys 0 keys 0 cap;
+    Array.blit t.vals 0 vals 0 cap;
+    t.keys <- keys;
+    t.vals <- vals
+  end
+
+let swap t i j =
+  let k = t.keys.(i) and v = t.vals.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.vals.(i) <- t.vals.(j);
+  t.keys.(j) <- k;
+  t.vals.(j) <- v
+
+let push t key v =
+  grow t;
+  t.keys.(t.n) <- key;
+  t.vals.(t.n) <- Some v;
+  let i = ref t.n in
+  t.n <- t.n + 1;
+  while !i > 0 && t.keys.((!i - 1) / 2) > t.keys.(!i) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let key = t.keys.(0) and v = t.vals.(0) in
+    t.n <- t.n - 1;
+    t.keys.(0) <- t.keys.(t.n);
+    t.vals.(0) <- t.vals.(t.n);
+    t.vals.(t.n) <- None;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.n && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+      if r < t.n && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    match v with Some v -> Some (key, v) | None -> None
+  end
+
+let is_empty t = t.n = 0
+let size t = t.n
+
+let clear t =
+  Array.fill t.vals 0 t.n None;
+  t.n <- 0

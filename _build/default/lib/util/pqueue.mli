@@ -1,0 +1,10 @@
+(** Minimal binary min-heap keyed by floats (router/placer workhorse). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val clear : 'a t -> unit

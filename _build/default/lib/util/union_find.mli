@@ -1,0 +1,15 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [0..n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+val groups : t -> int list list
+(** All current sets, each as a sorted list of members. *)

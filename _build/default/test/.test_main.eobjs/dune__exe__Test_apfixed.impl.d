@@ -1,0 +1,1 @@
+test/test_apfixed.ml: Alcotest Ap_fixed Ap_int Bits Float Int64 List Pld_apfixed Printf QCheck QCheck_alcotest

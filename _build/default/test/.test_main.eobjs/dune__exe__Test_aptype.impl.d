@@ -1,0 +1,1 @@
+test/test_aptype.ml: Alcotest Aptype Array Dtype Expr Interp List Pld_ir Printf QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Dtype Expr Hls_compile List Op Pld_hls Pld_ir Pld_netlist Printf QCheck QCheck_alcotest Sched String Synth

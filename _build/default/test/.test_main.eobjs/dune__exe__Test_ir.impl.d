@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Dtype Expr Gen Graph Interp List Op Pld_ir QCheck QCheck_alcotest Queue String Validate Value

@@ -1,0 +1,1 @@
+test/test_kpn.ml: Alcotest Dtype Expr Gen Graph Interp List Network Op Pld_ir Pld_kpn QCheck QCheck_alcotest Run_graph Value

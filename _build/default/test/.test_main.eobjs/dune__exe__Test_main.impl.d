@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apfixed Test_aptype Test_hls Test_ir Test_kpn Test_noc Test_pld Test_pnr Test_riscv Test_rosetta Test_util

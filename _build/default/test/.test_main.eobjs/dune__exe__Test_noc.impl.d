@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Array Bft Gen Int32 List Pld_fabric Pld_noc Pld_util Printf QCheck QCheck_alcotest Relay Traffic

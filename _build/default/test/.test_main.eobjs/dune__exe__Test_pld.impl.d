@@ -1,0 +1,1 @@
+test/test_pld.ml: Alcotest Assign Build Dtype Expr Flow Graph List Loader Op Pld_core Pld_fabric Pld_ir Pld_kpn Pld_netlist Pld_noc Pld_platform Pld_pnr Printf Report Runner String Value

@@ -1,0 +1,1 @@
+test/test_pnr.ml: Alcotest Array Device Floorplan List Option Pld_fabric Pld_netlist Pld_pnr Pld_util Printf QCheck QCheck_alcotest Rrg

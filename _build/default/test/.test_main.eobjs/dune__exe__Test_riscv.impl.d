@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Array Asm Bytes Codegen Cpu Dtype Elf Expr Int32 Interp Isa List Op Pld_ir Pld_riscv QCheck QCheck_alcotest Queue Softcore Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Digest_lite Float Fun Gen List Pld_util QCheck QCheck_alcotest Rng Stats String Table Topo Union_find

@@ -1,0 +1,314 @@
+open Pld_apfixed
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_str = Alcotest.(check string)
+
+(* ---------- Bits ---------- *)
+
+let b w v = Bits.of_int ~width:w v
+
+let test_bits_roundtrip_int64 () =
+  List.iter
+    (fun (w, v) ->
+      let t = Bits.of_int64 ~width:w v in
+      let back = Bits.to_int64_signed t in
+      let expect =
+        if w >= 64 then v
+        else begin
+          let shifted = Int64.shift_left v (64 - w) in
+          Int64.shift_right shifted (64 - w)
+        end
+      in
+      check_i64 (Printf.sprintf "w=%d v=%Ld" w v) expect back)
+    [ (8, 127L); (8, -128L); (8, 255L); (1, 1L); (32, -1L); (64, Int64.min_int); (40, 0xFFFFFFFFFFL); (17, 70000L) ]
+
+let test_bits_add_wrap () =
+  let r = Bits.add (b 8 200) (b 8 100) in
+  check_int "200+100 mod 256" 44 (Bits.to_int_trunc r)
+
+let test_bits_sub_neg () =
+  let r = Bits.sub (b 8 5) (b 8 7) in
+  check_i64 "5-7 = -2" (-2L) (Bits.to_int64_signed r);
+  check_i64 "neg 1 = -1" (-1L) (Bits.to_int64_signed (Bits.neg (b 16 1)))
+
+let test_bits_mul () =
+  let r = Bits.mul (b 16 300) (b 16 500) in
+  check_int "300*500 mod 2^16" (300 * 500 mod 65536) (Bits.to_int_trunc r);
+  let full = Bits.mul_full (b 16 300) (b 16 500) in
+  check_int "full product width" 32 (Bits.width full);
+  check_int "full product value" 150000 (Bits.to_int_trunc full)
+
+let test_bits_wide_mul () =
+  (* 2^40 * 2^40 = 2^80 exactly — needs multi-limb carries. *)
+  let a = Bits.shift_left (Bits.one 100) 40 in
+  let r = Bits.mul a a in
+  check_bool "bit 80 set" true (Bits.get r 80);
+  check_int "popcount 1" 1 (Bits.popcount r)
+
+let test_bits_divmod () =
+  let q = Bits.udiv (b 32 1000) (b 32 7) in
+  let r = Bits.urem (b 32 1000) (b 32 7) in
+  check_int "1000/7" 142 (Bits.to_int_trunc q);
+  check_int "1000 mod 7" 6 (Bits.to_int_trunc r)
+
+let test_bits_sdiv_signs () =
+  let t a bv q r =
+    let qq = Bits.sdiv (b 32 a) (b 32 bv) and rr = Bits.srem (b 32 a) (b 32 bv) in
+    check_i64 (Printf.sprintf "%d/%d" a bv) (Int64.of_int q) (Bits.to_int64_signed qq);
+    check_i64 (Printf.sprintf "%d%%%d" a bv) (Int64.of_int r) (Bits.to_int64_signed rr)
+  in
+  t 7 2 3 1;
+  t (-7) 2 (-3) (-1);
+  t 7 (-2) (-3) 1;
+  t (-7) (-2) 3 (-1)
+
+let test_bits_div_by_zero () =
+  let q = Bits.udiv (b 8 5) (b 8 0) in
+  check_int "div by zero = all ones" 255 (Bits.to_int_trunc q)
+
+let test_bits_shifts () =
+  check_int "shl" 40 (Bits.to_int_trunc (Bits.shift_left (b 16 5) 3));
+  check_int "shr" 5 (Bits.to_int_trunc (Bits.shift_right_logical (b 16 40) 3));
+  check_i64 "sra keeps sign" (-1L) (Bits.to_int64_signed (Bits.shift_right_arith (b 8 (-4)) 2));
+  check_int "shift beyond width" 0 (Bits.to_int_trunc (Bits.shift_left (b 8 255) 8));
+  (* Cross-limb shifts. *)
+  let wide = Bits.shift_left (Bits.one 80) 70 in
+  check_bool "bit 70" true (Bits.get wide 70);
+  let back = Bits.shift_right_logical wide 70 in
+  check_bool "back to 1" true (Bits.equal back (Bits.one 80))
+
+let test_bits_resize () =
+  let v = b 8 (-3) in
+  check_i64 "sign extend 8->32" (-3L) (Bits.to_int64_signed (Bits.resize ~signed:true ~width:32 v));
+  check_int "zero extend 8->32" 253 (Bits.to_int_trunc (Bits.resize ~signed:false ~width:32 v));
+  check_int "truncate 32->4" 13 (Bits.to_int_trunc (Bits.resize ~signed:true ~width:4 v));
+  (* Partial top limb sign extension: width 40 negative to 100. *)
+  let v40 = Bits.of_int ~width:40 (-5) in
+  check_i64 "40->100 signed" (-5L) (Bits.to_int64_signed (Bits.resize ~signed:true ~width:100 v40))
+
+let test_bits_extract_concat () =
+  let v = Bits.of_int ~width:16 0xABCD in
+  check_int "extract nibble" 0xB (Bits.to_int_trunc (Bits.extract v ~hi:11 ~lo:8));
+  let c = Bits.concat (b 8 0xAB) (b 8 0xCD) in
+  check_int "concat" 0xABCD (Bits.to_int_trunc c);
+  check_int "concat width" 16 (Bits.width c)
+
+let test_bits_compare () =
+  check_bool "unsigned 255 > 1" true (Bits.compare_unsigned (b 8 255) (b 8 1) > 0);
+  check_bool "signed -1 < 1" true (Bits.compare_signed (b 8 255) (b 8 1) < 0)
+
+let test_bits_hex_decimal () =
+  let v = Bits.of_hex ~width:16 "abcd" in
+  check_str "hex roundtrip" "abcd" (Bits.to_hex v);
+  check_str "decimal unsigned" "43981" (Bits.to_decimal_unsigned v);
+  check_str "decimal signed" "-21555" (Bits.to_decimal_signed v);
+  check_str "big decimal" "1208925819614629174706176"
+    (Bits.to_decimal_unsigned (Bits.shift_left (Bits.one 100) 80))
+
+(* ---------- Ap_int ---------- *)
+
+let ai ?(signed = true) w v = Ap_int.of_int ~signed ~width:w v
+
+let test_apint_basic () =
+  let x = ai 8 100 and y = ai 8 50 in
+  check_i64 "add grows" 150L (Ap_int.to_int64 (Ap_int.add x y));
+  check_i64 "mul" 5000L (Ap_int.to_int64 (Ap_int.mul x y));
+  check_i64 "sub negative" (-50L) (Ap_int.to_int64 (Ap_int.sub y x))
+
+let test_apint_mixed_sign () =
+  let s = ai 8 (-1) and u = ai ~signed:false 8 200 in
+  (* -1 + 200 must be 199, not a wrap artifact. *)
+  check_i64 "mixed add" 199L (Ap_int.to_int64 (Ap_int.add s u));
+  check_bool "compare mixed" true (Ap_int.compare s u < 0)
+
+let test_apint_div () =
+  check_i64 "signed div" (-3L) (Ap_int.to_int64 (Ap_int.div (ai 16 (-7)) (ai 16 2)));
+  check_i64 "rem" 1L (Ap_int.to_int64 (Ap_int.rem (ai 16 7) (ai 16 2)))
+
+let test_apint_minmax () =
+  check_i64 "max s8" 127L (Ap_int.to_int64 (Ap_int.max_value ~signed:true ~width:8));
+  check_i64 "min s8" (-128L) (Ap_int.to_int64 (Ap_int.min_value ~signed:true ~width:8));
+  check_i64 "max u8" 255L (Ap_int.to_int64 (Ap_int.max_value ~signed:false ~width:8))
+
+let test_apint_to_float () =
+  Alcotest.(check (float 1e-6)) "small" (-42.0) (Ap_int.to_float (ai 16 (-42)));
+  let big = Ap_int.shift_left (ai 100 1) 80 in
+  Alcotest.(check (float 1e18)) "2^80" (Float.pow 2.0 80.0) (Ap_int.to_float big)
+
+(* ---------- Ap_fixed ---------- *)
+
+let af ?(signed = true) w i x = Ap_fixed.of_float ~signed ~width:w ~int_bits:i x
+
+let test_apfixed_roundtrip () =
+  let x = af 32 17 3.14159 in
+  check_bool "close" true (Float.abs (Ap_fixed.to_float x -. 3.14159) < 1e-4);
+  let y = af 32 17 (-2.5) in
+  Alcotest.(check (float 1e-4)) "negative" (-2.5) (Ap_fixed.to_float y)
+
+let test_apfixed_add_mul () =
+  let a = af 16 8 1.5 and bb = af 16 8 2.25 in
+  Alcotest.(check (float 1e-6)) "add" 3.75 (Ap_fixed.to_float (Ap_fixed.add a bb));
+  Alcotest.(check (float 1e-6)) "sub" (-0.75) (Ap_fixed.to_float (Ap_fixed.sub a bb));
+  Alcotest.(check (float 1e-6)) "mul" 3.375 (Ap_fixed.to_float (Ap_fixed.mul a bb));
+  check_int "mul width grows" 32 (Ap_fixed.width (Ap_fixed.mul a bb))
+
+let test_apfixed_div () =
+  let a = af 32 17 7.0 and bb = af 32 17 2.0 in
+  Alcotest.(check (float 1e-4)) "7/2" 3.5 (Ap_fixed.to_float (Ap_fixed.div a bb));
+  let n = af 32 17 (-1.0) and d = af 32 17 3.0 in
+  check_bool "-1/3 near" true (Float.abs (Ap_fixed.to_float (Ap_fixed.div n d) +. 0.33333) < 1e-3)
+
+let test_apfixed_convert_truncates () =
+  let x = af 32 16 1.999 in
+  let y = Ap_fixed.convert ~signed:true ~width:8 ~int_bits:4 x in
+  (* 4 fraction bits -> nearest-below multiple of 1/16. *)
+  Alcotest.(check (float 1e-9)) "truncated" 1.9375 (Ap_fixed.to_float y)
+
+let test_apfixed_paper_types () =
+  (* The optical-flow operator uses ap_fixed<64,40> intermediates:
+     denom = t1*t2 - t4*t4 with ap_fixed<32,17> inputs. *)
+  let t1 = af 32 17 12.25 and t2 = af 32 17 3.5 and t4 = af 32 17 (-2.0) in
+  let denom = Ap_fixed.sub (Ap_fixed.mul t1 t2) (Ap_fixed.mul t4 t4) in
+  let denom64 = Ap_fixed.convert ~signed:true ~width:64 ~int_bits:40 denom in
+  Alcotest.(check (float 1e-6)) "denom" 38.875 (Ap_fixed.to_float denom64)
+
+let test_apfixed_compare () =
+  check_bool "lt" true (Ap_fixed.compare (af 16 8 1.0) (af 16 8 2.0) < 0);
+  check_bool "eq across formats" true (Ap_fixed.equal (af 16 8 1.5) (af 32 20 1.5))
+
+let test_apfixed_to_ap_int () =
+  let x = af 32 17 42.75 in
+  check_i64 "floor to int" 42L (Ap_int.to_int64 (Ap_fixed.to_ap_int x));
+  let y = af 32 17 (-1.25) in
+  check_i64 "floor negative" (-2L) (Ap_int.to_int64 (Ap_fixed.to_ap_int y))
+
+(* ---------- properties ---------- *)
+
+let gen_width = QCheck.Gen.int_range 1 90
+let arb_width = QCheck.make gen_width
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"bits add commutative" ~count:300
+    QCheck.(triple arb_width (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (w, x, y) ->
+      let bx = Bits.of_int ~width:w x and by = Bits.of_int ~width:w y in
+      Bits.equal (Bits.add bx by) (Bits.add by bx))
+
+let prop_addsub_inverse =
+  QCheck.Test.make ~name:"(x + y) - y = x" ~count:300
+    QCheck.(triple arb_width int int)
+    (fun (w, x, y) ->
+      let bx = Bits.of_int ~width:w x and by = Bits.of_int ~width:w y in
+      Bits.equal (Bits.sub (Bits.add bx by) by) bx)
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"q*b + r = a (unsigned)" ~count:300
+    QCheck.(triple (int_range 1 64) (int_bound max_int) (int_range 1 max_int))
+    (fun (w, a, d) ->
+      let ba = Bits.of_int ~width:w a and bd = Bits.of_int ~width:w d in
+      QCheck.assume (not (Bits.is_zero bd));
+      let q = Bits.udiv ba bd and r = Bits.urem ba bd in
+      Bits.equal (Bits.add (Bits.mul q bd) r) ba && Bits.compare_unsigned r bd < 0)
+
+let prop_mul_matches_int64 =
+  QCheck.Test.make ~name:"32-bit mul matches int64" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (x, y) ->
+      let r = Bits.mul (Bits.of_int ~width:32 x) (Bits.of_int ~width:32 y) in
+      Bits.to_int64_unsigned r = Int64.logand (Int64.mul (Int64.of_int x) (Int64.of_int y)) 0xFFFFFFFFL)
+
+let prop_shift_mul_pow2 =
+  QCheck.Test.make ~name:"shl k = mul 2^k" ~count:300
+    QCheck.(triple arb_width (int_bound 1000) (int_bound 6))
+    (fun (w, x, k) ->
+      QCheck.assume (w > k);
+      let bx = Bits.of_int ~width:w x in
+      Bits.equal (Bits.shift_left bx k) (Bits.mul bx (Bits.of_int ~width:w (1 lsl k))))
+
+let prop_resize_roundtrip =
+  QCheck.Test.make ~name:"widen then truncate is identity" ~count:300
+    QCheck.(pair (int_range 1 60) int)
+    (fun (w, x) ->
+      let bx = Bits.of_int ~width:w x in
+      let widened = Bits.resize ~signed:true ~width:(w + 40) bx in
+      Bits.equal (Bits.resize ~signed:true ~width:w widened) bx)
+
+let prop_apfixed_add_float =
+  QCheck.Test.make ~name:"ap_fixed add tracks float" ~count:300
+    QCheck.(pair (float_range (-1000.0) 1000.0) (float_range (-1000.0) 1000.0))
+    (fun (x, y) ->
+      let fx = af 32 17 x and fy = af 32 17 y in
+      let s = Ap_fixed.to_float (Ap_fixed.add fx fy) in
+      Float.abs (s -. (Ap_fixed.to_float fx +. Ap_fixed.to_float fy)) < 1e-6)
+
+let prop_apfixed_mul_float =
+  QCheck.Test.make ~name:"ap_fixed mul tracks float" ~count:300
+    QCheck.(pair (float_range (-100.0) 100.0) (float_range (-100.0) 100.0))
+    (fun (x, y) ->
+      let fx = af 32 17 x and fy = af 32 17 y in
+      let p = Ap_fixed.to_float (Ap_fixed.mul fx fy) in
+      Float.abs (p -. (Ap_fixed.to_float fx *. Ap_fixed.to_float fy)) < 1e-6)
+
+let prop_apfixed_div_identity =
+  QCheck.Test.make ~name:"(a/b)*b ~ a" ~count:200
+    QCheck.(pair (float_range (-100.0) 100.0) (float_range 0.5 100.0))
+    (fun (x, y) ->
+      let fx = af 32 17 x and fy = af 32 17 y in
+      let q = Ap_fixed.div fx fy in
+      Float.abs ((Ap_fixed.to_float q *. Ap_fixed.to_float fy) -. Ap_fixed.to_float fx) < 1e-2)
+
+let prop_decimal_roundtrip =
+  QCheck.Test.make ~name:"unsigned decimal printing matches int64" ~count:300
+    QCheck.(pair (int_range 1 62) (int_bound max_int))
+    (fun (w, x) ->
+      let b = Bits.of_int ~width:w x in
+      Bits.to_decimal_unsigned b = Int64.to_string (Bits.to_int64_unsigned b))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex print/parse roundtrip" ~count:300
+    QCheck.(pair (int_range 1 100) int)
+    (fun (w, x) ->
+      let b = Bits.of_int ~width:w x in
+      Bits.equal (Bits.of_hex ~width:w (Bits.to_hex b)) b)
+
+let suite =
+  [
+    ("bits int64 roundtrip", `Quick, test_bits_roundtrip_int64);
+    ("bits add wraps", `Quick, test_bits_add_wrap);
+    ("bits sub/neg", `Quick, test_bits_sub_neg);
+    ("bits mul", `Quick, test_bits_mul);
+    ("bits wide mul", `Quick, test_bits_wide_mul);
+    ("bits divmod", `Quick, test_bits_divmod);
+    ("bits signed division signs", `Quick, test_bits_sdiv_signs);
+    ("bits division by zero", `Quick, test_bits_div_by_zero);
+    ("bits shifts", `Quick, test_bits_shifts);
+    ("bits resize", `Quick, test_bits_resize);
+    ("bits extract/concat", `Quick, test_bits_extract_concat);
+    ("bits compare", `Quick, test_bits_compare);
+    ("bits hex/decimal", `Quick, test_bits_hex_decimal);
+    ("ap_int basic ops", `Quick, test_apint_basic);
+    ("ap_int mixed signedness", `Quick, test_apint_mixed_sign);
+    ("ap_int division", `Quick, test_apint_div);
+    ("ap_int min/max", `Quick, test_apint_minmax);
+    ("ap_int to_float", `Quick, test_apint_to_float);
+    ("ap_fixed float roundtrip", `Quick, test_apfixed_roundtrip);
+    ("ap_fixed add/mul", `Quick, test_apfixed_add_mul);
+    ("ap_fixed div", `Quick, test_apfixed_div);
+    ("ap_fixed convert truncates", `Quick, test_apfixed_convert_truncates);
+    ("ap_fixed paper flow_calc types", `Quick, test_apfixed_paper_types);
+    ("ap_fixed compare", `Quick, test_apfixed_compare);
+    ("ap_fixed to ap_int floors", `Quick, test_apfixed_to_ap_int);
+    QCheck_alcotest.to_alcotest prop_add_commutative;
+    QCheck_alcotest.to_alcotest prop_addsub_inverse;
+    QCheck_alcotest.to_alcotest prop_divmod_identity;
+    QCheck_alcotest.to_alcotest prop_mul_matches_int64;
+    QCheck_alcotest.to_alcotest prop_shift_mul_pow2;
+    QCheck_alcotest.to_alcotest prop_resize_roundtrip;
+    QCheck_alcotest.to_alcotest prop_apfixed_add_float;
+    QCheck_alcotest.to_alcotest prop_apfixed_mul_float;
+    QCheck_alcotest.to_alcotest prop_apfixed_div_identity;
+    QCheck_alcotest.to_alcotest prop_decimal_roundtrip;
+    QCheck_alcotest.to_alcotest prop_hex_roundtrip;
+  ]

@@ -1,0 +1,176 @@
+open Pld_ir
+open Pld_hls
+module N = Pld_netlist.Netlist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let u32 = Dtype.word
+let i32 = Dtype.SInt 32
+
+let streaming_op ?(pipeline = true) ?(reads = 1) n =
+  let body =
+    List.init reads (fun k -> Op.Read (Op.LVar (Printf.sprintf "x%d" k), "in"))
+    @ [ Op.Write ("out", Expr.var "x0") ]
+  in
+  Op.make ~name:"s" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:(List.init reads (fun k -> Op.scalar (Printf.sprintf "x%d" k) u32))
+    [ Op.For { var = "i"; lo = 0; hi = n; body; pipeline } ]
+
+let test_sched_ii_port_limit () =
+  (* II is bounded by the busiest stream port (one word per cycle). *)
+  let p1 = (Sched.analyze (streaming_op ~reads:1 100)).Sched.bottleneck_ii in
+  let p6 = (Sched.analyze (streaming_op ~reads:6 100)).Sched.bottleneck_ii in
+  check_int "single read II=1" 1 p1;
+  check_int "six reads II=6" 6 p6
+
+let test_sched_pipeline_vs_sequential () =
+  let pip = (Sched.analyze (streaming_op ~pipeline:true 100)).Sched.cycles_per_firing in
+  let seq = (Sched.analyze (streaming_op ~pipeline:false 100)).Sched.cycles_per_firing in
+  check_bool "pipelining helps" true (pip < seq)
+
+let test_sched_cycles_scale_with_trips () =
+  let c100 = (Sched.analyze (streaming_op 100)).Sched.cycles_per_firing in
+  let c1000 = (Sched.analyze (streaming_op 1000)).Sched.cycles_per_firing in
+  check_bool "roughly 10x" true (c1000 > 9 * c100 / 2 && c1000 < 11 * c100)
+
+let test_expr_levels () =
+  let e = Expr.(Bin (Mul, var "a", Bin (Add, var "b", var "c"))) in
+  check_int "mul over add" 4 (Sched.expr_levels e);
+  check_int "div heavy" 8 (Sched.expr_levels Expr.(Bin (Div, var "a", var "b")))
+
+let fixture_op =
+  Op.make ~name:"fixture" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "x" i32; Op.scalar "y" i32; Op.array "buf" i32 512 ]
+    [
+      Op.For
+        {
+          var = "i";
+          lo = 0;
+          hi = 64;
+          pipeline = true;
+          body =
+            [
+              Op.Read (Op.LVar "x", "in");
+              Op.Assign (Op.LVar "y", Expr.(Bin (Mul, var "x", var "x")));
+              Op.Assign (Op.LIdx ("buf", Expr.var "i"), Expr.var "y");
+              Op.Write ("out", Expr.(var "y" + var "x"));
+            ];
+        };
+    ]
+
+let test_synth_structure () =
+  let nl = Synth.synthesize fixture_op in
+  check_bool "has cells" true (N.cell_count nl > 5);
+  check_bool "has nets" true (N.net_count nl > 3);
+  let ports = N.ports nl in
+  check_int "two stream ports" 2 (List.length ports);
+  let r = N.total_res nl in
+  check_bool "uses DSP for 32x32 mul" true (r.N.dsps >= 1);
+  check_bool "512x32b array goes to BRAM" true (r.N.brams >= 1)
+
+let test_synth_rejects_invalid () =
+  let bad =
+    Op.make ~name:"bad" ~inputs:[] ~outputs:[ Op.word_port "out" ] [ Op.Write ("out", Expr.var "nope") ]
+  in
+  match Synth.synthesize bad with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_synth_cells_fit_tiles () =
+  (* Every placement macro must fit a single tile after splitting. *)
+  let nl = Synth.synthesize fixture_op in
+  Array.iter
+    (fun (c : N.cell) ->
+      check_bool (c.N.cname ^ " within slice budget") true
+        (c.N.res.N.luts <= 48 && c.N.res.N.brams <= 1 && c.N.res.N.dsps <= 2))
+    nl.N.cells
+
+let test_synth_cse () =
+  (* The same subexpression used twice must not double area. *)
+  let op k =
+    Op.make ~name:"cse" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" i32; Op.scalar "y" i32 ]
+      [
+        Op.Read (Op.LVar "x", "in");
+        Op.Assign (Op.LVar "y", Expr.(Bin (Mul, var "x", var "x")));
+        Op.Write ("out", if k = 1 then Expr.var "y" else Expr.(Bin (Mul, var "x", var "x")));
+      ]
+  in
+  let one = (N.total_res (Synth.synthesize (op 1))).N.dsps in
+  let two = (N.total_res (Synth.synthesize (op 2))).N.dsps in
+  check_int "duplicate expr shares the multiplier" one two
+
+let test_pow2_mul_is_free () =
+  let fx = Dtype.SFixed { width = 32; int_bits = 17 } in
+  let op const =
+    Op.make ~name:"m" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" fx ]
+      [
+        Op.Read (Op.LVar "x", "in");
+        Op.Write ("out", Expr.(Bin (Mul, var "x", float_ fx const)));
+      ]
+  in
+  let p2 = (N.total_res (Synth.synthesize (op 0.5))).N.dsps in
+  let gen = (N.total_res (Synth.synthesize (op 0.7))).N.dsps in
+  check_int "x*0.5 uses no DSP" 0 p2;
+  check_bool "x*0.7 uses DSPs" true (gen > 0)
+
+let test_compile_report () =
+  let impl = Hls_compile.compile fixture_op in
+  check_bool "fmax positive" true (impl.Hls_compile.est_fmax_mhz > 50.0);
+  check_bool "fmax within target" true (impl.Hls_compile.est_fmax_mhz <= Hls_compile.target_mhz);
+  let report = Hls_compile.report impl in
+  check_bool "report mentions II" true (String.length report > 40)
+
+let test_netlist_merge () =
+  let nl = Synth.synthesize fixture_op in
+  let merged = N.merge ~name:"two" [ ("a", nl); ("b", nl) ] in
+  check_int "cells doubled" (2 * N.cell_count nl) (N.cell_count merged);
+  let ports = N.ports merged in
+  check_bool "ports instance-qualified" true
+    (List.exists (fun (p, _) -> p = "a.in") ports && List.exists (fun (p, _) -> p = "b.out") ports)
+
+let test_fifo_links () =
+  let nl = Synth.synthesize fixture_op in
+  let merged = N.merge ~name:"two" [ ("a", nl); ("b", nl) ] in
+  let linked = N.add_fifo_links merged [ ("a.out", "b.in", "fifo0", 512) ] in
+  check_int "one extra cell" (N.cell_count merged + 1) (N.cell_count linked);
+  let r = N.total_res linked and r0 = N.total_res merged in
+  check_bool "deep fifo costs BRAM" true (r.N.brams > r0.N.brams)
+
+let prop_area_monotone_in_unroll =
+  QCheck.Test.make ~name:"more statements, no less area" ~count:20
+    QCheck.(int_range 1 8)
+    (fun k ->
+      let op n =
+        Op.make ~name:"u" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+          ~locals:(List.init n (fun i -> Op.scalar (Printf.sprintf "v%d" i) i32))
+          (List.concat
+             (List.init n (fun i ->
+                  [
+                    Op.Read (Op.LVar (Printf.sprintf "v%d" i), "in");
+                    (let k = (3 * i) + 7 in
+                     Op.Write
+                       ("out", Expr.(Bin (Mul, var (Printf.sprintf "v%d" i), int i32 k))));
+                  ])))
+      in
+      let a1 = (N.total_res (Synth.synthesize (op k))).N.luts in
+      let a2 = (N.total_res (Synth.synthesize (op (k + 1)))).N.luts in
+      a2 >= a1)
+
+let suite =
+  [
+    ("sched: port-limited II", `Quick, test_sched_ii_port_limit);
+    ("sched: pipeline beats sequential", `Quick, test_sched_pipeline_vs_sequential);
+    ("sched: cycles scale with trips", `Quick, test_sched_cycles_scale_with_trips);
+    ("sched: expression levels", `Quick, test_expr_levels);
+    ("synth: structure and resources", `Quick, test_synth_structure);
+    ("synth: rejects invalid operators", `Quick, test_synth_rejects_invalid);
+    ("synth: macros fit tiles", `Quick, test_synth_cells_fit_tiles);
+    ("synth: CSE shares datapath", `Quick, test_synth_cse);
+    ("synth: power-of-two mul is a shift", `Quick, test_pow2_mul_is_free);
+    ("compile: report and fmax", `Quick, test_compile_report);
+    ("netlist: merge", `Quick, test_netlist_merge);
+    ("netlist: fifo links", `Quick, test_fifo_links);
+    QCheck_alcotest.to_alcotest prop_area_monotone_in_unroll;
+  ]

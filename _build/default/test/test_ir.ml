@@ -1,0 +1,259 @@
+open Pld_ir
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let u32 = Dtype.word
+let i32 = Dtype.SInt 32
+
+(* An operator that doubles each of n inputs: the smallest legal
+   streaming operator. *)
+let doubler n =
+  Op.make ~name:"doubler" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "x" u32 ]
+    [
+      Op.For
+        {
+          var = "i";
+          lo = 0;
+          hi = n;
+          pipeline = true;
+          body = [ Op.Read (Op.LVar "x", "in"); Op.Write ("out", Expr.(var "x" + var "x")) ];
+        };
+    ]
+
+let run_op ?(processor = false) op ins =
+  let inq = Queue.create () and outq = Queue.create () in
+  List.iter (fun v -> Queue.push (Value.of_int u32 v) inq) ins;
+  let io = Interp.queue_io ~inputs:[ ("in", inq) ] ~outputs:[ ("out", outq) ] in
+  Interp.run_operator ~processor op io;
+  List.map Value.to_int (List.of_seq (Queue.to_seq outq))
+
+let test_interp_doubler () =
+  Alcotest.(check (list int)) "doubled" [ 2; 4; 6 ] (run_op (doubler 3) [ 1; 2; 3 ])
+
+let test_interp_counters () =
+  let c = Interp.fresh_counters () in
+  let inq = Queue.create () and outq = Queue.create () in
+  List.iter (fun v -> Queue.push (Value.of_int u32 v) inq) [ 1; 2 ];
+  Interp.run_operator ~counters:c (doubler 2)
+    (Interp.queue_io ~inputs:[ ("in", inq) ] ~outputs:[ ("out", outq) ]);
+  check_int "reads" 2 c.reads;
+  check_int "writes" 2 c.writes;
+  check_int "loop iterations" 2 c.loop_iterations
+
+let test_interp_if_select () =
+  let op =
+    Op.make ~name:"clamp" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" i32 ]
+      [
+        Op.Read (Op.LVar "x", "in");
+        Op.If
+          ( Expr.(var "x" > int i32 100),
+            [ Op.Write ("out", Expr.int i32 100) ],
+            [ Op.Write ("out", Expr.var "x") ] );
+      ]
+  in
+  Alcotest.(check (list int)) "clamped" [ 100 ] (run_op op [ 250 ]);
+  Alcotest.(check (list int)) "passed" [ 7 ] (run_op op [ 7 ])
+
+let test_interp_array () =
+  (* Sum an array filled from the stream. *)
+  let op =
+    Op.make ~name:"sum4" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.array "buf" i32 4; Op.scalar "acc" i32 ]
+      [
+        Op.For
+          { var = "i"; lo = 0; hi = 4; pipeline = false; body = [ Op.Read (Op.LIdx ("buf", Expr.var "i"), "in") ] };
+        Op.Assign (Op.LVar "acc", Expr.int i32 0);
+        Op.For
+          {
+            var = "i";
+            lo = 0;
+            hi = 4;
+            pipeline = false;
+            body = [ Op.Assign (Op.LVar "acc", Expr.(var "acc" + Idx ("buf", var "i"))) ];
+          };
+        Op.Write ("out", Expr.var "acc");
+      ]
+  in
+  Alcotest.(check (list int)) "sum" [ 10 ] (run_op op [ 1; 2; 3; 4 ])
+
+let test_interp_fixed_point_division () =
+  (* The flow_calc core: denom/numer arithmetic over ap_fixed. *)
+  let fx = Dtype.SFixed { width = 32; int_bits = 17 } in
+  let op =
+    Op.make ~name:"fdiv" ~inputs:[ Op.word_port "a"; Op.word_port "b" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" fx; Op.scalar "y" fx; Op.scalar "q" fx ]
+      [
+        Op.Read (Op.LVar "x", "a");
+        Op.Read (Op.LVar "y", "b");
+        Op.If
+          ( Expr.(var "y" = float_ fx 0.0),
+            [ Op.Assign (Op.LVar "q", Expr.float_ fx 0.0) ],
+            [ Op.Assign (Op.LVar "q", Expr.(var "x" / var "y")) ] );
+        Op.Write ("out", Expr.var "q");
+      ]
+  in
+  let bits_of f = Value.to_int (Value.bitcast u32 (Value.of_float fx f)) in
+  let inq_a = Queue.create () and inq_b = Queue.create () and outq = Queue.create () in
+  Queue.push (Value.of_int u32 (bits_of 7.5)) inq_a;
+  Queue.push (Value.of_int u32 (bits_of 2.5)) inq_b;
+  Interp.run_operator op
+    (Interp.queue_io ~inputs:[ ("a", inq_a); ("b", inq_b) ] ~outputs:[ ("out", outq) ]);
+  let out = Value.bitcast fx (Queue.pop outq) in
+  Alcotest.(check (float 1e-3)) "7.5/2.5" 3.0 (Value.to_float out)
+
+let test_printf_gating () =
+  let op =
+    Op.make ~name:"dbg" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" u32 ]
+      [ Op.Read (Op.LVar "x", "in"); Op.Printf ("x=", [ Expr.var "x" ]); Op.Write ("out", Expr.var "x") ]
+  in
+  let printed = ref 0 in
+  let mk () =
+    let inq = Queue.create () and outq = Queue.create () in
+    Queue.push (Value.of_int u32 5) inq;
+    let base = Interp.queue_io ~inputs:[ ("in", inq) ] ~outputs:[ ("out", outq) ] in
+    { base with Interp.printf = (fun _ _ -> incr printed) }
+  in
+  Interp.run_operator ~processor:false op (mk ());
+  check_int "hw elides printf" 0 !printed;
+  Interp.run_operator ~processor:true op (mk ());
+  check_int "processor runs printf" 1 !printed
+
+(* ---------- validation ---------- *)
+
+let test_validate_ok () =
+  Alcotest.(check (list string)) "no errors" []
+    (List.map Validate.error_to_string (Validate.check_operator (doubler 4)))
+
+let test_validate_undeclared () =
+  let op =
+    Op.make ~name:"bad" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      [ Op.Write ("out", Expr.var "nope") ]
+  in
+  check_bool "catches undeclared" true (Validate.check_operator op <> [])
+
+let test_validate_bad_port () =
+  let op =
+    Op.make ~name:"bad" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" u32 ]
+      [ Op.Read (Op.LVar "x", "out") ]
+  in
+  check_bool "read from output port" true (Validate.check_operator op <> [])
+
+let test_validate_loop_var_assign () =
+  let op =
+    Op.make ~name:"bad" ~inputs:[] ~outputs:[ Op.word_port "out" ]
+      [
+        Op.For
+          {
+            var = "i";
+            lo = 0;
+            hi = 3;
+            pipeline = false;
+            body = [ Op.Assign (Op.LVar "i", Expr.int i32 0) ];
+          };
+      ]
+  in
+  check_bool "loop var assignment" true (Validate.check_operator op <> [])
+
+let test_validate_const_bounds () =
+  let op =
+    Op.make ~name:"bad" ~inputs:[] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.array "a" i32 4 ]
+      [ Op.Write ("out", Expr.(Idx ("a", int i32 9))) ]
+  in
+  check_bool "static out of bounds" true (Validate.check_operator op <> [])
+
+let simple_graph ?(target = Graph.Hw { page_hint = None }) () =
+  let op = doubler 2 in
+  Graph.make ~name:"top"
+    ~channels:[ Graph.channel "cin"; Graph.channel "cmid"; Graph.channel "cout" ]
+    ~instances:
+      [
+        Graph.instance ~target ~name:"d1" op [ ("in", "cin"); ("out", "cmid") ];
+        Graph.instance ~target ~name:"d2" op [ ("in", "cmid"); ("out", "cout") ];
+      ]
+    ~inputs:[ "cin" ] ~outputs:[ "cout" ]
+
+let test_validate_graph_ok () =
+  Alcotest.(check (list string)) "graph valid" []
+    (List.map Validate.error_to_string (Validate.check_graph (simple_graph ())))
+
+let test_validate_graph_dangling () =
+  let g = simple_graph () in
+  let g_bad = { g with Graph.channels = Graph.channel "floating" :: g.Graph.channels } in
+  check_bool "dangling channel flagged" true (Validate.check_graph g_bad <> [])
+
+let test_validate_graph_type_mismatch () =
+  let op = doubler 2 in
+  let g =
+    Graph.make ~name:"top"
+      ~channels:[ Graph.channel ~elem:(Dtype.UInt 16) "cin"; Graph.channel "cout" ]
+      ~instances:[ Graph.instance ~name:"d" op [ ("in", "cin"); ("out", "cout") ] ]
+      ~inputs:[ "cin" ] ~outputs:[ "cout" ]
+  in
+  check_bool "type mismatch flagged" true (Validate.check_graph g <> [])
+
+let test_graph_topo_and_edges () =
+  let g = simple_graph () in
+  let order = List.map (fun i -> i.Graph.inst_name) (Graph.topo_order g) in
+  Alcotest.(check (list string)) "topological" [ "d1"; "d2" ] order;
+  check_int "one internal edge" 1 (List.length (Graph.edges g))
+
+let test_graph_retarget () =
+  let g = Graph.retarget (simple_graph ()) "d2" Graph.Riscv in
+  match Graph.find_instance g "d2" with
+  | Some i -> check_bool "is riscv" true (i.Graph.target = Graph.Riscv)
+  | None -> Alcotest.fail "instance missing"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_sources_stable () =
+  let s1 = Op.source (doubler 2) and s2 = Op.source (doubler 2) in
+  Alcotest.(check string) "operator source deterministic" s1 s2;
+  let s3 = Op.source (doubler 3) in
+  check_bool "differs when body changes" true (s1 <> s3);
+  let gs = Graph.source (simple_graph ()) in
+  check_bool "graph source mentions pragma" true (contains gs "pragma")
+
+let test_value_word_bitcast_roundtrip () =
+  let fx = Dtype.SFixed { width = 32; int_bits = 17 } in
+  let v = Value.of_float fx (-12.375) in
+  let w = Value.bitcast u32 v in
+  let back = Value.bitcast fx w in
+  Alcotest.(check (float 1e-6)) "roundtrip through word" (-12.375) (Value.to_float back)
+
+let prop_doubler_matches_spec =
+  QCheck.Test.make ~name:"doubler interp matches spec" ~count:50
+    QCheck.(list_of_size (Gen.int_range 0 20) (int_bound 1_000_000))
+    (fun xs ->
+      let n = List.length xs in
+      run_op (doubler n) xs = List.map (fun x -> 2 * x mod 0x100000000) xs)
+
+let suite =
+  [
+    ("interp doubler", `Quick, test_interp_doubler);
+    ("interp counters", `Quick, test_interp_counters);
+    ("interp if/select", `Quick, test_interp_if_select);
+    ("interp arrays", `Quick, test_interp_array);
+    ("interp fixed-point division", `Quick, test_interp_fixed_point_division);
+    ("printf gated by target", `Quick, test_printf_gating);
+    ("validate accepts good operator", `Quick, test_validate_ok);
+    ("validate undeclared var", `Quick, test_validate_undeclared);
+    ("validate port direction", `Quick, test_validate_bad_port);
+    ("validate loop var assignment", `Quick, test_validate_loop_var_assign);
+    ("validate constant bounds", `Quick, test_validate_const_bounds);
+    ("validate graph ok", `Quick, test_validate_graph_ok);
+    ("validate dangling channel", `Quick, test_validate_graph_dangling);
+    ("validate channel type mismatch", `Quick, test_validate_graph_type_mismatch);
+    ("graph topo order/edges", `Quick, test_graph_topo_and_edges);
+    ("graph retarget pragma", `Quick, test_graph_retarget);
+    ("sources deterministic", `Quick, test_sources_stable);
+    ("value word bitcast roundtrip", `Quick, test_value_word_bitcast_roundtrip);
+    QCheck_alcotest.to_alcotest prop_doubler_matches_spec;
+  ]

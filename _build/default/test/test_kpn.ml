@@ -1,0 +1,224 @@
+open Pld_ir
+open Pld_kpn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let u32 = Dtype.word
+let vint = Value.of_int u32
+
+let test_channel_fifo_order () =
+  let net = Network.create () in
+  let c = Network.channel net ~name:"c" u32 in
+  Network.push c (vint 1);
+  Network.push c (vint 2);
+  Network.push c (vint 3);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.map Value.to_int (Network.drain c))
+
+let test_producer_consumer () =
+  let net = Network.create () in
+  let c = Network.channel net ~capacity:2 ~name:"c" u32 in
+  let out = Network.channel net ~capacity:max_int ~name:"out" u32 in
+  Network.add_process net ~name:"producer" (fun () ->
+      for i = 1 to 100 do
+        Network.write c (vint i)
+      done);
+  Network.add_process net ~name:"consumer" (fun () ->
+      for _ = 1 to 100 do
+        let v = Network.read c in
+        Network.write out (Value.of_int u32 (Value.to_int v * 10))
+      done);
+  Network.run net;
+  let result = List.map Value.to_int (Network.drain out) in
+  check_int "all tokens" 100 (List.length result);
+  Alcotest.(check (list int)) "head order" [ 10; 20; 30 ] (List.filteri (fun i _ -> i < 3) result)
+
+let test_backpressure_bounded () =
+  (* Capacity-1 channel: peak occupancy must never exceed 1 even with an
+     eager producer. *)
+  let net = Network.create () in
+  let c = Network.channel net ~capacity:1 ~name:"c" u32 in
+  Network.add_process net ~name:"producer" (fun () ->
+      for i = 1 to 50 do
+        Network.write c (vint i)
+      done);
+  Network.add_process net ~name:"consumer" (fun () ->
+      for _ = 1 to 50 do
+        ignore (Network.read c)
+      done);
+  Network.run net;
+  let st = List.find (fun s -> s.Network.chan = "c") (Network.stats net) in
+  check_int "peak occupancy" 1 st.Network.peak_occupancy;
+  check_int "tokens counted" 50 st.Network.tokens;
+  check_bool "some blocking happened" true (st.Network.block_events > 0)
+
+let test_deadlock_detection () =
+  (* Two processes each waiting for the other's first token. *)
+  let net = Network.create () in
+  let a = Network.channel net ~name:"a" u32 in
+  let b = Network.channel net ~name:"b" u32 in
+  Network.add_process net ~name:"p" (fun () ->
+      let v = Network.read a in
+      Network.write b v);
+  Network.add_process net ~name:"q" (fun () ->
+      let v = Network.read b in
+      Network.write a v);
+  match Network.run net with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Network.Deadlock blocked ->
+      Alcotest.(check (list string)) "both blocked" [ "p"; "q" ] (List.sort compare blocked)
+
+let test_fuel_exhaustion () =
+  let net = Network.create () in
+  let c = Network.channel net ~capacity:1 ~name:"c" u32 in
+  Network.add_process net ~name:"spin" (fun () ->
+      (* Writes forever; consumer keeps draining, so no deadlock. *)
+      while true do
+        Network.write c (vint 1)
+      done);
+  Network.add_process net ~name:"sink" (fun () ->
+      while true do
+        ignore (Network.read c)
+      done);
+  match Network.run ~fuel:10_000 net with
+  | () -> Alcotest.fail "expected fuel exhaustion"
+  | exception Network.Out_of_fuel -> ()
+
+let doubler n =
+  Op.make ~name:"doubler" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "x" u32 ]
+    [
+      Op.For
+        {
+          var = "i";
+          lo = 0;
+          hi = n;
+          pipeline = true;
+          body = [ Op.Read (Op.LVar "x", "in"); Op.Write ("out", Expr.(var "x" + var "x")) ];
+        };
+    ]
+
+let pipeline_graph n =
+  Graph.make ~name:"pipe"
+    ~channels:[ Graph.channel "cin"; Graph.channel ~depth:2 "cmid"; Graph.channel "cout" ]
+    ~instances:
+      [
+        Graph.instance ~name:"d1" (doubler n) [ ("in", "cin"); ("out", "cmid") ];
+        Graph.instance ~name:"d2" (doubler n) [ ("in", "cmid"); ("out", "cout") ];
+      ]
+    ~inputs:[ "cin" ] ~outputs:[ "cout" ]
+
+let test_run_graph_pipeline () =
+  let result = Run_graph.run_words (pipeline_graph 5) ~inputs:[ ("cin", [ 1; 2; 3; 4; 5 ]) ] in
+  Alcotest.(check (list int)) "x4" [ 4; 8; 12; 16; 20 ] (List.assoc "cout" result)
+
+let test_run_graph_stats () =
+  let r = Run_graph.run (pipeline_graph 3) ~inputs:[ ("cin", List.map vint [ 1; 2; 3 ]) ] in
+  let mid = List.find (fun s -> s.Network.chan = "cmid") r.channel_stats in
+  check_int "mid tokens" 3 mid.Network.tokens;
+  let d1 = List.assoc "d1" r.op_counters in
+  check_int "d1 reads" 3 d1.Interp.reads
+
+let test_run_graph_rounds () =
+  let result =
+    Run_graph.run (pipeline_graph 2) ~rounds:3
+      ~inputs:[ ("cin", List.map vint [ 1; 2; 1; 2; 1; 2 ]) ]
+  in
+  check_int "three frames of two" 6 (List.length (List.assoc "cout" result.outputs))
+
+let test_run_graph_underfed_deadlocks () =
+  match Run_graph.run_words (pipeline_graph 5) ~inputs:[ ("cin", [ 1; 2 ]) ] with
+  | _ -> Alcotest.fail "expected deadlock on starved input"
+  | exception Network.Deadlock _ -> ()
+
+(* Fork-join: unpack feeding two parallel branches joined by an adder —
+   the optical-flow topology in miniature. *)
+let fork_join_graph n =
+  let splitter =
+    Op.make ~name:"split" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "o1"; Op.word_port "o2" ]
+      ~locals:[ Op.scalar "x" u32 ]
+      [
+        Op.For
+          {
+            var = "i";
+            lo = 0;
+            hi = n;
+            pipeline = true;
+            body =
+              [
+                Op.Read (Op.LVar "x", "in");
+                Op.Write ("o1", Expr.var "x");
+                Op.Write ("o2", Expr.var "x");
+              ];
+          };
+      ]
+  in
+  let joiner =
+    Op.make ~name:"join" ~inputs:[ Op.word_port "a"; Op.word_port "b" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" u32; Op.scalar "y" u32 ]
+      [
+        Op.For
+          {
+            var = "i";
+            lo = 0;
+            hi = n;
+            pipeline = true;
+            body =
+              [
+                Op.Read (Op.LVar "x", "a");
+                Op.Read (Op.LVar "y", "b");
+                Op.Write ("out", Expr.(var "x" + var "y"));
+              ];
+          };
+      ]
+  in
+  Graph.make ~name:"forkjoin"
+    ~channels:
+      [
+        Graph.channel "cin"; Graph.channel "c1"; Graph.channel "c2"; Graph.channel "c3";
+        Graph.channel "cout";
+      ]
+    ~instances:
+      [
+        Graph.instance ~name:"s" splitter [ ("in", "cin"); ("o1", "c1"); ("o2", "c2") ];
+        Graph.instance ~name:"d" (doubler n) [ ("in", "c2"); ("out", "c3") ];
+        Graph.instance ~name:"j" joiner [ ("a", "c1"); ("b", "c3"); ("out", "cout") ];
+      ]
+    ~inputs:[ "cin" ] ~outputs:[ "cout" ]
+
+let test_fork_join () =
+  let result = Run_graph.run_words (fork_join_graph 4) ~inputs:[ ("cin", [ 1; 2; 3; 4 ]) ] in
+  (* out = x + 2x = 3x *)
+  Alcotest.(check (list int)) "3x" [ 3; 6; 9; 12 ] (List.assoc "cout" result)
+
+let prop_pipeline_any_depth =
+  QCheck.Test.make ~name:"pipeline result independent of channel depth" ~count:30
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 16) (int_bound 10000)))
+    (fun (depth, xs) ->
+      let n = List.length xs in
+      let g =
+        Graph.make ~name:"pipe"
+          ~channels:[ Graph.channel "cin"; Graph.channel ~depth "cmid"; Graph.channel "cout" ]
+          ~instances:
+            [
+              Graph.instance ~name:"d1" (doubler n) [ ("in", "cin"); ("out", "cmid") ];
+              Graph.instance ~name:"d2" (doubler n) [ ("in", "cmid"); ("out", "cout") ];
+            ]
+          ~inputs:[ "cin" ] ~outputs:[ "cout" ]
+      in
+      let result = Run_graph.run_words g ~inputs:[ ("cin", xs) ] in
+      List.assoc "cout" result = List.map (fun x -> 4 * x) xs)
+
+let suite =
+  [
+    ("channel fifo order", `Quick, test_channel_fifo_order);
+    ("producer/consumer", `Quick, test_producer_consumer);
+    ("backpressure bounds occupancy", `Quick, test_backpressure_bounded);
+    ("deadlock detection", `Quick, test_deadlock_detection);
+    ("fuel exhaustion", `Quick, test_fuel_exhaustion);
+    ("run_graph pipeline", `Quick, test_run_graph_pipeline);
+    ("run_graph stats", `Quick, test_run_graph_stats);
+    ("run_graph multiple rounds", `Quick, test_run_graph_rounds);
+    ("run_graph starved input deadlocks", `Quick, test_run_graph_underfed_deadlocks);
+    ("fork-join graph", `Quick, test_fork_join);
+    QCheck_alcotest.to_alcotest prop_pipeline_any_depth;
+  ]

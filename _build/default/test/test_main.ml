@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "pld"
+    [
+      ("util", Test_util.suite);
+      ("apfixed", Test_apfixed.suite);
+      ("ir", Test_ir.suite);
+      ("aptype", Test_aptype.suite);
+      ("kpn", Test_kpn.suite);
+      ("hls", Test_hls.suite);
+      ("pnr", Test_pnr.suite);
+      ("noc", Test_noc.suite);
+      ("riscv", Test_riscv.suite);
+      ("pld", Test_pld.suite);
+      ("rosetta", Test_rosetta.suite);
+    ]

@@ -1,0 +1,168 @@
+open Pld_noc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let flit dst payload = { Bft.dst_leaf = dst; payload; kind = Bft.Data { dst_stream = 0 }; age = 0 }
+
+let test_single_delivery () =
+  let net = Bft.create () in
+  check_bool "inject" true (Bft.inject net ~leaf:1 (flit 5 42l));
+  Bft.run_until_idle net;
+  match Bft.eject net ~leaf:5 with
+  | [ (0, 42l) ] -> ()
+  | l -> Alcotest.failf "got %d flits" (List.length l)
+
+let test_inject_port_busy () =
+  let net = Bft.create () in
+  check_bool "first" true (Bft.inject net ~leaf:1 (flit 5 1l));
+  check_bool "second rejected same cycle" false (Bft.inject net ~leaf:1 (flit 5 2l));
+  Bft.step net;
+  check_bool "after step ok" true (Bft.inject net ~leaf:1 (flit 5 2l));
+  Bft.run_until_idle net;
+  check_int "both delivered" 2 (List.length (Bft.eject net ~leaf:5))
+
+let test_config_packets () =
+  let net = Bft.create () in
+  check_bool "cfg" true
+    (Bft.inject net ~leaf:0
+       { Bft.dst_leaf = 7; payload = 0l; kind = Bft.Config { reg = 2; dst_leaf_value = 9; dst_stream_value = 4 }; age = 0 });
+  Bft.run_until_idle net;
+  Alcotest.(check (option (pair int int))) "register written" (Some (9, 4)) (Bft.lookup_route net ~leaf:7 ~stream:2);
+  (* Re-linking without recompiling: overwrite the register. *)
+  Bft.configure net ~leaf:7 ~stream:2 ~dst_leaf:3 ~dst_stream:1;
+  Alcotest.(check (option (pair int int))) "relinked" (Some (3, 1)) (Bft.lookup_route net ~leaf:7 ~stream:2)
+
+let test_no_loss_under_load () =
+  let net = Bft.create () in
+  let rng = Pld_util.Rng.create 5 in
+  let sent = ref 0 in
+  let expected = Array.make (Bft.leaf_count net) 0 in
+  for _ = 1 to 60 do
+    for leaf = 1 to 20 do
+      let dst = 1 + Pld_util.Rng.int rng 20 in
+      if Bft.inject net ~leaf (flit dst (Int32.of_int !sent)) then begin
+        incr sent;
+        expected.(dst) <- expected.(dst) + 1
+      end
+    done;
+    Bft.step net
+  done;
+  Bft.run_until_idle net;
+  let received = ref 0 in
+  for leaf = 0 to Bft.leaf_count net - 1 do
+    let got = List.length (Bft.eject net ~leaf) in
+    check_int (Printf.sprintf "leaf %d count" leaf) expected.(leaf) got;
+    received := !received + got
+  done;
+  check_int "all delivered" !sent !received;
+  check_bool "sent something" true (!sent > 500)
+
+let test_latency_grows_with_distance () =
+  (* Same-subtree traffic should beat cross-tree traffic. *)
+  let near = Bft.create () in
+  check_bool "x" true (Bft.inject near ~leaf:0 (flit 1 7l));
+  Bft.run_until_idle near;
+  let near_cycles = (Bft.stats near).Bft.cycles in
+  let far = Bft.create () in
+  check_bool "x" true (Bft.inject far ~leaf:0 (flit 63 7l));
+  Bft.run_until_idle far;
+  check_bool "far takes longer" true ((Bft.stats far).Bft.cycles > near_cycles)
+
+let test_traffic_serialization () =
+  (* One leaf sending n tokens takes ~n cycles: single injection port. *)
+  let net = Bft.create () in
+  let r =
+    Traffic.replay net
+      [ { Traffic.src_leaf = 3; src_stream = 0; dst_leaf = 9; dst_stream = 0; tokens = 400 } ]
+  in
+  check_int "delivered" 400 r.Traffic.delivered;
+  check_bool "cycles close to token count" true (r.Traffic.cycles >= 400 && r.Traffic.cycles < 450)
+
+let test_traffic_parallel_streams () =
+  let net = Bft.create () in
+  let links =
+    List.init 8 (fun i ->
+        { Traffic.src_leaf = 1 + i; src_stream = 0; dst_leaf = 10 + i; dst_stream = 0; tokens = 300 })
+  in
+  let r = Traffic.replay net links in
+  check_int "delivered" 2400 r.Traffic.delivered;
+  check_bool "parallel links overlap" true (r.Traffic.cycles < 900)
+
+let test_traffic_shared_port_bottleneck () =
+  (* Two streams out of one leaf share one injection port: drain time
+     doubles — the -O1 bandwidth bottleneck of §7.4. *)
+  let net = Bft.create () in
+  let links =
+    [
+      { Traffic.src_leaf = 2; src_stream = 0; dst_leaf = 5; dst_stream = 0; tokens = 200 };
+      { Traffic.src_leaf = 2; src_stream = 1; dst_leaf = 9; dst_stream = 1; tokens = 200 };
+    ]
+  in
+  let r = Traffic.replay net links in
+  check_bool "serialized" true (r.Traffic.cycles >= 400)
+
+let test_config_cycles_small () =
+  (* Linking is a few packets per page: configuring 22 links takes
+     well under a microsecond at 200 MHz. *)
+  let net = Bft.create () in
+  let links =
+    List.init 22 (fun i ->
+        { Traffic.src_leaf = 1 + i; src_stream = 0; dst_leaf = 1 + ((i + 1) mod 22); dst_stream = 0; tokens = 0 })
+  in
+  let cycles = Traffic.config_cycles net links in
+  check_bool "fast linking" true (cycles < 200);
+  List.iter
+    (fun (l : Traffic.link) ->
+      Alcotest.(check (option (pair int int)))
+        "route installed"
+        (Some (l.Traffic.dst_leaf, l.Traffic.dst_stream))
+        (Bft.lookup_route net ~leaf:l.Traffic.src_leaf ~stream:l.Traffic.src_stream))
+    links
+
+let test_relay_vs_bft () =
+  (* Dedicated wires beat the shared BFT when one leaf fans out. *)
+  let fp = Pld_fabric.Floorplan.u50 () in
+  let links =
+    List.init 3 (fun i ->
+        { Traffic.src_leaf = 1; src_stream = i; dst_leaf = 5 + i; dst_stream = i; tokens = 200 })
+  in
+  let net = Bft.create ~leaves:32 () in
+  let bft = Traffic.replay net links in
+  let relay = Relay.replay fp links in
+  check_bool "bft serializes at the shared port" true (bft.Traffic.cycles >= 600);
+  check_bool "dedicated wires stream in parallel" true (relay.Relay.cycles < 300);
+  check_bool "dedicated wires cost area" true (relay.Relay.wire_luts > 0);
+  check_bool "relinking costs a compile" true (relay.Relay.relink_seconds > 0.0)
+
+let prop_random_traffic_no_loss =
+  QCheck.Test.make ~name:"random traffic: everything delivered exactly once" ~count:25
+    QCheck.(list_of_size (Gen.int_range 1 12) (pair (int_range 1 30) (int_range 1 30)))
+    (fun pairs ->
+      let net = Bft.create () in
+      let links =
+        List.mapi
+          (fun i (s, d) ->
+            { Traffic.src_leaf = s; src_stream = i; dst_leaf = d; dst_stream = i; tokens = 20 })
+          (List.filter (fun (s, d) -> s <> d) pairs)
+      in
+      QCheck.assume (links <> []);
+      (* Distinct sources may repeat; merge tokens by giving each link a
+         distinct stream id, which Traffic handles. *)
+      let r = Traffic.replay net links in
+      r.Traffic.delivered = List.fold_left (fun a (l : Traffic.link) -> a + l.Traffic.tokens) 0 links)
+
+let suite =
+  [
+    ("single flit delivery", `Quick, test_single_delivery);
+    ("injection port busy", `Quick, test_inject_port_busy);
+    ("config packets write registers", `Quick, test_config_packets);
+    ("no loss under load", `Quick, test_no_loss_under_load);
+    ("latency grows with distance", `Quick, test_latency_grows_with_distance);
+    ("traffic: single link serializes", `Quick, test_traffic_serialization);
+    ("traffic: parallel links overlap", `Quick, test_traffic_parallel_streams);
+    ("traffic: shared port bottleneck", `Quick, test_traffic_shared_port_bottleneck);
+    ("linking config is cheap", `Quick, test_config_cycles_small);
+    ("relay-station alternative", `Quick, test_relay_vs_bft);
+    QCheck_alcotest.to_alcotest prop_random_traffic_no_loss;
+  ]

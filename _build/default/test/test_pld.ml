@@ -1,0 +1,287 @@
+open Pld_ir
+open Pld_core
+module Fp = Pld_fabric.Floorplan
+module N = Pld_netlist.Netlist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let u32 = Dtype.word
+let fp = Fp.u50 ()
+
+let doubler ?(name = "doubler") n =
+  Op.make ~name ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "x" u32 ]
+    [
+      Op.For
+        {
+          var = "i";
+          lo = 0;
+          hi = n;
+          pipeline = true;
+          body = [ Op.Read (Op.LVar "x", "in"); Op.Write ("out", Expr.(var "x" + var "x")) ];
+        };
+    ]
+
+let pipeline ?(target = Graph.Hw { page_hint = None }) ?(n = 8) stages =
+  let ops = List.init stages (fun i -> doubler ~name:(Printf.sprintf "stage%d" i) n) in
+  let chan i = if i = 0 then "cin" else if i = stages then "cout" else Printf.sprintf "c%d" i in
+  Graph.make ~name:"pipe"
+    ~channels:(List.init (stages + 1) (fun i -> Graph.channel (chan i)))
+    ~instances:
+      (List.mapi (fun i op -> Graph.instance ~target ~name:op.Op.name op [ ("in", chan i); ("out", chan (i + 1)) ]) ops)
+    ~inputs:[ "cin" ] ~outputs:[ "cout" ]
+
+let inputs n = [ ("cin", List.init n (fun i -> Value.of_int u32 (i + 1))) ]
+
+(* ---------- assignment ---------- *)
+
+let test_assign_basic () =
+  let demand = { N.luts = 100; ffs = 100; brams = 0; dsps = 0 } in
+  let a =
+    Assign.assign fp
+      (List.init 5 (fun i -> (Printf.sprintf "op%d" i, Graph.Hw { page_hint = None }, demand)))
+  in
+  check_int "all assigned" 5 (List.length a);
+  let pages = List.map snd a in
+  check_int "distinct pages" 5 (List.length (List.sort_uniq compare pages))
+
+let test_assign_honors_hint () =
+  let demand = { N.luts = 100; ffs = 100; brams = 0; dsps = 0 } in
+  let a = Assign.assign fp [ ("op", Graph.Hw { page_hint = Some 13 }, demand) ] in
+  Alcotest.(check (list (pair string int))) "pinned" [ ("op", 13) ] a
+
+let test_assign_no_fit () =
+  let demand = { N.luts = 100_000; ffs = 0; brams = 0; dsps = 0 } in
+  match Assign.assign fp [ ("big", Graph.Hw { page_hint = None }, demand) ] with
+  | _ -> Alcotest.fail "expected No_fit"
+  | exception Assign.No_fit _ -> ()
+
+let test_assign_bram_heavy_gets_bram_page () =
+  let demand = { N.luts = 100; ffs = 100; brams = 7; dsps = 0 } in
+  let a = Assign.assign fp [ ("memop", Graph.Hw { page_hint = None }, demand) ] in
+  let page = Fp.find_page fp (List.assoc "memop" a) in
+  check_bool "page has BRAM capacity" true (page.Fp.capacity.N.brams >= 7)
+
+(* ---------- builds ---------- *)
+
+let test_compile_o1 () =
+  let app = Build.compile fp (pipeline 3) ~level:Build.O1 in
+  check_int "three operators" 3 (List.length app.Build.operators);
+  check_int "no cache hits on first build" 0 app.Build.report.Build.cache_hits;
+  List.iter
+    (fun (_, c) ->
+      match c with
+      | Build.Hw_page h -> check_bool "routed" true (Pld_pnr.Pnr.routed_ok h.Flow.pnr)
+      | Build.Soft_page _ -> Alcotest.fail "expected hardware page")
+    app.Build.operators
+
+let test_compile_o0_forces_softcores () =
+  let app = Build.compile fp (pipeline 3) ~level:Build.O0 in
+  List.iter
+    (fun (_, c) ->
+      match c with
+      | Build.Soft_page _ -> ()
+      | Build.Hw_page _ -> Alcotest.fail "expected softcore")
+    app.Build.operators
+
+let test_compile_mixed_targets () =
+  let g = Graph.retarget (pipeline 3) "stage1" Graph.Riscv in
+  let app = Build.compile fp g ~level:Build.O1 in
+  let kinds = List.map (fun (n, c) -> (n, match c with Build.Hw_page _ -> "hw" | Build.Soft_page _ -> "soft")) app.Build.operators in
+  Alcotest.(check (list (pair string string)))
+    "pragma picks implementation"
+    [ ("stage0", "hw"); ("stage1", "soft"); ("stage2", "hw") ]
+    kinds
+
+let test_incremental_cache () =
+  let cache = Build.create_cache () in
+  let g = pipeline 4 in
+  let app1 = Build.compile ~cache fp g ~level:Build.O1 in
+  check_int "first build compiles all" 4 app1.Build.report.Build.recompiled;
+  (* Rebuild unchanged: everything hits. *)
+  let app2 = Build.compile ~cache fp g ~level:Build.O1 in
+  check_int "no recompiles" 0 app2.Build.report.Build.recompiled;
+  check_int "all hits" 4 app2.Build.report.Build.cache_hits;
+  check_bool "cached build is fast" true (app2.Build.report.Build.serial_seconds < 0.001);
+  (* Change one operator: exactly one recompile. *)
+  let changed = doubler ~name:"stage2" 9 in
+  let g' =
+    {
+      g with
+      Graph.instances =
+        List.map
+          (fun (i : Graph.instance) -> if i.inst_name = "stage2" then { i with op = changed } else i)
+          g.Graph.instances;
+    }
+  in
+  let app3 = Build.compile ~cache fp g' ~level:Build.O1 in
+  check_int "one recompile" 1 app3.Build.report.Build.recompiled;
+  check_int "three hits" 3 app3.Build.report.Build.cache_hits
+
+let test_makespan () =
+  Alcotest.(check (float 1e-9)) "parallel" 3.0 (Build.makespan ~workers:3 [ 3.0; 2.0; 1.0 ]);
+  Alcotest.(check (float 1e-9)) "serial" 6.0 (Build.makespan ~workers:1 [ 3.0; 2.0; 1.0 ]);
+  Alcotest.(check (float 1e-9)) "two workers" 3.0 (Build.makespan ~workers:2 [ 2.0; 2.0; 1.0; 1.0 ])
+
+let test_o1_parallel_faster_than_serial () =
+  let app = Build.compile fp (pipeline 5) ~level:Build.O1 in
+  let r = app.Build.report in
+  check_bool "makespan <= serial" true (r.Build.parallel_seconds <= r.Build.serial_seconds +. 1e-9)
+
+(* ---------- execution ---------- *)
+
+let expected n = List.init n (fun i -> 2 * (i + 1))
+
+let run_level level =
+  let g = pipeline ~n:512 1 in
+  let app = Build.compile fp g ~level in
+  let r = Runner.run app ~inputs:(inputs 512) in
+  (List.map Value.to_int (List.assoc "cout" r.Runner.outputs), r)
+
+let test_all_levels_agree () =
+  List.iter
+    (fun level ->
+      let out, _ = run_level level in
+      Alcotest.(check (list int)) (Build.level_name level) (expected 512) out)
+    [ Build.O0; Build.O1; Build.O3; Build.Vitis ]
+
+let test_o0_orders_slower () =
+  let _, r0 = run_level Build.O0 in
+  let _, r3 = run_level Build.O3 in
+  let slow = r0.Runner.perf.Runner.ms_per_input /. r3.Runner.perf.Runner.ms_per_input in
+  check_bool
+    (Printf.sprintf "softcore 100x+ slower (got %.1fx: %.5f vs %.5f ms)" slow
+       r0.Runner.perf.Runner.ms_per_input r3.Runner.perf.Runner.ms_per_input)
+    true (slow > 100.0)
+
+let test_o1_between () =
+  let _, r1 = run_level Build.O1 in
+  let _, r3 = run_level Build.O3 in
+  let _, r0 = run_level Build.O0 in
+  check_bool "O1 slower than O3" true
+    (r1.Runner.perf.Runner.ms_per_input >= r3.Runner.perf.Runner.ms_per_input);
+  check_bool "O1 much faster than O0" true
+    (r0.Runner.perf.Runner.ms_per_input > 10.0 *. r1.Runner.perf.Runner.ms_per_input)
+
+let test_mixed_execution_matches () =
+  let g = Graph.retarget (pipeline ~n:6 3) "stage1" Graph.Riscv in
+  let app = Build.compile fp g ~level:Build.O1 in
+  let r = Runner.run app ~inputs:(inputs 6) in
+  Alcotest.(check (list int)) "mixed pipeline output"
+    (List.init 6 (fun i -> 8 * (i + 1)))
+    (List.map Value.to_int (List.assoc "cout" r.Runner.outputs));
+  check_int "one softcore" 1 (List.length r.Runner.softcore_cycles)
+
+(* ---------- card + loader ---------- *)
+
+let test_deploy_o1 () =
+  let card = Pld_platform.Card.create () in
+  let app = Build.compile fp (pipeline 3) ~level:Build.O1 in
+  let seconds = Loader.deploy card app in
+  check_bool "load time positive" true (seconds > 0.0);
+  check_bool "overlay loaded" true (Pld_platform.Card.l1 card = Pld_platform.Card.Overlay_loaded);
+  check_int "three pages occupied" 3 (List.length (Pld_platform.Card.loaded_pages card));
+  (* Links programmed in the NoC. *)
+  let net = Pld_platform.Card.noc card in
+  check_bool "routes installed" true (Pld_noc.Bft.lookup_route net ~leaf:0 ~stream:0 <> None)
+
+let test_deploy_monolithic_evicts_overlay () =
+  let card = Pld_platform.Card.create () in
+  ignore (Loader.deploy card (Build.compile fp (pipeline 2) ~level:Build.O1));
+  ignore (Loader.deploy card (Build.compile fp (pipeline 2) ~level:Build.O3));
+  check_bool "kernel active" true
+    (match Pld_platform.Card.l1 card with Pld_platform.Card.Kernel_loaded _ -> true | _ -> false);
+  check_int "pages cleared" 0 (List.length (Pld_platform.Card.loaded_pages card))
+
+let test_card_protocol_violation () =
+  let card = Pld_platform.Card.create () in
+  let app = Build.compile fp (pipeline 1) ~level:Build.O1 in
+  match
+    List.iter
+      (fun (_, c) ->
+        match c with
+        | Build.Hw_page h -> ignore (Pld_platform.Card.load card h.Flow.xclbin)
+        | Build.Soft_page _ -> ())
+      app.Build.operators
+  with
+  | _ -> Alcotest.fail "expected Protocol_error (page before overlay)"
+  | exception Pld_platform.Card.Protocol_error _ -> ()
+
+let test_assign_hint_collision () =
+  let demand = { N.luts = 100; ffs = 100; brams = 0; dsps = 0 } in
+  match
+    Assign.assign fp
+      [
+        ("a", Graph.Hw { page_hint = Some 5 }, demand);
+        ("b", Graph.Hw { page_hint = Some 5 }, demand);
+      ]
+  with
+  | _ -> Alcotest.fail "expected No_fit on colliding p_num pragmas"
+  | exception Assign.No_fit _ -> ()
+
+let test_multi_frame_throughput () =
+  (* Several frames through the same pipeline: outputs concatenate and
+     stay in order (steady-state streaming). *)
+  let g = pipeline ~n:8 2 in
+  let frames = 3 in
+  let words = List.concat (List.init frames (fun _ -> List.init 8 (fun i -> Value.of_int u32 (i + 1)))) in
+  let r = Pld_kpn.Run_graph.run g ~rounds:frames ~inputs:[ ("cin", words) ] in
+  let out = List.map Value.to_int (List.assoc "cout" r.Pld_kpn.Run_graph.outputs) in
+  Alcotest.(check (list int)) "three frames"
+    (List.concat (List.init frames (fun _ -> List.init 8 (fun i -> 4 * (i + 1)))))
+    out
+
+let test_dma_model () =
+  let d = Pld_platform.Dma.default in
+  let small = Pld_platform.Dma.transfer_seconds d ~bytes:64 in
+  let big = Pld_platform.Dma.transfer_seconds d ~bytes:(1 lsl 20) in
+  check_bool "setup latency floors small transfers" true (small >= d.Pld_platform.Dma.setup_us *. 1e-6);
+  check_bool "bandwidth dominates big transfers" true (big > 10.0 *. small);
+  let f = Pld_platform.Dma.frame_seconds d ~words_in:256 ~words_out:256 in
+  check_bool "frame = two transfers" true (f > small *. 1.5)
+
+(* ---------- reporting ---------- *)
+
+let test_reports () =
+  let app = Build.compile fp (pipeline 2) ~level:Build.O1 in
+  let row = Report.compile_row app in
+  check_int "six columns" 6 (List.length row);
+  let area = Report.area_row app in
+  check_int "five columns" 5 (List.length area);
+  check_bool "summary non-empty" true (String.length (Report.compile_summary app) > 20)
+
+let test_compile_time_shape () =
+  (* -O1 wall time must beat monolithic on a multi-operator app —
+     the paper's headline (Tab. 2). *)
+  let g = pipeline 6 in
+  let o1 = Build.compile fp g ~level:Build.O3 in
+  let o1w = o1.Build.report.Build.serial_seconds in
+  let sep = Build.compile fp g ~level:Build.O1 in
+  let sepw = sep.Build.report.Build.parallel_seconds in
+  check_bool "separate compile faster" true (sepw < o1w)
+
+let suite =
+  [
+    ("assign: basic", `Quick, test_assign_basic);
+    ("assign: pragma hint", `Quick, test_assign_honors_hint);
+    ("assign: no fit", `Quick, test_assign_no_fit);
+    ("assign: bram-heavy placement", `Quick, test_assign_bram_heavy_gets_bram_page);
+    ("compile -O1", `Quick, test_compile_o1);
+    ("compile -O0 forces softcores", `Quick, test_compile_o0_forces_softcores);
+    ("compile mixed pragmas", `Quick, test_compile_mixed_targets);
+    ("incremental cache", `Slow, test_incremental_cache);
+    ("makespan model", `Quick, test_makespan);
+    ("parallel <= serial", `Quick, test_o1_parallel_faster_than_serial);
+    ("all levels agree functionally", `Slow, test_all_levels_agree);
+    ("-O0 orders slower", `Slow, test_o0_orders_slower);
+    ("-O1 between -O3 and -O0", `Slow, test_o1_between);
+    ("mixed softcore/fabric run", `Slow, test_mixed_execution_matches);
+    ("assign: colliding p_num pragmas", `Quick, test_assign_hint_collision);
+    ("multi-frame streaming", `Quick, test_multi_frame_throughput);
+    ("dma engine model", `Quick, test_dma_model);
+    ("deploy -O1 to card", `Quick, test_deploy_o1);
+    ("monolithic load evicts overlay", `Quick, test_deploy_monolithic_evicts_overlay);
+    ("card protocol enforcement", `Quick, test_card_protocol_violation);
+    ("reports render", `Quick, test_reports);
+    ("compile-time shape (Tab. 2)", `Slow, test_compile_time_shape);
+  ]

@@ -1,0 +1,216 @@
+open Pld_fabric
+module N = Pld_netlist.Netlist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- fabric ---------- *)
+
+let test_device_resources () =
+  let d = Device.u50_model () in
+  let r = Device.total_user_resources d in
+  check_bool "tens of kLUTs" true (r.N.luts > 20_000 && r.N.luts < 80_000);
+  check_bool "has BRAM" true (r.N.brams > 50);
+  check_bool "has DSP" true (r.N.dsps > 100)
+
+let test_floorplan_pages () =
+  let fp = Floorplan.u50 () in
+  check_int "22 pages" 22 (List.length fp.Floorplan.pages);
+  let summary = Floorplan.type_summary fp in
+  check_int "4 page types" 4 (List.length summary);
+  Alcotest.(check (list int)) "counts per type" [ 7; 7; 7; 1 ] (List.map (fun (_, _, n) -> n) summary)
+
+let test_pages_disjoint () =
+  let fp = Floorplan.u50 () in
+  List.iteri
+    (fun i (p : Floorplan.page) ->
+      List.iteri
+        (fun j (q : Floorplan.page) ->
+          if i < j then begin
+            let overlap =
+              p.rect.Floorplan.x0 <= q.rect.Floorplan.x1 && q.rect.Floorplan.x0 <= p.rect.Floorplan.x1
+              && p.rect.Floorplan.y0 <= q.rect.Floorplan.y1 && q.rect.Floorplan.y0 <= p.rect.Floorplan.y1
+            in
+            check_bool (Printf.sprintf "pages %d/%d disjoint" p.page_id q.page_id) false overlap
+          end)
+        fp.Floorplan.pages)
+    fp.Floorplan.pages
+
+let test_pages_no_slr_crossing () =
+  let fp = Floorplan.u50 () in
+  List.iter
+    (fun (p : Floorplan.page) ->
+      check_int
+        (Printf.sprintf "page %d in one SLR" p.page_id)
+        (Device.slr_of_row fp.Floorplan.device p.rect.Floorplan.y0)
+        (Device.slr_of_row fp.Floorplan.device p.rect.Floorplan.y1))
+    fp.Floorplan.pages
+
+let test_page_lookup () =
+  let fp = Floorplan.u50 () in
+  let p = Floorplan.find_page fp 1 in
+  Alcotest.(check (option int))
+    "tile maps back to page" (Some 1)
+    (Option.map (fun (q : Floorplan.page) -> q.page_id)
+       (Floorplan.page_of_tile fp p.rect.Floorplan.x0 p.rect.Floorplan.y0));
+  check_bool "shell is no page" true (Floorplan.page_of_tile fp 37 10 = None)
+
+let test_rrg_structure () =
+  let fp = Floorplan.u50 () in
+  let rrg = Rrg.build fp.Floorplan.device { Floorplan.x0 = 0; y0 = 2; x1 = 9; y1 = 5 } in
+  check_int "nodes" 40 rrg.Rrg.nodes;
+  check_bool "edges bidirectional" true (Array.length rrg.Rrg.edges = 2 * ((9 * 4) + (10 * 3)));
+  let n = Rrg.node_of_tile rrg 3 4 in
+  Alcotest.(check (pair int int)) "roundtrip" (3, 4) (Rrg.tile_of_node rrg n)
+
+let test_rrg_slr_edges_scarcer () =
+  let fp = Floorplan.u50 () in
+  let rrg = Rrg.build fp.Floorplan.device fp.Floorplan.l1_region in
+  let slr_edges = Array.to_list rrg.Rrg.edges |> List.filter (fun e -> e.Rrg.capacity < 14) in
+  check_bool "SLR crossings exist" true (slr_edges <> []);
+  List.iter (fun e -> check_bool "slower" true (e.Rrg.delay_ns > 0.2)) slr_edges
+
+(* ---------- place & route & timing ---------- *)
+
+let small_netlist n_cells seed =
+  let rng = Pld_util.Rng.create seed in
+  let b = N.Builder.create "rand" in
+  let port_in = N.Builder.add_cell b ~name:"pin" ~kind:(N.Stream_in "in") ~res:(N.res_luts 24) ~delay_ns:0.8 in
+  let port_out = N.Builder.add_cell b ~name:"pout" ~kind:(N.Stream_out "out") ~res:(N.res_luts 24) ~delay_ns:0.8 in
+  let cells =
+    List.init n_cells (fun i ->
+        N.Builder.add_cell b ~name:(Printf.sprintf "c%d" i) ~kind:N.Arith
+          ~res:(N.res_luts (8 + Pld_util.Rng.int rng 24))
+          ~delay_ns:1.0)
+  in
+  let all = Array.of_list ((port_in :: cells) @ [ port_out ]) in
+  Array.iteri
+    (fun i c -> if i > 0 then ignore (N.Builder.add_net b ~name:(Printf.sprintf "n%d" i) ~driver:all.(i - 1) ~sinks:[ c ]))
+    all;
+  (* extra random fanout *)
+  for k = 0 to (n_cells / 2) - 1 do
+    let a = all.(Pld_util.Rng.int rng (Array.length all)) in
+    let bdst = all.(Pld_util.Rng.int rng (Array.length all)) in
+    if a <> bdst then ignore (N.Builder.add_net b ~name:(Printf.sprintf "r%d" k) ~driver:a ~sinks:[ bdst ])
+  done;
+  N.Builder.finish b
+
+let page_region () =
+  let fp = Floorplan.u50 () in
+  (fp, (Floorplan.find_page fp 1).Floorplan.rect)
+
+let test_place_legalizes () =
+  let fp, region = page_region () in
+  let nl = small_netlist 20 3 in
+  let r = Pld_pnr.Place.run ~seed:2 ~device:fp.Floorplan.device ~region nl in
+  Alcotest.(check (float 0.0)) "no overfill" 0.0 r.Pld_pnr.Place.overfill;
+  Array.iter
+    (fun (x, y) ->
+      check_bool "inside region" true
+        (x >= region.Floorplan.x0 && x <= region.Floorplan.x1 && y >= region.Floorplan.y0 && y <= region.Floorplan.y1))
+    r.Pld_pnr.Place.positions
+
+let test_place_respects_pins () =
+  let fp, region = page_region () in
+  let nl = small_netlist 10 4 in
+  let page = Floorplan.find_page fp 1 in
+  let r =
+    Pld_pnr.Place.run ~seed:2 ~pins:[ ("in", page.Floorplan.noc_leaf); ("out", page.Floorplan.noc_leaf) ]
+      ~device:fp.Floorplan.device ~region nl
+  in
+  (* Cell 0 is the input port. *)
+  Alcotest.(check (pair int int)) "pin honored" page.Floorplan.noc_leaf r.Pld_pnr.Place.positions.(0)
+
+let test_place_rejects_oversize () =
+  let fp, region = page_region () in
+  let b = N.Builder.create "huge" in
+  for i = 0 to 200 do
+    ignore (N.Builder.add_cell b ~name:(Printf.sprintf "c%d" i) ~kind:N.Arith ~res:(N.res_luts 40) ~delay_ns:1.0)
+  done;
+  ignore (N.Builder.add_net b ~name:"n" ~driver:0 ~sinks:[ 1 ]);
+  match Pld_pnr.Place.run ~device:fp.Floorplan.device ~region (N.Builder.finish b) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_route_legal_and_timed () =
+  let fp, region = page_region () in
+  let nl = small_netlist 20 7 in
+  let place = Pld_pnr.Place.run ~seed:2 ~device:fp.Floorplan.device ~region nl in
+  let route =
+    Pld_pnr.Route.run ~device:fp.Floorplan.device ~region ~placement:place.Pld_pnr.Place.positions nl
+  in
+  check_int "no overuse" 0 route.Pld_pnr.Route.overused_edges;
+  let sta = Pld_pnr.Sta.analyze nl ~net_delay_ns:route.Pld_pnr.Route.net_delay_ns in
+  check_bool "sane fmax" true (sta.Pld_pnr.Sta.fmax_mhz > 50.0 && sta.Pld_pnr.Sta.fmax_mhz <= 300.0)
+
+let test_implement_end_to_end () =
+  let fp, region = page_region () in
+  let nl = small_netlist 15 9 in
+  let r = Pld_pnr.Pnr.implement ~device:fp.Floorplan.device ~region nl in
+  check_bool "routed ok" true (Pld_pnr.Pnr.routed_ok r);
+  check_bool "bitstream nonempty" true (Pld_pnr.Bitgen.size_bytes r.Pld_pnr.Pnr.bitstream > 0)
+
+let test_bitstream_proportional () =
+  let fp = Floorplan.u50 () in
+  let nl = small_netlist 15 9 in
+  let page = (Floorplan.find_page fp 1).Floorplan.rect in
+  let small = Pld_pnr.Pnr.implement ~device:fp.Floorplan.device ~region:page nl in
+  let big = Pld_pnr.Pnr.implement ~device:fp.Floorplan.device ~region:fp.Floorplan.l1_region nl in
+  (* Partial bitstreams are much smaller than full-region ones (§2.3). *)
+  check_bool "partial much smaller" true
+    (10 * Pld_pnr.Bitgen.size_bytes small.Pld_pnr.Pnr.bitstream
+    < Pld_pnr.Bitgen.size_bytes big.Pld_pnr.Pnr.bitstream)
+
+let test_determinism () =
+  let fp, region = page_region () in
+  let nl = small_netlist 12 5 in
+  let a = Pld_pnr.Pnr.implement ~seed:3 ~device:fp.Floorplan.device ~region nl in
+  let b = Pld_pnr.Pnr.implement ~seed:3 ~device:fp.Floorplan.device ~region nl in
+  Alcotest.(check string) "same bitstream for same seed" a.Pld_pnr.Pnr.bitstream.Pld_pnr.Bitgen.crc
+    b.Pld_pnr.Pnr.bitstream.Pld_pnr.Bitgen.crc
+
+let test_superlinear_runtime () =
+  (* The heart of the paper: P&R time grows super-linearly, so small
+     page compiles are disproportionately cheaper. *)
+  let fp = Floorplan.u50 () in
+  let small = small_netlist 12 11 in
+  let big = small_netlist 120 11 in
+  let region = fp.Floorplan.l1_region in
+  let t_small =
+    (Pld_pnr.Pnr.implement ~device:fp.Floorplan.device ~region small).Pld_pnr.Pnr.place.Pld_pnr.Place.seconds
+  in
+  let t_big =
+    (Pld_pnr.Pnr.implement ~device:fp.Floorplan.device ~region big).Pld_pnr.Pnr.place.Pld_pnr.Place.seconds
+  in
+  check_bool "10x cells -> >15x time" true (t_big > 15.0 *. t_small)
+
+let prop_sta_fmax_bounded =
+  QCheck.Test.make ~name:"sta fmax within (0, clock target]" ~count:20
+    QCheck.(pair (int_range 3 25) (int_range 0 1000))
+    (fun (n, seed) ->
+      let fp, region = page_region () in
+      let nl = small_netlist n seed in
+      let place = Pld_pnr.Place.run ~seed:1 ~device:fp.Floorplan.device ~region nl in
+      let route = Pld_pnr.Route.run ~device:fp.Floorplan.device ~region ~placement:place.Pld_pnr.Place.positions nl in
+      let sta = Pld_pnr.Sta.analyze nl ~net_delay_ns:route.Pld_pnr.Route.net_delay_ns in
+      sta.Pld_pnr.Sta.fmax_mhz > 0.0 && sta.Pld_pnr.Sta.fmax_mhz <= 300.0)
+
+let suite =
+  [
+    ("device resources", `Quick, test_device_resources);
+    ("floorplan: 22 pages, 4 types", `Quick, test_floorplan_pages);
+    ("floorplan: pages disjoint", `Quick, test_pages_disjoint);
+    ("floorplan: no SLR crossing", `Quick, test_pages_no_slr_crossing);
+    ("floorplan: tile lookup", `Quick, test_page_lookup);
+    ("rrg structure", `Quick, test_rrg_structure);
+    ("rrg SLR edges scarce and slow", `Quick, test_rrg_slr_edges_scarcer);
+    ("place legalizes in page", `Quick, test_place_legalizes);
+    ("place honors pins", `Quick, test_place_respects_pins);
+    ("place rejects oversize netlists", `Quick, test_place_rejects_oversize);
+    ("route legal, timing sane", `Quick, test_route_legal_and_timed);
+    ("implement end to end", `Quick, test_implement_end_to_end);
+    ("partial bitstream smaller", `Quick, test_bitstream_proportional);
+    ("deterministic with seed", `Slow, test_determinism);
+    ("superlinear runtime", `Slow, test_superlinear_runtime);
+    QCheck_alcotest.to_alcotest prop_sta_fmax_bounded;
+  ]

@@ -1,0 +1,462 @@
+open Pld_riscv
+open Pld_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i32 = Alcotest.(check int32)
+
+(* ---------- ISA ---------- *)
+
+let sample_instrs =
+  [
+    Isa.Lui (5, 0x12345);
+    Isa.Auipc (10, 0xFFF);
+    Isa.Jal (1, 2048);
+    Isa.Jal (0, -4096);
+    Isa.Jalr (1, 5, -12);
+    Isa.Branch (Isa.Beq, 5, 6, 16);
+    Isa.Branch (Isa.Bge, 10, 11, -256);
+    Isa.Load (Isa.W, false, 7, 2, 124);
+    Isa.Load (Isa.B, true, 7, 2, -1);
+    Isa.Store (Isa.W, 7, 2, -2048);
+    Isa.Store (Isa.H, 3, 4, 2046);
+    Isa.Alui (Isa.Addi, 5, 5, -1);
+    Isa.Alui (Isa.Slli, 5, 5, 31);
+    Isa.Alui (Isa.Srai, 6, 6, 4);
+    Isa.Alur (Isa.Radd, 1, 2, 3);
+    Isa.Alur (Isa.Rmulhu, 1, 2, 3);
+    Isa.Alur (Isa.Rdiv, 1, 2, 3);
+    Isa.Ecall;
+    Isa.Ebreak;
+  ]
+
+let test_isa_roundtrip () =
+  List.iter
+    (fun i ->
+      match Isa.decode (Isa.encode i) with
+      | Some d -> check_bool (Isa.to_string i) true (d = i)
+      | None -> Alcotest.failf "decode failed for %s" (Isa.to_string i))
+    sample_instrs
+
+let test_isa_rejects_bad_imm () =
+  check_bool "I-type range" true
+    (match Isa.encode (Isa.Alui (Isa.Addi, 1, 1, 5000)) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- assembler ---------- *)
+
+let test_asm_labels () =
+  let img =
+    Asm.assemble
+      [
+        Asm.Label "start";
+        Asm.Li (Isa.t0, 5l);
+        Asm.Bj (Isa.Beq, Isa.t0, Isa.zero, "end");
+        Asm.J "start";
+        Asm.Label "end";
+        Asm.Instr Isa.Ebreak;
+      ]
+  in
+  check_bool "assembled" true (Array.length img.Asm.words >= 4);
+  check_int "start at 0" 0 (List.assoc "start" img.Asm.symbols)
+
+let test_asm_undefined_label () =
+  match Asm.assemble [ Asm.J "nowhere" ] with
+  | _ -> Alcotest.fail "expected Undefined_label"
+  | exception Asm.Undefined_label "nowhere" -> ()
+
+let test_asm_long_branch () =
+  (* A branch across >4 KB of code must still assemble and execute
+     (the assembler expands it to an inverted branch over a jal). *)
+  let filler = List.init 3000 (fun _ -> Asm.Instr (Isa.Alui (Isa.Addi, Isa.t2, Isa.t2, 1))) in
+  let img =
+    Asm.assemble
+      ([ Asm.Li (Isa.t0, 0l); Asm.Bj (Isa.Beq, Isa.t0, Isa.zero, "far") ]
+      @ filler
+      @ [ Asm.Label "far"; Asm.Li (Isa.t1, 77l); Asm.Instr Isa.Ebreak ])
+  in
+  let cpu = Cpu.create () in
+  Cpu.load_words cpu ~addr:0 img.Asm.words;
+  check_bool "halted" true (Cpu.run cpu = Cpu.Halted);
+  check_i32 "skipped the filler" 77l (Cpu.read_reg cpu Isa.t1);
+  check_i32 "filler never ran" 0l (Cpu.read_reg cpu Isa.t2)
+
+let test_asm_li_wide () =
+  let img = Asm.assemble [ Asm.Li (Isa.t0, 0xDEADBEEFl); Asm.Instr Isa.Ebreak ] in
+  (* Execute it and check the register. *)
+  let cpu = Cpu.create () in
+  Cpu.load_words cpu ~addr:0 img.Asm.words;
+  ignore (Cpu.run cpu);
+  check_i32 "li materializes value" 0xDEADBEEFl (Cpu.read_reg cpu Isa.t0)
+
+let run_program items =
+  let img = Asm.assemble items in
+  let cpu = Cpu.create () in
+  Cpu.load_words cpu ~addr:0 img.Asm.words;
+  (Cpu.run cpu, cpu)
+
+(* ---------- CPU ---------- *)
+
+let test_cpu_arith () =
+  let _, cpu =
+    run_program
+      [
+        Asm.Li (Isa.t0, 21l);
+        Asm.Li (Isa.t1, 2l);
+        Asm.Instr (Isa.Alur (Isa.Rmul, Isa.t2, Isa.t0, Isa.t1));
+        Asm.Instr Isa.Ebreak;
+      ]
+  in
+  check_i32 "21*2" 42l (Cpu.read_reg cpu Isa.t2)
+
+let test_cpu_loop () =
+  (* Sum 1..10 with a branch loop. *)
+  let status, cpu =
+    run_program
+      [
+        Asm.Li (Isa.t0, 0l);
+        Asm.Li (Isa.t1, 10l);
+        Asm.Label "loop";
+        Asm.Instr (Isa.Alur (Isa.Radd, Isa.t0, Isa.t0, Isa.t1));
+        Asm.Instr (Isa.Alui (Isa.Addi, Isa.t1, Isa.t1, -1));
+        Asm.Bj (Isa.Bne, Isa.t1, Isa.zero, "loop");
+        Asm.Instr Isa.Ebreak;
+      ]
+  in
+  check_bool "halted" true (status = Cpu.Halted);
+  check_i32 "sum" 55l (Cpu.read_reg cpu Isa.t0)
+
+let test_cpu_mem () =
+  let _, cpu =
+    run_program
+      [
+        Asm.Li (Isa.t0, 0x8000l);
+        Asm.Li (Isa.t1, -7l);
+        Asm.Instr (Isa.Store (Isa.W, Isa.t1, Isa.t0, 0));
+        Asm.Instr (Isa.Load (Isa.W, false, Isa.t2, Isa.t0, 0));
+        Asm.Instr Isa.Ebreak;
+      ]
+  in
+  check_i32 "store/load" (-7l) (Cpu.read_reg cpu Isa.t2)
+
+let test_cpu_division_semantics () =
+  let _, cpu =
+    run_program
+      [
+        Asm.Li (Isa.t0, 7l);
+        Asm.Li (Isa.t1, 0l);
+        Asm.Instr (Isa.Alur (Isa.Rdiv, Isa.t2, Isa.t0, Isa.t1));
+        Asm.Instr (Isa.Alur (Isa.Rrem, Isa.t3, Isa.t0, Isa.t1));
+        Asm.Instr Isa.Ebreak;
+      ]
+  in
+  check_i32 "div by zero = -1" (-1l) (Cpu.read_reg cpu Isa.t2);
+  check_i32 "rem by zero = dividend" 7l (Cpu.read_reg cpu Isa.t3)
+
+let test_cpu_stalls_on_empty_stream () =
+  let img =
+    Asm.assemble
+      [ Asm.Li (Isa.t0, Int32.of_int Cpu.mmio_in_base); Asm.Instr (Isa.Load (Isa.W, false, Isa.t1, Isa.t0, 0)); Asm.Instr Isa.Ebreak ]
+  in
+  let data = ref None in
+  let cpu = Cpu.create ~stream_read:(fun _ -> !data) () in
+  Cpu.load_words cpu ~addr:0 img.Asm.words;
+  check_bool "stalled" true (Cpu.run cpu = Cpu.Stalled);
+  data := Some 99l;
+  check_bool "halts after data" true (Cpu.run cpu = Cpu.Halted);
+  check_i32 "read value" 99l (Cpu.read_reg cpu Isa.t1)
+
+let test_cpu_traps_on_bad_access () =
+  let status, _ =
+    run_program [ Asm.Li (Isa.t0, 0x7FFFFF0l); Asm.Instr (Isa.Load (Isa.W, false, Isa.t1, Isa.t0, 0)) ]
+  in
+  check_bool "trapped" true (match status with Cpu.Trapped _ -> true | _ -> false)
+
+let test_cpu_timing_model () =
+  let _, cpu = run_program [ Asm.Li (Isa.t0, 1l); Asm.Instr Isa.Ebreak ] in
+  check_bool "multi-cycle instructions" true (cpu.Cpu.cycles >= cpu.Cpu.retired)
+
+(* ---------- codegen + softcore co-simulation ---------- *)
+
+let u32 = Dtype.word
+
+let cosim op inputs_per_port =
+  (* interpreter reference *)
+  let mk_queues ports vals = List.map2 (fun (p : Op.port) v -> (p.Op.port_name, v)) ports vals in
+  let in_qs =
+    mk_queues op.Op.inputs
+      (List.map
+         (fun vs ->
+           let q = Queue.create () in
+           List.iter (fun x -> Queue.push (Value.of_int u32 x) q) vs;
+           q)
+         inputs_per_port)
+  in
+  let out_qs = List.map (fun (p : Op.port) -> (p.Op.port_name, Queue.create ())) op.Op.outputs in
+  Interp.run_operator op (Interp.queue_io ~inputs:in_qs ~outputs:out_qs);
+  let expect = List.map (fun (_, q) -> List.map Value.to_int (List.of_seq (Queue.to_seq q))) out_qs in
+  (* softcore *)
+  let prog = Codegen.compile op in
+  let in_qs2 =
+    List.map
+      (fun vs ->
+        let q = Queue.create () in
+        List.iter (fun x -> Queue.push (Int32.of_int x) q) vs;
+        q)
+      inputs_per_port
+  in
+  let out_bufs = List.map (fun _ -> Queue.create ()) op.Op.outputs in
+  let cpu =
+    Softcore.boot prog
+      ~stream_read:(fun i ->
+        let q = List.nth in_qs2 i in
+        if Queue.is_empty q then None else Some (Queue.pop q))
+      ~stream_write:(fun i v ->
+        Queue.push v (List.nth out_bufs i);
+        true)
+  in
+  (match Cpu.run cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Stalled -> Alcotest.fail "softcore starved"
+  | Cpu.Trapped m -> Alcotest.failf "softcore trap: %s" m
+  | Cpu.Running -> Alcotest.fail "did not halt");
+  let got =
+    List.map (fun q -> List.map (fun v -> Int32.to_int v land 0xFFFFFFFF) (List.of_seq (Queue.to_seq q))) out_bufs
+  in
+  (List.map (List.map (fun x -> x land 0xFFFFFFFF)) expect, got)
+
+let test_codegen_simple () =
+  let op =
+    Op.make ~name:"axpb" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" (Dtype.SInt 32) ]
+      [
+        Op.For
+          {
+            var = "i";
+            lo = 0;
+            hi = 10;
+            pipeline = false;
+            body =
+              [
+                Op.Read (Op.LVar "x", "in");
+                Op.Write ("out", Expr.(Bin (Add, Bin (Mul, var "x", int (Dtype.SInt 32) 3), int (Dtype.SInt 32) 5)));
+              ];
+          };
+      ]
+  in
+  let expect, got = cosim op [ List.init 10 (fun i -> i * 7) ] in
+  Alcotest.(check (list (list int))) "3x+5" expect got
+
+let test_codegen_fixed_division () =
+  let fx = Dtype.SFixed { width = 32; int_bits = 17 } in
+  let op =
+    Op.make ~name:"fdiv" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "a" fx; Op.scalar "b" fx; Op.scalar "q" fx ]
+      [
+        Op.For
+          {
+            var = "i";
+            lo = 0;
+            hi = 4;
+            pipeline = false;
+            body =
+              [
+                Op.Read (Op.LVar "a", "in");
+                Op.Read (Op.LVar "b", "in");
+                Op.If
+                  ( Expr.(Bin (Eq, var "b", float_ fx 0.0)),
+                    [ Op.Assign (Op.LVar "q", Expr.float_ fx 0.0) ],
+                    [ Op.Assign (Op.LVar "q", Expr.(Bin (Div, var "a", var "b"))) ] );
+                Op.Write ("out", Expr.var "q");
+              ];
+          };
+      ]
+  in
+  let fxw x = Value.to_int (Value.bitcast u32 (Value.of_float fx x)) in
+  let ins = [ fxw 10.5; fxw 3.0; fxw (-8.25); fxw 2.0; fxw 1.0; fxw 0.0; fxw 100.0; fxw 0.125 ] in
+  let expect, got = cosim op [ ins ] in
+  Alcotest.(check (list (list int))) "fixed division" expect got
+
+let test_codegen_arrays_and_select () =
+  let i32 = Dtype.SInt 32 in
+  let op =
+    Op.make ~name:"arr" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.array "buf" i32 8; Op.scalar "m" i32 ]
+      [
+        Op.For
+          { var = "i"; lo = 0; hi = 8; pipeline = false; body = [ Op.Read (Op.LIdx ("buf", Expr.var "i"), "in") ] };
+        Op.Assign (Op.LVar "m", Expr.int i32 (-1000));
+        Op.For
+          {
+            var = "i";
+            lo = 0;
+            hi = 8;
+            pipeline = false;
+            body =
+              [
+                Op.Assign
+                  (Op.LVar "m", Expr.(Select (Idx ("buf", var "i") > var "m", Idx ("buf", var "i"), var "m")));
+              ];
+          };
+        Op.Write ("out", Expr.var "m");
+      ]
+  in
+  let expect, got = cosim op [ [ 3; 9; 1; 200; 5; 0; 199; 42 ] ] in
+  Alcotest.(check (list (list int))) "array max" expect got
+
+let test_codegen_printf () =
+  let op =
+    Op.make ~name:"dbg" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" u32 ]
+      [ Op.Read (Op.LVar "x", "in"); Op.Printf ("x is", [ Expr.var "x" ]); Op.Write ("out", Expr.var "x") ]
+  in
+  let prog = Codegen.compile op in
+  let printed = ref [] in
+  let q = Queue.create () in
+  Queue.push 17l q;
+  let cpu =
+    Softcore.boot prog
+      ~stream_read:(fun _ -> if Queue.is_empty q then None else Some (Queue.pop q))
+      ~stream_write:(fun _ _ -> true)
+      ~printf:(fun s -> printed := s :: !printed)
+  in
+  ignore (Cpu.run cpu);
+  Alcotest.(check (list string)) "printf routed" [ "x is 17" ] !printed
+
+let test_codegen_rejects_wide_locals () =
+  let wide = Dtype.SFixed { width = 96; int_bits = 40 } in
+  let op =
+    Op.make ~name:"wide" ~inputs:[] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" wide ]
+      [ Op.Write ("out", Expr.var "x") ]
+  in
+  match Codegen.compile op with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Codegen.Unsupported _ -> ()
+
+let test_profiles () =
+  (* Same binary, two overlay processors: identical results, fewer
+     cycles on the pipelined core (the paper's Sec 9 overlay menu). *)
+  let op =
+    Op.make ~name:"p" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" (Dtype.SInt 32) ]
+      [
+        Op.For
+          {
+            var = "i";
+            lo = 0;
+            hi = 20;
+            pipeline = false;
+            body =
+              [
+                Op.Read (Op.LVar "x", "in");
+                Op.Write ("out", Expr.(Bin (Mul, var "x", var "x")));
+              ];
+          };
+      ]
+  in
+  let prog = Codegen.compile op in
+  let run profile =
+    let q = Queue.create () in
+    for i = 1 to 20 do
+      Queue.push (Int32.of_int i) q
+    done;
+    let out = Queue.create () in
+    let cpu =
+      Softcore.boot ~profile prog
+        ~stream_read:(fun _ -> if Queue.is_empty q then None else Some (Queue.pop q))
+        ~stream_write:(fun _ v -> Queue.push v out; true)
+    in
+    (match Cpu.run cpu with Cpu.Halted -> () | _ -> Alcotest.fail "no halt");
+    (List.of_seq (Queue.to_seq out), cpu.Cpu.cycles)
+  in
+  let slow_out, slow_cycles = run Cpu.picorv32 in
+  let fast_out, fast_cycles = run Cpu.pipelined in
+  check_bool "same results" true (slow_out = fast_out);
+  check_bool "pipelined at least 2x faster" true (2 * fast_cycles <= slow_cycles)
+
+let test_elf_roundtrip () =
+  let op =
+    Op.make ~name:"tiny" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+      ~locals:[ Op.scalar "x" u32 ]
+      [ Op.Read (Op.LVar "x", "in"); Op.Write ("out", Expr.var "x") ]
+  in
+  let prog = Codegen.compile op in
+  let packed = Elf.pack ~page:7 prog in
+  let back = Elf.unpack packed.Elf.blob in
+  check_int "page" 7 back.Elf.page;
+  check_bool "program preserved" true (back.Elf.program.Codegen.op_name = "tiny");
+  (* Corruption must be detected. *)
+  let corrupt = Bytes.of_string packed.Elf.blob in
+  Bytes.set corrupt (Bytes.length corrupt - 1) 'X';
+  match Elf.unpack (Bytes.to_string corrupt) with
+  | _ -> Alcotest.fail "expected CRC failure"
+  | exception Invalid_argument _ -> ()
+
+(* Random straight-line operators: interpreter and softcore must agree
+   bit for bit. *)
+let prop_cosim_random_ops =
+  let gen =
+    QCheck.Gen.(
+      let binop_int = oneofl [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div; Expr.Rem; Expr.And; Expr.Or; Expr.Xor ] in
+      let binop_fx = oneofl [ Expr.Add; Expr.Sub; Expr.Mul ] in
+      let dtype = oneofl [ Dtype.SInt 32; Dtype.UInt 16; Dtype.SFixed { width = 32; int_bits = 17 }; Dtype.SInt 8 ] in
+      dtype >>= fun dt ->
+      (if Dtype.is_integer dt then binop_int else binop_fx) >>= fun op1 ->
+      (if Dtype.is_integer dt then binop_int else binop_fx) >>= fun op2 ->
+      list_size (int_range 2 6) (int_bound 0xFFFF) >>= fun data ->
+      return (dt, op1, op2, data))
+  in
+  QCheck.Test.make ~name:"softcore matches interpreter on random ops" ~count:60
+    (QCheck.make gen)
+    (fun (dt, op1, op2, data) ->
+      let n = List.length data / 2 in
+      QCheck.assume (n > 0);
+      let op =
+        Op.make ~name:"rand" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+          ~locals:[ Op.scalar "a" dt; Op.scalar "b" dt; Op.scalar "r" dt ]
+          [
+            Op.For
+              {
+                var = "i";
+                lo = 0;
+                hi = n;
+                pipeline = false;
+                body =
+                  [
+                    Op.Read (Op.LVar "a", "in");
+                    Op.Read (Op.LVar "b", "in");
+                    Op.Assign (Op.LVar "r", Expr.(Bin (op2, Bin (op1, var "a", var "b"), var "a")));
+                    Op.Write ("out", Expr.var "r");
+                  ];
+              };
+          ]
+      in
+      let expect, got = cosim op [ List.filteri (fun i _ -> i < 2 * n) data ] in
+      expect = got)
+
+let suite =
+  [
+    ("isa encode/decode roundtrip", `Quick, test_isa_roundtrip);
+    ("isa rejects bad immediates", `Quick, test_isa_rejects_bad_imm);
+    ("asm labels", `Quick, test_asm_labels);
+    ("asm undefined label", `Quick, test_asm_undefined_label);
+    ("asm long-distance branch", `Quick, test_asm_long_branch);
+    ("asm li wide immediate", `Quick, test_asm_li_wide);
+    ("cpu arithmetic", `Quick, test_cpu_arith);
+    ("cpu branch loop", `Quick, test_cpu_loop);
+    ("cpu memory", `Quick, test_cpu_mem);
+    ("cpu RISC-V division semantics", `Quick, test_cpu_division_semantics);
+    ("cpu stalls on empty stream", `Quick, test_cpu_stalls_on_empty_stream);
+    ("cpu traps on bad access", `Quick, test_cpu_traps_on_bad_access);
+    ("cpu timing model", `Quick, test_cpu_timing_model);
+    ("codegen 3x+5", `Quick, test_codegen_simple);
+    ("codegen fixed-point division", `Quick, test_codegen_fixed_division);
+    ("codegen arrays and select", `Quick, test_codegen_arrays_and_select);
+    ("codegen printf to host", `Quick, test_codegen_printf);
+    ("codegen rejects >64-bit locals", `Quick, test_codegen_rejects_wide_locals);
+    ("overlay processor profiles", `Quick, test_profiles);
+    ("elf pack/unpack + CRC", `Quick, test_elf_roundtrip);
+    QCheck_alcotest.to_alcotest prop_cosim_random_ops;
+  ]

@@ -1,0 +1,126 @@
+open Pld_rosetta
+open Pld_ir
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let hw = Graph.Hw { page_hint = None }
+
+let functional_case (b : Suite.bench) () =
+  let g = b.Suite.graph hw in
+  Alcotest.(check (list string)) "graph validates" []
+    (List.map Validate.error_to_string (Validate.check_graph g));
+  let inputs = b.Suite.workload () in
+  let r = Pld_kpn.Run_graph.run g ~inputs in
+  check_bool "matches independent reference" true (b.Suite.check ~inputs r.Pld_kpn.Run_graph.outputs)
+
+let o0_case (b : Suite.bench) () =
+  (* Same source, softcore execution: outputs must still validate. *)
+  let fp = Pld_fabric.Floorplan.u50 () in
+  let g = b.Suite.graph hw in
+  let inputs = b.Suite.workload () in
+  let app = Pld_core.Build.compile fp g ~level:Pld_core.Build.O0 in
+  let r = Pld_core.Runner.run app ~inputs in
+  check_bool "softcore run validates" true (b.Suite.check ~inputs r.Pld_core.Runner.outputs)
+
+let o1_case (b : Suite.bench) () =
+  let fp = Pld_fabric.Floorplan.u50 () in
+  let g = b.Suite.graph hw in
+  let inputs = b.Suite.workload () in
+  let app = Pld_core.Build.compile fp g ~level:Pld_core.Build.O1 in
+  check_bool "every operator fits a page" true (List.length app.Pld_core.Build.assignment > 0);
+  let r = Pld_core.Runner.run app ~inputs in
+  check_bool "page run validates" true (b.Suite.check ~inputs r.Pld_core.Runner.outputs)
+
+let test_optical_flow_shape () =
+  (* The flow field of a 1-pixel right shift should be mostly negative
+     u (content moved from left), near-zero v in the interior. *)
+  let inputs = Optical_flow.workload () in
+  let g = Optical_flow.graph () in
+  let r = Pld_kpn.Run_graph.run g ~inputs in
+  let out = Array.of_list (List.assoc "flow_out" r.Pld_kpn.Run_graph.outputs) in
+  check_int "two words per pixel" (2 * Optical_flow.height * Optical_flow.width) (Array.length out)
+
+let test_digit_labels_in_range () =
+  let inputs = Digit_recog.workload () in
+  let g = Digit_recog.graph () in
+  let r = Pld_kpn.Run_graph.run g ~inputs in
+  List.iter
+    (fun v ->
+      let l = Value.to_int v in
+      check_bool "label 0..9" true (l >= 0 && l <= 9))
+    (List.assoc "labels_out" r.Pld_kpn.Run_graph.outputs)
+
+let test_spam_verdicts_binary () =
+  let inputs = Spam_filter.workload () in
+  let g = Spam_filter.graph () in
+  let r = Pld_kpn.Run_graph.run g ~inputs in
+  List.iter
+    (fun v -> check_bool "0 or 1" true (Value.to_int v = 0 || Value.to_int v = 1))
+    (List.assoc "verdict_out" r.Pld_kpn.Run_graph.outputs)
+
+let test_rendering_depths_bounded () =
+  let inputs = Rendering.workload () in
+  let g = Rendering.graph () in
+  let r = Pld_kpn.Run_graph.run g ~inputs in
+  List.iter
+    (fun v ->
+      let z = Value.to_int v in
+      check_bool "depth in [0,255]" true (z >= 0 && z <= 255))
+    (List.assoc "frame_out" r.Pld_kpn.Run_graph.outputs)
+
+let test_bnn_classes_in_range () =
+  let inputs = Bnn.workload () in
+  let g = Bnn.graph () in
+  let r = Pld_kpn.Run_graph.run g ~inputs in
+  let out = List.assoc "class_out" r.Pld_kpn.Run_graph.outputs in
+  check_int "one class per image" Bnn.n_images (List.length out);
+  List.iter (fun v -> check_bool "class 0..9" true (Value.to_int v >= 0 && Value.to_int v < 10)) out
+
+let test_face_window_count () =
+  let inputs = Face_detect.workload () in
+  let g = Face_detect.graph () in
+  let r = Pld_kpn.Run_graph.run g ~inputs in
+  check_int "one score per window" Face_detect.n_windows
+    (List.length (List.assoc "faces_out" r.Pld_kpn.Run_graph.outputs))
+
+let prop_rendering_random_workloads =
+  QCheck.Test.make ~name:"rendering matches reference on random triangles" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let inputs = Rendering.workload ~seed () in
+      let g = Rendering.graph () in
+      let r = Pld_kpn.Run_graph.run g ~inputs in
+      Rendering.check ~inputs r.Pld_kpn.Run_graph.outputs)
+
+let prop_bnn_random_workloads =
+  QCheck.Test.make ~name:"bnn matches reference on random images" ~count:5
+    QCheck.(int_bound 10_000)
+    (fun wseed ->
+      let inputs = Bnn.workload ~seed:wseed () in
+      (* Note: the graph's weights use the default seed; only the image
+         workload varies (the reference must match that asymmetry). *)
+      let g = Bnn.graph () in
+      let r = Pld_kpn.Run_graph.run g ~inputs in
+      let expect = Bnn.reference inputs in
+      List.map Value.to_int (List.assoc "class_out" r.Pld_kpn.Run_graph.outputs) = expect)
+
+let suite =
+  List.concat_map
+    (fun (b : Suite.bench) ->
+      [
+        (b.Suite.name ^ ": functional vs reference", `Quick, functional_case b);
+        (b.Suite.name ^ ": -O1 page build + run", `Slow, o1_case b);
+      ])
+    Suite.all
+  @ [
+      ("optical: -O0 softcore run", `Slow, o0_case (Suite.find "optical"));
+      ("spam: -O0 softcore run", `Slow, o0_case (Suite.find "spam"));
+      ("optical flow output shape", `Quick, test_optical_flow_shape);
+      ("digit labels in range", `Quick, test_digit_labels_in_range);
+      ("spam verdicts binary", `Quick, test_spam_verdicts_binary);
+      ("rendering depths bounded", `Quick, test_rendering_depths_bounded);
+      ("bnn classes in range", `Quick, test_bnn_classes_in_range);
+      ("face window count", `Quick, test_face_window_count);
+      QCheck_alcotest.to_alcotest prop_rendering_random_workloads;
+      QCheck_alcotest.to_alcotest prop_bnn_random_workloads;
+    ]

@@ -1,0 +1,165 @@
+open Pld_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    check_bool "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  check_bool "split streams differ" true (xs <> ys)
+
+let test_rng_gaussian () =
+  let rng = Rng.create 3 in
+  let n = 20_000 in
+  let samples = List.init n (fun _ -> Rng.gaussian rng ~mu:5.0 ~sigma:2.0) in
+  let m = Stats.mean samples in
+  check_bool "mean near mu" true (Float.abs (m -. 5.0) < 0.1);
+  let s = Stats.stddev samples in
+  check_bool "stddev near sigma" true (Float.abs (s -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_topo_simple () =
+  let order = Topo.sort ~n:4 ~edges:[ (0, 1); (1, 2); (0, 3); (3, 2) ] in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  check_bool "0 before 1" true (pos.(0) < pos.(1));
+  check_bool "1 before 2" true (pos.(1) < pos.(2));
+  check_bool "3 before 2" true (pos.(3) < pos.(2))
+
+let test_topo_cycle () =
+  match Topo.sort ~n:3 ~edges:[ (0, 1); (1, 2); (2, 0) ] with
+  | _ -> Alcotest.fail "expected Cycle"
+  | exception Topo.Cycle c -> check_bool "cycle nonempty" true (c <> [])
+
+let test_topo_is_dag () =
+  check_bool "dag" true (Topo.is_dag ~n:3 ~edges:[ (0, 1); (1, 2) ]);
+  check_bool "not dag" false (Topo.is_dag ~n:2 ~edges:[ (0, 1); (1, 0) ])
+
+let test_topo_sccs () =
+  let comps = Topo.sccs ~n:5 ~edges:[ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (4, 4) ] in
+  let sizes = List.sort compare (List.map List.length comps) in
+  Alcotest.(check (list int)) "component sizes" [ 1; 2; 2 ] sizes
+
+let test_topo_longest_path () =
+  let dist = Topo.longest_path ~n:4 ~edges:[ (0, 1, 2.0); (1, 2, 3.0); (0, 2, 4.0); (2, 3, 1.0) ] in
+  Alcotest.(check (float 1e-9)) "sink distance" 6.0 dist.(3);
+  Alcotest.(check (float 1e-9)) "middle" 5.0 dist.(2)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  Union_find.union uf 4 5;
+  check_bool "0~2" true (Union_find.same uf 0 2);
+  check_bool "0!~4" false (Union_find.same uf 0 4);
+  let groups = Union_find.groups uf in
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ] groups
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile 100.0 xs);
+  Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile 25.0 xs)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.0; 0.1; 0.9; 1.0 ] in
+  let counts = List.map (fun (_, _, c) -> c) h in
+  Alcotest.(check (list int)) "bin counts" [ 2; 2 ] counts
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ])
+
+let test_digest_stable () =
+  let d1 = Digest_lite.of_string "hello" in
+  let d2 = Digest_lite.of_string "hello" in
+  Alcotest.(check string) "stable" d1 d2;
+  check_bool "distinct" true (Digest_lite.of_string "hellp" <> d1);
+  check_int "hex length" 16 (String.length d1)
+
+let test_digest_combine () =
+  let a = Digest_lite.of_string "a" and b = Digest_lite.of_string "b" in
+  check_bool "order matters" true (Digest_lite.combine [ a; b ] <> Digest_lite.combine [ b; a ])
+
+let test_table_render () =
+  let s = Table.render ~header:[ "name"; "value" ] [ [ "x"; "1" ]; [ "long-name"; "22" ] ] in
+  check_bool "contains header" true (String.length s > 0);
+  check_bool "has separator" true (String.contains s '=')
+
+let test_table_csv () =
+  let s = Table.render_csv ~header:[ "a"; "b" ] [ [ "1"; "with,comma" ] ] in
+  check_bool "quoted comma" true (String.length s > 0 && String.contains s '"')
+
+let qcheck_topo_sort_valid =
+  QCheck.Test.make ~name:"topo sort respects random DAG edges" ~count:200
+    QCheck.(pair (int_range 1 20) (list (pair (int_range 0 19) (int_range 0 19))))
+    (fun (n, raw_edges) ->
+      (* Force a DAG by orienting edges from smaller to larger vertex. *)
+      let edges =
+        raw_edges
+        |> List.filter_map (fun (u, v) ->
+               let u = u mod n and v = v mod n in
+               if u < v then Some (u, v) else if v < u then Some (v, u) else None)
+      in
+      let order = Pld_util.Topo.sort ~n ~edges in
+      let pos = Array.make n 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      List.for_all (fun (u, v) -> pos.(u) < pos.(v)) edges)
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.))
+    (fun xs ->
+      let p1 = Pld_util.Stats.percentile 25.0 xs in
+      let p2 = Pld_util.Stats.percentile 75.0 xs in
+      p1 <= p2 +. 1e-9)
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng split", `Quick, test_rng_split_independent);
+    ("rng gaussian moments", `Quick, test_rng_gaussian);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("topo simple", `Quick, test_topo_simple);
+    ("topo cycle detection", `Quick, test_topo_cycle);
+    ("topo is_dag", `Quick, test_topo_is_dag);
+    ("topo sccs", `Quick, test_topo_sccs);
+    ("topo longest path", `Quick, test_topo_longest_path);
+    ("union-find", `Quick, test_union_find);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats histogram", `Quick, test_stats_histogram);
+    ("stats geomean", `Quick, test_stats_geomean);
+    ("digest stable", `Quick, test_digest_stable);
+    ("digest combine order", `Quick, test_digest_combine);
+    ("table render", `Quick, test_table_render);
+    ("table csv", `Quick, test_table_csv);
+    QCheck_alcotest.to_alcotest qcheck_topo_sort_valid;
+    QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+  ]
