@@ -39,7 +39,37 @@ let level_arg =
   Arg.(value & opt level_conv B.O1 & info [ "O"; "level" ] ~docv:"LEVEL" ~doc:"Optimization level: O0, O1, O3 or vitis.")
 
 let workers_arg =
-  Arg.(value & opt int 22 & info [ "j"; "workers" ] ~doc:"Compile-cluster workers for -O1 builds.")
+  Arg.(
+    value & opt int 22
+    & info [ "workers" ]
+        ~doc:"Modeled compile-cluster width for the reported -O1 cluster (LPT) wall time.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ]
+        ~doc:"Executor worker domains running page compiles in parallel (1 = sequential).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist compiled artifacts to a content-addressed store in $(docv), so a rerun after \
+           a one-operator edit recompiles exactly that operator.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the engine's event trace after the build.")
+
+let pace_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "pace" ]
+        ~doc:
+          "Throttle each job to this many wall seconds per modeled backend-tool second, making \
+           measured wall-clock reflect the modeled tool runs (0 = off).")
 
 let list_cmd =
   let doc = "List the bundled Rosetta applications." in
@@ -81,23 +111,41 @@ let source_cmd =
   in
   Cmd.v (Cmd.info "source" ~doc) Term.(const run $ bench_arg)
 
+(* A bad --cache-dir (e.g. an existing file) is a user error, not an
+   internal one. *)
+let open_cache dir =
+  try B.create_cache ?dir ()
+  with Pld_engine.Store.Store_error msg ->
+    Printf.eprintf "pldc: bad --cache-dir: %s\n" msg;
+    exit 1
+
 let compile_cmd =
   let doc = "Compile an application at the given level and report phases/areas." in
-  let run b level workers =
-    let app = B.compile ~workers fp (b.Suite.graph hw) ~level in
+  let run b level workers jobs cache_dir trace pace =
+    let cache = open_cache cache_dir in
+    let app = B.compile ~cache ~workers ~jobs ~pace fp (b.Suite.graph hw) ~level in
     print_endline (Pld_core.Report.compile_summary app);
+    Printf.printf "  cache: %s\n" (Pld_core.Report.cache_summary app.B.report);
     List.iter (fun (inst, page) -> Printf.printf "  %-16s -> page %d\n" inst page) app.B.assignment;
     (match app.B.monolithic with
     | Some m -> print_endline (Pld_pnr.Pnr.report m.Pld_core.Flow.pnr3)
     | None -> ());
-    print_endline (Pld_core.Loader.describe_artifacts app)
+    print_endline (Pld_core.Loader.describe_artifacts app);
+    if trace then begin
+      print_endline "-- engine trace --";
+      List.iter print_endline (Pld_core.Report.trace_lines app.B.report)
+    end
   in
-  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ bench_arg $ level_arg $ workers_arg)
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(
+      const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ trace_arg
+      $ pace_arg)
 
 let run_cmd =
   let doc = "Compile, deploy to the card, link, execute a frame, and validate." in
-  let run b level workers =
-    let app = B.compile ~workers fp (b.Suite.graph hw) ~level in
+  let run b level workers jobs cache_dir =
+    let cache = open_cache cache_dir in
+    let app = B.compile ~cache ~workers ~jobs fp (b.Suite.graph hw) ~level in
     let card = Pld_platform.Card.create () in
     let load_s = Pld_core.Loader.deploy card app in
     let inputs = b.Suite.workload () in
@@ -111,7 +159,8 @@ let run_cmd =
     Printf.printf "output check vs independent reference: %b\n" ok;
     if not ok then exit 1
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ bench_arg $ level_arg $ workers_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg)
 
 let () =
   let doc = "PLD: partition, link and load applications on programmable logic devices (simulated)" in

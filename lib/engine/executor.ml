@@ -1,0 +1,166 @@
+type 'a result = {
+  artifacts : (string * 'a) list;
+  wall_seconds : float;
+  events : Event.t list;
+}
+
+(* Both the sequential and the parallel paths funnel every event
+   through one recorder so traces have a single emission order. *)
+type recorder = { rec_lock : Mutex.t; mutable trace : Event.t list; sink : Event.t -> unit }
+
+let recorder sink = { rec_lock = Mutex.create (); trace = []; sink }
+
+let record r e =
+  Mutex.lock r.rec_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock r.rec_lock)
+    (fun () ->
+      r.trace <- e :: r.trace;
+      r.sink e)
+
+let pace_off ~pace ~model ~elapsed =
+  if pace > 0.0 then begin
+    let due = (pace *. model) -. elapsed in
+    if due > 0.0 then Unix.sleepf due
+  end
+
+(* Runs one node against completed results, returning its artifact and
+   emitting start/finish (failures emit and re-raise). *)
+let run_node ~rec_ ~pace ~worker ~fetch node =
+  let id = Jobgraph.id node and kind = Jobgraph.kind node in
+  record rec_ (Event.Job_start { job = id; kind; worker });
+  let t0 = Unix.gettimeofday () in
+  match Jobgraph.run node { Jobgraph.fetch; emit = record rec_; worker } with
+  | v ->
+      let model = Jobgraph.model node v in
+      pace_off ~pace ~model ~elapsed:(Unix.gettimeofday () -. t0);
+      record rec_
+        (Event.Job_finish
+           {
+             job = id;
+             kind;
+             worker;
+             wall_seconds = Unix.gettimeofday () -. t0;
+             model_seconds = model;
+             phases = Jobgraph.phases node v;
+           });
+      v
+  | exception e ->
+      record rec_ (Event.Job_failed { job = id; kind; worker; error = Printexc.to_string e });
+      raise e
+
+let guard_fetch node fetch id =
+  if not (List.mem id (Jobgraph.deps node)) then
+    raise
+      (Jobgraph.Invalid (Printf.sprintf "job %s fetched non-dependency %s" (Jobgraph.id node) id));
+  fetch id
+
+let sequential ~rec_ ~pace g =
+  let done_ = Hashtbl.create (2 * Jobgraph.size g) in
+  List.iter
+    (fun node ->
+      let fetch = guard_fetch node (Hashtbl.find done_) in
+      Hashtbl.replace done_ (Jobgraph.id node) (run_node ~rec_ ~pace ~worker:0 ~fetch node))
+    (Jobgraph.order g);
+  done_
+
+(* Shared scheduler state, all under [lock]. *)
+type 'a pool = {
+  lock : Mutex.t;
+  wakeup : Condition.t;
+  ready : 'a Jobgraph.node Queue.t;
+  waiting : (string, int) Hashtbl.t;  (** unfinished dependency count per blocked node *)
+  results : (string, 'a) Hashtbl.t;
+  mutable failure : exn option;
+  mutable unfinished : int;
+}
+
+let parallel ~rec_ ~pace ~workers g =
+  let by_id = Hashtbl.create (2 * Jobgraph.size g) in
+  List.iter (fun n -> Hashtbl.replace by_id (Jobgraph.id n) n) (Jobgraph.nodes g);
+  let p =
+    {
+      lock = Mutex.create ();
+      wakeup = Condition.create ();
+      ready = Queue.create ();
+      waiting = Hashtbl.create (2 * Jobgraph.size g);
+      results = Hashtbl.create (2 * Jobgraph.size g);
+      failure = None;
+      unfinished = Jobgraph.size g;
+    }
+  in
+  List.iter
+    (fun node ->
+      let n = List.length (Jobgraph.deps node) in
+      if n = 0 then Queue.push node p.ready else Hashtbl.replace p.waiting (Jobgraph.id node) n)
+    (Jobgraph.order g);
+  let locked f =
+    Mutex.lock p.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock p.lock) f
+  in
+  let finish node outcome =
+    locked (fun () ->
+        (match outcome with
+        | Ok v ->
+            Hashtbl.replace p.results (Jobgraph.id node) v;
+            List.iter
+              (fun d ->
+                let left = Hashtbl.find p.waiting d - 1 in
+                if left = 0 then begin
+                  Hashtbl.remove p.waiting d;
+                  Queue.push (Hashtbl.find by_id d) p.ready
+                end
+                else Hashtbl.replace p.waiting d left)
+              (Jobgraph.dependents g (Jobgraph.id node))
+        | Error e -> ( match p.failure with None -> p.failure <- Some e | Some _ -> ()));
+        p.unfinished <- p.unfinished - 1;
+        Condition.broadcast p.wakeup)
+  in
+  let worker wid () =
+    let rec loop () =
+      let job =
+        locked (fun () ->
+            let rec take () =
+              if p.failure <> None || p.unfinished = 0 then None
+              else
+                match Queue.take_opt p.ready with
+                | Some node -> Some node
+                | None ->
+                    Condition.wait p.wakeup p.lock;
+                    take ()
+            in
+            take ())
+      in
+      match job with
+      | None -> ()
+      | Some node ->
+          let fetch = guard_fetch node (fun id -> locked (fun () -> Hashtbl.find p.results id)) in
+          (match run_node ~rec_ ~pace ~worker:wid ~fetch node with
+          | v -> finish node (Ok v)
+          | exception e -> finish node (Error e));
+          loop ()
+    in
+    loop ()
+  in
+  let n_workers = max 1 (min workers (Jobgraph.size g)) in
+  let domains = List.init (n_workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join domains;
+  (match p.failure with Some e -> raise e | None -> ());
+  p.results
+
+let run ?(workers = 1) ?(pace = 0.0) ?(on_event = ignore) g =
+  let rec_ = recorder on_event in
+  let t0 = Unix.gettimeofday () in
+  record rec_ (Event.Graph_start { jobs = Jobgraph.size g; workers });
+  let results =
+    if workers <= 1 then sequential ~rec_ ~pace g else parallel ~rec_ ~pace ~workers g
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  record rec_ (Event.Graph_finish { jobs = Jobgraph.size g; wall_seconds = wall });
+  {
+    artifacts =
+      List.map (fun n -> (Jobgraph.id n, Hashtbl.find results (Jobgraph.id n))) (Jobgraph.nodes g);
+    wall_seconds = wall;
+    events = List.rev rec_.trace;
+  }

@@ -1,0 +1,34 @@
+(** Parallel job-graph executor.
+
+    Runs the ready frontier of a {!Jobgraph.t} on a pool of OCaml 5
+    domains (bounded by [workers]) and measures real wall-clock — the
+    number the paper's Fig. 9 cluster model ({!Makespan.lpt}) only
+    predicts. With [workers = 1] no domain is spawned and nodes run
+    sequentially on the calling domain in {!Jobgraph.order}; parallel
+    and sequential runs produce identical artifacts (jobs must be
+    deterministic, which seeded P&R is), differing only in wall-clock
+    fields and event interleaving.
+
+    [pace] throttles each job to [pace *. model] wall seconds (sleeping
+    off whatever its real compute did not use). The simulator's real
+    compute is microseconds-scale while the modeled vendor-tool time it
+    stands for is minutes-scale; pacing makes measured wall-clock
+    reflect concurrent execution of those modeled tool invocations —
+    including on a single-core host, where a blocked "tool run" still
+    overlaps with others. [pace = 0.] (default) disables throttling. *)
+
+type 'a result = {
+  artifacts : (string * 'a) list;  (** every node's artifact, in submission order *)
+  wall_seconds : float;  (** measured, whole graph *)
+  events : Event.t list;  (** in emission order *)
+}
+
+val run :
+  ?workers:int -> ?pace:float -> ?on_event:(Event.t -> unit) -> 'a Jobgraph.t -> 'a result
+(** Executes the graph to completion. [on_event] (default ignore)
+    additionally streams each event as it is emitted; it is called
+    under the trace lock and so must not itself run the executor.
+
+    If a job raises, no new jobs start, in-flight jobs finish, and the
+    original exception is re-raised on the calling domain after the
+    pool quiesces. *)

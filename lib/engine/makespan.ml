@@ -1,0 +1,11 @@
+let lpt ~workers durations =
+  if workers < 1 then invalid_arg "Makespan.lpt: need at least one worker";
+  let loads = Array.make workers 0.0 in
+  let sorted = List.sort (fun a b -> compare b a) durations in
+  List.iter
+    (fun d ->
+      let best = ref 0 in
+      Array.iteri (fun i l -> if l < loads.(!best) then best := i) loads;
+      loads.(!best) <- loads.(!best) +. d)
+    sorted;
+  Array.fold_left Float.max 0.0 loads

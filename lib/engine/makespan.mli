@@ -1,0 +1,12 @@
+(** The analytic cluster model: longest-processing-time list
+    scheduling of independent job durations onto [workers] machines —
+    the §7.1 Slurm-cluster bound the paper's Fig. 9 reports. This is a
+    *model* number for comparing against the paper; the measured
+    counterpart is {!Executor.run}'s wall clock. *)
+
+val lpt : workers:int -> float list -> float
+(** [lpt ~workers durations] is the makespan of the LPT greedy
+    schedule: at most [4/3 - 1/(3*workers)] of optimal, never less
+    than the longest single duration, never more than the serial sum,
+    and exactly the serial sum when [workers = 1].
+    Raises [Invalid_argument] when [workers < 1]. *)

@@ -1,0 +1,157 @@
+module Digest = Pld_util.Digest_lite
+
+exception Store_error of string
+
+let version = 1
+let magic = "PLD-ARTIFACT"
+let suffix = ".art"
+
+type t = { root : string; lock : Mutex.t }
+
+let dir t = t.root
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let entry_path root ~kind ~key = Filename.concat root (kind ^ "-" ^ key ^ suffix)
+
+(* A kind may not contain the [kind]-[key] separator ambiguity or path
+   components; keys must be well-formed digests. *)
+let check_names ~kind ~key =
+  if kind = "" || String.exists (function 'a' .. 'z' | '0' .. '9' | '_' -> false | _ -> true) kind
+  then invalid_arg (Printf.sprintf "Store: bad kind %S (lowercase/digits/_ only)" kind);
+  if not (Digest.is_hex key) then invalid_arg (Printf.sprintf "Store: bad key %S" key)
+
+(* Header line: "PLD-ARTIFACT v<version> <kind> <key> <payload-digest> <payload-bytes>\n"
+   followed by the marshalled payload. Validation re-digests the
+   payload, so a flipped bit anywhere evicts the entry. *)
+let header ~kind ~key ~payload =
+  Printf.sprintf "%s v%d %s %s %s %d\n" magic version kind key (Digest.of_string payload)
+    (String.length payload)
+
+(* Returns the payload if and only if every header field checks out. *)
+let read_valid path ~kind ~key =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match input_line ic with
+      | exception End_of_file -> None
+      | line -> (
+          match String.split_on_char ' ' line with
+          | [ m; v; k; d; payload_digest; len ] -> (
+              match int_of_string_opt len with
+              | Some n
+                when m = magic
+                     && v = "v" ^ string_of_int version
+                     && k = kind && Digest.equal d key -> (
+                  match really_input_string ic n with
+                  | exception End_of_file -> None
+                  | payload ->
+                      if
+                        Digest.equal (Digest.of_string payload) payload_digest
+                        && pos_in ic = in_channel_length ic
+                      then Some payload
+                      else None)
+              | _ -> None)
+          | _ -> None))
+
+let evict path = try Sys.remove path with Sys_error _ -> ()
+
+(* Parse an entry filename back into (kind, key); None for foreign files. *)
+let parse_name name =
+  if not (Filename.check_suffix name suffix) then None
+  else
+    let stem = Filename.chop_suffix name suffix in
+    match String.rindex_opt stem '-' with
+    | Some i ->
+        let kind = String.sub stem 0 i in
+        let key = String.sub stem (i + 1) (String.length stem - i - 1) in
+        if kind <> "" && Digest.is_hex key then Some (kind, key) else None
+    | None -> None
+
+let sweep root =
+  Array.iter
+    (fun name ->
+      let path = Filename.concat root name in
+      if not (Sys.is_directory path) then
+        match parse_name name with
+        | None -> if Filename.check_suffix name suffix then evict path
+        | Some (kind, key) -> (
+            match read_valid path ~kind ~key with
+            | Some _ -> ()
+            | None | (exception Sys_error _) -> evict path))
+    (try Sys.readdir root with Sys_error _ -> [||])
+
+let open_ ~dir =
+  (try mkdir_p dir with Unix.Unix_error (e, _, _) ->
+    raise (Store_error (Printf.sprintf "cannot create %s: %s" dir (Unix.error_message e))));
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    raise (Store_error (Printf.sprintf "cannot create %s" dir));
+  sweep dir;
+  { root = dir; lock = Mutex.create () }
+
+let find (type a) t ~kind ~key : a option =
+  check_names ~kind ~key;
+  locked t (fun () ->
+      let path = entry_path t.root ~kind ~key in
+      if not (Sys.file_exists path) then None
+      else
+        match read_valid path ~kind ~key with
+        | Some payload -> (
+            match (Marshal.from_string payload 0 : a) with
+            | v -> Some v
+            | exception _ ->
+                evict path;
+                None)
+        | None ->
+            evict path;
+            None
+        | exception Sys_error _ -> None)
+
+let put t ~kind ~key v =
+  check_names ~kind ~key;
+  let payload = Marshal.to_string v [] in
+  locked t (fun () ->
+      let path = entry_path t.root ~kind ~key in
+      let tmp = path ^ ".tmp" in
+      (try
+         let oc = open_out_bin tmp in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () ->
+             output_string oc (header ~kind ~key ~payload);
+             output_string oc payload)
+       with Sys_error e -> raise (Store_error e));
+      try Sys.rename tmp path with Sys_error e -> evict tmp; raise (Store_error e))
+
+let mem t ~kind ~key =
+  check_names ~kind ~key;
+  locked t (fun () ->
+      let path = entry_path t.root ~kind ~key in
+      Sys.file_exists path
+      && match read_valid path ~kind ~key with Some _ -> true | None | (exception Sys_error _) -> false)
+
+let entries t =
+  locked t (fun () ->
+      Array.to_list (try Sys.readdir t.root with Sys_error _ -> [||])
+      |> List.filter_map parse_name)
+
+let count t = List.length (entries t)
+
+let clear t =
+  locked t (fun () ->
+      Array.iter
+        (fun name ->
+          match parse_name name with
+          | Some _ -> evict (Filename.concat t.root name)
+          | None -> ())
+        (try Sys.readdir t.root with Sys_error _ -> [||]))

@@ -1,0 +1,51 @@
+(** Content-addressed persistent artifact store.
+
+    Compiled artifacts are serialized to digest-named files under a
+    cache directory so a fresh [pldc] process after a one-operator edit
+    recompiles exactly one page and reads everything else from disk —
+    the separate-compilation payoff of §6 made durable across runs.
+
+    Layout: one file per artifact, named [<kind>-<key>.art], where
+    [kind] partitions the namespace by artifact type (a page bitstream
+    can never be confused with a softcore image, whatever the key) and
+    [key] is the content digest of the inputs that produced it.
+
+    Entries are never trusted: every file carries a versioned header
+    with the payload's own digest, and anything that fails validation —
+    wrong magic, older store version, digest mismatch, truncation — is
+    evicted (deleted) and treated as a miss. All operations are
+    thread-safe and may be called from executor worker domains. *)
+
+type t
+
+exception Store_error of string
+(** Raised when the cache directory cannot be created or written. *)
+
+val version : int
+(** Current on-disk format version. Bump on any layout change; entries
+    written by other versions are evicted on open. *)
+
+val open_ : dir:string -> t
+(** Opens (creating if needed) the store rooted at [dir] and sweeps
+    invalid or stale entries. *)
+
+val dir : t -> string
+
+val find : t -> kind:string -> key:Pld_util.Digest_lite.t -> 'a option
+(** [find t ~kind ~key] deserializes the stored artifact, or [None] on
+    miss or eviction. The result type ['a] is whatever was [put] under
+    this [kind]; callers must dedicate each kind to exactly one
+    artifact type (the typed accessors in [Build] enforce this). *)
+
+val put : t -> kind:string -> key:Pld_util.Digest_lite.t -> 'a -> unit
+(** Serializes the artifact (atomically: temp file + rename). The value
+    must be closure-free. *)
+
+val mem : t -> kind:string -> key:Pld_util.Digest_lite.t -> bool
+(** Header-only check, without deserializing the payload. *)
+
+val count : t -> int
+(** Number of valid entries currently on disk. *)
+
+val clear : t -> unit
+(** Removes every entry (but keeps the directory). *)

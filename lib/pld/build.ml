@@ -2,6 +2,10 @@ open Pld_ir
 module Fp = Pld_fabric.Floorplan
 module Hls = Pld_hls.Hls_compile
 module Digest = Pld_util.Digest_lite
+module Event = Pld_engine.Event
+module Jobgraph = Pld_engine.Jobgraph
+module Executor = Pld_engine.Executor
+module Store = Pld_engine.Store
 
 type level = O0 | O1 | O3 | Vitis
 
@@ -15,8 +19,13 @@ type report = {
   phases : Flow.phase_times;
   serial_seconds : float;
   parallel_seconds : float;
+  wall_seconds : float;
+  workers : int;
+  jobs : int;
   cache_hits : int;
   recompiled : int;
+  by_kind : (string * int * int) list;
+  events : Event.t list;
 }
 
 type app = {
@@ -29,164 +38,335 @@ type app = {
   report : report;
 }
 
-type entry = Cached_hw of Flow.o1_operator | Cached_soft of Flow.o0_operator | Cached_mono of Flow.o3_app
+(* ---------- cache ---------- *)
 
-type cache = (string, entry) Hashtbl.t
+let kind_page = "page"
+let kind_softcore = "softcore"
+let kind_mono = "mono"
 
-let create_cache () : cache = Hashtbl.create 64
-let cache_size (c : cache) = Hashtbl.length c
+type counter = { mutable hits : int; mutable misses : int }
 
-let makespan ~workers durations =
-  if workers < 1 then invalid_arg "Build.makespan: need at least one worker";
-  let loads = Array.make workers 0.0 in
-  let sorted = List.sort (fun a b -> compare b a) durations in
-  List.iter
-    (fun d ->
-      let best = ref 0 in
-      Array.iteri (fun i l -> if l < loads.(!best) then best := i) loads;
-      loads.(!best) <- loads.(!best) +. d)
-    sorted;
-  Array.fold_left Float.max 0.0 loads
+(* One typed table per artifact kind: a page bitstream can never come
+   back under a softcore key (or vice versa) because the lookup goes
+   through the kind's own table and store namespace. *)
+type cache = {
+  hw : (Digest.t, Flow.o1_operator) Hashtbl.t;
+  soft : (Digest.t, Flow.o0_operator) Hashtbl.t;
+  mono : (Digest.t, Flow.o3_app) Hashtbl.t;
+  store : Store.t option;
+  lock : Mutex.t;
+  counters : (string * counter) list;
+}
 
-let zero_phases = { Flow.hls = 0.0; syn = 0.0; pnr = 0.0; bitgen = 0.0; overhead = 0.0 }
-
-let add_phases a b =
+let create_cache ?dir () =
   {
-    Flow.hls = a.Flow.hls +. b.Flow.hls;
-    syn = a.Flow.syn +. b.Flow.syn;
-    pnr = a.Flow.pnr +. b.Flow.pnr;
-    bitgen = a.Flow.bitgen +. b.Flow.bitgen;
-    overhead = a.Flow.overhead +. b.Flow.overhead;
+    hw = Hashtbl.create 64;
+    soft = Hashtbl.create 64;
+    mono = Hashtbl.create 16;
+    store = Option.map (fun dir -> Store.open_ ~dir) dir;
+    lock = Mutex.create ();
+    counters =
+      List.map (fun k -> (k, { hits = 0; misses = 0 })) [ kind_page; kind_softcore; kind_mono ];
   }
 
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let cache_size c =
+  locked c (fun () -> Hashtbl.length c.hw + Hashtbl.length c.soft + Hashtbl.length c.mono)
+
+let cache_stats c =
+  locked c (fun () -> List.map (fun (k, ctr) -> (k, ctr.hits, ctr.misses)) c.counters)
+
+let cache_dir c = Option.map Store.dir c.store
+
+let counter c kind = List.assoc kind c.counters
+
+(* Typed lookup in one kind partition: memory first, then the
+   persistent store (promoting disk hits into memory). *)
+let cache_find (type v) c (tbl : (Digest.t, v) Hashtbl.t) ~kind ~key ~job ~emit : v option =
+  match locked c (fun () -> Hashtbl.find_opt tbl key) with
+  | Some v ->
+      locked c (fun () -> (counter c kind).hits <- (counter c kind).hits + 1);
+      emit (Event.Cache_hit { job; kind; source = Event.Memory });
+      Some v
+  | None -> (
+      match Option.bind c.store (fun s -> (Store.find s ~kind ~key : v option)) with
+      | Some v ->
+          locked c (fun () ->
+              Hashtbl.replace tbl key v;
+              (counter c kind).hits <- (counter c kind).hits + 1);
+          emit (Event.Cache_hit { job; kind; source = Event.Disk });
+          Some v
+      | None ->
+          locked c (fun () -> (counter c kind).misses <- (counter c kind).misses + 1);
+          None)
+
+let cache_put (type v) c (tbl : (Digest.t, v) Hashtbl.t) ~kind ~key ~emit (v : v) =
+  locked c (fun () -> Hashtbl.replace tbl key v);
+  match c.store with
+  | Some s ->
+      Store.put s ~kind ~key v;
+      emit (Event.Cache_store { kind; key })
+  | None -> ()
+
+(* ---------- models ---------- *)
+
+let makespan = Pld_engine.Makespan.lpt
+
+let phase_list (t : Flow.phase_times) =
+  [
+    ("hls", t.Flow.hls);
+    ("syn", t.Flow.syn);
+    ("pnr", t.Flow.pnr);
+    ("bitgen", t.Flow.bitgen);
+    ("overhead", t.Flow.overhead);
+  ]
+
+(* Aggregate report phases from the trace instead of hand-threading
+   tuples through every compile layer: cache hits executed nothing, so
+   only recompiled jobs contribute. *)
+let phases_of_events events =
+  let totals = Event.phase_totals events in
+  let get n = Option.value ~default:0.0 (List.assoc_opt n totals) in
+  {
+    Flow.hls = get "hls";
+    syn = get "syn";
+    pnr = get "pnr";
+    bitgen = get "bitgen";
+    overhead = get "overhead";
+  }
+
+(* ---------- keys ---------- *)
+
 let op_key ~level ~seed ~page (i : Graph.instance) =
-  Digest.combine
+  Digest.of_parts
     [
-      Digest.of_string (Op.source i.op);
-      Digest.of_string (level_name level);
-      Digest.of_string (string_of_int seed);
-      Digest.of_string (string_of_int page);
-      Digest.of_string
-        (match i.target with
-        | Graph.Riscv -> "riscv"
-        | Graph.Hw { page_hint } -> "hw" ^ Option.fold ~none:"" ~some:string_of_int page_hint);
+      Op.source i.op;
+      level_name level;
+      string_of_int seed;
+      string_of_int page;
+      (match i.target with
+      | Graph.Riscv -> "riscv"
+      | Graph.Hw { page_hint } -> "hw" ^ Option.fold ~none:"" ~some:string_of_int page_hint);
     ]
 
-let compile ?cache ?(workers = 22) ?(seed = 7) (fp : Fp.t) (g : Graph.t) ~level =
-  Validate.check_graph_exn g;
-  let cache = match cache with Some c -> c | None -> create_cache () in
-  let hits = ref 0 and misses = ref 0 in
-  match level with
-  | O3 | Vitis -> begin
-      let key =
-        Digest.combine
-          (Digest.of_string (Graph.source g)
-          :: Digest.of_string (level_name level)
-          :: Digest.of_string (string_of_int seed)
-          :: List.map (fun (i : Graph.instance) -> Digest.of_string (Op.source i.op)) g.instances)
-      in
-      let mono, seconds =
-        match Hashtbl.find_opt cache key with
-        | Some (Cached_mono m) ->
-            incr hits;
-            (m, 0.0)
-        | Some (Cached_hw _ | Cached_soft _) | None ->
-            incr misses;
-            let m = Flow.compile_o3 ~seed ~vitis_baseline:(level = Vitis) fp g in
-            Hashtbl.replace cache key (Cached_mono m);
-            (m, Flow.total_seconds m.Flow.times3)
-      in
-      let phases = if seconds = 0.0 then zero_phases else mono.Flow.times3 in
-      {
-        graph = g;
-        fp;
-        level;
-        assignment = [];
-        operators = [];
-        monolithic = Some mono;
-        report =
-          {
-            level;
-            per_op_seconds = [ (g.graph_name, seconds) ];
-            phases;
-            serial_seconds = seconds;
-            parallel_seconds = seconds;
-            cache_hits = !hits;
-            recompiled = !misses;
-          };
-      }
-    end
-  | O0 | O1 -> begin
-      let target_of (i : Graph.instance) =
-        match level with O0 -> Graph.Riscv | _ -> i.target
-      in
-      (* Page assignment needs post-HLS areas for HW operators; HLS is
-         deterministic and cheap, so run it first (its cost is also
-         counted inside the O1 per-operator compile). *)
-      let demands =
-        List.map
-          (fun (i : Graph.instance) ->
-            let res =
-              match target_of i with
-              | Graph.Riscv ->
-                  (* PicoRV32 + memory: a fixed overlay footprint
-                     (before the shared leaf interface is added). *)
-                  { Pld_netlist.Netlist.luts = 900; ffs = 1300; brams = 6; dsps = 1 }
-              | Graph.Hw _ ->
-                  Pld_netlist.Netlist.total_res (Hls.compile i.op).Hls.netlist
+let mono_key ~level ~seed (g : Graph.t) =
+  Digest.of_parts
+    (Graph.source g :: level_name level :: string_of_int seed
+    :: List.map (fun (i : Graph.instance) -> Op.source i.op) g.instances)
+
+(* ---------- job artifacts ---------- *)
+
+type op_result = { o_name : string; o_compiled : compiled_operator; o_model : float; o_hit : bool }
+type mono_result = { m_app : Flow.o3_app; m_model : float; m_hit : bool }
+
+type art =
+  | A_impl of Hls.impl
+  | A_assign of (string * int) list
+  | A_op of op_result
+  | A_mono of mono_result
+
+let art_model = function
+  | A_op r -> r.o_model
+  | A_mono r -> r.m_model
+  | A_impl _ | A_assign _ -> 0.0
+
+let art_phases = function
+  | A_op { o_hit = true; _ } | A_mono { m_hit = true; _ } -> []
+  | A_op { o_compiled = Hw_page h; _ } -> phase_list h.Flow.times
+  (* softcore codegen is charged to the compile (hls) column, as the
+     -O0 flow of Fig. 5 does *)
+  | A_op { o_compiled = Soft_page s; _ } -> [ ("hls", s.Flow.riscv_seconds) ]
+  | A_mono { m_app; _ } -> phase_list m_app.Flow.times3
+  | A_impl _ | A_assign _ -> []
+
+(* PicoRV32 + memory: a fixed overlay footprint (before the shared
+   leaf interface is added). *)
+let softcore_demand = { Pld_netlist.Netlist.luts = 900; ffs = 1300; brams = 6; dsps = 1 }
+
+(* ---------- paged flows (-O0 / -O1) ---------- *)
+
+let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : Graph.t) ~level =
+  let target_of (i : Graph.instance) = match level with O0 -> Graph.Riscv | _ -> i.target in
+  let is_hw i = match target_of i with Graph.Hw _ -> true | Graph.Riscv -> false in
+  let source_digest (i : Graph.instance) = Digest.of_string (Op.source i.op) in
+  let hls_id d = "hls:" ^ d in
+  (* One HLS job per distinct operator source among HW instances; its
+     netlist feeds both page assignment and the page compile. *)
+  let hls_ops =
+    List.rev
+      (List.fold_left
+         (fun acc (i : Graph.instance) ->
+           if is_hw i && not (List.mem_assoc (source_digest i) acc) then
+             (source_digest i, i.op) :: acc
+           else acc)
+         [] g.instances)
+  in
+  let hls_nodes =
+    List.map
+      (fun (d, op) -> Jobgraph.node ~id:(hls_id d) ~kind:"hls" (fun _ -> A_impl (Hls.compile op)))
+      hls_ops
+  in
+  let assign_id = "assign" in
+  let fetch_impl ctx d =
+    match ctx.Jobgraph.fetch (hls_id d) with A_impl m -> m | _ -> assert false
+  in
+  let assign_node =
+    Jobgraph.node ~id:assign_id ~kind:"assign"
+      ~deps:(List.map (fun (d, _) -> hls_id d) hls_ops)
+      (fun ctx ->
+        let demands =
+          List.map
+            (fun (i : Graph.instance) ->
+              let res =
+                if is_hw i then
+                  Pld_netlist.Netlist.total_res (fetch_impl ctx (source_digest i)).Hls.netlist
+                else softcore_demand
+              in
+              (i.inst_name, target_of i, res))
+            g.instances
+        in
+        A_assign (Assign.assign fp demands))
+  in
+  let op_nodes =
+    List.map
+      (fun (i : Graph.instance) ->
+        let hw = is_hw i in
+        let kind = if hw then kind_page else kind_softcore in
+        let job_id = "op:" ^ i.inst_name in
+        Jobgraph.node ~id:job_id ~kind
+          ~deps:(assign_id :: (if hw then [ hls_id (source_digest i) ] else []))
+          ~model:art_model ~phases:art_phases
+          (fun ctx ->
+            let assignment =
+              match ctx.Jobgraph.fetch assign_id with A_assign a -> a | _ -> assert false
             in
-            (i.inst_name, target_of i, res))
-          g.instances
-      in
-      let assignment = Assign.assign fp demands in
-      let results =
-        List.map
-          (fun (i : Graph.instance) ->
             let page = List.assoc i.inst_name assignment in
             let key = op_key ~level ~seed ~page i in
-            match (target_of i, Hashtbl.find_opt cache key) with
-            | Graph.Riscv, Some (Cached_soft s) ->
-                incr hits;
-                (i.inst_name, Soft_page s, 0.0, zero_phases)
-            | Graph.Hw _, Some (Cached_hw h) ->
-                incr hits;
-                (i.inst_name, Hw_page h, 0.0, h.Flow.times)
-            | Graph.Riscv, _ ->
-                incr misses;
-                let s = Flow.compile_o0_operator ~page ~inst:i.inst_name i.op in
-                Hashtbl.replace cache key (Cached_soft s);
-                ( i.inst_name,
-                  Soft_page s,
-                  s.Flow.riscv_seconds,
-                  { zero_phases with Flow.hls = s.Flow.riscv_seconds } )
-            | Graph.Hw _, _ ->
-                incr misses;
-                let h = Flow.compile_o1_operator ~seed fp ~page ~inst:i.inst_name i.op in
-                Hashtbl.replace cache key (Cached_hw h);
-                (i.inst_name, Hw_page h, Flow.total_seconds h.Flow.times, h.Flow.times))
-          g.instances
-      in
-      let per_op_seconds = List.map (fun (n, _, s, _) -> (n, s)) results in
-      let recompiled_phase =
-        List.fold_left (fun acc (_, _, s, ph) -> if s > 0.0 then add_phases acc ph else acc) zero_phases results
-      in
-      let durations = List.map (fun (_, s) -> s) per_op_seconds in
+            let emit = ctx.Jobgraph.emit in
+            if hw then
+              match cache_find cache cache.hw ~kind ~key ~job:job_id ~emit with
+              | Some h -> A_op { o_name = i.inst_name; o_compiled = Hw_page h; o_model = 0.0; o_hit = true }
+              | None ->
+                  let impl = fetch_impl ctx (source_digest i) in
+                  let h = Flow.compile_o1_operator ~seed ~impl fp ~page ~inst:i.inst_name i.op in
+                  cache_put cache cache.hw ~kind ~key ~emit h;
+                  A_op
+                    {
+                      o_name = i.inst_name;
+                      o_compiled = Hw_page h;
+                      o_model = Flow.total_seconds h.Flow.times;
+                      o_hit = false;
+                    }
+            else
+              match cache_find cache cache.soft ~kind ~key ~job:job_id ~emit with
+              | Some s -> A_op { o_name = i.inst_name; o_compiled = Soft_page s; o_model = 0.0; o_hit = true }
+              | None ->
+                  let s = Flow.compile_o0_operator ~page ~inst:i.inst_name i.op in
+                  cache_put cache cache.soft ~kind ~key ~emit s;
+                  A_op
+                    {
+                      o_name = i.inst_name;
+                      o_compiled = Soft_page s;
+                      o_model = s.Flow.riscv_seconds;
+                      o_hit = false;
+                    }))
+      g.instances
+  in
+  let jobgraph = Jobgraph.make (hls_nodes @ (assign_node :: op_nodes)) in
+  let result = Executor.run ~workers:jobs ~pace ~on_event jobgraph in
+  let assignment =
+    match List.assoc assign_id result.Executor.artifacts with A_assign a -> a | _ -> assert false
+  in
+  let ops =
+    List.map
+      (fun (i : Graph.instance) ->
+        match List.assoc ("op:" ^ i.inst_name) result.Executor.artifacts with
+        | A_op r -> r
+        | _ -> assert false)
+      g.instances
+  in
+  let durations = List.map (fun r -> r.o_model) ops in
+  let events = result.Executor.events in
+  {
+    graph = g;
+    fp;
+    level;
+    assignment;
+    operators = List.map (fun r -> (r.o_name, r.o_compiled)) ops;
+    monolithic = None;
+    report =
       {
-        graph = g;
-        fp;
         level;
-        assignment;
-        operators = List.map (fun (n, c, _, _) -> (n, c)) results;
-        monolithic = None;
-        report =
-          {
-            level;
-            per_op_seconds;
-            phases = recompiled_phase;
-            serial_seconds = List.fold_left ( +. ) 0.0 durations;
-            parallel_seconds = makespan ~workers durations;
-            cache_hits = !hits;
-            recompiled = !misses;
-          };
-      }
-    end
+        per_op_seconds = List.map (fun r -> (r.o_name, r.o_model)) ops;
+        phases = phases_of_events events;
+        serial_seconds = List.fold_left ( +. ) 0.0 durations;
+        parallel_seconds = makespan ~workers durations;
+        wall_seconds = result.Executor.wall_seconds;
+        workers;
+        jobs;
+        cache_hits = List.length (List.filter (fun r -> r.o_hit) ops);
+        recompiled = List.length (List.filter (fun r -> not r.o_hit) ops);
+        by_kind = Event.by_kind events;
+        events;
+      };
+  }
+
+(* ---------- monolithic flows (-O3 / Vitis) ---------- *)
+
+let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : Graph.t) ~level =
+  let key = mono_key ~level ~seed g in
+  let job_id = "mono:" ^ g.graph_name in
+  let node =
+    Jobgraph.node ~id:job_id ~kind:kind_mono ~model:art_model ~phases:art_phases (fun ctx ->
+        match
+          cache_find cache cache.mono ~kind:kind_mono ~key ~job:job_id ~emit:ctx.Jobgraph.emit
+        with
+        | Some m -> A_mono { m_app = m; m_model = 0.0; m_hit = true }
+        | None ->
+            let m = Flow.compile_o3 ~seed ~vitis_baseline:(level = Vitis) fp g in
+            cache_put cache cache.mono ~kind:kind_mono ~key ~emit:ctx.Jobgraph.emit m;
+            A_mono { m_app = m; m_model = Flow.total_seconds m.Flow.times3; m_hit = false })
+  in
+  let result = Executor.run ~workers:jobs ~pace ~on_event (Jobgraph.make [ node ]) in
+  let r =
+    match List.assoc job_id result.Executor.artifacts with A_mono r -> r | _ -> assert false
+  in
+  let events = result.Executor.events in
+  {
+    graph = g;
+    fp;
+    level;
+    assignment = [];
+    operators = [];
+    monolithic = Some r.m_app;
+    report =
+      {
+        level;
+        per_op_seconds = [ (g.graph_name, r.m_model) ];
+        phases = phases_of_events events;
+        serial_seconds = r.m_model;
+        parallel_seconds = r.m_model;
+        wall_seconds = result.Executor.wall_seconds;
+        workers;
+        jobs;
+        cache_hits = (if r.m_hit then 1 else 0);
+        recompiled = (if r.m_hit then 0 else 1);
+        by_kind = Event.by_kind events;
+        events;
+      };
+  }
+
+(* ---------- entry point ---------- *)
+
+let compile ?cache ?(workers = 22) ?(jobs = 1) ?(pace = 0.0) ?(seed = 7) ?(on_event = ignore)
+    (fp : Fp.t) (g : Graph.t) ~level =
+  Validate.check_graph_exn g;
+  ignore (makespan ~workers []);
+  (* validate [workers] eagerly *)
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  match level with
+  | O3 | Vitis -> compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event fp g ~level
+  | O0 | O1 -> compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event fp g ~level

@@ -1,7 +1,12 @@
-(** Application-level builds: drives the per-operator flows with an
-    incremental cache (only changed operators recompile — the Makefile
-    discipline of §6) and a cluster model for parallel page compiles
-    (§7.1's Slurm setup). *)
+(** Application-level builds on the content-addressed engine.
+    See DESIGN.md §8 for the layer diagram and the cache-key scheme.
+
+    Each compile decomposes into a typed job graph (HLS feeds page
+    assignment feeds per-page P&R; see [Pld_engine.Jobgraph]) executed
+    by a real worker pool of OCaml domains, with artifacts cached
+    in-process and, when a cache directory is given, in a persistent
+    on-disk store — the Makefile discipline of §6 made durable across
+    processes. *)
 
 open Pld_ir
 
@@ -15,12 +20,21 @@ type compiled_operator =
 
 type report = {
   level : level;
-  per_op_seconds : (string * float) list;  (** 0 for cache hits *)
+  per_op_seconds : (string * float) list;  (** modeled; 0 for cache hits *)
   phases : Flow.phase_times;  (** aggregate across recompiled operators *)
-  serial_seconds : float;
-  parallel_seconds : float;  (** cluster makespan over [workers] *)
+  serial_seconds : float;  (** modeled sum over recompiled operators *)
+  parallel_seconds : float;
+      (** the analytic cluster model: LPT makespan over [workers]
+          machines (§7.1) — a prediction, reported next to the
+          measured [wall_seconds] *)
+  wall_seconds : float;  (** measured wall-clock of the executor run *)
+  workers : int;  (** modeled cluster width used for [parallel_seconds] *)
+  jobs : int;  (** executor domains that actually ran the build *)
   cache_hits : int;
   recompiled : int;
+  by_kind : (string * int * int) list;
+      (** per job kind: (kind, cache hits, misses) this build *)
+  events : Pld_engine.Event.t list;  (** full trace of this build *)
 }
 
 type app = {
@@ -33,17 +47,57 @@ type app = {
   report : report;
 }
 
+(** {2 Cache}
+
+    The cache is partitioned by artifact kind — a page bitstream
+    ([Flow.o1_operator]), a softcore image ([Flow.o0_operator]) and a
+    monolithic build ([Flow.o3_app]) live in separate typed tables and
+    separate store namespaces, so an entry of one kind can never be
+    returned (or silently overwritten) under a key of another. *)
+
 type cache
 
-val create_cache : unit -> cache
+val kind_page : string
+val kind_softcore : string
+val kind_mono : string
+
+val create_cache : ?dir:string -> unit -> cache
+(** In-memory cache; with [dir], artifacts are additionally persisted
+    to (and warm-started from) a content-addressed store on disk, so a
+    fresh process recompiles only what changed. *)
+
 val cache_size : cache -> int
+(** In-memory entries across all kinds. *)
+
+val cache_stats : cache -> (string * int * int) list
+(** Cumulative [(kind, hits, misses)] over the cache's lifetime. *)
+
+val cache_dir : cache -> string option
 
 val compile :
-  ?cache:cache -> ?workers:int -> ?seed:int -> Pld_fabric.Floorplan.t -> Graph.t -> level:level -> app
+  ?cache:cache ->
+  ?workers:int ->
+  ?jobs:int ->
+  ?pace:float ->
+  ?seed:int ->
+  ?on_event:(Pld_engine.Event.t -> unit) ->
+  Pld_fabric.Floorplan.t ->
+  Graph.t ->
+  level:level ->
+  app
 (** [level = O1] follows each instance's pragma (HW → page P&R,
     RISCV → softcore); [O0] forces every instance onto a softcore;
-    [O3]/[Vitis] compile monolithically. [workers] (default 22) sizes
-    the compile cluster for [parallel_seconds]. *)
+    [O3]/[Vitis] compile monolithically.
+
+    [workers] (default 22) sizes the *modeled* compile cluster for
+    [parallel_seconds]. [jobs] (default 1) sizes the *real* executor
+    pool: with [jobs = 1] jobs run sequentially on the calling domain,
+    with [jobs > 1] on that many OCaml domains. [pace] throttles each
+    job to [pace] wall-seconds per modeled second (see
+    [Pld_engine.Executor]); 0 (default) runs the simulator's own
+    algorithms flat out. [on_event] streams trace events as they
+    happen; the full trace is also in [report.events]. *)
 
 val makespan : workers:int -> float list -> float
-(** Longest-processing-time list scheduling — the cluster model. *)
+(** Longest-processing-time list scheduling — the cluster model.
+    Alias of [Pld_engine.Makespan.lpt]. *)

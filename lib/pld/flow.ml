@@ -70,8 +70,8 @@ let pack_with_leaf (impl : Hls.impl) =
     nl.N.cells;
   Pld_hls.Synth.split_oversized (N.Builder.finish b)
 
-let compile_o1_operator ?(seed = 7) (fp : Fp.t) ~page ~inst op =
-  let impl = Hls.compile op in
+let compile_o1_operator ?(seed = 7) ?impl (fp : Fp.t) ~page ~inst op =
+  let impl = match impl with Some i -> i | None -> Hls.compile op in
   let t0 = Unix.gettimeofday () in
   let packed = pack_with_leaf impl in
   let pack_seconds = Unix.gettimeofday () -. t0 in

@@ -51,9 +51,17 @@ type o3_app = {
 val overlay_xclbin : Pld_fabric.Floorplan.t -> Pld_platform.Xclbin.t
 
 val compile_o1_operator :
-  ?seed:int -> Pld_fabric.Floorplan.t -> page:int -> inst:string -> Op.t -> o1_operator
+  ?seed:int ->
+  ?impl:Pld_hls.Hls_compile.impl ->
+  Pld_fabric.Floorplan.t ->
+  page:int ->
+  inst:string ->
+  Op.t ->
+  o1_operator
 (** HLS → operator packer (leaf interface) → page-scoped P&R with the
-    abstract shell → partial xclbin. *)
+    abstract shell → partial xclbin. [impl] supplies an already-run HLS
+    result for this same operator (the build engine's HLS job feeds
+    both page assignment and the page compile), skipping the re-run. *)
 
 val compile_o0_operator : page:int -> inst:string -> Op.t -> o0_operator
 

@@ -23,11 +23,20 @@ let compile_row (app : Build.app) =
 let compile_summary (app : Build.app) =
   let r = app.Build.report in
   Printf.sprintf
-    "%s %s: %d compiled, %d cache hits; serial %.2fs, cluster wall %.2fs (phases: hls %.2f syn %.2f p&r %.2f bit %.2f overhead %.2f)"
+    "%s %s: %d compiled, %d cache hits; serial %.2fs, cluster wall %.2fs (model, %d workers), \
+     measured %.4fs (%d jobs) (phases: hls %.2f syn %.2f p&r %.2f bit %.2f overhead %.2f)"
     app.Build.graph.Pld_ir.Graph.graph_name (Build.level_name r.Build.level) r.Build.recompiled
-    r.Build.cache_hits r.Build.serial_seconds r.Build.parallel_seconds r.Build.phases.Flow.hls
-    r.Build.phases.Flow.syn r.Build.phases.Flow.pnr r.Build.phases.Flow.bitgen
-    r.Build.phases.Flow.overhead
+    r.Build.cache_hits r.Build.serial_seconds r.Build.parallel_seconds r.Build.workers
+    r.Build.wall_seconds r.Build.jobs r.Build.phases.Flow.hls r.Build.phases.Flow.syn
+    r.Build.phases.Flow.pnr r.Build.phases.Flow.bitgen r.Build.phases.Flow.overhead
+
+let cache_summary (r : Build.report) =
+  String.concat ", "
+    (List.map
+       (fun (kind, hits, misses) -> Printf.sprintf "%s %d hit/%d miss" kind hits misses)
+       r.Build.by_kind)
+
+let trace_lines (r : Build.report) = List.map Pld_engine.Event.to_string r.Build.events
 
 (* Softcore page area: the one-size-fits-all PicoRV32 + unified memory
    configuration (Sec 7.5 notes -O0 pages reserve worst-case memory). *)

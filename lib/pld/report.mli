@@ -8,6 +8,15 @@ val compile_row : Build.app -> string list
     operators. *)
 
 val compile_summary : Build.app -> string
+(** One line with recompile/hit counts, the modeled serial and cluster
+    (LPT) times, and the measured executor wall-clock. *)
+
+val cache_summary : Build.report -> string
+(** Per-kind [hits/misses] counts of one build, from its trace. *)
+
+val trace_lines : Build.report -> string list
+(** The build's full event trace, one rendered line per event — what
+    [pldc compile --trace] prints. *)
 
 val area_row : Build.app -> string list
 (** [LUT; BRAM18; DSP; pages] — one Tab. 4 cell group. *)

@@ -14,4 +14,15 @@ let hash64 s =
 
 let of_string s = Printf.sprintf "%016Lx" (hash64 s)
 let combine ts = of_string (String.concat "|" ts)
+
+let of_parts parts =
+  of_string
+    (String.concat "" (List.map (fun p -> string_of_int (String.length p) ^ ":" ^ p) parts))
+
+let is_hex s =
+  String.length s = 16
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let equal (a : t) (b : t) = String.equal a b
+let compare (a : t) (b : t) = String.compare a b
 let pp fmt t = Format.pp_print_string fmt t

@@ -7,5 +7,20 @@
 type t = string (** 16 hex characters *)
 
 val of_string : string -> t
+
 val combine : t list -> t
+
+val of_parts : string list -> t
+(** Hash of the parts with length framing, so [["ab"; "c"]] and
+    [["a"; "bc"]] digest differently — unlike joining with a separator
+    that may also occur inside the data. Build keys are derived with
+    this. *)
+
+val is_hex : string -> bool
+(** Whether the string is a well-formed digest (exactly 16 lowercase
+    hex characters) — the artifact store uses this to reject files
+    whose names were tampered with or truncated. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,366 @@
+(* The build engine in isolation: content digests, the on-disk artifact
+   store (including hostile inputs: corruption, truncation, stale
+   versions), job-graph validation, the parallel executor, and the LPT
+   cluster model. *)
+
+module Digest = Pld_util.Digest_lite
+module Event = Pld_engine.Event
+module Store = Pld_engine.Store
+module Jobgraph = Pld_engine.Jobgraph
+module Executor = Pld_engine.Executor
+module Makespan = Pld_engine.Makespan
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Each store test gets its own directory under the dune sandbox cwd,
+   emptied up front so reruns are deterministic. *)
+let fresh_dir name =
+  let dir = ".test-store-" ^ name in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let entry_file dir ~kind ~key = Filename.concat dir (kind ^ "-" ^ key ^ ".art")
+
+(* ---------- digests ---------- *)
+
+let test_digest_framing () =
+  check_bool "length framing distinguishes regroupings" false
+    (Digest.equal (Digest.of_parts [ "ab"; "c" ]) (Digest.of_parts [ "a"; "bc" ]));
+  check_bool "empty list vs singleton empty" false
+    (Digest.equal (Digest.of_parts []) (Digest.of_parts [ "" ]));
+  check_string "deterministic" (Digest.of_parts [ "x"; "y" ]) (Digest.of_parts [ "x"; "y" ])
+
+let test_digest_is_hex () =
+  check_bool "real digest" true (Digest.is_hex (Digest.of_string "hello"));
+  check_bool "too short" false (Digest.is_hex "abc123");
+  check_bool "uppercase rejected" false (Digest.is_hex "ABCDEF0123456789");
+  check_bool "non-hex rejected" false (Digest.is_hex "ghijklmnopqrstuv")
+
+(* ---------- store ---------- *)
+
+let test_store_roundtrip () =
+  let dir = fresh_dir "roundtrip" in
+  let t = Store.open_ ~dir in
+  let key = Digest.of_string "op source" in
+  Store.put t ~kind:"page" ~key [ 1; 2; 3 ];
+  check_bool "mem" true (Store.mem t ~kind:"page" ~key);
+  Alcotest.(check (option (list int))) "find" (Some [ 1; 2; 3 ]) (Store.find t ~kind:"page" ~key);
+  check_int "one entry" 1 (Store.count t);
+  (* A fresh handle on the same directory sees the entry: persistence. *)
+  let t2 = Store.open_ ~dir in
+  Alcotest.(check (option (list int))) "fresh handle" (Some [ 1; 2; 3 ])
+    (Store.find t2 ~kind:"page" ~key)
+
+let test_store_kind_partition () =
+  let dir = fresh_dir "kinds" in
+  let t = Store.open_ ~dir in
+  let key = Digest.of_string "same inputs" in
+  Store.put t ~kind:"page" ~key "bitstream";
+  Store.put t ~kind:"softcore" ~key "elf image";
+  check_int "two entries under one key" 2 (Store.count t);
+  Alcotest.(check (option string)) "page kind" (Some "bitstream") (Store.find t ~kind:"page" ~key);
+  Alcotest.(check (option string)) "softcore kind" (Some "elf image")
+    (Store.find t ~kind:"softcore" ~key)
+
+let test_store_corruption_evicted () =
+  let dir = fresh_dir "corrupt" in
+  let t = Store.open_ ~dir in
+  let key = Digest.of_string "victim" in
+  Store.put t ~kind:"page" ~key (String.make 64 'a');
+  let path = entry_file dir ~kind:"page" ~key in
+  (* Flip the last payload byte; the header's payload digest no longer
+     matches, so the entry must be evicted, not returned. *)
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let n = String.length data in
+  let corrupted = String.sub data 0 (n - 1) ^ "b" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc corrupted);
+  Alcotest.(check (option string)) "miss" None (Store.find t ~kind:"page" ~key);
+  check_bool "file evicted" false (Sys.file_exists path)
+
+let test_store_truncation_evicted () =
+  let dir = fresh_dir "trunc" in
+  let t = Store.open_ ~dir in
+  let key = Digest.of_string "victim" in
+  Store.put t ~kind:"page" ~key (String.make 64 'a');
+  let path = entry_file dir ~kind:"page" ~key in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub data 0 (String.length data - 8)));
+  Alcotest.(check (option string)) "miss" None (Store.find t ~kind:"page" ~key);
+  check_bool "file evicted" false (Sys.file_exists path)
+
+let test_store_stale_version_swept () =
+  let dir = fresh_dir "stale" in
+  let t = Store.open_ ~dir in
+  let key = Digest.of_string "old" in
+  Store.put t ~kind:"page" ~key "payload";
+  (* Rewrite the header claiming a future format version. The magic +
+     version prefix is part of the stable on-disk format, so spelling it
+     out here is the point of the test. *)
+  let path = entry_file dir ~kind:"page" ~key in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let prefix = Printf.sprintf "PLD-ARTIFACT v%d" Store.version in
+  check_bool "entry starts with versioned magic" true
+    (String.starts_with ~prefix data);
+  let stale =
+    Printf.sprintf "PLD-ARTIFACT v%d" (Store.version + 1)
+    ^ String.sub data (String.length prefix) (String.length data - String.length prefix)
+  in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc stale);
+  (* Opening sweeps it; nothing of another version survives. *)
+  let t2 = Store.open_ ~dir in
+  check_bool "swept on open" false (Sys.file_exists path);
+  check_int "no entries" 0 (Store.count t2);
+  ignore t
+
+let test_store_foreign_art_swept () =
+  let dir = fresh_dir "foreign" in
+  ignore (Store.open_ ~dir);
+  let bogus = Filename.concat dir "page-nothexatall00.art" in
+  Out_channel.with_open_bin bogus (fun oc -> Out_channel.output_string oc "garbage");
+  ignore (Store.open_ ~dir);
+  check_bool "malformed name swept" false (Sys.file_exists bogus)
+
+let test_store_clear () =
+  let dir = fresh_dir "clear" in
+  let t = Store.open_ ~dir in
+  Store.put t ~kind:"page" ~key:(Digest.of_string "a") 1;
+  Store.put t ~kind:"mono" ~key:(Digest.of_string "b") 2;
+  check_int "two entries" 2 (Store.count t);
+  Store.clear t;
+  check_int "cleared" 0 (Store.count t);
+  check_bool "directory kept" true (Sys.is_directory dir)
+
+let test_store_bad_names_rejected () =
+  let dir = fresh_dir "names" in
+  let t = Store.open_ ~dir in
+  let key = Digest.of_string "k" in
+  let expect_invalid f = match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid (fun () -> Store.put t ~kind:"Page!" ~key 1);
+  expect_invalid (fun () -> Store.put t ~kind:"" ~key 1);
+  expect_invalid (fun () -> (Store.find t ~kind:"page" ~key:"not a digest" : int option))
+
+(* ---------- job graphs ---------- *)
+
+let const_node id v = Jobgraph.node ~id ~kind:"t" (fun _ -> v)
+
+let diamond () =
+  (* d = (a+1) + (a*2): a feeds b and c, which feed d. *)
+  Jobgraph.make
+    [
+      Jobgraph.node ~id:"a" ~kind:"t" (fun _ -> 10);
+      Jobgraph.node ~id:"b" ~kind:"t" ~deps:[ "a" ] (fun ctx -> ctx.Jobgraph.fetch "a" + 1);
+      Jobgraph.node ~id:"c" ~kind:"t" ~deps:[ "a" ] (fun ctx -> ctx.Jobgraph.fetch "a" * 2);
+      Jobgraph.node ~id:"d" ~kind:"t" ~deps:[ "b"; "c" ] (fun ctx ->
+          ctx.Jobgraph.fetch "b" + ctx.Jobgraph.fetch "c");
+    ]
+
+let test_jobgraph_order () =
+  let g = diamond () in
+  check_int "size" 4 (Jobgraph.size g);
+  let order = List.map Jobgraph.id (Jobgraph.order g) in
+  let pos x = Option.get (List.find_index (String.equal x) order) in
+  check_bool "a before b" true (pos "a" < pos "b");
+  check_bool "a before c" true (pos "a" < pos "c");
+  check_bool "b before d" true (pos "b" < pos "d");
+  check_bool "c before d" true (pos "c" < pos "d");
+  Alcotest.(check (list string)) "dependents of a" [ "b"; "c" ] (Jobgraph.dependents g "a")
+
+let expect_invalid nodes =
+  match Jobgraph.make nodes with
+  | _ -> Alcotest.fail "expected Jobgraph.Invalid"
+  | exception Jobgraph.Invalid _ -> ()
+
+let test_jobgraph_duplicate_id () = expect_invalid [ const_node "x" 1; const_node "x" 2 ]
+
+let test_jobgraph_unknown_dep () =
+  expect_invalid [ Jobgraph.node ~id:"x" ~kind:"t" ~deps:[ "ghost" ] (fun _ -> 1) ]
+
+let test_jobgraph_cycle () =
+  expect_invalid
+    [
+      Jobgraph.node ~id:"x" ~kind:"t" ~deps:[ "y" ] (fun _ -> 1);
+      Jobgraph.node ~id:"y" ~kind:"t" ~deps:[ "x" ] (fun _ -> 2);
+    ]
+
+let test_fetch_non_dependency_rejected () =
+  let g =
+    Jobgraph.make
+      [
+        const_node "a" 1;
+        const_node "b" 2;
+        (* c depends only on a but tries to read b — an undeclared edge
+           the executor must refuse (it would race under parallelism). *)
+        Jobgraph.node ~id:"c" ~kind:"t" ~deps:[ "a" ] (fun ctx -> ctx.Jobgraph.fetch "b");
+      ]
+  in
+  match Executor.run ~workers:1 g with
+  | _ -> Alcotest.fail "expected Jobgraph.Invalid"
+  | exception Jobgraph.Invalid _ -> ()
+
+(* ---------- executor ---------- *)
+
+let test_executor_sequential () =
+  let r = Executor.run ~workers:1 (diamond ()) in
+  Alcotest.(check (list (pair string int)))
+    "artifacts in submission order"
+    [ ("a", 10); ("b", 11); ("c", 20); ("d", 31) ]
+    r.Executor.artifacts;
+  check_int "all finished" 4 (Event.finished r.Executor.events);
+  check_bool "wall measured" true (r.Executor.wall_seconds >= 0.0)
+
+(* Parallel and sequential runs must produce identical artifacts and the
+   same event multiset, modulo wall-clock/worker fields and the
+   Graph_start worker count. *)
+let canonical events =
+  List.sort compare
+    (List.filter_map
+       (fun e ->
+         match e with
+         | Event.Graph_start _ -> None
+         | e -> Some (Event.to_string (Event.strip_timing e)))
+       events)
+
+let wide_graph () =
+  let leaves = List.init 8 (fun i -> Printf.sprintf "leaf%d" i) in
+  Jobgraph.make
+    (List.mapi (fun i id -> Jobgraph.node ~id ~kind:"t" (fun _ -> i * i)) leaves
+    @ [
+        Jobgraph.node ~id:"sum" ~kind:"t" ~deps:leaves (fun ctx ->
+            List.fold_left (fun acc l -> acc + ctx.Jobgraph.fetch l) 0 leaves);
+      ])
+
+let test_executor_parallel_determinism () =
+  let seq = Executor.run ~workers:1 (wide_graph ()) in
+  let par = Executor.run ~workers:4 (wide_graph ()) in
+  Alcotest.(check (list (pair string int)))
+    "same artifacts" seq.Executor.artifacts par.Executor.artifacts;
+  Alcotest.(check (list string)) "same events modulo wall/worker" (canonical seq.Executor.events)
+    (canonical par.Executor.events);
+  check_int "sum correct" 140 (List.assoc "sum" par.Executor.artifacts)
+
+let test_executor_failure_propagates () =
+  let g =
+    Jobgraph.make
+      [
+        const_node "ok" 1;
+        Jobgraph.node ~id:"bad" ~kind:"t" (fun _ -> failwith "boom");
+        Jobgraph.node ~id:"after" ~kind:"t" ~deps:[ "bad" ] (fun _ -> 3);
+      ]
+  in
+  let seen = ref [] in
+  let on_event e = seen := e :: !seen in
+  (match Executor.run ~workers:4 ~on_event g with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> check_string "original exception" "boom" m);
+  check_bool "failure event emitted" true
+    (List.exists (function Event.Job_failed { job = "bad"; _ } -> true | _ -> false) !seen)
+
+let test_executor_pace_overlaps () =
+  (* Four independent jobs, each paced to ~60 ms of modeled tool time:
+     sequentially that is ~240 ms; four workers overlap the sleeps even
+     on one core, because a paced job is blocked, not computing. *)
+  let graph () =
+    Jobgraph.make
+      (List.init 4 (fun i ->
+           Jobgraph.node
+             ~id:(Printf.sprintf "job%d" i)
+             ~kind:"t" ~model:(fun _ -> 0.06) (fun _ -> i)))
+  in
+  let seq = Executor.run ~workers:1 ~pace:1.0 (graph ()) in
+  let par = Executor.run ~workers:4 ~pace:1.0 (graph ()) in
+  check_bool
+    (Printf.sprintf "sequential paced >= 0.2s (got %.3f)" seq.Executor.wall_seconds)
+    true
+    (seq.Executor.wall_seconds >= 0.2);
+  check_bool
+    (Printf.sprintf "parallel beats sequential (%.3f < %.3f)" par.Executor.wall_seconds
+       seq.Executor.wall_seconds)
+    true
+    (par.Executor.wall_seconds < seq.Executor.wall_seconds)
+
+(* ---------- event aggregation ---------- *)
+
+let test_event_by_kind () =
+  let events =
+    [
+      Event.Cache_hit { job = "op:a"; kind = "page"; source = Event.Disk };
+      Event.Job_finish
+        { job = "op:a"; kind = "page"; worker = 0; wall_seconds = 0.0; model_seconds = 0.0; phases = [] };
+      Event.Job_finish
+        { job = "op:b"; kind = "page"; worker = 0; wall_seconds = 0.1; model_seconds = 9.0; phases = [] };
+      Event.Job_finish
+        { job = "hls:x"; kind = "hls"; worker = 0; wall_seconds = 0.0; model_seconds = 0.0; phases = [] };
+    ]
+  in
+  Alcotest.(check (list (triple string int int)))
+    "hits/misses per kind"
+    [ ("page", 1, 1); ("hls", 0, 1) ]
+    (Event.by_kind events);
+  check_int "hits" 1 (Event.cache_hits events);
+  check_int "finished" 3 (Event.finished events)
+
+let test_event_phase_totals () =
+  let finish phases =
+    Event.Job_finish
+      { job = "j"; kind = "t"; worker = 0; wall_seconds = 0.0; model_seconds = 0.0; phases }
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "summed in first-appearance order"
+    [ ("syn", 3.0); ("pnr", 5.0) ]
+    (Event.phase_totals [ finish [ ("syn", 1.0); ("pnr", 5.0) ]; finish [ ("syn", 2.0) ] ])
+
+(* ---------- makespan ---------- *)
+
+let test_lpt_known_values () =
+  Alcotest.(check (float 1e-9)) "three workers" 3.0 (Makespan.lpt ~workers:3 [ 3.0; 2.0; 1.0 ]);
+  Alcotest.(check (float 1e-9)) "serial" 6.0 (Makespan.lpt ~workers:1 [ 3.0; 2.0; 1.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Makespan.lpt ~workers:4 []);
+  match Makespan.lpt ~workers:0 [ 1.0 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let prop_lpt_bounds =
+  QCheck.Test.make ~name:"LPT: max duration <= makespan <= serial sum; workers=1 is serial"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 0 12) (float_range 0.0 100.0)))
+    (fun (workers, durations) ->
+      let m = Makespan.lpt ~workers durations in
+      let sum = List.fold_left ( +. ) 0.0 durations in
+      let longest = List.fold_left Float.max 0.0 durations in
+      let eps = 1e-6 in
+      m >= longest -. eps && m <= sum +. eps
+      && abs_float (Makespan.lpt ~workers:1 durations -. sum) <= eps)
+
+let suite =
+  [
+    ("digest: length framing", `Quick, test_digest_framing);
+    ("digest: is_hex", `Quick, test_digest_is_hex);
+    ("store: roundtrip + fresh handle", `Quick, test_store_roundtrip);
+    ("store: kinds partition the namespace", `Quick, test_store_kind_partition);
+    ("store: corrupt payload evicted", `Quick, test_store_corruption_evicted);
+    ("store: truncated entry evicted", `Quick, test_store_truncation_evicted);
+    ("store: stale version swept on open", `Quick, test_store_stale_version_swept);
+    ("store: malformed filename swept", `Quick, test_store_foreign_art_swept);
+    ("store: clear", `Quick, test_store_clear);
+    ("store: bad kind/key rejected", `Quick, test_store_bad_names_rejected);
+    ("jobgraph: topological order", `Quick, test_jobgraph_order);
+    ("jobgraph: duplicate id rejected", `Quick, test_jobgraph_duplicate_id);
+    ("jobgraph: unknown dep rejected", `Quick, test_jobgraph_unknown_dep);
+    ("jobgraph: cycle rejected", `Quick, test_jobgraph_cycle);
+    ("executor: undeclared fetch rejected", `Quick, test_fetch_non_dependency_rejected);
+    ("executor: sequential run", `Quick, test_executor_sequential);
+    ("executor: parallel = sequential", `Quick, test_executor_parallel_determinism);
+    ("executor: failure propagates", `Quick, test_executor_failure_propagates);
+    ("executor: paced jobs overlap", `Slow, test_executor_pace_overlaps);
+    ("events: by_kind hits/misses", `Quick, test_event_by_kind);
+    ("events: phase totals", `Quick, test_event_phase_totals);
+    ("makespan: known values", `Quick, test_lpt_known_values);
+    QCheck_alcotest.to_alcotest prop_lpt_bounds;
+  ]

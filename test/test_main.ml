@@ -10,6 +10,7 @@ let () =
       ("pnr", Test_pnr.suite);
       ("noc", Test_noc.suite);
       ("riscv", Test_riscv.suite);
+      ("engine", Test_engine.suite);
       ("pld", Test_pld.suite);
       ("rosetta", Test_rosetta.suite);
     ]

@@ -118,6 +118,148 @@ let test_incremental_cache () =
   check_int "one recompile" 1 app3.Build.report.Build.recompiled;
   check_int "three hits" 3 app3.Build.report.Build.cache_hits
 
+(* Replace one stage's operator body (a source edit) in a pipeline. *)
+let edit_stage g name n' =
+  {
+    g with
+    Graph.instances =
+      List.map
+        (fun (i : Graph.instance) ->
+          if i.inst_name = name then { i with op = doubler ~name n' } else i)
+        g.Graph.instances;
+  }
+
+let test_persistent_incremental () =
+  (* The acceptance story of the engine: a warm pldc rerun after a
+     one-operator edit recompiles exactly one page. Every build opens a
+     fresh cache handle on the same directory — a simulated fresh
+     process, so all carrying happens through the on-disk store. *)
+  let dir = ".test-build-cache" in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let g = pipeline 6 in
+  let cold = Build.compile ~cache:(Build.create_cache ~dir ()) fp g ~level:Build.O1 in
+  check_int "cold compiles all six" 6 cold.Build.report.Build.recompiled;
+  check_int "cold has no hits" 0 cold.Build.report.Build.cache_hits;
+  (* Unchanged rerun in a fresh process: everything from disk. *)
+  let warm = Build.compile ~cache:(Build.create_cache ~dir ()) fp g ~level:Build.O1 in
+  check_int "warm recompiles nothing" 0 warm.Build.report.Build.recompiled;
+  check_int "warm all hits" 6 warm.Build.report.Build.cache_hits;
+  (* One-operator edit in yet another fresh process. *)
+  let g' = edit_stage g "stage3" 9 in
+  let inc = Build.compile ~cache:(Build.create_cache ~dir ()) fp g' ~level:Build.O1 in
+  check_int "exactly one recompile" 1 inc.Build.report.Build.recompiled;
+  check_int "five hits" 5 inc.Build.report.Build.cache_hits;
+  (* The per-kind trace agrees, and the hits came from the store, not
+     this process's tables. *)
+  Alcotest.(check (option (pair int int)))
+    "page kind: 5 hits, 1 miss" (Some (5, 1))
+    (List.assoc_opt Build.kind_page
+       (List.map (fun (k, h, m) -> (k, (h, m))) inc.Build.report.Build.by_kind));
+  check_int "hits served from disk" 5
+    (List.length
+       (List.filter
+          (function
+            | Pld_engine.Event.Cache_hit { source = Pld_engine.Event.Disk; _ } -> true
+            | _ -> false)
+          inc.Build.report.Build.events));
+  (* The artifact is current: the edited stage's bitstream differs from
+     the cold build's. *)
+  let page_of (app : Build.app) name =
+    match List.assoc name app.Build.operators with
+    | Build.Hw_page h -> h
+    | Build.Soft_page _ -> Alcotest.fail "expected hardware page"
+  in
+  check_bool "edited page recompiled against new source" false
+    ((page_of cold "stage3").Flow.op = (page_of inc "stage3").Flow.op)
+
+let test_cache_stats_per_kind () =
+  let cache = Build.create_cache () in
+  let g = Graph.retarget (pipeline 3) "stage1" Graph.Riscv in
+  ignore (Build.compile ~cache fp g ~level:Build.O1);
+  ignore (Build.compile ~cache fp g ~level:Build.O1);
+  let stats k = Option.get (List.assoc_opt k (List.map (fun (k, h, m) -> (k, (h, m))) (Build.cache_stats cache))) in
+  Alcotest.(check (pair int int)) "pages: 2 hit, 2 miss" (2, 2) (stats Build.kind_page);
+  Alcotest.(check (pair int int)) "softcore: 1 hit, 1 miss" (1, 1) (stats Build.kind_softcore)
+
+let test_kind_partition_no_collision () =
+  (* The same operator compiled as a page and as a softcore produces two
+     distinct cache entries even if their keys collide — kinds partition
+     the cache, so a softcore image can never be returned for a page. *)
+  let cache = Build.create_cache () in
+  let g = pipeline 2 in
+  ignore (Build.compile ~cache fp g ~level:Build.O1);
+  ignore (Build.compile ~cache fp (Graph.retarget_all g Graph.Riscv) ~level:Build.O1);
+  check_int "four entries, two kinds" 4 (Build.cache_size cache);
+  let app = Build.compile ~cache fp g ~level:Build.O1 in
+  List.iter
+    (fun (_, c) ->
+      match c with
+      | Build.Hw_page _ -> ()
+      | Build.Soft_page _ -> Alcotest.fail "softcore artifact returned for a page build")
+    app.Build.operators
+
+let test_executor_determinism () =
+  (* A sequential (-j1) and a parallel (-j4) cold build of the same graph
+     produce identical artifacts and reports, modulo timing: every
+     seconds field (even the "modeled" tool times) is derived from
+     measured simulator runtime and varies run to run, so determinism
+     means the semantic payload — netlists, placements, bitstreams,
+     assignment, trace structure — is bit-identical. *)
+  let build jobs = Build.compile ~cache:(Build.create_cache ()) ~jobs fp (pipeline 6) ~level:Build.O1 in
+  let a = build 1 and b = build 4 in
+  let semantic (app : Build.app) =
+    List.map
+      (fun (name, c) ->
+        match c with
+        | Build.Hw_page h ->
+            let p = h.Flow.pnr in
+            ( name,
+              `Hw
+                ( h.Flow.op,
+                  h.Flow.page,
+                  h.Flow.impl.Pld_hls.Hls_compile.netlist,
+                  h.Flow.impl.Pld_hls.Hls_compile.perf,
+                  p.Pld_pnr.Pnr.placement,
+                  (p.Pld_pnr.Pnr.bitstream.Pld_pnr.Bitgen.frames,
+                   p.Pld_pnr.Pnr.bitstream.Pld_pnr.Bitgen.crc),
+                  (p.Pld_pnr.Pnr.route.Pld_pnr.Route.routes,
+                   p.Pld_pnr.Pnr.route.Pld_pnr.Route.net_delay_ns),
+                  p.Pld_pnr.Pnr.timing ) )
+        | Build.Soft_page s ->
+            (name, `Soft (s.Flow.op0, s.Flow.page0, s.Flow.program, s.Flow.elf)))
+      app.Build.operators
+  in
+  check_bool "identical semantic artifacts" true (semantic a = semantic b);
+  Alcotest.(check (list (pair string int))) "identical assignment" a.Build.assignment b.Build.assignment;
+  check_int "same recompiles" a.Build.report.Build.recompiled b.Build.report.Build.recompiled;
+  Alcotest.(check (list (triple string int int)))
+    "same per-kind stats" a.Build.report.Build.by_kind b.Build.report.Build.by_kind;
+  let canonical (r : Build.report) =
+    List.sort compare
+      (List.filter_map
+         (fun e ->
+           match e with
+           | Pld_engine.Event.Graph_start _ -> None
+           | e -> Some (Pld_engine.Event.to_string (Pld_engine.Event.strip_timing e)))
+         r.Build.events)
+  in
+  Alcotest.(check (list string)) "identical traces modulo timing"
+    (canonical a.Build.report) (canonical b.Build.report)
+
+let test_parallel_jobs_faster () =
+  (* Paced so each job sleeps off its modeled tool time: four domains
+     overlap those waits even on one core, so measured wall-clock drops. *)
+  let g = pipeline 6 in
+  let probe = Build.compile ~cache:(Build.create_cache ()) fp g ~level:Build.O1 in
+  let pace = 0.6 /. Float.max 1e-6 probe.Build.report.Build.serial_seconds in
+  let build jobs = Build.compile ~cache:(Build.create_cache ()) ~jobs ~pace fp g ~level:Build.O1 in
+  let w1 = (build 1).Build.report.Build.wall_seconds in
+  let w4 = (build 4).Build.report.Build.wall_seconds in
+  check_bool
+    (Printf.sprintf "-j4 cold build faster than -j1 (%.3fs < %.3fs)" w4 w1)
+    true (w4 < w1)
+
 let test_makespan () =
   Alcotest.(check (float 1e-9)) "parallel" 3.0 (Build.makespan ~workers:3 [ 3.0; 2.0; 1.0 ]);
   Alcotest.(check (float 1e-9)) "serial" 6.0 (Build.makespan ~workers:1 [ 3.0; 2.0; 1.0 ]);
@@ -270,6 +412,11 @@ let suite =
     ("compile -O0 forces softcores", `Quick, test_compile_o0_forces_softcores);
     ("compile mixed pragmas", `Quick, test_compile_mixed_targets);
     ("incremental cache", `Slow, test_incremental_cache);
+    ("persistent store: 1-op edit recompiles 1 page", `Slow, test_persistent_incremental);
+    ("cache stats per kind", `Quick, test_cache_stats_per_kind);
+    ("cache kinds cannot collide", `Quick, test_kind_partition_no_collision);
+    ("executor: -j1 = -j4 artifacts", `Slow, test_executor_determinism);
+    ("executor: -j4 beats -j1 (paced)", `Slow, test_parallel_jobs_faster);
     ("makespan model", `Quick, test_makespan);
     ("parallel <= serial", `Quick, test_o1_parallel_faster_than_serial);
     ("all levels agree functionally", `Slow, test_all_levels_agree);
