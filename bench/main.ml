@@ -397,14 +397,45 @@ let loading () =
   let card = Pld_platform.Card.create () in
   let app = compile (Suite.find "optical") B.O1 in
   print_endline (Pld_core.Loader.describe_artifacts app);
-  let seconds = Pld_core.Loader.deploy card app in
+  let seconds = (Pld_core.Loader.deploy card app).Pld_core.Loader.seconds in
   Printf.printf
     "total load+link: %.4f s (partial bitstreams are KB-scale; linking is a few packets per page)\n"
     seconds;
   let mono = compile (Suite.find "optical") B.O3 in
   let card2 = Pld_platform.Card.create () in
-  let s2 = Pld_core.Loader.deploy card2 mono in
+  let s2 = (Pld_core.Loader.deploy card2 mono).Pld_core.Loader.seconds in
   Printf.printf "monolithic kernel load: %.4f s\n" s2
+
+(* ---------- fault recovery ---------- *)
+
+let recovery () =
+  section "Ablation: fault recovery - relink onto a spare page vs a full recompile (optical flow)";
+  let b = Suite.find "optical" in
+  let app = compile b B.O1 in
+  (* Mark the first placed page defective: every load of it garbles,
+     so the deploy must retry, give up, and relink onto a spare. *)
+  let victim_inst, victim_page = List.hd app.B.assignment in
+  let spec = { Pld_faults.Fault.empty with Pld_faults.Fault.defective_pages = [ victim_page ] } in
+  let faults = Pld_faults.Fault.create ~seed:7 spec in
+  let card = Pld_platform.Card.create ~faults () in
+  let dr = Pld_core.Loader.deploy ~faults card app in
+  List.iter print_endline (Pld_core.Report.recovery_lines dr);
+  let recovery_seconds = dr.Pld_core.Loader.seconds in
+  let clean_card = Pld_platform.Card.create () in
+  let clean = Pld_core.Loader.deploy clean_card app in
+  let rebuild = B.compile ~cache:(B.create_cache ()) fp (b.Suite.graph hw) ~level:B.O1 in
+  let mono = compile b B.O3 in
+  Printf.printf
+    "%-34s %10.4f s\n%-34s %10.4f s\n%-34s %10.4f s\n%-34s %10.4f s\n"
+    "fault-free deploy" clean.Pld_core.Loader.seconds
+    (Printf.sprintf "recovery deploy (%s: %d -> %d)" victim_inst victim_page
+       (List.assoc victim_inst dr.Pld_core.Loader.app.B.assignment))
+    recovery_seconds "cold -O1 recompile (cluster)" rebuild.B.report.B.parallel_seconds
+    "-O3 monolithic recompile" mono.B.report.B.serial_seconds;
+  Printf.printf
+    "-> recovery pays one page-scoped relink (about the -O1 critical path, HLS reused) on the \
+     deploy clock - not the %0.1fx costlier monolithic rebuild a fixed-function flow would need\n"
+    (mono.B.report.B.serial_seconds /. Float.max 1e-9 recovery_seconds)
 
 (* ---------- future work: overlay processor menu ---------- *)
 
@@ -432,7 +463,7 @@ let softcore_sweep () =
       (fun (inst, compiled) ->
         match compiled with
         | B.Soft_page (s : Pld_core.Flow.o0_operator) ->
-            let i = Option.get (Pld_ir.Graph.find_instance g inst) in
+            let i = Pld_core.Flow.find_instance_exn ~context:"bench.softcore_sweep" g inst in
             let in_chans = List.map (fun (p : Pld_ir.Op.port) -> chan (List.assoc p.Pld_ir.Op.port_name i.Pld_ir.Graph.bindings)) s.Pld_core.Flow.op0.Pld_ir.Op.inputs in
             let out_chans = List.map (fun (p : Pld_ir.Op.port) -> chan (List.assoc p.Pld_ir.Op.port_name i.Pld_ir.Graph.bindings)) s.Pld_core.Flow.op0.Pld_ir.Op.outputs in
             let cpu =
@@ -452,7 +483,7 @@ let softcore_sweep () =
                   | Pld_riscv.Cpu.Halted -> ()
                   | Pld_riscv.Cpu.Stalled -> Pld_kpn.Network.yield (); go ()
                   | Pld_riscv.Cpu.Running -> Pld_kpn.Network.note_progress net; Pld_kpn.Network.yield (); go ()
-                  | Pld_riscv.Cpu.Trapped m -> failwith m
+                  | Pld_riscv.Cpu.Trapped tr -> failwith (Pld_riscv.Cpu.describe_trap tr)
                 in
                 go ())
         | B.Hw_page _ -> ())
@@ -481,7 +512,7 @@ let linking_alt () =
   let fr = Pld_kpn.Run_graph.run (b.Suite.graph hw) ~inputs in
   let links = R.noc_links app fr.Pld_kpn.Run_graph.channel_stats in
   let active = List.filter (fun (l : Pld_noc.Traffic.link) -> l.Pld_noc.Traffic.tokens > 0 && l.Pld_noc.Traffic.src_leaf <> l.Pld_noc.Traffic.dst_leaf) links in
-  let net = Pld_noc.Bft.create ~leaves:32 () in
+  let net = Pld_noc.Bft.create ~leaves:(Pld_core.Flow.noc_leaves fp) () in
   let bft_cfg = Pld_noc.Traffic.config_cycles net active in
   let bft = Pld_noc.Traffic.replay net active in
   let relay = Pld_noc.Relay.replay fp links in
@@ -576,7 +607,7 @@ let micro () =
       (Staged.stage (fun () ->
            ignore
              (Pld_noc.Bft.inject net ~leaf:1
-                { Pld_noc.Bft.dst_leaf = 9; payload = 1l; kind = Pld_noc.Bft.Data { dst_stream = 0 }; age = 0 });
+                (Pld_noc.Bft.data_flit ~src_leaf:1 ~dst_leaf:9 ~dst_stream:0 1l));
            Pld_noc.Bft.step net;
            ignore (Pld_noc.Bft.eject net ~leaf:9)))
   in
@@ -616,6 +647,7 @@ let all_experiments =
     ("incremental", incremental);
     ("executor", executor);
     ("loading", loading);
+    ("recovery", recovery);
     ("scaling", scaling);
     ("softcore-sweep", softcore_sweep);
     ("linking-alt", linking_alt);

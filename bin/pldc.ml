@@ -71,6 +71,38 @@ let pace_arg =
           "Throttle each job to this many wall seconds per modeled backend-tool second, making \
            measured wall-clock reflect the modeled tool runs (0 = off).")
 
+(* --inject-faults accepts the Fault.spec mini-language, e.g.
+   "page=3,drop=0.01,load=5@2,hang=fft0@100000,job=op:fft0@1". *)
+let fault_spec_conv =
+  let parse s =
+    match Pld_faults.Fault.parse s with Ok spec -> Ok spec | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Pld_faults.Fault.to_string s))
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some fault_spec_conv) None
+    & info [ "inject-faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject faults: comma-separated page=N (defective page), drop=F / corrupt=F (NoC link \
+           rates), load=PAGE\\@N (first N loads garble), hang=INST\\@CYCLES, trap=INST\\@CYCLES \
+           (softcore control faults), job=ID\\@N (first N runs of a build job fail).")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Seed for the fault injector's RNG; the same seed reproduces the same fault trace.")
+
+let max_retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-retries" ] ~docv:"K"
+        ~doc:"Retry budget per page load (and per build job under --inject-faults).")
+
+let injector_of spec seed = Option.map (fun s -> Pld_faults.Fault.create ~seed s) spec
+
 let list_cmd =
   let doc = "List the bundled Rosetta applications." in
   let run () =
@@ -121,12 +153,16 @@ let open_cache dir =
 
 let compile_cmd =
   let doc = "Compile an application at the given level and report phases/areas." in
-  let run b level workers jobs cache_dir trace pace =
+  let run b level workers jobs cache_dir trace pace fault_spec fault_seed max_retries =
     let cache = open_cache cache_dir in
-    let app = B.compile ~cache ~workers ~jobs ~pace fp (b.Suite.graph hw) ~level in
+    let faults = injector_of fault_spec fault_seed in
+    let app =
+      B.compile ~cache ~workers ~jobs ~pace ?faults ~max_retries fp (b.Suite.graph hw) ~level
+    in
     print_endline (Pld_core.Report.compile_summary app);
     Printf.printf "  cache: %s\n" (Pld_core.Report.cache_summary app.B.report);
     List.iter (fun (inst, page) -> Printf.printf "  %-16s -> page %d\n" inst page) app.B.assignment;
+    List.iter (fun l -> Printf.printf "  %s\n" l) (Pld_core.Report.build_recovery_lines app.B.report);
     (match app.B.monolithic with
     | Some m -> print_endline (Pld_pnr.Pnr.report m.Pld_core.Flow.pnr3)
     | None -> ());
@@ -139,28 +175,60 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ trace_arg
-      $ pace_arg)
+      $ pace_arg $ faults_arg $ fault_seed_arg $ max_retries_arg)
 
 let run_cmd =
   let doc = "Compile, deploy to the card, link, execute a frame, and validate." in
-  let run b level workers jobs cache_dir =
+  let module L = Pld_core.Loader in
+  let run b level workers jobs cache_dir fault_spec fault_seed max_retries =
     let cache = open_cache cache_dir in
-    let app = B.compile ~cache ~workers ~jobs fp (b.Suite.graph hw) ~level in
-    let card = Pld_platform.Card.create () in
-    let load_s = Pld_core.Loader.deploy card app in
+    let graph = b.Suite.graph hw in
+    let faults = injector_of fault_spec fault_seed in
+    let app = B.compile ~cache ~workers ~jobs ?faults ~max_retries fp graph ~level in
+    let card = Pld_platform.Card.create ?faults () in
+    let dr =
+      try L.deploy ?faults ~max_retries card app
+      with L.Deploy_failed m ->
+        Printf.eprintf "pldc: deploy failed: %s\n" m;
+        exit 1
+    in
     let inputs = b.Suite.workload () in
-    let r = R.run app ~inputs in
+    let r =
+      try R.run ?faults dr.L.app ~inputs with
+      | R.Stalled d ->
+          prerr_endline (R.describe_stall d);
+          exit 1
+      | R.Softcore_trap (inst, tr) ->
+          Printf.eprintf "pldc: softcore %s trapped: %s\n" inst (Pld_riscv.Cpu.describe_trap tr);
+          exit 1
+    in
     Printf.printf "%s %s: load+link %.4fs, %.0f MHz, %.4f ms/frame (bottleneck %s)\n" b.Suite.name
-      (B.level_name level) load_s r.R.perf.R.fmax_mhz r.R.perf.R.ms_per_input r.R.perf.R.bottleneck;
+      (B.level_name level) dr.L.seconds r.R.perf.R.fmax_mhz r.R.perf.R.ms_per_input
+      r.R.perf.R.bottleneck;
     List.iteri
       (fun k (inst, line) -> if k < 5 then Printf.printf "  [softcore %s] %s\n" inst line)
       r.R.printed;
+    (match faults with
+    | None -> ()
+    | Some _ ->
+        List.iter (fun l -> Printf.printf "  %s\n" l) (Pld_core.Report.build_recovery_lines app.B.report);
+        List.iter print_endline (Pld_core.Report.recovery_lines dr);
+        (* Honest degraded-mode reporting: rerun the whole flow
+           fault-free and put the two perf numbers side by side. *)
+        let napp = B.compile ~cache ~workers ~jobs fp graph ~level in
+        let ncard = Pld_platform.Card.create () in
+        let ndr = L.deploy ncard napp in
+        let nr = R.run ndr.L.app ~inputs in
+        List.iter print_endline (Pld_core.Report.degraded_perf_lines ~nominal:nr ~actual:r);
+        Printf.printf "outputs bit-identical to fault-free run: %b\n" (r.R.outputs = nr.R.outputs));
     let ok = b.Suite.check ~inputs r.R.outputs in
     Printf.printf "output check vs independent reference: %b\n" ok;
     if not ok then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg)
+    Term.(
+      const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ faults_arg
+      $ fault_seed_arg $ max_retries_arg)
 
 let () =
   let doc = "PLD: partition, link and load applications on programmable logic devices (simulated)" in

@@ -76,7 +76,7 @@ let () =
   print_endline "\n== step 2: migrate one operator at a time to FPGA pages ==";
   let order = List.map (fun (i : Graph.instance) -> i.inst_name) base.Graph.instances in
   let pinned_target inst =
-    (Option.get (Graph.find_instance base inst)).Graph.target
+    (Pld_core.Flow.find_instance_exn ~context:"incremental_dev" base inst).Graph.target
   in
   let _ =
     List.fold_left

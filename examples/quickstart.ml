@@ -81,7 +81,7 @@ let () =
     app.B.assignment;
   (* 3. Load and link on the card. *)
   let card = Pld_platform.Card.create () in
-  let load_s = Pld_core.Loader.deploy card app in
+  let load_s = (Pld_core.Loader.deploy card app).Pld_core.Loader.seconds in
   Printf.printf "\n== card after deploy (%.3f s to load + link) ==\n%s\n" load_s
     (Pld_platform.Card.describe card);
   (* 4. Run on the accelerator. *)

@@ -13,6 +13,8 @@ type t =
       phases : (string * float) list;
     }
   | Job_failed of { job : string; kind : string; worker : int; error : string }
+  | Job_retry of { job : string; kind : string; worker : int; attempt : int; error : string }
+  | Job_quarantined of { job : string; kind : string; attempts : int; error : string }
   | Cache_hit of { job : string; kind : string; source : source }
   | Cache_store of { kind : string; key : string }
 
@@ -33,6 +35,10 @@ let to_string = function
                (List.map (fun (n, s) -> Printf.sprintf "%s=%.2f" n s) phases))
   | Job_failed { job; kind; worker; error } ->
       Printf.sprintf "FAILED [w%d] %-9s %s: %s" worker kind job error
+  | Job_retry { job; kind; worker; attempt; error } ->
+      Printf.sprintf "retry  [w%d] %-9s %s (attempt %d after: %s)" worker kind job attempt error
+  | Job_quarantined { job; kind; attempts; error } ->
+      Printf.sprintf "QUARANTINED %-9s %s after %d attempts: %s" kind job attempts error
   | Cache_hit { job; kind; source } ->
       Printf.sprintf "hit    [%s] %-9s %s" (source_name source) kind job
   | Cache_store { kind; key } -> Printf.sprintf "store  %-9s %s" kind key
@@ -84,4 +90,5 @@ let strip_timing = function
       Job_finish { f with wall_seconds = 0.0; worker = 0; model_seconds = 0.0; phases = [] }
   | Job_start s -> Job_start { s with worker = 0 }
   | Job_failed f -> Job_failed { f with worker = 0 }
-  | (Graph_start _ | Cache_hit _ | Cache_store _) as e -> e
+  | Job_retry r -> Job_retry { r with worker = 0 }
+  | (Graph_start _ | Job_quarantined _ | Cache_hit _ | Cache_store _) as e -> e

@@ -26,6 +26,11 @@ type t =
       phases : (string * float) list;  (** modeled per-phase breakdown *)
     }
   | Job_failed of { job : string; kind : string; worker : int; error : string }
+  | Job_retry of { job : string; kind : string; worker : int; attempt : int; error : string }
+      (** the executor is re-running a failed job ([attempt] retries so far) *)
+  | Job_quarantined of { job : string; kind : string; attempts : int; error : string }
+      (** retries exhausted (or a dependency was quarantined); the rest
+          of the build continues without this job's artifact *)
   | Cache_hit of { job : string; kind : string; source : source }
   | Cache_store of { kind : string; key : string }
       (** an artifact was persisted to the on-disk store *)

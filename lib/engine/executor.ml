@@ -1,8 +1,11 @@
 type 'a result = {
   artifacts : (string * 'a) list;
+  quarantined : (string * string) list;
   wall_seconds : float;
   events : Event.t list;
 }
+
+exception Job_timeout of string
 
 (* Both the sequential and the parallel paths funnel every event
    through one recorder so traces have a single emission order. *)
@@ -25,8 +28,11 @@ let pace_off ~pace ~model ~elapsed =
   end
 
 (* Runs one node against completed results, returning its artifact and
-   emitting start/finish (failures emit and re-raise). *)
-let run_node ~rec_ ~pace ~worker ~fetch node =
+   emitting start/finish (failures emit and re-raise). [job_timeout]
+   bounds the job's wall-clock (pacing included): a job that ran past
+   it counts as failed — modeling a tool invocation killed by the
+   build supervisor — and its artifact is discarded. *)
+let run_node ~rec_ ~pace ~job_timeout ~worker ~fetch node =
   let id = Jobgraph.id node and kind = Jobgraph.kind node in
   record rec_ (Event.Job_start { job = id; kind; worker });
   let t0 = Unix.gettimeofday () in
@@ -34,13 +40,20 @@ let run_node ~rec_ ~pace ~worker ~fetch node =
   | v ->
       let model = Jobgraph.model node v in
       pace_off ~pace ~model ~elapsed:(Unix.gettimeofday () -. t0);
+      let wall = Unix.gettimeofday () -. t0 in
+      (match job_timeout with
+      | Some limit when wall > limit ->
+          let error = Printf.sprintf "job %s exceeded timeout (%.3fs > %.3fs)" id wall limit in
+          record rec_ (Event.Job_failed { job = id; kind; worker; error });
+          raise (Job_timeout error)
+      | _ -> ());
       record rec_
         (Event.Job_finish
            {
              job = id;
              kind;
              worker;
-             wall_seconds = Unix.gettimeofday () -. t0;
+             wall_seconds = wall;
              model_seconds = model;
              phases = Jobgraph.phases node v;
            });
@@ -49,20 +62,64 @@ let run_node ~rec_ ~pace ~worker ~fetch node =
       record rec_ (Event.Job_failed { job = id; kind; worker; error = Printexc.to_string e });
       raise e
 
+(* Retry a flaky job up to [max_retries] extra attempts before giving
+   it up for good. *)
+let run_node_retrying ~rec_ ~pace ~job_timeout ~max_retries ~worker ~fetch node =
+  let rec attempt k =
+    match run_node ~rec_ ~pace ~job_timeout ~worker ~fetch node with
+    | v -> Ok (v, k)
+    | exception e ->
+        if k < max_retries then begin
+          record rec_
+            (Event.Job_retry
+               {
+                 job = Jobgraph.id node;
+                 kind = Jobgraph.kind node;
+                 worker;
+                 attempt = k + 1;
+                 error = Printexc.to_string e;
+               });
+          attempt (k + 1)
+        end
+        else Error (e, k)
+  in
+  attempt 0
+
 let guard_fetch node fetch id =
   if not (List.mem id (Jobgraph.deps node)) then
     raise
       (Jobgraph.Invalid (Printf.sprintf "job %s fetched non-dependency %s" (Jobgraph.id node) id));
   fetch id
 
-let sequential ~rec_ ~pace g =
+let quarantine_event ~rec_ node ~attempts ~error =
+  record rec_
+    (Event.Job_quarantined { job = Jobgraph.id node; kind = Jobgraph.kind node; attempts; error })
+
+let sequential ~rec_ ~pace ~job_timeout ~max_retries ~keep_going g =
   let done_ = Hashtbl.create (2 * Jobgraph.size g) in
+  let quarantined = Hashtbl.create 4 in
   List.iter
     (fun node ->
-      let fetch = guard_fetch node (Hashtbl.find done_) in
-      Hashtbl.replace done_ (Jobgraph.id node) (run_node ~rec_ ~pace ~worker:0 ~fetch node))
+      match
+        List.find_opt (fun d -> Hashtbl.mem quarantined d) (Jobgraph.deps node)
+      with
+      | Some d ->
+          let error = Printf.sprintf "dependency %s quarantined" d in
+          Hashtbl.replace quarantined (Jobgraph.id node) error;
+          quarantine_event ~rec_ node ~attempts:0 ~error
+      | None -> (
+          let fetch = guard_fetch node (Hashtbl.find done_) in
+          match run_node_retrying ~rec_ ~pace ~job_timeout ~max_retries ~worker:0 ~fetch node with
+          | Ok (v, _) -> Hashtbl.replace done_ (Jobgraph.id node) v
+          | Error (e, attempts) ->
+              if keep_going then begin
+                let error = Printexc.to_string e in
+                Hashtbl.replace quarantined (Jobgraph.id node) error;
+                quarantine_event ~rec_ node ~attempts:(attempts + 1) ~error
+              end
+              else raise e))
     (Jobgraph.order g);
-  done_
+  (done_, quarantined)
 
 (* Shared scheduler state, all under [lock]. *)
 type 'a pool = {
@@ -71,11 +128,12 @@ type 'a pool = {
   ready : 'a Jobgraph.node Queue.t;
   waiting : (string, int) Hashtbl.t;  (** unfinished dependency count per blocked node *)
   results : (string, 'a) Hashtbl.t;
+  quarantined : (string, string) Hashtbl.t;
   mutable failure : exn option;
   mutable unfinished : int;
 }
 
-let parallel ~rec_ ~pace ~workers g =
+let parallel ~rec_ ~pace ~job_timeout ~max_retries ~keep_going ~workers g =
   let by_id = Hashtbl.create (2 * Jobgraph.size g) in
   List.iter (fun n -> Hashtbl.replace by_id (Jobgraph.id n) n) (Jobgraph.nodes g);
   let p =
@@ -85,6 +143,7 @@ let parallel ~rec_ ~pace ~workers g =
       ready = Queue.create ();
       waiting = Hashtbl.create (2 * Jobgraph.size g);
       results = Hashtbl.create (2 * Jobgraph.size g);
+      quarantined = Hashtbl.create 4;
       failure = None;
       unfinished = Jobgraph.size g;
     }
@@ -98,22 +157,47 @@ let parallel ~rec_ ~pace ~workers g =
     Mutex.lock p.lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock p.lock) f
   in
+  (* Quarantine a node and, transitively, every dependent still waiting
+     on it (they can never become ready). Caller holds the lock. *)
+  let rec quarantine node ~attempts ~error =
+    let id = Jobgraph.id node in
+    if not (Hashtbl.mem p.quarantined id) then begin
+      Hashtbl.replace p.quarantined id error;
+      quarantine_event ~rec_ node ~attempts ~error;
+      p.unfinished <- p.unfinished - 1;
+      List.iter
+        (fun d ->
+          if Hashtbl.mem p.waiting d then begin
+            Hashtbl.remove p.waiting d;
+            quarantine (Hashtbl.find by_id d) ~attempts:0
+              ~error:(Printf.sprintf "dependency %s quarantined" id)
+          end)
+        (Jobgraph.dependents g id)
+    end
+  in
   let finish node outcome =
     locked (fun () ->
         (match outcome with
         | Ok v ->
             Hashtbl.replace p.results (Jobgraph.id node) v;
+            p.unfinished <- p.unfinished - 1;
             List.iter
               (fun d ->
-                let left = Hashtbl.find p.waiting d - 1 in
-                if left = 0 then begin
-                  Hashtbl.remove p.waiting d;
-                  Queue.push (Hashtbl.find by_id d) p.ready
-                end
-                else Hashtbl.replace p.waiting d left)
+                match Hashtbl.find_opt p.waiting d with
+                | None -> ()  (* already quarantined via another dependency *)
+                | Some left ->
+                    if left - 1 = 0 then begin
+                      Hashtbl.remove p.waiting d;
+                      Queue.push (Hashtbl.find by_id d) p.ready
+                    end
+                    else Hashtbl.replace p.waiting d (left - 1))
               (Jobgraph.dependents g (Jobgraph.id node))
-        | Error e -> ( match p.failure with None -> p.failure <- Some e | Some _ -> ()));
-        p.unfinished <- p.unfinished - 1;
+        | Error (e, attempts) ->
+            if keep_going then quarantine node ~attempts ~error:(Printexc.to_string e)
+            else begin
+              (match p.failure with None -> p.failure <- Some e | Some _ -> ());
+              p.unfinished <- p.unfinished - 1
+            end);
         Condition.broadcast p.wakeup)
   in
   let worker wid () =
@@ -135,9 +219,9 @@ let parallel ~rec_ ~pace ~workers g =
       | None -> ()
       | Some node ->
           let fetch = guard_fetch node (fun id -> locked (fun () -> Hashtbl.find p.results id)) in
-          (match run_node ~rec_ ~pace ~worker:wid ~fetch node with
-          | v -> finish node (Ok v)
-          | exception e -> finish node (Error e));
+          (match run_node_retrying ~rec_ ~pace ~job_timeout ~max_retries ~worker:wid ~fetch node with
+          | Ok (v, _) -> finish node (Ok v)
+          | Error (e, attempts) -> finish node (Error (e, attempts + 1)));
           loop ()
     in
     loop ()
@@ -147,20 +231,32 @@ let parallel ~rec_ ~pace ~workers g =
   worker 0 ();
   List.iter Domain.join domains;
   (match p.failure with Some e -> raise e | None -> ());
-  p.results
+  (p.results, p.quarantined)
 
-let run ?(workers = 1) ?(pace = 0.0) ?(on_event = ignore) g =
+let run ?(workers = 1) ?(pace = 0.0) ?job_timeout ?(max_retries = 0) ?(keep_going = false)
+    ?(on_event = ignore) g =
   let rec_ = recorder on_event in
   let t0 = Unix.gettimeofday () in
   record rec_ (Event.Graph_start { jobs = Jobgraph.size g; workers });
-  let results =
-    if workers <= 1 then sequential ~rec_ ~pace g else parallel ~rec_ ~pace ~workers g
+  let results, quarantined =
+    if workers <= 1 then sequential ~rec_ ~pace ~job_timeout ~max_retries ~keep_going g
+    else parallel ~rec_ ~pace ~job_timeout ~max_retries ~keep_going ~workers g
   in
   let wall = Unix.gettimeofday () -. t0 in
   record rec_ (Event.Graph_finish { jobs = Jobgraph.size g; wall_seconds = wall });
   {
     artifacts =
-      List.map (fun n -> (Jobgraph.id n, Hashtbl.find results (Jobgraph.id n))) (Jobgraph.nodes g);
+      List.filter_map
+        (fun n ->
+          Option.map (fun v -> (Jobgraph.id n, v)) (Hashtbl.find_opt results (Jobgraph.id n)))
+        (Jobgraph.nodes g);
+    quarantined =
+      List.filter_map
+        (fun n ->
+          Option.map
+            (fun e -> (Jobgraph.id n, e))
+            (Hashtbl.find_opt quarantined (Jobgraph.id n)))
+        (Jobgraph.nodes g);
     wall_seconds = wall;
     events = List.rev rec_.trace;
   }

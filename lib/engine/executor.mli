@@ -15,20 +15,49 @@
     stands for is minutes-scale; pacing makes measured wall-clock
     reflect concurrent execution of those modeled tool invocations —
     including on a single-core host, where a blocked "tool run" still
-    overlaps with others. [pace = 0.] (default) disables throttling. *)
+    overlaps with others. [pace = 0.] (default) disables throttling.
+
+    Robustness: a flaky job (transient tool crash) can be retried
+    ([max_retries]) and, with [keep_going], a job that still fails is
+    *quarantined* — it and its transitive dependents are skipped, every
+    other job completes, and the result names the casualties — so one
+    bad compile does not kill a 50-page build. *)
 
 type 'a result = {
-  artifacts : (string * 'a) list;  (** every node's artifact, in submission order *)
+  artifacts : (string * 'a) list;
+      (** completed nodes' artifacts, in submission order (quarantined
+          nodes are absent) *)
+  quarantined : (string * string) list;
+      (** [(job, error)] for every skipped node, in submission order;
+          empty unless [keep_going] swallowed failures *)
   wall_seconds : float;  (** measured, whole graph *)
   events : Event.t list;  (** in emission order *)
 }
 
+exception Job_timeout of string
+(** A job exceeded [job_timeout] wall seconds — the supervisor killed
+    the (modeled) tool run. Subject to retry like any other failure. *)
+
 val run :
-  ?workers:int -> ?pace:float -> ?on_event:(Event.t -> unit) -> 'a Jobgraph.t -> 'a result
+  ?workers:int ->
+  ?pace:float ->
+  ?job_timeout:float ->
+  ?max_retries:int ->
+  ?keep_going:bool ->
+  ?on_event:(Event.t -> unit) ->
+  'a Jobgraph.t ->
+  'a result
 (** Executes the graph to completion. [on_event] (default ignore)
     additionally streams each event as it is emitted; it is called
     under the trace lock and so must not itself run the executor.
 
-    If a job raises, no new jobs start, in-flight jobs finish, and the
-    original exception is re-raised on the calling domain after the
-    pool quiesces. *)
+    [job_timeout] (wall seconds, pacing included) fails jobs that run
+    past it. [max_retries] (default 0) re-runs a failed job that many
+    extra times, emitting [Job_retry] events. [keep_going] (default
+    false) quarantines jobs whose retries are exhausted instead of
+    aborting: the failure is recorded ([Job_quarantined]), dependents
+    are skipped, and the run returns normally with the survivors.
+
+    Without [keep_going]: if a job ultimately fails, no new jobs start,
+    in-flight jobs finish, and the original exception is re-raised on
+    the calling domain after the pool quiesces. *)

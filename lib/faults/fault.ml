@@ -1,0 +1,136 @@
+module Rng = Pld_util.Rng
+
+type spec = {
+  defective_pages : int list;
+  drop_rate : float;
+  corrupt_rate : float;
+  flaky_loads : (int * int) list;
+  hangs : (string * int) list;
+  traps : (string * int) list;
+  flaky_jobs : (string * int) list;
+}
+
+let empty =
+  {
+    defective_pages = [];
+    drop_rate = 0.0;
+    corrupt_rate = 0.0;
+    flaky_loads = [];
+    hangs = [];
+    traps = [];
+    flaky_jobs = [];
+  }
+
+let is_empty s = s = empty
+
+let parse_item spec item =
+  let bad fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt item '=' with
+  | None -> bad "fault item %S: expected KEY=VALUE" item
+  | Some i -> (
+      let key = String.sub item 0 i in
+      let value = String.sub item (i + 1) (String.length item - i - 1) in
+      let int_of what v =
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Ok n
+        | _ -> bad "fault item %S: %s must be a non-negative integer" item what
+      in
+      let rate v =
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 && f < 1.0 -> Ok f
+        | _ -> bad "fault item %S: rate must be in [0,1)" item
+      in
+      (* NAME@N pairs (hang=inst@cycles, load=page@n, ...). *)
+      let at v =
+        match String.index_opt v '@' with
+        | None -> bad "fault item %S: expected %s=NAME@N" item key
+        | Some j ->
+            let name = String.sub v 0 j in
+            let n = String.sub v (j + 1) (String.length v - j - 1) in
+            if name = "" then bad "fault item %S: empty name" item
+            else Result.map (fun n -> (name, n)) (int_of "N" n)
+      in
+      match key with
+      | "page" ->
+          Result.map (fun p -> { spec with defective_pages = spec.defective_pages @ [ p ] })
+            (int_of "page id" value)
+      | "drop" -> Result.map (fun r -> { spec with drop_rate = r }) (rate value)
+      | "corrupt" -> Result.map (fun r -> { spec with corrupt_rate = r }) (rate value)
+      | "load" ->
+          Result.bind (at value) (fun (p, n) ->
+              Result.map (fun p -> { spec with flaky_loads = spec.flaky_loads @ [ (p, n) ] })
+                (int_of "page id" p))
+      | "hang" -> Result.map (fun h -> { spec with hangs = spec.hangs @ [ h ] }) (at value)
+      | "trap" -> Result.map (fun h -> { spec with traps = spec.traps @ [ h ] }) (at value)
+      | "job" -> Result.map (fun j -> { spec with flaky_jobs = spec.flaky_jobs @ [ j ] }) (at value)
+      | _ -> bad "fault item %S: unknown key %S (use page/drop/corrupt/load/hang/trap/job)" item key)
+
+let parse s =
+  let items =
+    String.split_on_char ',' s |> List.map String.trim |> List.filter (fun i -> i <> "")
+  in
+  List.fold_left (fun acc item -> Result.bind acc (fun spec -> parse_item spec item)) (Ok empty) items
+
+let parse_exn s = match parse s with Ok spec -> spec | Error m -> invalid_arg m
+
+let to_string s =
+  let items =
+    List.map (fun p -> Printf.sprintf "page=%d" p) s.defective_pages
+    @ (if s.drop_rate > 0.0 then [ Printf.sprintf "drop=%g" s.drop_rate ] else [])
+    @ (if s.corrupt_rate > 0.0 then [ Printf.sprintf "corrupt=%g" s.corrupt_rate ] else [])
+    @ List.map (fun (p, n) -> Printf.sprintf "load=%d@%d" p n) s.flaky_loads
+    @ List.map (fun (i, n) -> Printf.sprintf "hang=%s@%d" i n) s.hangs
+    @ List.map (fun (i, n) -> Printf.sprintf "trap=%s@%d" i n) s.traps
+    @ List.map (fun (j, n) -> Printf.sprintf "job=%s@%d" j n) s.flaky_jobs
+  in
+  String.concat "," items
+
+type t = {
+  t_spec : spec;
+  t_seed : int;
+  rng : Rng.t;  (** link-rate draws only, so rates do not shift counters *)
+  load_attempts : (int, int) Hashtbl.t;
+  job_attempts : (string, int) Hashtbl.t;
+  job_lock : Mutex.t;  (** job checks may come from executor domains *)
+}
+
+let create ?(seed = 1) t_spec =
+  {
+    t_spec;
+    t_seed = seed;
+    rng = Rng.create seed;
+    load_attempts = Hashtbl.create 8;
+    job_attempts = Hashtbl.create 8;
+    job_lock = Mutex.create ();
+  }
+
+let seed t = t.t_seed
+let spec t = t.t_spec
+
+let page_defective t page = List.mem page t.t_spec.defective_pages
+
+let load_corrupts t ~page =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.load_attempts page) in
+  Hashtbl.replace t.load_attempts page n;
+  page_defective t page
+  || (match List.assoc_opt page t.t_spec.flaky_loads with Some k -> n <= k | None -> false)
+
+let drop_flit t = t.t_spec.drop_rate > 0.0 && Rng.float t.rng 1.0 < t.t_spec.drop_rate
+let corrupt_flit t = t.t_spec.corrupt_rate > 0.0 && Rng.float t.rng 1.0 < t.t_spec.corrupt_rate
+let corrupt_mask t = Int32.shift_left 1l (Rng.int t.rng 32)
+
+let hang_cycles t ~inst = List.assoc_opt inst t.t_spec.hangs
+let trap_cycles t ~inst = List.assoc_opt inst t.t_spec.traps
+
+exception Injected of string
+
+let job_check t ~job =
+  match List.assoc_opt job t.t_spec.flaky_jobs with
+  | None -> ()
+  | Some k ->
+      Mutex.lock t.job_lock;
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.job_attempts job) in
+      Hashtbl.replace t.job_attempts job n;
+      Mutex.unlock t.job_lock;
+      if n <= k then
+        raise (Injected (Printf.sprintf "injected fault: job %s attempt %d/%d fails" job n k))

@@ -18,7 +18,7 @@ and net = { mutable progress : int; mutable channels : channel list }
 type t = { net : net; mutable procs : (string * (unit -> unit)) list }
 
 exception Deadlock of string list
-exception Out_of_fuel
+exception Out_of_fuel of { steps : int; live : string list }
 
 let create () = { net = { progress = 0; channels = [] }; procs = [] }
 
@@ -114,7 +114,10 @@ let run ?(fuel = 50_000_000) t =
       for _ = 1 to round do
         let name, resume = Queue.pop live in
         incr steps;
-        if !steps > fuel then raise Out_of_fuel;
+        if !steps > fuel then
+          raise
+            (Out_of_fuel
+               { steps = !steps; live = name :: List.map fst (List.of_seq (Queue.to_seq live)) });
         match resume () with
         | Finished -> finished := true
         | Yielded k -> Queue.push (name, fun () -> Effect.Deep.continue k ()) live

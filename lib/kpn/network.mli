@@ -14,7 +14,9 @@ type channel
 exception Deadlock of string list
 (** Names of the processes still blocked. *)
 
-exception Out_of_fuel
+exception Out_of_fuel of { steps : int; live : string list }
+(** Scheduler resume budget exhausted while [live] processes were
+    still running — usually a hung or livelocked operator. *)
 
 val create : unit -> t
 

@@ -1,8 +1,50 @@
+module Fault = Pld_faults.Fault
+
 type flit_kind =
   | Data of { dst_stream : int }
   | Config of { reg : int; dst_leaf_value : int; dst_stream_value : int }
 
-type flit = { dst_leaf : int; payload : int32; kind : flit_kind; mutable age : int }
+type flit = {
+  src_leaf : int;
+  dst_leaf : int;
+  mutable payload : int32;
+  crc : int;
+  kind : flit_kind;
+  mutable age : int;
+}
+
+(* CRC-8 (poly 0x07) over the four payload bytes — the per-flit frame
+   check that lets a leaf reject corrupted deliveries. *)
+let flit_crc (payload : int32) =
+  let crc = ref 0 in
+  for i = 0 to 3 do
+    let byte = Int32.to_int (Int32.logand (Int32.shift_right_logical payload (8 * i)) 0xFFl) in
+    crc := !crc lxor byte;
+    for _ = 1 to 8 do
+      crc := if !crc land 0x80 <> 0 then (!crc lsl 1) lxor 0x07 land 0xFF else !crc lsl 1 land 0xFF
+    done
+  done;
+  !crc
+
+let data_flit ?(src_leaf = 0) ~dst_leaf ~dst_stream payload =
+  { src_leaf; dst_leaf; payload; crc = flit_crc payload; kind = Data { dst_stream }; age = 0 }
+
+let config_flit ?(src_leaf = 0) ~dst_leaf ~reg ~dst_leaf_value ~dst_stream_value () =
+  let payload =
+    Int32.of_int (((reg land 0xFF) lsl 16) lor ((dst_leaf_value land 0xFF) lsl 8) lor (dst_stream_value land 0xFF))
+  in
+  {
+    src_leaf;
+    dst_leaf;
+    payload;
+    crc = flit_crc payload;
+    kind = Config { reg; dst_leaf_value; dst_stream_value };
+    age = 0;
+  }
+
+(* A sender retransmission: re-frame the (possibly corrupted) payload
+   with a fresh CRC and age. *)
+let refresh f = { f with crc = flit_crc f.payload; age = 0 }
 
 (* Link registers: one flit in flight per link per cycle. *)
 type t = {
@@ -20,17 +62,23 @@ type t = {
   eject_buf : (int * int32) Queue.t array;
   routes : (int * int, int * int) Hashtbl.t;
   overflow : flit Queue.t array array;  (** per level-1.. switch spill queue *)
+  mutable faults : Fault.t option;
+  lost : flit Queue.t;  (** dropped / CRC-rejected flits awaiting retransmit *)
+  link_drops : int array;
+  link_corrupts : int array;
   mutable cycles : int;
   mutable in_flight : int;
   mutable delivered : int;
   mutable deflections : int;
+  mutable dropped : int;
+  mutable corrupted : int;
   mutable max_latency : int;
   mutable total_latency : int;
 }
 
 let switches_at_level t l = t.leaves / (1 lsl (2 * l)) (* 4^depth / 4^l *)
 
-let create ?(leaves = 32) () =
+let create ?(leaves = 32) ?faults () =
   let depth =
     let rec go d = if 1 lsl (2 * d) >= leaves then d else go (d + 1) in
     go 1
@@ -69,10 +117,16 @@ let create ?(leaves = 32) () =
       routes = Hashtbl.create 64;
       overflow =
         Array.init depth (fun l -> Array.init (leaves / (1 lsl (2 * (l + 1)))) (fun _ -> Queue.create ()));
+      faults;
+      lost = Queue.create ();
+      link_drops = Array.make !nlinks 0;
+      link_corrupts = Array.make !nlinks 0;
       cycles = 0;
       in_flight = 0;
       delivered = 0;
       deflections = 0;
+      dropped = 0;
+      corrupted = 0;
       max_latency = 0;
       total_latency = 0;
     }
@@ -81,6 +135,7 @@ let create ?(leaves = 32) () =
 
 let leaf_count t = t.leaves
 let level_count t = t.depth
+let set_faults t f = t.faults <- f
 
 let configure t ~leaf ~stream ~dst_leaf ~dst_stream =
   Hashtbl.replace t.routes (leaf, stream) (dst_leaf, dst_stream)
@@ -100,7 +155,7 @@ let inject_via_route t ~leaf ~stream payload =
   match lookup_route t ~leaf ~stream with
   | None -> invalid_arg (Printf.sprintf "Bft.inject_via_route: leaf %d stream %d not linked" leaf stream)
   | Some (dst_leaf, dst_stream) ->
-      inject t ~leaf { dst_leaf; payload; kind = Data { dst_stream }; age = 0 }
+      inject t ~leaf (data_flit ~src_leaf:leaf ~dst_leaf ~dst_stream payload)
 
 let eject t ~leaf =
   let out = ref [] in
@@ -109,15 +164,46 @@ let eject t ~leaf =
   done;
   List.rev !out
 
+let take_lost t =
+  let out = ref [] in
+  while not (Queue.is_empty t.lost) do
+    out := Queue.pop t.lost :: !out
+  done;
+  List.rev !out
+
 let deliver t (f : flit) =
-  t.delivered <- t.delivered + 1;
   t.in_flight <- t.in_flight - 1;
-  t.total_latency <- t.total_latency + f.age;
-  if f.age > t.max_latency then t.max_latency <- f.age;
-  match f.kind with
-  | Data { dst_stream } -> Queue.push (dst_stream, f.payload) t.eject_buf.(f.dst_leaf)
-  | Config { reg; dst_leaf_value; dst_stream_value } ->
-      Hashtbl.replace t.routes (f.dst_leaf, reg) (dst_leaf_value, dst_stream_value)
+  if flit_crc f.payload <> f.crc then
+    (* CRC reject at the leaf: the flit never reaches the stream; the
+       sender sees it in the lost queue and retransmits. *)
+    Queue.push f t.lost
+  else begin
+    t.delivered <- t.delivered + 1;
+    t.total_latency <- t.total_latency + f.age;
+    if f.age > t.max_latency then t.max_latency <- f.age;
+    match f.kind with
+    | Data { dst_stream } -> Queue.push (dst_stream, f.payload) t.eject_buf.(f.dst_leaf)
+    | Config { reg; dst_leaf_value; dst_stream_value } ->
+        Hashtbl.replace t.routes (f.dst_leaf, reg) (dst_leaf_value, dst_stream_value)
+  end
+
+(* Put a flit onto a claimed output register, through the fault model:
+   a dropped flit leaves the wire empty (the slot is wasted) and lands
+   in the lost queue; a corrupted one travels on with a flipped bit,
+   to be caught by the CRC check at delivery. *)
+let transmit t link f =
+  match t.faults with
+  | Some fl when Fault.drop_flit fl ->
+      t.link_drops.(link) <- t.link_drops.(link) + 1;
+      t.dropped <- t.dropped + 1;
+      t.in_flight <- t.in_flight - 1;
+      Queue.push f t.lost
+  | Some fl when Fault.corrupt_flit fl ->
+      t.link_corrupts.(link) <- t.link_corrupts.(link) + 1;
+      t.corrupted <- t.corrupted + 1;
+      f.payload <- Int32.logxor f.payload (Fault.corrupt_mask fl);
+      t.nxt.(link) <- Some f
+  | _ -> t.nxt.(link) <- Some f
 
 (* Leaves covered by switch [i] at level [l]: [i*4^l, (i+1)*4^l). *)
 let covers l i leaf =
@@ -177,7 +263,7 @@ let step t =
             let rec find c = if c >= 4 then None else if covers (l - 1) ((i * 4) + c) f.dst_leaf then Some c else find (c + 1) in
             if covers l i f.dst_leaf then find 0 else None
           in
-          let place link = t.nxt.(link) <- Some f in
+          let place link = transmit t link f in
           let rec first_free = function
             | [] -> None
             | link :: rest -> if try_claim link then Some link else first_free rest
@@ -206,11 +292,12 @@ let step t =
         inputs
     done
   done;
-  (* Injections onto free leaf up-links. *)
+  (* Injections onto free leaf up-links (the injection wire is a link
+     too, so it shares the fault model). *)
   for leaf = 0 to t.leaves - 1 do
     match t.pending_inject.(leaf) with
     | Some f when t.nxt.(t.leaf_up.(leaf)) = None ->
-        t.nxt.(t.leaf_up.(leaf)) <- Some f;
+        transmit t t.leaf_up.(leaf) f;
         t.pending_inject.(leaf) <- None
     | _ -> ()
   done;
@@ -220,6 +307,8 @@ type stats = {
   cycles : int;
   delivered : int;
   deflections : int;
+  dropped : int;
+  corrupted : int;
   max_latency : int;
   total_latency : int;
 }
@@ -229,9 +318,19 @@ let stats (t : t) =
     cycles = t.cycles;
     delivered = t.delivered;
     deflections = t.deflections;
+    dropped = t.dropped;
+    corrupted = t.corrupted;
     max_latency = t.max_latency;
     total_latency = t.total_latency;
   }
+
+let link_faults t =
+  let out = ref [] in
+  for link = Array.length t.link_drops - 1 downto 0 do
+    if t.link_drops.(link) > 0 || t.link_corrupts.(link) > 0 then
+      out := (link, t.link_drops.(link), t.link_corrupts.(link)) :: !out
+  done;
+  !out
 
 let run_until_idle ?(max_cycles = 1_000_000) (t : t) =
   let start = t.cycles in

@@ -10,23 +10,56 @@
     interface. Each leaf's interface holds configuration registers
     mapping its local output streams to (destination leaf, destination
     stream); configuration packets update these registers in-band —
-    that is the "linking in seconds" mechanism. *)
+    that is the "linking in seconds" mechanism.
+
+    Every flit carries a CRC-8 over its payload. With a fault injector
+    attached ({!create}/{!set_faults}), link traversals can drop a flit
+    (the wire goes quiet) or flip a payload bit (caught by the CRC
+    check at the destination leaf). Both casualties land in a lost
+    queue the sender drains via {!take_lost} to retransmit — the NoC
+    itself is unacknowledged, like the hardware it models. *)
 
 type flit_kind =
   | Data of { dst_stream : int }
   | Config of { reg : int; dst_leaf_value : int; dst_stream_value : int }
       (** write leaf routing register [reg] at the destination leaf *)
 
-type flit = { dst_leaf : int; payload : int32; kind : flit_kind; mutable age : int }
+type flit = {
+  src_leaf : int;  (** injecting leaf — where a retransmission restarts *)
+  dst_leaf : int;
+  mutable payload : int32;  (** mutable: in-flight corruption flips bits *)
+  crc : int;  (** CRC-8 of the payload as framed by the sender *)
+  kind : flit_kind;
+  mutable age : int;
+}
+
+val flit_crc : int32 -> int
+(** CRC-8 (poly 0x07) over the four payload bytes. *)
+
+val data_flit : ?src_leaf:int -> dst_leaf:int -> dst_stream:int -> int32 -> flit
+(** A correctly framed data flit ([src_leaf] defaults to 0). *)
+
+val config_flit :
+  ?src_leaf:int -> dst_leaf:int -> reg:int -> dst_leaf_value:int -> dst_stream_value:int -> unit -> flit
+(** A correctly framed configuration flit (payload encodes the register
+    write, so corruption is detectable like any data flit). *)
+
+val refresh : flit -> flit
+(** Sender-side retransmission framing: fresh CRC over the current
+    payload, age reset. *)
 
 type t
 
-val create : ?leaves:int -> unit -> t
+val create : ?leaves:int -> ?faults:Pld_faults.Fault.t -> unit -> t
 (** [leaves] defaults to 32 (22 pages + DMA + headroom), rounded up to
-    a power of 4-ary tree capacity. *)
+    a power of 4-ary tree capacity. [faults] attaches a link fault
+    injector (drop/corrupt rates) from the start. *)
 
 val leaf_count : t -> int
 val level_count : t -> int
+
+val set_faults : t -> Pld_faults.Fault.t option -> unit
+(** Attach or clear the link fault injector. *)
 
 val configure : t -> leaf:int -> stream:int -> dst_leaf:int -> dst_stream:int -> unit
 (** Host-side direct register write (used by tests and by the loader
@@ -45,7 +78,13 @@ val inject_via_route : t -> leaf:int -> stream:int -> int32 -> bool
 
 val eject : t -> leaf:int -> (int * int32) list
 (** Drain (dst_stream, payload) data flits delivered to this leaf since
-    the last call. Config flits are applied internally. *)
+    the last call. Config flits are applied internally; flits whose CRC
+    check fails are never ejected (they go to the lost queue). *)
+
+val take_lost : t -> flit list
+(** Drain the flits lost since the last call (dropped on a link, or
+    CRC-rejected at delivery), oldest first. The sender {!refresh}es
+    and re-injects them. *)
 
 val step : t -> unit
 (** Advance one cycle. *)
@@ -54,12 +93,19 @@ type stats = {
   cycles : int;
   delivered : int;
   deflections : int;
+  dropped : int;  (** flits lost on a link (fault injection) *)
+  corrupted : int;  (** flits bit-flipped on a link (fault injection) *)
   max_latency : int;
   total_latency : int;
 }
 
 val stats : t -> stats
 
+val link_faults : t -> (int * int * int) list
+(** Per-link fault counters, [(link id, drops, corruptions)], links
+    with at least one fault only. *)
+
 val run_until_idle : ?max_cycles:int -> t -> unit
 (** Step until no flits are in flight (injection queues drained by the
-    caller beforehand). Raises [Failure] past [max_cycles]. *)
+    caller beforehand). Raises [Failure] past [max_cycles]. Lost flits
+    are not in flight — check {!take_lost} afterwards. *)

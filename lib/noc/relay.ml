@@ -14,12 +14,21 @@ let relay_luts = 40
 let wire_luts_per_tile = 6
 let switch_page_compile_seconds = 0.45
 
+exception Unknown_leaf of string
+
 let leaf_tile (fp : Fp.t) leaf =
   if leaf = 0 then (27, 2) (* the DMA/interface corner *)
   else
     match List.find_opt (fun (p : Fp.page) -> p.page_id = leaf) fp.Fp.pages with
     | Some p -> p.Fp.noc_leaf
-    | None -> (27, 2)
+    | None ->
+        raise
+          (Unknown_leaf
+             (Printf.sprintf
+                "Relay.leaf_tile: leaf %d is not a floorplan page (valid: 0 for DMA, page ids %s)"
+                leaf
+                (String.concat ", "
+                   (List.map (fun (p : Fp.page) -> string_of_int p.page_id) fp.Fp.pages))))
 
 let replay fp links =
   let active = List.filter (fun (l : Traffic.link) -> l.Traffic.tokens > 0 && l.Traffic.src_leaf <> l.Traffic.dst_leaf) links in

@@ -18,8 +18,14 @@ type result = {
   relink_seconds : float;  (** modeled switch-page recompile on re-link *)
 }
 
+exception Unknown_leaf of string
+(** A link names a leaf that is neither the DMA corner (0) nor a
+    floorplan page id — a misassignment that used to be silently mapped
+    to the DMA corner. *)
+
 val replay : Pld_fabric.Floorplan.t -> Traffic.link list -> result
 (** Leaf indices are page ids (0 = the DMA corner). Token counts give
-    the per-frame traffic; distances come from the floorplan. *)
+    the per-frame traffic; distances come from the floorplan. Raises
+    {!Unknown_leaf} on a leaf outside the floorplan. *)
 
 val describe : result -> string

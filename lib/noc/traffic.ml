@@ -6,7 +6,15 @@ type link = {
   tokens : int;
 }
 
-type result = { cycles : int; delivered : int; deflections : int; avg_latency : float }
+type result = {
+  cycles : int;
+  delivered : int;
+  deflections : int;
+  dropped : int;
+  corrupted : int;
+  retransmitted : int;
+  avg_latency : float;
+}
 
 let configure_links net links =
   List.iter
@@ -27,6 +35,11 @@ let replay ?(max_cycles = 10_000_000) net links =
         Hashtbl.replace by_leaf l.src_leaf
           (Option.value ~default:[] (Hashtbl.find_opt by_leaf l.src_leaf) @ [ (l, ref l.tokens) ]))
     links;
+  (* Sender-side retransmission queues: lost flits go back to their
+     source leaf and take priority over fresh tokens on its single
+     injection port. *)
+  let retx : (int, Bft.flit Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let retransmitted = ref 0 in
   let cycles = ref 0 in
   let remaining = ref total in
   (* Track deliveries by draining eject buffers every cycle. *)
@@ -34,17 +47,42 @@ let replay ?(max_cycles = 10_000_000) net links =
   while !remaining > 0 do
     if !cycles > max_cycles then failwith "Traffic.replay: exceeded max cycles";
     incr cycles;
+    List.iter
+      (fun (f : Bft.flit) ->
+        let q =
+          match Hashtbl.find_opt retx f.Bft.src_leaf with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace retx f.Bft.src_leaf q;
+              q
+        in
+        Queue.push f q)
+      (Bft.take_lost net);
+    let retried = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun leaf q ->
+        match Queue.peek_opt q with
+        | Some f when Bft.inject net ~leaf (Bft.refresh f) ->
+            ignore (Queue.pop q);
+            incr retransmitted;
+            Hashtbl.replace retried leaf ()
+        | _ -> ())
+      retx;
     let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_leaf [] in
     List.iter
       (fun (leaf, streams) ->
         (* One injection port per leaf: pick the first stream with
-           tokens left, rotating for fairness. *)
+           tokens left, rotating for fairness. A retransmission this
+           cycle already took the port. *)
         let rec try_streams = function
           | [] -> ()
           | (l, left) :: rest ->
               if !left > 0 then begin
-                if Bft.inject_via_route net ~leaf ~stream:l.src_stream (Int32.of_int !left) then
-                  decr left
+                if
+                  (not (Hashtbl.mem retried leaf))
+                  && Bft.inject_via_route net ~leaf ~stream:l.src_stream (Int32.of_int !left)
+                then decr left
               end
               else try_streams rest
         in
@@ -66,22 +104,21 @@ let replay ?(max_cycles = 10_000_000) net links =
     cycles = !cycles;
     delivered;
     deflections = fin.Bft.deflections - start.Bft.deflections;
+    dropped = fin.Bft.dropped - start.Bft.dropped;
+    corrupted = fin.Bft.corrupted - start.Bft.corrupted;
+    retransmitted = !retransmitted;
     avg_latency =
       (if delivered = 0 then 0.0
        else float_of_int (fin.Bft.total_latency - start.Bft.total_latency) /. float_of_int delivered);
   }
 
-let config_cycles net links =
+let config_cycles ?(max_rounds = 1000) net links =
   let start = (Bft.stats net).Bft.cycles in
   let pending =
     List.map
       (fun l ->
-        {
-          Bft.dst_leaf = l.src_leaf;
-          payload = 0l;
-          kind = Bft.Config { reg = l.src_stream; dst_leaf_value = l.dst_leaf; dst_stream_value = l.dst_stream };
-          age = 0;
-        })
+        Bft.config_flit ~src_leaf:0 ~dst_leaf:l.src_leaf ~reg:l.src_stream ~dst_leaf_value:l.dst_leaf
+          ~dst_stream_value:l.dst_stream ())
       links
   in
   let rec push = function
@@ -93,6 +130,16 @@ let config_cycles net links =
           push (f :: rest)
         end
   in
-  push pending;
-  Bft.run_until_idle net;
+  (* Lossy links can eat config packets too: the host notices the loss
+     (readback of the routing registers) and re-sends until the whole
+     batch lands. *)
+  let rec drive round pending =
+    if round > max_rounds then failwith "Traffic.config_cycles: exceeded retransmission rounds";
+    push pending;
+    Bft.run_until_idle net;
+    match Bft.take_lost net with
+    | [] -> ()
+    | lost -> drive (round + 1) (List.map Bft.refresh lost)
+  in
+  drive 0 pending;
   (Bft.stats net).Bft.cycles - start

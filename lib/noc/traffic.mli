@@ -5,7 +5,12 @@
     (measured by the functional KPN run). Every leaf has a single
     injection port (one 32-bit flit per cycle), so operators that need
     more bandwidth than one port serialize here — the paper's main
-    source of -O1 slowdown (§7.4). *)
+    source of -O1 slowdown (§7.4).
+
+    Under link fault injection the replay is loss-tolerant: lost or
+    CRC-rejected flits return to their source leaf and are
+    retransmitted with priority over fresh tokens, so every token is
+    eventually delivered and the cost shows up as extra cycles. *)
 
 type link = {
   src_leaf : int;
@@ -16,9 +21,12 @@ type link = {
 }
 
 type result = {
-  cycles : int;  (** to deliver every token *)
+  cycles : int;  (** to deliver every token, retransmissions included *)
   delivered : int;
   deflections : int;
+  dropped : int;  (** flits lost on links during the replay *)
+  corrupted : int;  (** flits CRC-rejected at their destination *)
+  retransmitted : int;  (** sender re-injections *)
   avg_latency : float;
 }
 
@@ -27,9 +35,10 @@ val configure_links : Bft.t -> link list -> unit
 
 val replay : ?max_cycles:int -> Bft.t -> link list -> result
 (** Configure, then inject round-robin per leaf until all tokens are
-    delivered. *)
+    delivered (retransmitting casualties). *)
 
-val config_cycles : Bft.t -> link list -> int
+val config_cycles : ?max_rounds:int -> Bft.t -> link list -> int
 (** Cycles to deliver the configuration packets themselves through the
     network from the DMA leaf (leaf 0) — the paper's "link a page in a
-    few packets" cost. *)
+    few packets" cost. Lost config packets are re-sent (bounded by
+    [max_rounds] host retransmission rounds, default 1000). *)

@@ -1,3 +1,5 @@
+module Fault = Pld_faults.Fault
+
 type page_state =
   | Empty
   | Hw of { operator : string; fmax_mhz : float; crc : string }
@@ -13,12 +15,25 @@ type t = {
   mutable l1 : l1_state;
   pages : (int, page_state) Hashtbl.t;
   mutable net : Pld_noc.Bft.t option;
+  mutable faults : Fault.t option;
+  corrupted : (int, unit) Hashtbl.t;  (** pages whose last load took bad frames *)
 }
 
 exception Protocol_error of string
 
-let create () =
-  { fp = Pld_fabric.Floorplan.u50 (); l1 = Unconfigured; pages = Hashtbl.create 32; net = None }
+let create ?faults () =
+  {
+    fp = Pld_fabric.Floorplan.u50 ();
+    l1 = Unconfigured;
+    pages = Hashtbl.create 32;
+    net = None;
+    faults;
+    corrupted = Hashtbl.create 4;
+  }
+
+let set_faults t f =
+  t.faults <- f;
+  match t.net with Some n -> Pld_noc.Bft.set_faults n f | None -> ()
 
 let floorplan t = t.fp
 
@@ -42,14 +57,20 @@ let load_seconds bytes = config_latency +. (float_of_int bytes /. pcie_bytes_per
 let reset t =
   t.l1 <- Unconfigured;
   Hashtbl.reset t.pages;
+  Hashtbl.reset t.corrupted;
   t.net <- None
+
+(* Did fault injection garble this page-load attempt? *)
+let load_garbled t page =
+  match t.faults with Some fl -> Fault.load_corrupts fl ~page | None -> false
 
 let load t (xb : Xclbin.t) =
   (match xb.Xclbin.payload with
   | Xclbin.Overlay { noc_leaves; _ } ->
       Hashtbl.reset t.pages;
+      Hashtbl.reset t.corrupted;
       t.l1 <- Overlay_loaded;
-      t.net <- Some (Pld_noc.Bft.create ~leaves:noc_leaves ())
+      t.net <- Some (Pld_noc.Bft.create ~leaves:noc_leaves ?faults:t.faults ())
   | Xclbin.Page_bits { page; operator; bitstream; fmax_mhz } -> begin
       match t.l1 with
       | Overlay_loaded ->
@@ -57,22 +78,57 @@ let load t (xb : Xclbin.t) =
           | _ -> ()
           | exception Not_found ->
               raise (Protocol_error (Printf.sprintf "page %d does not exist" page)));
-          Hashtbl.replace t.pages page
-            (Hw { operator; fmax_mhz; crc = bitstream.Pld_pnr.Bitgen.crc })
+          let crc = bitstream.Pld_pnr.Bitgen.crc in
+          (* A garbled load writes bad frames: what readback digests is
+             not what the bitgen produced. *)
+          let crc =
+            if load_garbled t page then begin
+              Hashtbl.replace t.corrupted page ();
+              Pld_util.Digest_lite.of_string (crc ^ ":garbled")
+            end
+            else begin
+              Hashtbl.remove t.corrupted page;
+              crc
+            end
+          in
+          Hashtbl.replace t.pages page (Hw { operator; fmax_mhz; crc })
       | Unconfigured -> raise (Protocol_error "page load before overlay")
       | Kernel_loaded _ -> raise (Protocol_error "page load while a monolithic kernel is active")
     end
   | Xclbin.Softcore { page; elf } -> begin
       match t.l1 with
-      | Overlay_loaded -> Hashtbl.replace t.pages page (Softcore { elf })
+      | Overlay_loaded ->
+          if load_garbled t page then Hashtbl.replace t.corrupted page ()
+          else Hashtbl.remove t.corrupted page;
+          Hashtbl.replace t.pages page (Softcore { elf })
       | Unconfigured -> raise (Protocol_error "softcore load before overlay")
       | Kernel_loaded _ -> raise (Protocol_error "softcore load while a monolithic kernel is active")
     end
   | Xclbin.Kernel { operators; fmax_mhz; _ } ->
       Hashtbl.reset t.pages;
+      Hashtbl.reset t.corrupted;
       t.net <- None;
       t.l1 <- Kernel_loaded { operators; fmax_mhz });
   load_seconds xb.Xclbin.size_bytes
+
+(* Readback-verify: digest the configuration frames the page actually
+   holds and compare against what the container was supposed to write.
+   This is the loader's detection point for defective pages. *)
+let readback_ok t (xb : Xclbin.t) =
+  match xb.Xclbin.payload with
+  | Xclbin.Page_bits { page; bitstream; _ } -> begin
+      match page_state t page with
+      | Hw { crc; _ } ->
+          (not (Hashtbl.mem t.corrupted page)) && String.equal crc bitstream.Pld_pnr.Bitgen.crc
+      | Empty | Softcore _ -> false
+    end
+  | Xclbin.Softcore { page; _ } -> begin
+      match page_state t page with
+      | Softcore _ -> not (Hashtbl.mem t.corrupted page)
+      | Empty | Hw _ -> false
+    end
+  | Xclbin.Overlay _ -> t.l1 = Overlay_loaded
+  | Xclbin.Kernel _ -> ( match t.l1 with Kernel_loaded _ -> true | _ -> false)
 
 let loaded_pages t =
   Hashtbl.fold (fun p s acc -> (p, s) :: acc) t.pages [] |> List.sort compare

@@ -19,8 +19,13 @@ type l1_state =
 
 type t
 
-val create : unit -> t
-(** A powered-on card with the vendor shell only. *)
+val create : ?faults:Pld_faults.Fault.t -> unit -> t
+(** A powered-on card with the vendor shell only. [faults] injects
+    page-load corruption (defective/flaky pages) and is handed to the
+    overlay's NoC (link drop/corrupt rates) when it is loaded. *)
+
+val set_faults : t -> Pld_faults.Fault.t option -> unit
+(** Attach or clear the fault injector (also updates a live NoC). *)
 
 val floorplan : t -> Pld_fabric.Floorplan.t
 val noc : t -> Pld_noc.Bft.t
@@ -40,7 +45,15 @@ exception Protocol_error of string
 val load : t -> Xclbin.t -> float
 (** Load a container; returns modeled load seconds (PCIe at 2 GB/s
     plus configuration latency). Raises {!Protocol_error} when the
-    DFX discipline is violated (e.g. a page load without overlay). *)
+    DFX discipline is violated (e.g. a page load without overlay).
+    With a fault injector attached, a defective or flaky page takes
+    garbled frames — detected by {!readback_ok}, never signalled
+    here (real DFX loads do not fail loudly either). *)
+
+val readback_ok : t -> Xclbin.t -> bool
+(** CRC readback-verify: digest the configuration frames the container
+    targeted and compare with what it carried. [false] means the load
+    must be retried or the operator relocated. *)
 
 val reset : t -> unit
 (** Clear the L1 region back to [Unconfigured]. *)

@@ -9,9 +9,26 @@ exception No_fit of string
    model, plus slack for the address registers. *)
 let leaf_interface_res = { N.luts = 60; ffs = 100; brams = 0; dsps = 0 }
 
-let assign (fp : Fp.t) instances =
+let fits page_capacity res = N.res_le (N.res_add res leaf_interface_res) page_capacity
+
+(* Free pages an operator could be relinked onto: not in use, not on
+   the defect map, capacity covers the demand; smallest fitting page
+   first so spares waste as little fabric as the original best-fit. *)
+let spare_pages ?(defective = []) (fp : Fp.t) ~used res =
+  fp.pages
+  |> List.filter (fun (p : Fp.page) ->
+         (not (List.mem p.page_id used)) && (not (List.mem p.page_id defective))
+         && fits p.capacity res)
+  |> List.sort (fun (a : Fp.page) (b : Fp.page) ->
+         compare (a.capacity.N.luts, a.page_id) (b.capacity.N.luts, b.page_id))
+  |> List.map (fun (p : Fp.page) -> p.page_id)
+
+let assign ?(defective = []) (fp : Fp.t) instances =
   let free = Hashtbl.create 32 in
-  List.iter (fun (p : Fp.page) -> Hashtbl.replace free p.page_id p.capacity) fp.pages;
+  List.iter
+    (fun (p : Fp.page) ->
+      if not (List.mem p.page_id defective) then Hashtbl.replace free p.page_id p.capacity)
+    fp.pages;
   let result = ref [] in
   let demand res = N.res_add res leaf_interface_res in
   let take inst page_id cap =
@@ -30,6 +47,8 @@ let assign (fp : Fp.t) instances =
           match Hashtbl.find_opt free p with
           | Some cap when N.res_le (demand res) cap -> take inst p cap
           | Some _ -> raise (No_fit (Printf.sprintf "%s: pragma p_num=%d but operator does not fit that page" inst p))
+          | None when List.mem p defective ->
+              raise (No_fit (Printf.sprintf "%s: pragma p_num=%d but page is on the defect map" inst p))
           | None -> raise (No_fit (Printf.sprintf "%s: pragma p_num=%d but page is taken or unknown" inst p))
         end
       | Graph.Hw { page_hint = None } | Graph.Riscv -> assert false)

@@ -14,8 +14,24 @@ val leaf_interface_res : Pld_netlist.Netlist.res
 (** Area charged on every page for the NoC leaf interface (~500 LUTs
     full-scale; scaled here like the rest of the fabric). *)
 
+val fits : Pld_netlist.Netlist.res -> Pld_netlist.Netlist.res -> bool
+(** [fits capacity res]: does [res] plus the leaf interface fit a page
+    of that [capacity]? *)
+
+val spare_pages :
+  ?defective:int list ->
+  Pld_fabric.Floorplan.t ->
+  used:int list ->
+  Pld_netlist.Netlist.res ->
+  int list
+(** Free pages an operator of area [res] could be relinked onto —
+    excluding [used] assignments and the [defective] defect map —
+    smallest fitting capacity first. *)
+
 val assign :
+  ?defective:int list ->
   Pld_fabric.Floorplan.t ->
   (string * Graph.target * Pld_netlist.Netlist.res) list ->
   (string * int) list
-(** [(instance, required area)] list → [(instance, page_id)]. *)
+(** [(instance, required area)] list → [(instance, page_id)].
+    [defective] pages are never assigned (the defect map). *)

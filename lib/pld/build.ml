@@ -11,6 +11,8 @@ type level = O0 | O1 | O3 | Vitis
 
 let level_name = function O0 -> "-O0" | O1 -> "-O1" | O3 -> "-O3" | Vitis -> "vitis"
 
+exception Build_error = Flow.Build_error
+
 type compiled_operator = Hw_page of Flow.o1_operator | Soft_page of Flow.o0_operator
 
 type report = {
@@ -25,6 +27,8 @@ type report = {
   cache_hits : int;
   recompiled : int;
   by_kind : (string * int * int) list;
+  quarantined : (string * string) list;
+  fallbacks : string list;
   events : Event.t list;
 }
 
@@ -37,6 +41,15 @@ type app = {
   monolithic : Flow.o3_app option;
   report : report;
 }
+
+let monolithic_exn (app : app) =
+  match app.monolithic with
+  | Some m -> m
+  | None ->
+      raise
+        (Build_error
+           (Printf.sprintf "app %s (%s): no monolithic artifact — only -O3/vitis builds have one"
+              app.graph.Graph.graph_name (level_name app.level)))
 
 (* ---------- cache ---------- *)
 
@@ -188,7 +201,12 @@ let softcore_demand = { Pld_netlist.Netlist.luts = 900; ffs = 1300; brams = 6; d
 
 (* ---------- paged flows (-O0 / -O1) ---------- *)
 
-let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : Graph.t) ~level =
+let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~faults ~max_retries ~defective
+    (fp : Fp.t) (g : Graph.t) ~level =
+  (* A fault injector can make named jobs fail (transient tool crash);
+     the check counts one attempt per call, so executor retries see the
+     job eventually succeed. *)
+  let inject job = match faults with Some f -> Pld_faults.Fault.job_check f ~job | None -> () in
   let target_of (i : Graph.instance) = match level with O0 -> Graph.Riscv | _ -> i.target in
   let is_hw i = match target_of i with Graph.Hw _ -> true | Graph.Riscv -> false in
   let source_digest (i : Graph.instance) = Digest.of_string (Op.source i.op) in
@@ -206,7 +224,10 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : G
   in
   let hls_nodes =
     List.map
-      (fun (d, op) -> Jobgraph.node ~id:(hls_id d) ~kind:"hls" (fun _ -> A_impl (Hls.compile op)))
+      (fun (d, op) ->
+        Jobgraph.node ~id:(hls_id d) ~kind:"hls" (fun _ ->
+            inject (hls_id d);
+            A_impl (Hls.compile op)))
       hls_ops
   in
   let assign_id = "assign" in
@@ -217,6 +238,7 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : G
     Jobgraph.node ~id:assign_id ~kind:"assign"
       ~deps:(List.map (fun (d, _) -> hls_id d) hls_ops)
       (fun ctx ->
+        inject assign_id;
         let demands =
           List.map
             (fun (i : Graph.instance) ->
@@ -228,7 +250,7 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : G
               (i.inst_name, target_of i, res))
             g.instances
         in
-        A_assign (Assign.assign fp demands))
+        A_assign (Assign.assign ~defective fp demands))
   in
   let op_nodes =
     List.map
@@ -240,6 +262,7 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : G
           ~deps:(assign_id :: (if hw then [ hls_id (source_digest i) ] else []))
           ~model:art_model ~phases:art_phases
           (fun ctx ->
+            inject job_id;
             let assignment =
               match ctx.Jobgraph.fetch assign_id with A_assign a -> a | _ -> assert false
             in
@@ -276,18 +299,48 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : G
       g.instances
   in
   let jobgraph = Jobgraph.make (hls_nodes @ (assign_node :: op_nodes)) in
-  let result = Executor.run ~workers:jobs ~pace ~on_event jobgraph in
-  let assignment =
-    match List.assoc assign_id result.Executor.artifacts with A_assign a -> a | _ -> assert false
+  let result =
+    Executor.run ~workers:jobs ~pace ~max_retries ~keep_going:(faults <> None) ~on_event jobgraph
   in
+  let quarantined = result.Executor.quarantined in
+  let quarantine_error job =
+    match List.assoc_opt job quarantined with Some e -> e | None -> "artifact missing"
+  in
+  let assignment =
+    match List.assoc_opt assign_id result.Executor.artifacts with
+    | Some (A_assign a) -> a
+    | Some _ -> assert false
+    | None ->
+        raise
+          (Build_error
+             (Printf.sprintf "graph %s (%s): page assignment failed and has no fallback: %s"
+                g.Graph.graph_name (level_name level) (quarantine_error assign_id)))
+  in
+  let fallbacks = ref [] in
   let ops =
     List.map
       (fun (i : Graph.instance) ->
-        match List.assoc ("op:" ^ i.inst_name) result.Executor.artifacts with
-        | A_op r -> r
-        | _ -> assert false)
+        let job_id = "op:" ^ i.inst_name in
+        match List.assoc_opt job_id result.Executor.artifacts with
+        | Some (A_op r) -> r
+        | Some _ -> assert false
+        | None when is_hw i ->
+            (* The page compile was quarantined after exhausting its
+               retries. A softcore build fits every page and needs no
+               backend tool, so drop this one operator a rung down the
+               refinement ladder instead of failing the whole build. *)
+            let page = List.assoc i.inst_name assignment in
+            let s = Flow.compile_o0_operator ~page ~inst:i.inst_name i.op in
+            fallbacks := i.inst_name :: !fallbacks;
+            { o_name = i.inst_name; o_compiled = Soft_page s; o_model = s.Flow.riscv_seconds; o_hit = false }
+        | None ->
+            raise
+              (Build_error
+                 (Printf.sprintf "graph %s (%s): softcore build for %s failed (no lower rung): %s"
+                    g.Graph.graph_name (level_name level) i.inst_name (quarantine_error job_id))))
       g.instances
   in
+  let fallbacks = List.rev !fallbacks in
   let durations = List.map (fun r -> r.o_model) ops in
   let events = result.Executor.events in
   {
@@ -310,17 +363,22 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : G
         cache_hits = List.length (List.filter (fun r -> r.o_hit) ops);
         recompiled = List.length (List.filter (fun r -> not r.o_hit) ops);
         by_kind = Event.by_kind events;
+        quarantined;
+        fallbacks;
         events;
       };
   }
 
 (* ---------- monolithic flows (-O3 / Vitis) ---------- *)
 
-let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : Graph.t) ~level =
+let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~faults ~max_retries (fp : Fp.t)
+    (g : Graph.t) ~level =
+  let inject job = match faults with Some f -> Pld_faults.Fault.job_check f ~job | None -> () in
   let key = mono_key ~level ~seed g in
   let job_id = "mono:" ^ g.graph_name in
   let node =
     Jobgraph.node ~id:job_id ~kind:kind_mono ~model:art_model ~phases:art_phases (fun ctx ->
+        inject job_id;
         match
           cache_find cache cache.mono ~kind:kind_mono ~key ~job:job_id ~emit:ctx.Jobgraph.emit
         with
@@ -330,9 +388,22 @@ let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : Gr
             cache_put cache cache.mono ~kind:kind_mono ~key ~emit:ctx.Jobgraph.emit m;
             A_mono { m_app = m; m_model = Flow.total_seconds m.Flow.times3; m_hit = false })
   in
-  let result = Executor.run ~workers:jobs ~pace ~on_event (Jobgraph.make [ node ]) in
+  let result =
+    Executor.run ~workers:jobs ~pace ~max_retries ~keep_going:(faults <> None) ~on_event
+      (Jobgraph.make [ node ])
+  in
   let r =
-    match List.assoc job_id result.Executor.artifacts with A_mono r -> r | _ -> assert false
+    match List.assoc_opt job_id result.Executor.artifacts with
+    | Some (A_mono r) -> r
+    | Some _ -> assert false
+    | None ->
+        raise
+          (Build_error
+             (Printf.sprintf "graph %s (%s): monolithic compile failed and has no fallback: %s"
+                g.Graph.graph_name (level_name level)
+                (match List.assoc_opt job_id result.Executor.quarantined with
+                | Some e -> e
+                | None -> "artifact missing")))
   in
   let events = result.Executor.events in
   {
@@ -355,6 +426,8 @@ let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : Gr
         cache_hits = (if r.m_hit then 1 else 0);
         recompiled = (if r.m_hit then 0 else 1);
         by_kind = Event.by_kind events;
+        quarantined = result.Executor.quarantined;
+        fallbacks = [];
         events;
       };
   }
@@ -362,11 +435,13 @@ let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event (fp : Fp.t) (g : Gr
 (* ---------- entry point ---------- *)
 
 let compile ?cache ?(workers = 22) ?(jobs = 1) ?(pace = 0.0) ?(seed = 7) ?(on_event = ignore)
-    (fp : Fp.t) (g : Graph.t) ~level =
+    ?faults ?(max_retries = 0) ?(defective = []) (fp : Fp.t) (g : Graph.t) ~level =
   Validate.check_graph_exn g;
   ignore (makespan ~workers []);
   (* validate [workers] eagerly *)
   let cache = match cache with Some c -> c | None -> create_cache () in
   match level with
-  | O3 | Vitis -> compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event fp g ~level
-  | O0 | O1 -> compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event fp g ~level
+  | O3 | Vitis -> compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~faults ~max_retries fp g ~level
+  | O0 | O1 ->
+      compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~faults ~max_retries ~defective fp g
+        ~level

@@ -14,6 +14,11 @@ type level = O0 | O1 | O3 | Vitis
 
 val level_name : level -> string
 
+exception Build_error of string
+(** Re-export of {!Flow.Build_error}: a build artifact or graph piece
+    that should exist does not. Replaces the bare [Option.get] /
+    [Not_found] failures these lookups used to die with. *)
+
 type compiled_operator =
   | Hw_page of Flow.o1_operator
   | Soft_page of Flow.o0_operator
@@ -34,6 +39,12 @@ type report = {
   recompiled : int;
   by_kind : (string * int * int) list;
       (** per job kind: (kind, cache hits, misses) this build *)
+  quarantined : (string * string) list;
+      (** jobs that exhausted their retries under fault injection,
+          with the final error (empty on healthy builds) *)
+  fallbacks : string list;
+      (** instances whose page compile was quarantined and which were
+          re-linked onto the -O0 softcore build instead *)
   events : Pld_engine.Event.t list;  (** full trace of this build *)
 }
 
@@ -46,6 +57,15 @@ type app = {
   monolithic : Flow.o3_app option;  (** O3 / Vitis only *)
   report : report;
 }
+
+val monolithic_exn : app -> Flow.o3_app
+(** The monolithic artifact, or {!Build_error} naming the app and its
+    level when the build was paged. *)
+
+val softcore_demand : Pld_netlist.Netlist.res
+(** Fixed page-area footprint of the PicoRV32 softcore overlay (before
+    the leaf interface) — used for page assignment and for sizing
+    spare pages during fault recovery. *)
 
 (** {2 Cache}
 
@@ -81,6 +101,9 @@ val compile :
   ?pace:float ->
   ?seed:int ->
   ?on_event:(Pld_engine.Event.t -> unit) ->
+  ?faults:Pld_faults.Fault.t ->
+  ?max_retries:int ->
+  ?defective:int list ->
   Pld_fabric.Floorplan.t ->
   Graph.t ->
   level:level ->
@@ -96,7 +119,14 @@ val compile :
     job to [pace] wall-seconds per modeled second (see
     [Pld_engine.Executor]); 0 (default) runs the simulator's own
     algorithms flat out. [on_event] streams trace events as they
-    happen; the full trace is also in [report.events]. *)
+    happen; the full trace is also in [report.events].
+
+    [faults] injects failures into named jobs (see
+    [Pld_faults.Fault.job_check]); it also switches the executor to
+    [keep_going] so a page compile that exhausts [max_retries]
+    (default 0) is quarantined and re-linked onto the softcore build
+    ([report.fallbacks]) instead of aborting. [defective] is the page
+    defect map: those pages are never assigned. *)
 
 val makespan : workers:int -> float list -> float
 (** Longest-processing-time list scheduling — the cluster model.

@@ -5,6 +5,24 @@ module Hls = Pld_hls.Hls_compile
 module Pnr = Pld_pnr.Pnr
 module Xclbin = Pld_platform.Xclbin
 
+exception Build_error of string
+
+let build_error fmt = Printf.ksprintf (fun m -> raise (Build_error m)) fmt
+
+let find_instance_exn ~context (g : Graph.t) inst =
+  match Graph.find_instance g inst with
+  | Some i -> i
+  | None ->
+      build_error "%s: instance %S is not in graph %s (instances: %s)" context inst g.graph_name
+        (String.concat ", " (List.map (fun (i : Graph.instance) -> i.inst_name) g.instances))
+
+let find_channel_exn ~context (g : Graph.t) chan =
+  match Graph.find_channel g chan with
+  | Some c -> c
+  | None ->
+      build_error "%s: channel %S is not in graph %s (channels: %s)" context chan g.graph_name
+        (String.concat ", " (List.map (fun (c : Graph.channel) -> c.chan_name) g.channels))
+
 type phase_times = { hls : float; syn : float; pnr : float; bitgen : float; overhead : float }
 
 let total_seconds t = t.hls +. t.syn +. t.pnr +. t.bitgen +. t.overhead
@@ -46,8 +64,16 @@ type o3_app = {
   times3 : phase_times;
 }
 
+(* NoC leaves the overlay instantiates: the DMA corner (leaf 0) plus
+   one leaf per page, page id = leaf id. [Bft.create] rounds up to the
+   next 4-ary tree capacity. Deriving this from the floorplan (instead
+   of a hard-coded 32) keeps [Runner.noc_replay] and the card's
+   overlay-loaded NoC structurally identical by construction. *)
+let noc_leaves (fp : Fp.t) =
+  1 + List.fold_left (fun acc (p : Fp.page) -> max acc p.page_id) 0 fp.pages
+
 let overlay_xclbin (fp : Fp.t) =
-  Xclbin.overlay ~pages:(List.map (fun (p : Fp.page) -> p.page_id) fp.pages) ~noc_leaves:32
+  Xclbin.overlay ~pages:(List.map (fun (p : Fp.page) -> p.page_id) fp.pages) ~noc_leaves:(noc_leaves fp)
 
 (* The operator packer of Fig. 6: wrap the operator netlist with the
    pre-defined leaf interface so it can talk to the linking network. *)
@@ -128,11 +154,12 @@ let compile_o3 ?(seed = 7) ?(vitis_baseline = false) (fp : Fp.t) (g : Graph.t) =
   let links =
     Graph.edges g
     |> List.filter_map (fun (p, q, chan) ->
-           let c = Option.get (Graph.find_channel g chan) in
+           let context = "Flow.compile_o3" in
+           let c = find_channel_exn ~context g chan in
            let src = p ^ "." ^ fst (List.find (fun ((_ : string), ch) -> ch = chan)
-                                      (Option.get (Graph.find_instance g p)).Graph.bindings) in
+                                      (find_instance_exn ~context g p).Graph.bindings) in
            let dst = q ^ "." ^ fst (List.find (fun ((_ : string), ch) -> ch = chan)
-                                      (Option.get (Graph.find_instance g q)).Graph.bindings) in
+                                      (find_instance_exn ~context g q).Graph.bindings) in
            if vitis_baseline then None else Some (src, dst, "fifo_" ^ chan, c.Graph.depth))
   in
   let merged = if links = [] then merged else N.add_fifo_links merged links in

@@ -9,6 +9,20 @@
 
 open Pld_ir
 
+exception Build_error of string
+(** A build artifact or graph piece that should exist does not — e.g.
+    asking a paged app for its monolithic bitstream, or an instance
+    name that is not in the graph. The message names the app/graph,
+    the level, and the missing piece. Re-exported as
+    [Build.Build_error]. *)
+
+val find_instance_exn : context:string -> Graph.t -> string -> Graph.instance
+(** Like [Graph.find_instance] but raises {!Build_error} naming the
+    [context], the graph, and the known instances. *)
+
+val find_channel_exn : context:string -> Graph.t -> string -> Graph.channel
+(** Like [Graph.find_channel] but raises {!Build_error}. *)
+
 type phase_times = {
   hls : float;
   syn : float;
@@ -47,6 +61,11 @@ type o3_app = {
   xclbin3 : Pld_platform.Xclbin.t;
   times3 : phase_times;
 }
+
+val noc_leaves : Pld_fabric.Floorplan.t -> int
+(** Leaves the overlay's NoC instantiates: leaf 0 (DMA) plus one per
+    page (page id = leaf id); [Bft.create] rounds this up to 4-ary
+    tree capacity. The single source of truth for the leaf count. *)
 
 val overlay_xclbin : Pld_fabric.Floorplan.t -> Pld_platform.Xclbin.t
 

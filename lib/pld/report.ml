@@ -45,7 +45,7 @@ let softcore_res = { N.luts = 900; ffs = 1300; brams = 6; dsps = 1 }
 let area_of (app : Build.app) =
   match app.Build.level with
   | Build.O3 | Build.Vitis ->
-      let mono = Option.get app.Build.monolithic in
+      let mono = Build.monolithic_exn app in
       (N.total_res mono.Flow.merged, 0)
   | Build.O0 | Build.O1 ->
       let res =
@@ -75,4 +75,33 @@ let perf_row (r : Runner.result) =
     (if ms >= 1000.0 then Printf.sprintf "%.0f s" (ms /. 1000.0)
      else if ms >= 1.0 then Printf.sprintf "%.1f ms" ms
      else Printf.sprintf "%.0f us" (ms *. 1000.0));
+  ]
+
+(* ---------- fault recovery ---------- *)
+
+let build_recovery_lines (r : Build.report) =
+  List.map
+    (fun (job, err) -> Printf.sprintf "quarantined %s: %s" job err)
+    r.Build.quarantined
+  @ List.map
+      (fun inst -> Printf.sprintf "fallback    %s: page compile quarantined -> -O0 softcore build" inst)
+      r.Build.fallbacks
+
+let recovery_lines (dr : Loader.deploy_result) =
+  match dr.Loader.recovery with
+  | [] -> [ "recovery: none (fault-free deploy)" ]
+  | evs ->
+      Printf.sprintf "recovery: %d event(s)%s" (List.length evs)
+        (if dr.Loader.degraded then " — DEGRADED (softcore fallback active)" else "")
+      :: List.map (fun e -> "  " ^ Loader.describe_recovery e) evs
+
+let degraded_perf_lines ~nominal ~(actual : Runner.result) =
+  let n = nominal.Runner.perf.Runner.ms_per_input in
+  let a = actual.Runner.perf.Runner.ms_per_input in
+  let ratio = if n > 0.0 then a /. n else 1.0 in
+  [
+    Printf.sprintf "perf: %.3f ms/input vs %.3f ms/input nominal (%.2fx)" a n ratio;
+    Printf.sprintf "noc:  %d dropped, %d corrupted, %d retransmitted"
+      actual.Runner.perf.Runner.noc_dropped actual.Runner.perf.Runner.noc_corrupted
+      actual.Runner.perf.Runner.noc_retransmitted;
   ]

@@ -23,3 +23,16 @@ val area_row : Build.app -> string list
 
 val perf_row : Runner.result -> string list
 (** [Fmax; ms/input] — one Tab. 3 cell group. *)
+
+val build_recovery_lines : Build.report -> string list
+(** Quarantined jobs and softcore fallbacks of one build — empty when
+    the build was healthy. *)
+
+val recovery_lines : Loader.deploy_result -> string list
+(** The deploy's recovery section: one header line plus one line per
+    retry / spare relink / softcore fallback, flagged DEGRADED when a
+    hardware operator runs on a softcore. *)
+
+val degraded_perf_lines : nominal:Runner.result -> actual:Runner.result -> string list
+(** Honest degraded-mode reporting: actual vs. fault-free ms/input and
+    the replayed NoC's drop/corrupt/retransmit counters. *)

@@ -2,6 +2,7 @@ open Pld_ir
 module Net = Pld_kpn.Network
 module Hls = Pld_hls.Hls_compile
 module Fp = Pld_fabric.Floorplan
+module Fault = Pld_faults.Fault
 
 type perf = {
   fmax_mhz : float;
@@ -9,6 +10,9 @@ type perf = {
   ms_per_input : float;
   bottleneck : string;
   link_seconds : float;
+  noc_dropped : int;
+  noc_corrupted : int;
+  noc_retransmitted : int;
 }
 
 type result = {
@@ -17,6 +21,25 @@ type result = {
   printed : (string * string) list;
   softcore_cycles : (string * int) list;
 }
+
+exception Softcore_trap of string * Pld_riscv.Cpu.trap
+
+type stall_diagnosis = {
+  stall_reason : string;
+  blocked : string list;
+  channels : (string * int * int) list;
+}
+
+exception Stalled of stall_diagnosis
+
+let describe_stall d =
+  String.concat "\n"
+    (Printf.sprintf "stalled: %s" d.stall_reason
+    :: Printf.sprintf "  blocked instances: %s" (String.concat ", " d.blocked)
+    :: List.map
+         (fun (name, occ, blocks) ->
+           Printf.sprintf "  channel %-16s %d token(s) in flight, %d block event(s)" name occ blocks)
+         d.channels)
 
 let emulation_slowdown = 20.0
 let overlay_mhz = 200.0
@@ -51,12 +74,19 @@ let noc_links (app : Build.app) channel_stats =
       { Pld_noc.Traffic.src_leaf = src; src_stream = idx; dst_leaf = dst; dst_stream = idx; tokens })
     g.channels
 
-let noc_replay app channel_stats =
+(* Replay the frame's traffic on a NoC structurally identical to the
+   deployed overlay's (leaf count derived from the floorplan, fault
+   injector shared) — the timing model for the linking network,
+   including retransmission cost on lossy links. *)
+let noc_replay ?faults (app : Build.app) channel_stats =
   let links = noc_links app channel_stats in
-  let net = Pld_noc.Bft.create ~leaves:32 () in
+  let net = Pld_noc.Bft.create ~leaves:(Flow.noc_leaves app.Build.fp) ?faults () in
   let cfg = Pld_noc.Traffic.config_cycles net links in
-  let r = Pld_noc.Traffic.replay net (List.filter (fun (l : Pld_noc.Traffic.link) -> l.tokens > 0 && l.src_leaf <> l.dst_leaf) links) in
-  (cfg, r.Pld_noc.Traffic.cycles)
+  let r =
+    Pld_noc.Traffic.replay net
+      (List.filter (fun (l : Pld_noc.Traffic.link) -> l.tokens > 0 && l.src_leaf <> l.dst_leaf) links)
+  in
+  (cfg, r)
 
 let hw_bottleneck impls =
   List.fold_left
@@ -67,8 +97,10 @@ let hw_bottleneck impls =
 
 (* Mixed co-simulation: softcore instances execute their RV32 binaries
    against the KPN channels; hardware instances run the reference
-   interpreter (their timing comes from the HLS schedule). *)
-let run_cosim ?fuel (app : Build.app) ~inputs =
+   interpreter (their timing comes from the HLS schedule). The run is
+   supervised by a watchdog: deadlock or fuel exhaustion becomes a
+   structured {!Stalled} diagnosis instead of a bare exception. *)
+let run_cosim ?fuel ?faults (app : Build.app) ~inputs =
   let g = app.Build.graph in
   let net = Net.create () in
   let channels = Hashtbl.create 16 in
@@ -85,7 +117,7 @@ let run_cosim ?fuel (app : Build.app) ~inputs =
     (fun (inst, compiled) ->
       match compiled with
       | Build.Soft_page (s : Flow.o0_operator) ->
-          let i = Option.get (Graph.find_instance g inst) in
+          let i = Flow.find_instance_exn ~context:"Runner.run_cosim" g inst in
           let in_chans =
             List.map (fun (p : Op.port) -> chan (List.assoc p.port_name i.bindings)) s.Flow.op0.Op.inputs
           in
@@ -104,23 +136,38 @@ let run_cosim ?fuel (app : Build.app) ~inputs =
               ~printf:(fun msg -> printed := (inst, msg) :: !printed)
           in
           cores := (inst, cpu) :: !cores;
+          let hang_at = Option.bind faults (fun f -> Fault.hang_cycles f ~inst) in
+          let trap_at = Option.bind faults (fun f -> Fault.trap_cycles f ~inst) in
           Net.add_process net ~name:inst (fun () ->
               let quantum = 50_000 in
               let rec go () =
-                match Pld_riscv.Cpu.run ~max_cycles:(cpu.Pld_riscv.Cpu.cycles + quantum) cpu with
-                | Pld_riscv.Cpu.Halted -> ()
-                | Pld_riscv.Cpu.Stalled ->
+                (* Injected control faults, checked on the cycle clock:
+                   a trap flips the core into [Trapped] with its machine
+                   state; a hang spins without touching its streams
+                   until the watchdog calls it out. *)
+                (match trap_at with
+                | Some n when cpu.Pld_riscv.Cpu.cycles >= n ->
+                    Pld_riscv.Cpu.inject_trap cpu "injected fault: softcore trap"
+                | _ -> ());
+                match hang_at with
+                | Some n when cpu.Pld_riscv.Cpu.cycles >= n ->
                     Net.yield ();
                     go ()
-                | Pld_riscv.Cpu.Running ->
-                    Net.note_progress net;
-                    Net.yield ();
-                    go ()
-                | Pld_riscv.Cpu.Trapped msg -> failwith (inst ^ ": softcore trap: " ^ msg)
+                | _ -> (
+                    match Pld_riscv.Cpu.run ~max_cycles:(cpu.Pld_riscv.Cpu.cycles + quantum) cpu with
+                    | Pld_riscv.Cpu.Halted -> ()
+                    | Pld_riscv.Cpu.Stalled ->
+                        Net.yield ();
+                        go ()
+                    | Pld_riscv.Cpu.Running ->
+                        Net.note_progress net;
+                        Net.yield ();
+                        go ()
+                    | Pld_riscv.Cpu.Trapped tr -> raise (Softcore_trap (inst, tr)))
               in
               go ())
       | Build.Hw_page (h : Flow.o1_operator) ->
-          let i = Option.get (Graph.find_instance g inst) in
+          let i = Flow.find_instance_exn ~context:"Runner.run_cosim" g inst in
           let io : Interp.io =
             {
               read = (fun port -> Net.read (chan (List.assoc port i.bindings)));
@@ -130,15 +177,37 @@ let run_cosim ?fuel (app : Build.app) ~inputs =
           in
           Net.add_process net ~name:inst (fun () -> Interp.run_operator h.Flow.op io))
     app.Build.operators;
-  Net.run ?fuel net;
+  let diagnose ~reason ~blocked =
+    let stats = Net.stats net in
+    let chans =
+      Hashtbl.fold
+        (fun name ch acc ->
+          let blocks =
+            match List.find_opt (fun (s : Net.channel_stats) -> s.Net.chan = name) stats with
+            | Some s -> s.Net.block_events
+            | None -> 0
+          in
+          (name, Net.occupancy ch, blocks) :: acc)
+        channels []
+      |> List.sort compare
+    in
+    raise (Stalled { stall_reason = reason; blocked; channels = chans })
+  in
+  (try Net.run ?fuel net with
+  | Net.Deadlock blocked ->
+      diagnose ~reason:"deadlock: no token moved in a full scheduling round" ~blocked
+  | Net.Out_of_fuel { steps; live } ->
+      diagnose
+        ~reason:(Printf.sprintf "out of fuel after %d scheduler steps (hung operator?)" steps)
+        ~blocked:live);
   let outputs = List.map (fun name -> (name, Net.drain (chan name))) g.outputs in
   (outputs, Net.stats net, List.rev !printed, List.map (fun (n, cpu) -> (n, cpu.Pld_riscv.Cpu.cycles)) !cores)
 
-let run ?fuel (app : Build.app) ~inputs =
+let run ?fuel ?faults (app : Build.app) ~inputs =
   let g = app.Build.graph in
   match app.Build.level with
   | Build.O3 | Build.Vitis -> begin
-      let mono = Option.get app.Build.monolithic in
+      let mono = Build.monolithic_exn app in
       let r = Pld_kpn.Run_graph.run ?fuel g ~inputs in
       let bname, bcycles = hw_bottleneck mono.Flow.impls in
       let fmax = mono.Flow.pnr3.Pld_pnr.Pnr.timing.Pld_pnr.Sta.fmax_mhz in
@@ -152,6 +221,9 @@ let run ?fuel (app : Build.app) ~inputs =
               ms_of_cycles bcycles fmax +. dma_ms ~inputs ~outputs:r.Pld_kpn.Run_graph.outputs;
             bottleneck = bname;
             link_seconds = 0.0;
+            noc_dropped = 0;
+            noc_corrupted = 0;
+            noc_retransmitted = 0;
           };
         printed = r.Pld_kpn.Run_graph.printed;
         softcore_cycles = [];
@@ -166,7 +238,8 @@ let run ?fuel (app : Build.app) ~inputs =
           app.Build.operators
       in
       let bname, bcycles = hw_bottleneck impls in
-      let cfg_cycles, noc_cycles = noc_replay app r.Pld_kpn.Run_graph.channel_stats in
+      let cfg_cycles, replay = noc_replay ?faults app r.Pld_kpn.Run_graph.channel_stats in
+      let noc_cycles = replay.Pld_noc.Traffic.cycles in
       let cycles = max bcycles noc_cycles in
       let bottleneck = if noc_cycles > bcycles then "linking-network bandwidth" else bname in
       {
@@ -179,6 +252,9 @@ let run ?fuel (app : Build.app) ~inputs =
               ms_of_cycles cycles overlay_mhz +. dma_ms ~inputs ~outputs:r.Pld_kpn.Run_graph.outputs;
             bottleneck;
             link_seconds = ms_of_cycles cfg_cycles overlay_mhz /. 1000.0;
+            noc_dropped = replay.Pld_noc.Traffic.dropped;
+            noc_corrupted = replay.Pld_noc.Traffic.corrupted;
+            noc_retransmitted = replay.Pld_noc.Traffic.retransmitted;
           };
         printed = r.Pld_kpn.Run_graph.printed;
         softcore_cycles = [];
@@ -186,7 +262,7 @@ let run ?fuel (app : Build.app) ~inputs =
     end
   | Build.O0 | Build.O1 -> begin
       (* Mixed or all-softcore: co-simulate. *)
-      let outputs, channel_stats, printed, softcore_cycles = run_cosim ?fuel app ~inputs in
+      let outputs, channel_stats, printed, softcore_cycles = run_cosim ?fuel ?faults app ~inputs in
       let hw_impls =
         List.filter_map
           (fun (n, c) -> match c with Build.Hw_page h -> Some (n, h.Flow.impl) | Build.Soft_page _ -> None)
@@ -196,7 +272,8 @@ let run ?fuel (app : Build.app) ~inputs =
       let soft_name, soft_cycles =
         List.fold_left (fun (bn, bc) (n, c) -> if c > bc then (n, c) else (bn, bc)) ("-", 0) softcore_cycles
       in
-      let cfg_cycles, noc_cycles = noc_replay app channel_stats in
+      let cfg_cycles, replay = noc_replay ?faults app channel_stats in
+      let noc_cycles = replay.Pld_noc.Traffic.cycles in
       let cycles = max (max hw_cycles soft_cycles) noc_cycles in
       let bottleneck =
         if cycles = soft_cycles then soft_name ^ " (softcore)"
@@ -212,6 +289,9 @@ let run ?fuel (app : Build.app) ~inputs =
             ms_per_input = ms_of_cycles cycles overlay_mhz +. dma_ms ~inputs ~outputs;
             bottleneck;
             link_seconds = ms_of_cycles cfg_cycles overlay_mhz /. 1000.0;
+            noc_dropped = replay.Pld_noc.Traffic.dropped;
+            noc_corrupted = replay.Pld_noc.Traffic.corrupted;
+            noc_retransmitted = replay.Pld_noc.Traffic.retransmitted;
           };
         printed;
         softcore_cycles;

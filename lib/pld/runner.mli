@@ -11,7 +11,12 @@
       compute bottleneck and the replayed NoC drain time.
     - -O0: softcore pages execute their real RV32 binaries cycle by
       cycle (co-simulated inside the KPN); hardware pages keep the -O1
-      model. The frame time is the slowest stage. *)
+      model. The frame time is the slowest stage.
+
+    Runs are supervised: a co-simulation that deadlocks or exhausts its
+    fuel raises {!Stalled} with a diagnosis (who is blocked, what sits
+    in each channel) rather than a bare exception, and a softcore that
+    traps raises {!Softcore_trap} with the core's machine state. *)
 
 open Pld_ir
 
@@ -21,6 +26,9 @@ type perf = {
   ms_per_input : float;
   bottleneck : string;
   link_seconds : float;  (** NoC configuration (linking) time, -O0/-O1 *)
+  noc_dropped : int;  (** flits eaten by injected link faults (replay) *)
+  noc_corrupted : int;  (** flits whose CRC check failed on delivery *)
+  noc_retransmitted : int;  (** sender-side retransmissions that recovered them *)
 }
 
 type result = {
@@ -30,13 +38,45 @@ type result = {
   softcore_cycles : (string * int) list;  (** per softcore instance *)
 }
 
+exception Softcore_trap of string * Pld_riscv.Cpu.trap
+(** A softcore instance trapped during co-simulation: instance name
+    plus the core's pc / instruction word / cycle count. *)
+
+type stall_diagnosis = {
+  stall_reason : string;  (** deadlock vs. fuel exhaustion *)
+  blocked : string list;  (** instances that never finished *)
+  channels : (string * int * int) list;
+      (** per channel: (name, tokens in flight, block events) *)
+}
+
+exception Stalled of stall_diagnosis
+(** The co-simulation watchdog: raised in place of
+    [Pld_kpn.Network.Deadlock] / [Out_of_fuel] with enough structure
+    to tell a hung operator from an underfed input. *)
+
+val describe_stall : stall_diagnosis -> string
+
 val noc_links : Build.app -> Pld_kpn.Network.channel_stats list -> Pld_noc.Traffic.link list
 (** One logical NoC link per graph channel (leaf = page id, DMA on
     leaf 0); token counts come from a functional run's channel stats
     (0 when absent). Used by the loader and the perf model. *)
 
-val run : ?fuel:int -> Build.app -> inputs:(string * Value.t list) list -> result
-(** Raises on validation failures or KPN deadlock. *)
+val noc_replay :
+  ?faults:Pld_faults.Fault.t ->
+  Build.app ->
+  Pld_kpn.Network.channel_stats list ->
+  int * Pld_noc.Traffic.result
+(** Replay the frame's traffic on a fresh NoC whose leaf count is
+    derived from the app's floorplan ([Flow.noc_leaves]) — structurally
+    identical to the deployed overlay's network. Returns (config
+    cycles, replay result). With [faults], drop/corrupt rates apply and
+    the result's fault counters are meaningful. *)
+
+val run : ?fuel:int -> ?faults:Pld_faults.Fault.t -> Build.app -> inputs:(string * Value.t list) list -> result
+(** Raises on validation failures; {!Stalled} when the co-simulation
+    wedges; {!Softcore_trap} when an injected (or real) trap fires.
+    [faults] drives softcore hang/trap injection and the NoC replay's
+    link faults. *)
 
 val run_host : Graph.t -> inputs:(string * Value.t list) list -> (string * Value.t list) list * float
 (** The "X86 g++" column: execute the application natively on the host

@@ -18,7 +18,13 @@ let pipelined =
   { profile_name = "pipelined"; c_alu = 1; c_mem = 2; c_jump = 2; c_taken = 2; c_not_taken = 1;
     c_mul = 2; c_div = 20; ecall_scale = 0.45 }
 
-type status = Running | Stalled | Halted | Trapped of string
+type trap = { trap_msg : string; trap_pc : int; trap_instr : int32; trap_cycle : int }
+
+type status = Running | Stalled | Halted | Trapped of trap
+
+let describe_trap tr =
+  Printf.sprintf "%s (pc=0x%x instr=0x%08lx cycle=%d)" tr.trap_msg tr.trap_pc tr.trap_instr
+    tr.trap_cycle
 
 type t = {
   mem : Bytes.t;
@@ -57,6 +63,14 @@ let write_reg t r v = if r <> 0 then t.regs.(r) <- v
 
 let in_mem t addr = addr >= 0 && addr + 3 < Bytes.length t.mem
 
+(* Capture the faulting machine state: current pc, the instruction word
+   there (0 if the pc itself is unmapped), and the cycle count. *)
+let trap_state t msg =
+  let instr = if in_mem t t.pc then Bytes.get_int32_le t.mem t.pc else 0l in
+  { trap_msg = msg; trap_pc = t.pc; trap_instr = instr; trap_cycle = t.cycles }
+
+let inject_trap t msg = t.status <- Trapped (trap_state t msg)
+
 let read_word t addr =
   if not (in_mem t addr) then invalid_arg (Printf.sprintf "Cpu.read_word: 0x%x out of memory" addr);
   Bytes.get_int32_le t.mem addr
@@ -79,14 +93,14 @@ let step t =
   | Running | Stalled -> begin
       t.status <- Running;
       if t.pc < 0 || t.pc + 3 >= Bytes.length t.mem then begin
-        t.status <- Trapped (Printf.sprintf "pc 0x%x out of memory" t.pc);
+        t.status <- Trapped (trap_state t (Printf.sprintf "pc 0x%x out of memory" t.pc));
         t.status
       end
       else begin
         let word = Bytes.get_int32_le t.mem t.pc in
         match Isa.decode word with
         | None ->
-            t.status <- Trapped (Printf.sprintf "illegal instruction 0x%08lx at 0x%x" word t.pc);
+            t.status <- Trapped (trap_state t (Printf.sprintf "illegal instruction 0x%08lx" word));
             t.status
         | Some instr -> begin
             let rd_ v = read_reg t v in
@@ -254,7 +268,7 @@ let step t =
                t.cycles <- t.cycles + !charge;
                if !retire then t.retired <- t.retired + 1;
                t.pc <- !next
-             with Failure msg -> t.status <- Trapped msg);
+             with Failure msg -> t.status <- Trapped (trap_state t msg));
             t.status
           end
       end

@@ -28,11 +28,21 @@ type profile = {
 val picorv32 : profile
 val pipelined : profile
 
+type trap = {
+  trap_msg : string;
+  trap_pc : int;  (** pc at the faulting instruction *)
+  trap_instr : int32;  (** faulting instruction word (0 if pc unmapped) *)
+  trap_cycle : int;  (** model cycle count at the trap *)
+}
+
 type status =
   | Running
   | Stalled  (** blocked on a stream port; retry after tokens move *)
   | Halted
-  | Trapped of string  (** illegal instruction / bad access *)
+  | Trapped of trap  (** illegal instruction / bad access, with machine state *)
+
+val describe_trap : trap -> string
+(** ["<msg> (pc=0x.. instr=0x.. cycle=..)"]. *)
 
 type t = {
   mem : Bytes.t;
@@ -67,6 +77,10 @@ val read_word : t -> int -> int32
 val write_word : t -> int -> int32 -> unit
 val read_reg : t -> int -> int32
 val write_reg : t -> int -> int32 -> unit
+
+val inject_trap : t -> string -> unit
+(** Force the core into [Trapped] with its current machine state —
+    fault injection's hook. *)
 
 val step : t -> status
 (** Execute (or retry) one instruction. *)

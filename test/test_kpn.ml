@@ -67,6 +67,29 @@ let test_deadlock_detection () =
   | exception Network.Deadlock blocked ->
       Alcotest.(check (list string)) "both blocked" [ "p"; "q" ] (List.sort compare blocked)
 
+let test_partial_deadlock_blocked_set () =
+  (* One process runs to completion; the other two wait on each other.
+     The Deadlock payload must name exactly the two wedged processes —
+     the watchdog's diagnosis depends on this set being precise. *)
+  let net = Network.create () in
+  let a = Network.channel net ~name:"a" u32 in
+  let b = Network.channel net ~name:"b" u32 in
+  let done_ = Network.channel net ~capacity:max_int ~name:"done" u32 in
+  Network.add_process net ~name:"finisher" (fun () ->
+      for i = 1 to 5 do
+        Network.write done_ (vint i)
+      done);
+  Network.add_process net ~name:"p" (fun () ->
+      let v = Network.read a in
+      Network.write b v);
+  Network.add_process net ~name:"q" (fun () ->
+      let v = Network.read b in
+      Network.write a v);
+  match Network.run net with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Network.Deadlock blocked ->
+      Alcotest.(check (list string)) "only the wedged pair" [ "p"; "q" ] (List.sort compare blocked)
+
 let test_fuel_exhaustion () =
   let net = Network.create () in
   let c = Network.channel net ~capacity:1 ~name:"c" u32 in
@@ -81,7 +104,9 @@ let test_fuel_exhaustion () =
       done);
   match Network.run ~fuel:10_000 net with
   | () -> Alcotest.fail "expected fuel exhaustion"
-  | exception Network.Out_of_fuel -> ()
+  | exception Network.Out_of_fuel { steps; live } ->
+      Alcotest.(check bool) "steps reported" true (steps >= 10_000);
+      Alcotest.(check bool) "live processes named" true (live <> [])
 
 let doubler n =
   Op.make ~name:"doubler" ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
@@ -214,6 +239,7 @@ let suite =
     ("producer/consumer", `Quick, test_producer_consumer);
     ("backpressure bounds occupancy", `Quick, test_backpressure_bounded);
     ("deadlock detection", `Quick, test_deadlock_detection);
+    ("partial deadlock names the wedged pair", `Quick, test_partial_deadlock_blocked_set);
     ("fuel exhaustion", `Quick, test_fuel_exhaustion);
     ("run_graph pipeline", `Quick, test_run_graph_pipeline);
     ("run_graph stats", `Quick, test_run_graph_stats);

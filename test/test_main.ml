@@ -13,4 +13,5 @@ let () =
       ("engine", Test_engine.suite);
       ("pld", Test_pld.suite);
       ("rosetta", Test_rosetta.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -3,7 +3,7 @@ open Pld_noc
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let flit dst payload = { Bft.dst_leaf = dst; payload; kind = Bft.Data { dst_stream = 0 }; age = 0 }
+let flit dst payload = Bft.data_flit ~dst_leaf:dst ~dst_stream:0 payload
 
 let test_single_delivery () =
   let net = Bft.create () in
@@ -26,7 +26,7 @@ let test_config_packets () =
   let net = Bft.create () in
   check_bool "cfg" true
     (Bft.inject net ~leaf:0
-       { Bft.dst_leaf = 7; payload = 0l; kind = Bft.Config { reg = 2; dst_leaf_value = 9; dst_stream_value = 4 }; age = 0 });
+       (Bft.config_flit ~dst_leaf:7 ~reg:2 ~dst_leaf_value:9 ~dst_stream_value:4 ()));
   Bft.run_until_idle net;
   Alcotest.(check (option (pair int int))) "register written" (Some (9, 4)) (Bft.lookup_route net ~leaf:7 ~stream:2);
   (* Re-linking without recompiling: overwrite the register. *)

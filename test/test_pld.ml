@@ -319,8 +319,9 @@ let test_mixed_execution_matches () =
 let test_deploy_o1 () =
   let card = Pld_platform.Card.create () in
   let app = Build.compile fp (pipeline 3) ~level:Build.O1 in
-  let seconds = Loader.deploy card app in
-  check_bool "load time positive" true (seconds > 0.0);
+  let dr = Loader.deploy card app in
+  check_bool "load time positive" true (dr.Loader.seconds > 0.0);
+  check_bool "no recovery events fault-free" true (dr.Loader.recovery = []);
   check_bool "overlay loaded" true (Pld_platform.Card.l1 card = Pld_platform.Card.Overlay_loaded);
   check_int "three pages occupied" 3 (List.length (Pld_platform.Card.loaded_pages card));
   (* Links programmed in the NoC. *)

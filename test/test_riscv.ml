@@ -219,7 +219,7 @@ let cosim op inputs_per_port =
   (match Cpu.run cpu with
   | Cpu.Halted -> ()
   | Cpu.Stalled -> Alcotest.fail "softcore starved"
-  | Cpu.Trapped m -> Alcotest.failf "softcore trap: %s" m
+  | Cpu.Trapped tr -> Alcotest.failf "softcore trap: %s" (Cpu.describe_trap tr)
   | Cpu.Running -> Alcotest.fail "did not halt");
   let got =
     List.map (fun q -> List.map (fun v -> Int32.to_int v land 0xFFFFFFFF) (List.of_seq (Queue.to_seq q))) out_bufs
