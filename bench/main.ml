@@ -15,10 +15,15 @@ module R = Pld_core.Runner
 module Fp = Pld_fabric.Floorplan
 module N = Pld_netlist.Netlist
 module Table = Pld_util.Table
+module T = Pld_telemetry.Telemetry
+module Json = Pld_telemetry.Json
 
 let fp = Fp.u50 ()
 let hw = Pld_ir.Graph.Hw { page_hint = None }
-let section title = Printf.printf "\n===== %s =====\n%!" title
+
+let section title =
+  print_string (T.render_section title);
+  flush stdout
 
 (* One shared cache so repeated builds across experiments are free. *)
 let cache = B.create_cache ()
@@ -125,16 +130,19 @@ let table2 () =
 
 let fig9 () =
   section "Fig 9: distribution of per-operator -O1 mapping times (seconds)";
+  (* Per-op mapping times go through the metrics registry; the printed
+     summary and bars are rendered from it, not from an ad-hoc list. *)
   List.iter
     (fun b ->
       let r = evaluate b in
       let app = List.assoc B.O1 r.apps in
       let times = List.filter (fun t -> t > 0.0) (List.map snd app.B.report.B.per_op_seconds) in
       if times <> [] then begin
-        Printf.printf "%-18s %s\n" b.Suite.paper_name (Pld_util.Stats.summary times);
-        List.iter
-          (fun (lo, hi, n) -> Printf.printf "    %6.2f-%-6.2f %s\n" lo hi (String.make n '#'))
-          (Pld_util.Stats.histogram ~bins:6 times)
+        let name = "bench.o1_op_seconds." ^ b.Suite.name in
+        let h = T.histogram T.default name in
+        List.iter (T.observe h) times;
+        Printf.printf "%-18s %s\n" b.Suite.paper_name (T.render_summary T.default name);
+        List.iter print_endline (T.render_histogram ~bins:6 T.default name)
       end
       else print_endline (b.Suite.paper_name ^ "  (all from cache this run)"))
     Suite.all;
@@ -216,17 +224,17 @@ let fig10 () =
       let all_o0 = R.run (compile b B.O0) ~inputs in
       let base_ms = all_o0.R.perf.R.ms_per_input in
       let g = b.Suite.graph hw in
-      let speedups =
-        List.map
-          (fun (i : Pld_ir.Graph.instance) ->
-            let mixed = Pld_ir.Graph.retarget g i.inst_name Pld_ir.Graph.Riscv in
-            let app = B.compile ~cache fp mixed ~level:B.O1 in
-            let r = R.run app ~inputs in
-            base_ms /. r.R.perf.R.ms_per_input)
-          g.Pld_ir.Graph.instances
-      in
+      let name = "bench.fig10_speedup." ^ b.Suite.name in
+      let h = T.histogram T.default name in
+      List.iter
+        (fun (i : Pld_ir.Graph.instance) ->
+          let mixed = Pld_ir.Graph.retarget g i.inst_name Pld_ir.Graph.Riscv in
+          let app = B.compile ~cache fp mixed ~level:B.O1 in
+          let r = R.run app ~inputs in
+          T.observe h (base_ms /. r.R.perf.R.ms_per_input))
+        g.Pld_ir.Graph.instances;
       Printf.printf "%-18s speedup over all--O0: %s\n%!" b.Suite.paper_name
-        (Pld_util.Stats.summary speedups))
+        (T.render_summary T.default name))
     Suite.all;
   print_endline
     "paper shape: ~1x when the softcore operator is the bottleneck, approaching the all--O1 gain otherwise."
@@ -588,6 +596,73 @@ let scaling () =
     "doubling the operator count grows the monolithic p&r super-linearly while the -O1 critical path (one page) is constant \
      - the separate-compilation mechanism of Sec 4.1."
 
+(* ---------- machine-readable export ---------- *)
+
+(* BENCH_<suite>.json: every number the tables print, but parseable —
+   per benchmark and level the phase breakdown, modeled serial/cluster
+   and measured wall compile times, cache traffic, and the frame-rate
+   model's verdict. CI archives it so the perf trajectory is diffable
+   across commits. *)
+let export_json () =
+  section "Export: machine-readable benchmark results (BENCH_rosetta.json)";
+  let level_entry r (level, (app : B.app)) =
+    let rep = app.B.report in
+    let p = rep.B.phases in
+    let run = List.assoc level r.runs in
+    let jobs_total = rep.B.cache_hits + rep.B.recompiled in
+    Json.Obj
+      [
+        ("level", Json.String (B.level_name level));
+        ( "compile",
+          Json.Obj
+            [
+              ("hls_seconds", Json.Float p.Pld_core.Flow.hls);
+              ("syn_seconds", Json.Float p.Pld_core.Flow.syn);
+              ("pnr_seconds", Json.Float p.Pld_core.Flow.pnr);
+              ("bitgen_seconds", Json.Float p.Pld_core.Flow.bitgen);
+              ("overhead_seconds", Json.Float p.Pld_core.Flow.overhead);
+              ("serial_seconds", Json.Float rep.B.serial_seconds);
+              ("parallel_seconds", Json.Float rep.B.parallel_seconds);
+              ("measured_wall_seconds", Json.Float rep.B.wall_seconds);
+              ("cache_hits", Json.Int rep.B.cache_hits);
+              ("recompiled", Json.Int rep.B.recompiled);
+              ( "cache_hit_rate",
+                Json.Float
+                  (if jobs_total = 0 then 0.0
+                   else float_of_int rep.B.cache_hits /. float_of_int jobs_total) );
+            ] );
+        ( "perf",
+          Json.Obj
+            [
+              ("fmax_mhz", Json.Float run.R.perf.R.fmax_mhz);
+              ("ms_per_input", Json.Float run.R.perf.R.ms_per_input);
+              ("frame_cycles", Json.Int run.R.perf.R.frame_cycles);
+              ("bottleneck", Json.String run.R.perf.R.bottleneck);
+            ] );
+      ]
+  in
+  let bench_entry b =
+    let r = evaluate b in
+    Json.Obj
+      [
+        ("name", Json.String b.Suite.name);
+        ("paper_name", Json.String b.Suite.paper_name);
+        ("host_ms", Json.Float (r.host_seconds *. 1000.0));
+        ("check_ok", Json.Bool r.ok);
+        ("levels", Json.List (List.map (level_entry r) r.apps));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("suite", Json.String "rosetta");
+        ("benchmarks", Json.List (List.map bench_entry Suite.all));
+      ]
+  in
+  let file = "BENCH_rosetta.json" in
+  Json.write_file ~file doc;
+  Printf.printf "wrote %s (%d benchmarks x 4 levels)\n" file (List.length Suite.all)
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -651,6 +726,7 @@ let all_experiments =
     ("scaling", scaling);
     ("softcore-sweep", softcore_sweep);
     ("linking-alt", linking_alt);
+    ("export-json", export_json);
     ("micro", micro);
   ]
 

@@ -9,6 +9,7 @@
 open Cmdliner
 module B = Pld_core.Build
 module R = Pld_core.Runner
+module T = Pld_telemetry.Telemetry
 open Pld_rosetta
 
 let fp = Pld_fabric.Floorplan.u50 ()
@@ -61,7 +62,46 @@ let cache_dir_arg =
            a one-operator edit recompiles exactly that operator.")
 
 let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print the engine's event trace after the build.")
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the cross-layer telemetry timeline (spans and instants) after the run.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the telemetry spans as Chrome trace-event JSON to $(docv) — loadable in \
+           Perfetto (one process per layer, one per modeled clock).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry (counters, gauges, histograms) as JSON to $(docv).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ] ~doc:"Print the metrics registry after the run, one line per metric.")
+
+(* Every command records into the process-wide sink; this drains it to
+   whatever combination of human and machine views was asked for. *)
+let telemetry_report ~trace ~trace_out ~metrics_out ~profile =
+  let tele = T.default in
+  if trace then begin
+    print_endline "-- telemetry timeline --";
+    List.iter print_endline (Pld_core.Report.trace_lines tele)
+  end;
+  if profile then begin
+    print_endline "-- metrics --";
+    List.iter print_endline (T.render_metrics tele)
+  end;
+  Option.iter (fun file -> T.write_chrome tele ~file) trace_out;
+  Option.iter (fun file -> T.write_metrics tele ~file) metrics_out
 
 let pace_arg =
   Arg.(
@@ -153,7 +193,8 @@ let open_cache dir =
 
 let compile_cmd =
   let doc = "Compile an application at the given level and report phases/areas." in
-  let run b level workers jobs cache_dir trace pace fault_spec fault_seed max_retries =
+  let run b level workers jobs cache_dir trace pace fault_spec fault_seed max_retries trace_out
+      metrics_out profile =
     let cache = open_cache cache_dir in
     let faults = injector_of fault_spec fault_seed in
     let app =
@@ -167,20 +208,19 @@ let compile_cmd =
     | Some m -> print_endline (Pld_pnr.Pnr.report m.Pld_core.Flow.pnr3)
     | None -> ());
     print_endline (Pld_core.Loader.describe_artifacts app);
-    if trace then begin
-      print_endline "-- engine trace --";
-      List.iter print_endline (Pld_core.Report.trace_lines app.B.report)
-    end
+    telemetry_report ~trace ~trace_out ~metrics_out ~profile
   in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ trace_arg
-      $ pace_arg $ faults_arg $ fault_seed_arg $ max_retries_arg)
+      $ pace_arg $ faults_arg $ fault_seed_arg $ max_retries_arg $ trace_out_arg $ metrics_out_arg
+      $ profile_arg)
 
 let run_cmd =
   let doc = "Compile, deploy to the card, link, execute a frame, and validate." in
   let module L = Pld_core.Loader in
-  let run b level workers jobs cache_dir fault_spec fault_seed max_retries =
+  let run b level workers jobs cache_dir fault_spec fault_seed max_retries trace trace_out
+      metrics_out profile =
     let cache = open_cache cache_dir in
     let graph = b.Suite.graph hw in
     let faults = injector_of fault_spec fault_seed in
@@ -223,12 +263,14 @@ let run_cmd =
         Printf.printf "outputs bit-identical to fault-free run: %b\n" (r.R.outputs = nr.R.outputs));
     let ok = b.Suite.check ~inputs r.R.outputs in
     Printf.printf "output check vs independent reference: %b\n" ok;
+    telemetry_report ~trace ~trace_out ~metrics_out ~profile;
     if not ok then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ faults_arg
-      $ fault_seed_arg $ max_retries_arg)
+      $ fault_seed_arg $ max_retries_arg $ trace_arg $ trace_out_arg $ metrics_out_arg
+      $ profile_arg)
 
 let () =
   let doc = "PLD: partition, link and load applications on programmable logic devices (simulated)" in

@@ -38,6 +38,9 @@ type t =
 val to_string : t -> string
 (** One human-readable line, used by [pldc --trace]. *)
 
+val source_name : source -> string
+(** ["memory"] or ["disk"] — the label exporters attach to cache hits. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** {2 Trace aggregation} *)

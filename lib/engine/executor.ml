@@ -1,3 +1,5 @@
+module Telemetry = Pld_telemetry.Telemetry
+
 type 'a result = {
   artifacts : (string * 'a) list;
   quarantined : (string * string) list;
@@ -9,9 +11,56 @@ exception Job_timeout of string
 
 (* Both the sequential and the parallel paths funnel every event
    through one recorder so traces have a single emission order. *)
-type recorder = { rec_lock : Mutex.t; mutable trace : Event.t list; sink : Event.t -> unit }
+type recorder = {
+  rec_lock : Mutex.t;
+  mutable trace : Event.t list;
+  sink : Event.t -> unit;
+  tele : Telemetry.t;
+}
 
-let recorder sink = { rec_lock = Mutex.create (); trace = []; sink }
+let recorder ~tele sink = { rec_lock = Mutex.create (); trace = []; sink; tele }
+
+(* Mirror the structured event stream into the telemetry sink: one-off
+   moments become instant marks and registry counters; the modeled
+   per-phase breakdown of a finished job becomes a private modeled
+   track tiled with one span per phase. (The measured wall-clock job
+   spans come from [with_span] in {!run_node}, not from here.) *)
+let telemetry_of_event tele e =
+  let bump name = Telemetry.incr (Telemetry.counter tele name) in
+  match e with
+  | Event.Graph_start _ | Event.Graph_finish _ | Event.Job_start _ -> ()
+  | Event.Job_finish { job; kind; phases; _ } ->
+      bump "engine.jobs_finished";
+      if phases <> [] then begin
+        let mt = Telemetry.modeled_track tele ~cat:"flow" ~name:job in
+        List.iter
+          (fun (phase, seconds) ->
+            Telemetry.modeled_span tele mt ~attrs:[ ("job", job); ("kind", kind) ] phase seconds)
+          phases
+      end
+  | Event.Job_failed { job; kind; worker; error } ->
+      bump "engine.job_failures";
+      Telemetry.instant tele ~cat:"engine" ~track:worker
+        ~attrs:[ ("job", job); ("kind", kind); ("error", error) ]
+        "job-failed"
+  | Event.Job_retry { job; kind; worker; attempt; error } ->
+      bump "engine.retries";
+      Telemetry.instant tele ~cat:"engine" ~track:worker
+        ~attrs:[ ("job", job); ("kind", kind); ("attempt", string_of_int attempt); ("error", error) ]
+        "retry"
+  | Event.Job_quarantined { job; kind; attempts; error } ->
+      bump "engine.quarantined";
+      Telemetry.instant tele ~cat:"engine"
+        ~attrs:[ ("job", job); ("kind", kind); ("attempts", string_of_int attempts); ("error", error) ]
+        "quarantined"
+  | Event.Cache_hit { job; kind; source } ->
+      bump "engine.cache_hits";
+      Telemetry.instant tele ~cat:"engine"
+        ~attrs:[ ("job", job); ("kind", kind); ("source", Event.source_name source) ]
+        "cache-hit"
+  | Event.Cache_store { kind; key } ->
+      bump "engine.cache_stores";
+      Telemetry.instant tele ~cat:"engine" ~attrs:[ ("kind", kind); ("key", key) ] "cache-store"
 
 let record r e =
   Mutex.lock r.rec_lock;
@@ -19,6 +68,7 @@ let record r e =
     ~finally:(fun () -> Mutex.unlock r.rec_lock)
     (fun () ->
       r.trace <- e :: r.trace;
+      telemetry_of_event r.tele e;
       r.sink e)
 
 let pace_off ~pace ~model ~elapsed =
@@ -35,32 +85,35 @@ let pace_off ~pace ~model ~elapsed =
 let run_node ~rec_ ~pace ~job_timeout ~worker ~fetch node =
   let id = Jobgraph.id node and kind = Jobgraph.kind node in
   record rec_ (Event.Job_start { job = id; kind; worker });
-  let t0 = Unix.gettimeofday () in
-  match Jobgraph.run node { Jobgraph.fetch; emit = record rec_; worker } with
-  | v ->
-      let model = Jobgraph.model node v in
-      pace_off ~pace ~model ~elapsed:(Unix.gettimeofday () -. t0);
-      let wall = Unix.gettimeofday () -. t0 in
-      (match job_timeout with
-      | Some limit when wall > limit ->
-          let error = Printf.sprintf "job %s exceeded timeout (%.3fs > %.3fs)" id wall limit in
-          record rec_ (Event.Job_failed { job = id; kind; worker; error });
-          raise (Job_timeout error)
-      | _ -> ());
-      record rec_
-        (Event.Job_finish
-           {
-             job = id;
-             kind;
-             worker;
-             wall_seconds = wall;
-             model_seconds = model;
-             phases = Jobgraph.phases node v;
-           });
-      v
-  | exception e ->
-      record rec_ (Event.Job_failed { job = id; kind; worker; error = Printexc.to_string e });
-      raise e
+  (* The whole job body runs inside one exception-safe telemetry span
+     (pacing included), so a raising job still closes its span. *)
+  Telemetry.with_span rec_.tele ~cat:"engine" ~track:worker ~attrs:[ ("kind", kind) ] id (fun () ->
+      let t0 = Unix.gettimeofday () in
+      match Jobgraph.run node { Jobgraph.fetch; emit = record rec_; worker } with
+      | v ->
+          let model = Jobgraph.model node v in
+          pace_off ~pace ~model ~elapsed:(Unix.gettimeofday () -. t0);
+          let wall = Unix.gettimeofday () -. t0 in
+          (match job_timeout with
+          | Some limit when wall > limit ->
+              let error = Printf.sprintf "job %s exceeded timeout (%.3fs > %.3fs)" id wall limit in
+              record rec_ (Event.Job_failed { job = id; kind; worker; error });
+              raise (Job_timeout error)
+          | _ -> ());
+          record rec_
+            (Event.Job_finish
+               {
+                 job = id;
+                 kind;
+                 worker;
+                 wall_seconds = wall;
+                 model_seconds = model;
+                 phases = Jobgraph.phases node v;
+               });
+          v
+      | exception e ->
+          record rec_ (Event.Job_failed { job = id; kind; worker; error = Printexc.to_string e });
+          raise e)
 
 (* Retry a flaky job up to [max_retries] extra attempts before giving
    it up for good. *)
@@ -234,13 +287,18 @@ let parallel ~rec_ ~pace ~job_timeout ~max_retries ~keep_going ~workers g =
   (p.results, p.quarantined)
 
 let run ?(workers = 1) ?(pace = 0.0) ?job_timeout ?(max_retries = 0) ?(keep_going = false)
-    ?(on_event = ignore) g =
-  let rec_ = recorder on_event in
+    ?(on_event = ignore) ?(telemetry = Telemetry.default) g =
+  let rec_ = recorder ~tele:telemetry on_event in
   let t0 = Unix.gettimeofday () in
   record rec_ (Event.Graph_start { jobs = Jobgraph.size g; workers });
   let results, quarantined =
-    if workers <= 1 then sequential ~rec_ ~pace ~job_timeout ~max_retries ~keep_going g
-    else parallel ~rec_ ~pace ~job_timeout ~max_retries ~keep_going ~workers g
+    Telemetry.with_span telemetry ~cat:"engine"
+      ~attrs:
+        [ ("jobs", string_of_int (Jobgraph.size g)); ("workers", string_of_int workers) ]
+      "graph"
+      (fun () ->
+        if workers <= 1 then sequential ~rec_ ~pace ~job_timeout ~max_retries ~keep_going g
+        else parallel ~rec_ ~pace ~job_timeout ~max_retries ~keep_going ~workers g)
   in
   let wall = Unix.gettimeofday () -. t0 in
   record rec_ (Event.Graph_finish { jobs = Jobgraph.size g; wall_seconds = wall });

@@ -45,11 +45,19 @@ val run :
   ?max_retries:int ->
   ?keep_going:bool ->
   ?on_event:(Event.t -> unit) ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
   'a Jobgraph.t ->
   'a result
 (** Executes the graph to completion. [on_event] (default ignore)
     additionally streams each event as it is emitted; it is called
     under the trace lock and so must not itself run the executor.
+
+    [telemetry] (default {!Pld_telemetry.Telemetry.default}) receives
+    the run as spans and metrics: a ["graph"] span over the whole run,
+    one exception-safe wall-clock span per job attempt on the worker's
+    track, instants for retries/failures/quarantines/cache traffic,
+    modeled per-phase spans for each finished job, and counters
+    ([engine.jobs_finished], [engine.cache_hits], ...).
 
     [job_timeout] (wall seconds, pacing included) fails jobs that run
     past it. [max_retries] (default 0) re-runs a failed job that many

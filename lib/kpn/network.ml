@@ -1,4 +1,5 @@
 open Pld_ir
+module Telemetry = Pld_telemetry.Telemetry
 
 type _ Effect.t += Yield : unit Effect.t
 
@@ -15,12 +16,13 @@ type channel = {
 
 and net = { mutable progress : int; mutable channels : channel list }
 
-type t = { net : net; mutable procs : (string * (unit -> unit)) list }
+type t = { net : net; mutable procs : (string * (unit -> unit)) list; tele : Telemetry.t }
 
 exception Deadlock of string list
 exception Out_of_fuel of { steps : int; live : string list }
 
-let create () = { net = { progress = 0; channels = [] }; procs = [] }
+let create ?(telemetry = Telemetry.default) () =
+  { net = { progress = 0; channels = [] }; procs = []; tele = telemetry }
 
 let channel t ?(capacity = 16) ~name elem =
   if capacity < 1 then invalid_arg "Network.channel: capacity must be >= 1";
@@ -99,10 +101,25 @@ let start body () =
           | _ -> None);
     }
 
+(* Per-process cap on recorded firing spans: a long cosim fires each
+   instance millions of times; the first firings carry the shape of the
+   schedule, the rest would only blow up the trace. *)
+let firing_span_budget = 256
+
 let run ?(fuel = 50_000_000) t =
   let live = Queue.create () in
   List.iter (fun (name, body) -> Queue.push (name, start body) live) (List.rev t.procs);
   let steps = ref 0 in
+  (* One cosim track per process instance; firing spans land on it. *)
+  let tracks = Hashtbl.create 8 in
+  let track_of name =
+    match Hashtbl.find_opt tracks name with
+    | Some tr -> tr
+    | None ->
+        let tr = (Telemetry.alloc_track t.tele ~cat:"cosim" name, ref 0) in
+        Hashtbl.replace tracks name tr;
+        tr
+  in
   (* A "round" visits every live process once; if no token moved during
      a round and nothing finished, the network is deadlocked. *)
   let rec loop () =
@@ -118,7 +135,17 @@ let run ?(fuel = 50_000_000) t =
           raise
             (Out_of_fuel
                { steps = !steps; live = name :: List.map fst (List.of_seq (Queue.to_seq live)) });
-        match resume () with
+        let track, fired = track_of name in
+        let t0 = Telemetry.now_us t.tele in
+        let outcome = resume () in
+        if !fired < firing_span_budget then begin
+          incr fired;
+          Telemetry.span t.tele ~cat:"cosim" ~track ~name
+            ~start_us:t0
+            ~dur_us:(Telemetry.now_us t.tele -. t0)
+            ()
+        end;
+        match outcome with
         | Finished -> finished := true
         | Yielded k -> Queue.push (name, fun () -> Effect.Deep.continue k ()) live
       done;
@@ -127,7 +154,19 @@ let run ?(fuel = 50_000_000) t =
       loop ()
     end
   in
-  loop ()
+  (* Channel high-water marks and the resume count are published even
+     when the run dies (a deadlock trace with occupancy gauges is
+     exactly when you want them). *)
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.incr ~by:!steps (Telemetry.counter t.tele "kpn.resumes");
+      List.iter
+        (fun c ->
+          Telemetry.max_gauge
+            (Telemetry.gauge t.tele ("kpn." ^ c.chan_name ^ ".peak"))
+            (float_of_int c.peak))
+        t.net.channels)
+    loop
 
 type channel_stats = { chan : string; tokens : int; peak_occupancy : int; block_events : int }
 

@@ -18,7 +18,11 @@ exception Out_of_fuel of { steps : int; live : string list }
 (** Scheduler resume budget exhausted while [live] processes were
     still running — usually a hung or livelocked operator. *)
 
-val create : unit -> t
+val create : ?telemetry:Pld_telemetry.Telemetry.t -> unit -> t
+(** [telemetry] (default the process sink) receives one cosim track per
+    process with its first firings as wall-clock spans, a [kpn.resumes]
+    counter, and a [kpn.<channel>.peak] high-water gauge per channel
+    (published even when {!run} raises). *)
 
 val channel : t -> ?capacity:int -> name:string -> Dtype.t -> channel
 (** [capacity] defaults to 16; [max_int] means effectively unbounded. *)

@@ -9,6 +9,15 @@ type result = {
 
 let run ?fuel ?(rounds = 1) ?(processor = false) (g : Graph.t) ~inputs =
   Validate.check_graph_exn g;
+  let module Telemetry = Pld_telemetry.Telemetry in
+  Telemetry.with_span Telemetry.default ~cat:"cosim"
+    ~attrs:
+      [
+        ("instances", string_of_int (List.length g.instances));
+        ("rounds", string_of_int rounds);
+      ]
+    ("run:" ^ g.graph_name)
+  @@ fun () ->
   let net = Network.create () in
   let channels = Hashtbl.create 16 in
   List.iter

@@ -1,4 +1,5 @@
 module Fault = Pld_faults.Fault
+module Telemetry = Pld_telemetry.Telemetry
 
 type flit_kind =
   | Data of { dst_stream : int }
@@ -66,6 +67,17 @@ type t = {
   lost : flit Queue.t;  (** dropped / CRC-rejected flits awaiting retransmit *)
   link_drops : int array;
   link_corrupts : int array;
+  link_flits : int array;  (** flits placed on each link, ever *)
+  tele : Telemetry.t;
+  hop_hist : Telemetry.histogram;  (** delivered-flit age in cycles *)
+  (* Counter handles are cached: deliver/transmit/deflect are the
+     simulator's hottest paths and a registry lookup per event would
+     dominate them. *)
+  c_delivered : Telemetry.counter;
+  c_dropped : Telemetry.counter;
+  c_corrupted : Telemetry.counter;
+  c_crc_rejects : Telemetry.counter;
+  c_deflections : Telemetry.counter;
   mutable cycles : int;
   mutable in_flight : int;
   mutable delivered : int;
@@ -78,7 +90,12 @@ type t = {
 
 let switches_at_level t l = t.leaves / (1 lsl (2 * l)) (* 4^depth / 4^l *)
 
-let create ?(leaves = 32) ?faults () =
+(* Hop latencies are small integers of cycles; power-of-two edges keep
+   the histogram readable for both uncongested (1-8) and deflection-
+   heavy (64+) traffic. *)
+let hop_buckets = [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
+
+let create ?(leaves = 32) ?faults ?(telemetry = Telemetry.default) () =
   let depth =
     let rec go d = if 1 lsl (2 * d) >= leaves then d else go (d + 1) in
     go 1
@@ -121,6 +138,14 @@ let create ?(leaves = 32) ?faults () =
       lost = Queue.create ();
       link_drops = Array.make !nlinks 0;
       link_corrupts = Array.make !nlinks 0;
+      link_flits = Array.make !nlinks 0;
+      tele = telemetry;
+      hop_hist = Telemetry.histogram telemetry ~buckets:hop_buckets "noc.hop_latency";
+      c_delivered = Telemetry.counter telemetry "noc.delivered";
+      c_dropped = Telemetry.counter telemetry "noc.dropped";
+      c_corrupted = Telemetry.counter telemetry "noc.corrupted";
+      c_crc_rejects = Telemetry.counter telemetry "noc.crc_rejects";
+      c_deflections = Telemetry.counter telemetry "noc.deflections";
       cycles = 0;
       in_flight = 0;
       delivered = 0;
@@ -135,6 +160,7 @@ let create ?(leaves = 32) ?faults () =
 
 let leaf_count t = t.leaves
 let level_count t = t.depth
+let telemetry t = t.tele
 let set_faults t f = t.faults <- f
 
 let configure t ~leaf ~stream ~dst_leaf ~dst_stream =
@@ -173,12 +199,16 @@ let take_lost t =
 
 let deliver t (f : flit) =
   t.in_flight <- t.in_flight - 1;
-  if flit_crc f.payload <> f.crc then
+  if flit_crc f.payload <> f.crc then begin
     (* CRC reject at the leaf: the flit never reaches the stream; the
        sender sees it in the lost queue and retransmits. *)
+    Telemetry.incr t.c_crc_rejects;
     Queue.push f t.lost
+  end
   else begin
     t.delivered <- t.delivered + 1;
+    Telemetry.incr t.c_delivered;
+    Telemetry.observe t.hop_hist (float_of_int f.age);
     t.total_latency <- t.total_latency + f.age;
     if f.age > t.max_latency then t.max_latency <- f.age;
     match f.kind with
@@ -192,15 +222,18 @@ let deliver t (f : flit) =
    in the lost queue; a corrupted one travels on with a flipped bit,
    to be caught by the CRC check at delivery. *)
 let transmit t link f =
+  t.link_flits.(link) <- t.link_flits.(link) + 1;
   match t.faults with
   | Some fl when Fault.drop_flit fl ->
       t.link_drops.(link) <- t.link_drops.(link) + 1;
       t.dropped <- t.dropped + 1;
+      Telemetry.incr t.c_dropped;
       t.in_flight <- t.in_flight - 1;
       Queue.push f t.lost
   | Some fl when Fault.corrupt_flit fl ->
       t.link_corrupts.(link) <- t.link_corrupts.(link) + 1;
       t.corrupted <- t.corrupted + 1;
+      Telemetry.incr t.c_corrupted;
       f.payload <- Int32.logxor f.payload (Fault.corrupt_mask fl);
       t.nxt.(link) <- Some f
   | _ -> t.nxt.(link) <- Some f
@@ -280,6 +313,7 @@ let step t =
                  leaf port); as a last resort spill into the switch
                  queue. *)
               t.deflections <- t.deflections + 1;
+              Telemetry.incr t.c_deflections;
               let candidates =
                 up_ports
                 @ (if l = 1 then []
@@ -329,6 +363,13 @@ let link_faults t =
   for link = Array.length t.link_drops - 1 downto 0 do
     if t.link_drops.(link) > 0 || t.link_corrupts.(link) > 0 then
       out := (link, t.link_drops.(link), t.link_corrupts.(link)) :: !out
+  done;
+  !out
+
+let link_traffic t =
+  let out = ref [] in
+  for link = Array.length t.link_flits - 1 downto 0 do
+    if t.link_flits.(link) > 0 then out := (link, t.link_flits.(link)) :: !out
   done;
   !out
 

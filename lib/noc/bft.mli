@@ -50,13 +50,21 @@ val refresh : flit -> flit
 
 type t
 
-val create : ?leaves:int -> ?faults:Pld_faults.Fault.t -> unit -> t
+val create :
+  ?leaves:int -> ?faults:Pld_faults.Fault.t -> ?telemetry:Pld_telemetry.Telemetry.t -> unit -> t
 (** [leaves] defaults to 32 (22 pages + DMA + headroom), rounded up to
     a power of 4-ary tree capacity. [faults] attaches a link fault
-    injector (drop/corrupt rates) from the start. *)
+    injector (drop/corrupt rates) from the start. [telemetry] (default
+    the process sink) receives the [noc.hop_latency] cycle histogram
+    and [noc.delivered]/[noc.dropped]/[noc.corrupted]/
+    [noc.crc_rejects]/[noc.deflections] counters as the network runs. *)
 
 val leaf_count : t -> int
 val level_count : t -> int
+
+val telemetry : t -> Pld_telemetry.Telemetry.t
+(** The sink this network records into (harnesses layered on top —
+    replay, config delivery — record theirs to the same place). *)
 
 val set_faults : t -> Pld_faults.Fault.t option -> unit
 (** Attach or clear the link fault injector. *)
@@ -104,6 +112,11 @@ val stats : t -> stats
 val link_faults : t -> (int * int * int) list
 (** Per-link fault counters, [(link id, drops, corruptions)], links
     with at least one fault only. *)
+
+val link_traffic : t -> (int * int) list
+(** Per-link flit counters, [(link id, flits placed)], links that
+    carried at least one flit only — the raw per-link utilization the
+    replay harness publishes as gauges. *)
 
 val run_until_idle : ?max_cycles:int -> t -> unit
 (** Step until no flits are in flight (injection queues drained by the

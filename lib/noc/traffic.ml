@@ -1,3 +1,5 @@
+module Telemetry = Pld_telemetry.Telemetry
+
 type link = {
   src_leaf : int;
   src_stream : int;
@@ -23,7 +25,15 @@ let configure_links net links =
         ~dst_stream:l.dst_stream)
     links
 
+(* The overlay NoC clock: modeled spans convert cycles to seconds. *)
+let overlay_hz = 200.0e6
+
 let replay ?(max_cycles = 10_000_000) net links =
+  let tele = Bft.telemetry net in
+  Telemetry.with_span tele ~cat:"noc"
+    ~attrs:[ ("links", string_of_int (List.length links)) ]
+    "replay"
+  @@ fun () ->
   configure_links net links;
   let start = Bft.stats net in
   let total = List.fold_left (fun acc l -> acc + l.tokens) 0 links in
@@ -100,6 +110,19 @@ let replay ?(max_cycles = 10_000_000) net links =
   done;
   let fin = Bft.stats net in
   let delivered = fin.Bft.delivered - start.Bft.delivered in
+  Telemetry.incr ~by:!retransmitted (Telemetry.counter tele "noc.retransmitted");
+  (* Per-link utilization as high-water gauges (cumulative over the
+     network's lifetime, so max keeps the final figure). *)
+  List.iter
+    (fun (link, flits) ->
+      Telemetry.max_gauge
+        (Telemetry.gauge tele (Printf.sprintf "noc.link.%d.flits" link))
+        (float_of_int flits))
+    (Bft.link_traffic net);
+  let mt = Telemetry.modeled_track tele ~cat:"noc" ~name:"overlay replay" in
+  Telemetry.modeled_span tele mt
+    ~attrs:[ ("cycles", string_of_int !cycles); ("delivered", string_of_int delivered) ]
+    "replay" (float_of_int !cycles /. overlay_hz);
   {
     cycles = !cycles;
     delivered;
@@ -113,6 +136,11 @@ let replay ?(max_cycles = 10_000_000) net links =
   }
 
 let config_cycles ?(max_rounds = 1000) net links =
+  let tele = Bft.telemetry net in
+  Telemetry.with_span tele ~cat:"noc"
+    ~attrs:[ ("packets", string_of_int (List.length links)) ]
+    "config"
+  @@ fun () ->
   let start = (Bft.stats net).Bft.cycles in
   let pending =
     List.map

@@ -65,6 +65,18 @@ let load_garbled t page =
   match t.faults with Some fl -> Fault.load_corrupts fl ~page | None -> false
 
 let load t (xb : Xclbin.t) =
+  let module Telemetry = Pld_telemetry.Telemetry in
+  let kind =
+    match xb.Xclbin.payload with
+    | Xclbin.Overlay _ -> "overlay"
+    | Xclbin.Page_bits { page; _ } -> Printf.sprintf "page%d" page
+    | Xclbin.Softcore { page; _ } -> Printf.sprintf "softcore%d" page
+    | Xclbin.Kernel _ -> "kernel"
+  in
+  Telemetry.with_span Telemetry.default ~cat:"platform"
+    ~attrs:[ ("bytes", string_of_int xb.Xclbin.size_bytes) ]
+    ("load:" ^ kind)
+  @@ fun () ->
   (match xb.Xclbin.payload with
   | Xclbin.Overlay { noc_leaves; _ } ->
       Hashtbl.reset t.pages;

@@ -440,6 +440,11 @@ let compile ?cache ?(workers = 22) ?(jobs = 1) ?(pace = 0.0) ?(seed = 7) ?(on_ev
   ignore (makespan ~workers []);
   (* validate [workers] eagerly *)
   let cache = match cache with Some c -> c | None -> create_cache () in
+  let module Telemetry = Pld_telemetry.Telemetry in
+  Telemetry.with_span Telemetry.default ~cat:"build"
+    ~attrs:[ ("graph", g.Graph.graph_name); ("level", level_name level) ]
+    ("compile:" ^ g.Graph.graph_name)
+  @@ fun () ->
   match level with
   | O3 | Vitis -> compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~faults ~max_retries fp g ~level
   | O0 | O1 ->

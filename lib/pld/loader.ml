@@ -2,6 +2,7 @@ module Card = Pld_platform.Card
 module Xclbin = Pld_platform.Xclbin
 module Fault = Pld_faults.Fault
 module N = Pld_netlist.Netlist
+module Telemetry = Pld_telemetry.Telemetry
 
 type recovery_event =
   | Load_retry of { inst : string; page : int; attempt : int; backoff_seconds : float }
@@ -62,10 +63,16 @@ let relink_operator ~soften (fp : Pld_fabric.Floorplan.t) ~inst ~page compiled =
 
 let deploy ?faults ?(max_retries = 3) card (app : Build.app) =
   (match faults with Some f -> Card.set_faults card (Some f) | None -> ());
+  let tele = Telemetry.default in
+  Telemetry.with_span tele ~cat:"loader"
+    ~attrs:[ ("level", Build.level_name app.Build.level) ]
+    "deploy"
+  @@ fun () ->
   match app.Build.level with
   | Build.O3 | Build.Vitis ->
       let mono = Build.monolithic_exn app in
       let seconds = Card.load card mono.Flow.xclbin3 in
+      Telemetry.set_gauge (Telemetry.gauge tele "loader.seconds") seconds;
       { seconds; app; recovery = []; degraded = false }
   | Build.O0 | Build.O1 ->
       let fp = app.Build.fp in
@@ -89,6 +96,11 @@ let deploy ?faults ?(max_retries = 3) card (app : Build.app) =
             let backoff = backoff_seconds attempt in
             t := !t +. backoff;
             recovery := Load_retry { inst; page; attempt; backoff_seconds = backoff } :: !recovery;
+            Telemetry.incr (Telemetry.counter tele "loader.retries");
+            Telemetry.instant tele ~cat:"loader"
+              ~attrs:
+                [ ("inst", inst); ("page", string_of_int page); ("attempt", string_of_int attempt) ]
+              "load-retry";
             go (attempt + 1)
           end
           else false
@@ -99,6 +111,10 @@ let deploy ?faults ?(max_retries = 3) card (app : Build.app) =
         List.map
           (fun (inst, compiled) ->
             let page = List.assoc inst !assignment in
+            Telemetry.with_span tele ~cat:"loader"
+              ~attrs:[ ("page", string_of_int page) ]
+              ("load:" ^ inst)
+            @@ fun () ->
             if load_verified ~inst ~page (xclbin_of compiled) then (inst, compiled)
             else begin
               (* The page keeps garbling past the retry budget: treat
@@ -122,11 +138,23 @@ let deploy ?faults ?(max_retries = 3) card (app : Build.app) =
                       try_spares ~soften:true
                     end
                 | spare :: _ ->
-                    let compiled', relink_seconds = relink_operator ~soften fp ~inst ~page:spare compiled in
+                    let compiled', relink_seconds =
+                      Telemetry.with_span tele ~cat:"loader"
+                        ~attrs:
+                          [ ("from_page", string_of_int page); ("to_page", string_of_int spare) ]
+                        ("relink:" ^ inst)
+                        (fun () -> relink_operator ~soften fp ~inst ~page:spare compiled)
+                    in
                     t := !t +. relink_seconds;
                     if load_verified ~inst ~page:spare (xclbin_of compiled') then begin
+                      let softened =
+                        soften && (match compiled with Build.Hw_page _ -> true | _ -> false)
+                      in
+                      Telemetry.incr
+                        (Telemetry.counter tele
+                           (if softened then "loader.softcore_fallbacks" else "loader.relinks"));
                       recovery :=
-                        (if soften && (match compiled with Build.Hw_page _ -> true | _ -> false) then
+                        (if softened then
                            Softcore_fallback { inst; from_page = page; to_page = spare; relink_seconds }
                          else Spare_relink { inst; from_page = page; to_page = spare; relink_seconds })
                         :: !recovery;
@@ -148,9 +176,16 @@ let deploy ?faults ?(max_retries = 3) card (app : Build.app) =
          the injected link faults eat). *)
       let links = Runner.noc_links app' [] in
       let net = Card.noc card in
-      let cycles = Pld_noc.Traffic.config_cycles net links in
-      Pld_noc.Traffic.configure_links net links;
+      let cycles =
+        Telemetry.with_span tele ~cat:"loader"
+          ~attrs:[ ("links", string_of_int (List.length links)) ]
+          "link" (fun () ->
+            let cycles = Pld_noc.Traffic.config_cycles net links in
+            Pld_noc.Traffic.configure_links net links;
+            cycles)
+      in
       t := !t +. (float_of_int cycles /. 200.0e6);
+      Telemetry.set_gauge (Telemetry.gauge tele "loader.seconds") !t;
       { seconds = !t; app = app'; recovery = List.rev !recovery; degraded = !degraded }
 
 let describe_artifacts (app : Build.app) =

@@ -36,7 +36,40 @@ let cache_summary (r : Build.report) =
        (fun (kind, hits, misses) -> Printf.sprintf "%s %d hit/%d miss" kind hits misses)
        r.Build.by_kind)
 
-let trace_lines (r : Build.report) = List.map Pld_engine.Event.to_string r.Build.events
+(* The human --trace view is rendered from the telemetry spans, not
+   from [Build.report.events]: the sink is process-wide, so engine
+   jobs, NoC replays, cosim firings and the loader's recovery ladder
+   interleave on one wall-clock timeline in timestamp order. Modeled
+   spans live on a different clock and get their own trailing
+   section. *)
+let trace_lines tele =
+  let module T = Pld_telemetry.Telemetry in
+  let attrs_of (s : T.span) =
+    match s.T.attrs with
+    | [] -> ""
+    | kvs -> "  " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+  in
+  let wall, modeled = List.partition (fun (s : T.span) -> s.T.clock = T.Wall) (T.spans tele) in
+  let by_start a b = compare (a.T.start_us, a.T.track) (b.T.start_us, b.T.track) in
+  let wall_line (s : T.span) =
+    match s.T.dur_us with
+    | Some d ->
+        Printf.sprintf "[%12.3f ms] %-8s %s (%.3f ms)%s" (s.T.start_us /. 1000.0) s.T.cat s.T.name
+          (d /. 1000.0) (attrs_of s)
+    | None ->
+        Printf.sprintf "[%12.3f ms] %-8s * %s%s" (s.T.start_us /. 1000.0) s.T.cat s.T.name
+          (attrs_of s)
+  in
+  let modeled_line (s : T.span) =
+    let d = Option.value ~default:0.0 s.T.dur_us in
+    Printf.sprintf "[%12.3f s ] %-8s %s (%.3f s)%s" (s.T.start_us /. 1.0e6) s.T.cat s.T.name
+      (d /. 1.0e6) (attrs_of s)
+  in
+  List.map wall_line (List.stable_sort by_start wall)
+  @
+  match List.stable_sort by_start modeled with
+  | [] -> []
+  | ms -> "-- modeled clock --" :: List.map modeled_line ms
 
 (* Softcore page area: the one-size-fits-all PicoRV32 + unified memory
    configuration (Sec 7.5 notes -O0 pages reserve worst-case memory). *)

@@ -14,9 +14,12 @@ val compile_summary : Build.app -> string
 val cache_summary : Build.report -> string
 (** Per-kind [hits/misses] counts of one build, from its trace. *)
 
-val trace_lines : Build.report -> string list
-(** The build's full event trace, one rendered line per event — what
-    [pldc compile --trace] prints. *)
+val trace_lines : Pld_telemetry.Telemetry.t -> string list
+(** The sink's spans and instants as human-readable lines — what
+    [pldc --trace] prints. Wall-clock entries (engine jobs, loader
+    recovery steps, cosim firings) interleave in timestamp order;
+    modeled-clock entries (backend-tool phases, overlay replays)
+    follow in a separate section on their own clock. *)
 
 val area_row : Build.app -> string list
 (** [LUT; BRAM18; DSP; pages] — one Tab. 4 cell group. *)

@@ -102,6 +102,11 @@ let hw_bottleneck impls =
    structured {!Stalled} diagnosis instead of a bare exception. *)
 let run_cosim ?fuel ?faults (app : Build.app) ~inputs =
   let g = app.Build.graph in
+  let module Telemetry = Pld_telemetry.Telemetry in
+  Telemetry.with_span Telemetry.default ~cat:"cosim"
+    ~attrs:[ ("graph", g.Graph.graph_name) ]
+    ("cosim:" ^ g.Graph.graph_name)
+  @@ fun () ->
   let net = Net.create () in
   let channels = Hashtbl.create 16 in
   List.iter
@@ -201,7 +206,14 @@ let run_cosim ?fuel ?faults (app : Build.app) ~inputs =
         ~reason:(Printf.sprintf "out of fuel after %d scheduler steps (hung operator?)" steps)
         ~blocked:live);
   let outputs = List.map (fun name -> (name, Net.drain (chan name))) g.outputs in
-  (outputs, Net.stats net, List.rev !printed, List.map (fun (n, cpu) -> (n, cpu.Pld_riscv.Cpu.cycles)) !cores)
+  let softcore_cycles = List.map (fun (n, cpu) -> (n, cpu.Pld_riscv.Cpu.cycles)) !cores in
+  List.iter
+    (fun (inst, cycles) ->
+      Telemetry.max_gauge
+        (Telemetry.gauge Telemetry.default (Printf.sprintf "softcore.%s.cycles" inst))
+        (float_of_int cycles))
+    softcore_cycles;
+  (outputs, Net.stats net, List.rev !printed, softcore_cycles)
 
 let run ?fuel ?faults (app : Build.app) ~inputs =
   let g = app.Build.graph in

@@ -1,3 +1,5 @@
+module Telemetry = Pld_telemetry.Telemetry
+
 type profile = {
   profile_name : string;
   c_alu : int;
@@ -66,6 +68,7 @@ let in_mem t addr = addr >= 0 && addr + 3 < Bytes.length t.mem
 (* Capture the faulting machine state: current pc, the instruction word
    there (0 if the pc itself is unmapped), and the cycle count. *)
 let trap_state t msg =
+  Telemetry.incr (Telemetry.counter Telemetry.default "softcore.traps");
   let instr = if in_mem t t.pc then Bytes.get_int32_le t.mem t.pc else 0l in
   { trap_msg = msg; trap_pc = t.pc; trap_instr = instr; trap_cycle = t.cycles }
 
@@ -275,6 +278,7 @@ let step t =
     end
 
 let run ?(max_cycles = max_int) t =
+  let c0 = t.cycles in
   let rec go () =
     if t.cycles >= max_cycles then t.status
     else
@@ -282,4 +286,6 @@ let run ?(max_cycles = max_int) t =
       | Running -> go ()
       | (Stalled | Halted | Trapped _) as s -> s
   in
-  go ()
+  let s = go () in
+  Telemetry.incr ~by:(t.cycles - c0) (Telemetry.counter Telemetry.default "softcore.cycles");
+  s

@@ -1,0 +1,37 @@
+(** Minimal JSON tree with a printer and a parser.
+
+    The telemetry exporters need to *write* valid JSON (Chrome
+    trace-event files that Perfetto loads, flat metrics documents) and
+    the tests need to *read it back* to prove the files parse — without
+    pulling a JSON dependency into the build. Numbers are split into
+    [Int] and [Float] so counters round-trip exactly; non-finite floats
+    are serialized as [null] (JSON has no NaN/infinity). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val to_string : t -> string
+(** Compact (single-line) serialization. *)
+
+val of_string : string -> t
+(** Parse a complete JSON document (trailing whitespace allowed).
+    Numbers without [.]/[e] that fit an OCaml [int] come back as
+    [Int]; everything else numeric as [Float]. [\u]-escapes are
+    decoded to UTF-8. Raises {!Parse_error} on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] for a missing field or any other
+    constructor. *)
+
+val write_file : file:string -> t -> unit
+(** Serialize to [file] with a trailing newline (truncating any
+    existing file). *)

@@ -1,0 +1,183 @@
+(** Unified cross-layer telemetry: spans, a metrics registry and
+    Perfetto/JSON exporters.
+
+    One process-wide, domain-safe sink ({!default}) collects what used
+    to be fragmented over [Engine.Event] lines, [Bft.stats],
+    [Interp.counters] and the recovery report:
+
+    - {b spans} — named intervals with a category (the layer: engine,
+      flow, noc, cosim, loader, platform, build), a track (Perfetto
+      tid; by default the current domain), key/value attributes, and
+      one of two clock domains;
+    - {b instants} — zero-duration marks (cache hits, retries,
+      recovery steps);
+    - {b metrics} — counters, gauges and histograms in an
+      insertion-ordered registry.
+
+    {b Clock domains.} [Wall] spans carry measured microseconds since
+    the sink's epoch — what the executor, loader and cosim scheduler
+    actually spent. [Modeled] spans carry simulated backend-tool or
+    overlay seconds (HLS/syn/p&r/bitgen phase breakdowns, NoC replay
+    cycles) laid out sequentially on their own tracks; the two domains
+    are never mixed on one timeline. The Chrome trace export maps each
+    (category, clock) pair to a Perfetto process and each track to a
+    thread, so a trace opens as one lane group per layer.
+
+    All operations are safe to call from multiple domains (a single
+    mutex per sink). Span storage is capped; past the cap spans are
+    counted as dropped rather than recorded. {!reset} invalidates
+    previously obtained metric handles — re-fetch them after a reset. *)
+
+type clock = Wall | Modeled
+
+type span = {
+  name : string;
+  cat : string;  (** layer: "engine", "noc", "cosim", "loader", ... *)
+  track : int;  (** Perfetto tid within the (cat, clock) process *)
+  clock : clock;
+  start_us : float;  (** wall: us since the sink epoch; modeled: us on the track's own timeline *)
+  dur_us : float option;  (** [None] marks an instant event *)
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : unit -> t
+val default : t
+(** The process-wide sink every layer records into unless handed an
+    explicit one. *)
+
+val reset : t -> unit
+(** Drop all spans, metrics and track names and restart the epoch.
+    Metric handles from before the reset go stale (their increments
+    are no longer visible to the sink). *)
+
+val now_us : t -> float
+(** Wall-clock microseconds since the sink's epoch. *)
+
+(** {2 Spans} *)
+
+val span :
+  t ->
+  ?cat:string ->
+  ?track:int ->
+  ?clock:clock ->
+  ?attrs:(string * string) list ->
+  name:string ->
+  start_us:float ->
+  dur_us:float ->
+  unit ->
+  unit
+(** Record a completed span. [cat] defaults to ["misc"]; [track] to the
+    calling domain's id; [clock] to [Wall]. *)
+
+val instant : t -> ?cat:string -> ?track:int -> ?attrs:(string * string) list -> string -> unit
+(** Record a zero-duration mark at [now_us]. *)
+
+val with_span :
+  t -> ?cat:string -> ?track:int -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a wall-clock span. {b Exception-safe}: if the
+    thunk raises, the span is still closed (with an ["error"]
+    attribute holding the exception text) before the exception
+    propagates. Spans nest by time containment on a track, so nested
+    [with_span] calls on one domain render as a flame graph. *)
+
+val alloc_track : t -> ?clock:clock -> cat:string -> string -> int
+(** A fresh track id (unique within the sink across all categories),
+    registered under the given display name — exported as a Perfetto
+    [thread_name]. *)
+
+val set_track_name : t -> ?clock:clock -> cat:string -> track:int -> string -> unit
+(** Name an existing track (e.g. executor worker indices). *)
+
+(** {2 Modeled-clock tracks}
+
+    A modeled track is a private timeline in simulated seconds: each
+    {!modeled_span} is placed at the track's cursor and advances it,
+    so consecutive calls tile left to right. *)
+
+type modeled_track
+
+val modeled_track : t -> cat:string -> name:string -> modeled_track
+val modeled_span : t -> modeled_track -> ?attrs:(string * string) list -> string -> float -> unit
+(** [modeled_span t mt name seconds] — duration is in modeled seconds. *)
+
+val spans : t -> span list
+(** All recorded spans and instants in recording order (a span records
+    when it {e closes}; sort by [start_us] for a timeline view). *)
+
+val dropped_spans : t -> int
+(** Spans discarded after the storage cap was reached. *)
+
+(** {2 Metrics registry} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> string -> counter
+(** Fetch-or-create. Always re-fetch after {!reset}. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : t -> string -> int
+(** 0 for an unknown name. *)
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val max_gauge : gauge -> float -> unit
+(** High-water-mark update: keeps the larger of the current and given
+    values (first call just sets). *)
+
+val gauge_value : t -> string -> float option
+
+val default_buckets : float list
+(** Exponential upper edges 1e-6 .. 1e4, for duration-like samples in
+    seconds. *)
+
+val histogram : t -> ?buckets:float list -> string -> histogram
+(** Fetch-or-create with the given upper bucket edges (strictly
+    ascending; an implicit +inf bucket is appended). [buckets] is
+    ignored when the histogram already exists. *)
+
+val observe : histogram -> float -> unit
+
+val bucket_counts : t -> string -> (float * int) list
+(** [(upper_edge, count)] per bucket, the +inf bucket as
+    [Float.infinity]. Empty for an unknown name. *)
+
+val samples : t -> string -> float list
+(** Raw observations in insertion order (capped; used by the adaptive
+    renderers). *)
+
+val metric_names : t -> string list
+
+(** {2 Export} *)
+
+val to_chrome_json : t -> Json.t
+(** Chrome trace-event JSON ([{"traceEvents": [...]}]) that loads in
+    Perfetto: ["X"] events for spans, ["i"] for instants, ["M"]
+    metadata naming each (category, clock) process and each track. *)
+
+val to_metrics_json : t -> Json.t
+(** Flat metrics document: counters, gauges, histograms (bucket
+    counts, sum/count/min/max) and span bookkeeping. *)
+
+val write_chrome : t -> file:string -> unit
+val write_metrics : t -> file:string -> unit
+
+(** {2 Human rendering} *)
+
+val render_section : string -> string
+(** The bench harness's ["\n===== title =====\n"] banner. *)
+
+val render_metrics : t -> string list
+(** One aligned line per registered metric, histograms with an
+    inline distribution summary. *)
+
+val render_summary : t -> string -> string
+(** min/median/mean/max of a histogram's samples — the registry's
+    replacement for [Stats.summary] dumps. *)
+
+val render_histogram : ?bins:int -> t -> string -> string list
+(** Adaptive-bin bar rendering of a histogram's raw samples (the
+    registry's replacement for ad-hoc [Stats.histogram] printing). *)

@@ -11,6 +11,7 @@ let () =
       ("noc", Test_noc.suite);
       ("riscv", Test_riscv.suite);
       ("engine", Test_engine.suite);
+      ("telemetry", Test_telemetry.suite);
       ("pld", Test_pld.suite);
       ("rosetta", Test_rosetta.suite);
       ("faults", Test_faults.suite);

@@ -1,0 +1,229 @@
+(* The telemetry sink in isolation, and wired under the parallel
+   executor: span nesting and exception safety, deterministic span
+   coverage under a paced parallel run, histogram bucket edges, and
+   the Chrome trace / metrics exporters round-tripping through the
+   in-tree JSON parser. *)
+
+module T = Pld_telemetry.Telemetry
+module Json = Pld_telemetry.Json
+module Jobgraph = Pld_engine.Jobgraph
+module Executor = Pld_engine.Executor
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let span_named tele name = List.find_opt (fun (s : T.span) -> s.T.name = name) (T.spans tele)
+
+let get_span tele name =
+  match span_named tele name with
+  | Some s -> s
+  | None -> Alcotest.failf "span %s not recorded" name
+
+let end_us (s : T.span) = s.T.start_us +. Option.value ~default:0.0 s.T.dur_us
+
+let contains ~(outer : T.span) ~(inner : T.span) =
+  outer.T.start_us <= inner.T.start_us && end_us inner <= end_us outer
+
+(* ---------- spans ---------- *)
+
+let test_with_span_nesting () =
+  let tele = T.create () in
+  let r =
+    T.with_span tele ~cat:"test" "outer" (fun () ->
+        T.with_span tele ~cat:"test" "inner" (fun () -> 42))
+  in
+  check_int "thunk result" 42 r;
+  let outer = get_span tele "outer" and inner = get_span tele "inner" in
+  (* Inner closes first, so it records first; nesting is by time
+     containment on the shared track. *)
+  check_bool "inner contained in outer" true (contains ~outer ~inner);
+  check_int "same track" outer.T.track inner.T.track;
+  check_string "category" "test" outer.T.cat;
+  check_bool "outer has a duration" true (outer.T.dur_us <> None)
+
+let test_with_span_exception_safety () =
+  let tele = T.create () in
+  (match T.with_span tele ~cat:"test" "doomed" (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure m -> check_string "exception propagates" "boom" m);
+  let s = get_span tele "doomed" in
+  check_bool "span closed despite raise" true (s.T.dur_us <> None);
+  match List.assoc_opt "error" s.T.attrs with
+  | Some msg -> check_bool "error attr mentions the exception" true
+      (String.length msg > 0)
+  | None -> Alcotest.fail "no error attribute on failed span"
+
+let test_instant_has_no_duration () =
+  let tele = T.create () in
+  T.instant tele ~cat:"test" ~attrs:[ ("k", "v") ] "mark";
+  let s = get_span tele "mark" in
+  check_bool "instant" true (s.T.dur_us = None);
+  check_string "attrs kept" "v" (List.assoc "k" s.T.attrs)
+
+(* ---------- executor integration ---------- *)
+
+let test_executor_parallel_spans () =
+  (* Four independent paced jobs under four workers: every job must
+     produce exactly one engine span nested inside the graph span, and
+     the finished-jobs counter must agree — deterministically, whatever
+     the interleaving, because with_span closes on the worker that ran
+     the job. *)
+  let jobs = List.init 4 (fun i -> Printf.sprintf "job%d" i) in
+  let g =
+    Jobgraph.make
+      (List.map
+         (fun id -> Jobgraph.node ~id ~kind:"t" ~model:(fun _ -> 0.02) (fun _ -> 0))
+         jobs)
+  in
+  let tele = T.create () in
+  let _ = Executor.run ~workers:4 ~pace:1.0 ~telemetry:tele g in
+  let graph = get_span tele "graph" in
+  check_string "graph span category" "engine" graph.T.cat;
+  List.iter
+    (fun id ->
+      let s = get_span tele id in
+      check_string "job span category" "engine" s.T.cat;
+      check_bool (id ^ " inside graph span") true (contains ~outer:graph ~inner:s);
+      check_string "kind attr" "t" (List.assoc "kind" s.T.attrs))
+    jobs;
+  check_int "finished counter" 4 (T.counter_value tele "engine.jobs_finished");
+  check_int "no drops" 0 (T.dropped_spans tele)
+
+(* ---------- metrics ---------- *)
+
+let test_histogram_bucket_edges () =
+  let tele = T.create () in
+  let h = T.histogram tele ~buckets:[ 1.0; 2.0; 4.0 ] "lat" in
+  List.iter (T.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0; 5.0 ];
+  (* Upper edges are inclusive; the overflow bucket is +inf. *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket counts"
+    [ (1.0, 2); (2.0, 2); (4.0, 1); (Float.infinity, 1) ]
+    (T.bucket_counts tele "lat");
+  Alcotest.(check (list (float 0.0)))
+    "samples in insertion order"
+    [ 0.5; 1.0; 1.5; 2.0; 3.0; 5.0 ]
+    (T.samples tele "lat");
+  check_int "unknown counter reads 0" 0 (T.counter_value tele "nope")
+
+let test_counter_and_gauge () =
+  let tele = T.create () in
+  let c = T.counter tele "c" in
+  T.incr c;
+  T.incr ~by:41 c;
+  check_int "counter sums" 42 (T.counter_value tele "c");
+  let g = T.gauge tele "g" in
+  T.max_gauge g 3.0;
+  T.max_gauge g 1.0;
+  Alcotest.(check (option (float 0.0))) "max_gauge keeps high-water" (Some 3.0)
+    (T.gauge_value tele "g");
+  T.set_gauge g 0.5;
+  Alcotest.(check (option (float 0.0))) "set_gauge overwrites" (Some 0.5)
+    (T.gauge_value tele "g")
+
+(* ---------- exporters ---------- *)
+
+let populated_sink () =
+  let tele = T.create () in
+  T.with_span tele ~cat:"engine" ~attrs:[ ("kind", "page") ] "op:a" (fun () -> ());
+  T.instant tele ~cat:"loader" "load-retry";
+  let mt = T.modeled_track tele ~cat:"flow" ~name:"worker 0" in
+  T.modeled_span tele mt "hls" 12.5;
+  T.incr ~by:3 (T.counter tele "engine.cache_hits");
+  T.observe (T.histogram tele ~buckets:[ 1.0; 10.0 ] "noc.hop_latency") 4.0;
+  tele
+
+let expect_member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S in %s" name (Json.to_string j)
+
+let test_chrome_json_roundtrip () =
+  let tele = populated_sink () in
+  (* Serialize and parse back with the independent in-tree parser: the
+     export is valid JSON, not just a plausible string. *)
+  let doc = Json.of_string (Json.to_string (T.to_chrome_json tele)) in
+  let events =
+    match expect_member "traceEvents" doc with
+    | Json.List es -> es
+    | j -> Alcotest.failf "traceEvents not a list: %s" (Json.to_string j)
+  in
+  check_bool "has events" true (List.length events > 0);
+  let ph e = match expect_member "ph" e with Json.String s -> s | _ -> "?" in
+  List.iter
+    (fun e ->
+      List.iter (fun f -> ignore (expect_member f e)) [ "name"; "ph"; "pid"; "tid" ];
+      match ph e with
+      | "X" -> ignore (expect_member "dur" e)
+      | "i" ->
+          check_bool "instant scope" true (Json.member "s" e = Some (Json.String "t"))
+      | "M" -> ignore (expect_member "args" e)
+      | other -> Alcotest.failf "unexpected phase %S" other)
+    events;
+  (* The wall and modeled clocks must land in different Perfetto
+     processes, each introduced by a process_name metadata record. *)
+  let process_names =
+    List.filter_map
+      (fun e ->
+        if ph e = "M" && expect_member "name" e = Json.String "process_name" then
+          Json.member "name" (expect_member "args" e)
+        else None)
+      events
+  in
+  check_bool "engine process named" true
+    (List.mem (Json.String "engine") process_names);
+  check_bool "modeled clock is its own process" true
+    (List.mem (Json.String "flow (modeled)") process_names)
+
+let test_metrics_json_roundtrip () =
+  let tele = populated_sink () in
+  let doc = Json.of_string (Json.to_string (T.to_metrics_json tele)) in
+  let counters = expect_member "counters" doc in
+  (match Json.member "engine.cache_hits" counters with
+  | Some (Json.Int 3) -> ()
+  | j -> Alcotest.failf "cache_hits counter: %s"
+      (match j with Some j -> Json.to_string j | None -> "missing"));
+  let hist = expect_member "noc.hop_latency" (expect_member "histograms" doc) in
+  (match Json.member "count" hist with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "histogram count");
+  ignore (expect_member "gauges" doc);
+  ignore (expect_member "spans" doc)
+
+let test_trace_export_smoke () =
+  (* write_chrome end to end: the on-disk file parses and names at
+     least the layers recorded into the sink. *)
+  let tele = populated_sink () in
+  let file = Filename.temp_file "pld-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      T.write_chrome tele ~file;
+      let doc = Json.of_string (In_channel.with_open_bin file In_channel.input_all) in
+      let cats =
+        match expect_member "traceEvents" doc with
+        | Json.List es ->
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun e ->
+                   match Json.member "cat" e with Some (Json.String c) -> Some c | _ -> None)
+                 es)
+        | _ -> []
+      in
+      List.iter
+        (fun c -> check_bool ("layer " ^ c ^ " exported") true (List.mem c cats))
+        [ "engine"; "loader"; "flow" ])
+
+let suite =
+  [
+    Alcotest.test_case "with_span nests by containment" `Quick test_with_span_nesting;
+    Alcotest.test_case "with_span closes on raise" `Quick test_with_span_exception_safety;
+    Alcotest.test_case "instants have no duration" `Quick test_instant_has_no_duration;
+    Alcotest.test_case "parallel executor span coverage" `Quick test_executor_parallel_spans;
+    Alcotest.test_case "histogram bucket edges" `Quick test_histogram_bucket_edges;
+    Alcotest.test_case "counters and gauges" `Quick test_counter_and_gauge;
+    Alcotest.test_case "chrome export round-trips" `Quick test_chrome_json_roundtrip;
+    Alcotest.test_case "metrics export round-trips" `Quick test_metrics_json_roundtrip;
+    Alcotest.test_case "trace file export smoke" `Quick test_trace_export_smoke;
+  ]
