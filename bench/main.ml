@@ -12,6 +12,8 @@
 open Pld_rosetta
 module B = Pld_core.Build
 module R = Pld_core.Runner
+module Baseline = Pld_insight.Baseline
+module Sentinel = Pld_insight.Sentinel
 module Fp = Pld_fabric.Floorplan
 module N = Pld_netlist.Netlist
 module Table = Pld_util.Table
@@ -117,14 +119,31 @@ let table2 () =
   in
   print_endline (Table.render ~header rows);
   print_endline "paper shape: Vitis/-O3 1-2 hours; -O1 10-20 minutes (4.2-7.3x); -O0 seconds.";
+  (* Speedup ratios live in the metrics registry (a gauge per bench, a
+     histogram for the suite-wide spread) and are rendered from it. *)
+  let spread = T.histogram T.default "bench.table2.o3_o1_speedup" in
   List.iter
     (fun b ->
       let r = evaluate b in
       let total level = total_of level (List.assoc level r.apps) in
-      Printf.printf "  %-18s -O3/-O1 speedup: %.1fx   -O1/-O0 ratio: %.0fx\n" b.Suite.paper_name
-        (total B.O3 /. total B.O1)
-        (total B.O1 /. total B.O0))
-    Suite.all
+      let set metric v =
+        T.set_gauge (T.gauge T.default (Printf.sprintf "bench.table2.%s.%s" b.Suite.name metric)) v
+      in
+      set "o3_o1_speedup" (total B.O3 /. total B.O1);
+      set "o1_o0_ratio" (total B.O1 /. total B.O0);
+      T.observe spread (total B.O3 /. total B.O1))
+    Suite.all;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun metric ->
+          Option.iter
+            (fun line -> print_endline ("  " ^ line))
+            (T.render_metric T.default (Printf.sprintf "bench.table2.%s.%s" b.Suite.name metric)))
+        [ "o3_o1_speedup"; "o1_o0_ratio" ])
+    Suite.all;
+  Printf.printf "  -O3/-O1 speedup across the suite: %s\n"
+    (T.render_summary T.default "bench.table2.o3_o1_speedup")
 
 (* ---------- Fig 9 ---------- *)
 
@@ -179,16 +198,33 @@ let table3 () =
       Suite.all
   in
   print_endline (Table.render ~header rows);
+  (* Slowdowns and check verdicts also go through the registry and are
+     rendered from it; the counter equals the suite size when all
+     functional checks pass. *)
+  let checks_ok = T.counter T.default "bench.table3.checks_ok" in
   List.iter
     (fun b ->
       let r = evaluate b in
       let ms level = (List.assoc level r.runs).R.perf.R.ms_per_input in
-      Printf.printf "  %-18s O1/O3 slowdown: %.2fx   O0/O3 slowdown: %.0fx   all checks pass: %b\n"
-        b.Suite.paper_name
-        (ms B.O1 /. ms B.O3)
-        (ms B.O0 /. ms B.O3)
-        r.ok)
+      let set metric v =
+        T.set_gauge (T.gauge T.default (Printf.sprintf "bench.table3.%s.%s" b.Suite.name metric)) v
+      in
+      set "o1_o3_slowdown" (ms B.O1 /. ms B.O3);
+      set "o0_o3_slowdown" (ms B.O0 /. ms B.O3);
+      if r.ok then T.incr checks_ok)
     Suite.all;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun metric ->
+          Option.iter
+            (fun line -> print_endline ("  " ^ line))
+            (T.render_metric T.default (Printf.sprintf "bench.table3.%s.%s" b.Suite.name metric)))
+        [ "o1_o3_slowdown"; "o0_o3_slowdown" ])
+    Suite.all;
+  Option.iter
+    (fun line -> print_endline ("  " ^ line))
+    (T.render_metric T.default "bench.table3.checks_ok");
   print_endline
     "paper shape: -O3 comparable to Vitis (sometimes faster); -O1 1.5-10x slower; -O0 3-5 orders slower."
 
@@ -388,12 +424,16 @@ let executor () =
      for blocking on a vendor p&r invocation); scaled so -j1 takes ~1 s. *)
   let probe = B.compile ~cache:(B.create_cache ()) fp g ~level:B.O1 in
   let pace = 1.0 /. Float.max 1e-6 probe.B.report.B.serial_seconds in
+  (* Per-width wall clocks are registry gauges rendered back out, so
+     the ablation's numbers land in --metrics-out exports too. *)
   List.iter
     (fun jobs ->
       let app = B.compile ~cache:(B.create_cache ()) ~jobs ~pace fp g ~level:B.O1 in
-      Printf.printf "  -j %d: measured %.3fs wall (model: serial %.2fs, 22-worker cluster %.2fs)\n"
-        jobs app.B.report.B.wall_seconds app.B.report.B.serial_seconds
-        app.B.report.B.parallel_seconds)
+      let name = Printf.sprintf "bench.executor.j%d.wall_seconds" jobs in
+      T.set_gauge (T.gauge T.default name) app.B.report.B.wall_seconds;
+      Printf.printf "  (model: serial %.2fs, 22-worker cluster %.2fs)\n"
+        app.B.report.B.serial_seconds app.B.report.B.parallel_seconds;
+      Option.iter (fun line -> print_endline ("  " ^ line)) (T.render_metric T.default name))
     [ 1; 2; 4 ];
   print_endline
     "while a job waits on its (modeled) backend tool the domain sleeps, so extra jobs overlap the waits."
@@ -660,7 +700,7 @@ let export_json () =
       ]
   in
   let file = "BENCH_rosetta.json" in
-  Json.write_file ~file doc;
+  Json.write_file ~pretty:true ~file doc;
   Printf.printf "wrote %s (%d benchmarks x 4 levels)\n" file (List.length Suite.all)
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
@@ -701,12 +741,145 @@ let micro () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
   let raw = Benchmark.all cfg instances tests in
   let report = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  (* ns/op estimates are registry gauges rendered back out. *)
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-34s %10.1f ns/op\n" name est
+      | Some [ est ] ->
+          let metric = "bench.micro." ^ name ^ ".ns_per_op" in
+          T.set_gauge (T.gauge T.default metric) est;
+          Option.iter (fun line -> print_endline ("  " ^ line)) (T.render_metric T.default metric)
       | Some _ | None -> Printf.printf "  %-34s (no estimate)\n" name)
     report
+
+(* ---------- regression sentinel ---------- *)
+
+(* `bench regress` is a subcommand, not an experiment: it owns its exit
+   code (nonzero on regression) and its own flags, so it dispatches
+   before the experiment list. *)
+let regress_usage =
+  "usage: bench regress [--save] [--baseline FILE] [--benches a,b] [--levels O1,O3]\n\
+  \                     [--repeats N] [--pace F] [--jobs N] [--no-perf]\n\
+  \                     [--perturb metric=factor[,metric=factor...]]\n\
+  \                     [--exact-only] [--skip-wall] [--out FILE]\n\n\
+   --save writes the measured snapshot to the baseline file and exits 0;\n\
+   otherwise the snapshot is compared against the baseline and the exit\n\
+   code is 1 on any regression. --perturb scales measured metrics (the\n\
+   gate's self-test); --exact-only ignores machine-dependent classes\n\
+   (checking against a baseline from different hardware); --skip-wall\n\
+   drops only the wall class. --out writes REGRESSION.json-style\n\
+   machine-readable findings.\n"
+
+let parse_perturb spec =
+  List.map
+    (fun part ->
+      match String.index_opt part '=' with
+      | Some i ->
+          let name = String.sub part 0 i in
+          let f = String.sub part (i + 1) (String.length part - i - 1) in
+          (match float_of_string_opt f with
+          | Some f -> (name, f)
+          | None -> failwith (Printf.sprintf "bad --perturb factor %S" part))
+      | None -> failwith (Printf.sprintf "bad --perturb entry %S (want metric=factor)" part))
+    (String.split_on_char ',' spec)
+
+let regress args =
+  let baseline_file = ref "baselines/rosetta.json" in
+  let save = ref false in
+  let out = ref None in
+  let exact_only = ref false in
+  let skip_wall = ref false in
+  let perturb = ref [] in
+  let opts = ref Sentinel.default_options in
+  let levels_of spec =
+    List.map
+      (fun s ->
+        match Sentinel.level_of_string s with
+        | Some l -> l
+        | None -> failwith (Printf.sprintf "unknown level %S" s))
+      (String.split_on_char ',' spec)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--save" :: rest ->
+        save := true;
+        parse rest
+    | "--baseline" :: file :: rest ->
+        baseline_file := file;
+        parse rest
+    | "--benches" :: spec :: rest ->
+        opts := { !opts with Sentinel.benches = String.split_on_char ',' spec };
+        parse rest
+    | "--levels" :: spec :: rest ->
+        opts := { !opts with Sentinel.levels = levels_of spec };
+        parse rest
+    | "--repeats" :: n :: rest ->
+        opts := { !opts with Sentinel.repeats = int_of_string n };
+        parse rest
+    | "--pace" :: f :: rest ->
+        opts := { !opts with Sentinel.pace = float_of_string f };
+        parse rest
+    | "--jobs" :: n :: rest ->
+        opts := { !opts with Sentinel.jobs = int_of_string n };
+        parse rest
+    | "--no-perf" :: rest ->
+        opts := { !opts with Sentinel.run_perf = false };
+        parse rest
+    | "--perturb" :: spec :: rest ->
+        perturb := !perturb @ parse_perturb spec;
+        parse rest
+    | "--exact-only" :: rest ->
+        exact_only := true;
+        parse rest
+    | "--skip-wall" :: rest ->
+        skip_wall := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        print_string regress_usage;
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "regress: unknown argument %s\n%s" arg regress_usage;
+        exit 2
+  in
+  parse args;
+  Printf.printf "measuring %s at %s (%d repeats)...\n%!"
+    (String.concat "," !opts.Sentinel.benches)
+    (String.concat "," (List.map B.level_name !opts.Sentinel.levels))
+    !opts.Sentinel.repeats;
+  let current = Sentinel.measure !opts in
+  let current = if !perturb = [] then current else Sentinel.perturb !perturb current in
+  let current =
+    if not !skip_wall then current
+    else
+      {
+        current with
+        Baseline.entries =
+          List.map
+            (fun (e : Baseline.entry) -> { e with Baseline.wall = [] })
+            current.Baseline.entries;
+      }
+  in
+  if !save then begin
+    (match Filename.dirname !baseline_file with
+    | "" | "." -> ()
+    | dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+    Baseline.save ~file:!baseline_file current;
+    Printf.printf "saved baseline %s (%d entries)\n" !baseline_file
+      (List.length current.Baseline.entries);
+    exit 0
+  end;
+  if not (Sys.file_exists !baseline_file) then begin
+    Printf.eprintf "regress: no baseline at %s (record one with --save)\n" !baseline_file;
+    exit 2
+  end;
+  let verdict =
+    Sentinel.check ~base_file:!baseline_file ~exact_only:!exact_only ?out:!out current
+  in
+  print_string (Baseline.render_verdict verdict);
+  exit (if verdict.Baseline.ok then 0 else 1)
 
 let all_experiments =
   [
@@ -732,6 +905,7 @@ let all_experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (match args with "regress" :: rest -> regress rest | _ -> ());
   let chosen =
     match args with
     | [] -> all_experiments

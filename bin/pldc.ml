@@ -4,12 +4,19 @@
      pldc floorplan                    device pages (Tab. 1 / Fig. 8)
      pldc source optical               dump an application's C-like source
      pldc compile optical -O1          compile and report
-     pldc run optical -O1              compile, deploy, link, run, check *)
+     pldc run optical -O1              compile, deploy, link, run, check
+     pldc analyze trace.json           profile + critical path of a saved trace
+     pldc baseline save / check        record / enforce a perf baseline *)
 
 open Cmdliner
 module B = Pld_core.Build
 module R = Pld_core.Runner
 module T = Pld_telemetry.Telemetry
+module Profile = Pld_insight.Profile
+module Trace = Pld_insight.Trace
+module Critical_path = Pld_insight.Critical_path
+module Baseline = Pld_insight.Baseline
+module Sentinel = Pld_insight.Sentinel
 open Pld_rosetta
 
 let fp = Pld_fabric.Floorplan.u50 ()
@@ -88,9 +95,27 @@ let profile_arg =
     value & flag
     & info [ "profile" ] ~doc:"Print the metrics registry after the run, one line per metric.")
 
+let hot_arg =
+  Arg.(
+    value & flag
+    & info [ "hot" ]
+        ~doc:
+          "Print the span hot list after the run: the flat self-time profile of the recorded \
+           telemetry, per clock domain.")
+
+let critical_path_arg =
+  Arg.(
+    value & flag
+    & info [ "critical-path" ]
+        ~doc:
+          "Print the build's critical-path report after the run: the measured longest dependency \
+           chain of the executor's job graph next to the modeled LPT cluster prediction, with \
+           per-kind and per-phase divergence.")
+
 (* Every command records into the process-wide sink; this drains it to
    whatever combination of human and machine views was asked for. *)
-let telemetry_report ~trace ~trace_out ~metrics_out ~profile =
+let telemetry_report ?(workers = 22) ~trace ~trace_out ~metrics_out ~profile ~hot ~critical_path ()
+    =
   let tele = T.default in
   if trace then begin
     print_endline "-- telemetry timeline --";
@@ -99,6 +124,16 @@ let telemetry_report ~trace ~trace_out ~metrics_out ~profile =
   if profile then begin
     print_endline "-- metrics --";
     List.iter print_endline (T.render_metrics tele)
+  end;
+  if hot then begin
+    print_endline "-- hot spans --";
+    print_endline (Profile.render_hot (Profile.flat (T.spans tele)))
+  end;
+  if critical_path then begin
+    print_endline "-- critical path --";
+    match Critical_path.analyze ~workers (T.spans tele) with
+    | Some r -> print_string (Critical_path.render r)
+    | None -> print_endline "no executor run recorded (nothing compiled?)"
   end;
   Option.iter (fun file -> T.write_chrome tele ~file) trace_out;
   Option.iter (fun file -> T.write_metrics tele ~file) metrics_out
@@ -194,7 +229,7 @@ let open_cache dir =
 let compile_cmd =
   let doc = "Compile an application at the given level and report phases/areas." in
   let run b level workers jobs cache_dir trace pace fault_spec fault_seed max_retries trace_out
-      metrics_out profile =
+      metrics_out profile hot critical_path =
     let cache = open_cache cache_dir in
     let faults = injector_of fault_spec fault_seed in
     let app =
@@ -208,19 +243,19 @@ let compile_cmd =
     | Some m -> print_endline (Pld_pnr.Pnr.report m.Pld_core.Flow.pnr3)
     | None -> ());
     print_endline (Pld_core.Loader.describe_artifacts app);
-    telemetry_report ~trace ~trace_out ~metrics_out ~profile
+    telemetry_report ~workers ~trace ~trace_out ~metrics_out ~profile ~hot ~critical_path ()
   in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ trace_arg
       $ pace_arg $ faults_arg $ fault_seed_arg $ max_retries_arg $ trace_out_arg $ metrics_out_arg
-      $ profile_arg)
+      $ profile_arg $ hot_arg $ critical_path_arg)
 
 let run_cmd =
   let doc = "Compile, deploy to the card, link, execute a frame, and validate." in
   let module L = Pld_core.Loader in
   let run b level workers jobs cache_dir fault_spec fault_seed max_retries trace trace_out
-      metrics_out profile =
+      metrics_out profile hot critical_path =
     let cache = open_cache cache_dir in
     let graph = b.Suite.graph hw in
     let faults = injector_of fault_spec fault_seed in
@@ -263,16 +298,152 @@ let run_cmd =
         Printf.printf "outputs bit-identical to fault-free run: %b\n" (r.R.outputs = nr.R.outputs));
     let ok = b.Suite.check ~inputs r.R.outputs in
     Printf.printf "output check vs independent reference: %b\n" ok;
-    telemetry_report ~trace ~trace_out ~metrics_out ~profile;
+    telemetry_report ~workers ~trace ~trace_out ~metrics_out ~profile ~hot ~critical_path ();
     if not ok then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ faults_arg
       $ fault_seed_arg $ max_retries_arg $ trace_arg $ trace_out_arg $ metrics_out_arg
-      $ profile_arg)
+      $ profile_arg $ hot_arg $ critical_path_arg)
+
+(* ---------- trace analysis ---------- *)
+
+let analyze_cmd =
+  let doc = "Profile a Chrome trace exported with --trace-out: hot spans and critical path." in
+  let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in
+  let top_arg =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot list.")
+  in
+  let tree_arg =
+    Arg.(
+      value & flag
+      & info [ "tree" ] ~doc:"Also print the top-down (call-tree) profile of the trace.")
+  in
+  let run file top workers tree =
+    let spans =
+      try Trace.load file with
+      | Sys_error m ->
+          Printf.eprintf "pldc: cannot read trace: %s\n" m;
+          exit 1
+      | Pld_telemetry.Json.Parse_error m ->
+          Printf.eprintf "pldc: %s is not valid JSON: %s\n" file m;
+          exit 1
+      | Trace.Malformed m ->
+          Printf.eprintf "pldc: %s is not a pldc trace: %s\n" file m;
+          exit 1
+    in
+    let n_spans = List.length (List.filter (fun (s : T.span) -> s.T.dur_us <> None) spans) in
+    Printf.printf "%s: %d spans, %d instants, %d executor run(s)\n" file n_spans
+      (List.length spans - n_spans)
+      (List.length (Critical_path.runs spans));
+    print_endline "\n-- hot spans --";
+    print_endline (Profile.render_hot ~top (Profile.flat spans));
+    if tree then begin
+      print_endline "\n-- top-down profile --";
+      print_string (Profile.render_tree spans)
+    end;
+    match Critical_path.analyze ~workers spans with
+    | Some r ->
+        print_endline "\n-- critical path (latest run) --";
+        print_string (Critical_path.render r)
+    | None -> print_endline "\n(no executor run in this trace)"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_arg $ top_arg $ workers_arg $ tree_arg)
+
+(* ---------- baseline save / check ---------- *)
+
+let baseline_file_arg =
+  Arg.(
+    value
+    & opt string "baselines/rosetta.json"
+    & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline snapshot file.")
+
+let sentinel_opts_term =
+  let benches_arg =
+    Arg.(
+      value
+      & opt (list string) Sentinel.default_options.Sentinel.benches
+      & info [ "benches" ] ~docv:"NAMES" ~doc:"Comma-separated suite benchmarks to measure.")
+  in
+  let levels_arg =
+    Arg.(
+      value
+      & opt (list level_conv) Sentinel.default_options.Sentinel.levels
+      & info [ "levels" ] ~docv:"LEVELS" ~doc:"Comma-separated levels to measure.")
+  in
+  let repeats_arg =
+    Arg.(
+      value
+      & opt int Sentinel.default_options.Sentinel.repeats
+      & info [ "repeats" ] ~docv:"N" ~doc:"Cold-cache compile repeats per (bench, level) cell.")
+  in
+  let sjobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Executor domains per compile.")
+  in
+  let no_perf_arg =
+    Arg.(
+      value & flag
+      & info [ "no-perf" ] ~doc:"Skip the functional run (Fmax / frame-cycle exact metrics).")
+  in
+  let mk benches levels repeats pace jobs no_perf =
+    { Sentinel.benches; levels; repeats; pace; jobs; run_perf = not no_perf }
+  in
+  Term.(const mk $ benches_arg $ levels_arg $ repeats_arg $ pace_arg $ sjobs_arg $ no_perf_arg)
+
+let baseline_save_cmd =
+  let doc = "Measure the suite and save the snapshot as the new baseline." in
+  let run file opts =
+    Printf.printf "measuring %s at %s (%d repeats)...\n%!"
+      (String.concat "," opts.Sentinel.benches)
+      (String.concat "," (List.map B.level_name opts.Sentinel.levels))
+      opts.Sentinel.repeats;
+    let snap = Sentinel.measure opts in
+    (match Filename.dirname file with
+    | "" | "." -> ()
+    | dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+    Baseline.save ~file snap;
+    Printf.printf "saved baseline %s (%d entries)\n" file (List.length snap.Baseline.entries)
+  in
+  Cmd.v (Cmd.info "save" ~doc) Term.(const run $ baseline_file_arg $ sentinel_opts_term)
+
+let baseline_check_cmd =
+  let doc = "Measure the suite and fail (exit 1) if it regressed against the baseline." in
+  let exact_only_arg =
+    Arg.(
+      value & flag
+      & info [ "exact-only" ]
+          ~doc:
+            "Compare only the deterministic (exact) metric class — for baselines recorded on \
+             different hardware, where modeled tool seconds are not comparable.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write machine-readable findings (REGRESSION.json).")
+  in
+  let run file opts exact_only out =
+    if not (Sys.file_exists file) then begin
+      Printf.eprintf "pldc: no baseline at %s (record one with `pldc baseline save`)\n" file;
+      exit 2
+    end;
+    let current = Sentinel.measure opts in
+    let verdict = Sentinel.check ~base_file:file ~exact_only ?out current in
+    print_string (Baseline.render_verdict verdict);
+    if not verdict.Baseline.ok then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ baseline_file_arg $ sentinel_opts_term $ exact_only_arg $ out_arg)
+
+let baseline_cmd =
+  let doc = "Record or enforce a performance baseline (the regression sentinel)." in
+  Cmd.group (Cmd.info "baseline" ~doc) [ baseline_save_cmd; baseline_check_cmd ]
 
 let () =
   let doc = "PLD: partition, link and load applications on programmable logic devices (simulated)" in
   let info = Cmd.info "pldc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd; analyze_cmd; baseline_cmd ]))

@@ -16,16 +16,30 @@ type recorder = {
   mutable trace : Event.t list;
   sink : Event.t -> unit;
   tele : Telemetry.t;
+  run : string;  (** stamped on every span so one sink can hold many runs *)
 }
 
-let recorder ~tele sink = { rec_lock = Mutex.create (); trace = []; sink; tele }
+(* A process-wide run id distinguishes the spans of successive (or
+   overlapping) executor runs recorded into the same sink: trace
+   analyzers group job spans by their "run" attribute instead of
+   guessing at time windows. *)
+let run_ids = Atomic.make 0
+
+let recorder ~tele sink =
+  {
+    rec_lock = Mutex.create ();
+    trace = [];
+    sink;
+    tele;
+    run = string_of_int (Atomic.fetch_and_add run_ids 1);
+  }
 
 (* Mirror the structured event stream into the telemetry sink: one-off
    moments become instant marks and registry counters; the modeled
    per-phase breakdown of a finished job becomes a private modeled
    track tiled with one span per phase. (The measured wall-clock job
    spans come from [with_span] in {!run_node}, not from here.) *)
-let telemetry_of_event tele e =
+let telemetry_of_event tele ~run e =
   let bump name = Telemetry.incr (Telemetry.counter tele name) in
   match e with
   | Event.Graph_start _ | Event.Graph_finish _ | Event.Job_start _ -> ()
@@ -35,7 +49,9 @@ let telemetry_of_event tele e =
         let mt = Telemetry.modeled_track tele ~cat:"flow" ~name:job in
         List.iter
           (fun (phase, seconds) ->
-            Telemetry.modeled_span tele mt ~attrs:[ ("job", job); ("kind", kind) ] phase seconds)
+            Telemetry.modeled_span tele mt
+              ~attrs:[ ("job", job); ("kind", kind); ("run", run) ]
+              phase seconds)
           phases
       end
   | Event.Job_failed { job; kind; worker; error } ->
@@ -68,7 +84,7 @@ let record r e =
     ~finally:(fun () -> Mutex.unlock r.rec_lock)
     (fun () ->
       r.trace <- e :: r.trace;
-      telemetry_of_event r.tele e;
+      telemetry_of_event r.tele ~run:r.run e;
       r.sink e)
 
 let pace_off ~pace ~model ~elapsed =
@@ -87,7 +103,10 @@ let run_node ~rec_ ~pace ~job_timeout ~worker ~fetch node =
   record rec_ (Event.Job_start { job = id; kind; worker });
   (* The whole job body runs inside one exception-safe telemetry span
      (pacing included), so a raising job still closes its span. *)
-  Telemetry.with_span rec_.tele ~cat:"engine" ~track:worker ~attrs:[ ("kind", kind) ] id (fun () ->
+  Telemetry.with_span rec_.tele ~cat:"engine" ~track:worker
+    ~attrs:
+      [ ("kind", kind); ("run", rec_.run); ("deps", String.concat "," (Jobgraph.deps node)) ]
+    id (fun () ->
       let t0 = Unix.gettimeofday () in
       match Jobgraph.run node { Jobgraph.fetch; emit = record rec_; worker } with
       | v ->
@@ -294,7 +313,11 @@ let run ?(workers = 1) ?(pace = 0.0) ?job_timeout ?(max_retries = 0) ?(keep_goin
   let results, quarantined =
     Telemetry.with_span telemetry ~cat:"engine"
       ~attrs:
-        [ ("jobs", string_of_int (Jobgraph.size g)); ("workers", string_of_int workers) ]
+        [
+          ("jobs", string_of_int (Jobgraph.size g));
+          ("workers", string_of_int workers);
+          ("run", rec_.run);
+        ]
       "graph"
       (fun () ->
         if workers <= 1 then sequential ~rec_ ~pace ~job_timeout ~max_retries ~keep_going g

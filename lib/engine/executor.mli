@@ -57,7 +57,13 @@ val run :
     one exception-safe wall-clock span per job attempt on the worker's
     track, instants for retries/failures/quarantines/cache traffic,
     modeled per-phase spans for each finished job, and counters
-    ([engine.jobs_finished], [engine.cache_hits], ...).
+    ([engine.jobs_finished], [engine.cache_hits], ...). Every span of
+    one run — the graph span, the per-job spans, and the modeled phase
+    spans — carries a ["run"] attribute holding a process-unique run
+    id, and each job span carries its dependency list in a ["deps"]
+    attribute (comma-joined job ids, [""] for roots), so an analyzer
+    reading a shared sink can select one run's spans and rebuild the
+    job DAG without re-running the build (see [Pld_insight]).
 
     [job_timeout] (wall seconds, pacing included) fails jobs that run
     past it. [max_retries] (default 0) re-runs a failed job that many

@@ -10,3 +10,11 @@ val lpt : workers:int -> float list -> float
     than the longest single duration, never more than the serial sum,
     and exactly the serial sum when [workers = 1].
     Raises [Invalid_argument] when [workers < 1]. *)
+
+val lpt_critical : workers:int -> (string * float) list -> float * string list
+(** Same schedule over named durations, additionally returning the
+    jobs the model places on the machine that sets the makespan — the
+    modeled "critical machine" a trace analyzer reports against the
+    measured critical path. Jobs come back in LPT assignment order
+    (longest first); the makespan equals [lpt] over the same
+    durations. Raises [Invalid_argument] when [workers < 1]. *)

@@ -1,0 +1,142 @@
+module B = Pld_core.Build
+module R = Pld_core.Runner
+module Flow = Pld_core.Flow
+module Suite = Pld_rosetta.Suite
+module Fp = Pld_fabric.Floorplan
+
+type options = {
+  benches : string list;
+  levels : B.level list;
+  repeats : int;
+  pace : float;
+  jobs : int;
+  run_perf : bool;
+}
+
+let default_options =
+  {
+    benches = [ "spam"; "optical" ];
+    levels = [ B.O1; B.O3 ];
+    repeats = 3;
+    pace = 0.0;
+    jobs = 1;
+    run_perf = true;
+  }
+
+let level_of_string s =
+  let s = String.lowercase_ascii s in
+  let s = if String.length s > 0 && s.[0] = '-' then String.sub s 1 (String.length s - 1) else s in
+  match s with
+  | "o0" -> Some B.O0
+  | "o1" -> Some B.O1
+  | "o3" -> Some B.O3
+  | "vitis" -> Some B.Vitis
+  | _ -> None
+
+let iso_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* One (bench, level) cell: [repeats] cold-cache compiles for the
+   noisy classes, the first compile's report (plus one functional run)
+   for the deterministic ones. *)
+let measure_entry opts (b : Suite.bench) level =
+  let fp = Fp.u50 () in
+  let graph = b.Suite.graph (Pld_ir.Graph.Hw { page_hint = None }) in
+  let compile_once () =
+    let cache = B.create_cache () in
+    B.compile ~cache ~jobs:opts.jobs ~pace:opts.pace fp graph ~level
+  in
+  let apps = List.init (max 1 opts.repeats) (fun _ -> compile_once ()) in
+  let reports = List.map (fun (a : B.app) -> a.B.report) apps in
+  let tool_samples f = List.map f reports in
+  let tool =
+    List.map
+      (fun (name, f) -> (name, Baseline.stats_of (tool_samples f)))
+      [
+        ("hls_seconds", fun (r : B.report) -> r.B.phases.Flow.hls);
+        ("syn_seconds", fun r -> r.B.phases.Flow.syn);
+        ("pnr_seconds", fun r -> r.B.phases.Flow.pnr);
+        ("bitgen_seconds", fun r -> r.B.phases.Flow.bitgen);
+        ("serial_seconds", fun r -> r.B.serial_seconds);
+        ("parallel_seconds", fun r -> r.B.parallel_seconds);
+      ]
+  in
+  let wall =
+    [ ("wall_seconds", Baseline.stats_of (tool_samples (fun r -> r.B.wall_seconds))) ]
+  in
+  let first = List.hd reports in
+  let exact =
+    [
+      ("cache_hits", float_of_int first.B.cache_hits);
+      ("recompiled", float_of_int first.B.recompiled);
+      ("overhead_seconds", first.B.phases.Flow.overhead);
+    ]
+    @
+    if not opts.run_perf then []
+    else begin
+      let r = R.run (List.hd apps) ~inputs:(b.Suite.workload ()) in
+      [
+        ("fmax_mhz", r.R.perf.R.fmax_mhz);
+        ("frame_cycles", float_of_int r.R.perf.R.frame_cycles);
+        ("ms_per_input", r.R.perf.R.ms_per_input);
+      ]
+    end
+  in
+  { Baseline.bench = b.Suite.name; level = B.level_name level; exact; tool; wall }
+
+let measure ?(suite = "rosetta") opts =
+  let entries =
+    List.concat_map
+      (fun name ->
+        let b = Suite.find name in
+        List.map (measure_entry opts b) opts.levels)
+      opts.benches
+  in
+  {
+    Baseline.version = Baseline.current_version;
+    suite;
+    created = iso_now ();
+    repeats = opts.repeats;
+    pace = opts.pace;
+    entries;
+  }
+
+let perturb factors (s : Baseline.snapshot) =
+  let scale name v =
+    match List.assoc_opt name factors with Some f -> v *. f | None -> v
+  in
+  let scale_stats name (st : Baseline.stats) =
+    match List.assoc_opt name factors with
+    | None -> st
+    | Some f ->
+        {
+          st with
+          Baseline.median = st.Baseline.median *. f;
+          mad = st.Baseline.mad *. Float.abs f;
+          lo = Float.min (st.Baseline.lo *. f) (st.Baseline.hi *. f);
+          hi = Float.max (st.Baseline.lo *. f) (st.Baseline.hi *. f);
+        }
+  in
+  {
+    s with
+    Baseline.entries =
+      List.map
+        (fun (e : Baseline.entry) ->
+          {
+            e with
+            Baseline.exact = List.map (fun (m, v) -> (m, scale m v)) e.Baseline.exact;
+            tool = List.map (fun (m, st) -> (m, scale_stats m st)) e.Baseline.tool;
+            wall = List.map (fun (m, st) -> (m, scale_stats m st)) e.Baseline.wall;
+          })
+        s.Baseline.entries;
+  }
+
+let check ~base_file ?thresholds ?exact_only ?out current =
+  let base = Baseline.load ~file:base_file in
+  let verdict = Baseline.compare_snapshots ?thresholds ?exact_only ~base current in
+  Option.iter
+    (fun file -> Pld_telemetry.Json.write_file ~pretty:true ~file (Baseline.verdict_json verdict))
+    out;
+  verdict

@@ -1,0 +1,51 @@
+(** The regression sentinel: measure the suite, snapshot a baseline,
+    judge a later run against it.
+
+    [measure] rebuilds each selected benchmark at each selected level
+    [repeats] times, each repeat against a {e fresh} cache (so modeled
+    tool seconds are comparable run to run), and snapshots the result
+    as a {!Baseline.snapshot}: deterministic flow outputs in the exact
+    class, modeled phase seconds as repeat statistics in the tool
+    class, the executor's wall clock in the wall class. A functional
+    run supplies the performance-model metrics (Fmax, frame cycles,
+    ms/input), which are seeded and exact.
+
+    [perturb] multiplies selected metrics of a snapshot — the
+    self-test hook: a perturbed current run must fail its own
+    baseline, proving the gate can actually fire. *)
+
+type options = {
+  benches : string list;  (** suite short names ({!Pld_rosetta.Suite}) *)
+  levels : Pld_core.Build.level list;
+  repeats : int;
+  pace : float;  (** forwarded to [Build.compile] *)
+  jobs : int;  (** executor domains per compile *)
+  run_perf : bool;  (** also run each app once for Fmax/cycles/ms-per-input *)
+}
+
+val default_options : options
+(** spam + optical at -O1 and -O3, 3 repeats, no pacing, 1 job,
+    perf on — small enough for CI, varied enough to cover both the
+    paged and the monolithic flow. *)
+
+val level_of_string : string -> Pld_core.Build.level option
+(** Accepts ["O1"], ["-O1"], ["o1"], ... and ["vitis"]. *)
+
+val measure : ?suite:string -> options -> Baseline.snapshot
+(** [suite] names the snapshot (default ["rosetta"]). Raises
+    [Not_found] on an unknown bench name. *)
+
+val perturb : (string * float) list -> Baseline.snapshot -> Baseline.snapshot
+(** [(metric, factor)] pairs; every metric with a matching name (in
+    any entry, any class) is scaled by its factor. *)
+
+val check :
+  base_file:string ->
+  ?thresholds:Baseline.thresholds ->
+  ?exact_only:bool ->
+  ?out:string ->
+  Baseline.snapshot ->
+  Baseline.verdict
+(** Load the baseline at [base_file], compare the given current
+    snapshot against it and, with [out], write the machine-readable
+    verdict (REGRESSION.json) there. The caller owns exit codes. *)

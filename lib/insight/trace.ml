@@ -1,0 +1,90 @@
+module Telemetry = Pld_telemetry.Telemetry
+module Json = Pld_telemetry.Json
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let number = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> fail "expected a number"
+
+let str = function Json.String s -> s | _ -> fail "expected a string"
+
+let field name j =
+  match Json.member name j with Some v -> v | None -> fail "event missing %S field" name
+
+let modeled_suffix = " (modeled)"
+
+(* "flow (modeled)" -> ("flow", Modeled); anything else -> Wall. *)
+let split_process_label label =
+  let n = String.length label and m = String.length modeled_suffix in
+  if n >= m && String.sub label (n - m) m = modeled_suffix then
+    (String.sub label 0 (n - m), Telemetry.Modeled)
+  else (label, Telemetry.Wall)
+
+let attrs_of j =
+  match Json.member "args" j with
+  | Some (Json.Obj fields) ->
+      List.filter_map (fun (k, v) -> match v with Json.String s -> Some (k, s) | _ -> None) fields
+  | _ -> []
+
+let spans_of_json doc =
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List l) -> l
+    | _ -> fail "no traceEvents list — not a Chrome trace"
+  in
+  (* First pass: process_name metadata tells us each pid's (cat, clock). *)
+  let procs = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match (Json.member "ph" e, Json.member "name" e) with
+      | Some (Json.String "M"), Some (Json.String "process_name") ->
+          let pid = int_of_float (number (field "pid" e)) in
+          let label =
+            match Json.member "args" e with
+            | Some args -> ( match Json.member "name" args with Some l -> str l | None -> fail "process_name metadata without a label")
+            | None -> fail "process_name metadata without args"
+          in
+          Hashtbl.replace procs pid (split_process_label label)
+      | _ -> ())
+    events;
+  let decode e =
+    match str (field "ph" e) with
+    | "M" -> None
+    | ("X" | "i") as ph ->
+        let pid = int_of_float (number (field "pid" e)) in
+        (* the event's own "cat" is authoritative; the pid label only
+           supplies the clock domain *)
+        let label_cat, clock =
+          match Hashtbl.find_opt procs pid with
+          | Some p -> p
+          | None -> ("?", Telemetry.Wall)
+        in
+        let cat =
+          match Json.member "cat" e with Some (Json.String c) -> c | _ -> label_cat
+        in
+        Some
+          {
+            Telemetry.name = str (field "name" e);
+            cat;
+            track = int_of_float (number (field "tid" e));
+            clock;
+            start_us = number (field "ts" e);
+            dur_us = (if ph = "X" then Some (number (field "dur" e)) else None);
+            attrs = attrs_of e;
+          }
+    | ph -> fail "unsupported trace event phase %S" ph
+  in
+  List.filter_map decode events
+
+let load file =
+  let ic = open_in_bin file in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  spans_of_json (Json.of_string src)

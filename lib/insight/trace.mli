@@ -1,0 +1,27 @@
+(** Reload an exported Chrome trace back into spans.
+
+    [Telemetry.write_chrome] maps each (category, clock) pair to a
+    Perfetto process (the modeled clock's process label carries a
+    [" (modeled)"] suffix) and each track to a thread; this module
+    inverts that mapping so the analysis passes ({!Profile},
+    {!Critical_path}) run identically on a live sink and on a trace
+    file from an earlier run. *)
+
+module Telemetry = Pld_telemetry.Telemetry
+module Json = Pld_telemetry.Json
+
+exception Malformed of string
+(** The document is valid JSON but not a trace this module wrote:
+    missing [traceEvents], an event without a name, a span referencing
+    an unnamed process. *)
+
+val spans_of_json : Json.t -> Telemetry.span list
+(** Decode a [Telemetry.to_chrome_json] document: ["X"] events become
+    spans, ["i"] events instants ([dur_us = None]), ["M"] metadata
+    reconstructs each pid's (category, clock). Events in an unknown
+    pid decode with category ["?"] and a wall clock rather than being
+    dropped. Raises {!Malformed}. *)
+
+val load : string -> Telemetry.span list
+(** Read and decode a trace file. Raises [Sys_error] on I/O failure,
+    [Json.Parse_error] on bad JSON, {!Malformed} on a non-trace. *)

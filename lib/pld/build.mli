@@ -101,6 +101,7 @@ val compile :
   ?pace:float ->
   ?seed:int ->
   ?on_event:(Pld_engine.Event.t -> unit) ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
   ?faults:Pld_faults.Fault.t ->
   ?max_retries:int ->
   ?defective:int list ->
@@ -119,7 +120,10 @@ val compile :
     job to [pace] wall-seconds per modeled second (see
     [Pld_engine.Executor]); 0 (default) runs the simulator's own
     algorithms flat out. [on_event] streams trace events as they
-    happen; the full trace is also in [report.events].
+    happen; the full trace is also in [report.events]. [telemetry]
+    (default [Pld_telemetry.Telemetry.default]) is the sink the build
+    span and the executor's spans/metrics are recorded into — hand a
+    private sink for hermetic trace analysis.
 
     [faults] injects failures into named jobs (see
     [Pld_faults.Fault.job_check]); it also switches the executor to

@@ -65,6 +65,45 @@ let to_string v =
   go v;
   Buffer.contents buf
 
+let pretty v =
+  let buf = Buffer.create 256 in
+  let pad depth = Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape_into buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List l ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (depth + 1);
+            go (depth + 1) x)
+          l;
+        Buffer.add_char buf '\n';
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (depth + 1);
+            escape_into buf k;
+            Buffer.add_string buf ": ";
+            go (depth + 1) x)
+          fields;
+        Buffer.add_char buf '\n';
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
 (* ---------- parsing ---------- *)
 
 type state = { src : string; mutable pos : int }
@@ -102,11 +141,37 @@ let add_utf8 buf cp =
     Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
-  else begin
+  else if cp < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
     Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+(* Strict 4-hex-digit reader for \u escapes: [int_of_string "0x..."]
+   would also accept underscores and sign characters from the source
+   text, which are not legal JSON. [st.pos] is on the 'u'; on success
+   it advances past the fourth digit. *)
+let parse_hex4 st =
+  if st.pos + 5 > String.length st.src then fail st "truncated \\u escape";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail st "bad \\u escape"
+  in
+  let cp = ref 0 in
+  for i = 1 to 4 do
+    cp := (!cp lsl 4) lor digit st.src.[st.pos + i]
+  done;
+  st.pos <- st.pos + 4;
+  !cp
 
 let parse_string st =
   expect st '"';
@@ -127,13 +192,31 @@ let parse_string st =
         | Some 'b' -> Buffer.add_char buf '\b'
         | Some 'f' -> Buffer.add_char buf '\012'
         | Some 'u' ->
-            if st.pos + 4 >= String.length st.src then fail st "truncated \\u escape";
-            let hex = String.sub st.src (st.pos + 1) 4 in
-            (match int_of_string_opt ("0x" ^ hex) with
-            | Some cp ->
-                add_utf8 buf cp;
-                st.pos <- st.pos + 4
-            | None -> fail st "bad \\u escape")
+            let cp = parse_hex4 st in
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              (* High surrogate: JSON encodes astral code points as a
+                 \uD8xx\uDCxx pair. Combine when the low half follows;
+                 a lone surrogate is not a code point — decode it to
+                 U+FFFD rather than emitting invalid UTF-8. *)
+              if
+                st.pos + 2 < String.length st.src
+                && st.src.[st.pos + 1] = '\\'
+                && st.src.[st.pos + 2] = 'u'
+              then begin
+                let save = st.pos in
+                st.pos <- st.pos + 2;
+                let lo = parse_hex4 st in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                else begin
+                  st.pos <- save;
+                  add_utf8 buf 0xFFFD
+                end
+              end
+              else add_utf8 buf 0xFFFD
+            end
+            else if cp >= 0xDC00 && cp <= 0xDFFF then add_utf8 buf 0xFFFD
+            else add_utf8 buf cp
         | _ -> fail st "bad escape");
         advance st;
         go ()
@@ -232,10 +315,12 @@ let of_string s =
 
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
 
-let write_file ~file v =
+let render_pretty = pretty
+
+let write_file ?(pretty = false) ~file v =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string v);
+      output_string oc (if pretty then render_pretty v else to_string v);
       output_char oc '\n')

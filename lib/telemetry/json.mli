@@ -22,16 +22,25 @@ exception Parse_error of string
 val to_string : t -> string
 (** Compact (single-line) serialization. *)
 
+val pretty : t -> string
+(** Indented (2-space) multi-line serialization — same document as
+    {!to_string} but diffable in review. Empty lists and objects stay
+    on one line. *)
+
 val of_string : string -> t
 (** Parse a complete JSON document (trailing whitespace allowed).
     Numbers without [.]/[e] that fit an OCaml [int] come back as
     [Int]; everything else numeric as [Float]. [\u]-escapes are
-    decoded to UTF-8. Raises {!Parse_error} on malformed input. *)
+    decoded to UTF-8 (surrogate pairs combine into one code point; a
+    lone surrogate decodes to U+FFFD). Raises {!Parse_error} on
+    malformed input, with the byte offset in the message. *)
 
 val member : string -> t -> t option
 (** Field lookup in an [Obj]; [None] for a missing field or any other
     constructor. *)
 
-val write_file : file:string -> t -> unit
+val write_file : ?pretty:bool -> file:string -> t -> unit
 (** Serialize to [file] with a trailing newline (truncating any
-    existing file). *)
+    existing file). [pretty] (default false) selects the indented
+    form — used for benchmark and regression artifacts that get
+    diffed in review. *)

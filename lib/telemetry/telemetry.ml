@@ -391,16 +391,20 @@ let render_histogram ?(bins = 6) t name =
         (fun (lo, hi, n) -> Printf.sprintf "    %6.2f-%-6.2f %s" lo hi (String.make n '#'))
         (Pld_util.Stats.histogram ~bins xs)
 
+let render_one (name, m) =
+  match m with
+  | Counter c -> Printf.sprintf "counter %-36s %d" name c.c_value
+  | Gauge g -> Printf.sprintf "gauge   %-36s %s" name (if g.g_set then Printf.sprintf "%g" g.g_value else "(unset)")
+  | Histogram h ->
+      if h.h_n = 0 then Printf.sprintf "hist    %-36s (empty)" name
+      else
+        Printf.sprintf "hist    %-36s n=%d mean=%.3g min=%.3g max=%.3g" name h.h_n
+          (h.h_sum /. float_of_int h.h_n) h.h_min h.h_max
+
 let render_metrics t =
   let s = snapshot t in
-  List.map
-    (fun (name, m) ->
-      match m with
-      | Counter c -> Printf.sprintf "counter %-36s %d" name c.c_value
-      | Gauge g -> Printf.sprintf "gauge   %-36s %s" name (if g.g_set then Printf.sprintf "%g" g.g_value else "(unset)")
-      | Histogram h ->
-          if h.h_n = 0 then Printf.sprintf "hist    %-36s (empty)" name
-          else
-            Printf.sprintf "hist    %-36s n=%d mean=%.3g min=%.3g max=%.3g" name h.h_n
-              (h.h_sum /. float_of_int h.h_n) h.h_min h.h_max)
-    s.s_metrics
+  List.map render_one s.s_metrics
+
+let render_metric t name =
+  let s = snapshot t in
+  Option.map (fun m -> render_one (name, m)) (List.assoc_opt name s.s_metrics)

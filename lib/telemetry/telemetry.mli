@@ -174,6 +174,11 @@ val render_metrics : t -> string list
 (** One aligned line per registered metric, histograms with an
     inline distribution summary. *)
 
+val render_metric : t -> string -> string option
+(** The {!render_metrics} line for a single registered metric, or
+    [None] for an unknown name — lets a harness print one metric
+    inline without dumping the whole registry. *)
+
 val render_summary : t -> string -> string
 (** min/median/mean/max of a histogram's samples — the registry's
     replacement for [Stats.summary] dumps. *)

@@ -12,6 +12,7 @@ let () =
       ("riscv", Test_riscv.suite);
       ("engine", Test_engine.suite);
       ("telemetry", Test_telemetry.suite);
+      ("insight", Test_insight.suite);
       ("pld", Test_pld.suite);
       ("rosetta", Test_rosetta.suite);
       ("faults", Test_faults.suite);

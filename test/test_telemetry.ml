@@ -215,6 +215,82 @@ let test_trace_export_smoke () =
         (fun c -> check_bool ("layer " ^ c ^ " exported") true (List.mem c cats))
         [ "engine"; "loader"; "flow" ])
 
+(* ---------- the JSON parser's error and escape paths ---------- *)
+
+let rejects label src =
+  match Json.of_string src with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Parse_error on %S" label src
+
+let parses_string label src expect =
+  match Json.of_string src with
+  | Json.String s -> check_string label expect s
+  | _ -> Alcotest.failf "%s: %S did not parse to a string" label src
+
+let test_json_rejects_malformed () =
+  rejects "unterminated string" "\"abc";
+  rejects "unterminated escape" "\"abc\\";
+  rejects "bad escape letter" "\"a\\x\"";
+  rejects "truncated \\u" "\"\\u12\"";
+  rejects "bad hex digit" "\"\\u12G4\"";
+  (* [int_of_string "0x12_4"] would accept these; strict hex must not *)
+  rejects "underscore in \\u" "\"\\u12_4\"";
+  rejects "sign in \\u" "\"\\u-123\"";
+  rejects "trailing garbage" "{} x";
+  rejects "bare word" "nul";
+  rejects "unclosed object" "{\"a\": 1";
+  rejects "unclosed array" "[1, 2";
+  rejects "lone comma" "[1,]";
+  rejects "missing colon" "{\"a\" 1}";
+  rejects "empty input" "";
+  rejects "bad number" "[1.2.3]"
+
+let test_json_escapes () =
+  parses_string "simple escapes" "\"a\\n\\t\\\\\\\"b\\/\"" "a\n\t\\\"b/";
+  parses_string "bmp \\u escape" "\"\\u0041\\u00e9\"" "A\xc3\xa9";
+  (* An astral code point arrives as a surrogate pair and must decode
+     to one 4-byte UTF-8 sequence. *)
+  parses_string "surrogate pair" "\"\\ud83d\\ude00\"" "\xf0\x9f\x98\x80";
+  (* Lone surrogates are not code points: U+FFFD, never invalid UTF-8. *)
+  parses_string "lone high surrogate" "\"\\ud83d!\"" "\xef\xbf\xbd!";
+  parses_string "lone low surrogate" "\"\\ude00!\"" "\xef\xbf\xbd!";
+  parses_string "high surrogate before a non-surrogate escape" "\"\\ud83d\\u0041\""
+    "\xef\xbf\xbdA";
+  (* Escaped strings survive a write/parse round-trip. *)
+  let tricky = Json.String "quote\" slash\\ newline\n tab\t emoji\xf0\x9f\x98\x80" in
+  check_bool "escape round-trip" true (Json.of_string (Json.to_string tricky) = tricky)
+
+let test_json_deep_nesting () =
+  let depth = 10_000 in
+  let src =
+    String.concat "" [ String.make depth '['; "42"; String.make depth ']' ]
+  in
+  match Json.of_string src with
+  | exception Stack_overflow -> Alcotest.fail "parser overflowed on deep nesting"
+  | v ->
+      let rec unwrap n = function
+        | Json.List [ inner ] -> unwrap (n + 1) inner
+        | Json.Float f when f = 42.0 -> check_int "nesting depth preserved" depth n
+        | Json.Int 42 -> check_int "nesting depth preserved" depth n
+        | _ -> Alcotest.fail "unexpected shape after deep parse"
+      in
+      unwrap 0 v
+
+let test_json_pretty_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a\nb");
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null; Json.Bool true ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ("nested", Json.Obj [ ("k", Json.List [ Json.Obj [ ("x", Json.Int 7) ] ]) ]);
+      ]
+  in
+  let p = Json.pretty doc in
+  check_bool "pretty output is indented" true (String.contains p '\n');
+  check_bool "pretty parses back to the same document" true (Json.of_string p = doc)
+
 let suite =
   [
     Alcotest.test_case "with_span nests by containment" `Quick test_with_span_nesting;
@@ -226,4 +302,8 @@ let suite =
     Alcotest.test_case "chrome export round-trips" `Quick test_chrome_json_roundtrip;
     Alcotest.test_case "metrics export round-trips" `Quick test_metrics_json_roundtrip;
     Alcotest.test_case "trace file export smoke" `Quick test_trace_export_smoke;
+    Alcotest.test_case "json parser rejects malformed input" `Quick test_json_rejects_malformed;
+    Alcotest.test_case "json string escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json deep nesting" `Quick test_json_deep_nesting;
+    Alcotest.test_case "json pretty round-trip" `Quick test_json_pretty_roundtrip;
   ]
