@@ -440,10 +440,112 @@ let baseline_cmd =
   let doc = "Record or enforce a performance baseline (the regression sentinel)." in
   Cmd.group (Cmd.info "baseline" ~doc) [ baseline_save_cmd; baseline_check_cmd ]
 
+(* ---------- property-based differential fuzzing ---------- *)
+
+let fuzz_cmd =
+  let module F = Pld_proptest.Fuzz in
+  let doc =
+    "Generate random dataflow graphs and differentially check them across optimization levels."
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int F.default_options.F.seed
+      & info [ "seed" ] ~docv:"N" ~doc:"Root seed; equal seeds generate equal cases.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int F.default_options.F.count
+      & info [ "count" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let max_ops_arg =
+    Arg.(
+      value
+      & opt int F.default_options.F.params.Pld_proptest.Gen.max_ops
+      & info [ "max-ops" ] ~docv:"N"
+          ~doc:"Operator budget per graph (capped at the softcore page count).")
+  in
+  let max_tokens_arg =
+    Arg.(
+      value
+      & opt int F.default_options.F.params.Pld_proptest.Gen.max_tokens
+      & info [ "max-tokens" ] ~docv:"N" ~doc:"Largest input frame length.")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt string "O0:O3"
+      & info [ "level-pairs" ] ~docv:"PAIRS"
+          ~doc:"Comma-separated level pairs to compare, e.g. O0:O3,O1:O3.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Persist shrunk reproducers of failing cases here.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the (bit-reproducible) summary JSON to FILE; - for stdout.")
+  in
+  let fault_sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Also rebuild each passing case at -O1 under injected faults (flaky compile job, \
+             defective page, lossy NoC links); recovery must not change any output token.")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value
+      & opt int F.default_options.F.shrink_budget
+      & info [ "shrink-budget" ] ~docv:"N" ~doc:"Oracle evaluations the shrinker may spend per case.")
+  in
+  let run seed count max_ops max_tokens pairs_s corpus json fault_sweep shrink_budget =
+    let pairs =
+      match F.parse_level_pairs pairs_s with
+      | Ok p -> p
+      | Error e ->
+          Printf.eprintf "pldc: bad --level-pairs: %s\n" e;
+          exit 2
+    in
+    let opts =
+      {
+        F.seed;
+        count;
+        params = { Pld_proptest.Gen.default_params with Pld_proptest.Gen.max_ops; max_tokens };
+        levels = F.levels_of_pairs pairs;
+        pairs;
+        corpus_dir = corpus;
+        fault_sweep;
+        shrink_budget;
+        fuel = None;
+      }
+    in
+    let summary = F.run ~log:print_endline opts in
+    print_string (F.render summary);
+    (match json with
+    | None -> ()
+    | Some "-" -> print_endline (Pld_telemetry.Json.to_string (F.summary_json summary))
+    | Some file -> Pld_telemetry.Json.write_file ~file (F.summary_json summary));
+    if summary.F.s_failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seed_arg $ count_arg $ max_ops_arg $ max_tokens_arg $ pairs_arg $ corpus_arg
+      $ json_arg $ fault_sweep_arg $ shrink_budget_arg)
+
 let () =
   let doc = "PLD: partition, link and load applications on programmable logic devices (simulated)" in
   let info = Cmd.info "pldc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd; analyze_cmd; baseline_cmd ]))
+          [
+            list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd; analyze_cmd; baseline_cmd;
+            fuzz_cmd;
+          ]))

@@ -41,6 +41,21 @@ let consumer t chan =
   List.find_opt (fun i -> binds_port_to i chan i.op.Op.inputs) t.instances
   |> Option.map (fun i -> i.inst_name)
 
+let rebind t ~inst ~port chan =
+  {
+    t with
+    instances =
+      List.map
+        (fun i ->
+          if i.inst_name = inst then
+            { i with bindings = List.map (fun (p, c) -> if p = port then (p, chan) else (p, c)) i.bindings }
+          else i)
+        t.instances;
+  }
+
+let binding t ~inst ~port =
+  Option.bind (find_instance t inst) (fun i -> List.assoc_opt port i.bindings)
+
 let retarget t inst_name target =
   {
     t with

@@ -48,6 +48,16 @@ val producer : t -> string -> string option
 
 val consumer : t -> string -> string option
 
+val rebind : t -> inst:string -> port:string -> string -> t
+(** [rebind g ~inst ~port chan] repoints one instance's port binding at
+    [chan], leaving every other binding alone. The result is not
+    revalidated — the mutation harness uses this to model post-link
+    miswiring, so the caller decides whether the outcome must still
+    pass {!Validate}. *)
+
+val binding : t -> inst:string -> port:string -> string option
+(** The channel [inst]'s [port] is bound to, if both exist. *)
+
 val retarget : t -> string -> target -> t
 (** Change one instance's mapping pragma — the single-line edit that
     switches an operator between -O0 and -O1 in the paper's flow. *)

@@ -7,7 +7,21 @@ type result = {
   printed : (string * string) list;
 }
 
-let run ?fuel ?(rounds = 1) ?(processor = false) (g : Graph.t) ~inputs =
+(* Registration order is the scheduler's round-robin order; [order]
+   lets the differential tests prove the Kahn property (outputs do not
+   depend on it). Unlisted instances keep their graph order, after the
+   listed ones. *)
+let ordered_instances ?order (g : Graph.t) =
+  match order with
+  | None -> g.Graph.instances
+  | Some names ->
+      let listed =
+        List.filter_map (fun n -> List.find_opt (fun i -> i.Graph.inst_name = n) g.instances) names
+      in
+      let rest = List.filter (fun i -> not (List.mem i.Graph.inst_name names)) g.instances in
+      listed @ rest
+
+let run ?fuel ?(rounds = 1) ?(processor = false) ?order (g : Graph.t) ~inputs =
   Validate.check_graph_exn g;
   let module Telemetry = Pld_telemetry.Telemetry in
   Telemetry.with_span Telemetry.default ~cat:"cosim"
@@ -58,7 +72,7 @@ let run ?fuel ?(rounds = 1) ?(processor = false) (g : Graph.t) ~inputs =
               Interp.run_operator ~processor ~counters:c i.op io
             done);
         (i.inst_name, c))
-      g.instances
+      (ordered_instances ?order g)
   in
   Network.run ?fuel net;
   let outputs = List.map (fun name -> (name, Network.drain (chan name))) g.outputs in

@@ -16,14 +16,17 @@ val run :
   ?fuel:int ->
   ?rounds:int ->
   ?processor:bool ->
+  ?order:string list ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
 (** [run g ~inputs] validates [g], preloads each input channel, runs
     every operator body [rounds] times (default 1 — one frame), and
     drains the outputs. [processor] enables [Printf] statements.
-    Raises {!Validate.Invalid}, {!Network.Deadlock} or
-    {!Network.Out_of_fuel}. *)
+    [order] registers processes (and hence schedules the round-robin)
+    in the given instance order — by the Kahn property the outputs must
+    not depend on it, which the property-based oracle checks. Raises
+    {!Validate.Invalid}, {!Network.Deadlock} or {!Network.Out_of_fuel}. *)
 
 val run_words :
   ?fuel:int -> ?rounds:int -> Graph.t -> inputs:(string * int list) list -> (string * int list) list

@@ -18,6 +18,8 @@ type result = {
   avg_latency : float;
 }
 
+let total_tokens links = List.fold_left (fun acc l -> acc + l.tokens) 0 links
+
 let configure_links net links =
   List.iter
     (fun l ->

@@ -30,6 +30,10 @@ type result = {
   avg_latency : float;
 }
 
+val total_tokens : link list -> int
+(** Sum of per-link token counts — the exactly-once delivery oracle
+    compares {!result.delivered} against this. *)
+
 val configure_links : Bft.t -> link list -> unit
 (** Program every source leaf's routing registers. *)
 

@@ -1,0 +1,72 @@
+(** The fuzzing driver behind [pldc fuzz] and the CI smoke job.
+
+    Generates [count] seeded cases, runs the differential oracle on
+    each at every level named by the requested level pairs, optionally
+    rides a fault-injection sweep on passing cases, shrinks failures,
+    and persists the minimized reproducers to the corpus directory.
+    The summary deliberately contains no wall-clock or host state, so
+    two runs with equal options serialize to identical JSON — which is
+    itself one of the properties CI pins. *)
+
+module B = Pld_core.Build
+
+type options = {
+  seed : int;
+  count : int;
+  params : Gen.params;
+  levels : B.level list;  (** union of every level named by [pairs] *)
+  pairs : (B.level * B.level) list;
+  corpus_dir : string option;  (** persist shrunk reproducers here *)
+  fault_sweep : bool;  (** also rebuild each passing case under injected faults *)
+  shrink_budget : int;
+  fuel : int option;
+}
+
+val default_options : options
+(** seed 42, 100 cases, the [-O0:-O3] pair, no corpus, no faults. *)
+
+val parse_level_pairs : string -> ((B.level * B.level) list, string) result
+(** ["O0:O3,O1:O3"] → [[(O0, O3); (O1, O3)]]. *)
+
+val levels_of_pairs : (B.level * B.level) list -> B.level list
+(** Deduplicated union, first-mention order. *)
+
+type case_report = {
+  r_index : int;
+  r_digest : string;  (** content digest of (graph, workload) *)
+  r_instances : int;
+  r_failures : Oracle.failure list;
+  r_shrunk_instances : int option;  (** after minimization, failing cases only *)
+  r_saved : string option;  (** corpus path of the reproducer *)
+}
+
+type summary = {
+  s_seed : int;
+  s_count : int;
+  s_pairs : (B.level * B.level) list;
+  s_fault_sweep : bool;
+  s_cases : case_report list;
+  s_passed : int;
+  s_failed : int;
+}
+
+val run : ?log:(string -> unit) -> options -> summary
+(** Never raises: every toolchain error is a structured failure in the
+    corresponding case report. [log] receives progress lines as
+    failures are found. *)
+
+val fault_check :
+  ?fuel:int ->
+  case_seed:int ->
+  Pld_ir.Graph.t ->
+  inputs:(string * Pld_ir.Value.t list) list ->
+  (string * Pld_ir.Value.t list) list ->
+  Oracle.failure list
+(** One fault-sweep step: rebuild at -O1 under a flaky page-compile
+    job, a defective page and lossy NoC links; recovery must leave
+    every output token identical to the fault-free expectation. *)
+
+val summary_json : summary -> Pld_telemetry.Json.t
+(** Bit-reproducible across runs with equal options. *)
+
+val render : summary -> string

@@ -1,0 +1,341 @@
+open Pld_ir
+module Rng = Pld_util.Rng
+module Dsl = Pld_rosetta.Dsl
+module Digest = Pld_util.Digest_lite
+
+type params = {
+  max_ops : int;
+  max_tokens : int;
+  riscv_share : int;
+  max_channel_tokens : int;
+}
+
+(* Default sizes keep a case inside the floorplan at every level: the
+   u50 fabric has 22 pages but only the 7 big-BRAM ones can host the
+   PicoRV32 softcore, and -O0 puts *every* instance on a softcore — so
+   the default instance budget is 7. They also keep the -O0 cycle-level
+   cosim of a whole fuzz batch fast. *)
+let default_params = { max_ops = 7; max_tokens = 6; riscv_share = 20; max_channel_tokens = 32 }
+
+type case = {
+  index : int;
+  case_seed : int;
+  graph : Graph.t;
+  inputs : (string * Value.t list) list;
+}
+
+(* ---------- the closed expression grammar ---------- *)
+
+(* Compute types drawn per operator: ap_uint/ap_int plus one fixed-point
+   type whose products stay under the 64-bit -O0 ap-runtime limit. *)
+let fx = Dtype.SFixed { width = 24; int_bits = 12 }
+
+let integer_dtypes = [| Dtype.word; Dtype.SInt 32; Dtype.UInt 16; Dtype.SInt 8 |]
+let compute_dtypes = Array.append integer_dtypes [| fx |]
+
+let int_binops = [| Expr.Add; Expr.Sub; Expr.Mul; Expr.Add; Expr.Sub; Expr.Xor; Expr.And; Expr.Or; Expr.Div; Expr.Rem |]
+let fx_binops = [| Expr.Add; Expr.Sub; Expr.Mul; Expr.Add |]
+let cmps = [| Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.Eq; Expr.Ne |]
+
+let const_of rng dt =
+  if Dtype.equal dt fx then Expr.float_ fx (float_of_int (Rng.int_in rng (-16) 16) /. 4.0)
+  else
+    let magnitude = if Rng.int rng 4 = 0 then 0xFFFF else 16 in
+    let v = Rng.int rng (magnitude + 1) in
+    let v = if Dtype.is_signed dt && Rng.bool rng then -v else v in
+    Expr.int dt v
+
+(* [vars] are scalar locals of type [dt]; [loop] is the name of the
+   enclosing loop variable (an ap_int<32>), usable through a cast. *)
+let rec gen_expr rng ~dt ~vars ~loop ~depth =
+  let leaf () =
+    match Rng.int rng 4 with
+    | 0 -> const_of rng dt
+    | 1 when loop <> None -> Expr.Cast (dt, Expr.var (Option.get loop))
+    | _ -> Expr.var (Rng.choose rng vars)
+  in
+  if depth <= 0 || Rng.int rng 4 = 0 then leaf ()
+  else
+    let sub () = gen_expr rng ~dt ~vars ~loop ~depth:(depth - 1) in
+    let integer = Dtype.is_integer dt in
+    match Rng.int rng (if integer then 8 else 6) with
+    | 0 | 1 ->
+        let ops = if integer then int_binops else fx_binops in
+        Expr.Bin (Rng.choose rng ops, sub (), sub ())
+    | 2 ->
+        (* Both arms cast back to [dt]: the ap-runtime requires select
+           arms to agree on their inferred type. *)
+        Expr.Select
+          (Expr.Bin (Rng.choose rng cmps, sub (), sub ()), Expr.Cast (dt, sub ()), Expr.Cast (dt, sub ()))
+    | 3 -> if Dtype.is_signed dt then Expr.Un (Expr.Neg, sub ()) else Expr.Bin (Expr.Add, sub (), sub ())
+    | 4 ->
+        (* Narrow-and-return: exercises the cast/width rules. *)
+        let narrow = if integer then Rng.choose rng integer_dtypes else fx in
+        Expr.Cast (dt, Expr.Cast (narrow, sub ()))
+    | 5 when integer ->
+        (* Fixed-point excursion from an integer context. *)
+        Expr.Cast (dt, Expr.Bin (Rng.choose rng fx_binops, Expr.Cast (fx, sub ()), const_of rng fx))
+    | 5 -> Expr.Bin (Rng.choose rng fx_binops, sub (), sub ())
+    | 6 -> Expr.Bin ((if Rng.bool rng then Expr.Shl else Expr.Shr), sub (), Expr.int (Dtype.SInt 32) (Rng.int rng 8))
+    | _ -> Expr.Un (Expr.BNot, sub ())
+
+(* ---------- operator shapes ---------- *)
+
+(* Every shape consumes and produces a statically known token count per
+   frame; the graph builder threads those counts so multi-rate chains
+   stay consistent and channel depths can be sized to make the
+   (feedback-free) topology deadlock-free. *)
+
+let expr1 rng dt var = gen_expr rng ~dt ~vars:[| var |] ~loop:(Some "i") ~depth:3
+let expr2 rng dt a b = gen_expr rng ~dt ~vars:[| a; b |] ~loop:(Some "i") ~depth:3
+
+let shape_map rng ~name ~n =
+  let dt = Rng.choose rng compute_dtypes in
+  Dsl.map_op ~name ~n ~dt (fun _ -> expr1 rng dt "x")
+
+let shape_stateful_map rng ~name ~n =
+  let dt = Rng.choose rng compute_dtypes in
+  Op.make ~name ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "x" dt; Op.scalar ~init:(Value.of_int dt 1) "acc" dt ]
+    [
+      Dsl.for_ "i" 0 n
+        [
+          Dsl.read "x" "in";
+          Dsl.assign "acc" (expr2 rng dt "acc" "x");
+          Dsl.write "out" (expr2 rng dt "acc" "x");
+        ];
+    ]
+
+let shape_branch rng ~name ~n =
+  let dt = Rng.choose rng compute_dtypes in
+  Op.make ~name ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "x" dt ]
+    [
+      Dsl.for_ "i" 0 n
+        [
+          Dsl.read "x" "in";
+          Dsl.if_
+            (Expr.Bin (Rng.choose rng cmps, Expr.var "x", const_of rng dt))
+            [ Dsl.write "out" (expr1 rng dt "x") ]
+            [ Dsl.write "out" (expr1 rng dt "x") ];
+        ];
+    ]
+
+let shape_buffer rng ~name ~n =
+  let dt = Rng.choose rng compute_dtypes in
+  Op.make ~name ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.array "buf" dt n ]
+    [
+      Dsl.for_ "i" 0 n [ Dsl.read_at "buf" (Expr.var "i") "in" ];
+      Dsl.for_ "j" 0 n
+        [
+          Dsl.write "out"
+            (Expr.Idx ("buf", Expr.Bin (Expr.Sub, Expr.int (Dtype.SInt 32) (n - 1), Expr.var "j")));
+        ];
+    ]
+
+let shape_dup rng ~name ~n =
+  let dt = Rng.choose rng compute_dtypes in
+  Dsl.dup_op ~name ~n ~dt (fun _ -> expr1 rng dt "x") (fun _ -> expr1 rng dt "x")
+
+let shape_zip rng ~name ~n =
+  let dt = Rng.choose rng compute_dtypes in
+  Dsl.zip_op ~name ~n ~dt (fun _ _ -> expr2 rng dt "a" "b")
+
+let shape_decimate rng ~name ~n =
+  (* Consumes 2n, produces n: the multi-rate consumer. *)
+  let dt = Rng.choose rng compute_dtypes in
+  Op.make ~name ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "a" dt; Op.scalar "b" dt ]
+    [
+      Dsl.for_ "i" 0 n
+        [ Dsl.read "a" "in"; Dsl.read "b" "in"; Dsl.write "out" (expr2 rng dt "a" "b") ];
+    ]
+
+let shape_expand rng ~name ~n =
+  (* Consumes n, produces 2n: the multi-rate producer. *)
+  let dt = Rng.choose rng compute_dtypes in
+  Op.make ~name ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "x" dt ]
+    [
+      Dsl.for_ "i" 0 n
+        [ Dsl.read "x" "in"; Dsl.write "out" (expr1 rng dt "x"); Dsl.write "out" (expr1 rng dt "x") ];
+    ]
+
+(* ---------- graph assembly ---------- *)
+
+type open_chan = { oc_name : string; oc_tokens : int }
+
+let graph ?(params = default_params) rng ~name =
+  (* 7 floorplan pages can host a softcore; -O0 needs one per instance. *)
+  let max_ops = min params.max_ops 7 in
+  let base_tokens = max 2 (Rng.int_in rng 2 (max 2 params.max_tokens)) in
+  let n_inputs = Rng.int_in rng 1 2 in
+  let channels = ref [] in
+  let instances = ref [] in
+  let chan_counter = ref 0 in
+  let mk_chan tokens =
+    let cn = Printf.sprintf "c%d" !chan_counter in
+    incr chan_counter;
+    channels := Graph.channel ~depth:(tokens + 2) cn :: !channels;
+    cn
+  in
+  let inputs =
+    List.init n_inputs (fun i ->
+        let cn = Printf.sprintf "in%d" i in
+        channels := Graph.channel ~depth:(base_tokens + 2) cn :: !channels;
+        cn)
+  in
+  let open_chans = ref (List.map (fun cn -> { oc_name = cn; oc_tokens = base_tokens }) inputs) in
+  let take oc = open_chans := List.filter (fun o -> o.oc_name <> oc.oc_name) !open_chans in
+  let target () = if Rng.int rng 100 < params.riscv_share then Graph.Riscv else Graph.Hw { page_hint = None } in
+  let add_instance op bindings =
+    instances := Graph.instance ~target:(target ()) ~name:op.Op.name op bindings :: !instances
+  in
+  let is_input cn = List.mem cn inputs in
+  (* Reserve headroom so a final pass can always consume leftover graph
+     inputs: an input that stayed open would be both a graph input and
+     a graph output — a DMA self-link the NoC never carries. *)
+  let n_ops = Rng.int_in rng 1 (max 1 (max_ops - n_inputs)) in
+  for k = 0 to n_ops - 1 do
+    let pick_open () =
+      (* Prefer unconsumed graph inputs so real topologies start there. *)
+      match List.filter (fun o -> is_input o.oc_name) !open_chans with
+      | [] -> Rng.choose rng (Array.of_list !open_chans)
+      | ins -> Rng.choose rng (Array.of_list ins)
+    in
+    let zip_pair () =
+      (* Two distinct open channels carrying the same frame length. *)
+      let eligible =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b -> if a.oc_name < b.oc_name && a.oc_tokens = b.oc_tokens then Some (a, b) else None)
+              !open_chans)
+          !open_chans
+      in
+      match eligible with [] -> None | l -> Some (Rng.choose rng (Array.of_list l))
+    in
+    let shapes =
+      List.concat
+        [
+          [ `Map; `Map; `Smap; `Branch; `Dup ];
+          (if List.exists (fun o -> o.oc_tokens <= 16) !open_chans then [ `Buffer ] else []);
+          (match zip_pair () with Some _ -> [ `Zip; `Zip ] | None -> []);
+          (if List.exists (fun o -> o.oc_tokens mod 2 = 0 && o.oc_tokens >= 2) !open_chans then [ `Decim ] else []);
+          (if List.exists (fun o -> 2 * o.oc_tokens <= params.max_channel_tokens) !open_chans then [ `Expand ] else []);
+        ]
+    in
+    match Rng.choose rng (Array.of_list shapes) with
+    | (`Map | `Smap | `Branch | `Buffer) as shape ->
+        let oc =
+          match shape with
+          | `Buffer ->
+              Rng.choose rng (Array.of_list (List.filter (fun o -> o.oc_tokens <= 16) !open_chans))
+          | _ -> pick_open ()
+        in
+        let n = oc.oc_tokens in
+        let nm pfx = Printf.sprintf "%s%d" pfx k in
+        let op =
+          match shape with
+          | `Map -> shape_map rng ~name:(nm "map") ~n
+          | `Smap -> shape_stateful_map rng ~name:(nm "smap") ~n
+          | `Branch -> shape_branch rng ~name:(nm "sel") ~n
+          | `Buffer -> shape_buffer rng ~name:(nm "buf") ~n
+        in
+        take oc;
+        let out = mk_chan n in
+        add_instance op [ ("in", oc.oc_name); ("out", out) ];
+        open_chans := { oc_name = out; oc_tokens = n } :: !open_chans
+    | `Dup ->
+        let oc = pick_open () in
+        let n = oc.oc_tokens in
+        let op = shape_dup rng ~name:(Printf.sprintf "dup%d" k) ~n in
+        take oc;
+        let o0 = mk_chan n and o1 = mk_chan n in
+        add_instance op [ ("in", oc.oc_name); ("out0", o0); ("out1", o1) ];
+        open_chans :=
+          { oc_name = o0; oc_tokens = n } :: { oc_name = o1; oc_tokens = n } :: !open_chans
+    | `Zip -> begin
+        match zip_pair () with
+        | None -> ()
+        | Some (a, b) ->
+            let n = a.oc_tokens in
+            let op = shape_zip rng ~name:(Printf.sprintf "zip%d" k) ~n in
+            take a;
+            take b;
+            let out = mk_chan n in
+            add_instance op [ ("in0", a.oc_name); ("in1", b.oc_name); ("out", out) ];
+            open_chans := { oc_name = out; oc_tokens = n } :: !open_chans
+      end
+    | `Decim ->
+        let oc =
+          Rng.choose rng
+            (Array.of_list (List.filter (fun o -> o.oc_tokens mod 2 = 0 && o.oc_tokens >= 2) !open_chans))
+        in
+        let n = oc.oc_tokens / 2 in
+        let op = shape_decimate rng ~name:(Printf.sprintf "dec%d" k) ~n in
+        take oc;
+        let out = mk_chan n in
+        add_instance op [ ("in", oc.oc_name); ("out", out) ];
+        open_chans := { oc_name = out; oc_tokens = n } :: !open_chans
+    | `Expand ->
+        let oc =
+          Rng.choose rng
+            (Array.of_list
+               (List.filter (fun o -> 2 * o.oc_tokens <= params.max_channel_tokens) !open_chans))
+        in
+        let n = oc.oc_tokens in
+        let op = shape_expand rng ~name:(Printf.sprintf "exp%d" k) ~n in
+        take oc;
+        let out = mk_chan (2 * n) in
+        add_instance op [ ("in", oc.oc_name); ("out", out) ];
+        open_chans := { oc_name = out; oc_tokens = 2 * n } :: !open_chans
+  done;
+  (* Final pass: any graph input still open gets a map stage. *)
+  List.iteri
+    (fun i oc ->
+      if is_input oc.oc_name then begin
+        let n = oc.oc_tokens in
+        let op = shape_map rng ~name:(Printf.sprintf "map%d" (n_ops + i)) ~n in
+        take oc;
+        let out = mk_chan n in
+        add_instance op [ ("in", oc.oc_name); ("out", out) ];
+        open_chans := { oc_name = out; oc_tokens = n } :: !open_chans
+      end)
+    !open_chans;
+  let outputs = List.rev_map (fun o -> o.oc_name) !open_chans in
+  let g =
+    Graph.make ~name ~channels:(List.rev !channels) ~instances:(List.rev !instances) ~inputs
+      ~outputs
+  in
+  let workload =
+    List.map
+      (fun cn ->
+        ( cn,
+          List.init base_tokens (fun _ ->
+              let v =
+                if Rng.int rng 3 = 0 then Int64.to_int (Int64.logand (Rng.bits64 rng) 0xFFFFFFFFL)
+                else Rng.int rng 256
+              in
+              Value.of_int Dtype.word v) ))
+      inputs
+  in
+  (g, workload)
+
+let case ?params ~seed ~index () =
+  let case_seed = Seeded.case_seed ~seed index in
+  let rng = Rng.create case_seed in
+  let g, inputs = graph ?params rng ~name:(Printf.sprintf "fuzz%d" index) in
+  { index; case_seed; graph = g; inputs }
+
+(* A content digest of one case: everything the differential oracle's
+   behaviour depends on. Two runs agreeing on every case digest (and
+   every verdict) is the bit-reproducibility check. *)
+let digest g inputs =
+  Digest.of_parts
+    (Graph.source g
+    :: List.map (fun (i : Graph.instance) -> Op.source i.op) g.Graph.instances
+    @ List.concat_map
+        (fun (cn, vs) -> cn :: List.map (fun v -> string_of_int (Value.to_int (Value.bitcast Dtype.word v))) vs)
+        inputs)

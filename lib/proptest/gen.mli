@@ -1,0 +1,41 @@
+(** Seeded random dataflow-graph generator over the Rosetta IR.
+
+    Draws operator bodies from a closed expression grammar over
+    ap_int/ap_fixed (every construct in it is supported by the
+    interpreter, the HLS flow, and the -O0 ap-runtime alike) and
+    composes them into random topologies: linear chains, fan-out
+    through explicit [dup] operators, joins, reconvergent diamonds,
+    and multi-rate producers/consumers. Graphs are feedback-free,
+    validate cleanly, fit the 22-page floorplan, and are deadlock-free
+    by construction (every channel is as deep as the frame that flows
+    through it). *)
+
+open Pld_ir
+
+type params = {
+  max_ops : int;  (** operator-instance budget, clamped to 21 (pages minus DMA) *)
+  max_tokens : int;  (** largest input frame length *)
+  riscv_share : int;  (** percentage of instances pinned to RISCV pages *)
+  max_channel_tokens : int;  (** expansion cap for multi-rate producers *)
+}
+
+val default_params : params
+
+type case = {
+  index : int;
+  case_seed : int;
+  graph : Graph.t;
+  inputs : (string * Value.t list) list;  (** word tokens per graph input *)
+}
+
+val graph :
+  ?params:params -> Pld_util.Rng.t -> name:string -> Graph.t * (string * Value.t list) list
+(** One random graph plus a matching workload, drawn entirely from the
+    given generator. *)
+
+val case : ?params:params -> seed:int -> index:int -> unit -> case
+(** Case [index] of the stream rooted at [seed], via {!Seeded}. *)
+
+val digest : Graph.t -> (string * Value.t list) list -> string
+(** Content digest of a (graph, workload) pair — what fuzz summaries
+    report so two runs can be compared bit-for-bit. *)

@@ -1,0 +1,40 @@
+open Pld_ir
+
+type t = Swap_inputs of { a : string * string; b : string * string }
+
+let describe (Swap_inputs { a = ia, pa; b = ib, pb }) =
+  Printf.sprintf "swap %s.%s <-> %s.%s" ia pa ib pb
+
+let instances (Swap_inputs { a = ia, _; b = ib, _ }) = [ ia; ib ]
+
+let input_bindings (g : Graph.t) =
+  List.concat_map
+    (fun (i : Graph.instance) ->
+      List.filter_map
+        (fun (p : Op.port) ->
+          Option.map (fun c -> (i.inst_name, p.Op.port_name, c)) (Graph.binding g ~inst:i.inst_name ~port:p.port_name))
+        i.op.Op.inputs)
+    g.Graph.instances
+
+let candidates (g : Graph.t) =
+  let binds = input_bindings g in
+  let pairs same =
+    List.concat_map
+      (fun (ia, pa, ca) ->
+        List.filter_map
+          (fun (ib, pb, cb) ->
+            if (ia, pa) < (ib, pb) && ca <> cb && same = (ia = ib) then
+              Some (Swap_inputs { a = (ia, pa); b = (ib, pb) })
+            else None)
+          binds)
+      binds
+  in
+  (* Same-instance swaps first: they always preserve acyclicity and
+     shrink to the smallest reproducers. *)
+  pairs true @ pairs false
+
+let apply (Swap_inputs { a = ia, pa; b = ib, pb } as m) g =
+  match (Graph.binding g ~inst:ia ~port:pa, Graph.binding g ~inst:ib ~port:pb) with
+  | Some ca, Some cb ->
+      Graph.rebind (Graph.rebind g ~inst:ia ~port:pa cb) ~inst:ib ~port:pb ca
+  | _ -> invalid_arg (Printf.sprintf "Mutate.apply: %s names a missing binding" (describe m))

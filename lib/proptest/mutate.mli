@@ -1,0 +1,31 @@
+(** Deliberate miscompilation for oracle self-tests.
+
+    A mutation models a linker bug: the source the reference
+    interpreter sees is untouched, but the built artifact's stream
+    wiring is changed after linking (via {!Pld_ir.Graph.rebind}).
+    Swapping two input-port bindings always preserves the
+    one-producer/one-consumer channel discipline, so a mutant fails
+    {e behaviourally} — wrong output streams or a stall — exactly the
+    class of bug the differential oracle exists to catch. *)
+
+open Pld_ir
+
+type t = Swap_inputs of { a : string * string; b : string * string }
+    (** Two [(instance, input port)] sites whose channel bindings are
+        exchanged. *)
+
+val describe : t -> string
+
+val instances : t -> string list
+(** The instance names a mutation references — the shrinker must not
+    delete them. *)
+
+val candidates : Graph.t -> t list
+(** All well-formed swaps, same-instance pairs (which cannot introduce
+    cycles) first. *)
+
+val apply : t -> Graph.t -> Graph.t
+(** Exchange the two bindings. Raises [Invalid_argument] if either
+    site does not exist. Cross-instance swaps may create a cyclic
+    graph; callers treat any resulting stall/cycle error as the
+    mutant being caught. *)

@@ -1,0 +1,22 @@
+module Rng = Pld_util.Rng
+module Digest = Pld_util.Digest_lite
+
+(* Hash a digest string into a non-negative int. Pure function of its
+   inputs, so derived seeds are stable across runs, machines, and OCaml
+   versions — the whole point of the discipline. *)
+let derive ~seed tag =
+  let d = Digest.of_parts [ string_of_int seed; tag ] in
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) d;
+  !h
+
+let case_seed ~seed index = derive ~seed (Printf.sprintf "case:%d" index)
+
+let case_rng ~seed index = Rng.create (case_seed ~seed index)
+
+let cases ~seed ~count f =
+  for i = 0 to count - 1 do
+    f i (case_rng ~seed i)
+  done
+
+let sub_seeds ~seed ~count tag = List.init count (fun i -> derive ~seed (Printf.sprintf "%s:%d" tag i))

@@ -1,0 +1,29 @@
+(** One deterministic PRNG discipline for every randomized suite.
+
+    A root seed (CLI flag or [PLD_FAULT_SEED]) plus a textual tag or a
+    case index derives an independent sub-seed through
+    {!Pld_util.Digest_lite}, so fuzz cases, fault sweeps and
+    regression replays all draw from streams that are (a) independent
+    of each other and (b) bit-reproducible from the root seed alone —
+    no global RNG, no ad-hoc [seed + i] arithmetic scattered through
+    test files. *)
+
+val derive : seed:int -> string -> int
+(** [derive ~seed tag] is a stable non-negative sub-seed. Different
+    tags give independent streams; equal inputs give equal outputs on
+    every platform. *)
+
+val case_seed : seed:int -> int -> int
+(** The sub-seed of numbered case [index] under [seed]. *)
+
+val case_rng : seed:int -> int -> Pld_util.Rng.t
+(** A fresh generator for numbered case [index] under [seed]. *)
+
+val cases : seed:int -> count:int -> (int -> Pld_util.Rng.t -> unit) -> unit
+(** [cases ~seed ~count f] runs [f index rng] for each case with its
+    derived generator — the seeded-case combinator the fault sweeps
+    and the fuzzer share. *)
+
+val sub_seeds : seed:int -> count:int -> string -> int list
+(** [count] derived sub-seeds under [tag] — for suites that need plain
+    seeds (e.g. fault injectors) rather than generators. *)

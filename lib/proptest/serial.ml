@@ -1,0 +1,331 @@
+open Pld_ir
+module Json = Pld_telemetry.Json
+module Bits = Pld_apfixed.Bits
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+(* ---------- helpers ---------- *)
+
+let str = function Json.String s -> s | j -> fail "expected string, got %s" (Json.to_string j)
+let int_ = function Json.Int i -> i | j -> fail "expected int, got %s" (Json.to_string j)
+let list_ = function Json.List l -> l | j -> fail "expected list, got %s" (Json.to_string j)
+
+let field name j =
+  match Json.member name j with Some v -> v | None -> fail "missing field %S" name
+
+let opt_field name j = match Json.member name j with Some Json.Null | None -> None | v -> v
+
+(* ---------- dtypes ---------- *)
+
+let dtype_to_json dt = Json.String (Dtype.to_string dt)
+
+let dtype_of_json j =
+  let s = str j in
+  let num_args prefix =
+    let inner = String.sub s (String.length prefix) (String.length s - String.length prefix - 1) in
+    List.map int_of_string (String.split_on_char ',' inner)
+  in
+  let has prefix = String.length s > String.length prefix && String.sub s 0 (String.length prefix) = prefix in
+  try
+    if s = "bool" then Dtype.Bool
+    else if has "ap_uint<" then Dtype.UInt (List.hd (num_args "ap_uint<"))
+    else if has "ap_int<" then Dtype.SInt (List.hd (num_args "ap_int<"))
+    else if has "ap_ufixed<" then
+      match num_args "ap_ufixed<" with
+      | [ w; i ] -> Dtype.UFixed { width = w; int_bits = i }
+      | _ -> fail "bad fixed dtype %S" s
+    else if has "ap_fixed<" then
+      match num_args "ap_fixed<" with
+      | [ w; i ] -> Dtype.SFixed { width = w; int_bits = i }
+      | _ -> fail "bad fixed dtype %S" s
+    else fail "unknown dtype %S" s
+  with Failure _ -> fail "unparseable dtype %S" s
+
+(* ---------- values: dtype + raw hex pattern, exact round-trip ---------- *)
+
+let value_to_json v =
+  Json.Obj [ ("t", dtype_to_json (Value.dtype v)); ("x", Json.String (Bits.to_hex (Value.to_bits v))) ]
+
+let value_of_json j =
+  let dt = dtype_of_json (field "t" j) in
+  Value.of_bits dt (Bits.of_hex ~width:(Dtype.width dt) (str (field "x" j)))
+
+(* ---------- expressions ---------- *)
+
+let binop_of_name s =
+  let all =
+    [
+      Expr.Add; Expr.Sub; Expr.Mul; Expr.Div; Expr.Rem; Expr.And; Expr.Or; Expr.Xor; Expr.Shl;
+      Expr.Shr; Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.LAnd; Expr.LOr;
+    ]
+  in
+  match List.find_opt (fun b -> Expr.binop_name b = s) all with
+  | Some b -> b
+  | None -> fail "unknown binop %S" s
+
+let unop_name = function Expr.Neg -> "neg" | Expr.BNot -> "bnot" | Expr.LNot -> "lnot"
+
+let unop_of_name = function
+  | "neg" -> Expr.Neg
+  | "bnot" -> Expr.BNot
+  | "lnot" -> Expr.LNot
+  | s -> fail "unknown unop %S" s
+
+let rec expr_to_json (e : Expr.t) : Json.t =
+  match e with
+  | Expr.Const v -> Json.Obj [ ("k", Json.String "const"); ("v", value_to_json v) ]
+  | Expr.Var x -> Json.Obj [ ("k", Json.String "var"); ("name", Json.String x) ]
+  | Expr.Idx (a, i) ->
+      Json.Obj [ ("k", Json.String "idx"); ("name", Json.String a); ("i", expr_to_json i) ]
+  | Expr.Bin (b, x, y) ->
+      Json.Obj
+        [
+          ("k", Json.String "bin");
+          ("op", Json.String (Expr.binop_name b));
+          ("l", expr_to_json x);
+          ("r", expr_to_json y);
+        ]
+  | Expr.Un (u, x) ->
+      Json.Obj [ ("k", Json.String "un"); ("op", Json.String (unop_name u)); ("x", expr_to_json x) ]
+  | Expr.Cast (dt, x) ->
+      Json.Obj [ ("k", Json.String "cast"); ("t", dtype_to_json dt); ("x", expr_to_json x) ]
+  | Expr.Bitcast (dt, x) ->
+      Json.Obj [ ("k", Json.String "bitcast"); ("t", dtype_to_json dt); ("x", expr_to_json x) ]
+  | Expr.Select (c, x, y) ->
+      Json.Obj
+        [
+          ("k", Json.String "select");
+          ("c", expr_to_json c);
+          ("l", expr_to_json x);
+          ("r", expr_to_json y);
+        ]
+
+let rec expr_of_json j : Expr.t =
+  match str (field "k" j) with
+  | "const" -> Expr.Const (value_of_json (field "v" j))
+  | "var" -> Expr.Var (str (field "name" j))
+  | "idx" -> Expr.Idx (str (field "name" j), expr_of_json (field "i" j))
+  | "bin" ->
+      Expr.Bin (binop_of_name (str (field "op" j)), expr_of_json (field "l" j), expr_of_json (field "r" j))
+  | "un" -> Expr.Un (unop_of_name (str (field "op" j)), expr_of_json (field "x" j))
+  | "cast" -> Expr.Cast (dtype_of_json (field "t" j), expr_of_json (field "x" j))
+  | "bitcast" -> Expr.Bitcast (dtype_of_json (field "t" j), expr_of_json (field "x" j))
+  | "select" ->
+      Expr.Select (expr_of_json (field "c" j), expr_of_json (field "l" j), expr_of_json (field "r" j))
+  | k -> fail "unknown expr kind %S" k
+
+(* ---------- statements ---------- *)
+
+let lvalue_to_json = function
+  | Op.LVar x -> Json.Obj [ ("k", Json.String "var"); ("name", Json.String x) ]
+  | Op.LIdx (a, i) -> Json.Obj [ ("k", Json.String "idx"); ("name", Json.String a); ("i", expr_to_json i) ]
+
+let lvalue_of_json j =
+  match str (field "k" j) with
+  | "var" -> Op.LVar (str (field "name" j))
+  | "idx" -> Op.LIdx (str (field "name" j), expr_of_json (field "i" j))
+  | k -> fail "unknown lvalue kind %S" k
+
+let rec stmt_to_json (s : Op.stmt) : Json.t =
+  match s with
+  | Op.Assign (lv, e) ->
+      Json.Obj [ ("k", Json.String "assign"); ("lv", lvalue_to_json lv); ("e", expr_to_json e) ]
+  | Op.Read (lv, port) ->
+      Json.Obj [ ("k", Json.String "read"); ("lv", lvalue_to_json lv); ("port", Json.String port) ]
+  | Op.Write (port, e) ->
+      Json.Obj [ ("k", Json.String "write"); ("port", Json.String port); ("e", expr_to_json e) ]
+  | Op.For { var; lo; hi; body; pipeline } ->
+      Json.Obj
+        [
+          ("k", Json.String "for");
+          ("var", Json.String var);
+          ("lo", Json.Int lo);
+          ("hi", Json.Int hi);
+          ("pipeline", Json.Bool pipeline);
+          ("body", Json.List (List.map stmt_to_json body));
+        ]
+  | Op.If (c, t, e) ->
+      Json.Obj
+        [
+          ("k", Json.String "if");
+          ("c", expr_to_json c);
+          ("then", Json.List (List.map stmt_to_json t));
+          ("else", Json.List (List.map stmt_to_json e));
+        ]
+  | Op.Printf (fmt, args) ->
+      Json.Obj
+        [
+          ("k", Json.String "printf");
+          ("fmt", Json.String fmt);
+          ("args", Json.List (List.map expr_to_json args));
+        ]
+
+let rec stmt_of_json j : Op.stmt =
+  match str (field "k" j) with
+  | "assign" -> Op.Assign (lvalue_of_json (field "lv" j), expr_of_json (field "e" j))
+  | "read" -> Op.Read (lvalue_of_json (field "lv" j), str (field "port" j))
+  | "write" -> Op.Write (str (field "port" j), expr_of_json (field "e" j))
+  | "for" ->
+      Op.For
+        {
+          var = str (field "var" j);
+          lo = int_ (field "lo" j);
+          hi = int_ (field "hi" j);
+          pipeline = (match field "pipeline" j with Json.Bool b -> b | _ -> false);
+          body = List.map stmt_of_json (list_ (field "body" j));
+        }
+  | "if" ->
+      Op.If
+        ( expr_of_json (field "c" j),
+          List.map stmt_of_json (list_ (field "then" j)),
+          List.map stmt_of_json (list_ (field "else" j)) )
+  | "printf" ->
+      Op.Printf (str (field "fmt" j), List.map expr_of_json (list_ (field "args" j)))
+  | k -> fail "unknown stmt kind %S" k
+
+(* ---------- operators ---------- *)
+
+let port_to_json (p : Op.port) =
+  Json.Obj [ ("name", Json.String p.port_name); ("t", dtype_to_json p.elem) ]
+
+let port_of_json j = Op.port (str (field "name" j)) (dtype_of_json (field "t" j))
+
+let decl_to_json = function
+  | Op.Scalar { name; dtype; init } ->
+      Json.Obj
+        [
+          ("k", Json.String "scalar");
+          ("name", Json.String name);
+          ("t", dtype_to_json dtype);
+          ("init", match init with None -> Json.Null | Some v -> value_to_json v);
+        ]
+  | Op.Array { name; dtype; length; init } ->
+      Json.Obj
+        [
+          ("k", Json.String "array");
+          ("name", Json.String name);
+          ("t", dtype_to_json dtype);
+          ("len", Json.Int length);
+          ( "init",
+            match init with
+            | None -> Json.Null
+            | Some vs -> Json.List (Array.to_list (Array.map value_to_json vs)) );
+        ]
+
+let decl_of_json j =
+  let name = str (field "name" j) in
+  let dt = dtype_of_json (field "t" j) in
+  match str (field "k" j) with
+  | "scalar" ->
+      let init = Option.map value_of_json (opt_field "init" j) in
+      Op.scalar ?init name dt
+  | "array" ->
+      let init =
+        Option.map (fun v -> Array.of_list (List.map value_of_json (list_ v))) (opt_field "init" j)
+      in
+      Op.array ?init name dt (int_ (field "len" j))
+  | k -> fail "unknown decl kind %S" k
+
+let op_to_json (op : Op.t) =
+  Json.Obj
+    [
+      ("name", Json.String op.name);
+      ("inputs", Json.List (List.map port_to_json op.inputs));
+      ("outputs", Json.List (List.map port_to_json op.outputs));
+      ("locals", Json.List (List.map decl_to_json op.locals));
+      ("body", Json.List (List.map stmt_to_json op.body));
+    ]
+
+let op_of_json j =
+  Op.make ~name:(str (field "name" j))
+    ~inputs:(List.map port_of_json (list_ (field "inputs" j)))
+    ~outputs:(List.map port_of_json (list_ (field "outputs" j)))
+    ~locals:(List.map decl_of_json (list_ (field "locals" j)))
+    (List.map stmt_of_json (list_ (field "body" j)))
+
+(* ---------- graphs ---------- *)
+
+let target_to_json = function
+  | Graph.Riscv -> Json.Obj [ ("k", Json.String "riscv") ]
+  | Graph.Hw { page_hint } ->
+      Json.Obj
+        [ ("k", Json.String "hw"); ("page", match page_hint with None -> Json.Null | Some p -> Json.Int p) ]
+
+let target_of_json j =
+  match str (field "k" j) with
+  | "riscv" -> Graph.Riscv
+  | "hw" -> Graph.Hw { page_hint = Option.map int_ (opt_field "page" j) }
+  | k -> fail "unknown target kind %S" k
+
+let channel_to_json (c : Graph.channel) =
+  Json.Obj
+    [ ("name", Json.String c.chan_name); ("t", dtype_to_json c.elem); ("depth", Json.Int c.depth) ]
+
+let channel_of_json j =
+  Graph.channel ~depth:(int_ (field "depth" j)) ~elem:(dtype_of_json (field "t" j)) (str (field "name" j))
+
+let instance_to_json (i : Graph.instance) =
+  Json.Obj
+    [
+      ("name", Json.String i.inst_name);
+      ("op", op_to_json i.op);
+      ("target", target_to_json i.target);
+      ( "bindings",
+        Json.List (List.map (fun (p, c) -> Json.List [ Json.String p; Json.String c ]) i.bindings) );
+    ]
+
+let instance_of_json j =
+  Graph.instance
+    ~target:(target_of_json (field "target" j))
+    ~name:(str (field "name" j))
+    (op_of_json (field "op" j))
+    (List.map
+       (function
+         | Json.List [ Json.String p; Json.String c ] -> (p, c)
+         | b -> fail "bad binding %s" (Json.to_string b))
+       (list_ (field "bindings" j)))
+
+let graph_to_json (g : Graph.t) =
+  Json.Obj
+    [
+      ("name", Json.String g.graph_name);
+      ("channels", Json.List (List.map channel_to_json g.channels));
+      ("instances", Json.List (List.map instance_to_json g.instances));
+      ("inputs", Json.List (List.map (fun s -> Json.String s) g.inputs));
+      ("outputs", Json.List (List.map (fun s -> Json.String s) g.outputs));
+    ]
+
+let graph_of_json j =
+  Graph.make
+    ~name:(str (field "name" j))
+    ~channels:(List.map channel_of_json (list_ (field "channels" j)))
+    ~instances:(List.map instance_of_json (list_ (field "instances" j)))
+    ~inputs:(List.map str (list_ (field "inputs" j)))
+    ~outputs:(List.map str (list_ (field "outputs" j)))
+
+(* ---------- workloads and mutations ---------- *)
+
+let workload_to_json w =
+  Json.Obj
+    (List.map (fun (chan, vs) -> (chan, Json.List (List.map value_to_json vs))) w)
+
+let workload_of_json = function
+  | Json.Obj fields -> List.map (fun (chan, vs) -> (chan, List.map value_of_json (list_ vs))) fields
+  | j -> fail "expected workload object, got %s" (Json.to_string j)
+
+let mutation_to_json (Mutate.Swap_inputs { a = ia, pa; b = ib, pb }) =
+  Json.Obj
+    [
+      ("k", Json.String "swap_inputs");
+      ("a", Json.List [ Json.String ia; Json.String pa ]);
+      ("b", Json.List [ Json.String ib; Json.String pb ]);
+    ]
+
+let mutation_of_json j =
+  match (str (field "k" j), field "a" j, field "b" j) with
+  | "swap_inputs", Json.List [ Json.String ia; Json.String pa ], Json.List [ Json.String ib; Json.String pb ]
+    ->
+      Mutate.Swap_inputs { a = (ia, pa); b = (ib, pb) }
+  | k, _, _ -> fail "unknown mutation kind %S" k

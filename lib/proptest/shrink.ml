@@ -1,0 +1,207 @@
+open Pld_ir
+module Dsl = Pld_rosetta.Dsl
+
+type scase = {
+  s_graph : Graph.t;
+  s_inputs : (string * Value.t list) list;
+  s_mutation : Mutate.t option;
+}
+
+type outcome = {
+  shrunk : scase;
+  failure : Oracle.failure;
+  steps : int;  (** accepted shrink steps *)
+  tested : int;  (** oracle evaluations spent *)
+}
+
+(* ---------- graph surgery ---------- *)
+
+let port_chans ~dir (g : Graph.t) (i : Graph.instance) =
+  let ports = match dir with `In -> i.op.Op.inputs | `Out -> i.op.Op.outputs in
+  List.filter_map (fun (p : Op.port) -> Graph.binding g ~inst:i.inst_name ~port:p.port_name) ports
+
+(* Keep only [keep] (a topo-prefix): dropped consumers turn their
+   channels into graph outputs; graph inputs nobody consumes any more
+   are dropped together with their workload. *)
+let restrict (g : Graph.t) inputs keep =
+  let kept = List.filter (fun (i : Graph.instance) -> List.mem i.inst_name keep) g.instances in
+  let consumed = List.concat_map (port_chans ~dir:`In g) kept in
+  let produced = List.concat_map (port_chans ~dir:`Out g) kept in
+  let g_inputs = List.filter (fun cn -> List.mem cn consumed) g.inputs in
+  let alive cn = List.mem cn consumed || List.mem cn produced in
+  let channels = List.filter (fun (c : Graph.channel) -> alive c.chan_name) g.channels in
+  let outputs =
+    List.filter_map
+      (fun (c : Graph.channel) ->
+        if List.mem c.chan_name produced && not (List.mem c.chan_name consumed) then Some c.chan_name
+        else None)
+      channels
+  in
+  let g' =
+    Graph.make ~name:g.graph_name ~channels ~instances:kept ~inputs:g_inputs ~outputs
+  in
+  (g', List.filter (fun (cn, _) -> List.mem cn g_inputs) inputs)
+
+(* Splice a single-input/single-output instance out of the graph. *)
+let bypass (g : Graph.t) (i : Graph.instance) =
+  match (i.op.Op.inputs, i.op.Op.outputs) with
+  | [ pin ], [ pout ] -> begin
+      match
+        ( Graph.binding g ~inst:i.inst_name ~port:pin.Op.port_name,
+          Graph.binding g ~inst:i.inst_name ~port:pout.Op.port_name )
+      with
+      | Some cin, Some cout when cin <> cout ->
+          if List.mem cin g.inputs && Graph.consumer g cout = None then
+            (* Would leave a graph input flowing straight to an output
+               (a DMA self-link); not a well-formed deployment. *)
+            None
+          else
+            let instances = List.filter (fun (j : Graph.instance) -> j.inst_name <> i.inst_name) g.instances in
+            let channels = List.filter (fun (c : Graph.channel) -> c.chan_name <> cout) g.channels in
+            let g' = Graph.make ~name:g.graph_name ~channels ~instances ~inputs:g.inputs ~outputs:g.outputs in
+            let g' =
+              match Graph.consumer g cout with
+              | Some c ->
+                  let ci = Option.get (Graph.find_instance g c) in
+                  let port =
+                    List.find_map
+                      (fun (p, ch) -> if ch = cout then Some p else None)
+                      ci.bindings
+                  in
+                  Graph.rebind g' ~inst:c ~port:(Option.get port) cin
+              | None ->
+                  (* cout was a graph output: cin takes its place. *)
+                  {
+                    g' with
+                    Graph.outputs =
+                      List.map (fun o -> if o = cout then cin else o) g'.Graph.outputs;
+                  }
+            in
+            Some g'
+      | _ -> None
+    end
+  | _ -> None
+
+(* Replace an operator body by the simplest same-arity same-rate body
+   the generator's shapes admit (identity maps). *)
+let identity_op (i : Graph.instance) =
+  let rec first_for = function
+    | [] -> None
+    | Op.For { hi; _ } :: _ -> Some hi
+    | _ :: rest -> first_for rest
+  in
+  match first_for i.op.Op.body with
+  | None -> None
+  | Some n -> (
+      let names ports = List.map (fun (p : Op.port) -> p.Op.port_name) ports in
+      match (names i.op.Op.inputs, names i.op.Op.outputs) with
+      | [ "in" ], [ "out" ] -> Some (Dsl.map_op ~name:i.op.Op.name ~n (fun x -> x))
+      | [ "in" ], [ "out0"; "out1" ] ->
+          Some (Dsl.dup_op ~name:i.op.Op.name ~n (fun x -> x) (fun x -> x))
+      | [ "in0"; "in1" ], [ "out" ] -> Some (Dsl.zip_op ~name:i.op.Op.name ~n (fun a _ -> a))
+      | _ -> None)
+
+let replace_op (g : Graph.t) inst op =
+  {
+    g with
+    Graph.instances =
+      List.map
+        (fun (i : Graph.instance) -> if i.inst_name = inst then { i with Graph.op } else i)
+        g.Graph.instances;
+  }
+
+(* ---------- candidate enumeration ---------- *)
+
+let mutation_keeps c keep =
+  match c.s_mutation with
+  | None -> true
+  | Some m -> List.for_all (fun i -> List.mem i keep) (Mutate.instances m)
+
+let candidates c =
+  let g = c.s_graph in
+  let names = List.map (fun (i : Graph.instance) -> i.Graph.inst_name) (Graph.topo_order g) in
+  let n = List.length names in
+  let prefixes =
+    List.concat_map
+      (fun m ->
+        let keep = List.filteri (fun i _ -> i < m) names in
+        if mutation_keeps c keep then
+          let g', inputs' = restrict g c.s_inputs keep in
+          if g'.Graph.outputs <> [] && g'.Graph.inputs <> [] then [ { c with s_graph = g'; s_inputs = inputs' } ]
+          else []
+        else [])
+      (List.init (max 0 (n - 1)) (fun m -> m + 1))
+  in
+  let bypasses =
+    List.filter_map
+      (fun (i : Graph.instance) ->
+        if mutation_keeps c (List.filter (fun x -> x <> i.inst_name) names) then
+          Option.map (fun g' -> { c with s_graph = g' }) (bypass g i)
+        else None)
+      g.Graph.instances
+  in
+  let identities =
+    List.filter_map
+      (fun (i : Graph.instance) ->
+        match identity_op i with
+        | Some op when Op.source op <> Op.source i.op ->
+            Some { c with s_graph = replace_op g i.inst_name op }
+        | _ -> None)
+      g.Graph.instances
+  in
+  let zero = Value.of_int Dtype.word 0 in
+  let simpler_inputs =
+    List.filter_map
+      (fun (cn, vs) ->
+        if List.for_all (fun v -> Value.equal v zero) vs then None
+        else
+          Some
+            {
+              c with
+              s_inputs =
+                List.map
+                  (fun (cn', vs') -> if cn' = cn then (cn', List.map (fun _ -> zero) vs') else (cn', vs'))
+                  c.s_inputs;
+            })
+      c.s_inputs
+  in
+  prefixes @ bypasses @ identities @ simpler_inputs
+
+(* ---------- the loop ---------- *)
+
+let still_fails ~config ~f_class c =
+  match c.s_mutation with
+  | Some m -> (
+      (* A mutant reproducer just has to stay caught. *)
+      match Oracle.check_mutated ~config m c.s_graph ~inputs:c.s_inputs with
+      | [] -> None
+      | f :: _ -> Some f)
+  | None ->
+      List.find_opt
+        (fun (f : Oracle.failure) -> f.Oracle.f_class = f_class)
+        (Oracle.check ~config c.s_graph ~inputs:c.s_inputs)
+
+let shrink ?(config = Oracle.default_config) ?(budget = 150) c0 (f0 : Oracle.failure) =
+  let tested = ref 0 and steps = ref 0 in
+  let cur = ref c0 and curf = ref f0 in
+  let progress = ref true in
+  while !progress && !tested < budget do
+    progress := false;
+    let cands = candidates !cur in
+    (try
+       List.iter
+         (fun c ->
+           if !tested >= budget then raise Exit;
+           incr tested;
+           match still_fails ~config ~f_class:f0.Oracle.f_class c with
+           | Some f ->
+               cur := c;
+               curf := f;
+               incr steps;
+               progress := true;
+               raise Exit
+           | None -> ())
+         cands
+     with Exit -> ())
+  done;
+  { shrunk = !cur; failure = !curf; steps = !steps; tested = !tested }

@@ -1,0 +1,40 @@
+(** Failing-case minimization.
+
+    Greedy first-improvement descent over four candidate moves, each
+    of which strictly simplifies the case, so the loop terminates
+    without an explicit metric:
+
+    - topo-prefix restriction (drop the graph's tail; severed channels
+      become outputs, orphaned inputs disappear with their workload);
+    - bypass (splice a 1-in/1-out operator out of the graph);
+    - identity-ization (replace an operator body with the same-arity
+      identity, keeping ports and rates);
+    - input zeroing (one channel's workload at a time).
+
+    A candidate is accepted only if the oracle still reports the
+    original failure class (for mutants: the mutation is still
+    caught), so the reproducer that comes out fails for the same
+    reason the original did. *)
+
+type scase = {
+  s_graph : Pld_ir.Graph.t;
+  s_inputs : (string * Pld_ir.Value.t list) list;
+  s_mutation : Mutate.t option;
+      (** when set, the case reproduces "mutant caught", and shrinking
+          preserves the mutation's instances *)
+}
+
+type outcome = {
+  shrunk : scase;
+  failure : Oracle.failure;  (** the failure the shrunk case exhibits *)
+  steps : int;  (** accepted shrink steps *)
+  tested : int;  (** oracle evaluations spent *)
+}
+
+val candidates : scase -> scase list
+(** One round of strictly-simpler neighbours, most aggressive first. *)
+
+val shrink : ?config:Oracle.config -> ?budget:int -> scase -> Oracle.failure -> outcome
+(** [budget] (default 150) bounds oracle evaluations — shrinking is
+    always safe to run, it just stops improving when the budget runs
+    out. *)

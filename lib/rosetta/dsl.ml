@@ -24,6 +24,29 @@ let pipe_op ~name ~ins ~outs ?(locals = []) body =
   Op.make ~name ~inputs:(List.map Op.word_port ins) ~outputs:(List.map Op.word_port outs) ~locals
     body
 
+(* Single-rate operator templates: the shapes the random dataflow-graph
+   generator (lib/proptest) composes. Each consumes [n] tokens per
+   firing on every input and produces [n] on every output; [dt] is the
+   internal compute type (reads bitcast in, writes bitcast back to the
+   32-bit stream word). *)
+
+let map_op ~name ~n ?(dt = u32) f =
+  Op.make ~name ~inputs:[ Op.word_port "in" ] ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "x" dt ]
+    [ for_ "i" 0 n [ read "x" "in"; write "out" (f (v "x")) ] ]
+
+let dup_op ~name ~n ?(dt = u32) f g =
+  Op.make ~name ~inputs:[ Op.word_port "in" ]
+    ~outputs:[ Op.word_port "out0"; Op.word_port "out1" ]
+    ~locals:[ Op.scalar "x" dt ]
+    [ for_ "i" 0 n [ read "x" "in"; write "out0" (f (v "x")); write "out1" (g (v "x")) ] ]
+
+let zip_op ~name ~n ?(dt = u32) f =
+  Op.make ~name ~inputs:[ Op.word_port "in0"; Op.word_port "in1" ]
+    ~outputs:[ Op.word_port "out" ]
+    ~locals:[ Op.scalar "a" dt; Op.scalar "b" dt ]
+    [ for_ "i" 0 n [ read "a" "in0"; read "b" "in1"; write "out" (f (v "a") (v "b")) ] ]
+
 let chain ~name ~input ~output stages =
   let n = List.length stages in
   if n = 0 then invalid_arg "Dsl.chain: empty pipeline";

@@ -41,6 +41,25 @@ val pipe_op :
   Op.t
 (** Operator with 32-bit word ports. *)
 
+(** {2 Single-rate operator templates}
+
+    The shapes the random dataflow-graph generator ([lib/proptest])
+    composes: each consumes [n] tokens per firing on every input port
+    and produces [n] on every output port. [dt] is the internal compute
+    type (default the 32-bit word); stream payloads stay 32-bit words
+    via bitcasts on read/write. *)
+
+val map_op : name:string -> n:int -> ?dt:Dtype.t -> (Expr.t -> Expr.t) -> Op.t
+(** Ports "in" → "out": one token out per token in. *)
+
+val dup_op :
+  name:string -> n:int -> ?dt:Dtype.t -> (Expr.t -> Expr.t) -> (Expr.t -> Expr.t) -> Op.t
+(** Fan-out. Ports "in" → "out0"/"out1": each input token is written
+    (through [f] and [g]) to both outputs. *)
+
+val zip_op : name:string -> n:int -> ?dt:Dtype.t -> (Expr.t -> Expr.t -> Expr.t) -> Op.t
+(** Join. Ports "in0"/"in1" → "out": pairwise combination. *)
+
 val chain :
   name:string ->
   input:string ->

@@ -30,7 +30,13 @@ let seed =
   | Some s -> int_of_string s
   | None -> 11
 
-let injector ?(seed = seed) spec = Fault.create ~seed spec
+(* Every injector draws from a sub-seed derived from the root seed and
+   a per-site tag (lib/proptest's seeded-case discipline), so the fault
+   streams of different tests are independent of each other yet all
+   reproduce from PLD_FAULT_SEED alone. *)
+module Seeded = Pld_proptest.Seeded
+
+let injector ~tag spec = Fault.create ~seed:(Seeded.derive ~seed tag) spec
 
 (* Same pipeline builder as test_pld. *)
 let doubler ?(name = "doubler") n =
@@ -95,7 +101,7 @@ let lossy_links = [ { Traffic.src_leaf = 1; src_stream = 0; dst_leaf = 9; dst_st
 let total_tokens = List.fold_left (fun acc (l : Traffic.link) -> acc + l.Traffic.tokens) 0 lossy_links
 
 let test_replay_lossy_links () =
-  let faults = injector { Fault.empty with Fault.drop_rate = 0.05 } in
+  let faults = injector ~tag:"replay-lossy" { Fault.empty with Fault.drop_rate = 0.05 } in
   let net = Bft.create ~faults () in
   let r = Traffic.replay net lossy_links in
   check_int "every token delivered" total_tokens r.Traffic.delivered;
@@ -104,7 +110,7 @@ let test_replay_lossy_links () =
   check_bool "per-link counters populated" true (Bft.link_faults net <> [])
 
 let test_replay_corrupt_links () =
-  let faults = injector { Fault.empty with Fault.corrupt_rate = 0.05 } in
+  let faults = injector ~tag:"replay-corrupt" { Fault.empty with Fault.corrupt_rate = 0.05 } in
   let net = Bft.create ~faults () in
   let r = Traffic.replay net lossy_links in
   check_int "every token delivered" total_tokens r.Traffic.delivered;
@@ -113,7 +119,7 @@ let test_replay_corrupt_links () =
 
 let test_replay_deterministic () =
   let run () =
-    let faults = injector { Fault.empty with Fault.drop_rate = 0.05; Fault.corrupt_rate = 0.02 } in
+    let faults = injector ~tag:"replay-det" { Fault.empty with Fault.drop_rate = 0.05; Fault.corrupt_rate = 0.02 } in
     Traffic.replay (Bft.create ~faults ()) lossy_links
   in
   let r1 = run () and r2 = run () in
@@ -129,7 +135,7 @@ let test_crc_catches_corruption () =
   check_bool "corrupted payload no longer matches" true (Bft.flit_crc f.Bft.payload <> f.Bft.crc)
 
 let test_config_survives_loss () =
-  let faults = injector { Fault.empty with Fault.drop_rate = 0.1 } in
+  let faults = injector ~tag:"config-loss" { Fault.empty with Fault.drop_rate = 0.1 } in
   let net = Bft.create ~faults () in
   let links =
     [ { Traffic.src_leaf = 3; src_stream = 0; dst_leaf = 7; dst_stream = 1; tokens = 0 };
@@ -156,7 +162,7 @@ let first_hw_xclbin (app : Build.app) =
 let test_card_defective_page_fails_readback () =
   let app = Build.compile fp (pipeline 1) ~level:Build.O1 in
   let page = List.assoc "stage0" app.Build.assignment in
-  let faults = injector { Fault.empty with Fault.defective_pages = [ page ] } in
+  let faults = injector ~tag:"card-defective" { Fault.empty with Fault.defective_pages = [ page ] } in
   let card = Card.create ~faults () in
   ignore (Card.load card (Flow.overlay_xclbin fp));
   let xb = first_hw_xclbin app in
@@ -168,7 +174,7 @@ let test_card_defective_page_fails_readback () =
 let test_card_flaky_page_recovers () =
   let app = Build.compile fp (pipeline 1) ~level:Build.O1 in
   let page = List.assoc "stage0" app.Build.assignment in
-  let faults = injector { Fault.empty with Fault.flaky_loads = [ (page, 2) ] } in
+  let faults = injector ~tag:"card-flaky" { Fault.empty with Fault.flaky_loads = [ (page, 2) ] } in
   let card = Card.create ~faults () in
   ignore (Card.load card (Flow.overlay_xclbin fp));
   let xb = first_hw_xclbin app in
@@ -252,7 +258,7 @@ let test_deploy_spare_relink () =
   let clean = Loader.deploy (Card.create ()) app in
   let reference = Runner.run clean.Loader.app ~inputs:(inputs 8) in
   (* Now the same deploy against a card whose page is defective. *)
-  let faults = injector { Fault.empty with Fault.defective_pages = [ victim_page ] } in
+  let faults = injector ~tag:"deploy-relink" { Fault.empty with Fault.defective_pages = [ victim_page ] } in
   let card = Card.create ~faults () in
   let dr = Loader.deploy ~faults card app in
   check_bool "recovered without degradation" false dr.Loader.degraded;
@@ -280,7 +286,7 @@ let test_deploy_recovery_deterministic () =
   let app = Build.compile fp (pipeline 3) ~level:Build.O1 in
   let _, victim_page = List.hd app.Build.assignment in
   let deploy_once () =
-    let faults = injector { Fault.empty with Fault.defective_pages = [ victim_page ] } in
+    let faults = injector ~tag:"deploy-det" { Fault.empty with Fault.defective_pages = [ victim_page ] } in
     let dr = Loader.deploy ~faults (Card.create ~faults ()) app in
     recovery_shape dr.Loader.recovery
   in
@@ -290,7 +296,7 @@ let test_deploy_recovery_deterministic () =
 let test_deploy_flaky_load_retries_only () =
   let app = Build.compile fp (pipeline 2) ~level:Build.O1 in
   let victim_inst, victim_page = List.hd app.Build.assignment in
-  let faults = injector { Fault.empty with Fault.flaky_loads = [ (victim_page, 2) ] } in
+  let faults = injector ~tag:"deploy-flaky" { Fault.empty with Fault.flaky_loads = [ (victim_page, 2) ] } in
   let dr = Loader.deploy ~faults (Card.create ~faults ()) app in
   Alcotest.(check (list string))
     "two retries, no relink"
@@ -303,7 +309,7 @@ let test_deploy_exhausted_raises () =
   (* Every page defective: the ladder must run out and say so. *)
   let app = Build.compile fp (pipeline 1) ~level:Build.O1 in
   let all_pages = List.map (fun (p : Fp.page) -> p.Fp.page_id) fp.Fp.pages in
-  let faults = injector { Fault.empty with Fault.defective_pages = all_pages } in
+  let faults = injector ~tag:"deploy-exhausted" { Fault.empty with Fault.defective_pages = all_pages } in
   match Loader.deploy ~faults ~max_retries:0 (Card.create ~faults ()) app with
   | _ -> Alcotest.fail "expected Deploy_failed"
   | exception Loader.Deploy_failed msg ->
@@ -313,7 +319,7 @@ let test_deploy_exhausted_raises () =
 (* ---------- build engine: retry and quarantine ---------- *)
 
 let test_build_job_retry () =
-  let faults = injector { Fault.empty with Fault.flaky_jobs = [ ("op:stage0", 1) ] } in
+  let faults = injector ~tag:"build-retry" { Fault.empty with Fault.flaky_jobs = [ ("op:stage0", 1) ] } in
   let app = Build.compile ~faults ~max_retries:2 fp (pipeline 2) ~level:Build.O1 in
   check_bool "nothing quarantined" true (app.Build.report.Build.quarantined = []);
   check_bool "no fallbacks" true (app.Build.report.Build.fallbacks = []);
@@ -331,7 +337,7 @@ let test_build_job_retry () =
 let test_build_quarantine_softcore_fallback () =
   (* stage1's page compile always fails: the build must quarantine it
      and ship the -O0 softcore build for that one operator instead. *)
-  let faults = injector { Fault.empty with Fault.flaky_jobs = [ ("op:stage1", 1000) ] } in
+  let faults = injector ~tag:"build-quarantine" { Fault.empty with Fault.flaky_jobs = [ ("op:stage1", 1000) ] } in
   let app = Build.compile ~faults ~max_retries:1 fp (pipeline 3) ~level:Build.O1 in
   Alcotest.(check (list string)) "fallback recorded" [ "stage1" ] app.Build.report.Build.fallbacks;
   check_bool "quarantine recorded" true
@@ -351,7 +357,7 @@ let test_build_quarantine_softcore_fallback () =
     (out_ints r)
 
 let test_build_assign_failure_is_build_error () =
-  let faults = injector { Fault.empty with Fault.flaky_jobs = [ ("assign", 1000) ] } in
+  let faults = injector ~tag:"build-assign" { Fault.empty with Fault.flaky_jobs = [ ("assign", 1000) ] } in
   match Build.compile ~faults ~max_retries:0 fp (pipeline 2) ~level:Build.O1 with
   | _ -> Alcotest.fail "expected Build_error"
   | exception Build.Build_error msg ->
@@ -377,7 +383,7 @@ let test_assign_defect_map () =
 let test_watchdog_hang_diagnosed () =
   let g = pipeline ~target:Graph.Riscv ~n:2000 3 in
   let app = Build.compile fp g ~level:Build.O0 in
-  let faults = injector { Fault.empty with Fault.hangs = [ ("stage1", 1000) ] } in
+  let faults = injector ~tag:"watchdog-hang" { Fault.empty with Fault.hangs = [ ("stage1", 1000) ] } in
   match Runner.run ~faults app ~inputs:(inputs 2000) with
   | _ -> Alcotest.fail "expected Stalled"
   | exception Runner.Stalled d ->
@@ -389,7 +395,7 @@ let test_watchdog_hang_diagnosed () =
 let test_trap_carries_machine_state () =
   let g = pipeline ~target:Graph.Riscv ~n:2000 2 in
   let app = Build.compile fp g ~level:Build.O0 in
-  let faults = injector { Fault.empty with Fault.traps = [ ("stage1", 1000) ] } in
+  let faults = injector ~tag:"trap-state" { Fault.empty with Fault.traps = [ ("stage1", 1000) ] } in
   match Runner.run ~faults app ~inputs:(inputs 2000) with
   | _ -> Alcotest.fail "expected Softcore_trap"
   | exception Runner.Softcore_trap (inst, tr) ->
@@ -408,6 +414,35 @@ let test_cpu_trap_record_fields () =
       check_bool "describe mentions pc" true
         (contains ~sub:"pc=0x" (Pld_riscv.Cpu.describe_trap tr))
   | _ -> Alcotest.fail "expected trap"
+
+(* ---------- seeded sweep: random graphs under injected faults ---------- *)
+
+module P = Pld_proptest
+
+(* The generator's seeded-case combinator drives the recovery machinery
+   over arbitrary topologies, not just the hand-written pipeline: each
+   case is rebuilt at -O1 under a flaky page-compile job, a defective
+   page and lossy NoC links, and the recovered outputs must be
+   bit-identical to the fault-free reference. *)
+let test_random_graph_fault_sweep () =
+  P.Seeded.cases ~seed ~count:4 (fun index rng ->
+      let g, inputs = P.Gen.graph rng ~name:(Printf.sprintf "sweep%d" index) in
+      let expected = (P.Oracle.reference g ~inputs).Pld_kpn.Run_graph.outputs in
+      match
+        P.Fuzz.fault_check ~case_seed:(P.Seeded.case_seed ~seed index) g ~inputs expected
+      with
+      | [] -> ()
+      | fs ->
+          Alcotest.failf "case %d under faults: %s" index
+            (String.concat "; " (List.map P.Oracle.failure_to_string fs)))
+
+let test_sub_seeds_independent () =
+  let a = Seeded.sub_seeds ~seed ~count:8 "stream-a" in
+  let b = Seeded.sub_seeds ~seed ~count:8 "stream-b" in
+  Alcotest.(check (list int)) "same tag reproduces" a (Seeded.sub_seeds ~seed ~count:8 "stream-a");
+  check_bool "different tags, different streams" true (a <> b);
+  let distinct l = List.sort_uniq compare l in
+  check_int "no collisions within a stream" (List.length a) (List.length (distinct a))
 
 (* ---------- structure: leaf derivation + descriptive errors ---------- *)
 
@@ -462,6 +497,8 @@ let suite =
     ("watchdog diagnoses hung operator", `Quick, test_watchdog_hang_diagnosed);
     ("trap carries machine state", `Quick, test_trap_carries_machine_state);
     ("cpu trap record fields", `Quick, test_cpu_trap_record_fields);
+    ("random graphs survive fault sweep", `Quick, test_random_graph_fault_sweep);
+    ("derived sub-seeds independent", `Quick, test_sub_seeds_independent);
     ("noc leaves derived from floorplan", `Quick, test_noc_leaves_derived);
     ("relay rejects unknown leaf", `Quick, test_relay_unknown_leaf);
     ("monolithic_exn raises Build_error", `Quick, test_monolithic_exn_build_error);

@@ -16,4 +16,5 @@ let () =
       ("pld", Test_pld.suite);
       ("rosetta", Test_rosetta.suite);
       ("faults", Test_faults.suite);
+      ("proptest", Test_proptest.suite);
     ]

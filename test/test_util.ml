@@ -3,6 +3,11 @@ open Pld_util
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let test_rng_determinism () =
   let a = Rng.create 42 and b = Rng.create 42 in
   for _ = 1 to 100 do
@@ -71,6 +76,33 @@ let test_topo_longest_path () =
   Alcotest.(check (float 1e-9)) "sink distance" 6.0 dist.(3);
   Alcotest.(check (float 1e-9)) "middle" 5.0 dist.(2)
 
+let test_topo_empty () =
+  Alcotest.(check (list int)) "empty graph sorts to []" [] (Topo.sort ~n:0 ~edges:[]);
+  check_bool "empty graph is a dag" true (Topo.is_dag ~n:0 ~edges:[]);
+  Alcotest.(check (list (list int))) "no components" [] (Topo.sccs ~n:0 ~edges:[]);
+  Alcotest.(check (list int)) "isolated vertices in order" [ 0; 1; 2 ] (Topo.sort ~n:3 ~edges:[])
+
+let test_topo_self_edge () =
+  (match Topo.sort ~n:3 ~edges:[ (0, 1); (1, 1) ] with
+  | _ -> Alcotest.fail "expected Cycle"
+  | exception Topo.Cycle c -> Alcotest.(check (list int)) "self-edge is its own witness" [ 1 ] c);
+  check_bool "self-edge is not a dag" false (Topo.is_dag ~n:1 ~edges:[ (0, 0) ])
+
+let test_topo_duplicate_edges () =
+  (* A repeated edge bumps the in-degree twice; the sort must still
+     emit each vertex exactly once, in the same order as without the
+     duplicate. *)
+  let order = Topo.sort ~n:3 ~edges:[ (0, 1); (0, 1); (1, 2) ] in
+  Alcotest.(check (list int)) "each vertex once" [ 0; 1; 2 ] order;
+  Alcotest.(check (list int)) "same as deduplicated"
+    (Topo.sort ~n:3 ~edges:[ (0, 1); (1, 2) ])
+    order
+
+let test_topo_vertex_range () =
+  match Topo.sort ~n:2 ~edges:[ (0, 2) ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg -> check_bool "names the module" true (String.length msg > 0)
+
 let test_union_find () =
   let uf = Union_find.create 6 in
   Union_find.union uf 0 1;
@@ -80,6 +112,34 @@ let test_union_find () =
   check_bool "0!~4" false (Union_find.same uf 0 4);
   let groups = Union_find.groups uf in
   Alcotest.(check (list (list int))) "groups" [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ] groups
+
+let test_union_find_edges () =
+  let uf = Union_find.create 0 in
+  Alcotest.(check (list (list int))) "empty structure, no groups" [] (Union_find.groups uf);
+  let uf = Union_find.create 3 in
+  Alcotest.(check (list (list int))) "fresh structure is all singletons"
+    [ [ 0 ]; [ 1 ]; [ 2 ] ] (Union_find.groups uf);
+  check_bool "same is reflexive" true (Union_find.same uf 1 1);
+  Union_find.union uf 0 0;
+  check_bool "self-union is a no-op" false (Union_find.same uf 0 1);
+  Union_find.union uf 0 1;
+  Union_find.union uf 0 1;
+  Alcotest.(check (list (list int))) "repeated union is idempotent"
+    [ [ 0; 1 ]; [ 2 ] ] (Union_find.groups uf)
+
+let test_union_find_chain_compresses () =
+  (* A long left-leaning chain must still answer find in one pass
+     afterwards: every element points at the root once queried. *)
+  let n = 200 in
+  let uf = Union_find.create n in
+  for i = 0 to n - 2 do
+    Union_find.union uf i (i + 1)
+  done;
+  let root = Union_find.find uf 0 in
+  for i = 0 to n - 1 do
+    check_int "single class" root (Union_find.find uf i)
+  done;
+  check_int "one group of n" 1 (List.length (Union_find.groups uf))
 
 let test_stats_percentile () =
   let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
@@ -115,6 +175,27 @@ let test_table_render () =
 let test_table_csv () =
   let s = Table.render_csv ~header:[ "a"; "b" ] [ [ "1"; "with,comma" ] ] in
   check_bool "quoted comma" true (String.length s > 0 && String.contains s '"')
+
+let test_table_ragged_and_aligned () =
+  (* Ragged rows pad with empty cells; Right alignment pads on the left. *)
+  let s =
+    Table.render ~aligns:[ Table.Left; Table.Right ] ~header:[ "k"; "val" ]
+      [ [ "a"; "7" ]; [ "b" ] ]
+  in
+  check_bool "ragged row rendered" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  let widths = List.map String.length lines in
+  check_bool "all lines equally wide" true
+    (match widths with [] -> false | w :: rest -> List.for_all (( = ) w) rest);
+  check_bool "right-aligned value" true
+    (List.exists (fun l -> String.length l >= 2 && contains_sub ~sub:"  7" l) lines)
+
+let test_table_csv_escaping () =
+  let s = Table.render_csv ~header:[ "a" ] [ [ "say \"hi\"" ]; [ "two\nlines" ] ] in
+  check_bool "embedded quotes doubled" true (contains_sub ~sub:"\"say \"\"hi\"\"\"" s);
+  check_bool "newline cell quoted" true (contains_sub ~sub:"\"two\nlines\"" s);
+  Alcotest.(check string) "plain cells untouched" "a,b\n1,2"
+    (Table.render_csv ~header:[ "a"; "b" ] [ [ "1"; "2" ] ])
 
 let qcheck_topo_sort_valid =
   QCheck.Test.make ~name:"topo sort respects random DAG edges" ~count:200
@@ -152,7 +233,13 @@ let suite =
     ("topo is_dag", `Quick, test_topo_is_dag);
     ("topo sccs", `Quick, test_topo_sccs);
     ("topo longest path", `Quick, test_topo_longest_path);
+    ("topo empty graph", `Quick, test_topo_empty);
+    ("topo self-edge rejected", `Quick, test_topo_self_edge);
+    ("topo duplicate edges", `Quick, test_topo_duplicate_edges);
+    ("topo vertex out of range", `Quick, test_topo_vertex_range);
     ("union-find", `Quick, test_union_find);
+    ("union-find edge cases", `Quick, test_union_find_edges);
+    ("union-find chain compression", `Quick, test_union_find_chain_compresses);
     ("stats percentile", `Quick, test_stats_percentile);
     ("stats histogram", `Quick, test_stats_histogram);
     ("stats geomean", `Quick, test_stats_geomean);
@@ -160,6 +247,8 @@ let suite =
     ("digest combine order", `Quick, test_digest_combine);
     ("table render", `Quick, test_table_render);
     ("table csv", `Quick, test_table_csv);
+    ("table ragged rows and alignment", `Quick, test_table_ragged_and_aligned);
+    ("table csv escaping", `Quick, test_table_csv_escaping);
     QCheck_alcotest.to_alcotest qcheck_topo_sort_valid;
     QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
   ]
