@@ -759,7 +759,7 @@ let micro () =
    before the experiment list. *)
 let regress_usage =
   "usage: bench regress [--save] [--baseline FILE] [--benches a,b] [--levels O1,O3]\n\
-  \                     [--repeats N] [--pace F] [--jobs N] [--no-perf]\n\
+  \                     [--repeats N] [--pace F] [--jobs N] [--no-perf] [--no-service]\n\
   \                     [--perturb metric=factor[,metric=factor...]]\n\
   \                     [--exact-only] [--skip-wall] [--out FILE]\n\n\
    --save writes the measured snapshot to the baseline file and exits 0;\n\
@@ -825,6 +825,9 @@ let regress args =
     | "--no-perf" :: rest ->
         opts := { !opts with Sentinel.run_perf = false };
         parse rest
+    | "--no-service" :: rest ->
+        opts := { !opts with Sentinel.run_service = false };
+        parse rest
     | "--perturb" :: spec :: rest ->
         perturb := !perturb @ parse_perturb spec;
         parse rest
@@ -881,6 +884,102 @@ let regress args =
   print_string (Baseline.render_verdict verdict);
   exit (if verdict.Baseline.ok then 0 else 1)
 
+(* ---------- compile-as-a-service traffic ---------- *)
+
+(* `bench service` replays a synthetic multi-tenant trace through an
+   in-process Pld_service (same code path as the pldd daemon, minus
+   the socket) and reports the latency distribution and the shared-
+   store economics. A subcommand, not an experiment: it has its own
+   flags and machine-readable output. *)
+let service_usage =
+  "usage: bench service [--sessions N] [--tenants N] [--zipf S] [--pool N]\n\
+  \                     [--max-chain N] [--level O0|O1|O3] [--seed N]\n\
+  \                     [--queue-workers N] [--jobs N] [--cache-dir DIR]\n\
+  \                     [--max-bytes N] [--out FILE]\n\n\
+   Replays N interleaved compile sessions with Zipf-distributed operator\n\
+   popularity over a shared multi-tenant artifact store and prints p50/\n\
+   p95/p99 session latency, per-tenant job counts and the cross-tenant\n\
+   hit rate. --out writes the summary JSON (machine-readable).\n"
+
+let service args =
+  let module Service = Pld_service.Service in
+  let module Traffic = Pld_service.Traffic in
+  let opts = ref Traffic.default_options in
+  let queue_workers = ref 2 in
+  let jobs = ref 1 in
+  let cache_dir = ref None in
+  let max_bytes = ref None in
+  let out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--sessions" :: n :: rest ->
+        opts := { !opts with Traffic.sessions = int_of_string n };
+        parse rest
+    | "--tenants" :: n :: rest ->
+        opts := { !opts with Traffic.tenants = int_of_string n };
+        parse rest
+    | "--zipf" :: s :: rest ->
+        opts := { !opts with Traffic.zipf = float_of_string s };
+        parse rest
+    | "--pool" :: n :: rest ->
+        opts := { !opts with Traffic.pool = int_of_string n };
+        parse rest
+    | "--max-chain" :: n :: rest ->
+        opts := { !opts with Traffic.max_chain = int_of_string n };
+        parse rest
+    | "--level" :: s :: rest ->
+        (match Sentinel.level_of_string s with
+        | Some l -> opts := { !opts with Traffic.level = l }
+        | None ->
+            Printf.eprintf "service: unknown level %S\n" s;
+            exit 2);
+        parse rest
+    | "--seed" :: n :: rest ->
+        opts := { !opts with Traffic.seed = int_of_string n };
+        parse rest
+    | "--queue-workers" :: n :: rest ->
+        queue_workers := int_of_string n;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        jobs := int_of_string n;
+        parse rest
+    | "--cache-dir" :: dir :: rest ->
+        cache_dir := Some dir;
+        parse rest
+    | "--max-bytes" :: n :: rest ->
+        max_bytes := Some (int_of_string n);
+        parse rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        print_string service_usage;
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "service: unknown argument %s\n%s" arg service_usage;
+        exit 2
+  in
+  parse args;
+  let o = !opts in
+  Printf.printf "service: %d sessions, %d tenants, zipf %.2f over %d ops, %d queue workers...\n%!"
+    o.Traffic.sessions o.Traffic.tenants o.Traffic.zipf o.Traffic.pool (max 1 !queue_workers);
+  let svc =
+    Service.create ?cache_dir:!cache_dir ?max_bytes:!max_bytes ~queue_workers:!queue_workers
+      ~jobs:!jobs ()
+  in
+  let summary =
+    Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> Traffic.run ~service:svc o)
+  in
+  List.iter print_endline (Traffic.render summary);
+  print_newline ();
+  List.iter print_endline (Service.render_stats (Service.stats svc));
+  (match !out with
+  | None -> ()
+  | Some file ->
+      Pld_telemetry.Json.write_file ~pretty:true ~file (Traffic.summary_json summary);
+      Printf.printf "\nwrote %s\n" file);
+  exit (if summary.Traffic.sm_failed = 0 then 0 else 1)
+
 let all_experiments =
   [
     ("table1", table1);
@@ -905,7 +1004,10 @@ let all_experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (match args with "regress" :: rest -> regress rest | _ -> ());
+  (match args with
+  | "regress" :: rest -> regress rest
+  | "service" :: rest -> service rest
+  | _ -> ());
   let chosen =
     match args with
     | [] -> all_experiments

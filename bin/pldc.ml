@@ -11,6 +11,8 @@
 open Cmdliner
 module B = Pld_core.Build
 module R = Pld_core.Runner
+module S = Pld_core.Session
+module Protocol = Pld_service.Protocol
 module T = Pld_telemetry.Telemetry
 module Profile = Pld_insight.Profile
 module Trace = Pld_insight.Trace
@@ -32,12 +34,35 @@ let level_conv =
   in
   Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (B.level_name l))
 
+(* Rosetta applications by name, plus the service traffic-generator
+   namespace ("svc-3x0x7"): chains are rate-1, so a ramp workload is
+   always valid and the structural check is vacuous. *)
+let chain_bench s =
+  match Pld_service.Traffic.chain_of_name s with
+  | Error _ -> None
+  | Ok chain ->
+      Some
+        {
+          Suite.name = s;
+          paper_name = "service traffic chain";
+          graph = (fun _ -> Pld_service.Traffic.chain_graph chain);
+          workload = (fun () -> Pld_service.Traffic.chain_workload chain);
+          check = (fun ~inputs:_ _ -> true);
+        }
+
 let bench_conv =
   let parse s =
     match Suite.find s with
     | b -> Ok b
-    | exception Not_found ->
-        Error (`Msg (Printf.sprintf "unknown benchmark %S (have: %s)" s (String.concat ", " Suite.names)))
+    | exception Not_found -> (
+        match chain_bench s with
+        | Some b -> Ok b
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf "unknown benchmark %S (have: %s; or a svc-I[xJ...] traffic chain)"
+                   s
+                   (String.concat ", " Suite.names))))
   in
   Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt b.Suite.name)
 
@@ -178,6 +203,39 @@ let max_retries_arg =
 
 let injector_of spec seed = Option.map (fun s -> Pld_faults.Fault.create ~seed s) spec
 
+(* ---------- daemon client mode ---------- *)
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Send the request to a running pldd daemon on this Unix-domain socket instead of \
+           compiling in-process — the daemon's shared store serves cache hits across clients \
+           and tenants.")
+
+let tenant_arg =
+  Arg.(
+    value & opt string "default"
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:"Tenant to bill the daemon request to (quotas, stats, cache-write budget).")
+
+let priority_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "priority" ] ~docv:"N"
+        ~doc:"Daemon queue priority; higher is scheduled first, ties are FIFO.")
+
+let remote_call ~socket envelope =
+  match Pld_service.Client.rpc ~socket envelope with
+  | Error msg ->
+      Printf.eprintf "pldc: %s\n" msg;
+      exit 1
+  | Ok reply ->
+      print_endline (Pld_telemetry.Json.pretty reply.Protocol.body);
+      if not reply.Protocol.ok then exit 1
+
 let list_cmd =
   let doc = "List the bundled Rosetta applications." in
   let run () =
@@ -229,12 +287,18 @@ let open_cache dir =
 let compile_cmd =
   let doc = "Compile an application at the given level and report phases/areas." in
   let run b level workers jobs cache_dir trace pace fault_spec fault_seed max_retries trace_out
-      metrics_out profile hot critical_path =
+      metrics_out profile hot critical_path connect tenant priority =
+    match connect with
+    | Some socket ->
+        remote_call ~socket
+          (Protocol.envelope ~tenant ~priority
+             (Protocol.Compile { bench = b.Suite.name; level = B.level_name level }))
+    | None ->
     let cache = open_cache cache_dir in
+    let session = S.open_session ~name:"pldc" ~fp ~cache ~workers ~jobs ~pace () in
     let faults = injector_of fault_spec fault_seed in
-    let app =
-      B.compile ~cache ~workers ~jobs ~pace ?faults ~max_retries fp (b.Suite.graph hw) ~level
-    in
+    let app = S.compile session ~level ?faults ~max_retries (b.Suite.graph hw) in
+    S.close session;
     print_endline (Pld_core.Report.compile_summary app);
     Printf.printf "  cache: %s\n" (Pld_core.Report.cache_summary app.B.report);
     List.iter (fun (inst, page) -> Printf.printf "  %-16s -> page %d\n" inst page) app.B.assignment;
@@ -249,27 +313,33 @@ let compile_cmd =
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ trace_arg
       $ pace_arg $ faults_arg $ fault_seed_arg $ max_retries_arg $ trace_out_arg $ metrics_out_arg
-      $ profile_arg $ hot_arg $ critical_path_arg)
+      $ profile_arg $ hot_arg $ critical_path_arg $ connect_arg $ tenant_arg $ priority_arg)
 
 let run_cmd =
   let doc = "Compile, deploy to the card, link, execute a frame, and validate." in
   let module L = Pld_core.Loader in
   let run b level workers jobs cache_dir fault_spec fault_seed max_retries trace trace_out
-      metrics_out profile hot critical_path =
+      metrics_out profile hot critical_path connect tenant priority =
+    match connect with
+    | Some socket ->
+        remote_call ~socket
+          (Protocol.envelope ~tenant ~priority
+             (Protocol.Run { bench = b.Suite.name; level = B.level_name level; frames = 8 }))
+    | None ->
     let cache = open_cache cache_dir in
     let graph = b.Suite.graph hw in
     let faults = injector_of fault_spec fault_seed in
-    let app = B.compile ~cache ~workers ~jobs ?faults ~max_retries fp graph ~level in
-    let card = Pld_platform.Card.create ?faults () in
+    let session = S.open_session ~name:"pldc" ~fp ~cache ~workers ~jobs () in
+    let app = S.compile session ~level ?faults ~max_retries graph in
     let dr =
-      try L.deploy ?faults ~max_retries card app
+      try S.link session ?faults ~max_retries app
       with L.Deploy_failed m ->
         Printf.eprintf "pldc: deploy failed: %s\n" m;
         exit 1
     in
     let inputs = b.Suite.workload () in
     let r =
-      try R.run ?faults dr.L.app ~inputs with
+      try S.run session ?faults dr ~inputs with
       | R.Stalled d ->
           prerr_endline (R.describe_stall d);
           exit 1
@@ -289,13 +359,16 @@ let run_cmd =
         List.iter (fun l -> Printf.printf "  %s\n" l) (Pld_core.Report.build_recovery_lines app.B.report);
         List.iter print_endline (Pld_core.Report.recovery_lines dr);
         (* Honest degraded-mode reporting: rerun the whole flow
-           fault-free and put the two perf numbers side by side. *)
-        let napp = B.compile ~cache ~workers ~jobs fp graph ~level in
-        let ncard = Pld_platform.Card.create () in
-        let ndr = L.deploy ncard napp in
-        let nr = R.run ndr.L.app ~inputs in
+           fault-free — in its own session on the same shared cache —
+           and put the two perf numbers side by side. *)
+        let nsession = S.open_session ~name:"pldc-nominal" ~fp ~cache ~workers ~jobs () in
+        let napp = S.compile nsession ~level graph in
+        let ndr = S.link nsession napp in
+        let nr = S.run nsession ndr ~inputs in
+        S.close nsession;
         List.iter print_endline (Pld_core.Report.degraded_perf_lines ~nominal:nr ~actual:r);
         Printf.printf "outputs bit-identical to fault-free run: %b\n" (r.R.outputs = nr.R.outputs));
+    S.close session;
     let ok = b.Suite.check ~inputs r.R.outputs in
     Printf.printf "output check vs independent reference: %b\n" ok;
     telemetry_report ~workers ~trace ~trace_out ~metrics_out ~profile ~hot ~critical_path ();
@@ -305,7 +378,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ faults_arg
       $ fault_seed_arg $ max_retries_arg $ trace_arg $ trace_out_arg $ metrics_out_arg
-      $ profile_arg $ hot_arg $ critical_path_arg)
+      $ profile_arg $ hot_arg $ critical_path_arg $ connect_arg $ tenant_arg $ priority_arg)
 
 (* ---------- trace analysis ---------- *)
 
@@ -386,10 +459,26 @@ let sentinel_opts_term =
       value & flag
       & info [ "no-perf" ] ~doc:"Skip the functional run (Fmax / frame-cycle exact metrics).")
   in
-  let mk benches levels repeats pace jobs no_perf =
-    { Sentinel.benches; levels; repeats; pace; jobs; run_perf = not no_perf }
+  let no_service_arg =
+    Arg.(
+      value & flag
+      & info [ "no-service" ]
+          ~doc:"Skip the compile-service tier (Zipf traffic replay through Pld_service).")
   in
-  Term.(const mk $ benches_arg $ levels_arg $ repeats_arg $ pace_arg $ sjobs_arg $ no_perf_arg)
+  let mk benches levels repeats pace jobs no_perf no_service =
+    {
+      Sentinel.benches;
+      levels;
+      repeats;
+      pace;
+      jobs;
+      run_perf = not no_perf;
+      run_service = not no_service;
+    }
+  in
+  Term.(
+    const mk $ benches_arg $ levels_arg $ repeats_arg $ pace_arg $ sjobs_arg $ no_perf_arg
+    $ no_service_arg)
 
 let baseline_save_cmd =
   let doc = "Measure the suite and save the snapshot as the new baseline." in

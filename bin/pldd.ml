@@ -1,0 +1,240 @@
+(* pldd: the compile service daemon.
+
+     pldd --socket pldd.sock --cache-dir /var/cache/pld &
+     pldc --connect pldd.sock compile optical -O1
+
+   One process owns the shared artifact store; any number of pldc
+   clients (or raw newline-delimited-JSON speakers — see
+   lib/service/protocol.mli) connect over a Unix-domain socket. Each
+   connection is a thread submitting into the multi-tenant service
+   queue; compiles run on the service's worker domains against the
+   one shared cache, so tenant B's request for what tenant A already
+   built is a hit, not a rebuild. *)
+
+open Cmdliner
+module B = Pld_core.Build
+module T = Pld_telemetry.Telemetry
+module Json = Pld_telemetry.Json
+module Service = Pld_service.Service
+module Traffic = Pld_service.Traffic
+module Protocol = Pld_service.Protocol
+open Pld_rosetta
+
+let hw = Pld_ir.Graph.Hw { page_hint = None }
+
+(* A bench name is either a Rosetta application or a synthetic
+   traffic chain ("svc-3x0x7") — the same namespace `bench service`
+   draws from, so clients can replay its workload. Rosetta benches
+   carry their own (rate-correct) workloads; traffic chains are
+   rate-1 so a ramp is always safe. *)
+let resolve_graph name =
+  match Traffic.chain_of_name name with
+  | Ok chain -> Ok (Traffic.chain_graph chain, fun () -> Traffic.chain_workload chain)
+  | Error _ -> (
+      match Suite.find name with
+      | b -> Ok (b.Suite.graph hw, b.Suite.workload)
+      | exception Not_found ->
+          Error
+            (Printf.sprintf "unknown bench %S (rosetta: %s; or a svc-I[xJ...] traffic chain)" name
+               (String.concat ", " Suite.names)))
+
+let handle_request svc stop (e : Protocol.envelope) =
+  let id = e.Protocol.rq_id in
+  match e.Protocol.req with
+  | Protocol.Ping -> Protocol.reply_ok ~id (Json.Obj [ ("pong", Json.Bool true) ])
+  | Protocol.Stats -> Protocol.reply_ok ~id (Service.stats_json (Service.stats svc))
+  | Protocol.Shutdown ->
+      stop ();
+      Protocol.reply_ok ~id (Json.Obj [ ("stopping", Json.Bool true) ])
+  | Protocol.Compile { bench; level } -> (
+      match (resolve_graph bench, Protocol.level_of_name level) with
+      | Error msg, _ | _, Error msg -> Protocol.reply_error ~id msg
+      | Ok (g, _), Ok level -> (
+          match
+            Service.compile svc ~tenant:e.Protocol.tenant ~priority:e.Protocol.priority ~level g
+          with
+          | Ok outcome -> Protocol.reply_ok ~id (Service.outcome_json outcome)
+          | Error msg -> Protocol.reply_error ~id msg))
+  | Protocol.Run { bench; level; frames } -> (
+      match (resolve_graph bench, Protocol.level_of_name level) with
+      | Error msg, _ | _, Error msg -> Protocol.reply_error ~id msg
+      | Ok (g, workload), Ok level -> (
+          match
+            Service.compile svc ~tenant:e.Protocol.tenant ~priority:e.Protocol.priority ~level g
+          with
+          | Error msg -> Protocol.reply_error ~id msg
+          | Ok outcome -> (
+              let module L = Pld_core.Loader in
+              let module R = Pld_core.Runner in
+              try
+                let card = Pld_platform.Card.create () in
+                let dr = L.deploy card outcome.Service.o_app in
+                (* The modeled runner executes one frame per request;
+                   [frames] is accepted for protocol compatibility. *)
+                ignore frames;
+                let r = R.run dr.L.app ~inputs:(workload ()) in
+                Protocol.reply_ok ~id
+                  (Json.Obj
+                     [
+                       ("compile", Service.outcome_json outcome);
+                       ("link_seconds", Json.Float dr.L.seconds);
+                       ("fmax_mhz", Json.Float r.R.perf.R.fmax_mhz);
+                       ("ms_per_frame", Json.Float r.R.perf.R.ms_per_input);
+                       ( "outputs",
+                         Json.Obj
+                           (List.map
+                              (fun (chan, vs) -> (chan, Json.Int (List.length vs)))
+                              r.R.outputs) );
+                     ])
+              with e -> Protocol.reply_error ~id (Printexc.to_string e))))
+
+let handle_conn svc stop fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send reply =
+    output_string oc (Json.to_string (Protocol.reply_to_json reply));
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+        (match Json.of_string line with
+        | exception Json.Parse_error msg -> send (Protocol.reply_error ~id:0 ("bad request: " ^ msg))
+        | j -> (
+            match Protocol.envelope_of_json j with
+            | Error msg -> send (Protocol.reply_error ~id:0 msg)
+            | Ok envelope -> send (handle_request svc stop envelope)));
+        loop ()
+  in
+  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve socket cache_dir max_bytes queue_workers jobs workers pace seed max_in_flight max_queued
+    write_budget metrics_out =
+  let quota =
+    {
+      Service.max_in_flight;
+      max_queued;
+      cache_write_budget = (if write_budget < 0 then None else Some write_budget);
+    }
+  in
+  let svc =
+    try
+      Service.create ?cache_dir ?max_bytes ~queue_workers ~jobs ~workers ~pace ~seed
+        ~default_quota:quota ()
+    with Pld_engine.Store.Store_error msg ->
+      Printf.eprintf "pldd: bad --cache-dir: %s\n" msg;
+      exit 1
+  in
+  if Sys.file_exists socket then Unix.unlink socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 64;
+  let stopping = Atomic.make false in
+  let stop () =
+    if not (Atomic.exchange stopping true) then
+      (* Closing the listener pops the accept loop out of its wait. *)
+      try Unix.shutdown listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop ()));
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop ()));
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf "pldd: listening on %s (%d queue workers%s)\n%!" socket (max 1 queue_workers)
+    (match cache_dir with Some d -> ", store " ^ d | None -> ", in-memory cache");
+  let threads = ref [] in
+  (try
+     while not (Atomic.get stopping) do
+       let fd, _ = Unix.accept listen_fd in
+       if Atomic.get stopping then Unix.close fd
+       else threads := Thread.create (handle_conn svc stop) fd :: !threads
+     done
+   with Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED | Unix.EINTR), _, _) -> ());
+  List.iter Thread.join !threads;
+  Service.shutdown svc;
+  (match metrics_out with Some file -> T.write_metrics T.default ~file | None -> ());
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  if Sys.file_exists socket then Unix.unlink socket;
+  print_endline "pldd: stopped"
+
+let () =
+  let socket_arg =
+    Arg.(
+      value & opt string "pldd.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Back the shared cache with a persistent artifact store in $(docv).")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"N" ~doc:"LRU size budget of the persistent store, in bytes.")
+  in
+  let queue_workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "queue-workers" ] ~docv:"N" ~doc:"Worker domains draining the service queue.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Executor domains per compile.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 22
+      & info [ "workers" ] ~docv:"N" ~doc:"Modeled compile-cluster width (LPT makespan).")
+  in
+  let pace_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "pace" ] ~docv:"F" ~doc:"Wall seconds per modeled tool second (0 = flat out).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"P&R seed every job compiles with; fixed so equal requests share cache keys.")
+  in
+  let max_in_flight_arg =
+    Arg.(
+      value
+      & opt int Service.default_quota.Service.max_in_flight
+      & info [ "max-in-flight" ] ~docv:"N" ~doc:"Per-tenant concurrent running-job quota.")
+  in
+  let max_queued_arg =
+    Arg.(
+      value
+      & opt int Service.default_quota.Service.max_queued
+      & info [ "max-queued" ] ~docv:"N" ~doc:"Per-tenant admission limit on waiting jobs.")
+  in
+  let write_budget_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "write-budget" ] ~docv:"N"
+          ~doc:
+            "Per-tenant store-write budget; once spent, that tenant's builds stop persisting new \
+             artifacts (reads stay shared). Negative = unlimited.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"On shutdown, write the metrics registry (incl. store and service stats) as JSON.")
+  in
+  let doc = "PLD compile-as-a-service daemon (shared multi-tenant artifact store)" in
+  let info = Cmd.info "pldd" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(
+      const serve $ socket_arg $ cache_dir_arg $ max_bytes_arg $ queue_workers_arg $ jobs_arg
+      $ workers_arg $ pace_arg $ seed_arg $ max_in_flight_arg $ max_queued_arg $ write_budget_arg
+      $ metrics_out_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -8,13 +8,32 @@
     Layout: one file per artifact, named [<kind>-<key>.art], where
     [kind] partitions the namespace by artifact type (a page bitstream
     can never be confused with a softcore image, whatever the key) and
-    [key] is the content digest of the inputs that produced it.
+    [key] is the content digest of the inputs that produced it. Next to
+    the entries live two bookkeeping files: [store.lock], the
+    inter-process lock, and [store.index], the persisted access-time
+    index driving LRU eviction.
 
     Entries are never trusted: every file carries a versioned header
     with the payload's own digest, and anything that fails validation —
     wrong magic, older store version, digest mismatch, truncation — is
-    evicted (deleted) and treated as a miss. All operations are
-    thread-safe and may be called from executor worker domains. *)
+    evicted (deleted) and treated as a miss.
+
+    {b Concurrency.} All operations are safe from multiple domains of
+    one process (a mutex per handle) {e and} from multiple processes
+    sharing one directory (an [fcntl] record lock on [store.lock] held
+    for the duration of each operation). Entry writes are atomic
+    (unique temp file + rename), so a reader never observes a partial
+    entry; orphaned temp files left by a crash mid-serialize are swept
+    on the next {!open_}. Within one process, share a single handle per
+    directory — two handles in the same process fall back to atomic
+    renames only (POSIX record locks do not exclude the owning
+    process), which keeps entries intact but can lose index updates.
+
+    {b Eviction.} With [max_bytes] set, every write re-checks the
+    budget and evicts least-recently-used entries (by the persisted
+    access stamps, so LRU order survives across processes and restarts)
+    until the file-byte total fits. The entry just written is never its
+    own victim. *)
 
 type t
 
@@ -25,27 +44,70 @@ val version : int
 (** Current on-disk format version. Bump on any layout change; entries
     written by other versions are evicted on open. *)
 
-val open_ : dir:string -> t
-(** Opens (creating if needed) the store rooted at [dir] and sweeps
-    invalid or stale entries. *)
+val open_ : ?max_bytes:int -> ?telemetry:Pld_telemetry.Telemetry.t -> dir:string -> unit -> t
+(** Opens (creating if needed) the store rooted at [dir], sweeps
+    invalid or stale entries and orphaned [*.tmp] files, and loads the
+    access-time index. [max_bytes] (default: unbounded) is the LRU
+    size budget over payload bytes. [telemetry] (default
+    {!Pld_telemetry.Telemetry.default}) receives the per-kind
+    hit/miss/eviction/put counters ([store.<kind>.hits], ...) and the
+    [store.bytes] / [store.entries] gauges. *)
 
 val dir : t -> string
 
+val max_bytes : t -> int option
+
 val find : t -> kind:string -> key:Pld_util.Digest_lite.t -> 'a option
 (** [find t ~kind ~key] deserializes the stored artifact, or [None] on
-    miss or eviction. The result type ['a] is whatever was [put] under
-    this [kind]; callers must dedicate each kind to exactly one
-    artifact type (the typed accessors in [Build] enforce this). *)
+    miss or eviction. A hit refreshes the entry's LRU stamp. The result
+    type ['a] is whatever was [put] under this [kind]; callers must
+    dedicate each kind to exactly one artifact type (the typed
+    accessors in [Build] enforce this). *)
 
 val put : t -> kind:string -> key:Pld_util.Digest_lite.t -> 'a -> unit
-(** Serializes the artifact (atomically: temp file + rename). The value
-    must be closure-free. *)
+(** Serializes the artifact (atomically: unique temp file + rename),
+    stamps it most-recently-used, and enforces the size budget. The
+    value must be closure-free. *)
 
 val mem : t -> kind:string -> key:Pld_util.Digest_lite.t -> bool
-(** Header-only check, without deserializing the payload. *)
+(** Header-only check, without deserializing the payload. Counts and
+    stamps like a {!find}. *)
+
+val entries : t -> (string * string) list
+(** [(kind, key)] of every well-named entry currently on disk. *)
 
 val count : t -> int
 (** Number of valid entries currently on disk. *)
 
 val clear : t -> unit
-(** Removes every entry (but keeps the directory). *)
+(** Removes every entry (but keeps the directory and bookkeeping
+    files). *)
+
+(** {2 Statistics}
+
+    Counters are cumulative over the handle's lifetime; sizes reflect
+    the index (i.e. what is on disk now, as this handle last saw it). *)
+
+type kind_stats = {
+  ks_kind : string;
+  ks_entries : int;  (** entries of this kind on disk *)
+  ks_bytes : int;  (** file bytes of this kind on disk *)
+  ks_hits : int;  (** [find]/[mem] served from a valid entry *)
+  ks_misses : int;  (** [find]/[mem] that found nothing usable *)
+  ks_puts : int;  (** artifacts written *)
+  ks_evictions : int;
+      (** entries this handle deleted — LRU budget victims plus
+          validation failures *)
+}
+
+type stats = {
+  s_entries : int;
+  s_bytes : int;  (** file bytes on disk *)
+  s_kinds : kind_stats list;  (** first-use order *)
+}
+
+val stats : t -> stats
+
+val render_stats : stats -> string list
+(** One aligned line per kind plus a totals line — what
+    [pldd]'s stats endpoint and the tests print. *)

@@ -73,7 +73,11 @@ type verdict = {
   ok : bool;
 }
 
-let higher_is_better name = name = "fmax_mhz" || name = "cache_hits"
+let higher_is_better = function
+  | "fmax_mhz" | "cache_hits" -> true
+  (* Service tier: more sharing is better, more failures is worse. *)
+  | "svc_completed" | "svc_deduped" | "svc_cross_tenant_hits" | "svc_cache_hits" -> true
+  | _ -> false
 
 (* ---------- comparison ---------- *)
 

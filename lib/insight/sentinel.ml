@@ -11,6 +11,7 @@ type options = {
   pace : float;
   jobs : int;
   run_perf : bool;
+  run_service : bool;
 }
 
 let default_options =
@@ -21,6 +22,7 @@ let default_options =
     pace = 0.0;
     jobs = 1;
     run_perf = true;
+    run_service = true;
   }
 
 let level_of_string s =
@@ -86,6 +88,84 @@ let measure_entry opts (b : Suite.bench) level =
   in
   { Baseline.bench = b.Suite.name; level = B.level_name level; exact; tool; wall }
 
+(* The service tier guards the daemon path: a fixed Zipf trace through
+   a single-worker service. One worker serializes the compiles, so the
+   conservation metrics (sessions completed, distinct graphs, operator
+   recompiles, store writes) are exact — every distinct artifact is
+   built exactly once no matter how requests interleave. What depends
+   on drain timing (dedup vs after-the-fact cache hits) and on the
+   machine (latency percentiles) goes in the noise-aware classes. *)
+let service_traffic =
+  {
+    Pld_service.Traffic.default_options with
+    Pld_service.Traffic.sessions = 60;
+    tenants = 4;
+    pool = 12;
+    max_chain = 3;
+    zipf = 1.1;
+    seed = 11;
+  }
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let measure_service opts =
+  let run_once i =
+    (* A fresh persistent store per repeat: cold-cache runs are the
+       comparable ones, and a real store is what makes the write
+       accounting non-vacuous. *)
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pld-sentinel-%d-%d" (Unix.getpid ()) i)
+    in
+    let service =
+      Pld_service.Service.create ~cache_dir:dir ~queue_workers:1 ~jobs:opts.jobs ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Pld_service.Service.shutdown service;
+        rm_rf dir)
+      (fun () -> Pld_service.Traffic.run ~service service_traffic)
+  in
+  let runs = List.init (max 1 opts.repeats) run_once in
+  let first = List.hd runs in
+  let module Tr = Pld_service.Traffic in
+  let tool =
+    List.map
+      (fun (name, f) -> (name, Baseline.stats_of (List.map f runs)))
+      [
+        ("svc_latency_p50_s", fun (s : Tr.summary) -> s.Tr.sm_p50);
+        ("svc_latency_p95_s", fun s -> s.Tr.sm_p95);
+        ("svc_latency_p99_s", fun s -> s.Tr.sm_p99);
+        ("svc_latency_mean_s", fun s -> s.Tr.sm_mean);
+        ("svc_deduped", fun s -> float_of_int s.Tr.sm_deduped);
+        ("svc_cross_tenant_hits", fun s -> float_of_int s.Tr.sm_cross_hits);
+        ("svc_cache_hits", fun s -> float_of_int s.Tr.sm_cache_hits);
+      ]
+  in
+  let wall = [ ("wall_seconds", Baseline.stats_of (List.map (fun s -> s.Tr.sm_wall_seconds) runs)) ] in
+  let exact =
+    [
+      ("svc_completed", float_of_int first.Tr.sm_completed);
+      ("svc_failed", float_of_int first.Tr.sm_failed);
+      ("svc_distinct_graphs", float_of_int first.Tr.sm_distinct_graphs);
+      ("svc_recompiled", float_of_int first.Tr.sm_recompiled);
+      ("svc_store_writes", float_of_int first.Tr.sm_store_writes);
+    ]
+  in
+  {
+    Baseline.bench = "service";
+    level = B.level_name service_traffic.Tr.level;
+    exact;
+    tool;
+    wall;
+  }
+
 let measure ?(suite = "rosetta") opts =
   let entries =
     List.concat_map
@@ -93,6 +173,7 @@ let measure ?(suite = "rosetta") opts =
         let b = Suite.find name in
         List.map (measure_entry opts b) opts.levels)
       opts.benches
+    @ (if opts.run_service then [ measure_service opts ] else [])
   in
   {
     Baseline.version = Baseline.current_version;

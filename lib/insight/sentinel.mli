@@ -21,12 +21,19 @@ type options = {
   pace : float;  (** forwarded to [Build.compile] *)
   jobs : int;  (** executor domains per compile *)
   run_perf : bool;  (** also run each app once for Fmax/cycles/ms-per-input *)
+  run_service : bool;
+      (** also replay a fixed Zipf trace through a single-worker
+          {!Pld_service.Service} and snapshot a ["service"] entry:
+          conservation counts (sessions completed, distinct graphs,
+          operator recompiles, store writes) in the exact class,
+          dedup/hit counts and latency percentiles in the tool class,
+          wall time in the wall class *)
 }
 
 val default_options : options
 (** spam + optical at -O1 and -O3, 3 repeats, no pacing, 1 job,
-    perf on — small enough for CI, varied enough to cover both the
-    paged and the monolithic flow. *)
+    perf and service tiers on — small enough for CI, varied enough to
+    cover the paged flow, the monolithic flow and the daemon path. *)
 
 val level_of_string : string -> Pld_core.Build.level option
 (** Accepts ["O1"], ["-O1"], ["o1"], ... and ["vitis"]. *)

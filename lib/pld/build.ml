@@ -67,20 +67,29 @@ type cache = {
   soft : (Digest.t, Flow.o0_operator) Hashtbl.t;
   mono : (Digest.t, Flow.o3_app) Hashtbl.t;
   store : Store.t option;
+  persist : bool;
+      (* a read-only view shares every table and the store for lookups
+         but never writes artifacts back to disk — how the service
+         serves tenants whose cache-write budget is spent *)
   lock : Mutex.t;
   counters : (string * counter) list;
 }
 
-let create_cache ?dir () =
+let create_cache ?dir ?max_bytes ?telemetry () =
   {
     hw = Hashtbl.create 64;
     soft = Hashtbl.create 64;
     mono = Hashtbl.create 16;
-    store = Option.map (fun dir -> Store.open_ ~dir) dir;
+    store = Option.map (fun dir -> Store.open_ ?max_bytes ?telemetry ~dir ()) dir;
+    persist = true;
     lock = Mutex.create ();
     counters =
       List.map (fun k -> (k, { hits = 0; misses = 0 })) [ kind_page; kind_softcore; kind_mono ];
   }
+
+let readonly_view c = { c with persist = false }
+
+let cache_store c = c.store
 
 let locked c f =
   Mutex.lock c.lock;
@@ -119,10 +128,10 @@ let cache_find (type v) c (tbl : (Digest.t, v) Hashtbl.t) ~kind ~key ~job ~emit 
 let cache_put (type v) c (tbl : (Digest.t, v) Hashtbl.t) ~kind ~key ~emit (v : v) =
   locked c (fun () -> Hashtbl.replace tbl key v);
   match c.store with
-  | Some s ->
+  | Some s when c.persist ->
       Store.put s ~kind ~key v;
       emit (Event.Cache_store { kind; key })
-  | None -> ()
+  | Some _ | None -> ()
 
 (* ---------- models ---------- *)
 

@@ -81,10 +81,24 @@ val kind_page : string
 val kind_softcore : string
 val kind_mono : string
 
-val create_cache : ?dir:string -> unit -> cache
+val create_cache :
+  ?dir:string -> ?max_bytes:int -> ?telemetry:Pld_telemetry.Telemetry.t -> unit -> cache
 (** In-memory cache; with [dir], artifacts are additionally persisted
     to (and warm-started from) a content-addressed store on disk, so a
-    fresh process recompiles only what changed. *)
+    fresh process recompiles only what changed. [max_bytes] and
+    [telemetry] configure that store's LRU budget and stats sink (see
+    {!Pld_engine.Store.open_}). *)
+
+val readonly_view : cache -> cache
+(** A view sharing this cache's tables and store for {e lookups} while
+    never persisting new artifacts to disk — in-memory inserts still
+    happen, so a build against the view stays internally consistent.
+    The service hands this view to tenants whose cache-write budget is
+    exhausted. *)
+
+val cache_store : cache -> Pld_engine.Store.t option
+(** The persistent store behind this cache, when it has one — the
+    handle the daemon's stats endpoint reads. *)
 
 val cache_size : cache -> int
 (** In-memory entries across all kinds. *)

@@ -1,0 +1,104 @@
+open Pld_ir
+module Fp = Pld_fabric.Floorplan
+module T = Pld_telemetry.Telemetry
+
+exception Closed of string
+
+type t = {
+  s_name : string;
+  fp : Fp.t;
+  s_cache : Build.cache;
+  telemetry : T.t;
+  workers : int;
+  jobs : int;
+  pace : float;
+  seed : int;
+  mutable card : Pld_platform.Card.t option;
+  mutable s_apps : (string * Build.app) list;  (* newest first internally *)
+  mutable n_compiles : int;
+  mutable closed : bool;
+}
+
+let session_seq = Atomic.make 0
+
+let open_session ?name ?fp ?cache ?cache_dir ?(workers = 22) ?(jobs = 1) ?(pace = 0.0) ?(seed = 7)
+    ?(telemetry = T.default) () =
+  let s_cache =
+    match (cache, cache_dir) with
+    | Some _, Some _ -> invalid_arg "Session.open_session: pass ~cache or ~cache_dir, not both"
+    | Some c, None -> c
+    | None, Some dir -> Build.create_cache ~dir ~telemetry ()
+    | None, None -> Build.create_cache ~telemetry ()
+  in
+  let s_name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "session-%d" (Atomic.fetch_and_add session_seq 1)
+  in
+  let fp = match fp with Some fp -> fp | None -> Fp.u50 () in
+  {
+    s_name;
+    fp;
+    s_cache;
+    telemetry;
+    workers;
+    jobs;
+    pace;
+    seed;
+    card = None;
+    s_apps = [];
+    n_compiles = 0;
+    closed = false;
+  }
+
+let check_open t ctx = if t.closed then raise (Closed (Printf.sprintf "%s: %s" t.s_name ctx))
+
+let name t = t.s_name
+let cache t = t.s_cache
+
+let compile t ?(level = Build.O1) ?faults ?max_retries ?defective g =
+  check_open t "compile";
+  let max_retries = Option.value ~default:0 max_retries in
+  let defective = Option.value ~default:[] defective in
+  T.with_span t.telemetry ~cat:"session"
+    ~attrs:[ ("session", t.s_name); ("graph", g.Graph.graph_name) ]
+    (t.s_name ^ ":compile")
+  @@ fun () ->
+  let app =
+    Build.compile ~cache:t.s_cache ~workers:t.workers ~jobs:t.jobs ~pace:t.pace ~seed:t.seed
+      ~telemetry:t.telemetry ?faults ~max_retries ~defective t.fp g ~level
+  in
+  t.n_compiles <- t.n_compiles + 1;
+  t.s_apps <- (g.Graph.graph_name, app) :: List.remove_assoc g.Graph.graph_name t.s_apps;
+  app
+
+let link t ?faults ?max_retries (app : Build.app) =
+  check_open t "link";
+  let card =
+    match t.card with
+    | Some c -> c
+    | None ->
+        let c = Pld_platform.Card.create ?faults () in
+        t.card <- Some c;
+        c
+  in
+  T.with_span t.telemetry ~cat:"session" ~attrs:[ ("session", t.s_name) ] (t.s_name ^ ":link")
+  @@ fun () -> Loader.deploy ?faults ?max_retries card app
+
+let run t ?fuel ?faults (dr : Loader.deploy_result) ~inputs =
+  check_open t "run";
+  T.with_span t.telemetry ~cat:"session" ~attrs:[ ("session", t.s_name) ] (t.s_name ^ ":run")
+  @@ fun () -> Runner.run ?fuel ?faults dr.Loader.app ~inputs
+
+let apps t =
+  check_open t "apps";
+  List.rev t.s_apps
+
+let compiles t = t.n_compiles
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.card <- None;
+    t.s_apps <- []
+  end

@@ -1,0 +1,84 @@
+(** Compile sessions: the reusable open/compile/link/run/close API.
+
+    A session is one client's handle onto the toolflow — its floorplan,
+    its card, its defaults — while the artifact cache (and the
+    persistent store behind it) is {e shared}: many sessions in one
+    process compile independent graphs against one store, so the second
+    session asking for an operator the first already built gets a
+    link-time hit instead of a recompile. This is the shape the [pldd]
+    daemon serves over a socket and [Pld_service.Service] schedules;
+    the one-shot {!Build.compile} is a degenerate open/compile/close.
+
+    Sessions are cheap (no domain is spawned until a compile runs) and
+    single-client: one session should be driven from one fiber/domain
+    at a time, while {e different} sessions sharing a cache may run
+    fully concurrently — the cache and store are domain-safe. *)
+
+open Pld_ir
+
+exception Closed of string
+(** An operation was attempted on a closed session (the message names
+    the session). *)
+
+type t
+
+val open_session :
+  ?name:string ->
+  ?fp:Pld_fabric.Floorplan.t ->
+  ?cache:Build.cache ->
+  ?cache_dir:string ->
+  ?workers:int ->
+  ?jobs:int ->
+  ?pace:float ->
+  ?seed:int ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
+  unit ->
+  t
+(** [cache] shares an existing (typically process-wide) cache across
+    sessions; [cache_dir] instead opens a private persistent cache —
+    passing both is rejected with [Invalid_argument]. With neither, the
+    session gets a private in-memory cache. [fp] defaults to the U50
+    floorplan; [workers]/[jobs]/[pace]/[seed] become the session's
+    compile defaults. [name] labels spans and errors (default
+    ["session-<n>"], unique within the process). *)
+
+val name : t -> string
+
+val cache : t -> Build.cache
+(** The cache this session compiles against (shared or private). *)
+
+val compile :
+  t ->
+  ?level:Build.level ->
+  ?faults:Pld_faults.Fault.t ->
+  ?max_retries:int ->
+  ?defective:int list ->
+  Graph.t ->
+  Build.app
+(** Compile a graph at [level] (default [O1]) with the session's
+    defaults, against the shared cache. The app is remembered as the
+    session's latest build of that graph ({!apps}). *)
+
+val link : t -> ?faults:Pld_faults.Fault.t -> ?max_retries:int -> Build.app -> Loader.deploy_result
+(** Deploy the app onto the session's card (created on first use,
+    reused after), walking the usual recovery ladder on faults. *)
+
+val run :
+  t ->
+  ?fuel:int ->
+  ?faults:Pld_faults.Fault.t ->
+  Loader.deploy_result ->
+  inputs:(string * Value.t list) list ->
+  Runner.result
+(** Execute a deployed app on the given inputs. *)
+
+val apps : t -> (string * Build.app) list
+(** Latest compiled app per graph name, oldest first. *)
+
+val compiles : t -> int
+(** Number of compiles this session has run. *)
+
+val close : t -> unit
+(** Release the session's card and app references and mark it closed;
+    idempotent. The shared cache is left untouched (other sessions may
+    be using it). Any later operation raises {!Closed}. *)

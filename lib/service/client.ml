@@ -1,0 +1,37 @@
+module Json = Pld_telemetry.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  match Sys.file_exists path with
+  | false -> Error (Printf.sprintf "no daemon socket at %s" path)
+  | true -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+      with Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "connect %s: %s" path (Unix.error_message err)))
+
+let close t = try close_out_noerr t.oc; close_in_noerr t.ic with Sys_error _ -> ()
+
+let call t envelope =
+  try
+    output_string t.oc (Json.to_string (Protocol.envelope_to_json envelope));
+    output_char t.oc '\n';
+    flush t.oc;
+    match input_line t.ic with
+    | exception End_of_file -> Error "daemon closed the connection"
+    | line -> (
+        match Json.of_string line with
+        | exception Json.Parse_error msg -> Error (Printf.sprintf "bad reply: %s" msg)
+        | j -> Protocol.reply_of_json j)
+  with
+  | Sys_error msg -> Error msg
+  | Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let rpc ~socket envelope =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok conn -> Fun.protect ~finally:(fun () -> close conn) (fun () -> call conn envelope)

@@ -1,0 +1,20 @@
+(** Unix-domain-socket client for the [pldd] daemon ([pldc --connect]).
+
+    One request per {!call}; a connection carries any number of
+    sequential calls. The wire format is {!Protocol}'s
+    newline-delimited JSON. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's socket path. *)
+
+val close : t -> unit
+
+val call : t -> Protocol.envelope -> (Protocol.reply, string) result
+(** Send one request and block for its reply. [Error] is a transport
+    or parse failure; an application-level failure comes back as a
+    reply with [ok = false]. *)
+
+val rpc : socket:string -> Protocol.envelope -> (Protocol.reply, string) result
+(** One-shot: connect, {!call}, close. *)

@@ -1,0 +1,89 @@
+module Json = Pld_telemetry.Json
+
+type request =
+  | Ping
+  | Compile of { bench : string; level : string }
+  | Run of { bench : string; level : string; frames : int }
+  | Stats
+  | Shutdown
+
+type envelope = { rq_id : int; tenant : string; priority : int; req : request }
+
+let envelope ?(id = 0) ?(tenant = "default") ?(priority = 0) req =
+  { rq_id = id; tenant; priority; req }
+
+let envelope_to_json e =
+  let base =
+    [
+      ("id", Json.Int e.rq_id);
+      ("tenant", Json.String e.tenant);
+      ("priority", Json.Int e.priority);
+    ]
+  in
+  let rest =
+    match e.req with
+    | Ping -> [ ("op", Json.String "ping") ]
+    | Stats -> [ ("op", Json.String "stats") ]
+    | Shutdown -> [ ("op", Json.String "shutdown") ]
+    | Compile { bench; level } ->
+        [ ("op", Json.String "compile"); ("bench", Json.String bench); ("level", Json.String level) ]
+    | Run { bench; level; frames } ->
+        [
+          ("op", Json.String "run");
+          ("bench", Json.String bench);
+          ("level", Json.String level);
+          ("frames", Json.Int frames);
+        ]
+  in
+  Json.Obj (base @ rest)
+
+let str_field name j = match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+let int_field name j = match Json.member name j with Some (Json.Int i) -> Some i | _ -> None
+
+let envelope_of_json j =
+  match str_field "op" j with
+  | None -> Error "missing \"op\" field"
+  | Some op -> (
+      let id = Option.value ~default:0 (int_field "id" j) in
+      let tenant = Option.value ~default:"default" (str_field "tenant" j) in
+      let priority = Option.value ~default:0 (int_field "priority" j) in
+      let level () = Option.value ~default:"O1" (str_field "level" j) in
+      let with_req req = Ok { rq_id = id; tenant; priority; req } in
+      match op with
+      | "ping" -> with_req Ping
+      | "stats" -> with_req Stats
+      | "shutdown" -> with_req Shutdown
+      | "compile" -> (
+          match str_field "bench" j with
+          | Some bench -> with_req (Compile { bench; level = level () })
+          | None -> Error "compile: missing \"bench\" field")
+      | "run" -> (
+          match str_field "bench" j with
+          | Some bench ->
+              let frames = Option.value ~default:8 (int_field "frames" j) in
+              with_req (Run { bench; level = level (); frames })
+          | None -> Error "run: missing \"bench\" field")
+      | other -> Error (Printf.sprintf "unknown op %S" other))
+
+type reply = { rp_id : int; ok : bool; body : Json.t }
+
+let reply_ok ~id body = { rp_id = id; ok = true; body }
+let reply_error ~id msg = { rp_id = id; ok = false; body = Json.Obj [ ("error", Json.String msg) ] }
+
+let reply_to_json r =
+  Json.Obj [ ("id", Json.Int r.rp_id); ("ok", Json.Bool r.ok); ("body", r.body) ]
+
+let reply_of_json j =
+  match (int_field "id" j, Json.member "ok" j, Json.member "body" j) with
+  | Some id, Some (Json.Bool ok), Some body -> Ok { rp_id = id; ok; body }
+  | _ -> Error "malformed reply (want {id, ok, body})"
+
+let error_message r =
+  match Json.member "error" r.body with Some (Json.String s) -> Some s | _ -> None
+
+let level_of_name = function
+  | "O0" | "o0" | "-O0" -> Ok Pld_core.Build.O0
+  | "O1" | "o1" | "-O1" -> Ok Pld_core.Build.O1
+  | "O3" | "o3" | "-O3" -> Ok Pld_core.Build.O3
+  | "Vitis" | "vitis" -> Ok Pld_core.Build.Vitis
+  | other -> Error (Printf.sprintf "unknown level %S (want O0|O1|O3|Vitis)" other)

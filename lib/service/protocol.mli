@@ -1,0 +1,39 @@
+(** Wire protocol of the [pldd] daemon: newline-delimited JSON.
+
+    Each request is one JSON object on one line; the daemon answers
+    with one JSON object on one line. Graphs travel by {e name} — the
+    daemon resolves a bench name (a Rosetta benchmark or a synthetic
+    [svc-...] traffic chain) to a graph, so the protocol layer stays
+    independent of the benchmark suites. *)
+
+type request =
+  | Ping
+  | Compile of { bench : string; level : string }
+      (** [level] is a {!Pld_core.Build.level_name}: ["O0"], ["O1"],
+          ["O3"] or ["Vitis"]. *)
+  | Run of { bench : string; level : string; frames : int }
+      (** Compile, link and execute with [frames] ramp words on every
+          graph input. *)
+  | Stats
+  | Shutdown
+
+type envelope = { rq_id : int; tenant : string; priority : int; req : request }
+
+val envelope : ?id:int -> ?tenant:string -> ?priority:int -> request -> envelope
+(** [id] defaults to 0, [tenant] to ["default"], [priority] to 0. *)
+
+val envelope_to_json : envelope -> Pld_telemetry.Json.t
+val envelope_of_json : Pld_telemetry.Json.t -> (envelope, string) result
+
+type reply = { rp_id : int; ok : bool; body : Pld_telemetry.Json.t }
+(** On failure [body] is [Obj [("error", String msg)]]. *)
+
+val reply_ok : id:int -> Pld_telemetry.Json.t -> reply
+val reply_error : id:int -> string -> reply
+val reply_to_json : reply -> Pld_telemetry.Json.t
+val reply_of_json : Pld_telemetry.Json.t -> (reply, string) result
+
+val error_message : reply -> string option
+(** The [error] field of a failed reply's body. *)
+
+val level_of_name : string -> (Pld_core.Build.level, string) result

@@ -1,0 +1,603 @@
+open Pld_ir
+open Pld_core
+module Fp = Pld_fabric.Floorplan
+module T = Pld_telemetry.Telemetry
+module Json = Pld_telemetry.Json
+
+type quota = { max_in_flight : int; max_queued : int; cache_write_budget : int option }
+
+let default_quota = { max_in_flight = 4; max_queued = 64; cache_write_budget = None }
+
+type outcome = {
+  o_tenant : string;
+  o_graph : string;
+  o_level : Build.level;
+  o_cache_hits : int;
+  o_recompiled : int;
+  o_store_writes : int;
+  o_deduped : bool;
+  o_cross_tenant : bool;
+  o_queue_seconds : float;
+  o_build_seconds : float;
+  o_latency_seconds : float;
+  o_app : Build.app;
+}
+
+let outcome_json o =
+  Json.Obj
+    [
+      ("tenant", Json.String o.o_tenant);
+      ("graph", Json.String o.o_graph);
+      ("level", Json.String (Build.level_name o.o_level));
+      ("cache_hits", Json.Int o.o_cache_hits);
+      ("recompiled", Json.Int o.o_recompiled);
+      ("store_writes", Json.Int o.o_store_writes);
+      ("deduped", Json.Bool o.o_deduped);
+      ("cross_tenant", Json.Bool o.o_cross_tenant);
+      ("queue_seconds", Json.Float o.o_queue_seconds);
+      ("build_seconds", Json.Float o.o_build_seconds);
+      ("latency_seconds", Json.Float o.o_latency_seconds);
+    ]
+
+type job_state = Queued | Running | Finished of (outcome, string) result
+
+type job = {
+  j_id : int;
+  j_tenant : string;
+  j_priority : int;
+  j_graph : Graph.t;
+  j_level : Build.level;
+  j_key : string;
+  j_enqueued : float;
+  mutable j_state : job_state;
+  mutable j_followers : job list;  (* dedup piggybacks, primaries only *)
+}
+
+type ticket = job
+
+type tenant = {
+  tn_name : string;
+  tn_quota : quota;
+  mutable tn_queued : int;
+  mutable tn_in_flight : int;
+  mutable tn_submitted : int;
+  mutable tn_completed : int;
+  mutable tn_failed : int;
+  mutable tn_rejected : int;
+  mutable tn_deduped : int;
+  mutable tn_cross_hits : int;
+  mutable tn_store_writes : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  sv_cache : Build.cache;
+  ro_cache : Build.cache;  (* readonly view for exhausted write budgets *)
+  fp : Fp.t;
+  telemetry : T.t;
+  workers : int;
+  jobs : int;
+  pace : float;
+  seed : int;
+  dq : quota;
+  tenants : (string, tenant) Hashtbl.t;
+  mutable pending : job list;  (* admission order, newest last *)
+  inflight : (string, job) Hashtbl.t;  (* key -> queued/running primary *)
+  first_tenant : (string, string) Hashtbl.t;  (* key -> first submitter *)
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable pool : unit Domain.t list;
+  (* global counters *)
+  mutable g_submitted : int;
+  mutable g_completed : int;
+  mutable g_failed : int;
+  mutable g_rejected : int;
+  mutable g_deduped : int;
+  mutable g_cross : int;
+  mutable g_latencies : float list;  (* reversed: newest first *)
+}
+
+(* Counter handles are re-fetched per bump so a [Telemetry.reset]
+   between calls cannot strand a stale handle. *)
+let bump t name = T.incr (T.counter t.telemetry ("service." ^ name))
+
+let set_depth_gauges t =
+  T.set_gauge (T.gauge t.telemetry "service.queue_depth") (float_of_int (List.length t.pending));
+  let in_flight = Hashtbl.fold (fun _ tn acc -> acc + tn.tn_in_flight) t.tenants 0 in
+  T.set_gauge (T.gauge t.telemetry "service.in_flight") (float_of_int in_flight)
+
+let tenant_of t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some tn -> tn
+  | None ->
+      let quota = t.dq in
+      let tn =
+        {
+          tn_name = name;
+          tn_quota = quota;
+          tn_queued = 0;
+          tn_in_flight = 0;
+          tn_submitted = 0;
+          tn_completed = 0;
+          tn_failed = 0;
+          tn_rejected = 0;
+          tn_deduped = 0;
+          tn_cross_hits = 0;
+          tn_store_writes = 0;
+        }
+      in
+      Hashtbl.replace t.tenants name tn;
+      tn
+
+let job_key g level = Pld_util.Digest_lite.of_parts [ Graph.source g; Build.level_name level ]
+
+let store_writes report =
+  List.fold_left
+    (fun acc ev -> match ev with Pld_engine.Event.Cache_store _ -> acc + 1 | _ -> acc)
+    0 report.Build.events
+
+(* ---------- completion ---------- *)
+
+let finish_follower t primary_tenant (result : (outcome, string) result) (f : job) =
+  let now = Unix.gettimeofday () in
+  let tn = tenant_of t f.j_tenant in
+  let result =
+    match result with
+    | Error e ->
+        tn.tn_failed <- tn.tn_failed + 1;
+        t.g_failed <- t.g_failed + 1;
+        bump t "failed";
+        Error e
+    | Ok o ->
+        let cross = not (String.equal primary_tenant f.j_tenant) in
+        tn.tn_completed <- tn.tn_completed + 1;
+        tn.tn_deduped <- tn.tn_deduped + 1;
+        t.g_completed <- t.g_completed + 1;
+        t.g_deduped <- t.g_deduped + 1;
+        bump t "completed";
+        bump t "dedup_hits";
+        if cross then begin
+          tn.tn_cross_hits <- tn.tn_cross_hits + 1;
+          t.g_cross <- t.g_cross + 1;
+          bump t "cross_tenant_hits"
+        end;
+        let latency = now -. f.j_enqueued in
+        t.g_latencies <- latency :: t.g_latencies;
+        T.observe (T.histogram t.telemetry "service.latency_seconds") latency;
+        Ok
+          {
+            o with
+            o_tenant = f.j_tenant;
+            o_cache_hits = 0;
+            o_recompiled = 0;
+            o_store_writes = 0;
+            o_deduped = true;
+            o_cross_tenant = cross;
+            o_queue_seconds = now -. f.j_enqueued;
+            o_build_seconds = 0.0;
+            o_latency_seconds = latency;
+          }
+  in
+  f.j_state <- Finished result
+
+(* Must hold t.mu. *)
+let finish t (j : job) started result =
+  let now = Unix.gettimeofday () in
+  let tn = tenant_of t j.j_tenant in
+  tn.tn_in_flight <- tn.tn_in_flight - 1;
+  Hashtbl.remove t.inflight j.j_key;
+  let result =
+    match result with
+    | Error e ->
+        tn.tn_failed <- tn.tn_failed + 1;
+        t.g_failed <- t.g_failed + 1;
+        bump t "failed";
+        Error e
+    | Ok (app : Build.app) ->
+        let writes = store_writes app.Build.report in
+        tn.tn_store_writes <- tn.tn_store_writes + writes;
+        let cross =
+          app.Build.report.Build.recompiled = 0
+          &&
+          match Hashtbl.find_opt t.first_tenant j.j_key with
+          | Some first -> not (String.equal first j.j_tenant)
+          | None -> false
+        in
+        tn.tn_completed <- tn.tn_completed + 1;
+        t.g_completed <- t.g_completed + 1;
+        bump t "completed";
+        if cross then begin
+          tn.tn_cross_hits <- tn.tn_cross_hits + 1;
+          t.g_cross <- t.g_cross + 1;
+          bump t "cross_tenant_hits"
+        end;
+        let latency = now -. j.j_enqueued in
+        t.g_latencies <- latency :: t.g_latencies;
+        T.observe (T.histogram t.telemetry "service.latency_seconds") latency;
+        Ok
+          {
+            o_tenant = j.j_tenant;
+            o_graph = j.j_graph.Graph.graph_name;
+            o_level = j.j_level;
+            o_cache_hits = app.Build.report.Build.cache_hits;
+            o_recompiled = app.Build.report.Build.recompiled;
+            o_store_writes = writes;
+            o_deduped = false;
+            o_cross_tenant = cross;
+            o_queue_seconds = started -. j.j_enqueued;
+            o_build_seconds = now -. started;
+            o_latency_seconds = latency;
+            o_app = app;
+          }
+  in
+  j.j_state <- Finished result;
+  List.iter (finish_follower t j.j_tenant result) (List.rev j.j_followers);
+  j.j_followers <- [];
+  set_depth_gauges t;
+  Condition.broadcast t.cond
+
+(* ---------- scheduling ---------- *)
+
+(* Highest priority first, FIFO within a priority, skipping tenants at
+   their in-flight limit. Must hold t.mu. *)
+let select t =
+  let eligible j =
+    let tn = tenant_of t j.j_tenant in
+    tn.tn_in_flight < tn.tn_quota.max_in_flight
+  in
+  List.fold_left
+    (fun acc j ->
+      if not (eligible j) then acc
+      else
+        match acc with
+        | Some b when b.j_priority >= j.j_priority -> acc (* earlier admission wins ties *)
+        | Some _ | None -> Some j)
+    None t.pending
+
+let cache_for t tn =
+  match tn.tn_quota.cache_write_budget with
+  | Some budget when tn.tn_store_writes >= budget -> t.ro_cache
+  | Some _ | None -> t.sv_cache
+
+let run_job t (j : job) =
+  let tn = tenant_of t j.j_tenant in
+  let cache = cache_for t tn in
+  let started = Unix.gettimeofday () in
+  Mutex.unlock t.mu;
+  let result =
+    try
+      Ok
+        (Build.compile ~cache ~workers:t.workers ~jobs:t.jobs ~pace:t.pace ~seed:t.seed
+           ~telemetry:t.telemetry t.fp j.j_graph ~level:j.j_level)
+    with e -> Error (Printexc.to_string e)
+  in
+  Mutex.lock t.mu;
+  finish t j started result
+
+let rec worker_loop t =
+  let job =
+    let rec pick () =
+      if t.stopping then None
+      else
+        match select t with
+        | Some j ->
+            t.pending <- List.filter (fun p -> p.j_id <> j.j_id) t.pending;
+            j.j_state <- Running;
+            let tn = tenant_of t j.j_tenant in
+            tn.tn_queued <- tn.tn_queued - 1;
+            tn.tn_in_flight <- tn.tn_in_flight + 1;
+            set_depth_gauges t;
+            Some j
+        | None ->
+            Condition.wait t.cond t.mu;
+            pick ()
+    in
+    Mutex.lock t.mu;
+    pick ()
+  in
+  match job with
+  | None -> Mutex.unlock t.mu
+  | Some j ->
+      run_job t j;
+      Mutex.unlock t.mu;
+      worker_loop t
+
+(* ---------- public API ---------- *)
+
+let create ?cache ?cache_dir ?max_bytes ?fp ?(queue_workers = 2) ?(workers = 22) ?(jobs = 1)
+    ?(pace = 0.0) ?(seed = 7) ?(default_quota = default_quota) ?(quotas = [])
+    ?(telemetry = T.default) () =
+  let sv_cache =
+    match (cache, cache_dir) with
+    | Some _, Some _ -> invalid_arg "Service.create: pass ~cache or ~cache_dir, not both"
+    | Some c, None -> c
+    | None, Some dir -> Build.create_cache ~dir ?max_bytes ~telemetry ()
+    | None, None -> Build.create_cache ~telemetry ()
+  in
+  let fp = match fp with Some fp -> fp | None -> Fp.u50 () in
+  let t =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      sv_cache;
+      ro_cache = Build.readonly_view sv_cache;
+      fp;
+      telemetry;
+      workers;
+      jobs;
+      pace;
+      seed;
+      dq = default_quota;
+      tenants = Hashtbl.create 16;
+      pending = [];
+      inflight = Hashtbl.create 64;
+      first_tenant = Hashtbl.create 64;
+      next_id = 0;
+      stopping = false;
+      pool = [];
+      g_submitted = 0;
+      g_completed = 0;
+      g_failed = 0;
+      g_rejected = 0;
+      g_deduped = 0;
+      g_cross = 0;
+      g_latencies = [];
+    }
+  in
+  List.iter
+    (fun (name, quota) ->
+      let tn = tenant_of t name in
+      Hashtbl.replace t.tenants name { tn with tn_quota = quota })
+    quotas;
+  let n = max 1 queue_workers in
+  t.pool <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let cache t = t.sv_cache
+
+let submit t ~tenant ?(priority = 0) ?(level = Build.O1) g =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  if t.stopping then Error "service is shutting down"
+  else begin
+    let tn = tenant_of t tenant in
+    let key = job_key g level in
+    let mk () =
+      t.next_id <- t.next_id + 1;
+      {
+        j_id = t.next_id;
+        j_tenant = tenant;
+        j_priority = priority;
+        j_graph = g;
+        j_level = level;
+        j_key = key;
+        j_enqueued = Unix.gettimeofday ();
+        j_state = Queued;
+        j_followers = [];
+      }
+    in
+    match Hashtbl.find_opt t.inflight key with
+    | Some primary ->
+        (* Identical request already queued or compiling: piggyback. *)
+        let j = mk () in
+        primary.j_followers <- j :: primary.j_followers;
+        tn.tn_submitted <- tn.tn_submitted + 1;
+        t.g_submitted <- t.g_submitted + 1;
+        bump t "submitted";
+        Ok j
+    | None ->
+        if tn.tn_queued >= tn.tn_quota.max_queued then begin
+          tn.tn_rejected <- tn.tn_rejected + 1;
+          t.g_rejected <- t.g_rejected + 1;
+          bump t "rejected";
+          Error
+            (Printf.sprintf "tenant %s: queue full (%d admitted, max %d)" tenant tn.tn_queued
+               tn.tn_quota.max_queued)
+        end
+        else begin
+          let j = mk () in
+          Hashtbl.replace t.inflight key j;
+          if not (Hashtbl.mem t.first_tenant key) then Hashtbl.replace t.first_tenant key tenant;
+          t.pending <- t.pending @ [ j ];
+          tn.tn_queued <- tn.tn_queued + 1;
+          tn.tn_submitted <- tn.tn_submitted + 1;
+          t.g_submitted <- t.g_submitted + 1;
+          bump t "submitted";
+          set_depth_gauges t;
+          Condition.broadcast t.cond;
+          Ok j
+        end
+  end
+
+let await t (j : ticket) =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let rec wait () =
+    match j.j_state with Finished r -> r | Queued | Running -> Condition.wait t.cond t.mu; wait ()
+  in
+  wait ()
+
+let compile t ~tenant ?priority ?level g =
+  match submit t ~tenant ?priority ?level g with Error e -> Error e | Ok ticket -> await t ticket
+
+(* ---------- stats ---------- *)
+
+type tenant_stats = {
+  ts_tenant : string;
+  ts_submitted : int;
+  ts_completed : int;
+  ts_failed : int;
+  ts_rejected : int;
+  ts_deduped : int;
+  ts_cross_hits : int;
+  ts_store_writes : int;
+  ts_queued : int;
+  ts_in_flight : int;
+}
+
+type stats = {
+  st_submitted : int;
+  st_completed : int;
+  st_failed : int;
+  st_rejected : int;
+  st_deduped : int;
+  st_cross_hits : int;
+  st_queue_depth : int;
+  st_in_flight : int;
+  st_latencies : float list;
+  st_tenants : tenant_stats list;
+  st_store : Pld_engine.Store.stats option;
+}
+
+let stats t =
+  Mutex.lock t.mu;
+  let tenants =
+    Hashtbl.fold
+      (fun _ tn acc ->
+        {
+          ts_tenant = tn.tn_name;
+          ts_submitted = tn.tn_submitted;
+          ts_completed = tn.tn_completed;
+          ts_failed = tn.tn_failed;
+          ts_rejected = tn.tn_rejected;
+          ts_deduped = tn.tn_deduped;
+          ts_cross_hits = tn.tn_cross_hits;
+          ts_store_writes = tn.tn_store_writes;
+          ts_queued = tn.tn_queued;
+          ts_in_flight = tn.tn_in_flight;
+        }
+        :: acc)
+      t.tenants []
+  in
+  let st =
+    {
+      st_submitted = t.g_submitted;
+      st_completed = t.g_completed;
+      st_failed = t.g_failed;
+      st_rejected = t.g_rejected;
+      st_deduped = t.g_deduped;
+      st_cross_hits = t.g_cross;
+      st_queue_depth = List.length t.pending;
+      st_in_flight = Hashtbl.fold (fun _ tn acc -> acc + tn.tn_in_flight) t.tenants 0;
+      st_latencies = List.rev t.g_latencies;
+      st_tenants = List.sort (fun a b -> compare a.ts_tenant b.ts_tenant) tenants;
+      st_store = Option.map Pld_engine.Store.stats (Build.cache_store t.sv_cache);
+    }
+  in
+  Mutex.unlock t.mu;
+  st
+
+let percentile samples q =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+
+let stats_json (s : stats) =
+  let tenant_json ts =
+    Json.Obj
+      [
+        ("tenant", Json.String ts.ts_tenant);
+        ("submitted", Json.Int ts.ts_submitted);
+        ("completed", Json.Int ts.ts_completed);
+        ("failed", Json.Int ts.ts_failed);
+        ("rejected", Json.Int ts.ts_rejected);
+        ("deduped", Json.Int ts.ts_deduped);
+        ("cross_tenant_hits", Json.Int ts.ts_cross_hits);
+        ("store_writes", Json.Int ts.ts_store_writes);
+        ("queued", Json.Int ts.ts_queued);
+        ("in_flight", Json.Int ts.ts_in_flight);
+      ]
+  in
+  let store_json (ss : Pld_engine.Store.stats) =
+    Json.Obj
+      [
+        ("entries", Json.Int ss.Pld_engine.Store.s_entries);
+        ("bytes", Json.Int ss.Pld_engine.Store.s_bytes);
+        ( "kinds",
+          Json.List
+            (List.map
+               (fun (k : Pld_engine.Store.kind_stats) ->
+                 Json.Obj
+                   [
+                     ("kind", Json.String k.Pld_engine.Store.ks_kind);
+                     ("entries", Json.Int k.Pld_engine.Store.ks_entries);
+                     ("bytes", Json.Int k.Pld_engine.Store.ks_bytes);
+                     ("hits", Json.Int k.Pld_engine.Store.ks_hits);
+                     ("misses", Json.Int k.Pld_engine.Store.ks_misses);
+                     ("puts", Json.Int k.Pld_engine.Store.ks_puts);
+                     ("evictions", Json.Int k.Pld_engine.Store.ks_evictions);
+                   ])
+               ss.Pld_engine.Store.s_kinds) );
+      ]
+  in
+  Json.Obj
+    [
+      ("submitted", Json.Int s.st_submitted);
+      ("completed", Json.Int s.st_completed);
+      ("failed", Json.Int s.st_failed);
+      ("rejected", Json.Int s.st_rejected);
+      ("deduped", Json.Int s.st_deduped);
+      ("cross_tenant_hits", Json.Int s.st_cross_hits);
+      ("queue_depth", Json.Int s.st_queue_depth);
+      ("in_flight", Json.Int s.st_in_flight);
+      ("latency_p50_s", Json.Float (percentile s.st_latencies 0.50));
+      ("latency_p95_s", Json.Float (percentile s.st_latencies 0.95));
+      ("latency_p99_s", Json.Float (percentile s.st_latencies 0.99));
+      ("tenants", Json.List (List.map tenant_json s.st_tenants));
+      ("store", match s.st_store with Some ss -> store_json ss | None -> Json.Null);
+    ]
+
+let render_stats (s : stats) =
+  let head =
+    Printf.sprintf
+      "service: %d submitted, %d completed (%d dedup, %d cross-tenant), %d failed, %d rejected"
+      s.st_submitted s.st_completed s.st_deduped s.st_cross_hits s.st_failed s.st_rejected
+  in
+  let lat =
+    Printf.sprintf "latency s: p50 %.4f  p95 %.4f  p99 %.4f  (%d samples)"
+      (percentile s.st_latencies 0.50) (percentile s.st_latencies 0.95)
+      (percentile s.st_latencies 0.99)
+      (List.length s.st_latencies)
+  in
+  let tenants =
+    List.map
+      (fun ts ->
+        Printf.sprintf "  %-12s %4d done  %3d dedup  %3d cross  %3d rejected  %4d writes"
+          ts.ts_tenant ts.ts_completed ts.ts_deduped ts.ts_cross_hits ts.ts_rejected
+          ts.ts_store_writes)
+      s.st_tenants
+  in
+  (head :: lat :: tenants)
+  @ match s.st_store with Some ss -> Pld_engine.Store.render_stats ss | None -> []
+
+let shutdown t =
+  Mutex.lock t.mu;
+  if not t.stopping then begin
+    t.stopping <- true;
+    let orphaned = t.pending in
+    t.pending <- [];
+    List.iter
+      (fun j ->
+        let tn = tenant_of t j.j_tenant in
+        tn.tn_queued <- tn.tn_queued - 1;
+        tn.tn_failed <- tn.tn_failed + 1;
+        t.g_failed <- t.g_failed + 1;
+        Hashtbl.remove t.inflight j.j_key;
+        let r = Error "service shut down before the job ran" in
+        j.j_state <- Finished r;
+        List.iter (fun f -> f.j_state <- Finished r) (List.rev j.j_followers);
+        j.j_followers <- [])
+      orphaned;
+    Condition.broadcast t.cond;
+    let pool = t.pool in
+    t.pool <- [];
+    Mutex.unlock t.mu;
+    List.iter Domain.join pool
+  end
+  else Mutex.unlock t.mu

@@ -1,0 +1,144 @@
+(** Compile-as-a-service: a multi-tenant request queue in front of the
+    shared artifact store.
+
+    The service owns one {!Pld_core.Build.cache} (optionally backed by
+    a persistent {!Pld_engine.Store}) and a pool of worker domains.
+    Tenants submit compile requests; admission control bounds each
+    tenant's queue, a FIFO-with-priority scheduler hands admitted jobs
+    to the workers, and identical in-flight requests are deduplicated —
+    the second tenant asking for a graph that is already queued or
+    compiling piggybacks on the first build instead of re-running it.
+    Requests that arrive after a build finished still win via the
+    shared cache: every operator is a link-time hit, so nothing is
+    re-synthesized. Both paths are visible in {!outcome} and {!stats}
+    as dedup and cross-tenant hit counts — the cache economics the
+    daemon and [bench service] report.
+
+    Thread-safety: every function on {!t} may be called from any
+    domain. *)
+
+open Pld_ir
+open Pld_core
+
+type quota = {
+  max_in_flight : int;  (** concurrent running jobs per tenant *)
+  max_queued : int;  (** admitted-but-not-running jobs per tenant *)
+  cache_write_budget : int option;
+      (** store writes the tenant may cause; once spent, its builds run
+          against {!Build.readonly_view} (reads still shared). [None]
+          is unlimited. *)
+}
+
+val default_quota : quota
+(** 4 in flight, 64 queued, unlimited writes. *)
+
+type t
+
+val create :
+  ?cache:Build.cache ->
+  ?cache_dir:string ->
+  ?max_bytes:int ->
+  ?fp:Pld_fabric.Floorplan.t ->
+  ?queue_workers:int ->
+  ?workers:int ->
+  ?jobs:int ->
+  ?pace:float ->
+  ?seed:int ->
+  ?default_quota:quota ->
+  ?quotas:(string * quota) list ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
+  unit ->
+  t
+(** Start the service: [queue_workers] (default 2) domains begin
+    pulling jobs immediately. [cache] shares an existing cache;
+    [cache_dir] opens a persistent one with LRU budget [max_bytes]
+    (passing both [cache] and [cache_dir] raises [Invalid_argument]);
+    with neither the service is in-memory only. [fp] (default U50),
+    [workers]/[jobs]/[pace]/[seed] are the compile parameters every
+    job runs with — a fixed seed is what makes equal graphs hit equal
+    cache keys across tenants. [quotas] pre-registers per-tenant
+    quotas; unknown tenants get [default_quota]. *)
+
+type outcome = {
+  o_tenant : string;
+  o_graph : string;
+  o_level : Build.level;
+  o_cache_hits : int;
+  o_recompiled : int;
+  o_store_writes : int;  (** store puts this build caused *)
+  o_deduped : bool;  (** piggybacked on an identical in-flight job *)
+  o_cross_tenant : bool;
+      (** served from another tenant's work: deduped onto it, or
+          recompiled nothing because it was already in the cache *)
+  o_queue_seconds : float;  (** admission to dispatch *)
+  o_build_seconds : float;  (** dispatch to completion *)
+  o_latency_seconds : float;  (** admission to completion *)
+  o_app : Build.app;
+}
+
+val outcome_json : outcome -> Pld_telemetry.Json.t
+(** Everything except [o_app] — what the daemon sends back. *)
+
+type ticket
+
+val submit :
+  t -> tenant:string -> ?priority:int -> ?level:Build.level -> Graph.t -> (ticket, string) result
+(** Enqueue a compile request. Higher [priority] (default 0) is served
+    first; equal priorities are FIFO. Admission fails — and counts as a
+    rejection — when the tenant already has [max_queued] admitted jobs
+    waiting or the service is shutting down. A request identical to an
+    in-flight one (same graph source and level) is always admitted: it
+    consumes no queue slot and no worker, it just waits for the primary
+    build. *)
+
+val await : t -> ticket -> (outcome, string) result
+(** Block until the ticket's job finishes (or is failed by
+    {!shutdown}). May be called from any domain, repeatedly. *)
+
+val compile :
+  t -> tenant:string -> ?priority:int -> ?level:Build.level -> Graph.t -> (outcome, string) result
+(** [submit] then [await]. *)
+
+type tenant_stats = {
+  ts_tenant : string;
+  ts_submitted : int;
+  ts_completed : int;
+  ts_failed : int;
+  ts_rejected : int;
+  ts_deduped : int;
+  ts_cross_hits : int;
+  ts_store_writes : int;
+  ts_queued : int;  (** snapshot: admitted, waiting *)
+  ts_in_flight : int;  (** snapshot: running *)
+}
+
+type stats = {
+  st_submitted : int;
+  st_completed : int;
+  st_failed : int;
+  st_rejected : int;
+  st_deduped : int;
+  st_cross_hits : int;
+  st_queue_depth : int;
+  st_in_flight : int;
+  st_latencies : float list;  (** seconds, completion order *)
+  st_tenants : tenant_stats list;  (** sorted by tenant name *)
+  st_store : Pld_engine.Store.stats option;
+}
+
+val stats : t -> stats
+
+val percentile : float list -> float -> float
+(** [percentile samples q] with [q] in [0,1] — nearest-rank on a sorted
+    copy; 0 for an empty list. *)
+
+val stats_json : stats -> Pld_telemetry.Json.t
+val render_stats : stats -> string list
+
+val cache : t -> Build.cache
+(** The shared cache (the full-write view). *)
+
+val shutdown : t -> unit
+(** Stop accepting work, fail every still-queued job with an error,
+    let running builds finish, and join the worker domains.
+    Idempotent. *)

@@ -43,20 +43,20 @@ let test_digest_is_hex () =
 
 let test_store_roundtrip () =
   let dir = fresh_dir "roundtrip" in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   let key = Digest.of_string "op source" in
   Store.put t ~kind:"page" ~key [ 1; 2; 3 ];
   check_bool "mem" true (Store.mem t ~kind:"page" ~key);
   Alcotest.(check (option (list int))) "find" (Some [ 1; 2; 3 ]) (Store.find t ~kind:"page" ~key);
   check_int "one entry" 1 (Store.count t);
   (* A fresh handle on the same directory sees the entry: persistence. *)
-  let t2 = Store.open_ ~dir in
+  let t2 = Store.open_ ~dir () in
   Alcotest.(check (option (list int))) "fresh handle" (Some [ 1; 2; 3 ])
     (Store.find t2 ~kind:"page" ~key)
 
 let test_store_kind_partition () =
   let dir = fresh_dir "kinds" in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   let key = Digest.of_string "same inputs" in
   Store.put t ~kind:"page" ~key "bitstream";
   Store.put t ~kind:"softcore" ~key "elf image";
@@ -67,7 +67,7 @@ let test_store_kind_partition () =
 
 let test_store_corruption_evicted () =
   let dir = fresh_dir "corrupt" in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   let key = Digest.of_string "victim" in
   Store.put t ~kind:"page" ~key (String.make 64 'a');
   let path = entry_file dir ~kind:"page" ~key in
@@ -82,7 +82,7 @@ let test_store_corruption_evicted () =
 
 let test_store_truncation_evicted () =
   let dir = fresh_dir "trunc" in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   let key = Digest.of_string "victim" in
   Store.put t ~kind:"page" ~key (String.make 64 'a');
   let path = entry_file dir ~kind:"page" ~key in
@@ -94,7 +94,7 @@ let test_store_truncation_evicted () =
 
 let test_store_stale_version_swept () =
   let dir = fresh_dir "stale" in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   let key = Digest.of_string "old" in
   Store.put t ~kind:"page" ~key "payload";
   (* Rewrite the header claiming a future format version. The magic +
@@ -111,22 +111,22 @@ let test_store_stale_version_swept () =
   in
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc stale);
   (* Opening sweeps it; nothing of another version survives. *)
-  let t2 = Store.open_ ~dir in
+  let t2 = Store.open_ ~dir () in
   check_bool "swept on open" false (Sys.file_exists path);
   check_int "no entries" 0 (Store.count t2);
   ignore t
 
 let test_store_foreign_art_swept () =
   let dir = fresh_dir "foreign" in
-  ignore (Store.open_ ~dir);
+  ignore (Store.open_ ~dir ());
   let bogus = Filename.concat dir "page-nothexatall00.art" in
   Out_channel.with_open_bin bogus (fun oc -> Out_channel.output_string oc "garbage");
-  ignore (Store.open_ ~dir);
+  ignore (Store.open_ ~dir ());
   check_bool "malformed name swept" false (Sys.file_exists bogus)
 
 let test_store_clear () =
   let dir = fresh_dir "clear" in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   Store.put t ~kind:"page" ~key:(Digest.of_string "a") 1;
   Store.put t ~kind:"mono" ~key:(Digest.of_string "b") 2;
   check_int "two entries" 2 (Store.count t);
@@ -136,7 +136,7 @@ let test_store_clear () =
 
 let test_store_bad_names_rejected () =
   let dir = fresh_dir "names" in
-  let t = Store.open_ ~dir in
+  let t = Store.open_ ~dir () in
   let key = Digest.of_string "k" in
   let expect_invalid f = match f () with
     | _ -> Alcotest.fail "expected Invalid_argument"
@@ -145,6 +145,162 @@ let test_store_bad_names_rejected () =
   expect_invalid (fun () -> Store.put t ~kind:"Page!" ~key 1);
   expect_invalid (fun () -> Store.put t ~kind:"" ~key 1);
   expect_invalid (fun () -> (Store.find t ~kind:"page" ~key:"not a digest" : int option))
+
+let test_store_tmp_swept_on_open () =
+  let dir = fresh_dir "tmpsweep" in
+  let t = Store.open_ ~dir () in
+  let key = Digest.of_string "kept" in
+  Store.put t ~kind:"page" ~key "survivor";
+  (* Orphans a crash mid-serialize would leave behind: a per-process
+     temp next to a real entry name, and an unrelated temp. *)
+  let orphan = Filename.concat dir "page-0123456789abcdef.art.4242.tmp" in
+  let stray = Filename.concat dir "scratch.tmp" in
+  List.iter
+    (fun p -> Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc "half-written"))
+    [ orphan; stray ];
+  let t2 = Store.open_ ~dir () in
+  check_bool "orphan temp swept" false (Sys.file_exists orphan);
+  check_bool "stray temp swept" false (Sys.file_exists stray);
+  Alcotest.(check (option string)) "valid entry survives the sweep" (Some "survivor")
+    (Store.find t2 ~kind:"page" ~key);
+  ignore t
+
+(* ---------- store: LRU eviction ---------- *)
+
+let k i = Digest.of_string (Printf.sprintf "key%d" i)
+
+(* Entry file size for a given payload, measured rather than hard-coded
+   so the budget arithmetic tracks the header format. *)
+let entry_bytes payload =
+  let t = Store.open_ ~dir:(fresh_dir "sizing") () in
+  Store.put t ~kind:"page" ~key:(Digest.of_string "probe") payload;
+  (Store.stats t).Store.s_bytes
+
+let test_store_lru_eviction () =
+  let payload = String.make 200 'p' in
+  let e = entry_bytes payload in
+  (* Budget holds exactly two same-sized entries. *)
+  let t = Store.open_ ~dir:(fresh_dir "lru") ~max_bytes:((2 * e) + (e / 2)) () in
+  Store.put t ~kind:"page" ~key:(k 1) payload;
+  Store.put t ~kind:"page" ~key:(k 2) payload;
+  check_int "both fit" 2 (Store.count t);
+  (* Refresh k1, so k2 becomes the least recently used... *)
+  Alcotest.(check (option string)) "hit refreshes" (Some payload)
+    (Store.find t ~kind:"page" ~key:(k 1));
+  (* ...and the third write evicts k2, not k1. *)
+  Store.put t ~kind:"page" ~key:(k 3) payload;
+  check_int "budget enforced" 2 (Store.count t);
+  check_bool "least-recently-used evicted" false (Store.mem t ~kind:"page" ~key:(k 2));
+  check_bool "refreshed entry survives" true (Store.mem t ~kind:"page" ~key:(k 1));
+  check_bool "fresh write survives" true (Store.mem t ~kind:"page" ~key:(k 3))
+
+let test_store_oversized_entry_kept () =
+  let payload = String.make 400 'q' in
+  let e = entry_bytes payload in
+  (* Budget smaller than a single entry: the just-written artifact is
+     never its own victim, so it parks at the budget. *)
+  let t = Store.open_ ~dir:(fresh_dir "oversize") ~max_bytes:(e / 2) () in
+  Store.put t ~kind:"page" ~key:(k 1) payload;
+  check_int "oversized entry parked" 1 (Store.count t);
+  Store.put t ~kind:"page" ~key:(k 2) payload;
+  check_int "next write claims the slot" 1 (Store.count t);
+  check_bool "previous entry evicted" false (Store.mem t ~kind:"page" ~key:(k 1));
+  check_bool "new entry present" true (Store.mem t ~kind:"page" ~key:(k 2))
+
+let test_store_lru_survives_reopen () =
+  let payload = String.make 200 'r' in
+  let e = entry_bytes payload in
+  let dir = fresh_dir "lrupersist" in
+  let t = Store.open_ ~dir () in
+  Store.put t ~kind:"page" ~key:(k 1) payload;
+  Store.put t ~kind:"page" ~key:(k 2) payload;
+  (* Make k1 the most recently used; the stamp lands in store.index. *)
+  check_bool "refresh hit" true (Store.mem t ~kind:"page" ~key:(k 1));
+  (* A fresh handle with a one-entry budget must evict by the persisted
+     order: k2 goes, the refreshed k1 stays. *)
+  let t2 = Store.open_ ~dir ~max_bytes:(e + (e / 2)) () in
+  check_int "one survivor" 1 (Store.count t2);
+  check_bool "most-recently-used survives reopen" true (Store.mem t2 ~kind:"page" ~key:(k 1));
+  check_bool "LRU victim evicted on open" false (Store.mem t2 ~kind:"page" ~key:(k 2))
+
+let test_store_stats_and_telemetry () =
+  let module T = Pld_telemetry.Telemetry in
+  let tele = T.create () in
+  let t = Store.open_ ~dir:(fresh_dir "stats") ~telemetry:tele () in
+  Store.put t ~kind:"page" ~key:(k 1) "aaaa";
+  Store.put t ~kind:"page" ~key:(k 2) "bbbb";
+  Store.put t ~kind:"mono" ~key:(k 1) "cccc";
+  Alcotest.(check (option string)) "hit" (Some "aaaa") (Store.find t ~kind:"page" ~key:(k 1));
+  Alcotest.(check (option string)) "miss" None (Store.find t ~kind:"page" ~key:(k 9));
+  let s = Store.stats t in
+  check_int "entries" 3 s.Store.s_entries;
+  check_bool "bytes counted" true (s.Store.s_bytes > 0);
+  let of_kind kind = List.find (fun ks -> ks.Store.ks_kind = kind) s.Store.s_kinds in
+  let page = of_kind "page" and mono = of_kind "mono" in
+  check_int "page entries" 2 page.Store.ks_entries;
+  check_int "page hits" 1 page.Store.ks_hits;
+  check_int "page misses" 1 page.Store.ks_misses;
+  check_int "page puts" 2 page.Store.ks_puts;
+  check_int "mono puts" 1 mono.Store.ks_puts;
+  check_int "mono misses" 0 mono.Store.ks_misses;
+  (* The same counters land in the telemetry registry, per kind. *)
+  check_int "tele page hits" 1 (T.counter_value tele "store.page.hits");
+  check_int "tele page misses" 1 (T.counter_value tele "store.page.misses");
+  check_int "tele page puts" 2 (T.counter_value tele "store.page.puts");
+  check_int "tele mono puts" 1 (T.counter_value tele "store.mono.puts");
+  Alcotest.(check (option (float 0.01))) "entries gauge" (Some 3.0)
+    (T.gauge_value tele "store.entries");
+  Alcotest.(check (option (float 0.01))) "bytes gauge" (Some (float_of_int s.Store.s_bytes))
+    (T.gauge_value tele "store.bytes");
+  (* render: one line per kind plus the totals line. *)
+  check_int "render lines" 3 (List.length (Store.render_stats s))
+
+(* ---------- store: cross-process concurrency ---------- *)
+
+(* Two real processes hammer one directory with overlapping keys. The
+   fcntl lock plus atomic temp-file renames must keep every entry
+   intact: payloads encode their key, so a torn write or cross-wired
+   rename shows up as a content mismatch, and a lost write as a miss. *)
+let hammer_keys = 8
+
+let hammer_payload key = "payload-for-" ^ key ^ String.make 64 'z'
+
+let hammer_child dir rounds seed =
+  let ok = ref true in
+  (try
+     let t = Store.open_ ~dir () in
+     for i = 0 to rounds - 1 do
+       let key = Digest.of_string (Printf.sprintf "shared%d" ((i + seed) mod hammer_keys)) in
+       Store.put t ~kind:"page" ~key (hammer_payload key);
+       match Store.find t ~kind:"page" ~key with
+       | Some p when String.equal p (hammer_payload key) -> ()
+       | Some _ | None -> ok := false
+     done
+   with _ -> ok := false);
+  (* Skip at_exit (alcotest's reporters run in the parent only). *)
+  if !ok then Unix._exit 0 else Unix._exit 1
+
+let test_store_two_process_hammer () =
+  let dir = fresh_dir "hammer" in
+  ignore (Store.open_ ~dir ());
+  let spawn seed =
+    match Unix.fork () with 0 -> hammer_child dir 40 seed | pid -> pid
+  in
+  let pids = [ spawn 0; spawn 3 ] in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> Alcotest.fail "child saw a corrupt or lost entry")
+    pids;
+  (* Every shared key reads back intact from a fresh handle. *)
+  let t = Store.open_ ~dir () in
+  check_int "all shared keys present" hammer_keys (Store.count t);
+  for i = 0 to hammer_keys - 1 do
+    let key = Digest.of_string (Printf.sprintf "shared%d" i) in
+    Alcotest.(check (option string)) "intact" (Some (hammer_payload key))
+      (Store.find t ~kind:"page" ~key)
+  done
 
 (* ---------- job graphs ---------- *)
 
@@ -350,6 +506,12 @@ let suite =
     ("store: malformed filename swept", `Quick, test_store_foreign_art_swept);
     ("store: clear", `Quick, test_store_clear);
     ("store: bad kind/key rejected", `Quick, test_store_bad_names_rejected);
+    ("store: orphaned temp files swept on open", `Quick, test_store_tmp_swept_on_open);
+    ("store: LRU eviction at a tight budget", `Quick, test_store_lru_eviction);
+    ("store: oversized entry is never its own victim", `Quick, test_store_oversized_entry_kept);
+    ("store: LRU order survives reopen", `Quick, test_store_lru_survives_reopen);
+    ("store: stats and telemetry counters", `Quick, test_store_stats_and_telemetry);
+    ("store: two processes share one directory", `Slow, test_store_two_process_hammer);
     ("jobgraph: topological order", `Quick, test_jobgraph_order);
     ("jobgraph: duplicate id rejected", `Quick, test_jobgraph_duplicate_id);
     ("jobgraph: unknown dep rejected", `Quick, test_jobgraph_unknown_dep);

@@ -366,6 +366,7 @@ let test_sentinel_save_check_perturb () =
       pace = 0.0;
       jobs = 1;
       run_perf = false;
+      run_service = false;
     }
   in
   let base = Sentinel.measure ~suite:"test" opts in

@@ -14,6 +14,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("insight", Test_insight.suite);
       ("pld", Test_pld.suite);
+      ("service", Test_service.suite);
       ("rosetta", Test_rosetta.suite);
       ("faults", Test_faults.suite);
       ("proptest", Test_proptest.suite);

@@ -1,0 +1,178 @@
+(* The service tier: sessions over a shared cache, the multi-tenant
+   request queue (dedup, admission control, priority), and the paper's
+   economic claim — a second tenant asking for an already-built graph
+   is served without re-running HLS or P&R, which we assert by counting
+   modeled flow spans in a private telemetry sink. *)
+
+module Build = Pld_core.Build
+module Session = Pld_core.Session
+module Runner = Pld_core.Runner
+module Service = Pld_service.Service
+module Traffic = Pld_service.Traffic
+module T = Pld_telemetry.Telemetry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok_exn = function Ok v -> v | Error e -> Alcotest.failf "unexpected service error: %s" e
+let chain ops = Traffic.chain_graph ops
+
+(* Every recompiled job tiles one modeled track with its phase spans
+   (hls, syn, pnr, ...) under cat "flow"; cache hits emit none. The
+   span count is therefore a direct "did any tool re-run?" probe. *)
+let flow_spans tele =
+  List.length (List.filter (fun s -> String.equal s.T.cat "flow") (T.spans tele))
+
+(* ---------- sessions ---------- *)
+
+let test_session_compile_link_run () =
+  let s = Session.open_session ~name:"unit" () in
+  let ops = [ 0; 1 ] in
+  let app = Session.compile s (chain ops) in
+  check_bool "first compile recompiles" true (app.Build.report.Build.recompiled > 0);
+  let app2 = Session.compile s (chain ops) in
+  check_int "second compile recompiles nothing" 0 app2.Build.report.Build.recompiled;
+  check_bool "second compile is link-time hits" true (app2.Build.report.Build.cache_hits > 0);
+  check_int "compiles counted" 2 (Session.compiles s);
+  check_bool "latest app remembered" true
+    (List.mem_assoc (Traffic.chain_name ops) (Session.apps s));
+  (* The session's card deploys and runs the app end to end. *)
+  let dr = Session.link s app2 in
+  let r = Session.run s dr ~inputs:(Traffic.chain_workload ops) in
+  check_int "one frame out" (Traffic.chain_tokens ops)
+    (List.length (List.assoc "cout" r.Runner.outputs));
+  Session.close s;
+  Session.close s;
+  (* idempotent *)
+  match Session.compile s (chain ops) with
+  | _ -> Alcotest.fail "expected Session.Closed"
+  | exception Session.Closed _ -> ()
+
+let test_sessions_share_cache () =
+  let cache = Build.create_cache () in
+  let s1 = Session.open_session ~cache ~name:"first" () in
+  let s2 = Session.open_session ~cache ~name:"second" () in
+  let g = chain [ 2; 3 ] in
+  let a1 = Session.compile s1 g in
+  check_bool "first session builds" true (a1.Build.report.Build.recompiled > 0);
+  let a2 = Session.compile s2 g in
+  check_int "second session recompiles nothing" 0 a2.Build.report.Build.recompiled;
+  check_bool "second session hits the shared cache" true (a2.Build.report.Build.cache_hits > 0);
+  Session.close s1;
+  Session.close s2
+
+(* ---------- service: cache economics ---------- *)
+
+let test_cross_tenant_served_without_reflow () =
+  let tele = T.create () in
+  let svc = Service.create ~queue_workers:1 ~telemetry:tele () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  let g = chain [ 4; 5 ] in
+  let a = ok_exn (Service.compile svc ~tenant:"alice" g) in
+  check_bool "primary build recompiles" true (a.Service.o_recompiled > 0);
+  check_bool "primary is not a cross-tenant hit" false a.Service.o_cross_tenant;
+  let flows = flow_spans tele in
+  check_bool "primary build ran modeled tool phases" true (flows > 0);
+  (* Same graph, different tenant, after the first build finished: the
+     shared store serves it — no new tool phases may appear. *)
+  let b = ok_exn (Service.compile svc ~tenant:"bob" g) in
+  check_bool "served from another tenant's work" true b.Service.o_cross_tenant;
+  check_int "nothing recompiled" 0 b.Service.o_recompiled;
+  check_bool "link-time hits" true (b.Service.o_cache_hits > 0);
+  check_int "no new flow spans: HLS/P&R did not re-run" flows (flow_spans tele);
+  let st = Service.stats svc in
+  check_int "one cross-tenant hit" 1 st.Service.st_cross_hits;
+  check_int "both completed" 2 st.Service.st_completed
+
+let test_inflight_dedup () =
+  (* pace 0.5 stretches the ~20 ms build to ~0.7 s of modeled tool
+     time, so the second submit provably lands while the first is in
+     flight. *)
+  let svc = Service.create ~queue_workers:1 ~jobs:1 ~pace:0.5 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  let g = chain [ 6; 7 ] in
+  let t1 = ok_exn (Service.submit svc ~tenant:"alice" g) in
+  let t2 = ok_exn (Service.submit svc ~tenant:"bob" g) in
+  let a = ok_exn (Service.await svc t1) in
+  let b = ok_exn (Service.await svc t2) in
+  check_bool "primary built" true (a.Service.o_recompiled > 0);
+  check_bool "follower piggybacked" true b.Service.o_deduped;
+  check_bool "follower is a cross-tenant hit" true b.Service.o_cross_tenant;
+  check_int "follower recompiled nothing" 0 b.Service.o_recompiled;
+  let st = Service.stats svc in
+  check_int "one dedup" 1 st.Service.st_deduped;
+  check_int "one cross-tenant hit" 1 st.Service.st_cross_hits
+
+(* ---------- service: admission control and priority ---------- *)
+
+let quota max_in_flight max_queued =
+  { Service.max_in_flight; max_queued; cache_write_budget = None }
+
+let test_admission_rejects_over_quota () =
+  let svc =
+    Service.create ~queue_workers:1 ~jobs:1 ~pace:0.5
+      ~quotas:[ ("alice", quota 1 1) ]
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  (* One long build occupies the single worker; a one-deep queue then
+     admits one more distinct graph and must reject the next. *)
+  let submit ops = Service.submit svc ~tenant:"alice" (chain ops) in
+  let blocker = ok_exn (submit [ 8; 9; 10 ]) in
+  Unix.sleepf 0.05;
+  let results = [ submit [ 11 ]; submit [ 12 ] ] in
+  let rejected, admitted = List.partition Result.is_error results in
+  check_int "queue bound enforced" 1 (List.length rejected);
+  (match rejected with
+  | [ Error e ] ->
+      check_bool (Printf.sprintf "error names the full queue: %s" e) true
+        (String.length e > 0)
+  | _ -> Alcotest.fail "expected one rejection");
+  List.iter (fun t -> ignore (ok_exn (Service.await svc (ok_exn t)))) admitted;
+  ignore (ok_exn (Service.await svc blocker));
+  let st = Service.stats svc in
+  check_int "rejection counted" 1 st.Service.st_rejected;
+  check_int "admitted jobs completed" 2 st.Service.st_completed;
+  match st.Service.st_tenants with
+  | [ ts ] -> check_int "per-tenant rejection" 1 ts.Service.ts_rejected
+  | _ -> Alcotest.fail "expected one tenant"
+
+let test_priority_order () =
+  let svc = Service.create ~queue_workers:1 ~jobs:1 ~pace:0.5 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  (* While the worker is busy, enqueue a low-priority job first and a
+     high-priority one second: the scheduler must dispatch the
+     high-priority job first, so it waits strictly less. *)
+  let blocker = ok_exn (Service.submit svc ~tenant:"t" (chain [ 13; 14; 15 ])) in
+  Unix.sleepf 0.05;
+  let low = ok_exn (Service.submit svc ~tenant:"t" ~priority:0 (chain [ 16 ])) in
+  let high = ok_exn (Service.submit svc ~tenant:"t" ~priority:5 (chain [ 17 ])) in
+  ignore (ok_exn (Service.await svc blocker));
+  let lo = ok_exn (Service.await svc low) in
+  let hi = ok_exn (Service.await svc high) in
+  check_bool
+    (Printf.sprintf "high priority dispatched first (%.3f < %.3f)" hi.Service.o_queue_seconds
+       lo.Service.o_queue_seconds)
+    true
+    (hi.Service.o_queue_seconds < lo.Service.o_queue_seconds)
+
+(* ---------- percentile ---------- *)
+
+let test_percentile () =
+  let samples = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Service.percentile samples 0.50);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Service.percentile samples 0.99);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Service.percentile samples 1.0);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Service.percentile [] 0.5);
+  Alcotest.(check (float 1e-9)) "unsorted input" 3.0 (Service.percentile [ 3.0; 1.0; 2.0 ] 1.0)
+
+let suite =
+  [
+    ("session: compile, cache, link, run, close", `Quick, test_session_compile_link_run);
+    ("session: two sessions share one cache", `Quick, test_sessions_share_cache);
+    ("service: cross-tenant hit re-runs no tool phase", `Quick, test_cross_tenant_served_without_reflow);
+    ("service: identical in-flight requests dedup", `Slow, test_inflight_dedup);
+    ("service: admission control rejects over quota", `Slow, test_admission_rejects_over_quota);
+    ("service: higher priority dispatches first", `Slow, test_priority_order);
+    ("service: percentile", `Quick, test_percentile);
+  ]
