@@ -759,7 +759,7 @@ let micro () =
    before the experiment list. *)
 let regress_usage =
   "usage: bench regress [--save] [--baseline FILE] [--benches a,b] [--levels O1,O3]\n\
-  \                     [--repeats N] [--pace F] [--jobs N] [--no-perf] [--no-service]\n\
+  \                     [--repeats N] [--pace F] [--jobs N] [--no-perf] [--no-service] [--no-chaos]\n\
   \                     [--perturb metric=factor[,metric=factor...]]\n\
   \                     [--exact-only] [--skip-wall] [--out FILE]\n\n\
    --save writes the measured snapshot to the baseline file and exits 0;\n\
@@ -827,6 +827,9 @@ let regress args =
         parse rest
     | "--no-service" :: rest ->
         opts := { !opts with Sentinel.run_service = false };
+        parse rest
+    | "--no-chaos" :: rest ->
+        opts := { !opts with Sentinel.run_chaos = false };
         parse rest
     | "--perturb" :: spec :: rest ->
         perturb := !perturb @ parse_perturb spec;
@@ -980,6 +983,79 @@ let service args =
       Printf.printf "\nwrote %s\n" file);
   exit (if summary.Traffic.sm_failed = 0 then 0 else 1)
 
+(* ---------- chaos harness ---------- *)
+
+(* `bench chaos` runs the seeded crash-recovery scenarios (SIGKILLed
+   store writers, corrupted entries, vanishing clients, overload with
+   wedged builds) and fails nonzero on any conservation violation. A
+   subcommand: it owns its exit code and machine-readable report. *)
+let chaos_usage =
+  "usage: bench chaos [--seed N[,N...]] [--only NAME[,NAME...]] [--dir DIR] [--out FILE]\n\n\
+   Scenarios: "
+  ^ String.concat ", " Pld_service.Chaos.scenario_names
+  ^ "\n\n\
+     Each seed runs every selected scenario; the exit code is 1 if any\n\
+     check (conservation of requests, zero corrupt reads after a kill,\n\
+     exact scrub counts, ...) is violated under any seed. --out writes\n\
+     the per-seed reports as JSON.\n"
+
+let chaos args =
+  let module Chaos = Pld_service.Chaos in
+  let seeds = ref [ 7 ] in
+  let only = ref None in
+  let dir = ref None in
+  let out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: spec :: rest ->
+        seeds := List.map int_of_string (String.split_on_char ',' spec);
+        parse rest
+    | "--only" :: spec :: rest ->
+        only := Some (String.split_on_char ',' spec);
+        parse rest
+    | "--dir" :: d :: rest ->
+        dir := Some d;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        print_string chaos_usage;
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "chaos: unknown argument %s\n%s" arg chaos_usage;
+        exit 2
+  in
+  parse args;
+  let reports =
+    try Chaos.run_seeds ~seeds:!seeds ?dir:!dir ?only:!only ~log:print_endline ()
+    with Invalid_argument msg ->
+      Printf.eprintf "chaos: %s\n" msg;
+      exit 2
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "\n-- seed %d --\n" r.Chaos.r_seed;
+      List.iter print_endline (Chaos.render r))
+    reports;
+  (match !out with
+  | None -> ()
+  | Some file ->
+      Json.write_file ~pretty:true ~file
+        (Json.Obj
+           [
+             ("harness", Json.String "chaos");
+             ("runs", Json.List (List.map Chaos.report_json reports));
+           ]);
+      Printf.printf "\nwrote %s\n" file);
+  let violated = List.filter (fun r -> not (Chaos.ok r)) reports in
+  (match violated with
+  | [] -> Printf.printf "\nchaos: all invariants held across %d seed(s)\n" (List.length reports)
+  | _ ->
+      Printf.printf "\nchaos: INVARIANT VIOLATIONS under seed(s) %s\n"
+        (String.concat ", " (List.map (fun r -> string_of_int r.Chaos.r_seed) violated)));
+  exit (if violated = [] then 0 else 1)
+
 let all_experiments =
   [
     ("table1", table1);
@@ -1007,6 +1083,7 @@ let () =
   (match args with
   | "regress" :: rest -> regress rest
   | "service" :: rest -> service rest
+  | "chaos" :: rest -> chaos rest
   | _ -> ());
   let chosen =
     match args with

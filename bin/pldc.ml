@@ -227,8 +227,29 @@ let priority_arg =
     & info [ "priority" ] ~docv:"N"
         ~doc:"Daemon queue priority; higher is scheduled first, ties are FIFO.")
 
-let remote_call ~socket envelope =
-  match Pld_service.Client.rpc ~socket envelope with
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline for daemon mode: the request's time budget starts at admission; \
+           an expired job fails with DEADLINE_EXCEEDED instead of occupying a worker.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int Pld_service.Client.default_backoff.Pld_service.Client.b_attempts
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total attempts (including the first) for daemon mode, with seeded jittered exponential \
+           backoff; transport failures and transient refusals (SHED, DRAINING, QUEUE_FULL) are \
+           retried, honoring the server's retry_after_ms hint. 1 = no retry.")
+
+let remote_call ~socket ~retries envelope =
+  let module C = Pld_service.Client in
+  let backoff = { C.default_backoff with C.b_attempts = max 1 retries } in
+  match C.rpc_retry ~backoff ~socket envelope with
   | Error msg ->
       Printf.eprintf "pldc: %s\n" msg;
       exit 1
@@ -287,11 +308,11 @@ let open_cache dir =
 let compile_cmd =
   let doc = "Compile an application at the given level and report phases/areas." in
   let run b level workers jobs cache_dir trace pace fault_spec fault_seed max_retries trace_out
-      metrics_out profile hot critical_path connect tenant priority =
+      metrics_out profile hot critical_path connect tenant priority deadline_ms retries =
     match connect with
     | Some socket ->
-        remote_call ~socket
-          (Protocol.envelope ~tenant ~priority
+        remote_call ~socket ~retries
+          (Protocol.envelope ~tenant ~priority ?deadline_ms
              (Protocol.Compile { bench = b.Suite.name; level = B.level_name level }))
     | None ->
     let cache = open_cache cache_dir in
@@ -313,17 +334,18 @@ let compile_cmd =
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ trace_arg
       $ pace_arg $ faults_arg $ fault_seed_arg $ max_retries_arg $ trace_out_arg $ metrics_out_arg
-      $ profile_arg $ hot_arg $ critical_path_arg $ connect_arg $ tenant_arg $ priority_arg)
+      $ profile_arg $ hot_arg $ critical_path_arg $ connect_arg $ tenant_arg $ priority_arg
+      $ deadline_arg $ retries_arg)
 
 let run_cmd =
   let doc = "Compile, deploy to the card, link, execute a frame, and validate." in
   let module L = Pld_core.Loader in
   let run b level workers jobs cache_dir fault_spec fault_seed max_retries trace trace_out
-      metrics_out profile hot critical_path connect tenant priority =
+      metrics_out profile hot critical_path connect tenant priority deadline_ms retries =
     match connect with
     | Some socket ->
-        remote_call ~socket
-          (Protocol.envelope ~tenant ~priority
+        remote_call ~socket ~retries
+          (Protocol.envelope ~tenant ~priority ?deadline_ms
              (Protocol.Run { bench = b.Suite.name; level = B.level_name level; frames = 8 }))
     | None ->
     let cache = open_cache cache_dir in
@@ -378,7 +400,39 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ faults_arg
       $ fault_seed_arg $ max_retries_arg $ trace_arg $ trace_out_arg $ metrics_out_arg
-      $ profile_arg $ hot_arg $ critical_path_arg $ connect_arg $ tenant_arg $ priority_arg)
+      $ profile_arg $ hot_arg $ critical_path_arg $ connect_arg $ tenant_arg $ priority_arg
+      $ deadline_arg $ retries_arg)
+
+(* ---------- store maintenance ---------- *)
+
+let cache_cmd =
+  let module Store = Pld_engine.Store in
+  let scrub_cmd =
+    let doc =
+      "Audit a persistent artifact store: verify every entry's header and payload digest, \
+       quarantine failures into store.quarantine/, and rewrite the index. Exits 1 if anything \
+       was quarantined."
+    in
+    let dir_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "cache-dir" ] ~docv:"DIR" ~doc:"The store directory to scrub.")
+    in
+    let run dir =
+      match Store.open_ ~quarantine:true ~dir () with
+      | exception Store.Store_error msg ->
+          Printf.eprintf "pldc: bad --cache-dir: %s\n" msg;
+          exit 2
+      | st ->
+          let r = Store.scrub st in
+          print_endline (Store.render_scrub r);
+          if r.Store.sc_quarantined > 0 then exit 1
+    in
+    Cmd.v (Cmd.info "scrub" ~doc) Term.(const run $ dir_arg)
+  in
+  let doc = "Operate on a persistent artifact store." in
+  Cmd.group (Cmd.info "cache" ~doc) [ scrub_cmd ]
 
 (* ---------- trace analysis ---------- *)
 
@@ -465,7 +519,15 @@ let sentinel_opts_term =
       & info [ "no-service" ]
           ~doc:"Skip the compile-service tier (Zipf traffic replay through Pld_service).")
   in
-  let mk benches levels repeats pace jobs no_perf no_service =
+  let no_chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "no-chaos" ]
+          ~doc:
+            "Skip the chaos tier (deterministic failure-path scenarios: scrub quarantine, \
+             connection storm, overload shedding and deadlines).")
+  in
+  let mk benches levels repeats pace jobs no_perf no_service no_chaos =
     {
       Sentinel.benches;
       levels;
@@ -474,11 +536,12 @@ let sentinel_opts_term =
       jobs;
       run_perf = not no_perf;
       run_service = not no_service;
+      run_chaos = not no_chaos;
     }
   in
   Term.(
     const mk $ benches_arg $ levels_arg $ repeats_arg $ pace_arg $ sjobs_arg $ no_perf_arg
-    $ no_service_arg)
+    $ no_service_arg $ no_chaos_arg)
 
 let baseline_save_cmd =
   let doc = "Measure the suite and save the snapshot as the new baseline." in
@@ -635,6 +698,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd; analyze_cmd; baseline_cmd;
-            fuzz_cmd;
+            list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd; cache_cmd; analyze_cmd;
+            baseline_cmd; fuzz_cmd;
           ]))

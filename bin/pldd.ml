@@ -9,13 +9,21 @@
    connection is a thread submitting into the multi-tenant service
    queue; compiles run on the service's worker domains against the
    one shared cache, so tenant B's request for what tenant A already
-   built is a hit, not a rebuild. *)
+   built is a hit, not a rebuild.
+
+   The serving loop itself (socket claiming, drain-on-SIGTERM,
+   connection error accounting) lives in lib/service/server.ml; this
+   binary adds the Rosetta/traffic bench namespace, the Run request,
+   and the operational flags. *)
 
 open Cmdliner
 module B = Pld_core.Build
 module T = Pld_telemetry.Telemetry
 module Json = Pld_telemetry.Json
+module Fault = Pld_faults.Fault
+module Store = Pld_engine.Store
 module Service = Pld_service.Service
+module Server = Pld_service.Server
 module Traffic = Pld_service.Traffic
 module Protocol = Pld_service.Protocol
 open Pld_rosetta
@@ -27,7 +35,7 @@ let hw = Pld_ir.Graph.Hw { page_hint = None }
    draws from, so clients can replay its workload. Rosetta benches
    carry their own (rate-correct) workloads; traffic chains are
    rate-1 so a ramp is always safe. *)
-let resolve_graph name =
+let resolve_bench name =
   match Traffic.chain_of_name name with
   | Ok chain -> Ok (Traffic.chain_graph chain, fun () -> Traffic.chain_workload chain)
   | Error _ -> (
@@ -38,31 +46,20 @@ let resolve_graph name =
             (Printf.sprintf "unknown bench %S (rosetta: %s; or a svc-I[xJ...] traffic chain)" name
                (String.concat ", " Suite.names)))
 
-let handle_request svc stop (e : Protocol.envelope) =
+let resolve_graph name = Result.map fst (resolve_bench name)
+
+let handle_request server (e : Protocol.envelope) =
   let id = e.Protocol.rq_id in
   match e.Protocol.req with
-  | Protocol.Ping -> Protocol.reply_ok ~id (Json.Obj [ ("pong", Json.Bool true) ])
-  | Protocol.Stats -> Protocol.reply_ok ~id (Service.stats_json (Service.stats svc))
-  | Protocol.Shutdown ->
-      stop ();
-      Protocol.reply_ok ~id (Json.Obj [ ("stopping", Json.Bool true) ])
-  | Protocol.Compile { bench; level } -> (
-      match (resolve_graph bench, Protocol.level_of_name level) with
-      | Error msg, _ | _, Error msg -> Protocol.reply_error ~id msg
-      | Ok (g, _), Ok level -> (
-          match
-            Service.compile svc ~tenant:e.Protocol.tenant ~priority:e.Protocol.priority ~level g
-          with
-          | Ok outcome -> Protocol.reply_ok ~id (Service.outcome_json outcome)
-          | Error msg -> Protocol.reply_error ~id msg))
   | Protocol.Run { bench; level; frames } -> (
-      match (resolve_graph bench, Protocol.level_of_name level) with
+      match (resolve_bench bench, Protocol.level_of_name level) with
       | Error msg, _ | _, Error msg -> Protocol.reply_error ~id msg
       | Ok (g, workload), Ok level -> (
           match
-            Service.compile svc ~tenant:e.Protocol.tenant ~priority:e.Protocol.priority ~level g
+            Service.compile (Server.service server) ~tenant:e.Protocol.tenant
+              ~priority:e.Protocol.priority ?deadline_ms:e.Protocol.deadline_ms ~level g
           with
-          | Error msg -> Protocol.reply_error ~id msg
+          | Error rej -> Server.reply_of_reject ~id rej
           | Ok outcome -> (
               let module L = Pld_core.Loader in
               let module R = Pld_core.Runner in
@@ -87,33 +84,11 @@ let handle_request svc stop (e : Protocol.envelope) =
                               r.R.outputs) );
                      ])
               with e -> Protocol.reply_error ~id (Printexc.to_string e))))
+  | _ -> Server.handle server ~resolve:resolve_graph e
 
-let handle_conn svc stop fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let send reply =
-    output_string oc (Json.to_string (Protocol.reply_to_json reply));
-    output_char oc '\n';
-    flush oc
-  in
-  let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-    | line ->
-        (match Json.of_string line with
-        | exception Json.Parse_error msg -> send (Protocol.reply_error ~id:0 ("bad request: " ^ msg))
-        | j -> (
-            match Protocol.envelope_of_json j with
-            | Error msg -> send (Protocol.reply_error ~id:0 msg)
-            | Ok envelope -> send (handle_request svc stop envelope)));
-        loop ()
-  in
-  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-let serve socket cache_dir max_bytes queue_workers jobs workers pace seed max_in_flight max_queued
-    write_budget metrics_out =
+let serve socket cache_dir max_bytes scrub_on_start queue_workers jobs workers pace seed
+    max_in_flight max_queued write_budget shed_max_delay watchdog_timeout drain_grace faults_arg
+    metrics_out =
   let quota =
     {
       Service.max_in_flight;
@@ -121,43 +96,58 @@ let serve socket cache_dir max_bytes queue_workers jobs workers pace seed max_in
       cache_write_budget = (if write_budget < 0 then None else Some write_budget);
     }
   in
+  let faults =
+    match faults_arg with
+    | None -> None
+    | Some spec -> (
+        match Fault.parse spec with
+        | Ok s -> Some (Fault.create ~seed s)
+        | Error msg ->
+            Printf.eprintf "pldd: bad --faults: %s\n" msg;
+            exit 1)
+  in
+  let shed =
+    match shed_max_delay with
+    | None -> None
+    | Some s -> Some { Service.default_shed_policy with Service.sp_max_delay_s = s }
+  in
+  (* Open the store ourselves (in quarantine mode, so sweep preserves
+     corruption evidence) so --scrub-on-start can audit it before the
+     first request is admitted. *)
+  let cache =
+    match cache_dir with
+    | None -> None
+    | Some dir -> (
+        try
+          let c = B.create_cache ~dir ?max_bytes ~quarantine:true () in
+          (match B.cache_store c with
+          | Some st when scrub_on_start ->
+              print_endline ("pldd: " ^ Store.render_scrub (Store.scrub st))
+          | _ -> ());
+          Some c
+        with Store.Store_error msg ->
+          Printf.eprintf "pldd: bad --cache-dir: %s\n" msg;
+          exit 1)
+  in
   let svc =
-    try
-      Service.create ?cache_dir ?max_bytes ~queue_workers ~jobs ~workers ~pace ~seed
-        ~default_quota:quota ()
-    with Pld_engine.Store.Store_error msg ->
-      Printf.eprintf "pldd: bad --cache-dir: %s\n" msg;
-      exit 1
+    Service.create ?cache ~queue_workers ~jobs ~workers ~pace ~seed ~default_quota:quota ?shed
+      ?watchdog_timeout_s:watchdog_timeout ?faults ()
   in
-  if Sys.file_exists socket then Unix.unlink socket;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
-  Unix.listen listen_fd 64;
-  let stopping = Atomic.make false in
-  let stop () =
-    if not (Atomic.exchange stopping true) then
-      (* Closing the listener pops the accept loop out of its wait. *)
-      try Unix.shutdown listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  let on_listen () =
+    Printf.printf "pldd: listening on %s (%d queue workers%s)\n%!" socket (max 1 queue_workers)
+      (match cache_dir with Some d -> ", store " ^ d | None -> ", in-memory cache")
   in
-  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop ()));
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop ()));
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  Printf.printf "pldd: listening on %s (%d queue workers%s)\n%!" socket (max 1 queue_workers)
-    (match cache_dir with Some d -> ", store " ^ d | None -> ", in-memory cache");
-  let threads = ref [] in
-  (try
-     while not (Atomic.get stopping) do
-       let fd, _ = Unix.accept listen_fd in
-       if Atomic.get stopping then Unix.close fd
-       else threads := Thread.create (handle_conn svc stop) fd :: !threads
-     done
-   with Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED | Unix.EINTR), _, _) -> ());
-  List.iter Thread.join !threads;
-  Service.shutdown svc;
+  let result =
+    Server.serve ~socket ~drain_grace_s:drain_grace ~on_listen ~service:svc
+      ~handler:handle_request ()
+  in
   (match metrics_out with Some file -> T.write_metrics T.default ~file | None -> ());
-  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-  if Sys.file_exists socket then Unix.unlink socket;
-  print_endline "pldd: stopped"
+  match result with
+  | Ok () -> print_endline "pldd: stopped"
+  | Error msg ->
+      Service.shutdown svc;
+      Printf.eprintf "pldd: %s\n" msg;
+      exit 1
 
 let () =
   let socket_arg =
@@ -177,6 +167,14 @@ let () =
       value
       & opt (some int) None
       & info [ "max-bytes" ] ~docv:"N" ~doc:"LRU size budget of the persistent store, in bytes.")
+  in
+  let scrub_arg =
+    Arg.(
+      value & flag
+      & info [ "scrub-on-start" ]
+          ~doc:
+            "Audit the persistent store before serving: verify every entry's header and payload \
+             digest, quarantining failures into store.quarantine/.")
   in
   let queue_workers_arg =
     Arg.(
@@ -222,6 +220,41 @@ let () =
             "Per-tenant store-write budget; once spent, that tenant's builds stop persisting new \
              artifacts (reads stay shared). Negative = unlimited.")
   in
+  let shed_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shed-max-delay" ] ~docv:"SECONDS"
+          ~doc:
+            "Enable overload shedding: refuse low-priority work whose estimated queue delay \
+             exceeds $(docv); the reply carries a retry_after_ms hint.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watchdog-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Write off any build running longer than $(docv): the job fails as LOST, the wedged \
+             worker is quarantined, and a replacement worker is spawned.")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "On SIGTERM/SIGINT/shutdown, let queued and running builds finish for up to $(docv) \
+             before stopping; meanwhile new submissions are refused as DRAINING.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Fault-injection spec (lib/faults syntax); hang=GRAPH\\@MS wedges that graph's compile \
+             for MS milliseconds — the chaos harness's watchdog lever.")
+  in
   let metrics_out_arg =
     Arg.(
       value
@@ -233,8 +266,9 @@ let () =
   let info = Cmd.info "pldd" ~version:"1.0.0" ~doc in
   let term =
     Term.(
-      const serve $ socket_arg $ cache_dir_arg $ max_bytes_arg $ queue_workers_arg $ jobs_arg
-      $ workers_arg $ pace_arg $ seed_arg $ max_in_flight_arg $ max_queued_arg $ write_budget_arg
+      const serve $ socket_arg $ cache_dir_arg $ max_bytes_arg $ scrub_arg $ queue_workers_arg
+      $ jobs_arg $ workers_arg $ pace_arg $ seed_arg $ max_in_flight_arg $ max_queued_arg
+      $ write_budget_arg $ shed_arg $ watchdog_arg $ drain_grace_arg $ faults_arg
       $ metrics_out_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -9,6 +9,7 @@ let suffix = ".art"
 let lock_name = "store.lock"
 let index_name = "store.index"
 let index_magic = "PLD-INDEX"
+let quarantine_name = "store.quarantine"
 
 (* Per-entry bookkeeping: the LRU stamp (a persisted logical clock, not
    wall time, so it is monotone across processes and restarts) and the
@@ -28,6 +29,7 @@ type t = {
   lock_fd : Unix.file_descr;  (** inter-process exclusion ([fcntl] on store.lock) *)
   budget : int option;
   telemetry : T.t;
+  keep_evidence : bool;  (** invalid entries move to store.quarantine/ instead of unlink *)
   mutable clock : int;
   index : (string, idx_entry) Hashtbl.t;  (** entry filename -> stamp/size *)
   counters : (string * kind_counters) list ref;  (** per kind, first-use order *)
@@ -35,6 +37,7 @@ type t = {
 
 let dir t = t.root
 let max_bytes t = t.budget
+let quarantine_dir t = Filename.concat t.root quarantine_name
 
 let rec mkdir_p path =
   if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
@@ -233,6 +236,33 @@ let drop_entry t name =
   Hashtbl.remove t.index name;
   match parse_name name with Some (kind, _) -> bump t kind `Eviction | None -> ()
 
+(* Move a failed-validation entry aside instead of destroying it: the
+   next open (or a human) can autopsy the torn write, and the store
+   itself sees a clean miss. Quarantined files never collide — a
+   numeric suffix disambiguates repeat offenders. *)
+let quarantine_entry t name =
+  let qdir = quarantine_dir t in
+  (try mkdir_p qdir with Unix.Unix_error _ -> ());
+  let src = Filename.concat t.root name in
+  let dst =
+    let base = Filename.concat qdir name in
+    if not (Sys.file_exists base) then base
+    else
+      let rec pick n =
+        let cand = Printf.sprintf "%s.%d" base n in
+        if Sys.file_exists cand then pick (n + 1) else cand
+      in
+      pick 1
+  in
+  (try Sys.rename src dst with Sys_error _ -> remove_file src);
+  Hashtbl.remove t.index name;
+  T.incr (T.counter t.telemetry "store.quarantined")
+
+(* Invalid entries leave the live set either way; [keep_evidence]
+   decides whether the bytes survive for the post-mortem. *)
+let discard_entry t name =
+  if t.keep_evidence then quarantine_entry t name else drop_entry t name
+
 (* Evict least-recently-used entries until the byte total fits the
    budget. [keep] (the entry just written) is never its own victim, so
    one oversized artifact parks at the budget instead of thrashing. *)
@@ -273,7 +303,7 @@ let sweep t =
         if Filename.check_suffix name ".tmp" then remove_file path
         else
           match parse_name name with
-          | None -> if Filename.check_suffix name suffix then remove_file path
+          | None -> if Filename.check_suffix name suffix then discard_entry t name
           | Some (kind, key) -> (
               match read_valid path ~kind ~key with
               | Some _ ->
@@ -283,7 +313,7 @@ let sweep t =
                        reaches it first. *)
                     Hashtbl.replace t.index name
                       { stamp = 0; bytes = (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0) }
-              | None | (exception Sys_error _) -> drop_entry t name))
+              | None | (exception Sys_error _) -> discard_entry t name))
     (try Sys.readdir t.root with Sys_error _ -> [||]);
   (* And the reverse: index rows whose entry file is gone. *)
   let stale =
@@ -293,7 +323,7 @@ let sweep t =
   in
   List.iter (Hashtbl.remove t.index) stale
 
-let open_ ?max_bytes ?(telemetry = T.default) ~dir () =
+let open_ ?max_bytes ?(quarantine = false) ?(telemetry = T.default) ~dir () =
   (try mkdir_p dir with Unix.Unix_error (e, _, _) ->
     raise (Store_error (Printf.sprintf "cannot create %s: %s" dir (Unix.error_message e))));
   if not (Sys.file_exists dir && Sys.is_directory dir) then
@@ -310,6 +340,7 @@ let open_ ?max_bytes ?(telemetry = T.default) ~dir () =
       lock_fd;
       budget = max_bytes;
       telemetry;
+      keep_evidence = quarantine;
       clock = 0;
       index = Hashtbl.create 64;
       counters = ref [];
@@ -354,12 +385,12 @@ let find (type a) t ~kind ~key : a option =
                 save_index t;
                 Some v
             | exception _ ->
-                drop_entry t name;
+                discard_entry t name;
                 save_index t;
                 publish_gauges t;
                 miss ())
         | None ->
-            drop_entry t name;
+            discard_entry t name;
             save_index t;
             publish_gauges t;
             miss ()
@@ -418,6 +449,54 @@ let entries t =
       |> List.filter_map parse_name)
 
 let count t = List.length (entries t)
+
+(* ---------- scrub ---------- *)
+
+type scrub_report = {
+  sc_scanned : int;
+  sc_ok : int;
+  sc_quarantined : int;
+  sc_quarantine_dir : string;
+}
+
+(* Full on-demand validation pass: every entry file is re-read and
+   re-digested; failures move to store.quarantine/ regardless of the
+   handle's open mode, so torn writes from a crashed peer degrade to
+   clean misses instead of exceptions at some later find. *)
+let scrub t =
+  with_lock t (fun () ->
+      let scanned = ref 0 and ok = ref 0 and bad = ref 0 in
+      Array.iter
+        (fun name ->
+          let path = Filename.concat t.root name in
+          if name <> lock_name && name <> index_name && not (Sys.is_directory path) then
+            if Filename.check_suffix name ".tmp" then remove_file path
+            else if Filename.check_suffix name suffix then begin
+              incr scanned;
+              match parse_name name with
+              | None ->
+                  incr bad;
+                  quarantine_entry t name
+              | Some (kind, key) -> (
+                  match read_valid path ~kind ~key with
+                  | Some _ -> incr ok
+                  | None | (exception Sys_error _) ->
+                      incr bad;
+                      quarantine_entry t name)
+            end)
+        (try Sys.readdir t.root with Sys_error _ -> [||]);
+      save_index t;
+      publish_gauges t;
+      {
+        sc_scanned = !scanned;
+        sc_ok = !ok;
+        sc_quarantined = !bad;
+        sc_quarantine_dir = quarantine_dir t;
+      })
+
+let render_scrub r =
+  Printf.sprintf "scrub: %d scanned, %d ok, %d quarantined%s" r.sc_scanned r.sc_ok r.sc_quarantined
+    (if r.sc_quarantined > 0 then " -> " ^ r.sc_quarantine_dir else "")
 
 let clear t =
   with_lock t (fun () ->

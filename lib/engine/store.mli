@@ -44,18 +44,33 @@ val version : int
 (** Current on-disk format version. Bump on any layout change; entries
     written by other versions are evicted on open. *)
 
-val open_ : ?max_bytes:int -> ?telemetry:Pld_telemetry.Telemetry.t -> dir:string -> unit -> t
+val open_ :
+  ?max_bytes:int ->
+  ?quarantine:bool ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
+  dir:string ->
+  unit ->
+  t
 (** Opens (creating if needed) the store rooted at [dir], sweeps
     invalid or stale entries and orphaned [*.tmp] files, and loads the
     access-time index. [max_bytes] (default: unbounded) is the LRU
-    size budget over payload bytes. [telemetry] (default
+    size budget over payload bytes. With [quarantine] (default
+    [false]), entries failing validation — at the open sweep or at any
+    later [find] — are moved into [store.quarantine/] instead of
+    deleted, preserving the torn bytes for post-mortem while the live
+    store sees a clean miss. [telemetry] (default
     {!Pld_telemetry.Telemetry.default}) receives the per-kind
-    hit/miss/eviction/put counters ([store.<kind>.hits], ...) and the
-    [store.bytes] / [store.entries] gauges. *)
+    hit/miss/eviction/put counters ([store.<kind>.hits], ...), the
+    [store.quarantined] counter and the [store.bytes] /
+    [store.entries] gauges. *)
 
 val dir : t -> string
 
 val max_bytes : t -> int option
+
+val quarantine_dir : t -> string
+(** Where quarantined entries land ([<dir>/store.quarantine]). The
+    directory is created lazily on first quarantine. *)
 
 val find : t -> kind:string -> key:Pld_util.Digest_lite.t -> 'a option
 (** [find t ~kind ~key] deserializes the stored artifact, or [None] on
@@ -82,6 +97,31 @@ val count : t -> int
 val clear : t -> unit
 (** Removes every entry (but keeps the directory and bookkeeping
     files). *)
+
+(** {2 Scrub}
+
+    The recovery half of crash tolerance: writes are atomic, but a
+    SIGKILL between the rename and the index update — or bit rot, or a
+    truncating filesystem — can leave entries whose header no longer
+    matches their payload. A scrub re-validates every entry on demand
+    and quarantines the failures, so the worst a torn write can do is
+    cost one cache miss. *)
+
+type scrub_report = {
+  sc_scanned : int;  (** entry files examined *)
+  sc_ok : int;  (** entries whose header and payload digest check out *)
+  sc_quarantined : int;  (** entries moved to [store.quarantine/] *)
+  sc_quarantine_dir : string;
+}
+
+val scrub : t -> scrub_report
+(** Re-reads and re-digests every entry file under the store lock.
+    Entries failing validation (and malformed [.art] names) move to
+    [store.quarantine/] — regardless of the handle's [quarantine] open
+    mode — and orphaned [*.tmp] files are deleted. Each quarantined
+    entry bumps the [store.quarantined] telemetry counter. *)
+
+val render_scrub : scrub_report -> string
 
 (** {2 Statistics}
 

@@ -12,6 +12,7 @@ type options = {
   jobs : int;
   run_perf : bool;
   run_service : bool;
+  run_chaos : bool;
 }
 
 let default_options =
@@ -23,6 +24,7 @@ let default_options =
     jobs = 1;
     run_perf = true;
     run_service = true;
+    run_chaos = true;
   }
 
 let level_of_string s =
@@ -166,6 +168,34 @@ let measure_service opts =
     wall;
   }
 
+(* The chaos tier guards the failure paths. The deterministic chaos
+   scenarios (no forking — safe after domains exist) produce exact
+   counter values given a seed: how many submissions were shed, how
+   many deadlines expired and where, how many wedged builds the
+   watchdog wrote off, how many corrupt entries a scrub quarantined,
+   how many dropped connections were counted. Any drift in those
+   numbers means the rejection taxonomy or the recovery machinery
+   changed — exactly what a refactor breaks silently. Only wall time
+   is machine-dependent. *)
+let measure_chaos () =
+  let module Chaos = Pld_service.Chaos in
+  let report = Chaos.run ~seed:7 ~only:Chaos.deterministic_names () in
+  let failed =
+    List.concat_map
+      (fun (s : Chaos.scenario_report) ->
+        List.filter (fun (c : Chaos.check) -> not c.Chaos.ck_ok) s.Chaos.sr_checks)
+      report.Chaos.r_scenarios
+  in
+  let exact =
+    ("chaos_checks_failed", float_of_int (List.length failed))
+    :: List.map (fun (n, v) -> (n, float_of_int v)) (Chaos.counters report)
+  in
+  let wall_s =
+    List.fold_left (fun acc s -> acc +. s.Chaos.sr_wall_s) 0.0 report.Chaos.r_scenarios
+  in
+  let wall = [ ("wall_seconds", Baseline.stats_of [ wall_s ]) ] in
+  { Baseline.bench = "chaos"; level = "seed7"; exact; tool = []; wall }
+
 let measure ?(suite = "rosetta") opts =
   let entries =
     List.concat_map
@@ -174,6 +204,7 @@ let measure ?(suite = "rosetta") opts =
         List.map (measure_entry opts b) opts.levels)
       opts.benches
     @ (if opts.run_service then [ measure_service opts ] else [])
+    @ (if opts.run_chaos then [ measure_chaos () ] else [])
   in
   {
     Baseline.version = Baseline.current_version;

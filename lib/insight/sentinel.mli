@@ -28,12 +28,22 @@ type options = {
           operator recompiles, store writes) in the exact class,
           dedup/hit counts and latency percentiles in the tool class,
           wall time in the wall class *)
+  run_chaos : bool;
+      (** also run the deterministic {!Pld_service.Chaos} scenarios
+          (corrupt-store, conn-storm, overload — no forking) at a
+          fixed seed and snapshot a ["chaos"] entry: every failure-path
+          counter (shed, deadline_exceeded, watchdog_kills, lost,
+          quarantined, conn_errors, client retries) plus the number of
+          failed invariant checks in the exact class, wall time in the
+          wall class. This is what keeps the rejection taxonomy and
+          recovery machinery from silently rotting. *)
 }
 
 val default_options : options
 (** spam + optical at -O1 and -O3, 3 repeats, no pacing, 1 job,
-    perf and service tiers on — small enough for CI, varied enough to
-    cover the paged flow, the monolithic flow and the daemon path. *)
+    perf, service and chaos tiers on — small enough for CI, varied
+    enough to cover the paged flow, the monolithic flow, the daemon
+    path and the failure paths. *)
 
 val level_of_string : string -> Pld_core.Build.level option
 (** Accepts ["O1"], ["-O1"], ["o1"], ... and ["vitis"]. *)

@@ -75,12 +75,12 @@ type cache = {
   counters : (string * counter) list;
 }
 
-let create_cache ?dir ?max_bytes ?telemetry () =
+let create_cache ?dir ?max_bytes ?quarantine ?telemetry () =
   {
     hw = Hashtbl.create 64;
     soft = Hashtbl.create 64;
     mono = Hashtbl.create 16;
-    store = Option.map (fun dir -> Store.open_ ?max_bytes ?telemetry ~dir ()) dir;
+    store = Option.map (fun dir -> Store.open_ ?max_bytes ?quarantine ?telemetry ~dir ()) dir;
     persist = true;
     lock = Mutex.create ();
     counters =

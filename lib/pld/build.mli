@@ -82,11 +82,17 @@ val kind_softcore : string
 val kind_mono : string
 
 val create_cache :
-  ?dir:string -> ?max_bytes:int -> ?telemetry:Pld_telemetry.Telemetry.t -> unit -> cache
+  ?dir:string ->
+  ?max_bytes:int ->
+  ?quarantine:bool ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
+  unit ->
+  cache
 (** In-memory cache; with [dir], artifacts are additionally persisted
     to (and warm-started from) a content-addressed store on disk, so a
-    fresh process recompiles only what changed. [max_bytes] and
-    [telemetry] configure that store's LRU budget and stats sink (see
+    fresh process recompiles only what changed. [max_bytes],
+    [quarantine] and [telemetry] configure that store's LRU budget,
+    corrupt-entry quarantine mode and stats sink (see
     {!Pld_engine.Store.open_}). *)
 
 val readonly_view : cache -> cache

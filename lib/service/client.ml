@@ -35,3 +35,63 @@ let rpc ~socket envelope =
   match connect socket with
   | Error _ as e -> e
   | Ok conn -> Fun.protect ~finally:(fun () -> close conn) (fun () -> call conn envelope)
+
+(* ---------- retrying RPC ---------- *)
+
+module T = Pld_telemetry.Telemetry
+module Rng = Pld_util.Rng
+
+type backoff = {
+  b_attempts : int;
+  b_base_s : float;
+  b_cap_s : float;
+  b_jitter : float;
+  b_seed : int;
+}
+
+let default_backoff = { b_attempts = 5; b_base_s = 0.01; b_cap_s = 0.5; b_jitter = 0.5; b_seed = 7 }
+
+(* Deterministic per (policy, attempt): exponential growth capped at
+   [b_cap_s], then shrunk by a seeded jitter fraction so a thundering
+   herd of identical clients still needs identical seeds to stampede
+   in lockstep. *)
+let backoff_delay p attempt =
+  let expo = p.b_base_s *. (2.0 ** float_of_int attempt) in
+  let capped = Float.min p.b_cap_s expo in
+  let jitter =
+    if p.b_jitter <= 0.0 then 0.0
+    else
+      let rng = Rng.create ((p.b_seed * 1000003) + attempt) in
+      p.b_jitter *. Rng.float rng 1.0
+  in
+  capped *. (1.0 -. jitter)
+
+(* A reply the server marked transient (SHED, DRAINING, QUEUE_FULL via
+   retry_after_ms) is retryable; in-flight dedup makes the repeat
+   idempotent server-side. Hard errors return immediately. *)
+let rpc_retry ?(backoff = default_backoff) ?(telemetry = T.default) ~socket envelope =
+  let count_retry () = T.incr (T.counter telemetry "client.retries") in
+  let rec go attempt =
+    let retry err =
+      if attempt + 1 >= backoff.b_attempts then err
+      else begin
+        count_retry ();
+        Unix.sleepf (backoff_delay backoff attempt);
+        go (attempt + 1)
+      end
+    in
+    match rpc ~socket envelope with
+    | Error _ as e ->
+        (* Transport failure: connect refused, EPIPE/ECONNRESET on a
+           dying daemon, or mid-stream EOF. Reconnect and resend. *)
+        retry e
+    | Ok reply when not reply.Protocol.ok -> (
+        match Protocol.retry_after_ms reply with
+        | Some ms when attempt + 1 < backoff.b_attempts ->
+            count_retry ();
+            Unix.sleepf (Float.max (float_of_int ms /. 1000.0) (backoff_delay backoff attempt));
+            go (attempt + 1)
+        | Some _ | None -> Ok reply)
+    | Ok _ as ok -> ok
+  in
+  go 0

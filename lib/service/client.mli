@@ -18,3 +18,38 @@ val call : t -> Protocol.envelope -> (Protocol.reply, string) result
 
 val rpc : socket:string -> Protocol.envelope -> (Protocol.reply, string) result
 (** One-shot: connect, {!call}, close. *)
+
+(** {2 Retry}
+
+    Retrying is safe because the daemon's in-flight dedup makes an
+    identical re-sent request idempotent: the repeat either piggybacks
+    on the still-running primary build or hits the store. *)
+
+type backoff = {
+  b_attempts : int;  (** total attempts, including the first *)
+  b_base_s : float;  (** first retry delay *)
+  b_cap_s : float;  (** exponential growth cap *)
+  b_jitter : float;  (** fraction of the delay randomized away, [0,1] *)
+  b_seed : int;  (** jitter seed — equal seeds give equal schedules *)
+}
+
+val default_backoff : backoff
+(** 5 attempts, 10 ms base, 500 ms cap, 0.5 jitter, seed 7. *)
+
+val backoff_delay : backoff -> int -> float
+(** [backoff_delay p attempt] (0-based) — the seconds to sleep before
+    retry [attempt + 1]. Pure and deterministic: the jitter is seeded
+    by [(b_seed, attempt)], so schedules are reproducible. *)
+
+val rpc_retry :
+  ?backoff:backoff ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
+  socket:string ->
+  Protocol.envelope ->
+  (Protocol.reply, string) result
+(** {!rpc} with reconnect-and-resend on transport failures (connection
+    refused, [EPIPE]/[ECONNRESET], mid-stream EOF) and on transient
+    server refusals (replies carrying [retry_after_ms] — shed, drain,
+    queue-full), honoring the server's hint when it exceeds the
+    backoff delay. Hard application errors return immediately. Every
+    retry bumps the [client.retries] counter in [telemetry]. *)

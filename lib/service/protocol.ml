@@ -7,10 +7,16 @@ type request =
   | Stats
   | Shutdown
 
-type envelope = { rq_id : int; tenant : string; priority : int; req : request }
+type envelope = {
+  rq_id : int;
+  tenant : string;
+  priority : int;
+  deadline_ms : int option;
+  req : request;
+}
 
-let envelope ?(id = 0) ?(tenant = "default") ?(priority = 0) req =
-  { rq_id = id; tenant; priority; req }
+let envelope ?(id = 0) ?(tenant = "default") ?(priority = 0) ?deadline_ms req =
+  { rq_id = id; tenant; priority; deadline_ms; req }
 
 let envelope_to_json e =
   let base =
@@ -19,6 +25,7 @@ let envelope_to_json e =
       ("tenant", Json.String e.tenant);
       ("priority", Json.Int e.priority);
     ]
+    @ (match e.deadline_ms with Some ms -> [ ("deadline_ms", Json.Int ms) ] | None -> [])
   in
   let rest =
     match e.req with
@@ -47,8 +54,9 @@ let envelope_of_json j =
       let id = Option.value ~default:0 (int_field "id" j) in
       let tenant = Option.value ~default:"default" (str_field "tenant" j) in
       let priority = Option.value ~default:0 (int_field "priority" j) in
+      let deadline_ms = int_field "deadline_ms" j in
       let level () = Option.value ~default:"O1" (str_field "level" j) in
-      let with_req req = Ok { rq_id = id; tenant; priority; req } in
+      let with_req req = Ok { rq_id = id; tenant; priority; deadline_ms; req } in
       match op with
       | "ping" -> with_req Ping
       | "stats" -> with_req Stats
@@ -70,6 +78,23 @@ type reply = { rp_id : int; ok : bool; body : Json.t }
 let reply_ok ~id body = { rp_id = id; ok = true; body }
 let reply_error ~id msg = { rp_id = id; ok = false; body = Json.Obj [ ("error", Json.String msg) ] }
 
+(* A refusal the client should treat as transient: [state] names the
+   server condition (SHED, DRAINING, QUEUE_FULL, ...) and
+   [retry_after_ms], when present, is the server's estimate of when
+   the same request would be admitted. *)
+let reply_busy ~id ?retry_after_ms ~state msg =
+  {
+    rp_id = id;
+    ok = false;
+    body =
+      Json.Obj
+        ([ ("error", Json.String msg); ("state", Json.String state) ]
+        @
+        match retry_after_ms with
+        | Some ms -> [ ("retry_after_ms", Json.Int ms) ]
+        | None -> []);
+  }
+
 let reply_to_json r =
   Json.Obj [ ("id", Json.Int r.rp_id); ("ok", Json.Bool r.ok); ("body", r.body) ]
 
@@ -80,6 +105,9 @@ let reply_of_json j =
 
 let error_message r =
   match Json.member "error" r.body with Some (Json.String s) -> Some s | _ -> None
+
+let retry_after_ms r = int_field "retry_after_ms" r.body
+let reply_state r = str_field "state" r.body
 
 let level_of_name = function
   | "O0" | "o0" | "-O0" -> Ok Pld_core.Build.O0

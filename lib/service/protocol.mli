@@ -17,10 +17,21 @@ type request =
   | Stats
   | Shutdown
 
-type envelope = { rq_id : int; tenant : string; priority : int; req : request }
+type envelope = {
+  rq_id : int;
+  tenant : string;
+  priority : int;
+  deadline_ms : int option;
+      (** Time budget for the whole request, measured from admission:
+          the daemon expires the job (queued or mid-build, at the next
+          tool-phase boundary) once the budget is spent. [None] means
+          no deadline. *)
+  req : request;
+}
 
-val envelope : ?id:int -> ?tenant:string -> ?priority:int -> request -> envelope
-(** [id] defaults to 0, [tenant] to ["default"], [priority] to 0. *)
+val envelope : ?id:int -> ?tenant:string -> ?priority:int -> ?deadline_ms:int -> request -> envelope
+(** [id] defaults to 0, [tenant] to ["default"], [priority] to 0,
+    [deadline_ms] to none. *)
 
 val envelope_to_json : envelope -> Pld_telemetry.Json.t
 val envelope_of_json : Pld_telemetry.Json.t -> (envelope, string) result
@@ -30,10 +41,24 @@ type reply = { rp_id : int; ok : bool; body : Pld_telemetry.Json.t }
 
 val reply_ok : id:int -> Pld_telemetry.Json.t -> reply
 val reply_error : id:int -> string -> reply
+
+val reply_busy : id:int -> ?retry_after_ms:int -> state:string -> string -> reply
+(** A transient refusal: [state] names the server condition ([SHED],
+    [DRAINING], [QUEUE_FULL]) and [retry_after_ms] hints when the same
+    request is likely to be admitted. {!Client.rpc_retry} backs off
+    and retries these; hard errors (unknown bench, build failure) it
+    does not. *)
+
 val reply_to_json : reply -> Pld_telemetry.Json.t
 val reply_of_json : Pld_telemetry.Json.t -> (reply, string) result
 
 val error_message : reply -> string option
 (** The [error] field of a failed reply's body. *)
+
+val retry_after_ms : reply -> int option
+(** The [retry_after_ms] hint of a {!reply_busy} refusal, if any. *)
+
+val reply_state : reply -> string option
+(** The [state] tag of a {!reply_busy} refusal, if any. *)
 
 val level_of_name : string -> (Pld_core.Build.level, string) result

@@ -39,7 +39,52 @@ let outcome_json o =
       ("latency_seconds", Json.Float o.o_latency_seconds);
     ]
 
-type job_state = Queued | Running | Finished of (outcome, string) result
+(* Structured refusals and failures: the daemon maps these onto wire
+   states (SHED, DRAINING, ...) and the chaos harness onto conservation
+   ledger classes, so a stringly-typed error can never be double- or
+   un-counted. *)
+type reject =
+  | Queue_full of { tenant : string; queued : int; max_queued : int }
+  | Shed of { retry_after_ms : int; reason : string }
+  | Deadline_exceeded of { stage : string; overrun_ms : int }
+  | Draining of string
+  | Lost of string
+  | Build_failed of string
+
+let reject_message = function
+  | Queue_full { tenant; queued; max_queued } ->
+      Printf.sprintf "tenant %s: queue full (%d admitted, max %d)" tenant queued max_queued
+  | Shed { retry_after_ms; reason } ->
+      Printf.sprintf "shed: %s (retry after %d ms)" reason retry_after_ms
+  | Deadline_exceeded { stage; overrun_ms } ->
+      Printf.sprintf "deadline exceeded while %s (%d ms over)" stage overrun_ms
+  | Draining msg -> msg
+  | Lost msg -> msg
+  | Build_failed msg -> msg
+
+let reject_state = function
+  | Queue_full _ -> "QUEUE_FULL"
+  | Shed _ -> "SHED"
+  | Deadline_exceeded _ -> "DEADLINE_EXCEEDED"
+  | Draining _ -> "DRAINING"
+  | Lost _ -> "LOST"
+  | Build_failed _ -> "FAILED"
+
+let reject_retry_after_ms = function
+  | Shed { retry_after_ms; _ } -> Some retry_after_ms
+  | Queue_full _ | Draining _ -> Some 100
+  | Deadline_exceeded _ | Lost _ | Build_failed _ -> None
+
+type shed_policy = {
+  sp_max_delay_s : float;
+  sp_exempt_priority : int;
+  sp_assumed_build_s : float;
+}
+
+let default_shed_policy =
+  { sp_max_delay_s = 30.0; sp_exempt_priority = 100; sp_assumed_build_s = 0.05 }
+
+type job_state = Queued | Running | Finished of (outcome, reject) result
 
 type job = {
   j_id : int;
@@ -49,6 +94,9 @@ type job = {
   j_level : Build.level;
   j_key : string;
   j_enqueued : float;
+  j_deadline : float option;  (* absolute wall-clock budget end *)
+  mutable j_started : float;  (* dispatch time; 0.0 while queued *)
+  mutable j_abandoned : bool;  (* watchdog wrote this build off *)
   mutable j_state : job_state;
   mutable j_followers : job list;  (* dedup piggybacks, primaries only *)
 }
@@ -80,19 +128,32 @@ type t = {
   jobs : int;
   pace : float;
   seed : int;
+  queue_workers : int;
+  shed : shed_policy option;
+  watchdog_timeout_s : float option;
+  wd_tick_s : float;
+  faults : Pld_faults.Fault.t option;  (* hang= specs wedge builds by graph name *)
   dq : quota;
   tenants : (string, tenant) Hashtbl.t;
   mutable pending : job list;  (* admission order, newest last *)
   inflight : (string, job) Hashtbl.t;  (* key -> queued/running primary *)
+  running : (int, job) Hashtbl.t;  (* job id -> dispatched job, watchdog's beat *)
   first_tenant : (string, string) Hashtbl.t;  (* key -> first submitter *)
   mutable next_id : int;
   mutable stopping : bool;
+  mutable draining : bool;
   mutable pool : unit Domain.t list;
+  mutable wd_domain : unit Domain.t option;
+  mutable avg_build_s : float;  (* EWMA of primary build wall time *)
   (* global counters *)
   mutable g_submitted : int;
   mutable g_completed : int;
   mutable g_failed : int;
   mutable g_rejected : int;
+  mutable g_shed : int;
+  mutable g_deadline : int;
+  mutable g_lost : int;
+  mutable g_wd_kills : int;
   mutable g_deduped : int;
   mutable g_cross : int;
   mutable g_latencies : float list;  (* reversed: newest first *)
@@ -139,15 +200,30 @@ let store_writes report =
 
 (* ---------- completion ---------- *)
 
-let finish_follower t primary_tenant (result : (outcome, string) result) (f : job) =
+(* Must hold t.mu: route a terminal error into its counter class.
+   Admission refusals (shed, queue-full, draining) are counted at the
+   submit site — they never become job states. *)
+let count_error t tn (r : reject) =
+  match r with
+  | Build_failed _ ->
+      tn.tn_failed <- tn.tn_failed + 1;
+      t.g_failed <- t.g_failed + 1;
+      bump t "failed"
+  | Deadline_exceeded _ ->
+      t.g_deadline <- t.g_deadline + 1;
+      bump t "deadline_exceeded"
+  | Lost _ ->
+      t.g_lost <- t.g_lost + 1;
+      bump t "lost"
+  | Shed _ | Queue_full _ | Draining _ -> ()
+
+let finish_follower t primary_tenant (result : (outcome, reject) result) (f : job) =
   let now = Unix.gettimeofday () in
   let tn = tenant_of t f.j_tenant in
   let result =
     match result with
     | Error e ->
-        tn.tn_failed <- tn.tn_failed + 1;
-        t.g_failed <- t.g_failed + 1;
-        bump t "failed";
+        count_error t tn e;
         Error e
     | Ok o ->
         let cross = not (String.equal primary_tenant f.j_tenant) in
@@ -187,12 +263,11 @@ let finish t (j : job) started result =
   let tn = tenant_of t j.j_tenant in
   tn.tn_in_flight <- tn.tn_in_flight - 1;
   Hashtbl.remove t.inflight j.j_key;
+  Hashtbl.remove t.running j.j_id;
   let result =
     match result with
     | Error e ->
-        tn.tn_failed <- tn.tn_failed + 1;
-        t.g_failed <- t.g_failed + 1;
-        bump t "failed";
+        count_error t tn e;
         Error e
     | Ok (app : Build.app) ->
         let writes = store_writes app.Build.report in
@@ -215,6 +290,9 @@ let finish t (j : job) started result =
         let latency = now -. j.j_enqueued in
         t.g_latencies <- latency :: t.g_latencies;
         T.observe (T.histogram t.telemetry "service.latency_seconds") latency;
+        (* EWMA of build wall time feeds the shed policy's queue-delay
+           estimate. *)
+        t.avg_build_s <- (0.7 *. t.avg_build_s) +. (0.3 *. (now -. started));
         Ok
           {
             o_tenant = j.j_tenant;
@@ -236,6 +314,81 @@ let finish t (j : job) started result =
   j.j_followers <- [];
   set_depth_gauges t;
   Condition.broadcast t.cond
+
+(* Must hold t.mu. Fail a job that never reached a worker (queued
+   deadline expiry, shutdown orphan). The caller has already removed it
+   from t.pending. *)
+let fail_queued t (j : job) rej =
+  let tn = tenant_of t j.j_tenant in
+  tn.tn_queued <- tn.tn_queued - 1;
+  Hashtbl.remove t.inflight j.j_key;
+  count_error t tn rej;
+  let r = Error rej in
+  j.j_state <- Finished r;
+  List.iter
+    (fun f ->
+      count_error t (tenant_of t f.j_tenant) rej;
+      f.j_state <- Finished r)
+    (List.rev j.j_followers);
+  j.j_followers <- [];
+  set_depth_gauges t;
+  Condition.broadcast t.cond
+
+(* Must hold t.mu: expire queued jobs whose deadline has passed, in
+   deadline order, so an earlier deadline never outlives a later one.
+   Runs at every scheduling decision and every watchdog tick. *)
+let expire_deadlines t =
+  let now = Unix.gettimeofday () in
+  let expired, alive =
+    List.partition
+      (fun j -> match j.j_deadline with Some d -> now > d | None -> false)
+      t.pending
+  in
+  if expired <> [] then begin
+    t.pending <- alive;
+    List.iter
+      (fun j ->
+        let d = Option.get j.j_deadline in
+        let overrun_ms = max 0 (int_of_float ((now -. d) *. 1000.0)) in
+        fail_queued t j (Deadline_exceeded { stage = "queued"; overrun_ms }))
+      (List.sort (fun a b -> compare a.j_deadline b.j_deadline) expired)
+  end
+
+(* Must hold t.mu. The watchdog gave up on a running build: the job
+   (and its followers) fail as lost, the build is quarantined in its
+   worker — the caller spawns a replacement worker, and the zombie's
+   eventual return is ignored via j_abandoned. *)
+let abandon_running t (j : job) ~ran_s =
+  j.j_abandoned <- true;
+  Hashtbl.remove t.running j.j_id;
+  let tn = tenant_of t j.j_tenant in
+  tn.tn_in_flight <- tn.tn_in_flight - 1;
+  Hashtbl.remove t.inflight j.j_key;
+  t.g_wd_kills <- t.g_wd_kills + 1;
+  bump t "watchdog_kills";
+  let rej = Lost (Printf.sprintf "watchdog: build wedged for %.2fs, worker quarantined" ran_s) in
+  count_error t tn rej;
+  let r = Error rej in
+  j.j_state <- Finished r;
+  List.iter
+    (fun f ->
+      count_error t (tenant_of t f.j_tenant) rej;
+      f.j_state <- Finished r)
+    (List.rev j.j_followers);
+  j.j_followers <- [];
+  set_depth_gauges t;
+  Condition.broadcast t.cond
+
+(* Must hold t.mu: estimated seconds before a newly admitted job at
+   [priority] would reach a worker — pending work at or above its
+   priority plus the running builds, amortized over the pool at the
+   observed (EWMA) build time. *)
+let queue_delay_estimate t ~priority =
+  let ahead =
+    List.fold_left (fun acc p -> if p.j_priority >= priority then acc + 1 else acc) 0 t.pending
+  in
+  let running = Hashtbl.length t.running in
+  float_of_int (ahead + running) *. t.avg_build_s /. float_of_int (max 1 t.queue_workers)
 
 (* ---------- scheduling ---------- *)
 
@@ -263,27 +416,67 @@ let cache_for t tn =
 let run_job t (j : job) =
   let tn = tenant_of t j.j_tenant in
   let cache = cache_for t tn in
-  let started = Unix.gettimeofday () in
+  let started = j.j_started in
   Mutex.unlock t.mu;
+  (* A seeded hang= fault keyed by graph name models a wedged tool
+     invocation (cycles are milliseconds here): the build sits in its
+     worker until the watchdog writes it off. *)
+  (match t.faults with
+  | Some f -> (
+      match Pld_faults.Fault.hang_cycles f ~inst:j.j_graph.Graph.graph_name with
+      | Some ms -> Unix.sleepf (float_of_int ms /. 1000.0)
+      | None -> ())
+  | None -> ());
+  (* Deadline checks ride the executor's event stream: every job
+     start/finish is a tool-phase boundary, so an expired build stops
+     at the next boundary instead of running to completion. *)
+  let deadline_hit = ref false in
+  let on_event _ =
+    match j.j_deadline with
+    | Some d when Unix.gettimeofday () > d ->
+        deadline_hit := true;
+        raise Exit
+    | _ -> ()
+  in
   let result =
     try
       Ok
-        (Build.compile ~cache ~workers:t.workers ~jobs:t.jobs ~pace:t.pace ~seed:t.seed
+        (Build.compile ~cache ~workers:t.workers ~jobs:t.jobs ~pace:t.pace ~seed:t.seed ~on_event
            ~telemetry:t.telemetry t.fp j.j_graph ~level:j.j_level)
-    with e -> Error (Printexc.to_string e)
+    with e -> Error e
   in
   Mutex.lock t.mu;
-  finish t j started result
+  if j.j_abandoned then
+    (* The watchdog already failed this job and replaced this worker;
+       the late result is dropped on the floor. *)
+    bump t "watchdog_late_returns"
+  else
+    let result =
+      match result with
+      | Ok app -> Ok app
+      | Error _ when !deadline_hit ->
+          let overrun_ms =
+            match j.j_deadline with
+            | Some d -> max 0 (int_of_float ((Unix.gettimeofday () -. d) *. 1000.0))
+            | None -> 0
+          in
+          Error (Deadline_exceeded { stage = "build"; overrun_ms })
+      | Error e -> Error (Build_failed (Printexc.to_string e))
+    in
+    finish t j started result
 
 let rec worker_loop t =
   let job =
     let rec pick () =
       if t.stopping then None
-      else
+      else begin
+        expire_deadlines t;
         match select t with
         | Some j ->
             t.pending <- List.filter (fun p -> p.j_id <> j.j_id) t.pending;
             j.j_state <- Running;
+            j.j_started <- Unix.gettimeofday ();
+            Hashtbl.replace t.running j.j_id j;
             let tn = tenant_of t j.j_tenant in
             tn.tn_queued <- tn.tn_queued - 1;
             tn.tn_in_flight <- tn.tn_in_flight + 1;
@@ -292,6 +485,7 @@ let rec worker_loop t =
         | None ->
             Condition.wait t.cond t.mu;
             pick ()
+      end
     in
     Mutex.lock t.mu;
     pick ()
@@ -300,19 +494,54 @@ let rec worker_loop t =
   | None -> Mutex.unlock t.mu
   | Some j ->
       run_job t j;
+      let abandoned = j.j_abandoned in
       Mutex.unlock t.mu;
-      worker_loop t
+      (* An abandoned job means the watchdog replaced this worker while
+         it was wedged — exit so the pool size stays constant. *)
+      if not abandoned then worker_loop t
+
+(* The watchdog doubles as the service's clock: it expires queued
+   deadlines, writes off wedged builds (spawning replacement workers),
+   and broadcasts the condition every tick so timed waits ([await]
+   bounds, [drain]) can exist at all — stdlib [Condition] has no timed
+   wait. *)
+let rec watchdog_loop t =
+  Mutex.lock t.mu;
+  let stop = t.stopping in
+  if not stop then begin
+    expire_deadlines t;
+    (match t.watchdog_timeout_s with
+    | Some limit ->
+        let now = Unix.gettimeofday () in
+        let wedged =
+          Hashtbl.fold
+            (fun _ j acc -> if now -. j.j_started > limit then j :: acc else acc)
+            t.running []
+        in
+        List.iter
+          (fun j ->
+            abandon_running t j ~ran_s:(Unix.gettimeofday () -. j.j_started);
+            t.pool <- t.pool @ [ Domain.spawn (fun () -> worker_loop t) ])
+          wedged
+    | None -> ());
+    Condition.broadcast t.cond
+  end;
+  Mutex.unlock t.mu;
+  if not stop then begin
+    Unix.sleepf t.wd_tick_s;
+    watchdog_loop t
+  end
 
 (* ---------- public API ---------- *)
 
-let create ?cache ?cache_dir ?max_bytes ?fp ?(queue_workers = 2) ?(workers = 22) ?(jobs = 1)
-    ?(pace = 0.0) ?(seed = 7) ?(default_quota = default_quota) ?(quotas = [])
-    ?(telemetry = T.default) () =
+let create ?cache ?cache_dir ?max_bytes ?quarantine ?fp ?(queue_workers = 2) ?(workers = 22)
+    ?(jobs = 1) ?(pace = 0.0) ?(seed = 7) ?(default_quota = default_quota) ?(quotas = []) ?shed
+    ?watchdog_timeout_s ?(watchdog_tick_s = 0.01) ?faults ?(telemetry = T.default) () =
   let sv_cache =
     match (cache, cache_dir) with
     | Some _, Some _ -> invalid_arg "Service.create: pass ~cache or ~cache_dir, not both"
     | Some c, None -> c
-    | None, Some dir -> Build.create_cache ~dir ?max_bytes ~telemetry ()
+    | None, Some dir -> Build.create_cache ~dir ?max_bytes ?quarantine ~telemetry ()
     | None, None -> Build.create_cache ~telemetry ()
   in
   let fp = match fp with Some fp -> fp | None -> Fp.u50 () in
@@ -328,18 +557,32 @@ let create ?cache ?cache_dir ?max_bytes ?fp ?(queue_workers = 2) ?(workers = 22)
       jobs;
       pace;
       seed;
+      queue_workers = max 1 queue_workers;
+      shed;
+      watchdog_timeout_s;
+      wd_tick_s = watchdog_tick_s;
+      faults;
       dq = default_quota;
       tenants = Hashtbl.create 16;
       pending = [];
       inflight = Hashtbl.create 64;
+      running = Hashtbl.create 16;
       first_tenant = Hashtbl.create 64;
       next_id = 0;
       stopping = false;
+      draining = false;
       pool = [];
+      wd_domain = None;
+      avg_build_s =
+        (match shed with Some sp -> sp.sp_assumed_build_s | None -> 0.05);
       g_submitted = 0;
       g_completed = 0;
       g_failed = 0;
       g_rejected = 0;
+      g_shed = 0;
+      g_deadline = 0;
+      g_lost = 0;
+      g_wd_kills = 0;
       g_deduped = 0;
       g_cross = 0;
       g_latencies = [];
@@ -350,21 +593,27 @@ let create ?cache ?cache_dir ?max_bytes ?fp ?(queue_workers = 2) ?(workers = 22)
       let tn = tenant_of t name in
       Hashtbl.replace t.tenants name { tn with tn_quota = quota })
     quotas;
-  let n = max 1 queue_workers in
-  t.pool <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.pool <- List.init t.queue_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.wd_domain <- Some (Domain.spawn (fun () -> watchdog_loop t));
   t
 
 let cache t = t.sv_cache
 
-let submit t ~tenant ?(priority = 0) ?(level = Build.O1) g =
+let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms g =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
-  if t.stopping then Error "service is shutting down"
+  let tn = tenant_of t tenant in
+  if t.stopping || t.draining then begin
+    tn.tn_rejected <- tn.tn_rejected + 1;
+    t.g_rejected <- t.g_rejected + 1;
+    bump t "rejected";
+    Error (Draining (if t.stopping then "service is shutting down" else "service is draining"))
+  end
   else begin
-    let tn = tenant_of t tenant in
     let key = job_key g level in
     let mk () =
       t.next_id <- t.next_id + 1;
+      let now = Unix.gettimeofday () in
       {
         j_id = t.next_id;
         j_tenant = tenant;
@@ -372,14 +621,19 @@ let submit t ~tenant ?(priority = 0) ?(level = Build.O1) g =
         j_graph = g;
         j_level = level;
         j_key = key;
-        j_enqueued = Unix.gettimeofday ();
+        j_enqueued = now;
+        j_deadline = Option.map (fun ms -> now +. (float_of_int ms /. 1000.0)) deadline_ms;
+        j_started = 0.0;
+        j_abandoned = false;
         j_state = Queued;
         j_followers = [];
       }
     in
     match Hashtbl.find_opt t.inflight key with
     | Some primary ->
-        (* Identical request already queued or compiling: piggyback. *)
+        (* Identical request already queued or compiling: piggyback.
+           The primary's deadline governs the build; a follower's own
+           deadline still bounds its await. *)
         let j = mk () in
         primary.j_followers <- j :: primary.j_followers;
         tn.tn_submitted <- tn.tn_submitted + 1;
@@ -391,35 +645,86 @@ let submit t ~tenant ?(priority = 0) ?(level = Build.O1) g =
           tn.tn_rejected <- tn.tn_rejected + 1;
           t.g_rejected <- t.g_rejected + 1;
           bump t "rejected";
-          Error
-            (Printf.sprintf "tenant %s: queue full (%d admitted, max %d)" tenant tn.tn_queued
-               tn.tn_quota.max_queued)
+          Error (Queue_full { tenant; queued = tn.tn_queued; max_queued = tn.tn_quota.max_queued })
         end
         else begin
-          let j = mk () in
-          Hashtbl.replace t.inflight key j;
-          if not (Hashtbl.mem t.first_tenant key) then Hashtbl.replace t.first_tenant key tenant;
-          t.pending <- t.pending @ [ j ];
-          tn.tn_queued <- tn.tn_queued + 1;
-          tn.tn_submitted <- tn.tn_submitted + 1;
-          t.g_submitted <- t.g_submitted + 1;
-          bump t "submitted";
-          set_depth_gauges t;
-          Condition.broadcast t.cond;
-          Ok j
+          let shed =
+            match t.shed with
+            | Some sp when priority < sp.sp_exempt_priority ->
+                let est = queue_delay_estimate t ~priority in
+                if est > sp.sp_max_delay_s then
+                  Some
+                    (Shed
+                       {
+                         retry_after_ms =
+                           max 1 (int_of_float ((est -. sp.sp_max_delay_s) *. 1000.0));
+                         reason =
+                           Printf.sprintf "estimated queue delay %.2fs exceeds %.2fs budget" est
+                             sp.sp_max_delay_s;
+                       })
+                else None
+            | Some _ | None -> None
+          in
+          match shed with
+          | Some rej ->
+              t.g_shed <- t.g_shed + 1;
+              bump t "shed";
+              Error rej
+          | None ->
+              let j = mk () in
+              Hashtbl.replace t.inflight key j;
+              if not (Hashtbl.mem t.first_tenant key) then Hashtbl.replace t.first_tenant key tenant;
+              t.pending <- t.pending @ [ j ];
+              tn.tn_queued <- tn.tn_queued + 1;
+              tn.tn_submitted <- tn.tn_submitted + 1;
+              t.g_submitted <- t.g_submitted + 1;
+              bump t "submitted";
+              set_depth_gauges t;
+              Condition.broadcast t.cond;
+              Ok j
         end
   end
 
-let await t (j : ticket) =
+(* Slack past a job's own deadline before an un-timed await gives up:
+   wide enough that the deadline machinery (which fires within a
+   watchdog tick) always wins, so this bound only trips if the job was
+   truly lost. *)
+let await_grace_s = 30.0
+
+let await ?timeout_s t (j : ticket) =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let bound =
+    match timeout_s with
+    | Some s -> Some (Unix.gettimeofday () +. s)
+    | None -> Option.map (fun d -> d +. await_grace_s) j.j_deadline
+  in
+  (* The watchdog broadcasts every tick, so this wait re-checks its
+     bound at tick granularity — a deadline-aware wait built on an
+     untimed Condition. *)
   let rec wait () =
-    match j.j_state with Finished r -> r | Queued | Running -> Condition.wait t.cond t.mu; wait ()
+    match j.j_state with
+    | Finished r -> r
+    | Queued | Running -> (
+        match bound with
+        | Some b when Unix.gettimeofday () > b ->
+            Error (Lost "await: timed out waiting for the job")
+        | _ ->
+            Condition.wait t.cond t.mu;
+            wait ())
   in
   wait ()
 
-let compile t ~tenant ?priority ?level g =
-  match submit t ~tenant ?priority ?level g with Error e -> Error e | Ok ticket -> await t ticket
+let compile t ~tenant ?priority ?level ?deadline_ms g =
+  match submit t ~tenant ?priority ?level ?deadline_ms g with
+  | Error e -> Error e
+  | Ok ticket -> await t ticket
+
+let draining t =
+  Mutex.lock t.mu;
+  let d = t.draining || t.stopping in
+  Mutex.unlock t.mu;
+  d
 
 (* ---------- stats ---------- *)
 
@@ -441,6 +746,10 @@ type stats = {
   st_completed : int;
   st_failed : int;
   st_rejected : int;
+  st_shed : int;
+  st_deadline_exceeded : int;
+  st_lost : int;
+  st_watchdog_kills : int;
   st_deduped : int;
   st_cross_hits : int;
   st_queue_depth : int;
@@ -476,6 +785,10 @@ let stats t =
       st_completed = t.g_completed;
       st_failed = t.g_failed;
       st_rejected = t.g_rejected;
+      st_shed = t.g_shed;
+      st_deadline_exceeded = t.g_deadline;
+      st_lost = t.g_lost;
+      st_watchdog_kills = t.g_wd_kills;
       st_deduped = t.g_deduped;
       st_cross_hits = t.g_cross;
       st_queue_depth = List.length t.pending;
@@ -542,6 +855,10 @@ let stats_json (s : stats) =
       ("completed", Json.Int s.st_completed);
       ("failed", Json.Int s.st_failed);
       ("rejected", Json.Int s.st_rejected);
+      ("shed", Json.Int s.st_shed);
+      ("deadline_exceeded", Json.Int s.st_deadline_exceeded);
+      ("lost", Json.Int s.st_lost);
+      ("watchdog_kills", Json.Int s.st_watchdog_kills);
       ("deduped", Json.Int s.st_deduped);
       ("cross_tenant_hits", Json.Int s.st_cross_hits);
       ("queue_depth", Json.Int s.st_queue_depth);
@@ -556,8 +873,10 @@ let stats_json (s : stats) =
 let render_stats (s : stats) =
   let head =
     Printf.sprintf
-      "service: %d submitted, %d completed (%d dedup, %d cross-tenant), %d failed, %d rejected"
+      "service: %d submitted, %d completed (%d dedup, %d cross-tenant), %d failed, %d rejected, \
+       %d shed, %d deadline-exceeded, %d lost (%d watchdog kills)"
       s.st_submitted s.st_completed s.st_deduped s.st_cross_hits s.st_failed s.st_rejected
+      s.st_shed s.st_deadline_exceeded s.st_lost s.st_watchdog_kills
   in
   let lat =
     Printf.sprintf "latency s: p50 %.4f  p95 %.4f  p99 %.4f  (%d samples)"
@@ -582,22 +901,27 @@ let shutdown t =
     t.stopping <- true;
     let orphaned = t.pending in
     t.pending <- [];
-    List.iter
-      (fun j ->
-        let tn = tenant_of t j.j_tenant in
-        tn.tn_queued <- tn.tn_queued - 1;
-        tn.tn_failed <- tn.tn_failed + 1;
-        t.g_failed <- t.g_failed + 1;
-        Hashtbl.remove t.inflight j.j_key;
-        let r = Error "service shut down before the job ran" in
-        j.j_state <- Finished r;
-        List.iter (fun f -> f.j_state <- Finished r) (List.rev j.j_followers);
-        j.j_followers <- [])
-      orphaned;
+    List.iter (fun j -> fail_queued t j (Lost "service shut down before the job ran")) orphaned;
     Condition.broadcast t.cond;
     let pool = t.pool in
     t.pool <- [];
+    let wd = t.wd_domain in
+    t.wd_domain <- None;
     Mutex.unlock t.mu;
-    List.iter Domain.join pool
+    List.iter Domain.join pool;
+    Option.iter Domain.join wd
   end
   else Mutex.unlock t.mu
+
+let drain ?(grace_s = 5.0) t =
+  Mutex.lock t.mu;
+  t.draining <- true;
+  let deadline = Unix.gettimeofday () +. grace_s in
+  let busy () = t.pending <> [] || Hashtbl.length t.running > 0 in
+  (* Woken by job completions and by the watchdog tick, so the grace
+     bound is re-checked at tick granularity. *)
+  while (not t.stopping) && busy () && Unix.gettimeofday () < deadline do
+    Condition.wait t.cond t.mu
+  done;
+  Mutex.unlock t.mu;
+  shutdown t

@@ -32,12 +32,58 @@ type quota = {
 val default_quota : quota
 (** 4 in flight, 64 queued, unlimited writes. *)
 
+(** Structured refusals and failures. Admission refusals ([Queue_full],
+    [Shed], [Draining]) are returned by {!submit} and never become job
+    states; terminal job errors ([Deadline_exceeded], [Lost],
+    [Build_failed]) come back from {!await}. Each class has its own
+    counter in {!stats}, so issued requests are conserved:
+    [submitted = completed + failed + deadline_exceeded + lost +
+    queued + in_flight]. *)
+type reject =
+  | Queue_full of { tenant : string; queued : int; max_queued : int }
+  | Shed of { retry_after_ms : int; reason : string }
+      (** Load shedding: the estimated queue delay exceeded the shed
+          policy's budget. [retry_after_ms] hints when to come back. *)
+  | Deadline_exceeded of { stage : string; overrun_ms : int }
+      (** The request's [deadline_ms] passed while [stage] (["queued"]
+          or ["build"]). Mid-build expiry fires at the next tool-phase
+          boundary. *)
+  | Draining of string  (** the service is draining or shut down *)
+  | Lost of string
+      (** the build was written off: watchdog kill, shutdown orphan, or
+          an {!await} bound expired *)
+  | Build_failed of string  (** the compile itself raised *)
+
+val reject_message : reject -> string
+
+val reject_state : reject -> string
+(** Wire-state tag: [QUEUE_FULL], [SHED], [DEADLINE_EXCEEDED],
+    [DRAINING], [LOST] or [FAILED]. *)
+
+val reject_retry_after_ms : reject -> int option
+(** A backoff hint for the transient classes ([Shed] carries its own
+    estimate; [Queue_full]/[Draining] a nominal one); [None] for the
+    terminal classes, which a retry cannot fix. *)
+
+(** Overload shedding: refuse work whose estimated queue delay (pending
+    jobs at or above its priority plus running builds, amortized over
+    the worker pool at the EWMA build time) exceeds the budget. *)
+type shed_policy = {
+  sp_max_delay_s : float;  (** estimated-delay budget *)
+  sp_exempt_priority : int;  (** priority at or above this is never shed *)
+  sp_assumed_build_s : float;  (** EWMA seed before any build finished *)
+}
+
+val default_shed_policy : shed_policy
+(** 30 s budget, exempt priority 100, 50 ms assumed build. *)
+
 type t
 
 val create :
   ?cache:Build.cache ->
   ?cache_dir:string ->
   ?max_bytes:int ->
+  ?quarantine:bool ->
   ?fp:Pld_fabric.Floorplan.t ->
   ?queue_workers:int ->
   ?workers:int ->
@@ -46,18 +92,33 @@ val create :
   ?seed:int ->
   ?default_quota:quota ->
   ?quotas:(string * quota) list ->
+  ?shed:shed_policy ->
+  ?watchdog_timeout_s:float ->
+  ?watchdog_tick_s:float ->
+  ?faults:Pld_faults.Fault.t ->
   ?telemetry:Pld_telemetry.Telemetry.t ->
   unit ->
   t
 (** Start the service: [queue_workers] (default 2) domains begin
     pulling jobs immediately. [cache] shares an existing cache;
-    [cache_dir] opens a persistent one with LRU budget [max_bytes]
-    (passing both [cache] and [cache_dir] raises [Invalid_argument]);
-    with neither the service is in-memory only. [fp] (default U50),
+    [cache_dir] opens a persistent one with LRU budget [max_bytes] and
+    corrupt-entry [quarantine] mode (passing both [cache] and
+    [cache_dir] raises [Invalid_argument]); with neither the service
+    is in-memory only. [fp] (default U50),
     [workers]/[jobs]/[pace]/[seed] are the compile parameters every
     job runs with — a fixed seed is what makes equal graphs hit equal
     cache keys across tenants. [quotas] pre-registers per-tenant
-    quotas; unknown tenants get [default_quota]. *)
+    quotas; unknown tenants get [default_quota].
+
+    [shed] (default: no shedding) enables overload shedding. A
+    watchdog domain always runs (it expires queued deadlines and
+    paces timed waits at [watchdog_tick_s], default 10 ms); with
+    [watchdog_timeout_s] it additionally writes off any build running
+    longer than the limit — the job fails as {!Lost}, a replacement
+    worker is spawned, and the wedged worker is quarantined until its
+    build returns. [faults] interprets [hang=<graph>@<ms>] specs from
+    {!Pld_faults.Fault} as wedged tool invocations for exactly that
+    graph name — the chaos harness's lever. *)
 
 type outcome = {
   o_tenant : string;
@@ -82,21 +143,42 @@ val outcome_json : outcome -> Pld_telemetry.Json.t
 type ticket
 
 val submit :
-  t -> tenant:string -> ?priority:int -> ?level:Build.level -> Graph.t -> (ticket, string) result
+  t ->
+  tenant:string ->
+  ?priority:int ->
+  ?level:Build.level ->
+  ?deadline_ms:int ->
+  Graph.t ->
+  (ticket, reject) result
 (** Enqueue a compile request. Higher [priority] (default 0) is served
-    first; equal priorities are FIFO. Admission fails — and counts as a
-    rejection — when the tenant already has [max_queued] admitted jobs
-    waiting or the service is shutting down. A request identical to an
-    in-flight one (same graph source and level) is always admitted: it
-    consumes no queue slot and no worker, it just waits for the primary
-    build. *)
+    first; equal priorities are FIFO. Admission fails with
+    {!Queue_full} when the tenant already has [max_queued] admitted
+    jobs waiting, with {!Shed} when the shed policy's delay budget is
+    blown, and with {!Draining} when the service is draining or shut
+    down. A request identical to an in-flight one (same graph source
+    and level) is always admitted: it consumes no queue slot and no
+    worker, it just waits for the primary build (whose deadline
+    governs). [deadline_ms] starts the request's time budget at
+    admission; an expired job fails with {!Deadline_exceeded} — from
+    the queue within a watchdog tick, from a running build at the next
+    tool-phase boundary. *)
 
-val await : t -> ticket -> (outcome, string) result
-(** Block until the ticket's job finishes (or is failed by
-    {!shutdown}). May be called from any domain, repeatedly. *)
+val await : ?timeout_s:float -> t -> ticket -> (outcome, reject) result
+(** Block until the ticket's job finishes (or is failed by the
+    deadline machinery, the watchdog or {!shutdown}). May be called
+    from any domain, repeatedly. The wait is deadline-aware: it gives
+    up with {!Lost} after [timeout_s] when given, else 30 s past the
+    job's own deadline when it has one; with neither it blocks
+    indefinitely. *)
 
 val compile :
-  t -> tenant:string -> ?priority:int -> ?level:Build.level -> Graph.t -> (outcome, string) result
+  t ->
+  tenant:string ->
+  ?priority:int ->
+  ?level:Build.level ->
+  ?deadline_ms:int ->
+  Graph.t ->
+  (outcome, reject) result
 (** [submit] then [await]. *)
 
 type tenant_stats = {
@@ -116,7 +198,11 @@ type stats = {
   st_submitted : int;
   st_completed : int;
   st_failed : int;
-  st_rejected : int;
+  st_rejected : int;  (** queue-full and draining refusals *)
+  st_shed : int;  (** overload-shed refusals (not in [st_rejected]) *)
+  st_deadline_exceeded : int;  (** jobs expired queued or mid-build *)
+  st_lost : int;  (** watchdog kills and shutdown orphans *)
+  st_watchdog_kills : int;  (** wedged builds written off *)
   st_deduped : int;
   st_cross_hits : int;
   st_queue_depth : int;
@@ -138,7 +224,17 @@ val render_stats : stats -> string list
 val cache : t -> Build.cache
 (** The shared cache (the full-write view). *)
 
+val draining : t -> bool
+(** True once {!drain} or {!shutdown} has begun: new submissions are
+    refused with {!Draining}. *)
+
+val drain : ?grace_s:float -> t -> unit
+(** Graceful stop: refuse new work (honest {!Draining} rejections),
+    wait up to [grace_s] (default 5 s) for queued and running jobs to
+    finish, then {!shutdown}. Jobs still queued when the grace budget
+    runs out fail as {!Lost}. *)
+
 val shutdown : t -> unit
-(** Stop accepting work, fail every still-queued job with an error,
-    let running builds finish, and join the worker domains.
+(** Stop accepting work, fail every still-queued job as {!Lost}, let
+    running builds finish, and join the worker and watchdog domains.
     Idempotent. *)

@@ -302,6 +302,125 @@ let test_store_two_process_hammer () =
       (Store.find t ~kind:"page" ~key)
   done
 
+(* ---------- store: crash recovery and scrub ---------- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then (
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path)
+  else Sys.remove path
+
+(* Like [fresh_dir], but also clears store.quarantine/ left by a
+   previous run. *)
+let fresh_deep_dir name =
+  let dir = ".test-store-" ^ name in
+  if Sys.file_exists dir then rm_rf dir;
+  dir
+
+let damage_truncate path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  Unix.ftruncate fd (len / 2);
+  Unix.close fd
+
+let damage_flip_last_byte path =
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let n = String.length data in
+  let flipped = Char.chr (Char.code data.[n - 1] lxor 0x40) in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub data 0 (n - 1));
+      Out_channel.output_char oc flipped)
+
+let test_store_killed_mid_insert () =
+  (* SIGKILL a child hammering [put]: atomic tmp+rename means the
+     survivor may see a clean miss for the in-flight key, but never a
+     torn entry — and a scrub must find nothing to quarantine. *)
+  let dir = fresh_deep_dir "sigkill" in
+  ignore (Store.open_ ~dir ());
+  let anchor = Digest.of_string "anchor" in
+  let payload i = Printf.sprintf "mid-%d-" i ^ String.make 2048 'x' in
+  let r, w = Unix.pipe () in
+  (match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      let t = Store.open_ ~dir () in
+      Store.put t ~kind:"page" ~key:anchor "anchor payload";
+      ignore (Unix.write w (Bytes.of_string "!") 0 1);
+      let i = ref 0 in
+      while true do
+        Store.put t ~kind:"page" ~key:(Digest.of_string (Printf.sprintf "mid%d" !i)) (payload !i);
+        incr i
+      done;
+      Unix._exit 0
+  | pid ->
+      Unix.close w;
+      (* Wait for the anchor write, let the hammer get going, then
+         kill mid-stream. *)
+      ignore (Unix.read r (Bytes.create 1) 0 1);
+      Unix.close r;
+      Unix.sleepf 0.02;
+      Unix.kill pid Sys.sigkill;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WSIGNALED s -> check_bool "child died by SIGKILL" true (s = Sys.sigkill)
+      | _ -> Alcotest.fail "child exited instead of being killed"));
+  let t = Store.open_ ~dir ~quarantine:true () in
+  Alcotest.(check (option string)) "anchor intact" (Some "anchor payload")
+    (Store.find t ~kind:"page" ~key:anchor);
+  check_bool "child made progress" true (Store.count t >= 1);
+  (* Every key the child may have been writing: old value or clean
+     miss, never garbage. *)
+  for i = 0 to 4095 do
+    match (Store.find t ~kind:"page" ~key:(Digest.of_string (Printf.sprintf "mid%d" i)) : string option) with
+    | Some v -> Alcotest.(check string) (Printf.sprintf "mid%d intact" i) (payload i) v
+    | None -> ()
+  done;
+  let r = Store.scrub t in
+  check_int "kill left no torn entries" 0 r.Store.sc_quarantined
+
+let test_store_scrub_quarantines_exact_damage () =
+  let module T = Pld_telemetry.Telemetry in
+  let tele = T.create () in
+  let dir = fresh_deep_dir "scrubunit" in
+  (* Damage behind the live handle's back — a reopen would already
+     sweep the invalid entries, and the point here is that scrub finds
+     them on demand. *)
+  let t = Store.open_ ~dir ~quarantine:true ~telemetry:tele () in
+  let key i = Digest.of_string (Printf.sprintf "scrub%d" i) in
+  for i = 0 to 3 do
+    Store.put t ~kind:"page" ~key:(key i) (Printf.sprintf "payload %d" i)
+  done;
+  damage_truncate (entry_file dir ~kind:"page" ~key:(key 0));
+  damage_flip_last_byte (entry_file dir ~kind:"page" ~key:(key 1));
+  let r = Store.scrub t in
+  check_int "all entries scanned" 4 r.Store.sc_scanned;
+  check_int "survivors pass" 2 r.Store.sc_ok;
+  check_int "exactly the damaged pair quarantined" 2 r.Store.sc_quarantined;
+  check_int "telemetry agrees" 2 (T.counter_value tele "store.quarantined");
+  check_int "evidence preserved" 2 (Array.length (Sys.readdir r.Store.sc_quarantine_dir));
+  Alcotest.(check (option string)) "survivor reads" (Some "payload 2")
+    (Store.find t ~kind:"page" ~key:(key 2));
+  Alcotest.(check (option string)) "victim is a clean miss" None
+    (Store.find t ~kind:"page" ~key:(key 0));
+  check_int "count excludes quarantined" 2 (Store.count t);
+  (* A second scrub finds nothing left to do. *)
+  let r2 = Store.scrub t in
+  check_int "scrub is idempotent" 0 r2.Store.sc_quarantined
+
+let test_store_quarantine_mode_preserves_evidence () =
+  (* In quarantine mode a corrupt entry found by [find] is moved aside
+     for the post-mortem, not deleted (contrast
+     [test_store_corruption_evicted]). *)
+  let dir = fresh_deep_dir "evidence" in
+  let t = Store.open_ ~dir ~quarantine:true () in
+  let key = Digest.of_string "victim" in
+  Store.put t ~kind:"page" ~key (String.make 64 'a');
+  let path = entry_file dir ~kind:"page" ~key in
+  damage_flip_last_byte path;
+  Alcotest.(check (option string)) "miss" None (Store.find t ~kind:"page" ~key);
+  check_bool "entry gone from the store" false (Sys.file_exists path);
+  check_int "entry moved into quarantine" 1
+    (Array.length (Sys.readdir (Store.quarantine_dir t)))
+
 (* ---------- job graphs ---------- *)
 
 let const_node id v = Jobgraph.node ~id ~kind:"t" (fun _ -> v)
@@ -512,6 +631,12 @@ let suite =
     ("store: LRU order survives reopen", `Quick, test_store_lru_survives_reopen);
     ("store: stats and telemetry counters", `Quick, test_store_stats_and_telemetry);
     ("store: two processes share one directory", `Slow, test_store_two_process_hammer);
+    (* The forked tests must precede every domain-spawning test in the
+       whole binary: OCaml 5 forbids Unix.fork once any domain was
+       ever created (see lib/service/chaos.mli, forked_names). *)
+    ("store: SIGKILL mid-insert leaves no torn entry", `Slow, test_store_killed_mid_insert);
+    ("store: scrub quarantines exactly the damage", `Quick, test_store_scrub_quarantines_exact_damage);
+    ("store: quarantine mode preserves evidence", `Quick, test_store_quarantine_mode_preserves_evidence);
     ("jobgraph: topological order", `Quick, test_jobgraph_order);
     ("jobgraph: duplicate id rejected", `Quick, test_jobgraph_duplicate_id);
     ("jobgraph: unknown dep rejected", `Quick, test_jobgraph_unknown_dep);

@@ -367,6 +367,7 @@ let test_sentinel_save_check_perturb () =
       jobs = 1;
       run_perf = false;
       run_service = false;
+      run_chaos = false;
     }
   in
   let base = Sentinel.measure ~suite:"test" opts in

@@ -9,13 +9,44 @@ module Session = Pld_core.Session
 module Runner = Pld_core.Runner
 module Service = Pld_service.Service
 module Traffic = Pld_service.Traffic
+module Client = Pld_service.Client
+module Fault = Pld_faults.Fault
 module T = Pld_telemetry.Telemetry
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let ok_exn = function Ok v -> v | Error e -> Alcotest.failf "unexpected service error: %s" e
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected service error: %s" (Service.reject_message e)
+
 let chain ops = Traffic.chain_graph ops
+
+let faults spec =
+  match Fault.parse spec with
+  | Ok s -> Fault.create ~seed:7 s
+  | Error msg -> Alcotest.failf "bad fault spec %S: %s" spec msg
+
+(* Poll until [f ()] holds; the service's own watchdog tick is 10 ms so
+   2 ms keeps us well inside any deadline the test asserts on. *)
+let wait_until ?(timeout_s = 5.0) f =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if f () then true
+    else if Unix.gettimeofday () -. t0 > timeout_s then false
+    else (
+      Unix.sleepf 0.002;
+      go ())
+  in
+  go ()
+
+(* The ledger the chaos harness pins: every submitted request must end
+   up in exactly one terminal or live bucket. *)
+let check_conserved svc =
+  let st = Service.stats svc in
+  check_int "requests conserved" st.Service.st_submitted
+    (st.Service.st_completed + st.Service.st_failed + st.Service.st_deadline_exceeded
+   + st.Service.st_lost + st.Service.st_queue_depth + st.Service.st_in_flight)
 
 (* Every recompiled job tiles one modeled track with its phase spans
    (hls, syn, pnr, ...) under cat "flow"; cache hits emit none. The
@@ -124,9 +155,13 @@ let test_admission_rejects_over_quota () =
   let rejected, admitted = List.partition Result.is_error results in
   check_int "queue bound enforced" 1 (List.length rejected);
   (match rejected with
-  | [ Error e ] ->
-      check_bool (Printf.sprintf "error names the full queue: %s" e) true
-        (String.length e > 0)
+  | [ Error (Service.Queue_full { tenant; queued; max_queued } as rej) ] ->
+      check_bool "rejection names the tenant" true (String.equal tenant "alice");
+      check_int "rejection reports the bound" 1 max_queued;
+      check_bool "rejection reports a full queue" true (queued >= max_queued);
+      check_bool "queue-full is retryable" true
+        (Option.is_some (Service.reject_retry_after_ms rej))
+  | [ Error rej ] -> Alcotest.failf "expected Queue_full, got %s" (Service.reject_message rej)
   | _ -> Alcotest.fail "expected one rejection");
   List.iter (fun t -> ignore (ok_exn (Service.await svc (ok_exn t)))) admitted;
   ignore (ok_exn (Service.await svc blocker));
@@ -156,6 +191,128 @@ let test_priority_order () =
     true
     (hi.Service.o_queue_seconds < lo.Service.o_queue_seconds)
 
+(* ---------- robustness: deadlines, watchdog, shed, drain ---------- *)
+
+let test_deadline_expires_in_queue () =
+  (* A wedged build (hang injection) holds the single worker; jobs
+     queued behind it with a 50 ms deadline must expire in place, in
+     the "queued" stage, without ever dispatching. *)
+  let svc = Service.create ~queue_workers:1 ~jobs:1 ~faults:(faults "hang=svc-8@300") () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  let blocker = ok_exn (Service.submit svc ~tenant:"t" (chain [ 8 ])) in
+  check_bool "blocker dispatched" true
+    (wait_until (fun () -> (Service.stats svc).Service.st_in_flight = 1));
+  let doomed =
+    List.map (fun op -> ok_exn (Service.submit svc ~tenant:"t" ~deadline_ms:50 (chain [ op ])))
+      [ 0; 1 ]
+  in
+  List.iter
+    (fun ticket ->
+      match Service.await svc ticket with
+      | Error (Service.Deadline_exceeded { stage; overrun_ms }) ->
+          check_bool "expired while queued" true (String.equal stage "queued");
+          check_bool "overrun is non-negative" true (overrun_ms >= 0)
+      | Ok _ -> Alcotest.fail "expected a queued-deadline expiry"
+      | Error rej ->
+          Alcotest.failf "expected Deadline_exceeded, got %s" (Service.reject_message rej))
+    doomed;
+  ignore (ok_exn (Service.await svc blocker));
+  let st = Service.stats svc in
+  check_int "expiries counted" 2 st.Service.st_deadline_exceeded;
+  check_conserved svc
+
+let test_deadline_expires_mid_build () =
+  (* The hang sits inside the build, so the deadline can only fire at
+     a tool-phase boundary — the stage must say so. *)
+  let svc = Service.create ~queue_workers:1 ~jobs:1 ~faults:(faults "hang=svc-7@250") () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  (match Service.compile svc ~tenant:"t" ~deadline_ms:80 (chain [ 7 ]) with
+  | Error (Service.Deadline_exceeded { stage; _ }) ->
+      check_bool "expired mid-build" true (String.equal stage "build")
+  | Ok _ -> Alcotest.fail "expected a mid-build deadline expiry"
+  | Error rej -> Alcotest.failf "expected Deadline_exceeded, got %s" (Service.reject_message rej));
+  check_int "expiry counted" 1 (Service.stats svc).Service.st_deadline_exceeded;
+  check_conserved svc
+
+let test_watchdog_replaces_wedged_worker () =
+  let svc =
+    Service.create ~queue_workers:1 ~jobs:1 ~watchdog_timeout_s:0.12 ~watchdog_tick_s:0.01
+      ~faults:(faults "hang=svc-9@500") ()
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  (match Service.compile svc ~tenant:"t" (chain [ 9 ]) with
+  | Error (Service.Lost _) -> ()
+  | Ok _ -> Alcotest.fail "expected the watchdog to write the build off"
+  | Error rej -> Alcotest.failf "expected Lost, got %s" (Service.reject_message rej));
+  (* The wedged worker was quarantined and replaced: the service must
+     still build. *)
+  let o = ok_exn (Service.compile svc ~tenant:"t" (chain [ 1 ])) in
+  check_bool "replacement worker builds" true (o.Service.o_recompiled > 0);
+  let st = Service.stats svc in
+  check_int "one watchdog kill" 1 st.Service.st_watchdog_kills;
+  check_int "one job lost" 1 st.Service.st_lost;
+  check_conserved svc
+
+let test_shed_refuses_with_hint () =
+  let shed =
+    { Service.sp_max_delay_s = 0.2; sp_exempt_priority = 50; sp_assumed_build_s = 1.0 }
+  in
+  let svc = Service.create ~queue_workers:1 ~jobs:1 ~shed ~faults:(faults "hang=svc-6@250") () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  let blocker = ok_exn (Service.submit svc ~tenant:"t" (chain [ 6 ])) in
+  check_bool "blocker dispatched" true
+    (wait_until (fun () -> (Service.stats svc).Service.st_in_flight = 1));
+  (* One assumed-1s build over one worker blows a 0.2 s budget. *)
+  (match Service.submit svc ~tenant:"mob" (chain [ 10 ]) with
+  | Error (Service.Shed { retry_after_ms; _ }) ->
+      check_bool "hint is positive" true (retry_after_ms > 0)
+  | Ok _ -> Alcotest.fail "expected the submission to be shed"
+  | Error rej -> Alcotest.failf "expected Shed, got %s" (Service.reject_message rej));
+  (* At or above the exempt priority, work is never shed. *)
+  let vip = ok_exn (Service.submit svc ~tenant:"vip" ~priority:50 (chain [ 20 ])) in
+  ignore (ok_exn (Service.await svc blocker));
+  ignore (ok_exn (Service.await svc vip));
+  let st = Service.stats svc in
+  check_int "shed counted separately" 1 st.Service.st_shed;
+  check_int "shed is not a rejection" 0 st.Service.st_rejected;
+  check_conserved svc
+
+let test_drain_refuses_honestly () =
+  let svc = Service.create ~queue_workers:1 () in
+  let o = ok_exn (Service.compile svc ~tenant:"t" (chain [ 2 ])) in
+  check_bool "build before drain" true (o.Service.o_recompiled > 0);
+  Service.drain ~grace_s:1.0 svc;
+  check_bool "draining reported" true (Service.draining svc);
+  (match Service.submit svc ~tenant:"t" (chain [ 3 ]) with
+  | Error (Service.Draining _ as rej) ->
+      check_bool "DRAINING on the wire" true
+        (String.equal (Service.reject_state rej) "DRAINING")
+  | Ok _ -> Alcotest.fail "expected a draining refusal"
+  | Error rej -> Alcotest.failf "expected Draining, got %s" (Service.reject_message rej));
+  Service.shutdown svc;
+  check_conserved svc
+
+(* ---------- client backoff ---------- *)
+
+let test_backoff_deterministic () =
+  let p = { Client.default_backoff with Client.b_seed = 42 } in
+  let schedule b = List.init b.Client.b_attempts (Client.backoff_delay b) in
+  (* Equal seeds give equal schedules — what makes a chaos run
+     reproducible end to end. *)
+  Alcotest.(check (list (float 1e-12))) "equal seeds, equal schedules" (schedule p) (schedule p);
+  check_bool "seed changes the schedule" true
+    (schedule p <> schedule { p with Client.b_seed = 43 });
+  (* Every delay sits inside the jittered exponential envelope. *)
+  List.iteri
+    (fun attempt d ->
+      let raw = min p.Client.b_cap_s (p.Client.b_base_s *. (2.0 ** float_of_int attempt)) in
+      check_bool (Printf.sprintf "attempt %d below envelope" attempt) true (d <= raw +. 1e-12);
+      check_bool (Printf.sprintf "attempt %d above jitter floor" attempt) true
+        (d >= ((1.0 -. p.Client.b_jitter) *. raw) -. 1e-12))
+    (schedule p);
+  (* Growth is capped: far-out attempts never exceed the cap. *)
+  check_bool "cap holds" true (Client.backoff_delay p 30 <= p.Client.b_cap_s +. 1e-12)
+
 (* ---------- percentile ---------- *)
 
 let test_percentile () =
@@ -174,5 +331,11 @@ let suite =
     ("service: identical in-flight requests dedup", `Slow, test_inflight_dedup);
     ("service: admission control rejects over quota", `Slow, test_admission_rejects_over_quota);
     ("service: higher priority dispatches first", `Slow, test_priority_order);
+    ("service: queued deadline expires in place", `Slow, test_deadline_expires_in_queue);
+    ("service: deadline fires at a tool-phase boundary", `Slow, test_deadline_expires_mid_build);
+    ("service: watchdog writes off a wedged build", `Slow, test_watchdog_replaces_wedged_worker);
+    ("service: overload shed carries a retry hint", `Slow, test_shed_refuses_with_hint);
+    ("service: draining refusals are honest", `Slow, test_drain_refuses_honestly);
+    ("client: backoff schedule is seeded and capped", `Quick, test_backoff_deterministic);
     ("service: percentile", `Quick, test_percentile);
   ]
