@@ -14,6 +14,8 @@ module R = Pld_core.Runner
 module S = Pld_core.Session
 module Protocol = Pld_service.Protocol
 module T = Pld_telemetry.Telemetry
+module Json = Pld_telemetry.Json
+module Log = Pld_telemetry.Log
 module Profile = Pld_insight.Profile
 module Trace = Pld_insight.Trace
 module Critical_path = Pld_insight.Critical_path
@@ -23,6 +25,18 @@ open Pld_rosetta
 
 let fp = Pld_fabric.Floorplan.u50 ()
 let hw = Pld_ir.Graph.Hw { page_hint = None }
+
+(* CLI errors go through the structured logger (rendered to stderr, as
+   before); machine consumers can tail the same events via the JSON
+   sink if an embedder installs one. *)
+let logger =
+  let l = Log.default in
+  Log.set_text_sink l (Some (fun line -> Printf.eprintf "pldc: %s\n%!" line));
+  l
+
+let die ?(code = 1) msg =
+  Log.error logger ~sub:"cli" msg;
+  exit code
 
 let level_conv =
   let parse = function
@@ -246,16 +260,116 @@ let retries_arg =
            backoff; transport failures and transient refusals (SHED, DRAINING, QUEUE_FULL) are \
            retried, honoring the server's retry_after_ms hint. 1 = no retry.")
 
-let remote_call ~socket ~retries envelope =
+(* Every remote request carries a trace id (minted here unless the
+   caller brought one): the daemon stitches its admission verdict,
+   queue wait and build phases to the same id, and the client's
+   rpc.attempt spans carry it too — one id, end to end. *)
+let with_trace envelope =
+  match envelope.Protocol.trace with
+  | Some _ -> envelope
+  | None -> { envelope with Protocol.trace = Some (Log.mint_trace_id ()) }
+
+let remote_rpc ~socket ~retries envelope =
   let module C = Pld_service.Client in
   let backoff = { C.default_backoff with C.b_attempts = max 1 retries } in
-  match C.rpc_retry ~backoff ~socket envelope with
-  | Error msg ->
-      Printf.eprintf "pldc: %s\n" msg;
-      exit 1
-  | Ok reply ->
-      print_endline (Pld_telemetry.Json.pretty reply.Protocol.body);
-      if not reply.Protocol.ok then exit 1
+  match C.rpc_retry ~backoff ~socket (with_trace envelope) with
+  | Error msg -> die msg
+  | Ok reply -> reply
+
+let remote_call ~socket ~retries envelope =
+  let reply = remote_rpc ~socket ~retries envelope in
+  print_endline (Json.pretty reply.Protocol.body);
+  if not reply.Protocol.ok then exit 1
+
+(* Admin verbs: one-shot request, fail loudly on an error reply. *)
+let admin_call ~socket ~retries req =
+  let reply = remote_rpc ~socket ~retries (Protocol.envelope req) in
+  if not reply.Protocol.ok then die (Json.to_string reply.Protocol.body);
+  reply.Protocol.body
+
+(* ---------- daemon observability ---------- *)
+
+let require_connect = function
+  | Some s -> s
+  | None -> die ~code:2 "--connect SOCKET is required for daemon commands"
+
+let json_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print the raw JSON document instead of the rendered summary.")
+
+let status_cmd =
+  let doc = "Show a running daemon's live status: queue, counters, tenants, in-flight builds." in
+  let run connect retries json =
+    let socket = require_connect connect in
+    let body = admin_call ~socket ~retries Protocol.Status in
+    if json then print_endline (Json.pretty body)
+    else List.iter print_endline (Protocol.render_status body)
+  in
+  Cmd.v (Cmd.info "status" ~doc) Term.(const run $ connect_arg $ retries_arg $ json_flag_arg)
+
+let top_cmd =
+  let doc = "Periodically refresh the daemon status summary (a tiny top(1) for pldd)." in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between refreshes.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N" ~doc:"Stop after $(docv) refreshes (0 = until interrupted).")
+  in
+  let run connect retries interval count =
+    let socket = require_connect connect in
+    let rec loop n =
+      let body = admin_call ~socket ~retries Protocol.Status in
+      (* Home-and-clear, so the summary repaints in place. *)
+      if n > 0 || count <> 1 then print_string "\027[2J\027[H";
+      List.iter print_endline (Protocol.render_status body);
+      flush stdout;
+      if count = 0 || n + 1 < count then begin
+        Unix.sleepf (Float.max 0.05 interval);
+        loop (n + 1)
+      end
+    in
+    loop 0
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ connect_arg $ retries_arg $ interval_arg $ count_arg)
+
+let metrics_cmd =
+  let doc =
+    "Fetch the daemon's metrics registry: Prometheus text exposition by default, the JSON \
+     document with --json. Also refreshes the daemon's --metrics-out snapshot."
+  in
+  let run connect retries json =
+    let socket = require_connect connect in
+    let body = admin_call ~socket ~retries Protocol.Metrics in
+    let field name = match body with Json.Obj fs -> List.assoc_opt name fs | _ -> None in
+    if json then
+      print_endline (Json.pretty (Option.value ~default:Json.Null (field "metrics")))
+    else
+      match field "prometheus" with
+      | Some (Json.String text) -> print_string text
+      | _ -> die "malformed metrics reply (no prometheus exposition)"
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ connect_arg $ retries_arg $ json_flag_arg)
+
+let health_cmd =
+  let doc = "Probe daemon liveness; exits 1 when the daemon is draining or stopping." in
+  let run connect retries =
+    let socket = require_connect connect in
+    let body = admin_call ~socket ~retries Protocol.Health in
+    print_endline (Json.pretty body);
+    let ok =
+      match body with
+      | Json.Obj fs -> ( match List.assoc_opt "ok" fs with Some (Json.Bool b) -> b | _ -> false)
+      | _ -> false
+    in
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "health" ~doc) Term.(const run $ connect_arg $ retries_arg)
 
 let list_cmd =
   let doc = "List the bundled Rosetta applications." in
@@ -301,9 +415,7 @@ let source_cmd =
    internal one. *)
 let open_cache dir =
   try B.create_cache ?dir ()
-  with Pld_engine.Store.Store_error msg ->
-    Printf.eprintf "pldc: bad --cache-dir: %s\n" msg;
-    exit 1
+  with Pld_engine.Store.Store_error msg -> die (Printf.sprintf "bad --cache-dir: %s" msg)
 
 let compile_cmd =
   let doc = "Compile an application at the given level and report phases/areas." in
@@ -355,19 +467,14 @@ let run_cmd =
     let app = S.compile session ~level ?faults ~max_retries graph in
     let dr =
       try S.link session ?faults ~max_retries app
-      with L.Deploy_failed m ->
-        Printf.eprintf "pldc: deploy failed: %s\n" m;
-        exit 1
+      with L.Deploy_failed m -> die (Printf.sprintf "deploy failed: %s" m)
     in
     let inputs = b.Suite.workload () in
     let r =
       try S.run session ?faults dr ~inputs with
-      | R.Stalled d ->
-          prerr_endline (R.describe_stall d);
-          exit 1
+      | R.Stalled d -> die (R.describe_stall d)
       | R.Softcore_trap (inst, tr) ->
-          Printf.eprintf "pldc: softcore %s trapped: %s\n" inst (Pld_riscv.Cpu.describe_trap tr);
-          exit 1
+          die (Printf.sprintf "softcore %s trapped: %s" inst (Pld_riscv.Cpu.describe_trap tr))
     in
     Printf.printf "%s %s: load+link %.4fs, %.0f MHz, %.4f ms/frame (bottleneck %s)\n" b.Suite.name
       (B.level_name level) dr.L.seconds r.R.perf.R.fmax_mhz r.R.perf.R.ms_per_input
@@ -421,9 +528,7 @@ let cache_cmd =
     in
     let run dir =
       match Store.open_ ~quarantine:true ~dir () with
-      | exception Store.Store_error msg ->
-          Printf.eprintf "pldc: bad --cache-dir: %s\n" msg;
-          exit 2
+      | exception Store.Store_error msg -> die ~code:2 (Printf.sprintf "bad --cache-dir: %s" msg)
       | st ->
           let r = Store.scrub st in
           print_endline (Store.render_scrub r);
@@ -450,15 +555,9 @@ let analyze_cmd =
   let run file top workers tree =
     let spans =
       try Trace.load file with
-      | Sys_error m ->
-          Printf.eprintf "pldc: cannot read trace: %s\n" m;
-          exit 1
-      | Pld_telemetry.Json.Parse_error m ->
-          Printf.eprintf "pldc: %s is not valid JSON: %s\n" file m;
-          exit 1
-      | Trace.Malformed m ->
-          Printf.eprintf "pldc: %s is not a pldc trace: %s\n" file m;
-          exit 1
+      | Sys_error m -> die (Printf.sprintf "cannot read trace: %s" m)
+      | Json.Parse_error m -> die (Printf.sprintf "%s is not valid JSON: %s" file m)
+      | Trace.Malformed m -> die (Printf.sprintf "%s is not a pldc trace: %s" file m)
     in
     let n_spans = List.length (List.filter (fun (s : T.span) -> s.T.dur_us <> None) spans) in
     Printf.printf "%s: %d spans, %d instants, %d executor run(s)\n" file n_spans
@@ -576,10 +675,8 @@ let baseline_check_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Write machine-readable findings (REGRESSION.json).")
   in
   let run file opts exact_only out =
-    if not (Sys.file_exists file) then begin
-      Printf.eprintf "pldc: no baseline at %s (record one with `pldc baseline save`)\n" file;
-      exit 2
-    end;
+    if not (Sys.file_exists file) then
+      die ~code:2 (Printf.sprintf "no baseline at %s (record one with `pldc baseline save`)" file);
     let current = Sentinel.measure opts in
     let verdict = Sentinel.check ~base_file:file ~exact_only ?out current in
     print_string (Baseline.render_verdict verdict);
@@ -661,9 +758,7 @@ let fuzz_cmd =
     let pairs =
       match F.parse_level_pairs pairs_s with
       | Ok p -> p
-      | Error e ->
-          Printf.eprintf "pldc: bad --level-pairs: %s\n" e;
-          exit 2
+      | Error e -> die ~code:2 (Printf.sprintf "bad --level-pairs: %s" e)
     in
     let opts =
       {
@@ -699,5 +794,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd; cache_cmd; analyze_cmd;
-            baseline_cmd; fuzz_cmd;
+            baseline_cmd; fuzz_cmd; status_cmd; top_cmd; metrics_cmd; health_cmd;
           ]))

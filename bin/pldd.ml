@@ -20,6 +20,7 @@ open Cmdliner
 module B = Pld_core.Build
 module T = Pld_telemetry.Telemetry
 module Json = Pld_telemetry.Json
+module Log = Pld_telemetry.Log
 module Fault = Pld_faults.Fault
 module Store = Pld_engine.Store
 module Service = Pld_service.Service
@@ -57,7 +58,8 @@ let handle_request server (e : Protocol.envelope) =
       | Ok (g, workload), Ok level -> (
           match
             Service.compile (Server.service server) ~tenant:e.Protocol.tenant
-              ~priority:e.Protocol.priority ?deadline_ms:e.Protocol.deadline_ms ~level g
+              ~priority:e.Protocol.priority ?deadline_ms:e.Protocol.deadline_ms
+              ?trace_id:e.Protocol.trace ~level g
           with
           | Error rej -> Server.reply_of_reject ~id rej
           | Ok outcome -> (
@@ -88,7 +90,34 @@ let handle_request server (e : Protocol.envelope) =
 
 let serve socket cache_dir max_bytes scrub_on_start queue_workers jobs workers pace seed
     max_in_flight max_queued write_budget shed_max_delay watchdog_timeout drain_grace faults_arg
-    metrics_out =
+    metrics_out metrics_interval log_level log_json flight_out =
+  (* The structured logger is the daemon's one mouth: humans get
+     rendered lines on stderr, machines get JSONL via --log-json, and
+     post-mortems get the ring via --flight-out. Configure it before
+     anything can fail so even startup errors are structured. *)
+  let logger = Log.default in
+  (match Log.level_of_name log_level with
+  | Some l -> Log.set_level logger l
+  | None ->
+      Printf.eprintf "pldd: unknown --log-level %S (want debug|info|warn|error)\n" log_level;
+      exit 1);
+  Log.set_text_sink logger (Some (fun line -> Printf.eprintf "pldd: %s\n%!" line));
+  let die msg =
+    Log.error logger ~sub:"daemon" msg;
+    exit 1
+  in
+  (match log_json with
+  | None -> ()
+  | Some file -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 file with
+      | oc ->
+          Log.set_json_sink logger
+            (Some
+               (fun line ->
+                 output_string oc line;
+                 output_char oc '\n';
+                 flush oc))
+      | exception Sys_error msg -> die (Printf.sprintf "bad --log-json: %s" msg)));
   let quota =
     {
       Service.max_in_flight;
@@ -102,9 +131,7 @@ let serve socket cache_dir max_bytes scrub_on_start queue_workers jobs workers p
     | Some spec -> (
         match Fault.parse spec with
         | Ok s -> Some (Fault.create ~seed s)
-        | Error msg ->
-            Printf.eprintf "pldd: bad --faults: %s\n" msg;
-            exit 1)
+        | Error msg -> die (Printf.sprintf "bad --faults: %s" msg))
   in
   let shed =
     match shed_max_delay with
@@ -125,29 +152,31 @@ let serve socket cache_dir max_bytes scrub_on_start queue_workers jobs workers p
               print_endline ("pldd: " ^ Store.render_scrub (Store.scrub st))
           | _ -> ());
           Some c
-        with Store.Store_error msg ->
-          Printf.eprintf "pldd: bad --cache-dir: %s\n" msg;
-          exit 1)
+        with Store.Store_error msg -> die (Printf.sprintf "bad --cache-dir: %s" msg))
   in
+  (* Armed after flag validation so a usage error cannot trip a dump;
+     from here on, any Error-level event (a watchdog kill, a fatal
+     serve failure) writes the last-N-events + metrics flight file. *)
+  (match flight_out with
+  | Some file -> Log.arm_flight logger ~telemetry:T.default ~file ()
+  | None -> ());
   let svc =
     Service.create ?cache ~queue_workers ~jobs ~workers ~pace ~seed ~default_quota:quota ?shed
-      ?watchdog_timeout_s:watchdog_timeout ?faults ()
+      ?watchdog_timeout_s:watchdog_timeout ?faults ~logger ()
   in
   let on_listen () =
     Printf.printf "pldd: listening on %s (%d queue workers%s)\n%!" socket (max 1 queue_workers)
       (match cache_dir with Some d -> ", store " ^ d | None -> ", in-memory cache")
   in
   let result =
-    Server.serve ~socket ~drain_grace_s:drain_grace ~on_listen ~service:svc
-      ~handler:handle_request ()
+    Server.serve ~socket ~drain_grace_s:drain_grace ~logger ?metrics_out
+      ~metrics_interval_s:metrics_interval ~on_listen ~service:svc ~handler:handle_request ()
   in
-  (match metrics_out with Some file -> T.write_metrics T.default ~file | None -> ());
   match result with
   | Ok () -> print_endline "pldd: stopped"
   | Error msg ->
       Service.shutdown svc;
-      Printf.eprintf "pldd: %s\n" msg;
-      exit 1
+      die msg
 
 let () =
   let socket_arg =
@@ -260,7 +289,40 @@ let () =
       value
       & opt (some string) None
       & info [ "metrics-out" ] ~docv:"FILE"
-          ~doc:"On shutdown, write the metrics registry (incl. store and service stats) as JSON.")
+          ~doc:
+            "Keep a JSON metrics snapshot (incl. store and service stats) in $(docv): rewritten \
+             atomically every --metrics-interval, on every 'metrics' request, and once more at \
+             shutdown.")
+  in
+  let metrics_interval_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:"How often the --metrics-out snapshot is refreshed.")
+  in
+  let log_level_arg =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Structured-log threshold: debug, info, warn or error.")
+  in
+  let log_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-json" ] ~docv:"FILE"
+          ~doc:
+            "Append every structured log event to $(docv) as one JSON object per line (stderr \
+             keeps the human rendering).")
+  in
+  let flight_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-out" ] ~docv:"FILE"
+          ~doc:
+            "Arm the flight recorder: on any error-level event (watchdog kill, fatal serve \
+             failure), dump the recent log ring plus a metrics snapshot to $(docv).")
   in
   let doc = "PLD compile-as-a-service daemon (shared multi-tenant artifact store)" in
   let info = Cmd.info "pldd" ~version:"1.0.0" ~doc in
@@ -269,6 +331,6 @@ let () =
       const serve $ socket_arg $ cache_dir_arg $ max_bytes_arg $ scrub_arg $ queue_workers_arg
       $ jobs_arg $ workers_arg $ pace_arg $ seed_arg $ max_in_flight_arg $ max_queued_arg
       $ write_budget_arg $ shed_arg $ watchdog_arg $ drain_grace_arg $ faults_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ metrics_interval_arg $ log_level_arg $ log_json_arg $ flight_out_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

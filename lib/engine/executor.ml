@@ -17,6 +17,9 @@ type recorder = {
   sink : Event.t -> unit;
   tele : Telemetry.t;
   run : string;  (** stamped on every span so one sink can hold many runs *)
+  extra : (string * string) list;
+      (** caller attributes (e.g. a request trace id) appended to every
+          span and instant this run records *)
 }
 
 (* A process-wide run id distinguishes the spans of successive (or
@@ -25,13 +28,14 @@ type recorder = {
    guessing at time windows. *)
 let run_ids = Atomic.make 0
 
-let recorder ~tele sink =
+let recorder ~tele ~extra sink =
   {
     rec_lock = Mutex.create ();
     trace = [];
     sink;
     tele;
     run = string_of_int (Atomic.fetch_and_add run_ids 1);
+    extra;
   }
 
 (* Mirror the structured event stream into the telemetry sink: one-off
@@ -39,7 +43,7 @@ let recorder ~tele sink =
    per-phase breakdown of a finished job becomes a private modeled
    track tiled with one span per phase. (The measured wall-clock job
    spans come from [with_span] in {!run_node}, not from here.) *)
-let telemetry_of_event tele ~run e =
+let telemetry_of_event tele ~run ~extra e =
   let bump name = Telemetry.incr (Telemetry.counter tele name) in
   match e with
   | Event.Graph_start _ | Event.Graph_finish _ | Event.Job_start _ -> ()
@@ -50,33 +54,39 @@ let telemetry_of_event tele ~run e =
         List.iter
           (fun (phase, seconds) ->
             Telemetry.modeled_span tele mt
-              ~attrs:[ ("job", job); ("kind", kind); ("run", run) ]
+              ~attrs:([ ("job", job); ("kind", kind); ("run", run) ] @ extra)
               phase seconds)
           phases
       end
   | Event.Job_failed { job; kind; worker; error } ->
       bump "engine.job_failures";
       Telemetry.instant tele ~cat:"engine" ~track:worker
-        ~attrs:[ ("job", job); ("kind", kind); ("error", error) ]
+        ~attrs:([ ("job", job); ("kind", kind); ("error", error) ] @ extra)
         "job-failed"
   | Event.Job_retry { job; kind; worker; attempt; error } ->
       bump "engine.retries";
       Telemetry.instant tele ~cat:"engine" ~track:worker
-        ~attrs:[ ("job", job); ("kind", kind); ("attempt", string_of_int attempt); ("error", error) ]
+        ~attrs:
+          ([ ("job", job); ("kind", kind); ("attempt", string_of_int attempt); ("error", error) ]
+          @ extra)
         "retry"
   | Event.Job_quarantined { job; kind; attempts; error } ->
       bump "engine.quarantined";
       Telemetry.instant tele ~cat:"engine"
-        ~attrs:[ ("job", job); ("kind", kind); ("attempts", string_of_int attempts); ("error", error) ]
+        ~attrs:
+          ([ ("job", job); ("kind", kind); ("attempts", string_of_int attempts); ("error", error) ]
+          @ extra)
         "quarantined"
   | Event.Cache_hit { job; kind; source } ->
       bump "engine.cache_hits";
       Telemetry.instant tele ~cat:"engine"
-        ~attrs:[ ("job", job); ("kind", kind); ("source", Event.source_name source) ]
+        ~attrs:([ ("job", job); ("kind", kind); ("source", Event.source_name source) ] @ extra)
         "cache-hit"
   | Event.Cache_store { kind; key } ->
       bump "engine.cache_stores";
-      Telemetry.instant tele ~cat:"engine" ~attrs:[ ("kind", kind); ("key", key) ] "cache-store"
+      Telemetry.instant tele ~cat:"engine"
+        ~attrs:([ ("kind", kind); ("key", key) ] @ extra)
+        "cache-store"
 
 let record r e =
   Mutex.lock r.rec_lock;
@@ -84,7 +94,7 @@ let record r e =
     ~finally:(fun () -> Mutex.unlock r.rec_lock)
     (fun () ->
       r.trace <- e :: r.trace;
-      telemetry_of_event r.tele ~run:r.run e;
+      telemetry_of_event r.tele ~run:r.run ~extra:r.extra e;
       r.sink e)
 
 let pace_off ~pace ~model ~elapsed =
@@ -105,7 +115,8 @@ let run_node ~rec_ ~pace ~job_timeout ~worker ~fetch node =
      (pacing included), so a raising job still closes its span. *)
   Telemetry.with_span rec_.tele ~cat:"engine" ~track:worker
     ~attrs:
-      [ ("kind", kind); ("run", rec_.run); ("deps", String.concat "," (Jobgraph.deps node)) ]
+      ([ ("kind", kind); ("run", rec_.run); ("deps", String.concat "," (Jobgraph.deps node)) ]
+      @ rec_.extra)
     id (fun () ->
       let t0 = Unix.gettimeofday () in
       match Jobgraph.run node { Jobgraph.fetch; emit = record rec_; worker } with
@@ -306,18 +317,19 @@ let parallel ~rec_ ~pace ~job_timeout ~max_retries ~keep_going ~workers g =
   (p.results, p.quarantined)
 
 let run ?(workers = 1) ?(pace = 0.0) ?job_timeout ?(max_retries = 0) ?(keep_going = false)
-    ?(on_event = ignore) ?(telemetry = Telemetry.default) g =
-  let rec_ = recorder ~tele:telemetry on_event in
+    ?(on_event = ignore) ?(telemetry = Telemetry.default) ?(attrs = []) g =
+  let rec_ = recorder ~tele:telemetry ~extra:attrs on_event in
   let t0 = Unix.gettimeofday () in
   record rec_ (Event.Graph_start { jobs = Jobgraph.size g; workers });
   let results, quarantined =
     Telemetry.with_span telemetry ~cat:"engine"
       ~attrs:
-        [
-          ("jobs", string_of_int (Jobgraph.size g));
-          ("workers", string_of_int workers);
-          ("run", rec_.run);
-        ]
+        ([
+           ("jobs", string_of_int (Jobgraph.size g));
+           ("workers", string_of_int workers);
+           ("run", rec_.run);
+         ]
+        @ attrs)
       "graph"
       (fun () ->
         if workers <= 1 then sequential ~rec_ ~pace ~job_timeout ~max_retries ~keep_going g

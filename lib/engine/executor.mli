@@ -46,11 +46,19 @@ val run :
   ?keep_going:bool ->
   ?on_event:(Event.t -> unit) ->
   ?telemetry:Pld_telemetry.Telemetry.t ->
+  ?attrs:(string * string) list ->
   'a Jobgraph.t ->
   'a result
 (** Executes the graph to completion. [on_event] (default ignore)
     additionally streams each event as it is emitted; it is called
     under the trace lock and so must not itself run the executor.
+
+    [attrs] (default empty) is appended to the attributes of every
+    telemetry span and instant this run records — the graph span, the
+    per-job spans, the modeled phase spans, and the cache/retry
+    instants. The service uses it to stamp a request's trace id onto
+    the whole build, so one distributed trace stitches the client RPC
+    to the tool phases it paid for.
 
     [telemetry] (default {!Pld_telemetry.Telemetry.default}) receives
     the run as spans and metrics: a ["graph"] span over the whole run,

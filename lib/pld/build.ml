@@ -210,8 +210,8 @@ let softcore_demand = { Pld_netlist.Netlist.luts = 900; ffs = 1300; brams = 6; d
 
 (* ---------- paged flows (-O0 / -O1) ---------- *)
 
-let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~faults ~max_retries
-    ~defective (fp : Fp.t) (g : Graph.t) ~level =
+let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~faults
+    ~max_retries ~defective (fp : Fp.t) (g : Graph.t) ~level =
   (* A fault injector can make named jobs fail (transient tool crash);
      the check counts one attempt per call, so executor retries see the
      job eventually succeed. *)
@@ -310,7 +310,7 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~faults
   let jobgraph = Jobgraph.make (hls_nodes @ (assign_node :: op_nodes)) in
   let result =
     Executor.run ~workers:jobs ~pace ~max_retries ~keep_going:(faults <> None) ~on_event ~telemetry
-      jobgraph
+      ~attrs jobgraph
   in
   let quarantined = result.Executor.quarantined in
   let quarantine_error job =
@@ -381,8 +381,8 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~faults
 
 (* ---------- monolithic flows (-O3 / Vitis) ---------- *)
 
-let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~faults ~max_retries
-    (fp : Fp.t) (g : Graph.t) ~level =
+let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~faults
+    ~max_retries (fp : Fp.t) (g : Graph.t) ~level =
   let inject job = match faults with Some f -> Pld_faults.Fault.job_check f ~job | None -> () in
   let key = mono_key ~level ~seed g in
   let job_id = "mono:" ^ g.graph_name in
@@ -400,6 +400,7 @@ let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~faults 
   in
   let result =
     Executor.run ~workers:jobs ~pace ~max_retries ~keep_going:(faults <> None) ~on_event ~telemetry
+      ~attrs
       (Jobgraph.make [ node ])
   in
   let r =
@@ -445,21 +446,21 @@ let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~faults 
 (* ---------- entry point ---------- *)
 
 let compile ?cache ?(workers = 22) ?(jobs = 1) ?(pace = 0.0) ?(seed = 7) ?(on_event = ignore)
-    ?(telemetry = Pld_telemetry.Telemetry.default) ?faults ?(max_retries = 0) ?(defective = [])
-    (fp : Fp.t) (g : Graph.t) ~level =
+    ?(telemetry = Pld_telemetry.Telemetry.default) ?(attrs = []) ?faults ?(max_retries = 0)
+    ?(defective = []) (fp : Fp.t) (g : Graph.t) ~level =
   Validate.check_graph_exn g;
   ignore (makespan ~workers []);
   (* validate [workers] eagerly *)
   let cache = match cache with Some c -> c | None -> create_cache () in
   let module Telemetry = Pld_telemetry.Telemetry in
   Telemetry.with_span telemetry ~cat:"build"
-    ~attrs:[ ("graph", g.Graph.graph_name); ("level", level_name level) ]
+    ~attrs:([ ("graph", g.Graph.graph_name); ("level", level_name level) ] @ attrs)
     ("compile:" ^ g.Graph.graph_name)
   @@ fun () ->
   match level with
   | O3 | Vitis ->
-      compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~faults ~max_retries fp g
-        ~level
+      compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~faults
+        ~max_retries fp g ~level
   | O0 | O1 ->
-      compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~faults ~max_retries
-        ~defective fp g ~level
+      compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~faults
+        ~max_retries ~defective fp g ~level

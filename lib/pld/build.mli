@@ -122,6 +122,7 @@ val compile :
   ?seed:int ->
   ?on_event:(Pld_engine.Event.t -> unit) ->
   ?telemetry:Pld_telemetry.Telemetry.t ->
+  ?attrs:(string * string) list ->
   ?faults:Pld_faults.Fault.t ->
   ?max_retries:int ->
   ?defective:int list ->

@@ -259,7 +259,7 @@ let scenario_conn_storm ~seed ~root _log =
       (fun () ->
         ignore
           (Server.serve ~socket ~install_signals:false ~telemetry:tele
-             ~log:(fun _ -> ())
+             ~logger:(Pld_telemetry.Log.create ())
              ~on_listen:(fun () -> Atomic.set ready true)
              ~service:svc
              ~handler:(fun t e -> Server.handle t ~resolve:chain_resolve e)
@@ -475,7 +475,7 @@ let scenario_kill_daemon ~seed ~root _log =
          let svc = Service.create ~cache_dir ~quarantine:true ~queue_workers:1 () in
          ignore
            (Server.serve ~socket ~install_signals:false
-              ~log:(fun _ -> ())
+              ~logger:(Pld_telemetry.Log.create ())
               ~service:svc
               ~handler:(fun t e -> Server.handle t ~resolve:chain_resolve e)
               ())

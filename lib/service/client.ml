@@ -68,19 +68,38 @@ let backoff_delay p attempt =
 
 (* A reply the server marked transient (SHED, DRAINING, QUEUE_FULL via
    retry_after_ms) is retryable; in-flight dedup makes the repeat
-   idempotent server-side. Hard errors return immediately. *)
+   idempotent server-side. Hard errors return immediately.
+
+   When the envelope carries a trace id, every attempt is recorded as
+   a wall span (cat "client", attrs trace/attempt) and every retry
+   decision as an instant — the client-side half of the request's
+   distributed trace, stitched to the server half by the shared id. *)
 let rpc_retry ?(backoff = default_backoff) ?(telemetry = T.default) ~socket envelope =
-  let count_retry () = T.incr (T.counter telemetry "client.retries") in
+  let trace_attrs =
+    match envelope.Protocol.trace with Some id -> [ ("trace", id) ] | None -> []
+  in
+  let count_retry ~reason =
+    T.incr (T.counter telemetry "client.retries");
+    T.instant telemetry ~cat:"client"
+      ~attrs:(trace_attrs @ [ ("reason", reason) ])
+      "rpc.retry"
+  in
+  let attempt_rpc attempt =
+    T.with_span telemetry ~cat:"client"
+      ~attrs:(trace_attrs @ [ ("attempt", string_of_int attempt); ("socket", socket) ])
+      "rpc.attempt"
+      (fun () -> rpc ~socket envelope)
+  in
   let rec go attempt =
     let retry err =
       if attempt + 1 >= backoff.b_attempts then err
       else begin
-        count_retry ();
+        count_retry ~reason:"transport";
         Unix.sleepf (backoff_delay backoff attempt);
         go (attempt + 1)
       end
     in
-    match rpc ~socket envelope with
+    match attempt_rpc attempt with
     | Error _ as e ->
         (* Transport failure: connect refused, EPIPE/ECONNRESET on a
            dying daemon, or mid-stream EOF. Reconnect and resend. *)
@@ -88,7 +107,8 @@ let rpc_retry ?(backoff = default_backoff) ?(telemetry = T.default) ~socket enve
     | Ok reply when not reply.Protocol.ok -> (
         match Protocol.retry_after_ms reply with
         | Some ms when attempt + 1 < backoff.b_attempts ->
-            count_retry ();
+            count_retry
+              ~reason:(Option.value ~default:"busy" (Protocol.reply_state reply));
             Unix.sleepf (Float.max (float_of_int ms /. 1000.0) (backoff_delay backoff attempt));
             go (attempt + 1)
         | Some _ | None -> Ok reply)

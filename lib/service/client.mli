@@ -52,4 +52,11 @@ val rpc_retry :
     server refusals (replies carrying [retry_after_ms] — shed, drain,
     queue-full), honoring the server's hint when it exceeds the
     backoff delay. Hard application errors return immediately. Every
-    retry bumps the [client.retries] counter in [telemetry]. *)
+    retry bumps the [client.retries] counter in [telemetry].
+
+    Each attempt is recorded as an ["rpc.attempt"] wall span (category
+    ["client"], with ["attempt"] and — when the envelope carries one —
+    ["trace"] attributes) and each retry decision as an ["rpc.retry"]
+    instant, so a request's client-side attempts appear in the same
+    distributed trace as its server-side queue wait and build
+    phases. *)

@@ -5,6 +5,9 @@ type request =
   | Compile of { bench : string; level : string }
   | Run of { bench : string; level : string; frames : int }
   | Stats
+  | Status
+  | Metrics
+  | Health
   | Shutdown
 
 type envelope = {
@@ -12,11 +15,12 @@ type envelope = {
   tenant : string;
   priority : int;
   deadline_ms : int option;
+  trace : string option;
   req : request;
 }
 
-let envelope ?(id = 0) ?(tenant = "default") ?(priority = 0) ?deadline_ms req =
-  { rq_id = id; tenant; priority; deadline_ms; req }
+let envelope ?(id = 0) ?(tenant = "default") ?(priority = 0) ?deadline_ms ?trace req =
+  { rq_id = id; tenant; priority; deadline_ms; trace; req }
 
 let envelope_to_json e =
   let base =
@@ -26,11 +30,15 @@ let envelope_to_json e =
       ("priority", Json.Int e.priority);
     ]
     @ (match e.deadline_ms with Some ms -> [ ("deadline_ms", Json.Int ms) ] | None -> [])
+    @ (match e.trace with Some id -> [ ("trace", Json.String id) ] | None -> [])
   in
   let rest =
     match e.req with
     | Ping -> [ ("op", Json.String "ping") ]
     | Stats -> [ ("op", Json.String "stats") ]
+    | Status -> [ ("op", Json.String "status") ]
+    | Metrics -> [ ("op", Json.String "metrics") ]
+    | Health -> [ ("op", Json.String "health") ]
     | Shutdown -> [ ("op", Json.String "shutdown") ]
     | Compile { bench; level } ->
         [ ("op", Json.String "compile"); ("bench", Json.String bench); ("level", Json.String level) ]
@@ -55,11 +63,15 @@ let envelope_of_json j =
       let tenant = Option.value ~default:"default" (str_field "tenant" j) in
       let priority = Option.value ~default:0 (int_field "priority" j) in
       let deadline_ms = int_field "deadline_ms" j in
+      let trace = str_field "trace" j in
       let level () = Option.value ~default:"O1" (str_field "level" j) in
-      let with_req req = Ok { rq_id = id; tenant; priority; deadline_ms; req } in
+      let with_req req = Ok { rq_id = id; tenant; priority; deadline_ms; trace; req } in
       match op with
       | "ping" -> with_req Ping
       | "stats" -> with_req Stats
+      | "status" -> with_req Status
+      | "metrics" -> with_req Metrics
+      | "health" -> with_req Health
       | "shutdown" -> with_req Shutdown
       | "compile" -> (
           match str_field "bench" j with
@@ -108,6 +120,63 @@ let error_message r =
 
 let retry_after_ms r = int_field "retry_after_ms" r.body
 let reply_state r = str_field "state" r.body
+
+(* ---------- status rendering ---------- *)
+
+(* Renders the [Status] reply body (the document {!Service.status_json}
+   builds) for humans — [pldc status] and each [pldc top] frame. Kept
+   next to the wire format so the document shape and its rendering
+   evolve together. *)
+let render_status j =
+  let str k d = match Json.member k j with Some (Json.String s) -> s | _ -> d in
+  let num o k =
+    match Json.member k o with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> 0.0
+  in
+  let int_ o k = match Json.member k o with Some (Json.Int i) -> i | _ -> 0 in
+  let obj k = match Json.member k j with Some (Json.Obj _ as o) -> o | _ -> Json.Obj [] in
+  let list k = match Json.member k j with Some (Json.List l) -> l | _ -> [] in
+  let q = obj "queue" in
+  let c = obj "counters" in
+  let head =
+    Printf.sprintf "pldd up %.1fs  state=%s  queue %d deep, %d in flight (%d workers)"
+      (num j "uptime_s") (str "state" "?") (int_ q "depth") (int_ q "in_flight")
+      (int_ q "workers")
+  in
+  let counters =
+    Printf.sprintf
+      "counters: submitted %d  completed %d  failed %d  rejected %d  shed %d  deadline %d  lost \
+       %d  watchdog %d  dedup %d  cross %d"
+      (int_ c "submitted") (int_ c "completed") (int_ c "failed") (int_ c "rejected")
+      (int_ c "shed") (int_ c "deadline_exceeded") (int_ c "lost") (int_ c "watchdog_kills")
+      (int_ c "deduped") (int_ c "cross_tenant_hits")
+  in
+  let tenants =
+    List.map
+      (fun tj ->
+        let lat = match Json.member "latency" tj with Some (Json.Obj _ as o) -> o | _ -> Json.Obj [] in
+        Printf.sprintf
+          "  tenant %-12s q %2d/%-3d  run %2d/%-2d  done %4d  p50 %.3fs p95 %.3fs p99 %.3fs (n=%d)"
+          (match Json.member "tenant" tj with Some (Json.String s) -> s | _ -> "?")
+          (int_ tj "queued") (int_ tj "max_queued") (int_ tj "in_flight")
+          (int_ tj "max_in_flight") (int_ tj "completed") (num lat "p50_s") (num lat "p95_s")
+          (num lat "p99_s") (int_ lat "count"))
+      (list "tenants")
+  in
+  let builds =
+    List.map
+      (fun bj ->
+        Printf.sprintf "  build #%d tenant=%s graph=%s level=%s age=%.2fs trace=%s" (int_ bj "id")
+          (match Json.member "tenant" bj with Some (Json.String s) -> s | _ -> "?")
+          (match Json.member "graph" bj with Some (Json.String s) -> s | _ -> "?")
+          (match Json.member "level" bj with Some (Json.String s) -> s | _ -> "?")
+          (num bj "age_s")
+          (match Json.member "trace" bj with Some (Json.String s) -> s | _ -> "-"))
+      (list "builds")
+  in
+  (head :: counters :: tenants) @ builds
 
 let level_of_name = function
   | "O0" | "o0" | "-O0" -> Ok Pld_core.Build.O0

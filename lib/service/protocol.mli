@@ -15,6 +15,15 @@ type request =
       (** Compile, link and execute with [frames] ramp words on every
           graph input. *)
   | Stats
+  | Status
+      (** Live introspection: queue depth, per-tenant quota occupancy,
+          in-flight build ages, rejection counters, and per-tenant
+          latency quantiles derived from bucket counts. *)
+  | Metrics
+      (** The metrics registry, both as JSON and as a Prometheus text
+          exposition; also flushes the daemon's [--metrics-out]
+          snapshot on demand. *)
+  | Health  (** Cheap liveness probe: ok/state/uptime. *)
   | Shutdown
 
 type envelope = {
@@ -26,12 +35,25 @@ type envelope = {
           the daemon expires the job (queued or mid-build, at the next
           tool-phase boundary) once the budget is spent. [None] means
           no deadline. *)
+  trace : string option;
+      (** Request trace id, minted client-side
+          ({!Pld_telemetry.Log.mint_trace_id}) and stamped on every
+          span the request produces on both sides of the wire — the
+          key that stitches client RPC attempts, queue wait, and build
+          phases into one distributed trace. *)
   req : request;
 }
 
-val envelope : ?id:int -> ?tenant:string -> ?priority:int -> ?deadline_ms:int -> request -> envelope
+val envelope :
+  ?id:int ->
+  ?tenant:string ->
+  ?priority:int ->
+  ?deadline_ms:int ->
+  ?trace:string ->
+  request ->
+  envelope
 (** [id] defaults to 0, [tenant] to ["default"], [priority] to 0,
-    [deadline_ms] to none. *)
+    [deadline_ms] and [trace] to none. *)
 
 val envelope_to_json : envelope -> Pld_telemetry.Json.t
 val envelope_of_json : Pld_telemetry.Json.t -> (envelope, string) result
@@ -60,5 +82,11 @@ val retry_after_ms : reply -> int option
 
 val reply_state : reply -> string option
 (** The [state] tag of a {!reply_busy} refusal, if any. *)
+
+val render_status : Pld_telemetry.Json.t -> string list
+(** Human rendering of a [Status] reply body: a header line (uptime,
+    state, queue occupancy), a counters line, one line per tenant
+    (quota occupancy and latency quantiles), and one line per in-flight
+    build (age and trace id). Used by [pldc status] and [pldc top]. *)
 
 val level_of_name : string -> (Pld_core.Build.level, string) result

@@ -6,6 +6,7 @@
 
 module T = Pld_telemetry.Telemetry
 module Json = Pld_telemetry.Json
+module Log = Pld_telemetry.Log
 
 type t = {
   sv_socket : string;
@@ -13,11 +14,29 @@ type t = {
   sv_service : Service.t;
   sv_telemetry : T.t;
   sv_grace_s : float;
-  sv_log : string -> unit;
+  sv_logger : Log.t;
+  sv_metrics_out : string option;
   sv_stopping : bool Atomic.t;
 }
 
 let service t = t.sv_service
+
+(* Atomic tmp + rename, so a scraper (or a post-crash reader) never
+   sees a torn snapshot; failures are logged, never raised — metrics
+   persistence must not take the daemon down. *)
+let flush_metrics t =
+  match t.sv_metrics_out with
+  | None -> false
+  | Some file -> (
+      try
+        let tmp = file ^ ".tmp" in
+        Json.write_file ~file:tmp (T.to_metrics_json t.sv_telemetry);
+        Sys.rename tmp file;
+        true
+      with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+        Log.warn t.sv_logger ~fields:[ ("file", file) ] ~sub:"server.metrics"
+          (Printf.sprintf "snapshot failed: %s" msg);
+        false)
 
 let stop t =
   if not (Atomic.exchange t.sv_stopping true) then
@@ -42,6 +61,19 @@ let handle t ~resolve (e : Protocol.envelope) =
       Protocol.reply_ok ~id
         (Json.Obj [ ("pong", Json.Bool true); ("draining", Json.Bool (draining t)) ])
   | Protocol.Stats -> Protocol.reply_ok ~id (Service.stats_json (Service.stats t.sv_service))
+  | Protocol.Status -> Protocol.reply_ok ~id (Service.status_json t.sv_service)
+  | Protocol.Health -> Protocol.reply_ok ~id (Service.health_json t.sv_service)
+  | Protocol.Metrics ->
+      (* On-demand flush: a scraper asking for metrics also refreshes
+         the on-disk snapshot, so [--metrics-out] is never stale. *)
+      let flushed = flush_metrics t in
+      Protocol.reply_ok ~id
+        (Json.Obj
+           [
+             ("prometheus", Json.String (T.to_prometheus t.sv_telemetry));
+             ("metrics", T.to_metrics_json t.sv_telemetry);
+             ("flushed", Json.Bool flushed);
+           ])
   | Protocol.Shutdown ->
       stop t;
       Protocol.reply_ok ~id (Json.Obj [ ("stopping", Json.Bool true) ])
@@ -52,7 +84,7 @@ let handle t ~resolve (e : Protocol.envelope) =
       | Ok g, Ok level -> (
           match
             Service.compile t.sv_service ~tenant:e.Protocol.tenant ~priority:e.Protocol.priority
-              ?deadline_ms:e.Protocol.deadline_ms ~level g
+              ?deadline_ms:e.Protocol.deadline_ms ?trace_id:e.Protocol.trace ~level g
           with
           | Ok outcome -> Protocol.reply_ok ~id (Service.outcome_json outcome)
           | Error rej -> reply_of_reject ~id rej))
@@ -82,7 +114,10 @@ let handle_conn t handler ~conn_id fd =
   in
   let conn_error op msg =
     T.incr (T.counter t.sv_telemetry "service.conn_errors");
-    t.sv_log (Printf.sprintf "conn-error conn=%d op=%s err=%S" conn_id op msg)
+    Log.warn t.sv_logger
+      ~fields:[ ("conn", string_of_int conn_id); ("op", op) ]
+      ~sub:"server.conn"
+      (Printf.sprintf "transport error: %s" msg)
   in
   (try loop () with
   | Sys_error msg -> conn_error "io" msg
@@ -118,8 +153,8 @@ let claim_socket path =
         Error (Printf.sprintf "refusing to remove %s: exists and is not a socket" path)
 
 let serve ~socket ?(backlog = 64) ?(drain_grace_s = 5.0) ?(install_signals = true)
-    ?(telemetry = T.default) ?(log = fun line -> Printf.eprintf "pldd: %s\n%!" line) ?on_listen
-    ~service:svc ~handler () =
+    ?(telemetry = T.default) ?(logger = Log.default) ?metrics_out ?(metrics_interval_s = 5.0)
+    ?on_listen ~service:svc ~handler () =
   match claim_socket socket with
   | Error _ as e -> e
   | Ok () ->
@@ -138,7 +173,8 @@ let serve ~socket ?(backlog = 64) ?(drain_grace_s = 5.0) ?(install_signals = tru
           sv_service = svc;
           sv_telemetry = telemetry;
           sv_grace_s = drain_grace_s;
-          sv_log = log;
+          sv_logger = logger;
+          sv_metrics_out = metrics_out;
           sv_stopping = Atomic.make false;
         }
       in
@@ -147,7 +183,32 @@ let serve ~socket ?(backlog = 64) ?(drain_grace_s = 5.0) ?(install_signals = tru
         Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop t));
         Sys.set_signal Sys.sigpipe Sys.Signal_ignore
       end;
+      (* Periodic snapshot tick: a SIGKILL'd daemon still leaves a
+         recent metrics file. Sleeps in short slices so shutdown is not
+         held hostage to the interval. *)
+      let snapshot_thread =
+        Option.map
+          (fun _ ->
+            Thread.create
+              (fun () ->
+                let slice = 0.05 in
+                let rec loop slept =
+                  if not (Atomic.get t.sv_stopping) then begin
+                    Thread.delay slice;
+                    let slept = slept +. slice in
+                    if slept >= metrics_interval_s then begin
+                      ignore (flush_metrics t);
+                      loop 0.0
+                    end
+                    else loop slept
+                  end
+                in
+                loop 0.0)
+              ())
+          metrics_out
+      in
       Option.iter (fun f -> f ()) on_listen;
+      Log.info logger ~fields:[ ("socket", socket) ] ~sub:"server" "listening";
       let threads = ref [] in
       let conns = ref 0 in
       (try
@@ -165,9 +226,13 @@ let serve ~socket ?(backlog = 64) ?(drain_grace_s = 5.0) ?(install_signals = tru
       (* Graceful drain: no new connections (listener is down), new
          submissions refused as DRAINING, in-flight work gets the grace
          budget to finish, then the service stops. *)
-      log (Printf.sprintf "draining (grace %.1fs)" t.sv_grace_s);
+      Log.info logger
+        ~fields:[ ("grace_s", Printf.sprintf "%.1f" t.sv_grace_s) ]
+        ~sub:"server" "draining";
       Service.drain ~grace_s:t.sv_grace_s t.sv_service;
       List.iter Thread.join !threads;
+      Option.iter Thread.join snapshot_thread;
+      ignore (flush_metrics t);
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       if Sys.file_exists socket then (try Unix.unlink socket with Unix.Unix_error _ -> ());
       Ok ()

@@ -34,12 +34,23 @@ val reply_of_reject : id:int -> Service.reject -> Protocol.reply
     [state] ({!Service.reject_state}) and, for the transient classes, a
     [retry_after_ms] hint {!Client.rpc_retry} honors. *)
 
+val flush_metrics : t -> bool
+(** Write the telemetry metrics snapshot to the server's
+    [metrics_out] path (atomic tmp + rename). [false] when no path is
+    configured or the write failed (logged, never raised). *)
+
 val handle : t -> resolve:(string -> (Pld_ir.Graph.t, string) result) -> Protocol.envelope -> Protocol.reply
 (** Default request semantics: [Ping] (reports draining), [Stats],
     [Shutdown] (calls {!stop}), and [Compile] — resolving the benchmark
     name via [resolve] and forwarding the envelope's tenant, priority
     and [deadline_ms] to {!Service.compile}. [Run] answers with an
-    error; embedders that support it wrap this function. *)
+    error; embedders that support it wrap this function.
+
+    Admin verbs: [Status] answers {!Service.status_json}, [Health]
+    {!Service.health_json}, and [Metrics] the registry both ways — a
+    ["prometheus"] text exposition ({!Pld_telemetry.Telemetry.to_prometheus})
+    and a ["metrics"] JSON document — plus a ["flushed"] flag after an
+    on-demand {!flush_metrics}. *)
 
 val claim_socket : string -> (unit, string) result
 (** The startup probe described above, exposed for tests: ensure [path]
@@ -51,7 +62,9 @@ val serve :
   ?drain_grace_s:float ->
   ?install_signals:bool ->
   ?telemetry:Pld_telemetry.Telemetry.t ->
-  ?log:(string -> unit) ->
+  ?logger:Pld_telemetry.Log.t ->
+  ?metrics_out:string ->
+  ?metrics_interval_s:float ->
   ?on_listen:(unit -> unit) ->
   service:Service.t ->
   handler:(t -> Protocol.envelope -> Protocol.reply) ->
@@ -64,4 +77,12 @@ val serve :
     {!stop}; [install_signals] (default true) wires
     [SIGTERM]/[SIGINT] to {!stop} and ignores [SIGPIPE]; [on_listen]
     fires once the socket is accepting (the daemon's readiness
-    line). *)
+    line).
+
+    [logger] (default {!Pld_telemetry.Log.default}) receives the
+    server's structured events (listening/draining at [Info],
+    connection transport errors at [Warn]). With [metrics_out], the
+    telemetry metrics snapshot is written there atomically every
+    [metrics_interval_s] (default 5 s), on every [Metrics] request,
+    and once more at shutdown — so even a [SIGKILL]'d daemon leaves a
+    snapshot no older than one interval. *)

@@ -3,6 +3,8 @@ open Pld_core
 module Fp = Pld_fabric.Floorplan
 module T = Pld_telemetry.Telemetry
 module Json = Pld_telemetry.Json
+module Log = Pld_telemetry.Log
+module Quantile = Pld_telemetry.Quantile
 
 type quota = { max_in_flight : int; max_queued : int; cache_write_budget : int option }
 
@@ -93,6 +95,7 @@ type job = {
   j_graph : Graph.t;
   j_level : Build.level;
   j_key : string;
+  j_trace : string;  (* request trace id, client-minted or server-filled *)
   j_enqueued : float;
   j_deadline : float option;  (* absolute wall-clock budget end *)
   mutable j_started : float;  (* dispatch time; 0.0 while queued *)
@@ -103,9 +106,16 @@ type job = {
 
 type ticket = job
 
+(* Per-tenant latency lives as bucket counts, not sample lists: tenants
+   are unbounded in request count, and the status endpoint derives
+   p50/p95/p99 from the buckets on demand. Shared edges keep tenants
+   comparable. *)
+let latency_edges = [| 0.001; 0.003; 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0 |]
+
 type tenant = {
   tn_name : string;
   tn_quota : quota;
+  tn_lat_counts : int array;  (* length = latency_edges + 1; last is +inf *)
   mutable tn_queued : int;
   mutable tn_in_flight : int;
   mutable tn_submitted : int;
@@ -117,6 +127,13 @@ type tenant = {
   mutable tn_store_writes : int;
 }
 
+(* Must hold t.mu (the arrays are guarded by the service lock). *)
+let observe_tenant_latency tn seconds =
+  let n = Array.length latency_edges in
+  let rec slot i = if i >= n then n else if seconds <= latency_edges.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  tn.tn_lat_counts.(i) <- tn.tn_lat_counts.(i) + 1
+
 type t = {
   mu : Mutex.t;
   cond : Condition.t;
@@ -124,6 +141,8 @@ type t = {
   ro_cache : Build.cache;  (* readonly view for exhausted write budgets *)
   fp : Fp.t;
   telemetry : T.t;
+  logger : Log.t;
+  t_started : float;
   workers : int;
   jobs : int;
   pace : float;
@@ -177,6 +196,7 @@ let tenant_of t name =
         {
           tn_name = name;
           tn_quota = quota;
+          tn_lat_counts = Array.make (Array.length latency_edges + 1) 0;
           tn_queued = 0;
           tn_in_flight = 0;
           tn_submitted = 0;
@@ -217,6 +237,22 @@ let count_error t tn (r : reject) =
       bump t "lost"
   | Shed _ | Queue_full _ | Draining _ -> ()
 
+(* Record the request's umbrella span on the service timeline: one wall
+   span from admission to completion, carrying the trace id and the
+   outcome, so a trace shows the request end-to-end even when no build
+   ran for it (dedup followers, queued expiries). May run with or
+   without t.mu held — it only touches the telemetry sink. *)
+let request_span t (j : job) ~outcome =
+  let now = Unix.gettimeofday () in
+  let dur_us = Float.max 0.0 ((now -. j.j_enqueued) *. 1e6) in
+  T.span t.telemetry ~cat:"service"
+    ~attrs:[ ("trace", j.j_trace); ("tenant", j.j_tenant); ("outcome", outcome) ]
+    ~name:"request"
+    ~start_us:(T.now_us t.telemetry -. dur_us)
+    ~dur_us ()
+
+let outcome_tag = function Ok _ -> "ok" | Error e -> reject_state e
+
 let finish_follower t primary_tenant (result : (outcome, reject) result) (f : job) =
   let now = Unix.gettimeofday () in
   let tn = tenant_of t f.j_tenant in
@@ -241,6 +277,7 @@ let finish_follower t primary_tenant (result : (outcome, reject) result) (f : jo
         let latency = now -. f.j_enqueued in
         t.g_latencies <- latency :: t.g_latencies;
         T.observe (T.histogram t.telemetry "service.latency_seconds") latency;
+        observe_tenant_latency tn latency;
         Ok
           {
             o with
@@ -255,7 +292,12 @@ let finish_follower t primary_tenant (result : (outcome, reject) result) (f : jo
             o_latency_seconds = latency;
           }
   in
-  f.j_state <- Finished result
+  f.j_state <- Finished result;
+  request_span t f ~outcome:(outcome_tag result);
+  Log.debug t.logger ~trace:f.j_trace
+    ~fields:[ ("tenant", f.j_tenant); ("primary_tenant", primary_tenant) ]
+    ~sub:"service.dedup"
+    (Printf.sprintf "follower finished (%s)" (outcome_tag result))
 
 (* Must hold t.mu. *)
 let finish t (j : job) started result =
@@ -290,6 +332,7 @@ let finish t (j : job) started result =
         let latency = now -. j.j_enqueued in
         t.g_latencies <- latency :: t.g_latencies;
         T.observe (T.histogram t.telemetry "service.latency_seconds") latency;
+        observe_tenant_latency tn latency;
         (* EWMA of build wall time feeds the shed policy's queue-delay
            estimate. *)
         t.avg_build_s <- (0.7 *. t.avg_build_s) +. (0.3 *. (now -. started));
@@ -310,6 +353,24 @@ let finish t (j : job) started result =
           }
   in
   j.j_state <- Finished result;
+  request_span t j ~outcome:(outcome_tag result);
+  (match result with
+  | Ok o ->
+      Log.info t.logger ~trace:j.j_trace
+        ~fields:
+          [
+            ("tenant", j.j_tenant);
+            ("graph", j.j_graph.Graph.graph_name);
+            ("level", Build.level_name j.j_level);
+            ("latency_s", Printf.sprintf "%.4f" o.o_latency_seconds);
+            ("cache_hits", string_of_int o.o_cache_hits);
+          ]
+        ~sub:"service.build" "completed"
+  | Error e ->
+      Log.warn t.logger ~trace:j.j_trace
+        ~fields:[ ("tenant", j.j_tenant); ("graph", j.j_graph.Graph.graph_name) ]
+        ~sub:"service.build"
+        (Printf.sprintf "failed (%s): %s" (reject_state e) (reject_message e)));
   List.iter (finish_follower t j.j_tenant result) (List.rev j.j_followers);
   j.j_followers <- [];
   set_depth_gauges t;
@@ -325,10 +386,16 @@ let fail_queued t (j : job) rej =
   count_error t tn rej;
   let r = Error rej in
   j.j_state <- Finished r;
+  request_span t j ~outcome:(reject_state rej);
+  Log.warn t.logger ~trace:j.j_trace
+    ~fields:[ ("tenant", j.j_tenant); ("graph", j.j_graph.Graph.graph_name) ]
+    ~sub:"service.queue"
+    (Printf.sprintf "failed queued (%s): %s" (reject_state rej) (reject_message rej));
   List.iter
     (fun f ->
       count_error t (tenant_of t f.j_tenant) rej;
-      f.j_state <- Finished r)
+      f.j_state <- Finished r;
+      request_span t f ~outcome:(reject_state rej))
     (List.rev j.j_followers);
   j.j_followers <- [];
   set_depth_gauges t;
@@ -370,10 +437,22 @@ let abandon_running t (j : job) ~ran_s =
   count_error t tn rej;
   let r = Error rej in
   j.j_state <- Finished r;
+  request_span t j ~outcome:(reject_state rej);
+  (* Error level: with a flight recorder armed on the logger, this is
+     the event that dumps the ring and a metrics snapshot to disk. *)
+  Log.error t.logger ~trace:j.j_trace
+    ~fields:
+      [
+        ("tenant", j.j_tenant);
+        ("graph", j.j_graph.Graph.graph_name);
+        ("ran_s", Printf.sprintf "%.2f" ran_s);
+      ]
+    ~sub:"service.watchdog" "build wedged, worker quarantined";
   List.iter
     (fun f ->
       count_error t (tenant_of t f.j_tenant) rej;
-      f.j_state <- Finished r)
+      f.j_state <- Finished r;
+      request_span t f ~outcome:(reject_state rej))
     (List.rev j.j_followers);
   j.j_followers <- [];
   set_depth_gauges t;
@@ -442,7 +521,9 @@ let run_job t (j : job) =
     try
       Ok
         (Build.compile ~cache ~workers:t.workers ~jobs:t.jobs ~pace:t.pace ~seed:t.seed ~on_event
-           ~telemetry:t.telemetry t.fp j.j_graph ~level:j.j_level)
+           ~telemetry:t.telemetry
+           ~attrs:[ ("trace", j.j_trace); ("tenant", j.j_tenant) ]
+           t.fp j.j_graph ~level:j.j_level)
     with e -> Error e
   in
   Mutex.lock t.mu;
@@ -480,6 +561,18 @@ let rec worker_loop t =
             let tn = tenant_of t j.j_tenant in
             tn.tn_queued <- tn.tn_queued - 1;
             tn.tn_in_flight <- tn.tn_in_flight + 1;
+            (* The queue wait becomes a span on the request's trace:
+               admission to dispatch, recorded at dispatch. *)
+            let wait_us = Float.max 0.0 ((j.j_started -. j.j_enqueued) *. 1e6) in
+            T.span t.telemetry ~cat:"service"
+              ~attrs:[ ("trace", j.j_trace); ("tenant", j.j_tenant) ]
+              ~name:"queue.wait"
+              ~start_us:(T.now_us t.telemetry -. wait_us)
+              ~dur_us:wait_us ();
+            Log.debug t.logger ~trace:j.j_trace
+              ~fields:
+                [ ("tenant", j.j_tenant); ("wait_s", Printf.sprintf "%.4f" (wait_us /. 1e6)) ]
+              ~sub:"service.queue" "dispatched";
             set_depth_gauges t;
             Some j
         | None ->
@@ -536,7 +629,8 @@ let rec watchdog_loop t =
 
 let create ?cache ?cache_dir ?max_bytes ?quarantine ?fp ?(queue_workers = 2) ?(workers = 22)
     ?(jobs = 1) ?(pace = 0.0) ?(seed = 7) ?(default_quota = default_quota) ?(quotas = []) ?shed
-    ?watchdog_timeout_s ?(watchdog_tick_s = 0.01) ?faults ?(telemetry = T.default) () =
+    ?watchdog_timeout_s ?(watchdog_tick_s = 0.01) ?faults ?(telemetry = T.default)
+    ?(logger = Log.default) () =
   let sv_cache =
     match (cache, cache_dir) with
     | Some _, Some _ -> invalid_arg "Service.create: pass ~cache or ~cache_dir, not both"
@@ -553,6 +647,8 @@ let create ?cache ?cache_dir ?max_bytes ?quarantine ?fp ?(queue_workers = 2) ?(w
       ro_cache = Build.readonly_view sv_cache;
       fp;
       telemetry;
+      logger;
+      t_started = Unix.gettimeofday ();
       workers;
       jobs;
       pace;
@@ -599,7 +695,16 @@ let create ?cache ?cache_dir ?max_bytes ?quarantine ?fp ?(queue_workers = 2) ?(w
 
 let cache t = t.sv_cache
 
-let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms g =
+let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms ?trace_id g =
+  let trace = match trace_id with Some id -> id | None -> Log.mint_trace_id () in
+  (* The admission verdict is an instant on the request's trace —
+     recorded for refusals too, so a shed or queue-full request still
+     leaves a traceable mark. *)
+  let verdict_instant name extra =
+    T.instant t.telemetry ~cat:"service"
+      ~attrs:([ ("trace", trace); ("tenant", tenant) ] @ extra)
+      name
+  in
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
   let tn = tenant_of t tenant in
@@ -607,6 +712,7 @@ let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms g =
     tn.tn_rejected <- tn.tn_rejected + 1;
     t.g_rejected <- t.g_rejected + 1;
     bump t "rejected";
+    verdict_instant "admission.reject" [ ("state", "DRAINING") ];
     Error (Draining (if t.stopping then "service is shutting down" else "service is draining"))
   end
   else begin
@@ -621,6 +727,7 @@ let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms g =
         j_graph = g;
         j_level = level;
         j_key = key;
+        j_trace = trace;
         j_enqueued = now;
         j_deadline = Option.map (fun ms -> now +. (float_of_int ms /. 1000.0)) deadline_ms;
         j_started = 0.0;
@@ -639,12 +746,20 @@ let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms g =
         tn.tn_submitted <- tn.tn_submitted + 1;
         t.g_submitted <- t.g_submitted + 1;
         bump t "submitted";
+        verdict_instant "dedup.join" [ ("primary_trace", primary.j_trace) ];
+        Log.debug t.logger ~trace
+          ~fields:[ ("tenant", tenant); ("primary_trace", primary.j_trace) ]
+          ~sub:"service.dedup" "joined in-flight build";
         Ok j
     | None ->
         if tn.tn_queued >= tn.tn_quota.max_queued then begin
           tn.tn_rejected <- tn.tn_rejected + 1;
           t.g_rejected <- t.g_rejected + 1;
           bump t "rejected";
+          verdict_instant "admission.reject" [ ("state", "QUEUE_FULL") ];
+          Log.warn t.logger ~trace
+            ~fields:[ ("tenant", tenant); ("queued", string_of_int tn.tn_queued) ]
+            ~sub:"service.queue" "queue full";
           Error (Queue_full { tenant; queued = tn.tn_queued; max_queued = tn.tn_quota.max_queued })
         end
         else begin
@@ -669,6 +784,10 @@ let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms g =
           | Some rej ->
               t.g_shed <- t.g_shed + 1;
               bump t "shed";
+              verdict_instant "admission.reject" [ ("state", "SHED") ];
+              Log.warn t.logger ~trace
+                ~fields:[ ("tenant", tenant) ]
+                ~sub:"service.queue" (reject_message rej);
               Error rej
           | None ->
               let j = mk () in
@@ -679,6 +798,15 @@ let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms g =
               tn.tn_submitted <- tn.tn_submitted + 1;
               t.g_submitted <- t.g_submitted + 1;
               bump t "submitted";
+              verdict_instant "admission.admit" [];
+              Log.debug t.logger ~trace
+                ~fields:
+                  [
+                    ("tenant", tenant);
+                    ("graph", g.Graph.graph_name);
+                    ("level", Build.level_name level);
+                  ]
+                ~sub:"service.queue" "admitted";
               set_depth_gauges t;
               Condition.broadcast t.cond;
               Ok j
@@ -715,8 +843,8 @@ let await ?timeout_s t (j : ticket) =
   in
   wait ()
 
-let compile t ~tenant ?priority ?level ?deadline_ms g =
-  match submit t ~tenant ?priority ?level ?deadline_ms g with
+let compile t ~tenant ?priority ?level ?deadline_ms ?trace_id g =
+  match submit t ~tenant ?priority ?level ?deadline_ms ?trace_id g with
   | Error e -> Error e
   | Ok ticket -> await t ticket
 
@@ -801,15 +929,7 @@ let stats t =
   Mutex.unlock t.mu;
   st
 
-let percentile samples q =
-  match samples with
-  | [] -> 0.0
-  | _ ->
-      let a = Array.of_list samples in
-      Array.sort compare a;
-      let n = Array.length a in
-      let rank = int_of_float (ceil (q *. float_of_int n)) in
-      a.(max 0 (min (n - 1) (rank - 1)))
+let percentile = Quantile.of_samples
 
 let stats_json (s : stats) =
   let tenant_json ts =
@@ -870,6 +990,104 @@ let stats_json (s : stats) =
       ("store", match s.st_store with Some ss -> store_json ss | None -> Json.Null);
     ]
 
+(* ---------- live introspection (Status / Health admin verbs) ---------- *)
+
+let status_json t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let now = Unix.gettimeofday () in
+  let tenant_json tn =
+    let buckets = Quantile.buckets_of_counts ~edges:latency_edges ~counts:tn.tn_lat_counts in
+    let count = Array.fold_left ( + ) 0 tn.tn_lat_counts in
+    Json.Obj
+      [
+        ("tenant", Json.String tn.tn_name);
+        ("queued", Json.Int tn.tn_queued);
+        ("max_queued", Json.Int tn.tn_quota.max_queued);
+        ("in_flight", Json.Int tn.tn_in_flight);
+        ("max_in_flight", Json.Int tn.tn_quota.max_in_flight);
+        ("submitted", Json.Int tn.tn_submitted);
+        ("completed", Json.Int tn.tn_completed);
+        ("failed", Json.Int tn.tn_failed);
+        ("rejected", Json.Int tn.tn_rejected);
+        ("deduped", Json.Int tn.tn_deduped);
+        ( "latency",
+          Json.Obj
+            [
+              ("count", Json.Int count);
+              ("p50_s", Json.Float (Quantile.of_buckets buckets 0.50));
+              ("p95_s", Json.Float (Quantile.of_buckets buckets 0.95));
+              ("p99_s", Json.Float (Quantile.of_buckets buckets 0.99));
+            ] );
+      ]
+  in
+  let tenants =
+    Hashtbl.fold (fun _ tn acc -> tn :: acc) t.tenants []
+    |> List.sort (fun a b -> compare a.tn_name b.tn_name)
+    |> List.map tenant_json
+  in
+  let builds =
+    Hashtbl.fold (fun _ j acc -> j :: acc) t.running []
+    |> List.sort (fun a b -> compare a.j_id b.j_id)
+    |> List.map (fun j ->
+           Json.Obj
+             [
+               ("id", Json.Int j.j_id);
+               ("tenant", Json.String j.j_tenant);
+               ("graph", Json.String j.j_graph.Graph.graph_name);
+               ("level", Json.String (Build.level_name j.j_level));
+               ("age_s", Json.Float (now -. j.j_started));
+               ("trace", Json.String j.j_trace);
+             ])
+  in
+  let state =
+    if t.stopping then "stopping" else if t.draining then "draining" else "running"
+  in
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (now -. t.t_started));
+      ("state", Json.String state);
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (List.length t.pending));
+            ("in_flight", Json.Int (Hashtbl.length t.running));
+            ("workers", Json.Int t.queue_workers);
+            ("avg_build_s", Json.Float t.avg_build_s);
+          ] );
+      ( "counters",
+        Json.Obj
+          [
+            ("submitted", Json.Int t.g_submitted);
+            ("completed", Json.Int t.g_completed);
+            ("failed", Json.Int t.g_failed);
+            ("rejected", Json.Int t.g_rejected);
+            ("shed", Json.Int t.g_shed);
+            ("deadline_exceeded", Json.Int t.g_deadline);
+            ("lost", Json.Int t.g_lost);
+            ("watchdog_kills", Json.Int t.g_wd_kills);
+            ("deduped", Json.Int t.g_deduped);
+            ("cross_tenant_hits", Json.Int t.g_cross);
+          ] );
+      ("tenants", Json.List tenants);
+      ("builds", Json.List builds);
+    ]
+
+let health_json t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let state =
+    if t.stopping then "stopping" else if t.draining then "draining" else "running"
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool (not (t.stopping || t.draining)));
+      ("state", Json.String state);
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.t_started));
+      ("queue_depth", Json.Int (List.length t.pending));
+      ("in_flight", Json.Int (Hashtbl.length t.running));
+    ]
+
 let render_stats (s : stats) =
   let head =
     Printf.sprintf
@@ -899,6 +1117,9 @@ let shutdown t =
   Mutex.lock t.mu;
   if not t.stopping then begin
     t.stopping <- true;
+    Log.info t.logger
+      ~fields:[ ("orphaned", string_of_int (List.length t.pending)) ]
+      ~sub:"service" "shutting down";
     let orphaned = t.pending in
     t.pending <- [];
     List.iter (fun j -> fail_queued t j (Lost "service shut down before the job ran")) orphaned;

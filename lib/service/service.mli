@@ -97,6 +97,7 @@ val create :
   ?watchdog_tick_s:float ->
   ?faults:Pld_faults.Fault.t ->
   ?telemetry:Pld_telemetry.Telemetry.t ->
+  ?logger:Pld_telemetry.Log.t ->
   unit ->
   t
 (** Start the service: [queue_workers] (default 2) domains begin
@@ -118,7 +119,13 @@ val create :
     worker is spawned, and the wedged worker is quarantined until its
     build returns. [faults] interprets [hang=<graph>@<ms>] specs from
     {!Pld_faults.Fault} as wedged tool invocations for exactly that
-    graph name — the chaos harness's lever. *)
+    graph name — the chaos harness's lever.
+
+    [logger] (default {!Pld_telemetry.Log.default}) receives
+    structured events for the request lifecycle: admission verdicts
+    and dispatches at [Debug], refusals and failures at [Warn], and
+    watchdog kills at [Error] — the level that trips an armed flight
+    recorder. *)
 
 type outcome = {
   o_tenant : string;
@@ -148,9 +155,18 @@ val submit :
   ?priority:int ->
   ?level:Build.level ->
   ?deadline_ms:int ->
+  ?trace_id:string ->
   Graph.t ->
   (ticket, reject) result
-(** Enqueue a compile request. Higher [priority] (default 0) is served
+(** Enqueue a compile request. [trace_id] (default: freshly minted)
+    names the request's distributed trace: it is stamped as a
+    ["trace"] attribute on every telemetry span and instant the
+    request produces — the admission verdict, the queue wait, the
+    build's tool-phase spans, and the end-to-end ["request"] span — so
+    one id links the whole lifecycle, including a dedup follower's
+    (whose trace shows the join and the outcome but no tool phases).
+
+    Higher [priority] (default 0) is served
     first; equal priorities are FIFO. Admission fails with
     {!Queue_full} when the tenant already has [max_queued] admitted
     jobs waiting, with {!Shed} when the shed policy's delay budget is
@@ -177,6 +193,7 @@ val compile :
   ?priority:int ->
   ?level:Build.level ->
   ?deadline_ms:int ->
+  ?trace_id:string ->
   Graph.t ->
   (outcome, reject) result
 (** [submit] then [await]. *)
@@ -220,6 +237,20 @@ val percentile : float list -> float -> float
 
 val stats_json : stats -> Pld_telemetry.Json.t
 val render_stats : stats -> string list
+
+val status_json : t -> Pld_telemetry.Json.t
+(** Live snapshot for the [Status] admin verb: uptime and state,
+    queue occupancy ([depth]/[in_flight]/[workers]/[avg_build_s]),
+    the rejection-taxonomy counters, per-tenant quota occupancy with
+    latency p50/p95/p99 derived from bucket counts
+    ({!Pld_telemetry.Quantile.of_buckets} over fixed shared edges),
+    and one entry per in-flight build with its age and trace id.
+    Render with {!Protocol.render_status}. *)
+
+val health_json : t -> Pld_telemetry.Json.t
+(** Cheap liveness document: [ok] (accepting work), [state]
+    ([running]/[draining]/[stopping]), uptime, queue depth and
+    in-flight count. *)
 
 val cache : t -> Build.cache
 (** The shared cache (the full-write view). *)

@@ -1,0 +1,34 @@
+(** Shared quantile estimators.
+
+    Two forms, matching the two places latency lives in this codebase:
+    raw sample lists (what [bench service] collects per session) and
+    histogram bucket counts (what the metrics registry and the
+    service's per-tenant latency arrays keep when samples would be
+    unbounded). Both are pure functions, so the service, the bench
+    harness and the daemon's status endpoint all report the same
+    p50/p95/p99 arithmetic. *)
+
+val of_samples : float list -> float -> float
+(** [of_samples xs q] with [q] in [0,1] — nearest-rank on a sorted
+    copy of [xs]; [0.0] for an empty list. This is the estimator the
+    service and bench tiers have always used, so migrating onto it
+    changes no baseline numbers. *)
+
+val of_buckets : (float * int) list -> float -> float
+(** [of_buckets buckets q] estimates the [q]-quantile from cumulative
+    bucket counts, where [buckets] is [(upper_edge, count)] per bucket
+    in ascending edge order (the shape of
+    {!Telemetry.bucket_counts}), the final edge may be
+    [Float.infinity], and [count] is per-bucket (not cumulative).
+
+    The estimate interpolates linearly inside the bucket holding the
+    target rank, taking the previous edge (or [0.0] for the first
+    bucket) as the lower bound — the standard Prometheus
+    [histogram_quantile] construction. A rank landing in the [+inf]
+    bucket returns the last finite edge; an empty histogram returns
+    [0.0]. *)
+
+val buckets_of_counts : edges:float array -> counts:int array -> (float * int) list
+(** Pair a fixed edge array with its per-bucket count array (length
+    [edges + 1], last slot the [+inf] bucket) into the [(edge, count)]
+    shape {!of_buckets} consumes. *)

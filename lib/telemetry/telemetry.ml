@@ -374,6 +374,58 @@ let to_metrics_json t =
 let write_chrome t ~file = Json.write_file ~file (to_chrome_json t)
 let write_metrics t ~file = Json.write_file ~file (to_metrics_json t)
 
+let prometheus_name name =
+  let b = Bytes.of_string ("pld_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let prometheus_float f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f
+  else if f > 0.0 then "+Inf"
+  else if f < 0.0 then "-Inf"
+  else "NaN"
+
+let to_prometheus t =
+  let s = snapshot t in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf str; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, m) ->
+      let pn = prometheus_name name in
+      match m with
+      | Counter c ->
+          line "# TYPE %s counter" pn;
+          line "%s %d" pn c.c_value
+      | Gauge g ->
+          if g.g_set then begin
+            line "# TYPE %s gauge" pn;
+            line "%s %s" pn (prometheus_float g.g_value)
+          end
+      | Histogram h ->
+          line "# TYPE %s histogram" pn;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i n ->
+              cum := !cum + n;
+              let le =
+                if i < Array.length h.h_edges then prometheus_float h.h_edges.(i) else "+Inf"
+              in
+              line "%s_bucket{le=\"%s\"} %d" pn le !cum)
+            h.h_counts;
+          line "%s_sum %s" pn (prometheus_float h.h_sum);
+          line "%s_count %d" pn h.h_n)
+    s.s_metrics;
+  line "# TYPE pld_spans_recorded gauge";
+  line "pld_spans_recorded %d" (List.length s.s_events);
+  line "# TYPE pld_spans_dropped gauge";
+  line "pld_spans_dropped %d" s.s_dropped;
+  Buffer.contents buf
+
 (* ---------- human rendering ---------- *)
 
 let render_section title = Printf.sprintf "\n===== %s =====\n" title

@@ -165,6 +165,14 @@ val to_metrics_json : t -> Json.t
 val write_chrome : t -> file:string -> unit
 val write_metrics : t -> file:string -> unit
 
+val to_prometheus : t -> string
+(** Prometheus text exposition (version 0.0.4) of the metrics
+    registry: every name is sanitized and prefixed [pld_]; counters
+    and set gauges one sample each, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count]; span bookkeeping
+    as [pld_spans_recorded]/[pld_spans_dropped]. Scraped live from the
+    daemon via the [Metrics] admin verb. *)
+
 (** {2 Human rendering} *)
 
 val render_section : string -> string

@@ -323,6 +323,203 @@ let test_percentile () =
   Alcotest.(check (float 1e-9)) "empty" 0.0 (Service.percentile [] 0.5);
   Alcotest.(check (float 1e-9)) "unsorted input" 3.0 (Service.percentile [ 3.0; 1.0; 2.0 ] 1.0)
 
+(* ---------- observability: distributed traces, status, flight ---------- *)
+
+module Server = Pld_service.Server
+module Protocol = Pld_service.Protocol
+module Log = Pld_telemetry.Log
+module Json = Pld_telemetry.Json
+
+let spans_with_trace tele id =
+  List.filter (fun (s : T.span) -> List.assoc_opt "trace" s.T.attrs = Some id) (T.spans tele)
+
+let named name spans = List.filter (fun (s : T.span) -> String.equal s.T.name name) spans
+
+let resolve_chain name = Result.map Traffic.chain_graph (Traffic.chain_of_name name)
+
+(* The tentpole, end to end over a real socket: one trace id minted
+   client-side must stitch the client's retry attempts, the server's
+   admission verdict and queue wait, and the modeled tool phases into
+   one trace. The server comes up late on purpose, so the client
+   provably retries before succeeding. *)
+let test_trace_spans_client_retry_queue_and_build () =
+  let tele = T.create () in
+  let logger = Log.create () in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pld-e2e-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let svc = Service.create ~queue_workers:1 ~telemetry:tele ~logger () in
+  let server =
+    Thread.create
+      (fun () ->
+        Unix.sleepf 0.08;
+        ignore
+          (Server.serve ~socket ~install_signals:false ~telemetry:tele ~logger
+             ~service:svc
+             ~handler:(fun t e -> Server.handle t ~resolve:resolve_chain e)
+             ()))
+      ()
+  in
+  let trace = "0123456789abcdef" in
+  let envelope =
+    Protocol.envelope ~tenant:"alice" ~trace
+      (Protocol.Compile { bench = "svc-2x3"; level = "O1" })
+  in
+  let backoff =
+    { Client.default_backoff with Client.b_attempts = 60; b_base_s = 0.01; b_cap_s = 0.02 }
+  in
+  (match Client.rpc_retry ~backoff ~telemetry:tele ~socket envelope with
+  | Ok r -> check_bool "remote compile succeeded" true r.Protocol.ok
+  | Error msg -> Alcotest.failf "rpc_retry failed: %s" msg);
+  (match Client.rpc ~socket (Protocol.envelope Protocol.Shutdown) with
+  | Ok r -> check_bool "shutdown acknowledged" true r.Protocol.ok
+  | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
+  Thread.join server;
+  let traced = spans_with_trace tele trace in
+  (* Client side: the attempts that failed against the dead socket and
+     the one that succeeded all carry the id, as do the retry marks. *)
+  check_bool "client made several attempts under one trace" true
+    (List.length (named "rpc.attempt" traced) >= 2);
+  check_bool "retry decisions are on the trace" true
+    (List.length (named "rpc.retry" traced) >= 1);
+  (* Server side: the admission verdict, the queue wait, the build
+     umbrella and the modeled tool phases share the same id. *)
+  check_int "one admission verdict" 1 (List.length (named "admission.admit" traced));
+  check_int "one queue wait" 1 (List.length (named "queue.wait" traced));
+  check_int "one request span" 1 (List.length (named "request" traced));
+  check_bool "modeled tool phases carry the trace" true
+    (List.exists (fun (s : T.span) -> String.equal s.T.cat "flow") traced);
+  check_bool "request completed ok" true
+    (List.exists
+       (fun (s : T.span) -> List.assoc_opt "outcome" s.T.attrs = Some "ok")
+       (named "request" traced))
+
+(* The paper's economics, now provable per request: a dedup follower's
+   trace contains its admission, join verdict and request span — and
+   zero tool-phase or executor spans, because nothing was built for
+   it. *)
+let test_dedup_follower_trace_has_no_tool_spans () =
+  let tele = T.create () in
+  let svc = Service.create ~queue_workers:1 ~jobs:1 ~pace:0.5 ~telemetry:tele () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  let g = chain [ 18; 19 ] in
+  let ta = "aaaaaaaaaaaaaaaa" and tb = "bbbbbbbbbbbbbbbb" in
+  let t1 = ok_exn (Service.submit svc ~tenant:"alice" ~trace_id:ta g) in
+  let t2 = ok_exn (Service.submit svc ~tenant:"bob" ~trace_id:tb g) in
+  ignore (ok_exn (Service.await svc t1));
+  let b = ok_exn (Service.await svc t2) in
+  check_bool "follower piggybacked" true b.Service.o_deduped;
+  let a_spans = spans_with_trace tele ta and b_spans = spans_with_trace tele tb in
+  check_bool "primary trace ran tool phases" true
+    (List.exists (fun (s : T.span) -> String.equal s.T.cat "flow") a_spans);
+  check_int "follower trace ran zero tool or executor spans" 0
+    (List.length
+       (List.filter
+          (fun (s : T.span) -> String.equal s.T.cat "flow" || String.equal s.T.cat "engine")
+          b_spans));
+  check_bool "follower trace records the dedup join" true
+    (List.exists
+       (fun (s : T.span) ->
+         String.equal s.T.name "dedup.join"
+         && List.assoc_opt "primary_trace" s.T.attrs = Some ta)
+       b_spans);
+  check_int "follower still gets a request span" 1 (List.length (named "request" b_spans))
+
+(* The hang injector wedges a build; the watchdog kill logs at Error
+   level, which must trip the armed flight recorder into a parseable
+   dump of the recent events plus the metrics snapshot. *)
+let test_watchdog_kill_trips_flight_recorder () =
+  let tele = T.create () in
+  let logger = Log.create ~level:Log.Debug () in
+  let file = Filename.temp_file "pld-flight" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      Log.arm_flight logger ~telemetry:tele ~file ();
+      let svc =
+        Service.create ~queue_workers:1 ~jobs:1 ~telemetry:tele ~logger
+          ~watchdog_timeout_s:0.12 ~watchdog_tick_s:0.01 ~faults:(faults "hang=svc-9@500") ()
+      in
+      Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+      (match Service.compile svc ~tenant:"t" (chain [ 9 ]) with
+      | Error (Service.Lost _) -> ()
+      | Ok _ -> Alcotest.fail "expected the watchdog to write the build off"
+      | Error rej -> Alcotest.failf "expected Lost, got %s" (Service.reject_message rej));
+      let doc = Json.of_string (In_channel.with_open_bin file In_channel.input_all) in
+      (match Json.member "events" doc with
+      | Some (Json.List evs) ->
+          let parsed = List.filter_map (fun j -> Result.to_option (Log.event_of_json j)) evs in
+          check_int "every dumped event parses" (List.length evs) (List.length parsed);
+          check_bool "the watchdog kill is in the dump" true
+            (List.exists
+               (fun e -> String.equal e.Log.ev_sub "service.watchdog" && e.Log.ev_level = Log.Error)
+               parsed);
+          check_bool "events carry the request trace" true
+            (List.exists (fun e -> Option.is_some e.Log.ev_trace) parsed)
+      | _ -> Alcotest.fail "flight dump has no events");
+      match Json.member "metrics" doc with
+      | Some m -> (
+          match Json.member "counters" m with
+          | Some (Json.Obj cs) ->
+              check_bool "metrics snapshot has the kill counter" true
+                (List.assoc_opt "service.watchdog_kills" cs = Some (Json.Int 1))
+          | _ -> Alcotest.fail "flight metrics have no counters")
+      | None -> Alcotest.fail "flight dump has no metrics")
+
+(* The Status/Health admin documents: counts, per-tenant quantiles
+   from bucket counts, and honest state transitions under drain. *)
+let test_status_and_health_json () =
+  let svc = Service.create ~queue_workers:1 () in
+  ignore (ok_exn (Service.compile svc ~tenant:"alice" (chain [ 20; 21 ])));
+  ignore (ok_exn (Service.compile svc ~tenant:"bob" (chain [ 20; 21 ])));
+  let doc = Service.status_json svc in
+  let member path j =
+    match Json.member path j with Some v -> v | None -> Alcotest.failf "missing %s" path
+  in
+  (match member "state" doc with
+  | Json.String s -> Alcotest.(check string) "running" "running" s
+  | _ -> Alcotest.fail "state not a string");
+  (match member "counters" doc with
+  | Json.Obj cs ->
+      check_bool "submitted counted" true (List.assoc_opt "submitted" cs = Some (Json.Int 2));
+      check_bool "completed counted" true (List.assoc_opt "completed" cs = Some (Json.Int 2));
+      check_bool "one cross-tenant hit" true
+        (List.assoc_opt "cross_tenant_hits" cs = Some (Json.Int 1))
+  | _ -> Alcotest.fail "counters not an object");
+  (match member "tenants" doc with
+  | Json.List tenants ->
+      check_int "both tenants reported" 2 (List.length tenants);
+      List.iter
+        (fun tj ->
+          match member "latency" tj with
+          | Json.Obj lat ->
+              check_bool "each tenant observed one latency" true
+                (List.assoc_opt "count" lat = Some (Json.Int 1));
+              (match List.assoc_opt "p50_s" lat with
+              | Some (Json.Float p50) -> check_bool "p50 positive" true (p50 > 0.0)
+              | _ -> Alcotest.fail "no p50_s")
+          | _ -> Alcotest.fail "tenant latency not an object")
+        tenants
+  | _ -> Alcotest.fail "tenants not a list");
+  (match member "builds" doc with
+  | Json.List [] -> ()
+  | Json.List _ -> Alcotest.fail "no build should be in flight"
+  | _ -> Alcotest.fail "builds not a list");
+  (* render_status turns the same document into the pldc status/top
+     summary without raising. *)
+  let lines = Protocol.render_status doc in
+  check_bool "rendered summary is non-empty" true (List.length lines > 0);
+  (match Json.member "ok" (Service.health_json svc) with
+  | Some (Json.Bool ok) -> check_bool "healthy while running" true ok
+  | _ -> Alcotest.fail "health has no ok");
+  Service.drain ~grace_s:1.0 svc;
+  (match Json.member "ok" (Service.health_json svc) with
+  | Some (Json.Bool ok) -> check_bool "unhealthy once draining" false ok
+  | _ -> Alcotest.fail "health has no ok after drain");
+  Service.shutdown svc
+
 let suite =
   [
     ("session: compile, cache, link, run, close", `Quick, test_session_compile_link_run);
@@ -338,4 +535,8 @@ let suite =
     ("service: draining refusals are honest", `Slow, test_drain_refuses_honestly);
     ("client: backoff schedule is seeded and capped", `Quick, test_backoff_deterministic);
     ("service: percentile", `Quick, test_percentile);
+    ("trace: one id spans retry, queue and build", `Slow, test_trace_spans_client_retry_queue_and_build);
+    ("trace: dedup follower shows zero tool spans", `Slow, test_dedup_follower_trace_has_no_tool_spans);
+    ("flight: watchdog kill dumps the recorder", `Slow, test_watchdog_kill_trips_flight_recorder);
+    ("status: live introspection documents", `Quick, test_status_and_health_json);
   ]

@@ -291,6 +291,199 @@ let test_json_pretty_roundtrip () =
   check_bool "pretty output is indented" true (String.contains p '\n');
   check_bool "pretty parses back to the same document" true (Json.of_string p = doc)
 
+(* ---------- quantile estimators ---------- *)
+
+module Quantile = Pld_telemetry.Quantile
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_quantile_of_samples () =
+  let samples = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50 nearest-rank" 50.0 (Quantile.of_samples samples 0.50);
+  check_float "p95" 95.0 (Quantile.of_samples samples 0.95);
+  check_float "p99" 99.0 (Quantile.of_samples samples 0.99);
+  check_float "p100 is the max" 100.0 (Quantile.of_samples samples 1.0);
+  check_float "empty reads 0" 0.0 (Quantile.of_samples [] 0.5);
+  check_float "unsorted input" 3.0 (Quantile.of_samples [ 3.0; 1.0; 2.0 ] 1.0)
+
+let test_quantile_of_buckets () =
+  (* 40 observations: 10 in (0,1], 10 in (1,2], 20 in (2,4]. The median
+     rank (20) lands exactly at the top of the second bucket, so linear
+     interpolation must return its upper edge. *)
+  let buckets = [ (1.0, 10); (2.0, 10); (4.0, 20); (Float.infinity, 0) ] in
+  check_float "p50 at a bucket boundary" 2.0 (Quantile.of_buckets buckets 0.50);
+  (* Rank 30 sits halfway through the 20-count (2,4] bucket. *)
+  check_float "p75 interpolates inside a bucket" 3.0 (Quantile.of_buckets buckets 0.75);
+  (* Rank 10 tops the first bucket, whose lower bound is 0. *)
+  check_float "p25 in the first bucket" 1.0 (Quantile.of_buckets buckets 0.25);
+  check_float "overflow rank clamps to the last finite edge" 1.0
+    (Quantile.of_buckets [ (1.0, 0); (Float.infinity, 5) ] 0.99);
+  check_float "all-empty buckets read 0" 0.0
+    (Quantile.of_buckets [ (1.0, 0); (Float.infinity, 0) ] 0.5);
+  (* The pairing helper reproduces bucket_counts' shape. *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "buckets_of_counts pairs edges with counts"
+    [ (1.0, 2); (2.0, 0); (Float.infinity, 1) ]
+    (Quantile.buckets_of_counts ~edges:[| 1.0; 2.0 |] ~counts:[| 2; 0; 1 |])
+
+(* The estimator the daemon's per-tenant status derives p50/p95/p99
+   from: the registry's own bucket counts must round-trip through it
+   with bucket-resolution accuracy. *)
+let test_quantile_from_registry_histogram () =
+  let tele = T.create () in
+  let h = T.histogram tele ~buckets:[ 0.01; 0.1; 1.0 ] "lat" in
+  List.iter (T.observe h) [ 0.005; 0.05; 0.05; 0.5 ];
+  let buckets = T.bucket_counts tele "lat" in
+  let p50 = Quantile.of_buckets buckets 0.50 in
+  check_bool "p50 lands in the right bucket" true (p50 > 0.01 && p50 <= 0.1)
+
+(* ---------- structured logging ---------- *)
+
+module Log = Pld_telemetry.Log
+
+let contains_sub ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_log_levels_and_ring () =
+  let lg = Log.create ~level:Log.Warn ~ring_limit:3 () in
+  Log.debug lg ~sub:"t" "dropped";
+  Log.info lg ~sub:"t" "dropped too";
+  List.iter (fun i -> Log.warn lg ~sub:"t" (Printf.sprintf "w%d" i)) [ 1; 2; 3; 4; 5 ];
+  let evs = Log.events lg in
+  check_int "ring bounded" 3 (List.length evs);
+  Alcotest.(check (list string))
+    "oldest evicted first, order kept" [ "w3"; "w4"; "w5" ]
+    (List.map (fun e -> e.Log.ev_msg) evs);
+  Log.set_level lg Log.Debug;
+  Log.debug lg ~sub:"t" "now kept";
+  check_int "level change takes effect" 3 (List.length (Log.events lg));
+  check_bool "debug now in ring" true
+    (List.exists (fun e -> e.Log.ev_msg = "now kept") (Log.events lg))
+
+let test_log_event_json_roundtrip () =
+  let lg = Log.create ~level:Log.Debug () in
+  Log.error lg ~trace:"00000000deadbeef"
+    ~fields:[ ("tenant", "alice"); ("graph", "svc-1x2") ]
+    ~sub:"service.watchdog" "build wedged";
+  let e = List.hd (Log.events lg) in
+  (* The JSONL line a --log-json consumer reads must parse back to the
+     same event through the in-tree parser. *)
+  let j = Json.of_string (Json.to_string (Log.event_json e)) in
+  (match Log.event_of_json j with
+  | Ok e' ->
+      check_string "msg" e.Log.ev_msg e'.Log.ev_msg;
+      check_string "sub" e.Log.ev_sub e'.Log.ev_sub;
+      Alcotest.(check (option string)) "trace" e.Log.ev_trace e'.Log.ev_trace;
+      Alcotest.(check (list (pair string string))) "fields" e.Log.ev_fields e'.Log.ev_fields;
+      check_bool "level" true (e.Log.ev_level = e'.Log.ev_level)
+  | Error msg -> Alcotest.failf "event did not round-trip: %s" msg);
+  let line = Log.render e in
+  List.iter
+    (fun part -> check_bool (part ^ " rendered") true (contains_sub ~needle:part line))
+    [ "ERROR"; "service.watchdog"; "build wedged"; "tenant=alice"; "trace=00000000deadbeef" ]
+
+let test_log_sinks () =
+  let lg = Log.create () in
+  let texts = ref [] and jsons = ref [] in
+  Log.set_text_sink lg (Some (fun l -> texts := l :: !texts));
+  Log.set_json_sink lg (Some (fun l -> jsons := l :: !jsons));
+  Log.info lg ~sub:"t" "hello";
+  Log.debug lg ~sub:"t" "below level";
+  check_int "text sink saw one line" 1 (List.length !texts);
+  check_int "json sink saw one line" 1 (List.length !jsons);
+  (match Json.of_string (List.hd !jsons) with
+  | Json.Obj _ as j ->
+      check_bool "json line carries the message" true
+        (Json.member "msg" j = Some (Json.String "hello"))
+  | _ -> Alcotest.fail "json sink line is not an object");
+  Log.set_text_sink lg None;
+  Log.info lg ~sub:"t" "after removal";
+  check_int "removed sink sees nothing" 1 (List.length !texts)
+
+let test_flight_recorder_dump () =
+  let lg = Log.create () in
+  let tele = T.create () in
+  T.incr ~by:9 (T.counter tele "service.watchdog_kills");
+  let file = Filename.temp_file "pld-flight" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      Log.arm_flight lg ~telemetry:tele ~file ();
+      Log.info lg ~sub:"service" "context line";
+      (* An error-level event trips the dump without anyone calling
+         trip_flight — the watchdog-kill path. *)
+      Log.error lg ~trace:"feedc0defeedc0de" ~sub:"service.watchdog" "build wedged";
+      let doc = Json.of_string (In_channel.with_open_bin file In_channel.input_all) in
+      (match Json.member "reason" doc with
+      | Some (Json.String r) ->
+          check_bool "reason names the tripping event" true
+            (contains_sub ~needle:"build wedged" r)
+      | _ -> Alcotest.fail "flight dump has no reason");
+      (match Json.member "events" doc with
+      | Some (Json.List evs) ->
+          check_int "both ring events dumped" 2 (List.length evs);
+          let parsed = List.map Log.event_of_json evs in
+          check_bool "dumped events parse back" true (List.for_all Result.is_ok parsed)
+      | _ -> Alcotest.fail "flight dump has no events");
+      (match Json.member "metrics" doc with
+      | Some m ->
+          check_bool "metrics snapshot included" true
+            (match Json.member "counters" m with
+            | Some (Json.Obj cs) -> List.mem_assoc "service.watchdog_kills" cs
+            | _ -> false)
+      | None -> Alcotest.fail "flight dump has no metrics");
+      Log.disarm_flight lg;
+      Sys.remove file;
+      Log.error lg ~sub:"t" "after disarm";
+      check_bool "disarmed recorder writes nothing" false (Sys.file_exists file))
+
+let test_mint_trace_id () =
+  let ids = List.init 64 (fun _ -> Log.mint_trace_id ()) in
+  List.iter
+    (fun id ->
+      check_int "16 hex digits" 16 (String.length id);
+      String.iter
+        (fun c ->
+          check_bool "hex alphabet" true
+            (match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false))
+        id)
+    ids;
+  check_int "distinct within a process" 64 (List.length (List.sort_uniq compare ids))
+
+(* ---------- prometheus exposition ---------- *)
+
+let test_prometheus_exposition () =
+  let tele = populated_sink () in
+  let text = T.to_prometheus tele in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  check_bool "counter TYPE line" true (has "# TYPE pld_engine_cache_hits counter");
+  check_bool "counter value, dots sanitized" true (has "pld_engine_cache_hits 3");
+  check_bool "histogram TYPE line" true (has "# TYPE pld_noc_hop_latency histogram");
+  check_bool "cumulative finite bucket" true (has "pld_noc_hop_latency_bucket{le=\"10\"} 1");
+  check_bool "+Inf bucket equals count" true (has "pld_noc_hop_latency_bucket{le=\"+Inf\"} 1");
+  check_bool "histogram sum" true (has "pld_noc_hop_latency_sum 4");
+  check_bool "histogram count" true (has "pld_noc_hop_latency_count 1");
+  check_bool "span gauges" true (has "# TYPE pld_spans_recorded gauge");
+  (* Every non-comment line is "name value" or "name{labels} value" over
+     the sanitized alphabet — what a Prometheus scraper requires. *)
+  List.iter
+    (fun l ->
+      if l <> "" && not (String.length l >= 1 && l.[0] = '#') then
+        Scanf.sscanf l "%s %s%!" (fun name value ->
+            check_bool (l ^ ": name alphabet") true
+              (String.for_all
+                 (function
+                   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' | '{' | '}' | '"' | '='
+                   | '.' | '+' | '-' ->
+                       true
+                   | _ -> false)
+                 name);
+            check_bool (l ^ ": has a value") true (String.length value > 0)))
+    lines
+
 let suite =
   [
     Alcotest.test_case "with_span nests by containment" `Quick test_with_span_nesting;
@@ -306,4 +499,14 @@ let suite =
     Alcotest.test_case "json string escapes" `Quick test_json_escapes;
     Alcotest.test_case "json deep nesting" `Quick test_json_deep_nesting;
     Alcotest.test_case "json pretty round-trip" `Quick test_json_pretty_roundtrip;
+    Alcotest.test_case "quantile of samples (nearest rank)" `Quick test_quantile_of_samples;
+    Alcotest.test_case "quantile of bucket counts" `Quick test_quantile_of_buckets;
+    Alcotest.test_case "quantile from registry histogram" `Quick
+      test_quantile_from_registry_histogram;
+    Alcotest.test_case "log levels and bounded ring" `Quick test_log_levels_and_ring;
+    Alcotest.test_case "log event JSONL round-trip" `Quick test_log_event_json_roundtrip;
+    Alcotest.test_case "log sinks" `Quick test_log_sinks;
+    Alcotest.test_case "flight recorder dumps ring and metrics" `Quick test_flight_recorder_dump;
+    Alcotest.test_case "trace ids are unique hex" `Quick test_mint_trace_id;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
   ]
