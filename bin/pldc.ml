@@ -17,6 +17,8 @@ module T = Pld_telemetry.Telemetry
 module Json = Pld_telemetry.Json
 module Log = Pld_telemetry.Log
 module Profile = Pld_insight.Profile
+module FP = Pld_core.Fabric_profile
+module Bottleneck = Pld_insight.Bottleneck
 module Trace = Pld_insight.Trace
 module Critical_path = Pld_insight.Critical_path
 module Baseline = Pld_insight.Baseline
@@ -320,13 +322,47 @@ let top_cmd =
       value & opt int 0
       & info [ "count" ] ~docv:"N" ~doc:"Stop after $(docv) refreshes (0 = until interrupted).")
   in
-  let run connect retries interval count =
+  let fabric_arg =
+    Arg.(
+      value
+      & opt (some bench_conv) None
+      & info [ "fabric" ] ~docv:"BENCH"
+          ~doc:
+            "Append the per-build fabric view to each frame: the persisted fabric profile's \
+             ranked back-pressure attribution for $(docv) at --level, as recorded by the run \
+             that produced the cached artifact.")
+  in
+  let run connect retries interval count fabric level =
     let socket = require_connect connect in
+    let fabric_lines () =
+      match fabric with
+      | None -> []
+      | Some b -> (
+          let name = b.Suite.name and lvl = Pld_core.Build.level_name level in
+          let reply =
+            remote_rpc ~socket ~retries
+              (Protocol.envelope (Protocol.Profile { bench = name; level = lvl }))
+          in
+          let header = Printf.sprintf "fabric %s %s:" name lvl in
+          if not reply.Protocol.ok then [ header; "  (profile request failed)" ]
+          else
+            let body = reply.Protocol.body in
+            match Json.member "found" body with
+            | Some (Json.Bool true) -> (
+                match
+                  FP.of_json (Option.value ~default:Json.Null (Json.member "profile" body))
+                with
+                | Ok p ->
+                    header :: List.map (fun l -> "  " ^ l) (Bottleneck.render (Bottleneck.attribute p))
+                | Error m -> [ header; "  (malformed profile: " ^ m ^ ")" ])
+            | _ -> [ header; "  (no profile recorded yet — run the bench through pldd)" ])
+    in
     let rec loop n =
       let body = admin_call ~socket ~retries Protocol.Status in
       (* Home-and-clear, so the summary repaints in place. *)
       if n > 0 || count <> 1 then print_string "\027[2J\027[H";
       List.iter print_endline (Protocol.render_status body);
+      List.iter print_endline (fabric_lines ());
       flush stdout;
       if count = 0 || n + 1 < count then begin
         Unix.sleepf (Float.max 0.05 interval);
@@ -336,7 +372,8 @@ let top_cmd =
     loop 0
   in
   Cmd.v (Cmd.info "top" ~doc)
-    Term.(const run $ connect_arg $ retries_arg $ interval_arg $ count_arg)
+    Term.(
+      const run $ connect_arg $ retries_arg $ interval_arg $ count_arg $ fabric_arg $ level_arg)
 
 let metrics_cmd =
   let doc =
@@ -509,6 +546,88 @@ let run_cmd =
       $ fault_seed_arg $ max_retries_arg $ trace_arg $ trace_out_arg $ metrics_out_arg
       $ profile_arg $ hot_arg $ critical_path_arg $ connect_arg $ tenant_arg $ priority_arg
       $ deadline_arg $ retries_arg)
+
+(* ---------- fabric profiling ---------- *)
+
+(* The full profile document: the run snapshot plus the back-pressure
+   attribution — the same shape pldd persists, so the two export paths
+   validate identically. *)
+let profile_doc profile bk =
+  match FP.to_json profile with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("attribution", Bottleneck.to_json bk) ])
+  | other -> other
+
+let render_fabric ~fabric profile =
+  let bk = Bottleneck.attribute profile in
+  if fabric then print_string (FP.render_heatmap profile fp);
+  List.iter print_endline (Bottleneck.render bk)
+
+let profile_cmd =
+  let doc =
+    "Run a benchmark under the fabric PMU and report where the runtime cycles went: firing \
+     heatmap, stall splits, link traffic, and the ranked back-pressure attribution naming the \
+     rate-limiting operator."
+  in
+  let module L = Pld_core.Loader in
+  let fabric_flag =
+    Arg.(
+      value & flag
+      & info [ "fabric" ]
+          ~doc:
+            "Also render the fabric heatmap: the floorplan grid shaded by per-page firing \
+             activity, a per-page legend with stall fractions, and per-link utilization bars.")
+  in
+  let run b level workers jobs cache_dir fabric json connect tenant priority deadline_ms retries =
+    match connect with
+    | Some socket -> (
+        (* Remote: read the profile persisted next to the daemon's
+           cached artifact — the document the primary run stored,
+           whichever tenant's build that was. *)
+        let reply =
+          remote_rpc ~socket ~retries
+            (Protocol.envelope ~tenant ~priority ?deadline_ms
+               (Protocol.Profile { bench = b.Suite.name; level = B.level_name level }))
+        in
+        if not reply.Protocol.ok then die (Json.to_string reply.Protocol.body);
+        let body = reply.Protocol.body in
+        (match Json.member "found" body with
+        | Some (Json.Bool true) -> ()
+        | _ ->
+            die
+              (Printf.sprintf
+                 "no fabric profile for %s at %s yet — run it through the daemon first (pldc run \
+                  --connect %s %s)"
+                 b.Suite.name (B.level_name level) socket b.Suite.name));
+        let doc = Option.value ~default:Json.Null (Json.member "profile" body) in
+        if json then print_endline (Json.pretty doc)
+        else
+          match FP.of_json doc with
+          | Error m -> die (Printf.sprintf "malformed profile document: %s" m)
+          | Ok profile -> render_fabric ~fabric profile)
+    | None ->
+        let cache = open_cache cache_dir in
+        let session = S.open_session ~name:"pldc" ~fp ~cache ~workers ~jobs () in
+        let app = S.compile session ~level (b.Suite.graph hw) in
+        let dr =
+          try S.link session app
+          with L.Deploy_failed m -> die (Printf.sprintf "deploy failed: %s" m)
+        in
+        let pmu = Pld_telemetry.Pmu.create () in
+        let r =
+          try S.run session ~pmu dr ~inputs:(b.Suite.workload ()) with
+          | R.Stalled d -> die (R.describe_stall d)
+          | R.Softcore_trap (inst, tr) ->
+              die (Printf.sprintf "softcore %s trapped: %s" inst (Pld_riscv.Cpu.describe_trap tr))
+        in
+        S.close session;
+        let profile = FP.of_run ~pmu app r in
+        if json then print_endline (Json.pretty (profile_doc profile (Bottleneck.attribute profile)))
+        else render_fabric ~fabric profile
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ fabric_flag
+      $ json_flag_arg $ connect_arg $ tenant_arg $ priority_arg $ deadline_arg $ retries_arg)
 
 (* ---------- store maintenance ---------- *)
 
@@ -793,6 +912,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd; cache_cmd; analyze_cmd;
-            baseline_cmd; fuzz_cmd; status_cmd; top_cmd; metrics_cmd; health_cmd;
+            list_cmd; floorplan_cmd; source_cmd; compile_cmd; run_cmd; profile_cmd; cache_cmd;
+            analyze_cmd; baseline_cmd; fuzz_cmd; status_cmd; top_cmd; metrics_cmd; health_cmd;
           ]))

@@ -66,12 +66,30 @@ let handle_request server (e : Protocol.envelope) =
               let module L = Pld_core.Loader in
               let module R = Pld_core.Runner in
               try
-                let card = Pld_platform.Card.create () in
+                let pmu = Pld_telemetry.Pmu.create () in
+                let card = Pld_platform.Card.create ~pmu () in
                 let dr = L.deploy card outcome.Service.o_app in
                 (* The modeled runner executes one frame per request;
                    [frames] is accepted for protocol compatibility. *)
                 ignore frames;
-                let r = R.run dr.L.app ~inputs:(workload ()) in
+                let r = R.run ~pmu dr.L.app ~inputs:(workload ()) in
+                (* Persist the run's fabric profile under the build's
+                   own cache key — a later Profile request (any tenant,
+                   cached or dedup'd build) reads this document. The
+                   attribution report is embedded so clients need no
+                   insight pass of their own. *)
+                let profile =
+                  Pld_core.Fabric_profile.of_run ?trace:e.Protocol.trace
+                    ~tenant:e.Protocol.tenant ~pmu outcome.Service.o_app r
+                in
+                let bk = Pld_insight.Bottleneck.attribute profile in
+                let doc =
+                  match Pld_core.Fabric_profile.to_json profile with
+                  | Json.Obj fields ->
+                      Json.Obj (fields @ [ ("attribution", Pld_insight.Bottleneck.to_json bk) ])
+                  | other -> other
+                in
+                Service.put_profile (Server.service server) g level doc;
                 Protocol.reply_ok ~id
                   (Json.Obj
                      [

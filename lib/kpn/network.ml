@@ -1,5 +1,7 @@
 open Pld_ir
 module Telemetry = Pld_telemetry.Telemetry
+module Log = Pld_telemetry.Log
+module Pmu = Pld_telemetry.Pmu
 
 type _ Effect.t += Yield : unit Effect.t
 
@@ -11,23 +13,48 @@ type channel = {
   net : net;
   mutable tokens : int;
   mutable peak : int;
-  mutable blocks : int;
+  mutable read_blocks : int;
+  mutable write_blocks : int;
+  pmu_read : Pmu.series option;
+  pmu_write : Pmu.series option;
+  pmu_occ : Pmu.series option;
 }
 
-and net = { mutable progress : int; mutable channels : channel list }
+and net = { mutable progress : int; mutable channels : channel list; mutable round : int }
 
-type t = { net : net; mutable procs : (string * (unit -> unit)) list; tele : Telemetry.t }
+type t = {
+  net : net;
+  mutable procs : (string * (unit -> unit)) list;
+  tele : Telemetry.t;
+  pmu : Pmu.t option;
+}
 
 exception Deadlock of string list
 exception Out_of_fuel of { steps : int; live : string list }
 
-let create ?(telemetry = Telemetry.default) () =
-  { net = { progress = 0; channels = [] }; procs = []; tele = telemetry }
+let create ?(telemetry = Telemetry.default) ?pmu () =
+  { net = { progress = 0; channels = []; round = 0 }; procs = []; tele = telemetry; pmu }
 
 let channel t ?(capacity = 16) ~name elem =
   if capacity < 1 then invalid_arg "Network.channel: capacity must be >= 1";
+  let pmu_series suffix unit_ =
+    Option.map (fun p -> Pmu.series p ~unit_ ("kpn.chan." ^ name ^ "." ^ suffix)) t.pmu
+  in
   let c =
-    { chan_name = name; elem; capacity; buf = Queue.create (); net = t.net; tokens = 0; peak = 0; blocks = 0 }
+    {
+      chan_name = name;
+      elem;
+      capacity;
+      buf = Queue.create ();
+      net = t.net;
+      tokens = 0;
+      peak = 0;
+      read_blocks = 0;
+      write_blocks = 0;
+      pmu_read = pmu_series "stall_read" "stalls";
+      pmu_write = pmu_series "stall_write" "stalls";
+      pmu_occ = pmu_series "occupancy" "tokens";
+    }
   in
   t.net.channels <- c :: t.net.channels;
   c
@@ -40,7 +67,8 @@ let enqueue c v =
 
 let read c =
   while Queue.is_empty c.buf do
-    c.blocks <- c.blocks + 1;
+    c.read_blocks <- c.read_blocks + 1;
+    (match c.pmu_read with Some s -> Pmu.add s ~cycle:c.net.round 1.0 | None -> ());
     Effect.perform Yield
   done;
   let v = Queue.pop c.buf in
@@ -49,7 +77,8 @@ let read c =
 
 let write c v =
   while Queue.length c.buf >= c.capacity do
-    c.blocks <- c.blocks + 1;
+    c.write_blocks <- c.write_blocks + 1;
+    (match c.pmu_write with Some s -> Pmu.add s ~cycle:c.net.round 1.0 | None -> ());
     Effect.perform Yield
   done;
   enqueue c v
@@ -110,13 +139,22 @@ let run ?(fuel = 50_000_000) t =
   let live = Queue.create () in
   List.iter (fun (name, body) -> Queue.push (name, start body) live) (List.rev t.procs);
   let steps = ref 0 in
-  (* One cosim track per process instance; firing spans land on it. *)
+  (* Satellite: the span budget used to clip silently. Every dropped
+     firing span is now counted, and the first one per run leaves a
+     structured breadcrumb pointing at the counter. *)
+  let dropped_spans = Telemetry.counter t.tele "kpn.spans_dropped" in
+  let warned_drop = ref false in
+  (* One cosim track per process instance; firing spans land on it.
+     The third slot is the PMU firing series (rounds clock). *)
   let tracks = Hashtbl.create 8 in
   let track_of name =
     match Hashtbl.find_opt tracks name with
     | Some tr -> tr
     | None ->
-        let tr = (Telemetry.alloc_track t.tele ~cat:"cosim" name, ref 0) in
+        let fire =
+          Option.map (fun p -> Pmu.series p ~unit_:"firings" ("kpn.proc." ^ name ^ ".firings")) t.pmu
+        in
+        let tr = (Telemetry.alloc_track t.tele ~cat:"cosim" name, ref 0, fire) in
         Hashtbl.replace tracks name tr;
         tr
   in
@@ -135,7 +173,8 @@ let run ?(fuel = 50_000_000) t =
           raise
             (Out_of_fuel
                { steps = !steps; live = name :: List.map fst (List.of_seq (Queue.to_seq live)) });
-        let track, fired = track_of name in
+        let track, fired, fire = track_of name in
+        (match fire with Some s -> Pmu.add s ~cycle:t.net.round 1.0 | None -> ());
         let t0 = Telemetry.now_us t.tele in
         let outcome = resume () in
         if !fired < firing_span_budget then begin
@@ -144,11 +183,35 @@ let run ?(fuel = 50_000_000) t =
             ~start_us:t0
             ~dur_us:(Telemetry.now_us t.tele -. t0)
             ()
+        end
+        else begin
+          Telemetry.incr dropped_spans;
+          if not !warned_drop then begin
+            warned_drop := true;
+            Log.warn Log.default
+              ~fields:
+                [
+                  ("process", name); ("budget", string_of_int firing_span_budget);
+                  ("counter", "kpn.spans_dropped");
+                ]
+              ~sub:"kpn" "firing-span budget exhausted; further spans counted, not recorded"
+          end
         end;
         match outcome with
         | Finished -> finished := true
         | Yielded k -> Queue.push (name, fun () -> Effect.Deep.continue k ()) live
       done;
+      t.net.round <- t.net.round + 1;
+      (* Occupancy is sampled once per scheduler round — the KPN's
+         modeled clock — so the PMU windows show queue depth over
+         time, not just the high-water mark. *)
+      if t.pmu <> None then
+        List.iter
+          (fun c ->
+            match c.pmu_occ with
+            | Some s -> Pmu.add s ~cycle:t.net.round (float_of_int (Queue.length c.buf))
+            | None -> ())
+          t.net.channels;
       if (not !finished) && t.net.progress = before && not (Queue.is_empty live) then
         raise (Deadlock (List.map fst (List.of_seq (Queue.to_seq live))));
       loop ()
@@ -168,9 +231,24 @@ let run ?(fuel = 50_000_000) t =
         t.net.channels)
     loop
 
-type channel_stats = { chan : string; tokens : int; peak_occupancy : int; block_events : int }
+type channel_stats = {
+  chan : string;
+  tokens : int;
+  peak_occupancy : int;
+  block_events : int;
+  blocked_reads : int;
+  blocked_writes : int;
+}
 
 let stats t =
   List.rev_map
-    (fun c -> { chan = c.chan_name; tokens = c.tokens; peak_occupancy = c.peak; block_events = c.blocks })
+    (fun c ->
+      {
+        chan = c.chan_name;
+        tokens = c.tokens;
+        peak_occupancy = c.peak;
+        block_events = c.read_blocks + c.write_blocks;
+        blocked_reads = c.read_blocks;
+        blocked_writes = c.write_blocks;
+      })
     t.net.channels

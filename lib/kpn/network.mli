@@ -18,11 +18,16 @@ exception Out_of_fuel of { steps : int; live : string list }
 (** Scheduler resume budget exhausted while [live] processes were
     still running — usually a hung or livelocked operator. *)
 
-val create : ?telemetry:Pld_telemetry.Telemetry.t -> unit -> t
+val create : ?telemetry:Pld_telemetry.Telemetry.t -> ?pmu:Pld_telemetry.Pmu.t -> unit -> t
 (** [telemetry] (default the process sink) receives one cosim track per
-    process with its first firings as wall-clock spans, a [kpn.resumes]
-    counter, and a [kpn.<channel>.peak] high-water gauge per channel
-    (published even when {!run} raises). *)
+    process with its first firings as wall-clock spans, [kpn.resumes]
+    and [kpn.spans_dropped] counters, and a [kpn.<channel>.peak]
+    high-water gauge per channel (published even when {!run} raises).
+
+    [pmu] (default none) additionally receives windowed series on the
+    scheduler-round clock: [kpn.proc.<name>.firings] per process, and
+    [kpn.chan.<name>.stall_read] / [.stall_write] / [.occupancy] per
+    channel — the raw material of back-pressure attribution. *)
 
 val channel : t -> ?capacity:int -> name:string -> Dtype.t -> channel
 (** [capacity] defaults to 16; [max_int] means effectively unbounded. *)
@@ -71,7 +76,9 @@ type channel_stats = {
   chan : string;
   tokens : int;  (** total tokens ever enqueued *)
   peak_occupancy : int;
-  block_events : int;  (** reader/writer blockings observed *)
+  block_events : int;  (** reader/writer blockings observed (sum of the two below) *)
+  blocked_reads : int;  (** consumer stalled on an empty channel *)
+  blocked_writes : int;  (** producer stalled on a full channel (back-pressure) *)
 }
 
 val stats : t -> channel_stats list

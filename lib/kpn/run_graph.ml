@@ -21,7 +21,7 @@ let ordered_instances ?order (g : Graph.t) =
       let rest = List.filter (fun i -> not (List.mem i.Graph.inst_name names)) g.instances in
       listed @ rest
 
-let run ?fuel ?(rounds = 1) ?(processor = false) ?order (g : Graph.t) ~inputs =
+let run ?fuel ?(rounds = 1) ?(processor = false) ?order ?pmu ?(rates = []) (g : Graph.t) ~inputs =
   Validate.check_graph_exn g;
   let module Telemetry = Pld_telemetry.Telemetry in
   Telemetry.with_span Telemetry.default ~cat:"cosim"
@@ -32,7 +32,7 @@ let run ?fuel ?(rounds = 1) ?(processor = false) ?order (g : Graph.t) ~inputs =
       ]
     ("run:" ^ g.graph_name)
   @@ fun () ->
-  let net = Network.create () in
+  let net = Network.create ?pmu () in
   let channels = Hashtbl.create 16 in
   List.iter
     (fun (c : Graph.channel) ->
@@ -44,20 +44,60 @@ let run ?fuel ?(rounds = 1) ?(processor = false) ?order (g : Graph.t) ~inputs =
       Hashtbl.replace channels c.chan_name (Network.channel net ~capacity ~name:c.chan_name c.elem))
     g.channels;
   let chan name = Hashtbl.find channels name in
+  (* Unprofiled runs preload the whole workload ([push] ignores
+     capacity — host DMA modeled as infinitely fast). A profiled run
+     instead streams each input through a host DMA process that
+     respects the channel's declared hardware depth, so back-pressure
+     against the host is observable in the stall counters — by the
+     Kahn property the outputs are identical either way. *)
   List.iter
     (fun (name, values) ->
       match Hashtbl.find_opt channels name with
       | None -> invalid_arg ("Run_graph.run: unknown input channel " ^ name)
-      | Some c -> List.iter (Network.push c) values)
+      | Some c -> (
+          match pmu with
+          | None -> List.iter (Network.push c) values
+          | Some _ ->
+              Network.add_process net ~name:("host-dma-in:" ^ name) (fun () ->
+                  List.iter (Network.write c) values)))
     inputs;
   let printed = ref [] in
+  (* Relative service rates: [rates] gives each instance its modeled
+     cycles-per-firing (the HLS schedule's number); an instance [k]
+     times slower than the fastest yields [k-1] extra scheduler rounds
+     per token consumed. This turns the untimed round-robin scheduler
+     into a rate-correct one, so the stall counters reproduce the
+     queueing signature of the modeled fabric — a full input queue
+     upstream of the slow operator, starvation downstream of it.
+     Outputs are unchanged by the Kahn property. *)
+  let pace =
+    match List.filter (fun (_, c) -> c > 0) rates with
+    | [] -> fun _ -> 1
+    | positive ->
+        let fastest = List.fold_left (fun a (_, c) -> min a c) max_int positive in
+        fun name ->
+          (match List.assoc_opt name rates with
+          | Some c when c > 0 -> max 1 ((c + (fastest / 2)) / fastest)
+          | _ -> 1)
+  in
   let counters =
     List.map
       (fun (i : Graph.instance) ->
         let c = Interp.fresh_counters () in
+        let p = pace i.Graph.inst_name in
         let io : Interp.io =
           {
-            read = (fun port -> Network.read (chan (List.assoc port i.bindings)));
+            read =
+              (fun port ->
+                let v = Network.read (chan (List.assoc port i.bindings)) in
+                (* Pacing yields model compute time, not blocking — they
+                   count as progress so they can't trip the deadlock
+                   detector while every peer happens to be waiting. *)
+                for _ = 2 to p do
+                  Network.note_progress net;
+                  Network.yield ()
+                done;
+                v);
             write = (fun port v -> Network.write (chan (List.assoc port i.bindings)) v);
             printf =
               (fun msg args ->

@@ -17,6 +17,8 @@ val run :
   ?rounds:int ->
   ?processor:bool ->
   ?order:string list ->
+  ?pmu:Pld_telemetry.Pmu.t ->
+  ?rates:(string * int) list ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
@@ -25,8 +27,17 @@ val run :
     drains the outputs. [processor] enables [Printf] statements.
     [order] registers processes (and hence schedules the round-robin)
     in the given instance order — by the Kahn property the outputs must
-    not depend on it, which the property-based oracle checks. Raises
-    {!Validate.Invalid}, {!Network.Deadlock} or {!Network.Out_of_fuel}. *)
+    not depend on it, which the property-based oracle checks. [pmu]
+    receives windowed firing/stall/occupancy series (see
+    {!Network.create}); a profiled run additionally streams inputs
+    through bounded host-DMA processes (instead of preloading) so
+    back-pressure against the host is observable. [rates] gives
+    instances their modeled cycles-per-firing: relative to the fastest
+    rated instance, slower ones yield proportionally more scheduler
+    rounds per token, making the stall counters reflect the modeled
+    service rates (outputs unchanged, by the same Kahn property).
+    Raises {!Validate.Invalid}, {!Network.Deadlock} or
+    {!Network.Out_of_fuel}. *)
 
 val run_words :
   ?fuel:int -> ?rounds:int -> Graph.t -> inputs:(string * int list) list -> (string * int list) list

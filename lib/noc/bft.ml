@@ -1,5 +1,6 @@
 module Fault = Pld_faults.Fault
 module Telemetry = Pld_telemetry.Telemetry
+module Pmu = Pld_telemetry.Pmu
 
 type flit_kind =
   | Data of { dst_stream : int }
@@ -78,6 +79,13 @@ type t = {
   c_corrupted : Telemetry.counter;
   c_crc_rejects : Telemetry.counter;
   c_deflections : Telemetry.counter;
+  (* PMU series (NoC cycle clock). Link series are created on first
+     traffic so an idle link costs nothing; same hot-path-caching
+     rationale as the counters above. *)
+  pmu : Pmu.t option;
+  pmu_link : Pmu.series option array;
+  pmu_qdelay : Pmu.series option;
+  pmu_deflect : Pmu.series option;
   mutable cycles : int;
   mutable in_flight : int;
   mutable delivered : int;
@@ -95,7 +103,7 @@ let switches_at_level t l = t.leaves / (1 lsl (2 * l)) (* 4^depth / 4^l *)
    heavy (64+) traffic. *)
 let hop_buckets = [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
 
-let create ?(leaves = 32) ?faults ?(telemetry = Telemetry.default) () =
+let create ?(leaves = 32) ?faults ?(telemetry = Telemetry.default) ?pmu () =
   let depth =
     let rec go d = if 1 lsl (2 * d) >= leaves then d else go (d + 1) in
     go 1
@@ -146,6 +154,10 @@ let create ?(leaves = 32) ?faults ?(telemetry = Telemetry.default) () =
       c_corrupted = Telemetry.counter telemetry "noc.corrupted";
       c_crc_rejects = Telemetry.counter telemetry "noc.crc_rejects";
       c_deflections = Telemetry.counter telemetry "noc.deflections";
+      pmu;
+      pmu_link = Array.make !nlinks None;
+      pmu_qdelay = Option.map (fun p -> Pmu.series p ~unit_:"cycles" "noc.queue_delay") pmu;
+      pmu_deflect = Option.map (fun p -> Pmu.series p ~unit_:"deflections" "noc.deflections") pmu;
       cycles = 0;
       in_flight = 0;
       delivered = 0;
@@ -209,6 +221,9 @@ let deliver t (f : flit) =
     t.delivered <- t.delivered + 1;
     Telemetry.incr t.c_delivered;
     Telemetry.observe t.hop_hist (float_of_int f.age);
+    (match t.pmu_qdelay with
+    | Some s -> Pmu.add s ~cycle:t.cycles (float_of_int f.age)
+    | None -> ());
     t.total_latency <- t.total_latency + f.age;
     if f.age > t.max_latency then t.max_latency <- f.age;
     match f.kind with
@@ -223,6 +238,18 @@ let deliver t (f : flit) =
    to be caught by the CRC check at delivery. *)
 let transmit t link f =
   t.link_flits.(link) <- t.link_flits.(link) + 1;
+  (match t.pmu with
+  | Some p ->
+      let s =
+        match t.pmu_link.(link) with
+        | Some s -> s
+        | None ->
+            let s = Pmu.series p ~unit_:"flits" (Printf.sprintf "noc.link.%d.flits" link) in
+            t.pmu_link.(link) <- Some s;
+            s
+      in
+      Pmu.add s ~cycle:t.cycles 1.0
+  | None -> ());
   match t.faults with
   | Some fl when Fault.drop_flit fl ->
       t.link_drops.(link) <- t.link_drops.(link) + 1;
@@ -314,6 +341,9 @@ let step t =
                  queue. *)
               t.deflections <- t.deflections + 1;
               Telemetry.incr t.c_deflections;
+              (match t.pmu_deflect with
+              | Some s -> Pmu.add s ~cycle:t.cycles 1.0
+              | None -> ());
               let candidates =
                 up_ports
                 @ (if l = 1 then []

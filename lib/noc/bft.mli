@@ -51,13 +51,23 @@ val refresh : flit -> flit
 type t
 
 val create :
-  ?leaves:int -> ?faults:Pld_faults.Fault.t -> ?telemetry:Pld_telemetry.Telemetry.t -> unit -> t
+  ?leaves:int ->
+  ?faults:Pld_faults.Fault.t ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
+  ?pmu:Pld_telemetry.Pmu.t ->
+  unit ->
+  t
 (** [leaves] defaults to 32 (22 pages + DMA + headroom), rounded up to
     a power of 4-ary tree capacity. [faults] attaches a link fault
     injector (drop/corrupt rates) from the start. [telemetry] (default
     the process sink) receives the [noc.hop_latency] cycle histogram
     and [noc.delivered]/[noc.dropped]/[noc.corrupted]/
-    [noc.crc_rejects]/[noc.deflections] counters as the network runs. *)
+    [noc.crc_rejects]/[noc.deflections] counters as the network runs.
+
+    [pmu] (default none) receives windowed series on the NoC cycle
+    clock: [noc.link.<id>.flits] per active link (utilization over
+    time), [noc.queue_delay] (delivered-flit age samples), and
+    [noc.deflections]. *)
 
 val leaf_count : t -> int
 val level_count : t -> int

@@ -1,4 +1,5 @@
 module Fault = Pld_faults.Fault
+module Pmu = Pld_telemetry.Pmu
 
 type page_state =
   | Empty
@@ -17,11 +18,17 @@ type t = {
   mutable net : Pld_noc.Bft.t option;
   mutable faults : Fault.t option;
   corrupted : (int, unit) Hashtbl.t;  (** pages whose last load took bad frames *)
+  pmu : Pmu.t option;
+  (* Modeled platform clock for PMU samples: load seconds converted to
+     overlay cycles, accumulated across the card's lifetime. *)
+  mutable modeled_cycles : int;
 }
 
 exception Protocol_error of string
 
-let create ?faults () =
+let overlay_hz = 200.0e6
+
+let create ?faults ?pmu () =
   {
     fp = Pld_fabric.Floorplan.u50 ();
     l1 = Unconfigured;
@@ -29,6 +36,8 @@ let create ?faults () =
     net = None;
     faults;
     corrupted = Hashtbl.create 4;
+    pmu;
+    modeled_cycles = 0;
   }
 
 let set_faults t f =
@@ -82,7 +91,7 @@ let load t (xb : Xclbin.t) =
       Hashtbl.reset t.pages;
       Hashtbl.reset t.corrupted;
       t.l1 <- Overlay_loaded;
-      t.net <- Some (Pld_noc.Bft.create ~leaves:noc_leaves ?faults:t.faults ())
+      t.net <- Some (Pld_noc.Bft.create ~leaves:noc_leaves ?faults:t.faults ?pmu:t.pmu ())
   | Xclbin.Page_bits { page; operator; bitstream; fmax_mhz } -> begin
       match t.l1 with
       | Overlay_loaded ->
@@ -121,7 +130,24 @@ let load t (xb : Xclbin.t) =
       Hashtbl.reset t.corrupted;
       t.net <- None;
       t.l1 <- Kernel_loaded { operators; fmax_mhz });
-  load_seconds xb.Xclbin.size_bytes
+  let seconds = load_seconds xb.Xclbin.size_bytes in
+  (* Page-activity series on the modeled platform clock: one sample per
+     (re)configuration event, weighted by its size in bytes, under the
+     page it touched — the reconfiguration-churn view of the fabric. *)
+  (match t.pmu with
+  | Some p ->
+      t.modeled_cycles <- t.modeled_cycles + int_of_float (seconds *. overlay_hz);
+      let name =
+        match xb.Xclbin.payload with
+        | Xclbin.Overlay _ -> "platform.overlay.loads"
+        | Xclbin.Page_bits { page; _ } | Xclbin.Softcore { page; _ } ->
+            Printf.sprintf "platform.page.%d.loads" page
+        | Xclbin.Kernel _ -> "platform.kernel.loads"
+      in
+      Pmu.add (Pmu.series p ~unit_:"bytes" name) ~cycle:t.modeled_cycles
+        (float_of_int xb.Xclbin.size_bytes)
+  | None -> ());
+  seconds
 
 (* Readback-verify: digest the configuration frames the page actually
    holds and compare against what the container was supposed to write.

@@ -19,10 +19,15 @@ type l1_state =
 
 type t
 
-val create : ?faults:Pld_faults.Fault.t -> unit -> t
+val create : ?faults:Pld_faults.Fault.t -> ?pmu:Pld_telemetry.Pmu.t -> unit -> t
 (** A powered-on card with the vendor shell only. [faults] injects
     page-load corruption (defective/flaky pages) and is handed to the
-    overlay's NoC (link drop/corrupt rates) when it is loaded. *)
+    overlay's NoC (link drop/corrupt rates) when it is loaded.
+
+    [pmu] (default none) receives [platform.page.<n>.loads] /
+    [platform.overlay.loads] / [platform.kernel.loads] samples (bytes
+    per reconfiguration event, on a modeled platform clock) and is
+    likewise handed to the overlay's NoC for per-link series. *)
 
 val set_faults : t -> Pld_faults.Fault.t option -> unit
 (** Attach or clear the fault injector (also updates a live NoC). *)

@@ -56,6 +56,7 @@ let monolithic_exn (app : app) =
 let kind_page = "page"
 let kind_softcore = "softcore"
 let kind_mono = "mono"
+let kind_profile = "profile"
 
 type counter = { mutable hits : int; mutable misses : int }
 
@@ -66,6 +67,10 @@ type cache = {
   hw : (Digest.t, Flow.o1_operator) Hashtbl.t;
   soft : (Digest.t, Flow.o0_operator) Hashtbl.t;
   mono : (Digest.t, Flow.o3_app) Hashtbl.t;
+  (* Fabric profiles are persisted as JSON documents (closure-free, so
+     Marshal-safe in the store) keyed by the build's job key — a cached
+     build still carries the profile of the run that produced it. *)
+  profiles : (Digest.t, Pld_telemetry.Json.t) Hashtbl.t;
   store : Store.t option;
   persist : bool;
       (* a read-only view shares every table and the store for lookups
@@ -80,11 +85,14 @@ let create_cache ?dir ?max_bytes ?quarantine ?telemetry () =
     hw = Hashtbl.create 64;
     soft = Hashtbl.create 64;
     mono = Hashtbl.create 16;
+    profiles = Hashtbl.create 16;
     store = Option.map (fun dir -> Store.open_ ?max_bytes ?quarantine ?telemetry ~dir ()) dir;
     persist = true;
     lock = Mutex.create ();
     counters =
-      List.map (fun k -> (k, { hits = 0; misses = 0 })) [ kind_page; kind_softcore; kind_mono ];
+      List.map
+        (fun k -> (k, { hits = 0; misses = 0 }))
+        [ kind_page; kind_softcore; kind_mono; kind_profile ];
   }
 
 let readonly_view c = { c with persist = false }
@@ -96,7 +104,9 @@ let locked c f =
   Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
 
 let cache_size c =
-  locked c (fun () -> Hashtbl.length c.hw + Hashtbl.length c.soft + Hashtbl.length c.mono)
+  locked c (fun () ->
+      Hashtbl.length c.hw + Hashtbl.length c.soft + Hashtbl.length c.mono
+      + Hashtbl.length c.profiles)
 
 let cache_stats c =
   locked c (fun () -> List.map (fun (k, ctr) -> (k, ctr.hits, ctr.misses)) c.counters)
@@ -132,6 +142,13 @@ let cache_put (type v) c (tbl : (Digest.t, v) Hashtbl.t) ~kind ~key ~emit (v : v
       Store.put s ~kind ~key v;
       emit (Event.Cache_store { kind; key })
   | Some _ | None -> ()
+
+(* Profile lookups go through the same typed-partition discipline as
+   the artifacts; they just have no job-graph node, so no events. *)
+let find_profile c ~key =
+  cache_find c c.profiles ~kind:kind_profile ~key ~job:"profile" ~emit:(fun _ -> ())
+
+let put_profile c ~key doc = cache_put c c.profiles ~kind:kind_profile ~key ~emit:(fun _ -> ()) doc
 
 (* ---------- models ---------- *)
 

@@ -80,6 +80,7 @@ type cache
 val kind_page : string
 val kind_softcore : string
 val kind_mono : string
+val kind_profile : string
 
 val create_cache :
   ?dir:string ->
@@ -113,6 +114,16 @@ val cache_stats : cache -> (string * int * int) list
 (** Cumulative [(kind, hits, misses)] over the cache's lifetime. *)
 
 val cache_dir : cache -> string option
+
+val find_profile : cache -> key:Pld_util.Digest_lite.t -> Pld_telemetry.Json.t option
+(** Fabric-profile document stored under a build key (memory first,
+    then the persistent store) — the mechanism by which a cache hit
+    still carries the profile of the run that produced the artifact. *)
+
+val put_profile : cache -> key:Pld_util.Digest_lite.t -> Pld_telemetry.Json.t -> unit
+(** Store a fabric-profile JSON document under a build key. Respects
+    the read-only view: in-memory always, on disk only when this cache
+    persists. *)
 
 val compile :
   ?cache:cache ->

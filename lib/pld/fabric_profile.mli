@@ -1,0 +1,63 @@
+(** Per-build fabric profile: the PMU's windowed series plus the
+    run's per-operator, per-channel and per-link figures, snapshotted
+    into one self-contained document.
+
+    This is the artifact the observability plane trades in: {!of_run}
+    assembles it after a {!Runner.run}, the engine store persists it
+    next to the build's bitstreams (so a cache hit still carries the
+    primary's profile), [pldd] serves it over the [profile] wire verb,
+    and [lib/insight]'s back-pressure attribution consumes it. The
+    JSON form round-trips exactly ({!of_json} of {!to_json}). *)
+
+type op_stat = {
+  op_name : string;
+  op_kind : string;  (** ["hw"], ["softcore"], or ["mono"] *)
+  op_page : int option;  (** assigned page (O0/O1 only) *)
+  op_firings : int;  (** scheduler resumes of this process *)
+  op_blocked_read : int;  (** stalls on empty input channels (starved) *)
+  op_blocked_write : int;  (** stalls on full output channels (back-pressured) *)
+}
+
+type chan_stat = {
+  ch_name : string;
+  ch_src : string option;  (** producer instance; [None] = host/DMA *)
+  ch_dst : string option;  (** consumer instance; [None] = host/DMA *)
+  ch_tokens : int;
+  ch_peak : int;
+  ch_capacity : int;  (** declared depth *)
+  ch_blocked_reads : int;
+  ch_blocked_writes : int;
+}
+
+type t = {
+  pf_graph : string;
+  pf_level : string;
+  pf_frame_cycles : int;
+  pf_bottleneck : string;  (** the perf model's critical-path verdict *)
+  pf_trace : string option;  (** trace id of the run that produced it *)
+  pf_tenant : string option;  (** tenant whose build produced it *)
+  pf_ops : op_stat list;
+  pf_chans : chan_stat list;
+  pf_links : (int * int) list;  (** (NoC link id, flits carried) *)
+  pf_softcores : (string * int) list;  (** per-instance cycle counts *)
+  pf_pmu : Pld_telemetry.Pmu.t;  (** the windowed series themselves *)
+}
+
+val of_run :
+  ?trace:string -> ?tenant:string -> pmu:Pld_telemetry.Pmu.t -> Build.app -> Runner.result -> t
+(** Snapshot a finished run: channel stats and per-op stall splits from
+    the runner's result, firing counts and link traffic from the PMU
+    series the run recorded, topology (producers/consumers, pages) from
+    the app. *)
+
+val to_json : t -> Pld_telemetry.Json.t
+
+val of_json : Pld_telemetry.Json.t -> (t, string) result
+(** [of_json (to_json p)] reconstructs [p] exactly, PMU windows
+    included. *)
+
+val render_heatmap : t -> Pld_fabric.Floorplan.t -> string
+(** ASCII heatmap: the floorplan grid with each active page shaded by
+    its operator's firing activity, a per-page legend with stall
+    fractions, and per-link utilization bars. The ranked back-pressure
+    attribution lives one layer up, in [Pld_insight.Bottleneck]. *)

@@ -20,6 +20,7 @@ type result = {
   perf : perf;
   printed : (string * string) list;
   softcore_cycles : (string * int) list;
+  channel_stats : Net.channel_stats list;
 }
 
 exception Softcore_trap of string * Pld_riscv.Cpu.trap
@@ -78,9 +79,9 @@ let noc_links (app : Build.app) channel_stats =
    deployed overlay's (leaf count derived from the floorplan, fault
    injector shared) — the timing model for the linking network,
    including retransmission cost on lossy links. *)
-let noc_replay ?faults (app : Build.app) channel_stats =
+let noc_replay ?faults ?pmu (app : Build.app) channel_stats =
   let links = noc_links app channel_stats in
-  let net = Pld_noc.Bft.create ~leaves:(Flow.noc_leaves app.Build.fp) ?faults () in
+  let net = Pld_noc.Bft.create ~leaves:(Flow.noc_leaves app.Build.fp) ?faults ?pmu () in
   let cfg = Pld_noc.Traffic.config_cycles net links in
   let r =
     Pld_noc.Traffic.replay net
@@ -100,14 +101,14 @@ let hw_bottleneck impls =
    interpreter (their timing comes from the HLS schedule). The run is
    supervised by a watchdog: deadlock or fuel exhaustion becomes a
    structured {!Stalled} diagnosis instead of a bare exception. *)
-let run_cosim ?fuel ?faults (app : Build.app) ~inputs =
+let run_cosim ?fuel ?faults ?pmu (app : Build.app) ~inputs =
   let g = app.Build.graph in
   let module Telemetry = Pld_telemetry.Telemetry in
   Telemetry.with_span Telemetry.default ~cat:"cosim"
     ~attrs:[ ("graph", g.Graph.graph_name) ]
     ("cosim:" ^ g.Graph.graph_name)
   @@ fun () ->
-  let net = Net.create () in
+  let net = Net.create ?pmu () in
   let channels = Hashtbl.create 16 in
   List.iter
     (fun (c : Graph.channel) ->
@@ -143,6 +144,21 @@ let run_cosim ?fuel ?faults (app : Build.app) ~inputs =
           cores := (inst, cpu) :: !cores;
           let hang_at = Option.bind faults (fun f -> Fault.hang_cycles f ~inst) in
           let trap_at = Option.bind faults (fun f -> Fault.trap_cycles f ~inst) in
+          (* One PMU sample per scheduling quantum: cycles this core
+             retired since its last slice, on its own cycle clock. *)
+          let pmu_series =
+            Option.map
+              (fun p ->
+                Pld_telemetry.Pmu.series p ~unit_:"cycles"
+                  (Printf.sprintf "softcore.%s.cycles" inst))
+              pmu
+          in
+          let pmu_last = ref 0 in
+          let pmu_tick () =
+            match pmu_series with
+            | Some s -> pmu_last := Pld_riscv.Cpu.pmu_tick cpu s ~last:!pmu_last
+            | None -> ()
+          in
           Net.add_process net ~name:inst (fun () ->
               let quantum = 50_000 in
               let rec go () =
@@ -159,7 +175,11 @@ let run_cosim ?fuel ?faults (app : Build.app) ~inputs =
                     Net.yield ();
                     go ()
                 | _ -> (
-                    match Pld_riscv.Cpu.run ~max_cycles:(cpu.Pld_riscv.Cpu.cycles + quantum) cpu with
+                    let status =
+                      Pld_riscv.Cpu.run ~max_cycles:(cpu.Pld_riscv.Cpu.cycles + quantum) cpu
+                    in
+                    pmu_tick ();
+                    match status with
                     | Pld_riscv.Cpu.Halted -> ()
                     | Pld_riscv.Cpu.Stalled ->
                         Net.yield ();
@@ -215,12 +235,24 @@ let run_cosim ?fuel ?faults (app : Build.app) ~inputs =
     softcore_cycles;
   (outputs, Net.stats net, List.rev !printed, softcore_cycles)
 
-let run ?fuel ?faults (app : Build.app) ~inputs =
+(* Profiled runs get the HLS schedule's cycles-per-firing as relative
+   service rates, so the KPN scheduler reproduces the modeled fabric's
+   queueing behaviour (Run_graph paces each instance accordingly);
+   unprofiled runs keep the flat-out untimed schedule. *)
+let rates_for pmu impls =
+  match pmu with
+  | None -> []
+  | Some _ ->
+      List.map
+        (fun (n, (impl : Hls.impl)) -> (n, impl.Hls.perf.Pld_hls.Sched.cycles_per_firing))
+        impls
+
+let run ?fuel ?faults ?pmu (app : Build.app) ~inputs =
   let g = app.Build.graph in
   match app.Build.level with
   | Build.O3 | Build.Vitis -> begin
       let mono = Build.monolithic_exn app in
-      let r = Pld_kpn.Run_graph.run ?fuel g ~inputs in
+      let r = Pld_kpn.Run_graph.run ?fuel ?pmu ~rates:(rates_for pmu mono.Flow.impls) g ~inputs in
       let bname, bcycles = hw_bottleneck mono.Flow.impls in
       let fmax = mono.Flow.pnr3.Pld_pnr.Pnr.timing.Pld_pnr.Sta.fmax_mhz in
       {
@@ -239,18 +271,19 @@ let run ?fuel ?faults (app : Build.app) ~inputs =
           };
         printed = r.Pld_kpn.Run_graph.printed;
         softcore_cycles = [];
+        channel_stats = r.Pld_kpn.Run_graph.channel_stats;
       }
     end
   | Build.O1 when List.for_all (fun (_, c) -> match c with Build.Hw_page _ -> true | Build.Soft_page _ -> false) app.Build.operators
     -> begin
-      let r = Pld_kpn.Run_graph.run ?fuel g ~inputs in
       let impls =
         List.filter_map
           (fun (n, c) -> match c with Build.Hw_page h -> Some (n, h.Flow.impl) | Build.Soft_page _ -> None)
           app.Build.operators
       in
+      let r = Pld_kpn.Run_graph.run ?fuel ?pmu ~rates:(rates_for pmu impls) g ~inputs in
       let bname, bcycles = hw_bottleneck impls in
-      let cfg_cycles, replay = noc_replay ?faults app r.Pld_kpn.Run_graph.channel_stats in
+      let cfg_cycles, replay = noc_replay ?faults ?pmu app r.Pld_kpn.Run_graph.channel_stats in
       let noc_cycles = replay.Pld_noc.Traffic.cycles in
       let cycles = max bcycles noc_cycles in
       let bottleneck = if noc_cycles > bcycles then "linking-network bandwidth" else bname in
@@ -270,11 +303,14 @@ let run ?fuel ?faults (app : Build.app) ~inputs =
           };
         printed = r.Pld_kpn.Run_graph.printed;
         softcore_cycles = [];
+        channel_stats = r.Pld_kpn.Run_graph.channel_stats;
       }
     end
   | Build.O0 | Build.O1 -> begin
       (* Mixed or all-softcore: co-simulate. *)
-      let outputs, channel_stats, printed, softcore_cycles = run_cosim ?fuel ?faults app ~inputs in
+      let outputs, channel_stats, printed, softcore_cycles =
+        run_cosim ?fuel ?faults ?pmu app ~inputs
+      in
       let hw_impls =
         List.filter_map
           (fun (n, c) -> match c with Build.Hw_page h -> Some (n, h.Flow.impl) | Build.Soft_page _ -> None)
@@ -284,7 +320,7 @@ let run ?fuel ?faults (app : Build.app) ~inputs =
       let soft_name, soft_cycles =
         List.fold_left (fun (bn, bc) (n, c) -> if c > bc then (n, c) else (bn, bc)) ("-", 0) softcore_cycles
       in
-      let cfg_cycles, replay = noc_replay ?faults app channel_stats in
+      let cfg_cycles, replay = noc_replay ?faults ?pmu app channel_stats in
       let noc_cycles = replay.Pld_noc.Traffic.cycles in
       let cycles = max (max hw_cycles soft_cycles) noc_cycles in
       let bottleneck =
@@ -307,6 +343,7 @@ let run ?fuel ?faults (app : Build.app) ~inputs =
           };
         printed;
         softcore_cycles;
+        channel_stats;
       }
     end
 

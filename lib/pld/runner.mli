@@ -36,6 +36,9 @@ type result = {
   perf : perf;
   printed : (string * string) list;
   softcore_cycles : (string * int) list;  (** per softcore instance *)
+  channel_stats : Pld_kpn.Network.channel_stats list;
+      (** per-channel token/occupancy/stall figures from the functional
+          run — the raw material of back-pressure attribution *)
 }
 
 exception Softcore_trap of string * Pld_riscv.Cpu.trap
@@ -63,6 +66,7 @@ val noc_links : Build.app -> Pld_kpn.Network.channel_stats list -> Pld_noc.Traff
 
 val noc_replay :
   ?faults:Pld_faults.Fault.t ->
+  ?pmu:Pld_telemetry.Pmu.t ->
   Build.app ->
   Pld_kpn.Network.channel_stats list ->
   int * Pld_noc.Traffic.result
@@ -70,13 +74,22 @@ val noc_replay :
     derived from the app's floorplan ([Flow.noc_leaves]) — structurally
     identical to the deployed overlay's network. Returns (config
     cycles, replay result). With [faults], drop/corrupt rates apply and
-    the result's fault counters are meaningful. *)
+    the result's fault counters are meaningful. [pmu] receives the
+    replay network's windowed link/delay/deflection series. *)
 
-val run : ?fuel:int -> ?faults:Pld_faults.Fault.t -> Build.app -> inputs:(string * Value.t list) list -> result
+val run :
+  ?fuel:int ->
+  ?faults:Pld_faults.Fault.t ->
+  ?pmu:Pld_telemetry.Pmu.t ->
+  Build.app ->
+  inputs:(string * Value.t list) list ->
+  result
 (** Raises on validation failures; {!Stalled} when the co-simulation
     wedges; {!Softcore_trap} when an injected (or real) trap fires.
     [faults] drives softcore hang/trap injection and the NoC replay's
-    link faults. *)
+    link faults. [pmu] collects windowed fabric series from every
+    engine the flow exercises (KPN scheduler, NoC replay, softcores) —
+    the input to {!Fabric_profile.of_run}. *)
 
 val run_host : Graph.t -> inputs:(string * Value.t list) list -> (string * Value.t list) list * float
 (** The "X86 g++" column: execute the application natively on the host

@@ -85,10 +85,10 @@ let link t ?faults ?max_retries (app : Build.app) =
   T.with_span t.telemetry ~cat:"session" ~attrs:[ ("session", t.s_name) ] (t.s_name ^ ":link")
   @@ fun () -> Loader.deploy ?faults ?max_retries card app
 
-let run t ?fuel ?faults (dr : Loader.deploy_result) ~inputs =
+let run t ?fuel ?faults ?pmu (dr : Loader.deploy_result) ~inputs =
   check_open t "run";
   T.with_span t.telemetry ~cat:"session" ~attrs:[ ("session", t.s_name) ] (t.s_name ^ ":run")
-  @@ fun () -> Runner.run ?fuel ?faults dr.Loader.app ~inputs
+  @@ fun () -> Runner.run ?fuel ?faults ?pmu dr.Loader.app ~inputs
 
 let apps t =
   check_open t "apps";

@@ -67,10 +67,14 @@ val run :
   t ->
   ?fuel:int ->
   ?faults:Pld_faults.Fault.t ->
+  ?pmu:Pld_telemetry.Pmu.t ->
   Loader.deploy_result ->
   inputs:(string * Value.t list) list ->
   Runner.result
-(** Execute a deployed app on the given inputs. *)
+(** Execute a deployed app on the given inputs. [pmu] attaches a
+    fabric PMU to the run: every simulator layer samples its windowed
+    series into it (see {!Runner.run}), ready for
+    {!Fabric_profile.of_run}. *)
 
 val apps : t -> (string * Build.app) list
 (** Latest compiled app per graph name, oldest first. *)

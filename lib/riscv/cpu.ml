@@ -289,3 +289,8 @@ let run ?(max_cycles = max_int) t =
   let s = go () in
   Telemetry.incr ~by:(t.cycles - c0) (Telemetry.counter Telemetry.default "softcore.cycles");
   s
+
+let pmu_tick t series ~last =
+  if t.cycles > last then
+    Pld_telemetry.Pmu.add series ~cycle:t.cycles (float_of_int (t.cycles - last));
+  t.cycles

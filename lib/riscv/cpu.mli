@@ -88,3 +88,10 @@ val step : t -> status
 val run : ?max_cycles:int -> t -> status
 (** Step until halt, trap, or stall. Returns the final status
     ([Running] only if [max_cycles] expired). *)
+
+val pmu_tick : t -> Pld_telemetry.Pmu.series -> last:int -> int
+(** Periodic PMU sampling hook for a driver that runs the core in
+    quanta: records the cycles retired since [last] as one sample on
+    the core's own cycle clock and returns the new mark (the current
+    cycle count) for the next tick. Nothing is recorded when no cycles
+    elapsed. *)

@@ -4,6 +4,7 @@ type request =
   | Ping
   | Compile of { bench : string; level : string }
   | Run of { bench : string; level : string; frames : int }
+  | Profile of { bench : string; level : string }
   | Stats
   | Status
   | Metrics
@@ -49,6 +50,8 @@ let envelope_to_json e =
           ("level", Json.String level);
           ("frames", Json.Int frames);
         ]
+    | Profile { bench; level } ->
+        [ ("op", Json.String "profile"); ("bench", Json.String bench); ("level", Json.String level) ]
   in
   Json.Obj (base @ rest)
 
@@ -83,6 +86,10 @@ let envelope_of_json j =
               let frames = Option.value ~default:8 (int_field "frames" j) in
               with_req (Run { bench; level = level (); frames })
           | None -> Error "run: missing \"bench\" field")
+      | "profile" -> (
+          match str_field "bench" j with
+          | Some bench -> with_req (Profile { bench; level = level () })
+          | None -> Error "profile: missing \"bench\" field")
       | other -> Error (Printf.sprintf "unknown op %S" other))
 
 type reply = { rp_id : int; ok : bool; body : Json.t }

@@ -14,6 +14,13 @@ type request =
   | Run of { bench : string; level : string; frames : int }
       (** Compile, link and execute with [frames] ramp words on every
           graph input. *)
+  | Profile of { bench : string; level : string }
+      (** Fetch the persisted fabric profile of a build (see
+          {!Pld_core.Fabric_profile}): the windowed PMU series, stall
+          splits and link traffic of the run that produced the cached
+          artifact. Keyed like the build itself, so any tenant hitting
+          the shared artifact gets the primary's profile — trace id and
+          tenant of the producing run ride inside the document. *)
   | Stats
   | Status
       (** Live introspection: queue depth, per-tenant quota occupancy,

@@ -78,6 +78,24 @@ let handle t ~resolve (e : Protocol.envelope) =
       stop t;
       Protocol.reply_ok ~id (Json.Obj [ ("stopping", Json.Bool true) ])
   | Protocol.Run _ -> Protocol.reply_error ~id "run is not supported by this server"
+  | Protocol.Profile { bench; level } -> (
+      match (resolve bench, Protocol.level_of_name level) with
+      | Error msg, _ | _, Error msg -> Protocol.reply_error ~id msg
+      | Ok g, Ok level ->
+          (* The profile rides the build's own cache key, so a tenant
+             whose compile dedup'd onto another's build reads the
+             primary run's profile here. *)
+          let body =
+            match Service.find_profile t.sv_service g level with
+            | Some doc -> [ ("found", Json.Bool true); ("profile", doc) ]
+            | None -> [ ("found", Json.Bool false); ("profile", Json.Null) ]
+          in
+          let body =
+            match e.Protocol.trace with
+            | Some tr -> body @ [ ("trace", Json.String tr) ]
+            | None -> body
+          in
+          Protocol.reply_ok ~id (Json.Obj body))
   | Protocol.Compile { bench; level } -> (
       match (resolve bench, Protocol.level_of_name level) with
       | Error msg, _ | _, Error msg -> Protocol.reply_error ~id msg

@@ -695,6 +695,13 @@ let create ?cache ?cache_dir ?max_bytes ?quarantine ?fp ?(queue_workers = 2) ?(w
 
 let cache t = t.sv_cache
 
+(* Fabric profiles live in the shared artifact cache under the same
+   key the build dedups on, so a cross-tenant or warm-cache hit finds
+   the profile of whichever run actually produced the artifact. *)
+let profile_key g level = job_key g level
+let find_profile t g level = Build.find_profile t.sv_cache ~key:(job_key g level)
+let put_profile t g level doc = Build.put_profile t.sv_cache ~key:(job_key g level) doc
+
 let submit t ~tenant ?(priority = 0) ?(level = Build.O1) ?deadline_ms ?trace_id g =
   let trace = match trace_id with Some id -> id | None -> Log.mint_trace_id () in
   (* The admission verdict is an instant on the request's trace —

@@ -255,6 +255,19 @@ val health_json : t -> Pld_telemetry.Json.t
 val cache : t -> Build.cache
 (** The shared cache (the full-write view). *)
 
+val profile_key : Pld_ir.Graph.t -> Build.level -> Pld_util.Digest_lite.t
+(** The key fabric profiles are stored under — identical to the job
+    key builds dedup on, so an artifact and its profile travel
+    together. *)
+
+val find_profile : t -> Pld_ir.Graph.t -> Build.level -> Pld_telemetry.Json.t option
+(** The persisted fabric-profile document for this (graph, level), if
+    any run has produced one — including a run by another tenant whose
+    build this one dedup'd onto. *)
+
+val put_profile : t -> Pld_ir.Graph.t -> Build.level -> Pld_telemetry.Json.t -> unit
+(** Persist a fabric profile next to the build's artifacts. *)
+
 val draining : t -> bool
 (** True once {!drain} or {!shutdown} has begun: new submissions are
     refused with {!Draining}. *)

@@ -1,0 +1,96 @@
+(** Fabric performance-monitoring unit: a windowed time-series sampler
+    over a {e modeled} clock.
+
+    The telemetry registry ({!Telemetry}) answers "how much, ever" —
+    counters and high-water gauges aggregated over a whole run. The PMU
+    answers "how much, {e when}": every series chops its clock into
+    fixed-width windows (a power-of-two cycle count) and keeps the last
+    [depth] windows in a ring, each window accumulating the samples
+    that landed in it (sum, count, peak). From the ring a series
+    derives a rate (events per cycle), the peak window, and the mean
+    sample — the utilization shape an online profile-guided tiering
+    loop needs, at O(depth) memory per series however long the run.
+
+    {b Clock domains.} Cycles are caller-supplied and per series: the
+    KPN cosim feeds scheduler rounds, the NoC its own cycle counter,
+    softcores their retired-instruction cycle count. Series from
+    different domains coexist in one PMU; each ring advances on its own
+    series' clock, so nothing requires the domains to agree — the
+    window width is the one shared convention.
+
+    {b Concurrency.} A PMU is a per-run object fed from the simulator's
+    single domain; it is {e not} domain-safe. Hand each concurrent run
+    its own instance (they are cheap) and merge at the profile layer.
+
+    Samples round-trip through {!to_json}/{!of_json} — the persistence
+    format of per-build fabric profiles in the engine store. *)
+
+type t
+type series
+
+val create : ?window_cycles:int -> ?depth:int -> unit -> t
+(** [window_cycles] (default 1024) is the fixed window width in modeled
+    cycles; it must be positive. [depth] (default 64) is how many
+    trailing windows each series retains. *)
+
+val window_cycles : t -> int
+val depth : t -> int
+
+val series : t -> ?unit_:string -> string -> series
+(** Fetch-or-create, insertion-ordered (like the metrics registry).
+    [unit_] (default ["events"]) names what one sample counts —
+    purely descriptive, carried through export. *)
+
+val add : series -> cycle:int -> float -> unit
+(** Accumulate one sample into the window containing [cycle]. Cycles
+    may arrive slightly out of order; a sample older than the retained
+    ring is dropped (and counted — see {!stat}). Negative cycles are
+    clamped to 0. *)
+
+val series_names : t -> string list
+
+(** {2 Derived statistics} *)
+
+type stat = {
+  st_name : string;
+  st_unit : string;
+  st_total : float;  (** sum of every sample ever added *)
+  st_count : int;  (** samples ever added *)
+  st_dropped : int;  (** samples older than the retained ring *)
+  st_last_cycle : int;  (** highest cycle observed *)
+  st_rate : float;  (** [st_total / (st_last_cycle + 1)] — per-cycle over the run *)
+  st_window_rate : float;  (** per-cycle rate over the retained windows only *)
+  st_peak_window : float;  (** largest single-window sum *)
+  st_mean : float;  (** mean sample value ([st_total / st_count]) *)
+  st_peak : float;  (** largest single sample *)
+}
+
+val stat : t -> string -> stat option
+val stats : t -> stat list
+
+type window = {
+  w_index : int;  (** window number: cycles [w_index * window_cycles ..) *)
+  w_sum : float;
+  w_count : int;
+  w_peak : float;
+}
+
+val windows : t -> string -> window list
+(** The retained ring of a series, oldest first; empty for an unknown
+    name. *)
+
+(** {2 Persistence} *)
+
+val to_json : t -> Json.t
+(** The full PMU state — configuration, every series' totals and
+    retained windows — as a JSON document. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}: [of_json (to_json t)] reconstructs a PMU
+    whose {!stats} and {!windows} equal [t]'s. *)
+
+(** {2 Rendering} *)
+
+val render : t -> string list
+(** One aligned line per series: rate, peak window, mean — the
+    human-readable counterpart of {!to_json}. *)

@@ -390,24 +390,56 @@ let prometheus_float f =
   else if f < 0.0 then "-Inf"
   else "NaN"
 
+(* Label values per the exposition format: backslash, double-quote and
+   newline must be escaped inside the quotes. *)
+let prometheus_escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* HELP text: backslash and newline escaped (quotes are legal there). *)
+let prometheus_escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let to_prometheus t =
   let s = snapshot t in
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf str; Buffer.add_char buf '\n') fmt in
+  (* Every metric gets its HELP/TYPE header (unset gauges too — header
+     without a sample is legal and tells the scraper the metric
+     exists). HELP carries the registry's original dotted name, which
+     the [pld_]-prefixed sanitized name destroys. *)
+  let header pn name kind =
+    line "# HELP %s pld metric %s (%s)" pn (prometheus_escape_help name) kind;
+    line "# TYPE %s %s" pn kind
+  in
   List.iter
     (fun (name, m) ->
       let pn = prometheus_name name in
       match m with
       | Counter c ->
-          line "# TYPE %s counter" pn;
+          header pn name "counter";
           line "%s %d" pn c.c_value
       | Gauge g ->
-          if g.g_set then begin
-            line "# TYPE %s gauge" pn;
-            line "%s %s" pn (prometheus_float g.g_value)
-          end
+          header pn name "gauge";
+          if g.g_set then line "%s %s" pn (prometheus_float g.g_value)
       | Histogram h ->
-          line "# TYPE %s histogram" pn;
+          header pn name "histogram";
           let cum = ref 0 in
           Array.iteri
             (fun i n ->
@@ -415,13 +447,15 @@ let to_prometheus t =
               let le =
                 if i < Array.length h.h_edges then prometheus_float h.h_edges.(i) else "+Inf"
               in
-              line "%s_bucket{le=\"%s\"} %d" pn le !cum)
+              line "%s_bucket{le=\"%s\"} %d" pn (prometheus_escape_label le) !cum)
             h.h_counts;
           line "%s_sum %s" pn (prometheus_float h.h_sum);
           line "%s_count %d" pn h.h_n)
     s.s_metrics;
+  line "# HELP pld_spans_recorded telemetry spans captured in the ring";
   line "# TYPE pld_spans_recorded gauge";
   line "pld_spans_recorded %d" (List.length s.s_events);
+  line "# HELP pld_spans_dropped telemetry spans dropped by the ring";
   line "# TYPE pld_spans_dropped gauge";
   line "pld_spans_dropped %d" s.s_dropped;
   Buffer.contents buf

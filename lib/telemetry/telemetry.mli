@@ -167,11 +167,18 @@ val write_metrics : t -> file:string -> unit
 
 val to_prometheus : t -> string
 (** Prometheus text exposition (version 0.0.4) of the metrics
-    registry: every name is sanitized and prefixed [pld_]; counters
-    and set gauges one sample each, histograms as cumulative
-    [_bucket{le="..."}] series plus [_sum]/[_count]; span bookkeeping
-    as [pld_spans_recorded]/[pld_spans_dropped]. Scraped live from the
+    registry: every name is sanitized and prefixed [pld_]; every
+    metric — counter, gauge (set or not) and histogram — gets a
+    [# HELP] line (carrying the original dotted registry name, escaped)
+    and a [# TYPE] line; counters and set gauges one sample each,
+    histograms as cumulative [_bucket{le="..."}] series plus
+    [_sum]/[_count]; span bookkeeping as
+    [pld_spans_recorded]/[pld_spans_dropped]. Scraped live from the
     daemon via the [Metrics] admin verb. *)
+
+val prometheus_escape_label : string -> string
+(** Escape a label value for the exposition format: backslash,
+    double-quote and newline get a backslash escape. *)
 
 (** {2 Human rendering} *)
 

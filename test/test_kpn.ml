@@ -215,6 +215,78 @@ let test_fork_join () =
   (* out = x + 2x = 3x *)
   Alcotest.(check (list int)) "3x" [ 3; 6; 9; 12 ] (List.assoc "cout" result)
 
+(* Stall accounting is split by direction: a capacity-1 channel with an
+   eager producer write-blocks; a consumer polling an empty channel
+   read-blocks. The back-pressure attribution walk depends on the split
+   being on the right side. *)
+let test_stall_split_directions () =
+  let net = Network.create () in
+  let c = Network.channel net ~capacity:1 ~name:"c" u32 in
+  Network.add_process net ~name:"producer" (fun () ->
+      for i = 1 to 20 do
+        Network.write c (vint i)
+      done);
+  Network.add_process net ~name:"consumer" (fun () ->
+      for _ = 1 to 20 do
+        ignore (Network.read c)
+      done);
+  Network.run net;
+  let st = List.find (fun s -> s.Network.chan = "c") (Network.stats net) in
+  check_bool "writes blocked" true (st.Network.blocked_writes > 0);
+  check_int "split sums to block_events" st.Network.block_events
+    (st.Network.blocked_reads + st.Network.blocked_writes);
+  (* Reverse shape: consumer starts first against an empty channel. *)
+  let net2 = Network.create () in
+  let c2 = Network.channel net2 ~capacity:64 ~name:"c2" u32 in
+  Network.add_process net2 ~name:"consumer" (fun () ->
+      for _ = 1 to 5 do
+        ignore (Network.read c2)
+      done);
+  Network.add_process net2 ~name:"producer" (fun () ->
+      for i = 1 to 5 do
+        Network.write c2 (vint i)
+      done);
+  Network.run net2;
+  let st2 = List.find (fun s -> s.Network.chan = "c2") (Network.stats net2) in
+  check_bool "reads blocked" true (st2.Network.blocked_reads > 0);
+  check_int "no write blocks under capacity" 0 st2.Network.blocked_writes
+
+(* Satellite: the 256-firing-span budget used to clip silently. Drive a
+   process past it and check every dropped span lands on the
+   [kpn.spans_dropped] counter. *)
+let test_firing_span_budget_counted () =
+  let tele = Pld_telemetry.Telemetry.create () in
+  let net = Network.create ~telemetry:tele () in
+  let c = Network.channel net ~capacity:1 ~name:"c" u32 in
+  let n = 400 in
+  Network.add_process net ~name:"producer" (fun () ->
+      for i = 1 to n do
+        Network.write c (vint i)
+      done);
+  Network.add_process net ~name:"consumer" (fun () ->
+      for _ = 1 to n do
+        ignore (Network.read c)
+      done);
+  Network.run net;
+  let dropped = Pld_telemetry.Telemetry.counter_value tele "kpn.spans_dropped" in
+  check_bool "overflow spans counted, not lost" true (dropped > 0)
+
+let test_pmu_series_from_run () =
+  let pmu = Pld_telemetry.Pmu.create () in
+  let r =
+    Run_graph.run ~pmu (pipeline_graph 3) ~inputs:[ ("cin", List.map vint [ 1; 2; 3 ]) ]
+  in
+  Alcotest.(check (list int)) "outputs unchanged under profiling" [ 4; 8; 12 ]
+    (List.map Value.to_int (List.assoc "cout" r.Run_graph.outputs));
+  let names = Pld_telemetry.Pmu.series_names pmu in
+  let has n = List.mem n names in
+  check_bool "per-process firing series" true (has "kpn.proc.d1.firings" && has "kpn.proc.d2.firings");
+  check_bool "per-channel occupancy series" true (has "kpn.chan.cmid.occupancy");
+  check_bool "stall series registered" true (has "kpn.chan.cmid.stall_read");
+  match Pld_telemetry.Pmu.stat pmu "kpn.proc.d1.firings" with
+  | None -> Alcotest.fail "no firing stat"
+  | Some st -> check_bool "d1 resumed at least once" true (st.Pld_telemetry.Pmu.st_count >= 1)
+
 let prop_pipeline_any_depth =
   QCheck.Test.make ~name:"pipeline result independent of channel depth" ~count:30
     QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 16) (int_bound 10000)))
@@ -246,5 +318,8 @@ let suite =
     ("run_graph multiple rounds", `Quick, test_run_graph_rounds);
     ("run_graph starved input deadlocks", `Quick, test_run_graph_underfed_deadlocks);
     ("fork-join graph", `Quick, test_fork_join);
+    ("stall accounting splits read/write", `Quick, test_stall_split_directions);
+    ("firing-span budget overflow is counted", `Quick, test_firing_span_budget_counted);
+    ("profiled run records PMU series", `Quick, test_pmu_series_from_run);
     QCheck_alcotest.to_alcotest prop_pipeline_any_depth;
   ]

@@ -12,6 +12,7 @@ let () =
       ("riscv", Test_riscv.suite);
       ("engine", Test_engine.suite);
       ("telemetry", Test_telemetry.suite);
+      ("pmu", Test_pmu.suite);
       ("insight", Test_insight.suite);
       ("pld", Test_pld.suite);
       ("service", Test_service.suite);

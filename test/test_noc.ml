@@ -135,6 +135,62 @@ let test_relay_vs_bft () =
   check_bool "dedicated wires cost area" true (relay.Relay.wire_luts > 0);
   check_bool "relinking costs a compile" true (relay.Relay.relink_seconds > 0.0)
 
+let test_link_gauges_and_hop_histogram () =
+  (* A congested dup/zip shape: leaf 1 duplicates one stream toward
+     three consumers while three producers zip back into leaf 5 — the
+     fan-out serializes at leaf 1's injection port and the reconverging
+     half contends for leaf 5's ejection path, so delivered-flit ages
+     stretch well past the uncongested diameter. *)
+  let module Telemetry = Pld_telemetry.Telemetry in
+  let tele = Telemetry.create () in
+  let net = Bft.create ~telemetry:tele () in
+  let dup =
+    List.init 3 (fun i ->
+        { Traffic.src_leaf = 1; src_stream = i; dst_leaf = 6 + i; dst_stream = 0; tokens = 120 })
+  in
+  let zip =
+    List.init 3 (fun i ->
+        { Traffic.src_leaf = 2 + i; src_stream = 3; dst_leaf = 5; dst_stream = i; tokens = 120 })
+  in
+  let links = dup @ zip in
+  let r = Traffic.replay net links in
+  check_int "everything delivered" (Traffic.total_tokens links) r.Traffic.delivered;
+  (* Per-link high-water gauges mirror the cumulative flit counts the
+     switches themselves report. *)
+  let traffic = Bft.link_traffic net in
+  check_bool "some physical link carried traffic" true (traffic <> []);
+  List.iter
+    (fun (link, flits) ->
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "noc.link.%d.flits gauge matches switch count" link)
+        (Some (float_of_int flits))
+        (Telemetry.gauge_value tele (Printf.sprintf "noc.link.%d.flits" link)))
+    traffic;
+  let before = List.map (fun (link, flits) -> (link, float_of_int flits)) traffic in
+  (* A second, lighter replay on the same network must never lower a
+     gauge: the counts are cumulative and the recording is max-based. *)
+  let _ =
+    Traffic.replay net
+      [ { Traffic.src_leaf = 20; src_stream = 7; dst_leaf = 21; dst_stream = 0; tokens = 1 } ]
+  in
+  List.iter
+    (fun (link, hw) ->
+      match Telemetry.gauge_value tele (Printf.sprintf "noc.link.%d.flits" link) with
+      | None -> Alcotest.failf "gauge for link %d vanished" link
+      | Some v -> check_bool (Printf.sprintf "link %d high-water kept" link) true (v >= hw))
+    before;
+  (* Hop-latency histogram: the power-of-two bucket edges are part of
+     the exposition contract, and congestion pushes mass past the
+     8-cycle bucket an idle network would stay under. *)
+  let buckets = Telemetry.bucket_counts tele "noc.hop_latency" in
+  Alcotest.(check (list (float 1e-9)))
+    "bucket edges" [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; Float.infinity ]
+    (List.map fst buckets);
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 buckets in
+  check_int "one age sample per delivered flit" (r.Traffic.delivered + 1) total;
+  let congested = List.fold_left (fun a (e, c) -> if e > 8.0 then a + c else a) 0 buckets in
+  check_bool "congestion reaches the high buckets" true (congested > 0)
+
 let prop_random_traffic_no_loss =
   QCheck.Test.make ~name:"random traffic: everything delivered exactly once" ~count:25
     QCheck.(list_of_size (Gen.int_range 1 12) (pair (int_range 1 30) (int_range 1 30)))
@@ -164,5 +220,6 @@ let suite =
     ("traffic: shared port bottleneck", `Quick, test_traffic_shared_port_bottleneck);
     ("linking config is cheap", `Quick, test_config_cycles_small);
     ("relay-station alternative", `Quick, test_relay_vs_bft);
+    ("link gauges and hop-latency buckets under dup/zip congestion", `Quick, test_link_gauges_and_hop_histogram);
     QCheck_alcotest.to_alcotest prop_random_traffic_no_loss;
   ]

@@ -393,6 +393,93 @@ let test_reports () =
   check_int "five columns" 5 (List.length area);
   check_bool "summary non-empty" true (String.length (Report.compile_summary app) > 20)
 
+(* ---------- fabric profiles ---------- *)
+
+module Pmu = Pld_telemetry.Pmu
+module Json = Pld_telemetry.Json
+module Bottleneck = Pld_insight.Bottleneck
+
+let profiled_run ?(n = 64) ?(stages = 3) level =
+  let g = pipeline ~n stages in
+  let app = Build.compile fp g ~level in
+  let pmu = Pmu.create () in
+  let r = Runner.run ~pmu app ~inputs:(inputs n) in
+  (app, pmu, r)
+
+let test_fabric_profile_of_run () =
+  let app, pmu, r = profiled_run Build.O1 in
+  let p = Fabric_profile.of_run ~trace:"tr-42" ~tenant:"acme" ~pmu app r in
+  Alcotest.(check string) "graph name" "pipe" p.Fabric_profile.pf_graph;
+  Alcotest.(check string) "level" "-O1" p.Fabric_profile.pf_level;
+  Alcotest.(check (option string)) "trace carried" (Some "tr-42") p.Fabric_profile.pf_trace;
+  Alcotest.(check (option string)) "tenant carried" (Some "acme") p.Fabric_profile.pf_tenant;
+  check_bool "frame cycles modeled" true (p.Fabric_profile.pf_frame_cycles > 0);
+  check_int "one op_stat per instance" 3 (List.length p.Fabric_profile.pf_ops);
+  List.iter
+    (fun (o : Fabric_profile.op_stat) ->
+      check_bool (o.Fabric_profile.op_name ^ " fired") true (o.Fabric_profile.op_firings > 0);
+      Alcotest.(check string) "hw kind" "hw" o.Fabric_profile.op_kind;
+      check_bool "placed on a page" true (o.Fabric_profile.op_page <> None))
+    p.Fabric_profile.pf_ops;
+  (* Channel topology: the graph boundary channels face the host. *)
+  let chan name =
+    List.find (fun (c : Fabric_profile.chan_stat) -> c.Fabric_profile.ch_name = name)
+      p.Fabric_profile.pf_chans
+  in
+  Alcotest.(check (option string)) "cin fed by host" None (chan "cin").Fabric_profile.ch_src;
+  Alcotest.(check (option string)) "cout drained by host" None (chan "cout").Fabric_profile.ch_dst;
+  check_int "every input token crossed cin" 64 (chan "cin").Fabric_profile.ch_tokens;
+  (* The PMU saw the run: per-process firing series exist. *)
+  check_bool "firing series recorded" true
+    (List.exists (fun n -> n = "kpn.proc.stage0.firings") (Pmu.series_names pmu));
+  (* Profiled streaming must not perturb the computed outputs. *)
+  Alcotest.(check (list int)) "outputs intact"
+    (List.init 64 (fun i -> 8 * (i + 1)))
+    (List.map Value.to_int (List.assoc "cout" r.Runner.outputs))
+
+let test_fabric_profile_json_roundtrip () =
+  let app, pmu, r = profiled_run ~n:32 ~stages:2 Build.O1 in
+  let p = Fabric_profile.of_run ~tenant:"acme" ~pmu app r in
+  let doc = Json.of_string (Json.to_string (Fabric_profile.to_json p)) in
+  match Fabric_profile.of_json doc with
+  | Error m -> Alcotest.failf "of_json failed: %s" m
+  | Ok q ->
+      Alcotest.(check string) "byte-identical re-export"
+        (Json.to_string (Fabric_profile.to_json p))
+        (Json.to_string (Fabric_profile.to_json q))
+
+let test_fabric_profile_heatmap_smoke () =
+  let app, pmu, r = profiled_run Build.O1 in
+  let p = Fabric_profile.of_run ~pmu app r in
+  let s = Fabric_profile.render_heatmap p fp in
+  check_bool "non-trivial rendering" true (String.length s > 100);
+  let contains re =
+    let n = String.length re and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = re || go (i + 1)) in
+    go 0
+  in
+  check_bool "names the ops" true (contains "stage0");
+  check_bool "shows stall split" true (contains "rd" && contains "wr")
+
+let test_attribution_agrees_with_perf_model () =
+  (* The ISSUE's acceptance check: on the Rosetta rendering benchmark
+     at -O1 the back-pressure walk must name a rate limiter consistent
+     with the perf model's critical-path verdict. *)
+  let b = Pld_rosetta.Suite.find "rendering" in
+  let g = b.Pld_rosetta.Suite.graph (Graph.Hw { page_hint = None }) in
+  let app = Build.compile fp g ~level:Build.O1 in
+  let pmu = Pmu.create () in
+  let r = Runner.run ~pmu app ~inputs:(b.Pld_rosetta.Suite.workload ()) in
+  let p = Fabric_profile.of_run ~pmu app r in
+  let bk = Bottleneck.attribute p in
+  check_bool "profiled run observes stalls" true (bk.Bottleneck.bk_total_stalls > 0);
+  check_bool "attribution agrees with perf model" true bk.Bottleneck.bk_agrees;
+  (match Bottleneck.rate_limiter bk with
+  | None -> Alcotest.fail "no rate limiter named"
+  | Some (op, frac) ->
+      check_bool ("dominant culprit " ^ op) true (frac > 0.5));
+  check_bool "report renders" true (Bottleneck.render bk <> [])
+
 let test_compile_time_shape () =
   (* -O1 wall time must beat monolithic on a multi-operator app —
      the paper's headline (Tab. 2). *)
@@ -431,5 +518,9 @@ let suite =
     ("monolithic load evicts overlay", `Quick, test_deploy_monolithic_evicts_overlay);
     ("card protocol enforcement", `Quick, test_card_protocol_violation);
     ("reports render", `Quick, test_reports);
+    ("fabric profile: of_run snapshot", `Quick, test_fabric_profile_of_run);
+    ("fabric profile: JSON round-trip", `Quick, test_fabric_profile_json_roundtrip);
+    ("fabric profile: heatmap smoke", `Quick, test_fabric_profile_heatmap_smoke);
+    ("attribution agrees with perf model (rendering -O1)", `Slow, test_attribution_agrees_with_perf_model);
     ("compile-time shape (Tab. 2)", `Slow, test_compile_time_shape);
   ]

@@ -1,0 +1,142 @@
+(* Fabric PMU: windowed sampling over a modeled clock — ring behavior,
+   out-of-order and over-age samples, derived statistics, and the JSON
+   persistence format fabric profiles ride on. *)
+
+module Pmu = Pld_telemetry.Pmu
+module Json = Pld_telemetry.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_windowing () =
+  let p = Pmu.create ~window_cycles:16 ~depth:4 () in
+  check_int "window width" 16 (Pmu.window_cycles p);
+  check_int "depth" 4 (Pmu.depth p);
+  let s = Pmu.series p ~unit_:"flits" "noc.link.0.flits" in
+  (* Three samples in window 0, one in window 1, one in window 3. *)
+  List.iter (fun (c, v) -> Pmu.add s ~cycle:c v) [ (0, 1.0); (7, 2.0); (15, 3.0); (16, 4.0); (60, 5.0) ];
+  let ws = Pmu.windows p "noc.link.0.flits" in
+  Alcotest.(check (list int)) "window indices, oldest first" [ 0; 1; 3 ]
+    (List.map (fun (w : Pmu.window) -> w.Pmu.w_index) ws);
+  let w0 = List.hd ws in
+  check_float "window 0 sum" 6.0 w0.Pmu.w_sum;
+  check_int "window 0 count" 3 w0.Pmu.w_count;
+  check_float "window 0 peak" 3.0 w0.Pmu.w_peak;
+  match Pmu.stat p "noc.link.0.flits" with
+  | None -> Alcotest.fail "series has no stat"
+  | Some st ->
+      check_float "total" 15.0 st.Pmu.st_total;
+      check_int "count" 5 st.Pmu.st_count;
+      check_int "last cycle" 60 st.Pmu.st_last_cycle;
+      check_float "rate per cycle" (15.0 /. 61.0) st.Pmu.st_rate;
+      check_float "peak window" 6.0 st.Pmu.st_peak_window;
+      check_float "mean sample" 3.0 st.Pmu.st_mean;
+      check_float "peak sample" 5.0 st.Pmu.st_peak;
+      Alcotest.(check string) "unit carried" "flits" st.Pmu.st_unit
+
+let test_ring_eviction_and_drops () =
+  let p = Pmu.create ~window_cycles:8 ~depth:2 () in
+  let s = Pmu.series p "kpn.proc.a.firings" in
+  Pmu.add s ~cycle:0 1.0;
+  (* Jump far ahead: the ring now covers windows 9 and 10 only. *)
+  Pmu.add s ~cycle:80 1.0;
+  Alcotest.(check (list int)) "old window evicted" [ 10 ]
+    (List.map (fun (w : Pmu.window) -> w.Pmu.w_index) (Pmu.windows p "kpn.proc.a.firings"));
+  (* Slightly out of order but within the ring: accepted. *)
+  Pmu.add s ~cycle:74 1.0;
+  Alcotest.(check (list int)) "in-ring backfill" [ 9; 10 ]
+    (List.map (fun (w : Pmu.window) -> w.Pmu.w_index) (Pmu.windows p "kpn.proc.a.firings"));
+  (* Older than the retained ring: dropped, counted. *)
+  Pmu.add s ~cycle:3 1.0;
+  (match Pmu.stat p "kpn.proc.a.firings" with
+  | None -> Alcotest.fail "no stat"
+  | Some st ->
+      check_int "over-age sample dropped" 1 st.Pmu.st_dropped;
+      (* A dropped sample contributes to nothing but the drop counter —
+         totals and the ring stay mutually consistent. *)
+      check_int "count excludes dropped" 3 st.Pmu.st_count;
+      check_int "last cycle is the max seen" 80 st.Pmu.st_last_cycle);
+  (* Negative cycles clamp to 0 — which is itself over-age here. *)
+  Pmu.add s ~cycle:(-5) 1.0;
+  match Pmu.stat p "kpn.proc.a.firings" with
+  | None -> Alcotest.fail "no stat"
+  | Some st -> check_int "negative cycle clamps then drops" 2 st.Pmu.st_dropped
+
+let test_series_registry () =
+  let p = Pmu.create () in
+  let a = Pmu.series p "b.second" in
+  let a' = Pmu.series p "b.second" in
+  let _ = Pmu.series p "a.first" in
+  check_bool "fetch-or-create returns the same series" true (a == a');
+  Alcotest.(check (list string)) "insertion order, not alphabetical" [ "b.second"; "a.first" ]
+    (Pmu.series_names p)
+
+let test_json_roundtrip () =
+  let p = Pmu.create ~window_cycles:32 ~depth:8 () in
+  let s1 = Pmu.series p ~unit_:"stalls" "kpn.chan.c.stall_read" in
+  let s2 = Pmu.series p ~unit_:"cycles" "softcore.scale.cycles" in
+  List.iter (fun c -> Pmu.add s1 ~cycle:c 1.0) [ 0; 5; 40; 41; 100; 300 ];
+  List.iter (fun (c, v) -> Pmu.add s2 ~cycle:c v) [ (10, 50000.0); (700, 49000.0) ];
+  (* Force a drop so the dropped counter round-trips too. *)
+  Pmu.add s2 ~cycle:1 1.0;
+  let doc = Json.of_string (Json.to_string (Pmu.to_json p)) in
+  match Pmu.of_json doc with
+  | Error m -> Alcotest.failf "of_json failed: %s" m
+  | Ok q ->
+      check_int "window width survives" (Pmu.window_cycles p) (Pmu.window_cycles q);
+      check_int "depth survives" (Pmu.depth p) (Pmu.depth q);
+      Alcotest.(check (list string)) "series names survive" (Pmu.series_names p) (Pmu.series_names q);
+      List.iter
+        (fun name ->
+          let st_p = Option.get (Pmu.stat p name) and st_q = Option.get (Pmu.stat q name) in
+          check_float (name ^ " total") st_p.Pmu.st_total st_q.Pmu.st_total;
+          check_int (name ^ " count") st_p.Pmu.st_count st_q.Pmu.st_count;
+          check_int (name ^ " dropped") st_p.Pmu.st_dropped st_q.Pmu.st_dropped;
+          check_int (name ^ " last cycle") st_p.Pmu.st_last_cycle st_q.Pmu.st_last_cycle;
+          check_float (name ^ " rate") st_p.Pmu.st_rate st_q.Pmu.st_rate;
+          check_float (name ^ " peak window") st_p.Pmu.st_peak_window st_q.Pmu.st_peak_window;
+          Alcotest.(check string) (name ^ " unit") st_p.Pmu.st_unit st_q.Pmu.st_unit;
+          let ws_p = Pmu.windows p name and ws_q = Pmu.windows q name in
+          check_int (name ^ " window count") (List.length ws_p) (List.length ws_q);
+          List.iter2
+            (fun (a : Pmu.window) (b : Pmu.window) ->
+              check_int "w_index" a.Pmu.w_index b.Pmu.w_index;
+              check_float "w_sum" a.Pmu.w_sum b.Pmu.w_sum;
+              check_int "w_count" a.Pmu.w_count b.Pmu.w_count;
+              check_float "w_peak" a.Pmu.w_peak b.Pmu.w_peak)
+            ws_p ws_q)
+        (Pmu.series_names p)
+
+let test_of_json_rejects_malformed () =
+  (match Pmu.of_json (Json.String "nope") with
+  | Ok _ -> Alcotest.fail "accepted a non-object"
+  | Error _ -> ());
+  match Pmu.of_json (Json.Obj [ ("window_cycles", Json.Int 0) ]) with
+  | Ok _ -> Alcotest.fail "accepted a zero window width"
+  | Error _ -> ()
+
+let test_render_smoke () =
+  let p = Pmu.create () in
+  let s = Pmu.series p "kpn.proc.x.firings" in
+  Pmu.add s ~cycle:0 1.0;
+  let lines = Pmu.render p in
+  check_bool "one line per series" true (List.length lines >= 1);
+  check_bool "names its series" true
+    (List.exists
+       (fun l ->
+         let re = "kpn.proc.x.firings" in
+         let n = String.length re and m = String.length l in
+         let rec go i = i + n <= m && (String.sub l i n = re || go (i + 1)) in
+         go 0)
+       lines)
+
+let suite =
+  [
+    Alcotest.test_case "windowed accumulation and derived stats" `Quick test_windowing;
+    Alcotest.test_case "ring eviction, over-age drops, clamping" `Quick test_ring_eviction_and_drops;
+    Alcotest.test_case "series registry is fetch-or-create" `Quick test_series_registry;
+    Alcotest.test_case "JSON export round-trips windows exactly" `Quick test_json_roundtrip;
+    Alcotest.test_case "of_json rejects malformed documents" `Quick test_of_json_rejects_malformed;
+    Alcotest.test_case "render smoke" `Quick test_render_smoke;
+  ]

@@ -520,6 +520,95 @@ let test_status_and_health_json () =
   | _ -> Alcotest.fail "health has no ok after drain");
   Service.shutdown svc
 
+(* ---------- fabric profiles in the shared store ---------- *)
+
+(* The profile is keyed like the build it describes, so a dedup'd
+   cross-tenant hit carries the primary run's profile: bob asking for
+   alice's graph gets alice's measurements, trace id included. *)
+let test_profile_travels_with_artifact () =
+  let svc = Service.create ~queue_workers:1 () in
+  let g = chain [ 30; 31 ] in
+  ignore (ok_exn (Service.compile svc ~tenant:"alice" ~level:Build.O1 g));
+  check_bool "no profile before any profiled run" true
+    (Service.find_profile svc g Build.O1 = None);
+  let doc =
+    Json.Obj [ ("graph", Json.String "svc-chain"); ("trace", Json.String "alice-trace-1") ]
+  in
+  Service.put_profile svc g Build.O1 doc;
+  (* A structurally identical graph from another tenant resolves to the
+     same key — the artifact and its profile are one unit. *)
+  let g' = chain [ 30; 31 ] in
+  check_bool "identical graphs share the profile key" true
+    (Service.profile_key g Build.O1 = Service.profile_key g' Build.O1);
+  let b = ok_exn (Service.compile svc ~tenant:"bob" ~level:Build.O1 g') in
+  check_bool "bob's build is a cross-tenant hit" true b.Service.o_cross_tenant;
+  (match Service.find_profile svc g' Build.O1 with
+  | None -> Alcotest.fail "cross-tenant hit lost the primary's profile"
+  | Some d ->
+      Alcotest.(check string) "primary's document served verbatim" (Json.to_string doc)
+        (Json.to_string d));
+  (* Levels partition the store: no -O0 profile was ever written. *)
+  check_bool "other level has no profile" true (Service.find_profile svc g Build.O0 = None);
+  Service.shutdown svc
+
+(* The [profile] wire verb end to end: absent before any run, then the
+   persisted document with the caller's trace id echoed for
+   correlation. *)
+let test_profile_wire_verb () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pld-profile-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let svc = Service.create ~queue_workers:1 () in
+  let server =
+    Thread.create
+      (fun () ->
+        ignore
+          (Server.serve ~socket ~install_signals:false ~service:svc
+             ~handler:(fun t e -> Server.handle t ~resolve:resolve_chain e)
+             ()))
+      ()
+  in
+  let rpc req =
+    let backoff =
+      { Client.default_backoff with Client.b_attempts = 60; b_base_s = 0.01; b_cap_s = 0.02 }
+    in
+    match Client.rpc_retry ~backoff ~socket req with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "rpc failed: %s" msg
+  in
+  let ask = Protocol.Profile { bench = "svc-2x3"; level = "O1" } in
+  let r = rpc (Protocol.envelope ~tenant:"alice" ask) in
+  check_bool "absent profile still answers ok" true r.Protocol.ok;
+  check_bool "found=false before any run" true
+    (Json.member "found" r.Protocol.body = Some (Json.Bool false));
+  check_bool "profile is null when absent" true
+    (Json.member "profile" r.Protocol.body = Some Json.Null);
+  (* A run elsewhere persists the document; the verb now serves it. *)
+  let g =
+    match resolve_chain "svc-2x3" with
+    | Ok g -> g
+    | Error m -> Alcotest.failf "resolve failed: %s" m
+  in
+  Service.put_profile svc g Pld_core.Build.O1 (Json.Obj [ ("marker", Json.Int 7) ]);
+  let r = rpc (Protocol.envelope ~tenant:"bob" ~trace:"fedcba9876543210" ask) in
+  check_bool "found=true once persisted" true
+    (Json.member "found" r.Protocol.body = Some (Json.Bool true));
+  (match Json.member "profile" r.Protocol.body with
+  | Some (Json.Obj fields) ->
+      check_bool "document served" true (List.assoc_opt "marker" fields = Some (Json.Int 7))
+  | _ -> Alcotest.fail "profile body is not the stored object");
+  check_bool "trace id echoed for correlation" true
+    (Json.member "trace" r.Protocol.body = Some (Json.String "fedcba9876543210"));
+  (* Unknown bench and bad level are hard errors, not empty results. *)
+  let bad = rpc (Protocol.envelope (Protocol.Profile { bench = "no-such"; level = "O1" })) in
+  check_bool "unknown bench refused" false bad.Protocol.ok;
+  (match Client.rpc ~socket (Protocol.envelope Protocol.Shutdown) with
+  | Ok r -> check_bool "shutdown acknowledged" true r.Protocol.ok
+  | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
+  Thread.join server
+
 let suite =
   [
     ("session: compile, cache, link, run, close", `Quick, test_session_compile_link_run);
@@ -539,4 +628,6 @@ let suite =
     ("trace: dedup follower shows zero tool spans", `Slow, test_dedup_follower_trace_has_no_tool_spans);
     ("flight: watchdog kill dumps the recorder", `Slow, test_watchdog_kill_trips_flight_recorder);
     ("status: live introspection documents", `Quick, test_status_and_health_json);
+    ("profile: travels with the shared artifact", `Quick, test_profile_travels_with_artifact);
+    ("profile: wire verb serves persisted document", `Slow, test_profile_wire_verb);
   ]

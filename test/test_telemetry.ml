@@ -467,6 +467,26 @@ let test_prometheus_exposition () =
   check_bool "histogram sum" true (has "pld_noc_hop_latency_sum 4");
   check_bool "histogram count" true (has "pld_noc_hop_latency_count 1");
   check_bool "span gauges" true (has "# TYPE pld_spans_recorded gauge");
+  (* Satellite: HELP/TYPE for every metric — gauges and histograms
+     included, with the original dotted name preserved in HELP. *)
+  check_bool "counter HELP line" true
+    (has "# HELP pld_engine_cache_hits pld metric engine.cache_hits (counter)");
+  check_bool "histogram HELP line" true
+    (has "# HELP pld_noc_hop_latency pld metric noc.hop_latency (histogram)");
+  check_bool "span gauge HELP" true
+    (has "# HELP pld_spans_recorded telemetry spans captured in the ring");
+  let gtele = T.create () in
+  T.set_gauge (T.gauge gtele "fabric.page.peak") 7.0;
+  ignore (T.gauge gtele "fabric.unset");
+  let glines = String.split_on_char '\n' (T.to_prometheus gtele) in
+  check_bool "set gauge HELP line" true
+    (List.mem "# HELP pld_fabric_page_peak pld metric fabric.page.peak (gauge)" glines);
+  check_bool "set gauge TYPE line" true
+    (List.mem "# TYPE pld_fabric_page_peak gauge" glines);
+  check_bool "unset gauge still announced" true
+    (List.mem "# TYPE pld_fabric_unset gauge" glines);
+  check_bool "unset gauge has no sample" false
+    (List.exists (fun l -> l = "pld_fabric_unset" || String.length l > 16 && String.sub l 0 16 = "pld_fabric_unset") glines);
   (* Every non-comment line is "name value" or "name{labels} value" over
      the sanitized alphabet — what a Prometheus scraper requires. *)
   List.iter
@@ -483,6 +503,12 @@ let test_prometheus_exposition () =
                  name);
             check_bool (l ^ ": has a value") true (String.length value > 0)))
     lines
+
+let test_prometheus_label_escaping () =
+  Alcotest.(check string)
+    "backslash, quote and newline get escapes" "a\\\\b\\\"c\\nd"
+    (T.prometheus_escape_label "a\\b\"c\nd");
+  Alcotest.(check string) "plain values pass through" "le-10.5" (T.prometheus_escape_label "le-10.5")
 
 let suite =
   [
@@ -509,4 +535,5 @@ let suite =
     Alcotest.test_case "flight recorder dumps ring and metrics" `Quick test_flight_recorder_dump;
     Alcotest.test_case "trace ids are unique hex" `Quick test_mint_trace_id;
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+    Alcotest.test_case "prometheus label escaping" `Quick test_prometheus_label_escaping;
   ]
