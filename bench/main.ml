@@ -412,7 +412,54 @@ let incremental () =
   Printf.printf
     "edit one op:   %d op compiled, cluster wall %.2fs (%d cache hits) [%s] -- the edit-compile-debug loop of §6\n"
     inc.B.report.B.recompiled inc.B.report.B.parallel_seconds inc.B.report.B.cache_hits
-    (Pld_core.Report.cache_summary inc.B.report)
+    (Pld_core.Report.cache_summary inc.B.report);
+  (* -O3 has no per-operator cache to hide behind: the monolithic P&R
+     reruns on any edit. Delta P&R is what keeps the edit loop fast
+     there — recompile each benchmark after a one-operator touch,
+     seeding placement and routing with the previous build. *)
+  section "Delta P&R: recompile after a one-operator edit at -O3";
+  let pnr_seconds (app : B.app) =
+    let p = (B.monolithic_exn app).Pld_core.Flow.pnr3 in
+    p.Pld_pnr.Pnr.place_seconds +. p.Pld_pnr.Pnr.route_seconds +. p.Pld_pnr.Pnr.sta_seconds
+  in
+  let header =
+    [ "benchmark"; "scratch pnr"; "delta pnr"; "speedup"; "kept/moved"; "rerouted"; "path" ]
+  in
+  let rows =
+    List.map
+      (fun (b : Suite.bench) ->
+        let g = b.Suite.graph hw in
+        let scratch = B.compile ~cache:(B.create_cache ()) fp g ~level:B.O3 in
+        let victim = (List.hd g.Pld_ir.Graph.instances).Pld_ir.Graph.inst_name in
+        let edited = Option.get (Pld_ir.Graph.touch_op g victim) in
+        let delta = B.compile ~cache:(B.create_cache ()) ~previous:scratch fp edited ~level:B.O3 in
+        let ss = pnr_seconds scratch and ds = pnr_seconds delta in
+        let stats = (B.monolithic_exn delta).Pld_core.Flow.pnr3.Pld_pnr.Pnr.delta in
+        let kept, moved, rerouted, path =
+          match stats with
+          | Some d -> (
+              ( d.Pld_pnr.Pnr.cells_kept,
+                d.Pld_pnr.Pnr.cells_moved,
+                d.Pld_pnr.Pnr.nets_rerouted,
+                match d.Pld_pnr.Pnr.fallback with
+                | None -> "delta"
+                | Some r -> "scratch (" ^ r ^ ")" ))
+          | None -> (0, 0, 0, "scratch")
+        in
+        [
+          b.Suite.name;
+          Printf.sprintf "%.3fs" ss;
+          Printf.sprintf "%.3fs" ds;
+          Printf.sprintf "%.1fx" (ss /. Float.max 1e-9 ds);
+          Printf.sprintf "%d/%d" kept moved;
+          string_of_int rerouted;
+          path;
+        ])
+      Suite.all
+  in
+  print_endline (Table.render ~header rows);
+  print_endline
+    "touching one operator reuses the previous placement and reroutes only the ripped-up nets."
 
 (* ---------- executor parallelism ---------- *)
 
@@ -650,12 +697,25 @@ let export_json () =
     let p = rep.B.phases in
     let run = List.assoc level r.runs in
     let jobs_total = rep.B.cache_hits + rep.B.recompiled in
+    (* Monolithic levels expose the P&R phase split (place / route /
+       sta) — the denominators of the delta-P&R speedup claims. *)
+    let pnr_phases =
+      match app.B.monolithic with
+      | None -> []
+      | Some m ->
+          let pr = m.Pld_core.Flow.pnr3 in
+          [
+            ("pnr_place_seconds", Json.Float pr.Pld_pnr.Pnr.place_seconds);
+            ("pnr_route_seconds", Json.Float pr.Pld_pnr.Pnr.route_seconds);
+            ("pnr_sta_seconds", Json.Float pr.Pld_pnr.Pnr.sta_seconds);
+          ]
+    in
     Json.Obj
       [
         ("level", Json.String (B.level_name level));
         ( "compile",
           Json.Obj
-            [
+            ([
               ("hls_seconds", Json.Float p.Pld_core.Flow.hls);
               ("syn_seconds", Json.Float p.Pld_core.Flow.syn);
               ("pnr_seconds", Json.Float p.Pld_core.Flow.pnr);
@@ -670,7 +730,8 @@ let export_json () =
                 Json.Float
                   (if jobs_total = 0 then 0.0
                    else float_of_int rep.B.cache_hits /. float_of_int jobs_total) );
-            ] );
+            ]
+            @ pnr_phases) );
         ( "perf",
           Json.Obj
             [
@@ -760,6 +821,7 @@ let micro () =
 let regress_usage =
   "usage: bench regress [--save] [--baseline FILE] [--benches a,b] [--levels O1,O3]\n\
   \                     [--repeats N] [--pace F] [--jobs N] [--no-perf] [--no-service] [--no-chaos]\n\
+  \                     [--no-incremental]\n\
   \                     [--perturb metric=factor[,metric=factor...]]\n\
   \                     [--exact-only] [--skip-wall] [--out FILE]\n\n\
    --save writes the measured snapshot to the baseline file and exits 0;\n\
@@ -830,6 +892,9 @@ let regress args =
         parse rest
     | "--no-chaos" :: rest ->
         opts := { !opts with Sentinel.run_chaos = false };
+        parse rest
+    | "--no-incremental" :: rest ->
+        opts := { !opts with Sentinel.run_incremental = false };
         parse rest
     | "--perturb" :: spec :: rest ->
         perturb := !perturb @ parse_perturb spec;

@@ -454,10 +454,101 @@ let open_cache dir =
   try B.create_cache ?dir ()
   with Pld_engine.Store.Store_error msg -> die (Printf.sprintf "bad --cache-dir: %s" msg)
 
+(* ---------- incremental compile state ---------- *)
+
+let incremental_from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "incremental-from" ] ~docv:"DIR"
+        ~doc:
+          "Persist the compiled app under $(docv) (one state file per benchmark and level) and, \
+           when a previous state exists, seed delta P&R from it: unchanged cells keep their \
+           placement and only nets touching moved cells are rerouted. Combine with --cache-dir \
+           to also reuse unchanged artifacts outright.")
+
+let touch_op_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "touch-op" ] ~docv:"INST"
+        ~doc:
+          "Apply a behavior-neutral one-operator edit (append a debug printf to instance \
+           $(docv)) before compiling — the canonical edit of the incremental loop, used by the \
+           CI smoke test to force the delta path.")
+
+let pnr_seeds_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "pnr-seeds" ] ~docv:"SEEDS"
+        ~doc:
+          "Race these distinct annealing seeds on parallel domains for a cold monolithic \
+           (-O3/vitis) compile and keep the best post-STA timing. Ignored on paged levels; \
+           a loaded --incremental-from state wins over seeds.")
+
+(* Incremental compile state: the whole app, marshalled (pure data —
+   graphs, netlists, placements, routes; no closures anywhere in it).
+   A stale or truncated state file degrades to a scratch compile, never
+   to an error. *)
+let inc_state_file dir (b : Suite.bench) level =
+  Filename.concat dir (Printf.sprintf "%s.%s.pnrstate" b.Suite.name (B.level_name level))
+
+let load_previous dir b level : B.app option =
+  let file = inc_state_file dir b level in
+  if not (Sys.file_exists file) then None
+  else
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try Some (Marshal.from_channel ic : B.app)
+        with _ ->
+          Log.warn logger ~sub:"cli"
+            (Printf.sprintf "ignoring unreadable incremental state %s" file);
+          None)
+
+let save_previous dir b level (app : B.app) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file = inc_state_file dir b level in
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Marshal.to_channel oc app [])
+
+(* One parseable line per monolithic compile: what the delta path did
+   (or why it could not), and the P&R seconds the CI smoke compares. *)
+let incremental_summary (app : B.app) =
+  match app.B.monolithic with
+  | None -> ()
+  | Some m ->
+      let p = m.Pld_core.Flow.pnr3 in
+      let pnr_seconds =
+        p.Pld_pnr.Pnr.place_seconds +. p.Pld_pnr.Pnr.route_seconds +. p.Pld_pnr.Pnr.sta_seconds
+      in
+      (match p.Pld_pnr.Pnr.delta with
+      | None ->
+          Printf.printf "incremental: status=cold pnr_seconds=%.4f\n" pnr_seconds
+      | Some d ->
+          let status =
+            match d.Pld_pnr.Pnr.fallback with
+            | None -> "delta"
+            | Some reason -> "fallback:" ^ reason
+          in
+          Printf.printf
+            "incremental: status=%s cells_kept=%d cells_moved=%d nets_preserved=%d \
+             nets_rerouted=%d pnr_seconds=%.4f\n"
+            status d.Pld_pnr.Pnr.cells_kept d.Pld_pnr.Pnr.cells_moved
+            d.Pld_pnr.Pnr.nets_preserved d.Pld_pnr.Pnr.nets_rerouted pnr_seconds);
+      Printf.printf "incremental: pnr.delta_hits=%d pnr.delta_fallbacks=%d\n"
+        (T.counter_value T.default "pnr.delta_hits")
+        (T.counter_value T.default "pnr.delta_fallbacks")
+
 let compile_cmd =
   let doc = "Compile an application at the given level and report phases/areas." in
   let run b level workers jobs cache_dir trace pace fault_spec fault_seed max_retries trace_out
-      metrics_out profile hot critical_path connect tenant priority deadline_ms retries =
+      metrics_out profile hot critical_path connect tenant priority deadline_ms retries
+      incremental_from touch_op pnr_seeds =
     match connect with
     | Some socket ->
         remote_call ~socket ~retries
@@ -467,8 +558,20 @@ let compile_cmd =
     let cache = open_cache cache_dir in
     let session = S.open_session ~name:"pldc" ~fp ~cache ~workers ~jobs ~pace () in
     let faults = injector_of fault_spec fault_seed in
-    let app = S.compile session ~level ?faults ~max_retries (b.Suite.graph hw) in
+    let graph =
+      match touch_op with
+      | None -> b.Suite.graph hw
+      | Some inst -> (
+          match Pld_ir.Graph.touch_op (b.Suite.graph hw) inst with
+          | Some g -> g
+          | None ->
+              die ~code:2
+                (Printf.sprintf "--touch-op: no instance %S in %s" inst b.Suite.name))
+    in
+    let previous = Option.bind incremental_from (fun dir -> load_previous dir b level) in
+    let app = S.compile session ~level ?faults ~max_retries ?previous ~pnr_seeds graph in
     S.close session;
+    Option.iter (fun dir -> save_previous dir b level app) incremental_from;
     print_endline (Pld_core.Report.compile_summary app);
     Printf.printf "  cache: %s\n" (Pld_core.Report.cache_summary app.B.report);
     List.iter (fun (inst, page) -> Printf.printf "  %-16s -> page %d\n" inst page) app.B.assignment;
@@ -476,6 +579,7 @@ let compile_cmd =
     (match app.B.monolithic with
     | Some m -> print_endline (Pld_pnr.Pnr.report m.Pld_core.Flow.pnr3)
     | None -> ());
+    incremental_summary app;
     print_endline (Pld_core.Loader.describe_artifacts app);
     telemetry_report ~workers ~trace ~trace_out ~metrics_out ~profile ~hot ~critical_path ()
   in
@@ -484,7 +588,7 @@ let compile_cmd =
       const run $ bench_arg $ level_arg $ workers_arg $ jobs_arg $ cache_dir_arg $ trace_arg
       $ pace_arg $ faults_arg $ fault_seed_arg $ max_retries_arg $ trace_out_arg $ metrics_out_arg
       $ profile_arg $ hot_arg $ critical_path_arg $ connect_arg $ tenant_arg $ priority_arg
-      $ deadline_arg $ retries_arg)
+      $ deadline_arg $ retries_arg $ incremental_from_arg $ touch_op_arg $ pnr_seeds_arg)
 
 let run_cmd =
   let doc = "Compile, deploy to the card, link, execute a frame, and validate." in
@@ -745,7 +849,15 @@ let sentinel_opts_term =
             "Skip the chaos tier (deterministic failure-path scenarios: scrub quarantine, \
              connection storm, overload shedding and deadlines).")
   in
-  let mk benches levels repeats pace jobs no_perf no_service no_chaos =
+  let no_incremental_arg =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Skip the incremental tier (one-operator edit recompiled through delta P&R per \
+             bench).")
+  in
+  let mk benches levels repeats pace jobs no_perf no_service no_chaos no_incremental =
     {
       Sentinel.benches;
       levels;
@@ -755,11 +867,12 @@ let sentinel_opts_term =
       run_perf = not no_perf;
       run_service = not no_service;
       run_chaos = not no_chaos;
+      run_incremental = not no_incremental;
     }
   in
   Term.(
     const mk $ benches_arg $ levels_arg $ repeats_arg $ pace_arg $ sjobs_arg $ no_perf_arg
-    $ no_service_arg $ no_chaos_arg)
+    $ no_service_arg $ no_chaos_arg $ no_incremental_arg)
 
 let baseline_save_cmd =
   let doc = "Measure the suite and save the snapshot as the new baseline." in
@@ -873,7 +986,45 @@ let fuzz_cmd =
       & opt int F.default_options.F.shrink_budget
       & info [ "shrink-budget" ] ~docv:"N" ~doc:"Oracle evaluations the shrinker may spend per case.")
   in
-  let run seed count max_ops max_tokens pairs_s corpus json fault_sweep shrink_budget =
+  let incremental_arg =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Run the edit-sequence equivalence fuzzer instead: each case replays a seeded \
+             sequence of small source edits, compiling every edit both through the chained \
+             delta-P&R path and from scratch; the two builds must agree bit-for-bit with the \
+             reference on every output stream. --count sets the number of sequences, --steps \
+             the edits per sequence.")
+  in
+  let steps_arg =
+    Arg.(
+      value
+      & opt int Pld_proptest.Edit_seq.default_options.Pld_proptest.Edit_seq.q_steps
+      & info [ "steps" ] ~docv:"N" ~doc:"Edits per sequence (with --incremental).")
+  in
+  let run seed count max_ops max_tokens pairs_s corpus json fault_sweep shrink_budget incremental
+      steps =
+    if incremental then begin
+      let module E = Pld_proptest.Edit_seq in
+      let opts =
+        {
+          E.q_seed = seed;
+          q_count = count;
+          q_steps = steps;
+          q_params = { Pld_proptest.Gen.default_params with Pld_proptest.Gen.max_ops; max_tokens };
+          q_corpus_dir = corpus;
+          q_fuel = None;
+        }
+      in
+      let summary = E.run ~log:print_endline opts in
+      print_string (E.render summary);
+      (match json with
+      | None -> ()
+      | Some "-" -> print_endline (Pld_telemetry.Json.to_string (E.summary_json summary))
+      | Some file -> Pld_telemetry.Json.write_file ~file (E.summary_json summary));
+      exit (if summary.E.z_failed > 0 then 1 else 0)
+    end;
     let pairs =
       match F.parse_level_pairs pairs_s with
       | Ok p -> p
@@ -903,7 +1054,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seed_arg $ count_arg $ max_ops_arg $ max_tokens_arg $ pairs_arg $ corpus_arg
-      $ json_arg $ fault_sweep_arg $ shrink_budget_arg)
+      $ json_arg $ fault_sweep_arg $ shrink_budget_arg $ incremental_arg $ steps_arg)
 
 let () =
   let doc = "PLD: partition, link and load applications on programmable logic devices (simulated)" in

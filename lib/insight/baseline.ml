@@ -77,6 +77,8 @@ let higher_is_better = function
   | "fmax_mhz" | "cache_hits" -> true
   (* Service tier: more sharing is better, more failures is worse. *)
   | "svc_completed" | "svc_deduped" | "svc_cross_tenant_hits" | "svc_cache_hits" -> true
+  (* Incremental tier: losing the delta path or its speedup is the regression. *)
+  | "inc_delta_hits" | "inc_speedup" | "inc_cells_kept" -> true
   | _ -> false
 
 (* ---------- comparison ---------- *)

@@ -13,6 +13,7 @@ type options = {
   run_perf : bool;
   run_service : bool;
   run_chaos : bool;
+  run_incremental : bool;
 }
 
 let default_options =
@@ -25,6 +26,7 @@ let default_options =
     run_perf = true;
     run_service = true;
     run_chaos = true;
+    run_incremental = true;
   }
 
 let level_of_string s =
@@ -196,6 +198,56 @@ let measure_chaos () =
   let wall = [ ("wall_seconds", Baseline.stats_of [ wall_s ]) ] in
   { Baseline.bench = "chaos"; level = "seed7"; exact; tool = []; wall }
 
+(* The incremental tier guards the delta-P&R fast path: compile each
+   bench cold at -O3, touch one operator, and recompile seeded with the
+   previous build. Whether the delta path was taken (vs a fallback
+   reason) is deterministic given the seed, so it goes in the exact
+   class — a placer or gate change that silently knocks a benchmark
+   back to scratch compiles trips the sentinel. The scratch and delta
+   P&R times (and their ratio, the headline speedup) are wall-clock and
+   land in the noise-aware tool class. *)
+let measure_incremental opts (b : Suite.bench) =
+  let fp = Fp.u50 () in
+  let g = b.Suite.graph (Pld_ir.Graph.Hw { page_hint = None }) in
+  let victim = (List.hd g.Pld_ir.Graph.instances).Pld_ir.Graph.inst_name in
+  let edited = Option.get (Pld_ir.Graph.touch_op g victim) in
+  let pnr_seconds (app : B.app) =
+    let p = (B.monolithic_exn app).Flow.pnr3 in
+    p.Pld_pnr.Pnr.place_seconds +. p.Pld_pnr.Pnr.route_seconds +. p.Pld_pnr.Pnr.sta_seconds
+  in
+  let run_once () =
+    let cache = B.create_cache () in
+    let scratch = B.compile ~cache ~jobs:opts.jobs ~pace:opts.pace fp g ~level:B.O3 in
+    let delta =
+      B.compile ~cache ~jobs:opts.jobs ~pace:opts.pace ~previous:scratch fp edited ~level:B.O3
+    in
+    (scratch, delta)
+  in
+  let runs = List.init (max 1 opts.repeats) (fun _ -> run_once ()) in
+  let tool =
+    let stats f = Baseline.stats_of (List.map f runs) in
+    [
+      ("inc_scratch_pnr_seconds", stats (fun (s, _) -> pnr_seconds s));
+      ("inc_delta_pnr_seconds", stats (fun (_, d) -> pnr_seconds d));
+      ( "inc_speedup",
+        stats (fun (s, d) -> pnr_seconds s /. Float.max 1e-9 (pnr_seconds d)) );
+    ]
+  in
+  let _, first_delta = List.hd runs in
+  let stats = (B.monolithic_exn first_delta).Flow.pnr3.Pld_pnr.Pnr.delta in
+  let exact =
+    match stats with
+    | Some d ->
+        [
+          ( "inc_delta_hits",
+            if d.Pld_pnr.Pnr.fallback = None then 1.0 else 0.0 );
+          ("inc_cells_kept", float_of_int d.Pld_pnr.Pnr.cells_kept);
+          ("inc_nets_rerouted", float_of_int d.Pld_pnr.Pnr.nets_rerouted);
+        ]
+    | None -> [ ("inc_delta_hits", 0.0) ]
+  in
+  { Baseline.bench = b.Suite.name; level = "incremental"; exact; tool; wall = [] }
+
 let measure ?(suite = "rosetta") opts =
   let entries =
     List.concat_map
@@ -203,6 +255,9 @@ let measure ?(suite = "rosetta") opts =
         let b = Suite.find name in
         List.map (measure_entry opts b) opts.levels)
       opts.benches
+    @ (if opts.run_incremental then
+         List.map (fun name -> measure_incremental opts (Suite.find name)) opts.benches
+       else [])
     @ (if opts.run_service then [ measure_service opts ] else [])
     @ (if opts.run_chaos then [ measure_chaos () ] else [])
   in

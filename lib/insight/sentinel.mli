@@ -37,13 +37,23 @@ type options = {
           failed invariant checks in the exact class, wall time in the
           wall class. This is what keeps the rejection taxonomy and
           recovery machinery from silently rotting. *)
+  run_incremental : bool;
+      (** also, per selected bench, compile cold at -O3, touch one
+          operator ({!Pld_ir.Graph.touch_op}) and recompile seeded with
+          the previous build, snapshotting an ["incremental"]-level
+          entry: whether the delta path served the recompile
+          ([inc_delta_hits]), cells kept and nets rerouted in the exact
+          class; scratch/delta P&R seconds and their ratio
+          ([inc_speedup]) in the tool class. A change that silently
+          knocks a benchmark back to scratch compiles trips the
+          sentinel here. *)
 }
 
 val default_options : options
 (** spam + optical at -O1 and -O3, 3 repeats, no pacing, 1 job,
-    perf, service and chaos tiers on — small enough for CI, varied
-    enough to cover the paged flow, the monolithic flow, the daemon
-    path and the failure paths. *)
+    perf, service, chaos and incremental tiers on — small enough for
+    CI, varied enough to cover the paged flow, the monolithic flow,
+    the delta-P&R edit loop, the daemon path and the failure paths. *)
 
 val level_of_string : string -> Pld_core.Build.level option
 (** Accepts ["O1"], ["-O1"], ["o1"], ... and ["vitis"]. *)

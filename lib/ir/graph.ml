@@ -86,6 +86,29 @@ let topo_order t =
   let order = Pld_util.Topo.sort ~n:(List.length names) ~edges:e in
   List.map (fun i -> List.nth t.instances i) order
 
+let touch_op t inst =
+  match find_instance t inst with
+  | None -> None
+  | Some _ ->
+      Some
+        {
+          t with
+          instances =
+            List.map
+              (fun (i : instance) ->
+                if i.inst_name = inst then
+                  {
+                    i with
+                    op =
+                      {
+                        i.op with
+                        Op.body = i.op.Op.body @ [ Op.Printf ("touched " ^ inst, []) ];
+                      };
+                  }
+                else i)
+              t.instances;
+        }
+
 let source t =
   let buf = Buffer.create 512 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

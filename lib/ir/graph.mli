@@ -64,6 +64,13 @@ val retarget : t -> string -> target -> t
 
 val retarget_all : t -> target -> t
 
+val touch_op : t -> string -> t option
+(** [touch_op g inst] appends a behavior-neutral debug printf to
+    [inst]'s operator body — the canonical "one-operator edit" of the
+    incremental-compile loop: the operator's source (and thus every
+    cache key derived from it) changes while the streamed outputs do
+    not. [None] when [inst] is not in the graph. *)
+
 val edges : t -> (string * string * string) list
 (** [(producer_instance, consumer_instance, channel)] internal edges. *)
 

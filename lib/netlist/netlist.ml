@@ -147,3 +147,81 @@ let stats_line t =
   let r = total_res t in
   Printf.sprintf "%s: %d cells, %d nets, %d LUT %d FF %d BRAM18 %d DSP" t.nl_name
     (cell_count t) (net_count t) r.luts r.ffs r.brams r.dsps
+
+(* ---------- structural diff (incremental P&R) ---------- *)
+
+type diff = {
+  cells_kept : (int * int) list;
+  cells_changed : (int option * int) list;
+  cells_removed : int list;
+  nets_kept : (int * int) list;
+  nets_changed : int list;
+  nets_removed : int list;
+}
+
+let cell_eq (a : cell) (b : cell) = a.kind = b.kind && a.res = b.res && a.delay_ns = b.delay_ns
+
+let diff (old_nl : t) (new_nl : t) =
+  let old_by_name = Hashtbl.create (Array.length old_nl.cells) in
+  Array.iter (fun c -> Hashtbl.replace old_by_name c.cname c) old_nl.cells;
+  let new_names = Hashtbl.create (Array.length new_nl.cells) in
+  Array.iter (fun c -> Hashtbl.replace new_names c.cname ()) new_nl.cells;
+  let kept = ref [] and changed = ref [] in
+  Array.iter
+    (fun c ->
+      match Hashtbl.find_opt old_by_name c.cname with
+      | Some o when cell_eq o c -> kept := (o.cid, c.cid) :: !kept
+      | Some o -> changed := (Some o.cid, c.cid) :: !changed
+      | None -> changed := (None, c.cid) :: !changed)
+    new_nl.cells;
+  let cells_removed =
+    Array.to_list old_nl.cells
+    |> List.filter (fun c -> not (Hashtbl.mem new_names c.cname))
+    |> List.map (fun c -> c.cid)
+  in
+  (* Nets match by name, with connectivity compared through endpoint
+     cell names (ids shift when cells are inserted or removed). *)
+  let old_nets = Hashtbl.create (Array.length old_nl.nets) in
+  Array.iter (fun n -> Hashtbl.replace old_nets n.nname n) old_nl.nets;
+  let new_net_names = Hashtbl.create (Array.length new_nl.nets) in
+  Array.iter (fun n -> Hashtbl.replace new_net_names n.nname ()) new_nl.nets;
+  let old_name cid = old_nl.cells.(cid).cname in
+  let new_name cid = new_nl.cells.(cid).cname in
+  let nets_kept = ref [] and nets_changed = ref [] in
+  Array.iter
+    (fun n ->
+      match Hashtbl.find_opt old_nets n.nname with
+      | Some o
+        when old_name o.driver = new_name n.driver
+             && List.length o.sinks = List.length n.sinks
+             && List.for_all2 (fun a b -> old_name a = new_name b) o.sinks n.sinks ->
+          nets_kept := (o.nid, n.nid) :: !nets_kept
+      | Some _ | None -> nets_changed := n.nid :: !nets_changed)
+    new_nl.nets;
+  let nets_removed =
+    Array.to_list old_nl.nets
+    |> List.filter (fun n -> not (Hashtbl.mem new_net_names n.nname))
+    |> List.map (fun n -> n.nid)
+  in
+  {
+    cells_kept = List.rev !kept;
+    cells_changed = List.rev !changed;
+    cells_removed;
+    nets_kept = List.rev !nets_kept;
+    nets_changed = List.rev !nets_changed;
+    nets_removed;
+  }
+
+let diff_is_empty d =
+  d.cells_changed = [] && d.cells_removed = [] && d.nets_changed = [] && d.nets_removed = []
+
+let diff_change_fraction d =
+  let kept = List.length d.cells_kept and changed = List.length d.cells_changed in
+  let total = kept + changed in
+  if total = 0 then 1.0
+  else float_of_int (changed + List.length d.cells_removed) /. float_of_int total
+
+let diff_summary d =
+  Printf.sprintf "cells: %d kept %d changed %d removed; nets: %d kept %d changed %d removed"
+    (List.length d.cells_kept) (List.length d.cells_changed) (List.length d.cells_removed)
+    (List.length d.nets_kept) (List.length d.nets_changed) (List.length d.nets_removed)

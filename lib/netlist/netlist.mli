@@ -66,3 +66,36 @@ val add_fifo_links : t -> (string * string * string * int) list -> t
     names must match exactly. *)
 
 val stats_line : t -> string
+
+(** {2 Structural diff}
+
+    Cells are matched across two netlists by [cname] (stable: HLS emits
+    deterministic names and [merge] instance-qualifies them), nets by
+    [nname] with connectivity compared through endpoint cell names.
+    This is the input to delta place & route: kept cells may keep their
+    placement, kept nets their routes. *)
+
+type diff = {
+  cells_kept : (int * int) list;
+      (** [(old cid, new cid)] — same name, kind, resources, delay *)
+  cells_changed : (int option * int) list;
+      (** new cids needing (re)placement; [Some old] when the name
+          matched but attributes differ, [None] for added cells *)
+  cells_removed : int list;  (** old cids with no counterpart *)
+  nets_kept : (int * int) list;
+      (** [(old nid, new nid)] — same name and endpoint cell names *)
+  nets_changed : int list;  (** new nids that are new or rewired *)
+  nets_removed : int list;
+}
+
+val diff : t -> t -> diff
+(** [diff old_nl new_nl]. *)
+
+val diff_is_empty : diff -> bool
+(** No changed/added/removed cells and no changed/removed nets. *)
+
+val diff_change_fraction : diff -> float
+(** Changed + removed cells over current cell count; 1.0 when the new
+    netlist is empty. Drives the fall-back-to-scratch decision. *)
+
+val diff_summary : diff -> string

@@ -191,9 +191,19 @@ let op_key ~level ~seed ~page (i : Graph.instance) =
       | Graph.Hw { page_hint } -> "hw" ^ Option.fold ~none:"" ~some:string_of_int page_hint);
     ]
 
-let mono_key ~level ~seed (g : Graph.t) =
+(* The previous-P&R input and the seed race are part of the artifact's
+   identity: a delta compile from a different starting point (or a
+   different seed set) legitimately produces different bits, so they
+   must not collide under one key. *)
+let mono_key ~level ~seed ?(pnr_seeds = []) ?previous (g : Graph.t) =
   Digest.of_parts
     (Graph.source g :: level_name level :: string_of_int seed
+    :: (match previous with
+       | None -> "prev:none"
+       | Some (p : Pld_pnr.Pnr.result) -> "prev:" ^ p.Pld_pnr.Pnr.bitstream.Pld_pnr.Bitgen.crc)
+    :: (match pnr_seeds with
+       | [] -> "seeds:-"
+       | l -> "seeds:" ^ String.concat "," (List.map string_of_int l))
     :: List.map (fun (i : Graph.instance) -> Op.source i.op) g.instances)
 
 (* ---------- job artifacts ---------- *)
@@ -399,9 +409,9 @@ let compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs 
 (* ---------- monolithic flows (-O3 / Vitis) ---------- *)
 
 let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~faults
-    ~max_retries (fp : Fp.t) (g : Graph.t) ~level =
+    ~max_retries ~previous ~pnr_seeds (fp : Fp.t) (g : Graph.t) ~level =
   let inject job = match faults with Some f -> Pld_faults.Fault.job_check f ~job | None -> () in
-  let key = mono_key ~level ~seed g in
+  let key = mono_key ~level ~seed ~pnr_seeds ?previous g in
   let job_id = "mono:" ^ g.graph_name in
   let node =
     Jobgraph.node ~id:job_id ~kind:kind_mono ~model:art_model ~phases:art_phases (fun ctx ->
@@ -411,7 +421,7 @@ let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~
         with
         | Some m -> A_mono { m_app = m; m_model = 0.0; m_hit = true }
         | None ->
-            let m = Flow.compile_o3 ~seed ~vitis_baseline:(level = Vitis) fp g in
+            let m = Flow.compile_o3 ~seed ~vitis_baseline:(level = Vitis) ?previous ~pnr_seeds fp g in
             cache_put cache cache.mono ~kind:kind_mono ~key ~emit:ctx.Jobgraph.emit m;
             A_mono { m_app = m; m_model = Flow.total_seconds m.Flow.times3; m_hit = false })
   in
@@ -433,6 +443,17 @@ let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~
                 | Some e -> e
                 | None -> "artifact missing")))
   in
+  (* Incremental-P&R observability: what the delta path did (or why it
+     bailed). Cache hits ran no P&R, so they count nothing. *)
+  let module T = Pld_telemetry.Telemetry in
+  (if not r.m_hit then
+     match r.m_app.Flow.pnr3.Pld_pnr.Pnr.delta with
+     | Some d ->
+         T.incr ~by:d.Pld_pnr.Pnr.cells_moved (T.counter telemetry "pnr.cells_moved");
+         T.incr ~by:d.Pld_pnr.Pnr.nets_rerouted (T.counter telemetry "pnr.nets_rerouted");
+         if d.Pld_pnr.Pnr.fallback = None then T.incr (T.counter telemetry "pnr.delta_hits")
+         else T.incr (T.counter telemetry "pnr.delta_fallbacks")
+     | None -> ());
   let events = result.Executor.events in
   {
     graph = g;
@@ -464,7 +485,7 @@ let compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~
 
 let compile ?cache ?(workers = 22) ?(jobs = 1) ?(pace = 0.0) ?(seed = 7) ?(on_event = ignore)
     ?(telemetry = Pld_telemetry.Telemetry.default) ?(attrs = []) ?faults ?(max_retries = 0)
-    ?(defective = []) (fp : Fp.t) (g : Graph.t) ~level =
+    ?(defective = []) ?previous ?(pnr_seeds = []) (fp : Fp.t) (g : Graph.t) ~level =
   Validate.check_graph_exn g;
   ignore (makespan ~workers []);
   (* validate [workers] eagerly *)
@@ -476,8 +497,16 @@ let compile ?cache ?(workers = 22) ?(jobs = 1) ?(pace = 0.0) ?(seed = 7) ?(on_ev
   @@ fun () ->
   match level with
   | O3 | Vitis ->
+      (* The previous app seeds delta P&R only when it is a monolithic
+         build of the same level — a paged (or other-level) app has no
+         comparable prior placement. *)
+      let previous =
+        match previous with
+        | Some (p : app) when p.level = level -> Option.map (fun m -> m.Flow.pnr3) p.monolithic
+        | Some _ | None -> None
+      in
       compile_mono ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~faults
-        ~max_retries fp g ~level
+        ~max_retries ~previous ~pnr_seeds fp g ~level
   | O0 | O1 ->
       compile_paged ~cache ~workers ~jobs ~pace ~seed ~on_event ~telemetry ~attrs ~faults
         ~max_retries ~defective fp g ~level

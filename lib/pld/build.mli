@@ -137,6 +137,8 @@ val compile :
   ?faults:Pld_faults.Fault.t ->
   ?max_retries:int ->
   ?defective:int list ->
+  ?previous:app ->
+  ?pnr_seeds:int list ->
   Pld_fabric.Floorplan.t ->
   Graph.t ->
   level:level ->
@@ -162,7 +164,19 @@ val compile :
     [keep_going] so a page compile that exhausts [max_retries]
     (default 0) is quarantined and re-linked onto the softcore build
     ([report.fallbacks]) instead of aborting. [defective] is the page
-    defect map: those pages are never assigned. *)
+    defect map: those pages are never assigned.
+
+    [previous] — a prior app for the same graph — routes a monolithic
+    ([O3]/[Vitis], same level) recompile through delta P&R: unchanged
+    cells keep their placement, only nets touching moved cells are
+    rerouted, and the [pnr.delta_hits] / [pnr.cells_moved] /
+    [pnr.nets_rerouted] counters on [telemetry] record what the fast
+    path did. The previous P&R is part of the cache key
+    ([previous_pnr] input), so delta and scratch artifacts never
+    collide. Paged levels ignore it (their incrementality is the
+    per-operator cache). [pnr_seeds] with two or more seeds races that
+    many anneals on domains for cold monolithic compiles and keeps the
+    best post-STA timing; also part of the cache key. *)
 
 val makespan : workers:int -> float list -> float
 (** Longest-processing-time list scheduling — the cluster model.

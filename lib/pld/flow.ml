@@ -124,8 +124,8 @@ let compile_o1_operator ?(seed = 7) ?impl (fp : Fp.t) ~page ~inst op =
       {
         hls = impl.Hls.hls_seconds;
         syn = impl.Hls.syn_seconds +. pack_seconds;
-        pnr = pnr.Pnr.place.Pld_pnr.Place.seconds +. pnr.Pnr.route.Pld_pnr.Route.seconds;
-        bitgen = pnr.Pnr.bitstream.Pld_pnr.Bitgen.seconds;
+        pnr = pnr.Pnr.place_seconds +. pnr.Pnr.route_seconds +. pnr.Pnr.sta_seconds;
+        bitgen = pnr.Pnr.bitgen_seconds;
         overhead = o1_overhead;
       };
   }
@@ -137,7 +137,8 @@ let compile_o0_operator ~page ~inst op =
   let riscv_seconds = Unix.gettimeofday () -. t0 +. o0_overhead in
   { inst0 = inst; op0 = op; page0 = page; program; elf; xclbin0 = Xclbin.softcore ~page elf; riscv_seconds }
 
-let compile_o3 ?(seed = 7) ?(vitis_baseline = false) (fp : Fp.t) (g : Graph.t) =
+let compile_o3 ?(seed = 7) ?(vitis_baseline = false) ?previous ?(pnr_seeds = []) (fp : Fp.t)
+    (g : Graph.t) =
   Validate.check_graph_exn g;
   let impls =
     List.map (fun (i : Graph.instance) -> (i.inst_name, Hls.compile i.op)) g.instances
@@ -164,8 +165,20 @@ let compile_o3 ?(seed = 7) ?(vitis_baseline = false) (fp : Fp.t) (g : Graph.t) =
   in
   let merged = if links = [] then merged else N.add_fifo_links merged links in
   let syn_extra = Unix.gettimeofday () -. t0 in
+  (* Three P&R paths: delta from a previous result (incremental edit),
+     a multi-seed race (cold compile with idle cores), or the plain
+     single-seed anneal. *)
   let pnr3 =
-    Pnr.implement ~seed ~clock_target_mhz:300.0 ~device:fp.Fp.device ~region:fp.Fp.l1_region merged
+    match (previous, pnr_seeds) with
+    | Some _, _ ->
+        Pnr.implement_delta ~seed ~clock_target_mhz:300.0 ?previous ~device:fp.Fp.device
+          ~region:fp.Fp.l1_region merged
+    | None, (_ :: _ :: _ as seeds) ->
+        Pnr.implement_multi ~clock_target_mhz:300.0 ~seeds ~device:fp.Fp.device
+          ~region:fp.Fp.l1_region merged
+    | None, _ ->
+        Pnr.implement ~seed ~clock_target_mhz:300.0 ~device:fp.Fp.device ~region:fp.Fp.l1_region
+          merged
   in
   let xclbin3 =
     Xclbin.kernel ~fmax_mhz:pnr3.Pnr.timing.Pld_pnr.Sta.fmax_mhz
@@ -181,8 +194,8 @@ let compile_o3 ?(seed = 7) ?(vitis_baseline = false) (fp : Fp.t) (g : Graph.t) =
       {
         hls = List.fold_left (fun acc (_, i) -> acc +. i.Hls.hls_seconds) 0.0 impls;
         syn = List.fold_left (fun acc (_, i) -> acc +. i.Hls.syn_seconds) 0.0 impls +. syn_extra;
-        pnr = pnr3.Pnr.place.Pld_pnr.Place.seconds +. pnr3.Pnr.route.Pld_pnr.Route.seconds;
-        bitgen = pnr3.Pnr.bitstream.Pld_pnr.Bitgen.seconds;
+        pnr = pnr3.Pnr.place_seconds +. pnr3.Pnr.route_seconds +. pnr3.Pnr.sta_seconds;
+        bitgen = pnr3.Pnr.bitgen_seconds;
         overhead = o3_overhead;
       };
   }

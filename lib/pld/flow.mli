@@ -84,6 +84,22 @@ val compile_o1_operator :
 
 val compile_o0_operator : page:int -> inst:string -> Op.t -> o0_operator
 
-val compile_o3 : ?seed:int -> ?vitis_baseline:bool -> Pld_fabric.Floorplan.t -> Graph.t -> o3_app
+val compile_o3 :
+  ?seed:int ->
+  ?vitis_baseline:bool ->
+  ?previous:Pld_pnr.Pnr.result ->
+  ?pnr_seeds:int list ->
+  Pld_fabric.Floorplan.t ->
+  Graph.t ->
+  o3_app
 (** [vitis_baseline] compiles the undecomposed design (direct wires
-    instead of inter-operator FIFOs), the paper's "Vitis flow" column. *)
+    instead of inter-operator FIFOs), the paper's "Vitis flow" column.
+
+    [previous] (a prior monolithic P&R of the same region — typically
+    the last build's [pnr3]) routes the compile through
+    [Pnr.implement_delta]: placement reuse and rip-up-only rerouting
+    for the edited netlist, falling back to scratch when the edit is
+    too large. [pnr_seeds] with two or more distinct seeds instead
+    races that many annealing seeds on domains and keeps the best
+    post-STA timing ([Pnr.implement_multi]) — for cold compiles;
+    [previous] wins when both are given. *)

@@ -56,17 +56,36 @@ let check_open t ctx = if t.closed then raise (Closed (Printf.sprintf "%s: %s" t
 let name t = t.s_name
 let cache t = t.s_cache
 
-let compile t ?(level = Build.O1) ?faults ?max_retries ?defective g =
+let compile t ?(level = Build.O1) ?faults ?max_retries ?defective ?previous ?(pnr_seeds = []) g =
   check_open t "compile";
   let max_retries = Option.value ~default:0 max_retries in
   let defective = Option.value ~default:[] defective in
+  (* Session reuse: recompiling a graph this session already built
+     seeds delta P&R from the remembered app — but only when the source
+     actually changed (top-level composition or any operator body; the
+     top-level rendering alone misses body edits). An identical
+     recompile must keep its original cache key and stay a pure cache
+     hit. *)
+  let fingerprint g =
+    String.concat "\x00"
+      (Graph.source g
+      :: List.map (fun (i : Graph.instance) -> Op.source i.op) g.Graph.instances)
+  in
+  let previous =
+    match previous with
+    | Some _ -> previous
+    | None -> (
+        match List.assoc_opt g.Graph.graph_name t.s_apps with
+        | Some prev when fingerprint prev.Build.graph <> fingerprint g -> Some prev
+        | Some _ | None -> None)
+  in
   T.with_span t.telemetry ~cat:"session"
     ~attrs:[ ("session", t.s_name); ("graph", g.Graph.graph_name) ]
     (t.s_name ^ ":compile")
   @@ fun () ->
   let app =
     Build.compile ~cache:t.s_cache ~workers:t.workers ~jobs:t.jobs ~pace:t.pace ~seed:t.seed
-      ~telemetry:t.telemetry ?faults ~max_retries ~defective t.fp g ~level
+      ~telemetry:t.telemetry ?faults ~max_retries ~defective ?previous ~pnr_seeds t.fp g ~level
   in
   t.n_compiles <- t.n_compiles + 1;
   t.s_apps <- (g.Graph.graph_name, app) :: List.remove_assoc g.Graph.graph_name t.s_apps;

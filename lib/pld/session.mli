@@ -53,11 +53,21 @@ val compile :
   ?faults:Pld_faults.Fault.t ->
   ?max_retries:int ->
   ?defective:int list ->
+  ?previous:Build.app ->
+  ?pnr_seeds:int list ->
   Graph.t ->
   Build.app
 (** Compile a graph at [level] (default [O1]) with the session's
     defaults, against the shared cache. The app is remembered as the
-    session's latest build of that graph ({!apps}). *)
+    session's latest build of that graph ({!apps}).
+
+    Incremental recompiles: when this session already built a graph of
+    the same name and the new source differs, the remembered app is
+    passed to {!Build.compile} as [previous] so a monolithic recompile
+    takes the delta-P&R path; an identical recompile keeps its original
+    cache key and stays a pure cache hit. [previous] overrides that
+    lookup (e.g. state reloaded from disk by [pldc --incremental-from]);
+    [pnr_seeds] is forwarded for multi-seed cold compiles. *)
 
 val link : t -> ?faults:Pld_faults.Fault.t -> ?max_retries:int -> Build.app -> Loader.deploy_result
 (** Deploy the app onto the session's card (created on first use,

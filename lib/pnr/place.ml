@@ -20,7 +20,37 @@ let w_ff = 0.4
 let w_bram = 60.0
 let w_dsp = 60.0
 
-let run ?(seed = 1) ?(effort = 1.0) ?(pins = []) ~device ~region (nl : N.t) =
+let res_over (res : N.res) (cap : N.res) =
+  (w_lut *. float_of_int (max 0 (res.N.luts - cap.N.luts)))
+  +. (w_ff *. float_of_int (max 0 (res.N.ffs - cap.N.ffs)))
+  +. (w_bram *. float_of_int (max 0 (res.N.brams - cap.N.brams)))
+  +. (w_dsp *. float_of_int (max 0 (res.N.dsps - cap.N.dsps)))
+
+(* The overfill a placement of [nl] can never go below: each cell's
+   best-case weighted overflow on the friendliest tile kind the region
+   offers, summed. Generated netlists routinely carry single cells
+   larger than any one tile, so "legal" placements of such netlists
+   are judged by their overfill *beyond* this floor. *)
+let intrinsic_overfill ~device ~region (nl : N.t) =
+  let kinds = ref [] in
+  for x = region.Floorplan.x0 to region.Floorplan.x1 do
+    for y = region.Floorplan.y0 to region.Floorplan.y1 do
+      let k = Device.kind_at device x y in
+      if not (List.mem k !kinds) then kinds := k :: !kinds
+    done
+  done;
+  let caps = List.map Device.tile_capacity !kinds in
+  Array.fold_left
+    (fun acc (c : N.cell) ->
+      acc
+      +. List.fold_left (fun best cap -> Float.min best (res_over c.res cap)) infinity caps)
+    0.0 nl.N.cells
+
+(* [refine = Some (start, frozen)] seeds the anneal from a previous
+   placement: cells with a start tile begin there, frozen ones never
+   move, and the schedule drops to a short low-temperature pass sized
+   to the movable subset — the delta-P&R placement reuse. *)
+let run_core ~seed ~effort ~pins ~refine ~device ~region (nl : N.t) =
   let t_start = Unix.gettimeofday () in
   if not (fits_region device region nl) then
     invalid_arg
@@ -75,23 +105,51 @@ let run ?(seed = 1) ?(effort = 1.0) ?(pins = []) ~device ~region (nl : N.t) =
           | N.Stream_in p | N.Stream_out p -> pin_tile p
           | _ -> None
         in
+        let seeded =
+          match refine with
+          | Some (start, frozen) -> (
+              match start.(cid) with
+              | Some (x, y)
+                when x >= region.Floorplan.x0 && x <= region.Floorplan.x1
+                     && y >= region.Floorplan.y0 && y <= region.Floorplan.y1 ->
+                  let t = ((y - region.Floorplan.y0) * w) + (x - region.Floorplan.x0) in
+                  if frozen.(cid) then begin
+                    fixed.(cid) <- true;
+                    Some t
+                  end
+                  else if
+                    (* A changed cell may have switched resource class
+                       (a grown FIFO goes LUT -> BRAM): its old tile is
+                       only a useful start if it can host the new
+                       demand — the range-limited anneal cannot ferry
+                       it to a distant hard-block column. *)
+                    (c.res.N.brams = 0 || cap.(t).N.brams > 0)
+                    && (c.res.N.dsps = 0 || cap.(t).N.dsps > 0)
+                  then Some t
+                  else None
+              | _ -> None)
+          | None -> None
+        in
         match pinned with
         | Some t ->
             fixed.(cid) <- true;
             t
-        | None ->
-            (* Bias hard blocks toward tiles that can host them. *)
-            let want_bram = c.res.N.brams > 0 and want_dsp = c.res.N.dsps > 0 in
-            let candidates = ref [] in
-            for i = 0 to ntiles - 1 do
-              if (want_bram && cap.(i).N.brams > 0) || (want_dsp && cap.(i).N.dsps > 0) then
-                candidates := i :: !candidates
-            done;
-            begin
-              match !candidates with
-              | [] -> Rng.int rng ntiles
-              | l -> List.nth l (Rng.int rng (List.length l))
-            end
+        | None -> (
+            match seeded with
+            | Some t -> t
+            | None ->
+                (* Bias hard blocks toward tiles that can host them. *)
+                let want_bram = c.res.N.brams > 0 and want_dsp = c.res.N.dsps > 0 in
+                let candidates = ref [] in
+                for i = 0 to ntiles - 1 do
+                  if (want_bram && cap.(i).N.brams > 0) || (want_dsp && cap.(i).N.dsps > 0) then
+                    candidates := i :: !candidates
+                done;
+                begin
+                  match !candidates with
+                  | [] -> Rng.int rng ntiles
+                  | l -> List.nth l (Rng.int rng (List.length l))
+                end)
       in
       pos.(cid) <- tile;
       add_cell tile c.res 1)
@@ -172,26 +230,43 @@ let run ?(seed = 1) ?(effort = 1.0) ?(pins = []) ~device ~region (nl : N.t) =
       end
     end
   in
-  (* Initial temperature from the cost scale. *)
-  let temp = ref (max 1.0 (!wl /. float_of_int (max 1 ncells)) *. 20.0) in
-  let range = ref (max w h) in
-  let moves_per_temp =
-    max 32 (int_of_float (effort *. 8.0 *. (float_of_int ncells ** 1.33)))
+  (* Annealing schedule: a full sweep from a hot start, or — when
+     seeded from a previous placement — a short low-temperature pass
+     sized to the movable subset. *)
+  let t0_temp, cool, max_temps, range0, moves_per_temp =
+    match refine with
+    | None ->
+        ( max 1.0 (!wl /. float_of_int (max 1 ncells)) *. 20.0,
+          0.88,
+          90,
+          max w h,
+          max 32 (int_of_float (effort *. 8.0 *. (float_of_int ncells ** 1.33))) )
+    | Some _ ->
+        cong_weight := 8.0;
+        ( max 0.5 (!wl /. float_of_int (max 1 ncells) *. 1.5),
+          0.80,
+          30,
+          max 2 (max w h / 4),
+          max 32 (int_of_float (effort *. 8.0 *. (float_of_int (max 1 nmov) ** 1.33))) )
   in
+  let temp = ref t0_temp in
+  let range = ref range0 in
   let temps = ref 0 in
-  while !temp > 0.01 && !temps < 90 do
-    for _ = 1 to moves_per_temp do
-      attempt_move !temp !range
+  if nmov > 0 then begin
+    while !temp > 0.01 && !temps < max_temps do
+      for _ = 1 to moves_per_temp do
+        attempt_move !temp !range
+      done;
+      temp := !temp *. cool;
+      cong_weight := Float.min 4096.0 (!cong_weight *. 1.25);
+      range := max 1 (!range * 9 / 10);
+      incr temps
     done;
-    temp := !temp *. 0.88;
-    cong_weight := Float.min 4096.0 (!cong_weight *. 1.25);
-    range := max 1 (!range * 9 / 10);
-    incr temps
-  done;
-  (* Greedy zero-temperature cleanup. *)
-  for _ = 1 to moves_per_temp do
-    attempt_move 0.0001 2
-  done;
+    (* Greedy zero-temperature cleanup. *)
+    for _ = 1 to moves_per_temp do
+      attempt_move 0.0001 2
+    done
+  end;
   (* Deterministic legalization: evict cells from overfilled tiles to
      the nearest tile with residual capacity, wirelength-blind. *)
   let residual_fits i (r : N.res) =
@@ -256,3 +331,53 @@ let run ?(seed = 1) ?(effort = 1.0) ?(pins = []) ~device ~region (nl : N.t) =
     moves_evaluated = !moves;
     seconds = Unix.gettimeofday () -. t_start;
   }
+
+let run ?(seed = 1) ?(effort = 1.0) ?(pins = []) ~device ~region nl =
+  run_core ~seed ~effort ~pins ~refine:None ~device ~region nl
+
+let refine ?(seed = 1) ?(effort = 1.0) ?(pins = []) ?(freeze = true) ~device ~region ~previous
+    ~diff (nl : N.t) =
+  let ncells = Array.length nl.N.cells in
+  let start = Array.make ncells None in
+  let frozen = Array.make ncells false in
+  (* [freeze = false] is the second refinement tier: every kept cell
+     still starts on its previous tile, but none is pinned — used when
+     the frozen pass could not legalize around the edit. *)
+  List.iter
+    (fun (old_cid, new_cid) ->
+      start.(new_cid) <- Some previous.(old_cid);
+      frozen.(new_cid) <- freeze)
+    diff.N.cells_kept;
+  (* Changed cells seed from their old tile when they have one but stay
+     movable; added cells scatter as usual. *)
+  List.iter
+    (fun (old_cid, new_cid) ->
+      match old_cid with
+      | Some o -> start.(new_cid) <- Some previous.(o)
+      | None -> ())
+    diff.N.cells_changed;
+  (* Cells on a rewired net are affected: release them so the
+     refinement can absorb local disruption. *)
+  List.iter
+    (fun nid ->
+      let n = nl.N.nets.(nid) in
+      List.iter (fun c -> frozen.(c) <- false) (n.N.driver :: n.N.sinks))
+    diff.N.nets_changed;
+  run_core ~seed ~effort ~pins ~refine:(Some (start, frozen)) ~device ~region nl
+
+let run_multi ?(effort = 1.0) ?(pins = []) ?telemetry ~seeds ~device ~region nl =
+  match seeds with
+  | [] -> invalid_arg "Place.run_multi: empty seed list"
+  | [ s ] -> [ (s, run ~seed:s ~effort ~pins ~device ~region nl) ]
+  | _ ->
+      let module J = Pld_engine.Jobgraph in
+      let module X = Pld_engine.Executor in
+      let nodes =
+        List.map
+          (fun s ->
+            J.node ~id:(Printf.sprintf "place:seed%d" s) ~kind:"place" (fun _ctx ->
+                (s, run ~seed:s ~effort ~pins ~device ~region nl)))
+          seeds
+      in
+      let r = X.run ?telemetry ~workers:(List.length seeds) (J.make nodes) in
+      List.map snd r.X.artifacts

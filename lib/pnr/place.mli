@@ -20,6 +20,14 @@ type result = {
 val fits_region : Device.t -> Floorplan.rect -> N.t -> bool
 (** Aggregate capacity check: does the netlist fit the region at all? *)
 
+val intrinsic_overfill : device:Device.t -> region:Floorplan.rect -> N.t -> float
+(** The overfill no placement of this netlist in this region can go
+    below: each cell's best-case weighted overflow on the friendliest
+    tile kind present, summed. Oversized cells (a deep FIFO, a wide
+    datapath) make this nonzero, so placement quality is the overfill
+    {e beyond} this floor — the yardstick delta P&R uses to decide
+    whether a refined placement is as good as the one it reused. *)
+
 val run :
   ?seed:int ->
   ?effort:float ->
@@ -32,3 +40,40 @@ val run :
     leaf-interface location, or the shell/DMA edge for monolithic
     compiles. [effort] scales moves per temperature (default 1.0).
     Raises [Invalid_argument] if the netlist exceeds region capacity. *)
+
+val refine :
+  ?seed:int ->
+  ?effort:float ->
+  ?pins:(string * (int * int)) list ->
+  ?freeze:bool ->
+  device:Device.t ->
+  region:Floorplan.rect ->
+  previous:(int * int) array ->
+  diff:N.diff ->
+  N.t ->
+  result
+(** Delta placement: [previous] is the prior placement indexed by the
+    {e old} netlist's cell ids, [diff] maps it onto the new netlist.
+    Kept cells are frozen at their old tiles ([freeze], default [true];
+    [false] seeds them there but lets the anneal move everything — the
+    fallback tier when the frozen pass cannot legalize around the
+    edit); changed/added cells and
+    cells on rewired nets anneal through a short low-temperature pass
+    sized to that movable subset. With an empty diff the previous
+    placement is returned untouched. Raises [Invalid_argument] like
+    {!run}; the caller must ensure the region is the one the previous
+    placement targeted. *)
+
+val run_multi :
+  ?effort:float ->
+  ?pins:(string * (int * int)) list ->
+  ?telemetry:Pld_telemetry.Telemetry.t ->
+  seeds:int list ->
+  device:Device.t ->
+  region:Floorplan.rect ->
+  N.t ->
+  (int * result) list
+(** Races one full anneal per seed on OCaml 5 domains via the engine
+    executor (one worker per seed) and returns every result in seed
+    order — callers pick a winner (see [Pnr.implement_multi], which
+    selects on post-STA timing). Seeds must be distinct. *)

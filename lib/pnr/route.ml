@@ -12,7 +12,11 @@ type result = {
   total_wire : int;
   seconds : float;
   net_delay_ns : float array;
+  nets_routed : int;
+  history : float array;
 }
+
+type reuse = { prev : result; keep : (int * int) list }
 
 (* Dijkstra from a source node to one sink with congestion-aware edge
    costs; returns the edge list (or [] if sink = source). *)
@@ -52,13 +56,22 @@ let shortest rrg cost src dst =
     Some (walk dst [])
   end
 
-let run ?(seed = 1) ?(max_iterations = 14) ~device ~region ~placement (nl : N.t) =
+let run ?(seed = 1) ?(max_iterations = 14) ?reuse ~device ~region ~placement (nl : N.t) =
   ignore seed;
   let t0 = Unix.gettimeofday () in
-  let rrg = Rrg.build device region in
+  (* Incremental runs reuse the previous RRG (same device/region — the
+     caller's contract) instead of rebuilding it. *)
+  let rrg = match reuse with Some r -> r.prev.rrg | None -> Rrg.build device region in
   let nedges = Array.length rrg.Rrg.edges in
   let usage = Array.make nedges 0 in
-  let history = Array.make nedges 0.0 in
+  (* Preserved routes keep their negotiated history costs, so the
+     incremental pass starts from the congestion knowledge the previous
+     run ended with. *)
+  let history =
+    match reuse with
+    | Some r when Array.length r.prev.history = nedges -> Array.copy r.prev.history
+    | _ -> Array.make nedges 0.0
+  in
   let pres_fac = ref 1.0 in
   let cost ei =
     let e = rrg.Rrg.edges.(ei) in
@@ -72,7 +85,26 @@ let run ?(seed = 1) ?(max_iterations = 14) ~device ~region ~placement (nl : N.t)
   let nnets = Array.length nl.N.nets in
   let routes = Array.map (fun (n : N.net) -> { net_id = n.N.nid; edges = [] }) nl.N.nets in
   let sink_delay = Array.make nnets 0.0 in
+  (* Load preserved routes and mark everything else dirty: only the
+     dirty set is routed on the first pass (rip-up-only rerouting). *)
+  let dirty =
+    match reuse with
+    | None -> Array.make nnets true
+    | Some r ->
+        let d = Array.make nnets true in
+        List.iter
+          (fun (old_ni, new_ni) ->
+            let pr = r.prev.routes.(old_ni) in
+            routes.(new_ni) <- { net_id = nl.N.nets.(new_ni).N.nid; edges = pr.edges };
+            List.iter (fun ei -> usage.(ei) <- usage.(ei) + 1) pr.edges;
+            sink_delay.(new_ni) <- r.prev.net_delay_ns.(old_ni);
+            d.(new_ni) <- false)
+          r.keep;
+        d
+  in
+  let nets_routed = ref 0 in
   let route_net ni =
+    incr nets_routed;
     let n = nl.N.nets.(ni) in
     (* Rip up. *)
     List.iter (fun ei -> usage.(ei) <- usage.(ei) - 1) routes.(ni).edges;
@@ -106,8 +138,9 @@ let run ?(seed = 1) ?(max_iterations = 14) ~device ~region ~placement (nl : N.t)
     List.iter (fun ei -> usage.(ei) <- usage.(ei) + 1) dedup;
     routes.(ni) <- { net_id = n.N.nid; edges = dedup }
   in
-  (* Iterate: first pass routes everything, later passes reroute nets
-     using overused edges. *)
+  (* Iterate: first pass routes the dirty set (everything on a scratch
+     run), later passes reroute nets using overused edges — preserved
+     routes are ripped up only if congestion reaches them. *)
   let iterations = ref 0 in
   let overused () =
     let acc = ref 0 in
@@ -119,7 +152,7 @@ let run ?(seed = 1) ?(max_iterations = 14) ~device ~region ~placement (nl : N.t)
   while !continue && !iterations < max_iterations do
     incr iterations;
     for ni = 0 to nnets - 1 do
-      if !iterations = 1 || congested_net ni then route_net ni
+      if (if !iterations = 1 then dirty.(ni) else congested_net ni) then route_net ni
     done;
     Array.iteri
       (fun ei u ->
@@ -138,4 +171,6 @@ let run ?(seed = 1) ?(max_iterations = 14) ~device ~region ~placement (nl : N.t)
     total_wire = Array.fold_left (fun acc r -> acc + List.length r.edges) 0 routes;
     seconds = Unix.gettimeofday () -. t0;
     net_delay_ns;
+    nets_routed = !nets_routed;
+    history;
   }

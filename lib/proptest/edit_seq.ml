@@ -1,0 +1,363 @@
+open Pld_ir
+module B = Pld_core.Build
+module Flow = Pld_core.Flow
+module Pnr = Pld_pnr.Pnr
+module Runner = Pld_core.Runner
+module Floorplan = Pld_fabric.Floorplan
+module Telemetry = Pld_telemetry.Telemetry
+module Json = Pld_telemetry.Json
+
+type edit =
+  | Touch of string
+  | Swap of { a : string * string; b : string * string }
+  | Grow_fifo of { chan : string; add : int }
+
+let describe_edit = function
+  | Touch inst -> Printf.sprintf "touch %s" inst
+  | Swap { a = ia, pa; b = ib, pb } -> Printf.sprintf "swap %s.%s <-> %s.%s" ia pa ib pb
+  | Grow_fifo { chan; add } -> Printf.sprintf "grow fifo %s by %d" chan add
+
+let apply_edit e g =
+  match e with
+  | Touch inst -> ( match Graph.touch_op g inst with Some g' -> g' | None -> g)
+  | Swap { a; b } -> ( try Mutate.apply (Mutate.Swap_inputs { a; b }) g with Invalid_argument _ -> g)
+  | Grow_fifo { chan; add } ->
+      {
+        g with
+        Graph.channels =
+          List.map
+            (fun (c : Graph.channel) ->
+              if c.Graph.chan_name = chan then { c with Graph.depth = c.Graph.depth + add } else c)
+            g.Graph.channels;
+      }
+
+type options = {
+  q_seed : int;
+  q_count : int;
+  q_steps : int;
+  q_params : Gen.params;
+  q_corpus_dir : string option;
+  q_fuel : int option;
+}
+
+let default_options =
+  {
+    q_seed = 42;
+    q_count = 25;
+    q_steps = 4;
+    q_params = Gen.default_params;
+    q_corpus_dir = None;
+    q_fuel = None;
+  }
+
+type step_report = {
+  p_step : int;
+  p_edit : string;
+  p_fallback : string option;
+  p_cells_moved : int;
+  p_nets_rerouted : int;
+  p_failures : Oracle.failure list;
+}
+
+type seq_report = {
+  q_index : int;
+  q_digest : string;
+  q_instances : int;
+  q_step_reports : step_report list;
+  q_saved : string option;
+}
+
+type summary = {
+  z_seed : int;
+  z_count : int;
+  z_steps : int;
+  z_seqs : seq_report list;
+  z_passed : int;
+  z_failed : int;
+  z_delta_hits : int;
+  z_fallbacks : int;
+}
+
+(* ---------- seeded edit drawing ---------- *)
+
+let pick rng l = List.nth l (Pld_util.Rng.int rng (List.length l))
+
+(* A swap is only admitted when the KPN reference still completes on
+   the edited graph: same-instance input swaps cannot introduce a
+   cycle, but a multi-rate instance can still deadlock when its port
+   rates differ — such an edit is no use to an oracle that needs a
+   runnable program, so it degrades to a touch. *)
+let gen_edit ?fuel rng g ~inputs =
+  let touch () = Touch (pick rng (List.map (fun (i : Graph.instance) -> i.Graph.inst_name) g.Graph.instances)) in
+  match Pld_util.Rng.int rng 3 with
+  | 0 -> touch ()
+  | 1 -> (
+      let same_inst =
+        List.filter
+          (fun (Mutate.Swap_inputs { a = ia, _; b = ib, _ }) -> ia = ib)
+          (Mutate.candidates g)
+      in
+      match same_inst with
+      | [] -> touch ()
+      | cands -> (
+          let (Mutate.Swap_inputs { a; b }) = pick rng cands in
+          let g' = apply_edit (Swap { a; b }) g in
+          match Oracle.catching ~where:"edit-probe" (fun () -> Oracle.reference ?fuel g' ~inputs) with
+          | Ok _ -> Swap { a; b }
+          | Error _ -> touch ()))
+  | _ -> (
+      let internal =
+        List.filter
+          (fun (c : Graph.channel) ->
+            not (List.mem c.Graph.chan_name g.Graph.inputs || List.mem c.Graph.chan_name g.Graph.outputs))
+          g.Graph.channels
+      in
+      match internal with
+      | [] -> touch ()
+      | cs -> Grow_fifo { chan = (pick rng cs).Graph.chan_name; add = 1 + Pld_util.Rng.int rng 8 })
+
+(* ---------- the per-step equivalence check ---------- *)
+
+let pnr_of app = (B.monolithic_exn app).Flow.pnr3
+
+(* Compile the edited source twice — delta-chained and from scratch —
+   and hold the delta build to the scratch build's standard: identical
+   output streams (both must equal the reference) and no quality loss
+   the scratch build does not also suffer. *)
+let check_step ?fuel ~(compile : ?previous:B.app -> Graph.t -> B.app) ~previous ~inputs ~step g' =
+  let where suffix = Printf.sprintf "%s@step%d" suffix step in
+  match Oracle.catching ~where:(where "delta") (fun () -> compile ~previous g') with
+  | Error f -> (None, 0, 0, [ f ], previous)
+  | Ok dapp -> (
+      let dpnr = pnr_of dapp in
+      let fallback, moved, rerouted =
+        match dpnr.Pnr.delta with
+        | Some d -> (d.Pnr.fallback, d.Pnr.cells_moved, d.Pnr.nets_rerouted)
+        | None -> (Some "no-delta-stats", 0, 0)
+      in
+      match Oracle.catching ~where:(where "scratch") (fun () -> compile g') with
+      | Error f -> (fallback, moved, rerouted, [ f ], dapp)
+      | Ok sapp ->
+          let spnr = pnr_of sapp in
+          let quality =
+            List.concat
+              [
+                (if Pnr.routed_ok spnr && not (Pnr.routed_ok dpnr) then
+                   [
+                     {
+                       Oracle.f_class = "delta-quality";
+                       f_where = where "delta";
+                       f_detail =
+                         Printf.sprintf
+                           "delta build lost legality (overfill %.1f, overused %d) where scratch is clean"
+                           dpnr.Pnr.place.Pld_pnr.Place.overfill
+                           dpnr.Pnr.route.Pld_pnr.Route.overused_edges;
+                     };
+                   ]
+                 else []);
+                (if
+                   dpnr.Pnr.route.Pld_pnr.Route.overused_edges > 0
+                   && spnr.Pnr.route.Pld_pnr.Route.overused_edges = 0
+                 then
+                   [
+                     {
+                       Oracle.f_class = "delta-congested";
+                       f_where = where "delta";
+                       f_detail =
+                         Printf.sprintf "delta routing left %d overused edges"
+                           dpnr.Pnr.route.Pld_pnr.Route.overused_edges;
+                     };
+                   ]
+                 else []);
+              ]
+          in
+          let behavior =
+            match Oracle.catching ~where:(where "reference") (fun () -> Oracle.reference ?fuel g' ~inputs) with
+            | Error f -> [ f ]
+            | Ok r ->
+                let expected = r.Pld_kpn.Run_graph.outputs in
+                let run_and_compare tag app =
+                  match Oracle.catching ~where:(where tag) (fun () -> Runner.run ?fuel app ~inputs) with
+                  | Error f -> [ f ]
+                  | Ok res -> Oracle.compare_streams ~where:(where tag) expected res.Runner.outputs
+                in
+                run_and_compare "delta" dapp @ run_and_compare "scratch" sapp
+          in
+          (fallback, moved, rerouted, quality @ behavior, dapp))
+
+(* ---------- the driver ---------- *)
+
+let run ?(log = fun _ -> ()) (o : options) =
+  let fp = Floorplan.u50 () in
+  let edit_rng_seed = Seeded.derive ~seed:o.q_seed "edit-seq" in
+  let reports = ref [] in
+  for index = 0 to o.q_count - 1 do
+    let c = Gen.case ~params:o.q_params ~seed:o.q_seed ~index () in
+    let rng = Seeded.case_rng ~seed:edit_rng_seed index in
+    (* One private cache per sequence: the delta chain and the scratch
+       rebuilds share operator-level artifacts (as one developer's
+       working directory would) while distinct previous-P&R cache keys
+       keep the two monolithic artifact streams apart. *)
+    let cache = B.create_cache () in
+    let telemetry = Telemetry.create () in
+    let compile ?previous g = B.compile ~cache ~telemetry ?previous fp g ~level:B.O3 in
+    let steps = ref [] and saved = ref None in
+    (match Oracle.catching ~where:"base" (fun () -> compile c.Gen.graph) with
+    | Error f ->
+        steps :=
+          [
+            {
+              p_step = 0;
+              p_edit = "base compile";
+              p_fallback = None;
+              p_cells_moved = 0;
+              p_nets_rerouted = 0;
+              p_failures = [ f ];
+            };
+          ]
+    | Ok app0 ->
+        let g = ref c.Gen.graph and prev = ref app0 and step = ref 1 and stop = ref false in
+        while (not !stop) && !step <= o.q_steps do
+          let edit = gen_edit ?fuel:o.q_fuel rng !g ~inputs:c.Gen.inputs in
+          let g' = apply_edit edit !g in
+          let fallback, moved, rerouted, failures, next_prev =
+            check_step ?fuel:o.q_fuel ~compile ~previous:!prev ~inputs:c.Gen.inputs ~step:!step g'
+          in
+          steps :=
+            {
+              p_step = !step;
+              p_edit = describe_edit edit;
+              p_fallback = fallback;
+              p_cells_moved = moved;
+              p_nets_rerouted = rerouted;
+              p_failures = failures;
+            }
+            :: !steps;
+          if failures <> [] then begin
+            log
+              (Printf.sprintf "sequence %d step %d (%s) FAILED: %s" index !step (describe_edit edit)
+                 (Oracle.failure_to_string (List.hd failures)));
+            saved :=
+              Option.map
+                (fun dir ->
+                  Corpus.save ~dir
+                    ~name:(Printf.sprintf "editseq-seed%d-case%d-step%d" o.q_seed index !step)
+                    {
+                      Corpus.note =
+                        Printf.sprintf "edit-seq seed %d case %d step %d (%s): %s" o.q_seed index
+                          !step (describe_edit edit)
+                          (Oracle.failure_to_string (List.hd failures));
+                      expect = None;
+                      levels = [ B.O3 ];
+                      graph = g';
+                      workload = c.Gen.inputs;
+                      mutation = None;
+                    })
+                o.q_corpus_dir;
+            stop := true
+          end
+          else begin
+            g := g';
+            prev := next_prev;
+            incr step
+          end
+        done);
+    reports :=
+      {
+        q_index = index;
+        q_digest = Gen.digest c.Gen.graph c.Gen.inputs;
+        q_instances = List.length c.Gen.graph.Graph.instances;
+        q_step_reports = List.rev !steps;
+        q_saved = !saved;
+      }
+      :: !reports
+  done;
+  let seqs = List.rev !reports in
+  let all_steps = List.concat_map (fun s -> s.q_step_reports) seqs in
+  let failed = List.length (List.filter (fun s -> List.exists (fun p -> p.p_failures <> []) s.q_step_reports) seqs) in
+  {
+    z_seed = o.q_seed;
+    z_count = o.q_count;
+    z_steps = o.q_steps;
+    z_seqs = seqs;
+    z_passed = List.length seqs - failed;
+    z_failed = failed;
+    z_delta_hits = List.length (List.filter (fun p -> p.p_failures = [] && p.p_fallback = None) all_steps);
+    z_fallbacks = List.length (List.filter (fun p -> p.p_fallback <> None) all_steps);
+  }
+
+(* No wall-clock, no paths, no host state: equal options must
+   serialize to equal bytes (the same pin the level fuzzer carries). *)
+let summary_json s =
+  Json.Obj
+    [
+      ("seed", Json.Int s.z_seed);
+      ("count", Json.Int s.z_count);
+      ("steps", Json.Int s.z_steps);
+      ("passed", Json.Int s.z_passed);
+      ("failed", Json.Int s.z_failed);
+      ("delta_hits", Json.Int s.z_delta_hits);
+      ("fallbacks", Json.Int s.z_fallbacks);
+      ( "sequences",
+        Json.List
+          (List.map
+             (fun q ->
+               Json.Obj
+                 [
+                   ("index", Json.Int q.q_index);
+                   ("digest", Json.String q.q_digest);
+                   ("instances", Json.Int q.q_instances);
+                   ( "steps",
+                     Json.List
+                       (List.map
+                          (fun p ->
+                            Json.Obj
+                              ([
+                                 ("step", Json.Int p.p_step);
+                                 ("edit", Json.String p.p_edit);
+                                 ("cells_moved", Json.Int p.p_cells_moved);
+                                 ("nets_rerouted", Json.Int p.p_nets_rerouted);
+                               ]
+                              @ (match p.p_fallback with
+                                | None -> []
+                                | Some r -> [ ("fallback", Json.String r) ])
+                              @
+                              match p.p_failures with
+                              | [] -> []
+                              | fs ->
+                                  [
+                                    ( "failures",
+                                      Json.List
+                                        (List.map
+                                           (fun (f : Oracle.failure) ->
+                                             Json.Obj
+                                               [
+                                                 ("class", Json.String f.Oracle.f_class);
+                                                 ("where", Json.String f.Oracle.f_where);
+                                                 ("detail", Json.String f.Oracle.f_detail);
+                                               ])
+                                           fs) );
+                                  ]))
+                          q.q_step_reports) );
+                 ])
+             s.z_seqs) );
+    ]
+
+let render s =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "edit-seq fuzz: seed %d, %d sequences x %d edits\n" s.z_seed s.z_count s.z_steps;
+  Printf.bprintf b "  passed %d / failed %d; delta path served %d steps, %d fallbacks\n" s.z_passed
+    s.z_failed s.z_delta_hits s.z_fallbacks;
+  List.iter
+    (fun q ->
+      List.iter
+        (fun p ->
+          if p.p_failures <> [] then begin
+            Printf.bprintf b "  sequence %d (%d instances) step %d: %s\n" q.q_index q.q_instances
+              p.p_step p.p_edit;
+            List.iter (fun f -> Printf.bprintf b "    %s\n" (Oracle.failure_to_string f)) p.p_failures;
+            Option.iter (fun path -> Printf.bprintf b "    reproducer: %s\n" path) q.q_saved
+          end)
+        q.q_step_reports)
+    s.z_seqs;
+  Buffer.contents b

@@ -368,6 +368,7 @@ let test_sentinel_save_check_perturb () =
       run_perf = false;
       run_service = false;
       run_chaos = false;
+      run_incremental = false;
     }
   in
   let base = Sentinel.measure ~suite:"test" opts in
@@ -403,6 +404,34 @@ let test_sentinel_save_check_perturb () =
       | Some (Json.Bool false) -> ()
       | _ -> Alcotest.fail "REGRESSION.json records the failure")
 
+(* The incremental tier must actually take the delta path on a
+   one-operator edit and record both the exact hit and the timing
+   ratio — otherwise the sentinel would happily pin a baseline in
+   which every edit recompiles from scratch. *)
+let test_sentinel_incremental_tier () =
+  let opts =
+    {
+      Sentinel.benches = [ "spam" ];
+      levels = [];
+      repeats = 1;
+      pace = 0.0;
+      jobs = 1;
+      run_perf = false;
+      run_service = false;
+      run_chaos = false;
+      run_incremental = true;
+    }
+  in
+  let snap = Sentinel.measure ~suite:"test" opts in
+  check_int "one incremental entry" 1 (List.length snap.Baseline.entries);
+  let e = List.hd snap.Baseline.entries in
+  check_bool "entry is the incremental tier" true (e.Baseline.level = "incremental");
+  check_bool "delta path served the edit" true
+    (List.assoc_opt "inc_delta_hits" e.Baseline.exact = Some 1.0);
+  check_bool "kept-cell count captured" true (List.mem_assoc "inc_cells_kept" e.Baseline.exact);
+  let speedup = (List.assoc "inc_speedup" e.Baseline.tool).Baseline.median in
+  check_bool "delta at least 2x faster than scratch" true (speedup >= 2.0)
+
 let suite =
   [
     Alcotest.test_case "profile forest recovers nesting" `Quick test_forest_nesting;
@@ -419,4 +448,5 @@ let suite =
     Alcotest.test_case "baseline json round-trip" `Quick test_baseline_json_roundtrip;
     Alcotest.test_case "sentinel level parsing" `Quick test_sentinel_levels;
     Alcotest.test_case "sentinel save, check, perturb" `Quick test_sentinel_save_check_perturb;
+    Alcotest.test_case "sentinel incremental tier" `Quick test_sentinel_incremental_tier;
   ]

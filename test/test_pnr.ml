@@ -184,6 +184,104 @@ let test_superlinear_runtime () =
   in
   check_bool "10x cells -> >15x time" true (t_big > 15.0 *. t_small)
 
+(* ---------- incremental & multi-seed P&R ---------- *)
+
+(* [small_netlist] with one cell's resources changed — a one-cell edit. *)
+let edit_one_cell (nl : N.t) victim =
+  let b = N.Builder.create nl.N.nl_name in
+  Array.iter
+    (fun (c : N.cell) ->
+      let res = if c.N.cname = victim then N.res_luts 40 else c.N.res in
+      ignore (N.Builder.add_cell b ~name:c.N.cname ~kind:c.N.kind ~res ~delay_ns:c.N.delay_ns))
+    nl.N.cells;
+  Array.iter
+    (fun (n : N.net) -> ignore (N.Builder.add_net b ~name:n.N.nname ~driver:n.N.driver ~sinks:n.N.sinks))
+    nl.N.nets;
+  N.Builder.finish b
+
+let test_netlist_diff () =
+  let nl = small_netlist 10 3 in
+  let d = N.diff nl nl in
+  check_bool "self diff empty" true (N.diff_is_empty d);
+  check_int "all cells kept" (N.cell_count nl) (List.length d.N.cells_kept);
+  check_int "all nets kept" (N.net_count nl) (List.length d.N.nets_kept);
+  let nl2 = edit_one_cell nl "c3" in
+  let d2 = N.diff nl nl2 in
+  check_int "one cell changed" 1 (List.length d2.N.cells_changed);
+  check_int "no cells removed" 0 (List.length d2.N.cells_removed);
+  check_bool "small change fraction" true (N.diff_change_fraction d2 < 0.2)
+
+let test_place_route_deterministic () =
+  let fp, region = page_region () in
+  let nl = small_netlist 18 6 in
+  let p1 = Pld_pnr.Place.run ~seed:5 ~device:fp.Floorplan.device ~region nl in
+  let p2 = Pld_pnr.Place.run ~seed:5 ~device:fp.Floorplan.device ~region nl in
+  check_bool "same positions for same seed" true (p1.Pld_pnr.Place.positions = p2.Pld_pnr.Place.positions);
+  let r1 = Pld_pnr.Route.run ~device:fp.Floorplan.device ~region ~placement:p1.Pld_pnr.Place.positions nl in
+  let r2 = Pld_pnr.Route.run ~device:fp.Floorplan.device ~region ~placement:p2.Pld_pnr.Place.positions nl in
+  check_bool "same routes for same seed" true (r1.Pld_pnr.Route.routes = r2.Pld_pnr.Route.routes)
+
+let test_delta_empty_diff () =
+  let fp, region = page_region () in
+  let nl = small_netlist 16 8 in
+  let base = Pld_pnr.Pnr.implement ~seed:2 ~device:fp.Floorplan.device ~region nl in
+  let d = Pld_pnr.Pnr.implement_delta ~seed:2 ~previous:base ~device:fp.Floorplan.device ~region nl in
+  (match d.Pld_pnr.Pnr.delta with
+  | Some s ->
+      check_bool "delta path taken" true (s.Pld_pnr.Pnr.fallback = None);
+      check_int "nothing rerouted" 0 s.Pld_pnr.Pnr.nets_rerouted;
+      check_int "no cells moved" 0 s.Pld_pnr.Pnr.cells_moved
+  | None -> Alcotest.fail "delta stats missing");
+  check_bool "placement untouched" true (d.Pld_pnr.Pnr.placement = base.Pld_pnr.Pnr.placement);
+  Alcotest.(check string) "identical bitstream" base.Pld_pnr.Pnr.bitstream.Pld_pnr.Bitgen.crc
+    d.Pld_pnr.Pnr.bitstream.Pld_pnr.Bitgen.crc
+
+let test_delta_small_edit () =
+  let fp, region = page_region () in
+  let nl = small_netlist 16 8 in
+  let base = Pld_pnr.Pnr.implement ~seed:2 ~device:fp.Floorplan.device ~region nl in
+  let nl2 = edit_one_cell nl "c5" in
+  let d = Pld_pnr.Pnr.implement_delta ~seed:2 ~previous:base ~device:fp.Floorplan.device ~region nl2 in
+  check_bool "delta result legal" true (Pld_pnr.Pnr.routed_ok d);
+  match d.Pld_pnr.Pnr.delta with
+  | Some s ->
+      check_bool "delta path taken" true (s.Pld_pnr.Pnr.fallback = None);
+      check_bool "most cells kept" true (s.Pld_pnr.Pnr.cells_kept > N.cell_count nl2 * 3 / 4);
+      check_bool "most routes preserved" true (s.Pld_pnr.Pnr.nets_preserved > 0)
+  | None -> Alcotest.fail "delta stats missing"
+
+let test_multi_seed_never_worse () =
+  let fp, region = page_region () in
+  let nl = small_netlist 14 10 in
+  let seeds = [ 1; 2; 3 ] in
+  let multi =
+    Pld_pnr.Pnr.implement_multi ~seeds ~device:fp.Floorplan.device ~region nl
+  in
+  check_bool "multi result legal" true (Pld_pnr.Pnr.routed_ok multi);
+  List.iter
+    (fun s ->
+      let r = Pld_pnr.Pnr.implement ~seed:s ~device:fp.Floorplan.device ~region nl in
+      check_bool
+        (Printf.sprintf "multi at least as fast as seed %d" s)
+        true
+        (multi.Pld_pnr.Pnr.timing.Pld_pnr.Sta.fmax_mhz
+        >= r.Pld_pnr.Pnr.timing.Pld_pnr.Sta.fmax_mhz -. 1e-9))
+    seeds
+
+let test_run_multi_matches_single () =
+  let fp, region = page_region () in
+  let nl = small_netlist 12 4 in
+  let results = Pld_pnr.Place.run_multi ~seeds:[ 4; 9 ] ~device:fp.Floorplan.device ~region nl in
+  check_int "one result per seed" 2 (List.length results);
+  List.iter
+    (fun (s, (r : Pld_pnr.Place.result)) ->
+      let solo = Pld_pnr.Place.run ~seed:s ~device:fp.Floorplan.device ~region nl in
+      check_bool
+        (Printf.sprintf "seed %d matches solo run" s)
+        true
+        (r.Pld_pnr.Place.positions = solo.Pld_pnr.Place.positions))
+    results
+
 let prop_sta_fmax_bounded =
   QCheck.Test.make ~name:"sta fmax within (0, clock target]" ~count:20
     QCheck.(pair (int_range 3 25) (int_range 0 1000))
@@ -212,5 +310,10 @@ let suite =
     ("partial bitstream smaller", `Quick, test_bitstream_proportional);
     ("deterministic with seed", `Slow, test_determinism);
     ("superlinear runtime", `Slow, test_superlinear_runtime);
-    QCheck_alcotest.to_alcotest prop_sta_fmax_bounded;
+    ("netlist diff", `Quick, test_netlist_diff);
+    ("place & route deterministic", `Quick, test_place_route_deterministic);
+    ("delta P&R: empty diff is a no-op", `Quick, test_delta_empty_diff);
+    ("delta P&R: one-cell edit stays on fast path", `Quick, test_delta_small_edit);
+    ("multi-seed never times worse", `Slow, test_multi_seed_never_worse);
+    ("run_multi matches single runs", `Quick, test_run_multi_matches_single);
   ]
